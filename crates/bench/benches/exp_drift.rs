@@ -1,0 +1,111 @@
+//! E-D — §4.7: drifting-sample detection over the unlabeled pools and the
+//! four new blueprint threat types.
+//!
+//! Paper: 63 drifting samples among 10,000 unlabeled IFTTT graphs and 104
+//! among 19,440 heterogeneous graphs (≈0.6% tails), and the drift pool
+//! surfaces "action block", "action ablation", "trigger intake", and
+//! "condition duplicate" — blueprint patterns absent from training.
+
+use glint_bench::{n_graphs, offline, print_table, record_json, scale, timed, train_config};
+use glint_core::drift::DriftDetector;
+use glint_core::construction::node_features;
+use glint_gnn::batch::{GraphSchema, PreparedGraph};
+use glint_gnn::models::{Itgnn, ItgnnConfig};
+use glint_gnn::trainer::ContrastiveTrainer;
+use glint_graph::builder::full_graph;
+use glint_rules::Platform;
+
+fn main() {
+    let builder = offline(0xd217);
+    let labeled = timed("hetero dataset", || glint_bench::hetero_dataset(&builder));
+    let unlabeled_ifttt = timed("unlabeled IFTTT pool", || {
+        builder.build_dataset(&[Platform::Ifttt], n_graphs(10_000), 12, false)
+    });
+    let unlabeled_hetero = timed("unlabeled 5-platform pool", || {
+        builder.build_dataset(
+            &[
+                Platform::Ifttt,
+                Platform::SmartThings,
+                Platform::Alexa,
+                Platform::GoogleAssistant,
+                Platform::HomeAssistant,
+            ],
+            n_graphs(19_440),
+            12,
+            false,
+        )
+    });
+
+    // ITGNN-C on the labeled hetero dataset (5 platforms appear in the
+    // unlabeled pool, so infer the schema over everything)
+    let schema = GraphSchema::infer(labeled.iter().chain(unlabeled_hetero.iter()).chain(unlabeled_ifttt.iter()));
+    let prepared = PreparedGraph::prepare_all(labeled.graphs());
+    let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
+    let mut model = Itgnn::new(&schema.types, ItgnnConfig { seed: 17, bounded_embedding: false, ..Default::default() });
+    timed("ITGNN-C training", || {
+        ContrastiveTrainer::new(train_config(17)).train(&mut model, &prepared)
+    });
+    let emb = ContrastiveTrainer::embed_all(&model, &prepared);
+    let detector = DriftDetector::fit(&emb, &labels);
+
+    // scan the unlabeled pools
+    let mut rows = Vec::new();
+    let mut measured = Vec::new();
+    for (name, pool, paper_hits, paper_total) in [
+        ("IFTTT unlabeled", &unlabeled_ifttt, 63usize, 10_000usize),
+        ("5-platform unlabeled", &unlabeled_hetero, 104, 19_440),
+    ] {
+        let prepared_pool = PreparedGraph::prepare_all(pool.graphs());
+        let pool_emb = ContrastiveTrainer::embed_all(&model, &prepared_pool);
+        let hits = detector.detect(&pool_emb).len();
+        let rate = hits as f64 / pool.len().max(1) as f64;
+        let paper_rate = paper_hits as f64 / paper_total as f64;
+        measured.push((name, hits, pool.len(), rate));
+        rows.push(vec![
+            name.to_string(),
+            format!("{hits}/{}", pool.len()),
+            format!("{:.2}%", rate * 100.0),
+            format!("{paper_hits}/{paper_total} ({:.2}%)", paper_rate * 100.0),
+        ]);
+    }
+    print_table("§4.7 — drifting samples in the unlabeled pools", &["pool", "drifting", "rate", "paper"], &rows);
+
+    // the four blueprint threats must drift harder than the typical
+    // in-distribution graph
+    let in_dist_mean: f64 = (0..emb.rows())
+        .map(|i| detector.drift_degree(emb.row(i)))
+        .sum::<f64>()
+        / emb.rows() as f64;
+    let mut rows = Vec::new();
+    let mut bp_json = Vec::new();
+    for (name, rules) in glint_rules::scenarios::drift_blueprints() {
+        let g = full_graph(&rules, &node_features);
+        let prepared = PreparedGraph::from_graph(&g);
+        let e = ContrastiveTrainer::embed(&model, &prepared);
+        let degree = detector.drift_degree(&e);
+        rows.push(vec![
+            name.to_string(),
+            format!("{degree:.2}"),
+            if detector.is_drifting(&e) { "DRIFTING".into() } else { "in-dist".into() },
+        ]);
+        bp_json.push(serde_json::json!({ "blueprint": name, "degree": degree }));
+    }
+    print_table(
+        &format!("§4.7 — the four blueprint threats (T_MAD = 3; in-dist mean degree {in_dist_mean:.2})"),
+        &["new threat type", "drift degree", "verdict"],
+        &rows,
+    );
+    println!("\npaper shape: drift flags are a sub-percent tail of the unlabeled pools, and the");
+    println!("four blueprint patterns surface in the drift pool for manual analysis.");
+
+    record_json(
+        "drift",
+        &serde_json::json!({
+            "scale": scale(),
+            "pools": measured.iter().map(|(n, h, t, r)| serde_json::json!({
+                "pool": n, "hits": h, "total": t, "rate": r })).collect::<Vec<_>>(),
+            "blueprints": bp_json,
+            "in_dist_mean_degree": in_dist_mean,
+        }),
+    );
+}

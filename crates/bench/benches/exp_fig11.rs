@@ -1,0 +1,167 @@
+//! E-F11 — Figure 11: testbed comparison of detectors.
+//!
+//! ITGNN (Glint) vs HAWatcher vs OCSVM vs IsolationForest on the 600-graph
+//! test set (binary-correlation and complex-correlation threats, §4.8.1's
+//! five attack types injected into simulated week-style logs).
+//!
+//! Paper shape: Glint 100% P/R on BCT and ~96%/95.3% on CCT; HAWatcher
+//! strong on BCT (97.8%/94.1%) but degraded on CCT (83.2%/82.7% with the
+//! Bernoulli fallback for uncovered threat types); OCSVM and IsolationForest
+//! clearly behind (~60–70%).
+
+use glint_bench::{offline, prepare_split, print_table, record_json, scale, timed, train_config};
+use glint_gnn::batch::{GraphSchema, PreparedGraph};
+use glint_gnn::models::{GraphModel, Itgnn, ItgnnConfig};
+use glint_gnn::trainer::ClassifierTrainer;
+use glint_ml::iforest::IsolationForest;
+use glint_ml::metrics::ConfusionMatrix;
+use glint_ml::ocsvm::OneClassSvm;
+use glint_testbed::harness::{frame_vectors, TestCase, TestSetBuilder, ThreatComplexity};
+use glint_testbed::hawatcher::HaWatcher;
+use glint_testbed::home::figure10_home;
+use glint_testbed::sim::{SimConfig, Simulator};
+
+fn metrics_of(cases: &[&TestCase], verdicts: &[bool]) -> (f64, f64) {
+    let y_true: Vec<usize> = cases.iter().map(|c| c.threat as usize).collect();
+    let y_pred: Vec<usize> = verdicts.iter().map(|&v| v as usize).collect();
+    let m = ConfusionMatrix::from_predictions(&y_true, &y_pred);
+    (m.precision(), m.recall())
+}
+
+fn main() {
+    // scale the test set: paper uses 150 per family-and-class
+    let per_family = ((150.0 * (scale() / 0.03)).round() as usize).clamp(20, 150);
+    let cases = timed("test set", || {
+        TestSetBuilder { per_family, sim_hours: 3.0, seed: 0xf11 }.build()
+    });
+    println!("test cases: {} ({} per family/class; paper: 150)", cases.len(), per_family);
+
+    // ---- Glint (ITGNN): pretrained offline on oracle-labeled corpus
+    // graphs, then fine-tuned on a disjoint testbed slice (the paper's §4.8
+    // protocol: "Glint takes no more than 1 hour to train the model and
+    // apply transfer learning to improve model performance") ----
+    let builder = offline(0x9_11);
+    let train_ds = timed("training dataset", || glint_bench::hetero_dataset(&builder));
+    let finetune_cases = TestSetBuilder {
+        per_family: (per_family / 2).max(10),
+        sim_hours: 3.0,
+        seed: 0xf17e, // disjoint from the evaluation seed
+    }
+    .build();
+    let schema = GraphSchema::infer(
+        train_ds
+            .iter()
+            .chain(cases.iter().map(|c| &c.graph))
+            .chain(finetune_cases.iter().map(|c| &c.graph)),
+    );
+    let split = train_ds.split(0.9, 41);
+    let (train, _) = prepare_split(&split, 41);
+    let mut itgnn = Itgnn::new(&schema.types, ItgnnConfig { seed: 4, ..Default::default() });
+    timed("ITGNN pretraining", || ClassifierTrainer::new(train_config(4)).train(&mut itgnn, &train));
+    let finetune_graphs: Vec<PreparedGraph> =
+        finetune_cases.iter().map(|c| PreparedGraph::from_graph(&c.graph)).collect();
+    timed("ITGNN testbed fine-tuning", || {
+        itgnn.params_mut().freeze_prefix("enc.meta.");
+        ClassifierTrainer::new(train_config(5)).train(&mut itgnn, &finetune_graphs);
+        itgnn.params_mut().unfreeze_all();
+    });
+    let glint_verdicts: Vec<bool> = timed("ITGNN inference", || {
+        cases
+            .iter()
+            .map(|c| ClassifierTrainer::predict(&itgnn, &PreparedGraph::from_graph(&c.graph)) == 1)
+            .collect()
+    });
+
+    // ---- HAWatcher: trained on a clean baseline week, Bernoulli fallback
+    // for uncovered threat kinds ----
+    let clean_rules = glint_rules::scenarios::table1_rules();
+    let clean_log = Simulator::new(
+        figure10_home(),
+        clean_rules,
+        SimConfig { seed: 77, duration_hours: 72.0, ..Default::default() },
+    )
+    .run();
+    let mut hawatcher = HaWatcher::new();
+    hawatcher.train(&clean_log);
+    let hw_verdicts: Vec<bool> = cases
+        .iter()
+        .map(|c| {
+            if c.threat && !c.hawatcher_covered() {
+                hawatcher.coin_flip_verdict(c.id)
+            } else {
+                hawatcher.check(&c.log)
+            }
+        })
+        .collect();
+
+    // ---- OCSVM / IsolationForest on 4-frame state vectors ----
+    let home = figure10_home();
+    let normal_frames: Vec<&TestCase> = cases.iter().filter(|c| !c.threat).collect();
+    let mut train_rows = Vec::new();
+    for c in normal_frames.iter().take(per_family) {
+        let m = frame_vectors(&home, &c.log, 8);
+        for r in 0..m.rows().min(6) {
+            train_rows.push(m.row(r).to_vec());
+        }
+    }
+    let train_x = glint_tensor::Matrix::from_rows(&train_rows);
+    let mut ocsvm = OneClassSvm::new(0.1);
+    ocsvm.fit(&train_x);
+    let mut iforest = IsolationForest::new(60).with_seed(3);
+    iforest.fit(&train_x);
+    let frame_verdict = |detector: &dyn Fn(&glint_tensor::Matrix) -> Vec<i32>, c: &TestCase| {
+        let m = frame_vectors(&home, &c.log, 8);
+        let preds = detector(&m);
+        let anomalies = preds.iter().filter(|&&p| p == -1).count();
+        anomalies * 5 > preds.len() // ≥20% anomalous frames ⇒ threat window
+    };
+    let ocsvm_verdicts: Vec<bool> =
+        cases.iter().map(|c| frame_verdict(&|m| ocsvm.predict(m), c)).collect();
+    let iforest_verdicts: Vec<bool> =
+        cases.iter().map(|c| frame_verdict(&|m| iforest.predict(m), c)).collect();
+
+    // ---- report per complexity family ----
+    let paper: &[(&str, (f64, f64), (f64, f64))] = &[
+        ("Glint (ITGNN)", (1.0, 1.0), (0.96, 0.953)),
+        ("HAWatcher", (0.978, 0.941), (0.832, 0.827)),
+        ("OCSVM", (0.72, 0.68), (0.669, 0.633)),
+        ("IsolationForest", (0.70, 0.66), (0.65, 0.62)),
+    ];
+    let all_verdicts: Vec<(&str, &Vec<bool>)> = vec![
+        ("Glint (ITGNN)", &glint_verdicts),
+        ("HAWatcher", &hw_verdicts),
+        ("OCSVM", &ocsvm_verdicts),
+        ("IsolationForest", &iforest_verdicts),
+    ];
+    let mut json = Vec::new();
+    for family in [ThreatComplexity::Bct, ThreatComplexity::Cct] {
+        let idx: Vec<usize> =
+            (0..cases.len()).filter(|&i| cases[i].complexity == family).collect();
+        let fam_cases: Vec<&TestCase> = idx.iter().map(|&i| &cases[i]).collect();
+        let mut rows = Vec::new();
+        for (name, verdicts) in &all_verdicts {
+            let v: Vec<bool> = idx.iter().map(|&i| verdicts[i]).collect();
+            let (p, r) = metrics_of(&fam_cases, &v);
+            let paper_row = paper.iter().find(|(n, _, _)| n == name).unwrap();
+            let (pp, pr) = if family == ThreatComplexity::Bct { paper_row.1 } else { paper_row.2 };
+            rows.push(vec![
+                name.to_string(),
+                glint_bench::pct(p),
+                glint_bench::pct(r),
+                format!("{:.1}%/{:.1}%", pp * 100.0, pr * 100.0),
+            ]);
+            json.push(serde_json::json!({
+                "family": format!("{family:?}"), "detector": name,
+                "precision": p, "recall": r, "paper_precision": pp, "paper_recall": pr,
+            }));
+        }
+        print_table(
+            &format!("Figure 11 — {family:?} (precision / recall)"),
+            &["detector", "precision", "recall", "paper P/R"],
+            &rows,
+        );
+    }
+    println!("\npaper shape: Glint leads both families; HAWatcher competitive on BCT but");
+    println!("degraded on CCT; the time-series anomaly detectors trail everywhere.");
+    record_json("fig11", &serde_json::json!({ "scale": scale(), "per_family": per_family, "rows": json }));
+}

@@ -1,0 +1,142 @@
+//! E-T5 — Table 5: homogeneous graph classification.
+//!
+//! Eight models (GCN, GXN, GIN, IFG, SVC, KNN, ITGNN-C, ITGNN-S) on the
+//! IFTTT and SmartThings labeled datasets; 80/20 split × `GLINT_TRIALS`
+//! trials, threat oversampling + inverse-frequency class weights, weighted
+//! F1 (the §4.4 protocol). ITGNN-C classifies by nearest class centroid in
+//! its contrastive latent space.
+
+use glint_bench::{
+    dataset_to_xy, epochs, make_model, offline, prepare_split, print_table, record_json, scale,
+    timed, train_config, trials, vs_paper,
+};
+use glint_gnn::batch::{GraphSchema, PreparedGraph};
+use glint_gnn::trainer::{ClassifierTrainer, ContrastiveTrainer};
+use glint_graph::GraphDataset;
+use glint_ml::metrics::BinaryMetrics;
+use glint_ml::{knn::Knn, svm::LinearSvc, Classifier};
+
+/// Paper Table 5 accuracies: (model, ifttt, smartthings).
+const PAPER: &[(&str, f64, f64)] = &[
+    ("GCN", 0.895, 0.909),
+    ("GXN", 0.787, 0.882),
+    ("GIN", 0.950, 0.897),
+    ("IFG", 0.698, 0.861),
+    ("SVC", 0.841, 0.844),
+    ("KNN", 0.895, 0.848),
+    ("ITGNN-C", 0.954, 0.765),
+    ("ITGNN-S", 0.957, 0.882),
+];
+
+fn eval_contrastive(
+    model: &dyn glint_gnn::models::GraphModel,
+    train: &[PreparedGraph],
+    test: &[PreparedGraph],
+) -> BinaryMetrics {
+    // classify by nearest class centroid in the latent space
+    let emb = ContrastiveTrainer::embed_all(model, train);
+    let labels: Vec<usize> = train.iter().map(|g| g.label.unwrap()).collect();
+    let mut centroids = vec![vec![0.0f32; emb.cols()]; 2];
+    let mut counts = [0usize; 2];
+    for (i, &l) in labels.iter().enumerate() {
+        counts[l] += 1;
+        for (c, &v) in centroids[l].iter_mut().zip(emb.row(i)) {
+            *c += v;
+        }
+    }
+    for (c, n) in centroids.iter_mut().zip(counts) {
+        let inv = 1.0 / n.max(1) as f32;
+        c.iter_mut().for_each(|v| *v *= inv);
+    }
+    let y_true: Vec<usize> = test.iter().map(|g| g.label.unwrap()).collect();
+    let y_pred: Vec<usize> = test
+        .iter()
+        .map(|g| {
+            let e = ContrastiveTrainer::embed(model, g);
+            let d = |c: &Vec<f32>| -> f32 {
+                c.iter().zip(&e).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            usize::from(d(&centroids[1]) < d(&centroids[0]))
+        })
+        .collect();
+    BinaryMetrics::weighted_from_predictions(&y_true, &y_pred)
+}
+
+fn run_dataset(name: &str, ds: &GraphDataset, paper_col: usize) -> Vec<serde_json::Value> {
+    println!("\n--- {name}: {} graphs, {:?} ---", ds.len(), ds.class_stats());
+    let schema = GraphSchema::infer(ds.iter());
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &(model_name, p_ifttt, p_st) in PAPER {
+        let paper_acc = if paper_col == 0 { p_ifttt } else { p_st };
+        let mut per_trial = Vec::new();
+        for t in 0..trials() {
+            let split = ds.split(0.8, 100 + t as u64);
+            let metrics = match model_name {
+                "SVC" | "KNN" => {
+                    let mut train_ds = split.train.clone();
+                    train_ds.oversample_threats(t as u64);
+                    let (x, y) = dataset_to_xy(&train_ds);
+                    let (xt, yt) = dataset_to_xy(&split.test);
+                    let pred = if model_name == "SVC" {
+                        let mut m = LinearSvc::new().with_epochs(25).with_seed(t as u64);
+                        m.fit(&x, &y);
+                        m.predict(&xt)
+                    } else {
+                        let mut m = Knn::new(5);
+                        m.fit(&x, &y);
+                        m.predict(&xt)
+                    };
+                    BinaryMetrics::weighted_from_predictions(&yt, &pred)
+                }
+                "ITGNN-C" => {
+                    let (train, test) = prepare_split(&split, t as u64);
+                    let mut model = make_model("ITGNN", &schema, t as u64);
+                    ContrastiveTrainer::new(train_config(t as u64)).train(&mut *model, &train);
+                    eval_contrastive(&*model, &train, &test)
+                }
+                _ => {
+                    let (train, test) = prepare_split(&split, t as u64);
+                    let mut model = make_model(model_name, &schema, t as u64);
+                    ClassifierTrainer::new(train_config(t as u64)).train(&mut *model, &train);
+                    ClassifierTrainer::evaluate(&*model, &test)
+                }
+            };
+            per_trial.push(metrics);
+        }
+        let mean = BinaryMetrics::mean(&per_trial);
+        rows.push(vec![
+            model_name.to_string(),
+            vs_paper(mean.accuracy, paper_acc),
+            glint_bench::pct(mean.precision),
+            glint_bench::pct(mean.recall),
+            glint_bench::pct(mean.f1),
+        ]);
+        json.push(serde_json::json!({
+            "dataset": name, "model": model_name, "accuracy": mean.accuracy,
+            "precision": mean.precision, "recall": mean.recall, "f1": mean.f1,
+            "paper_accuracy": paper_acc,
+        }));
+        eprintln!("[glint-bench] {name}/{model_name}: {mean}");
+    }
+    print_table(
+        &format!("Table 5 — {name} homogeneous graph classification"),
+        &["model", "accuracy", "precision", "recall", "weighted F1"],
+        &rows,
+    );
+    json
+}
+
+fn main() {
+    let builder = offline(0x7ab1e5);
+    let ifttt = timed("IFTTT dataset", || glint_bench::ifttt_dataset(&builder));
+    let st = timed("SmartThings dataset", || glint_bench::smartthings_dataset(&builder));
+    let mut json = run_dataset("IFTTT", &ifttt, 0);
+    json.extend(run_dataset("SmartThings", &st, 1));
+    println!("\npaper shape: GNNs beat SVC/KNN on IFTTT; ITGNN-S best-in-class on IFTTT;");
+    println!("ITGNN-C collapses on the tiny SmartThings set (contrastive needs data).");
+    record_json(
+        "table5",
+        &serde_json::json!({ "scale": scale(), "epochs": epochs(), "trials": trials(), "rows": json }),
+    );
+}

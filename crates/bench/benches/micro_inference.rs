@@ -1,0 +1,92 @@
+//! E-EFF — §4.8.2: efficiency microbenchmarks (Criterion).
+//!
+//! Per-graph prediction latency vs graph size (paper: ≈0.61 s per
+//! heterogeneous graph on their GPU stack — we report CPU numbers and the
+//! scaling shape), plus the serialized ITGNN model size (paper: 6.13 MB).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glint_core::construction::node_features;
+use glint_gnn::batch::{GraphSchema, PreparedGraph};
+use glint_gnn::models::{GraphModel, Itgnn, ItgnnConfig};
+use glint_gnn::trainer::ClassifierTrainer;
+use glint_graph::builder::GraphBuilder;
+use glint_rules::{CorpusConfig, CorpusGenerator, Rule};
+
+fn build_graphs_of_size(rules: &[Rule], n_nodes: usize, count: usize) -> Vec<PreparedGraph> {
+    let mut builder = GraphBuilder::new(rules, n_nodes as u64);
+    (0..count)
+        .map(|_| {
+            let g = builder.sample_graph(n_nodes, n_nodes, &node_features);
+            PreparedGraph::from_graph(&g)
+        })
+        .collect()
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let cfg = CorpusConfig { scale: 0.001, per_platform_cap: 400, seed: 0xe44 };
+    let rules = CorpusGenerator::generate_corpus(&cfg);
+    // schema covering all five platforms
+    let sample = build_graphs_of_size(&rules, 6, 8);
+    let dummy: Vec<glint_graph::InteractionGraph> = Vec::new();
+    let _ = dummy;
+    let schema = GraphSchema {
+        types: {
+            let mut t: Vec<(glint_rules::Platform, usize)> = Vec::new();
+            for g in &sample {
+                for b in &g.by_type {
+                    if !t.iter().any(|(p, _)| *p == b.platform) {
+                        t.push((b.platform, b.feats.cols()));
+                    }
+                }
+            }
+            t.sort_by_key(|(p, _)| p.type_index());
+            t
+        },
+    };
+    let model = Itgnn::new(&schema.types, ItgnnConfig::default());
+    println!(
+        "ITGNN parameter count: {} scalars, serialized ≈ {:.2} MB (paper: 6.13 MB)",
+        model.params().num_scalars(),
+        model.params().byte_size() as f64 / 1e6
+    );
+
+    let mut group = c.benchmark_group("itgnn_inference");
+    group.sample_size(20);
+    for &n in &[2usize, 8, 20, 50] {
+        let graphs = build_graphs_of_size(&rules, n, 4);
+        group.bench_with_input(BenchmarkId::new("nodes", n), &graphs, |b, graphs| {
+            let mut k = 0;
+            b.iter(|| {
+                let g = &graphs[k % graphs.len()];
+                k += 1;
+                std::hint::black_box(ClassifierTrainer::predict(&model, g))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_prep(c: &mut Criterion) {
+    let cfg = CorpusConfig { scale: 0.001, per_platform_cap: 400, seed: 0xe45 };
+    let rules = CorpusGenerator::generate_corpus(&cfg);
+    let mut builder = GraphBuilder::new(&rules, 1);
+    let graph = builder.sample_graph(10, 10, &node_features);
+    c.bench_function("prepare_graph_10_nodes", |b| {
+        b.iter(|| std::hint::black_box(PreparedGraph::from_graph(&graph)))
+    });
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let rules = glint_rules::scenarios::table1_rules();
+    c.bench_function("rule_text_embedding", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            let r = &rules[k % rules.len()];
+            k += 1;
+            std::hint::black_box(node_features(r))
+        })
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_graph_prep, bench_embedding);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! The online detection pipeline (Figure 2, steps ④–⑧): construct the
+//! real-time interaction graph from deployed rules + event logs, screen it
+//! with the drift detector, classify it with the threat detector, and raise
+//! a warning with explained causes.
+
+use crate::drift::DriftDetector;
+use crate::explain;
+use crate::warning::Warning;
+use glint_gnn::batch::PreparedGraph;
+use glint_gnn::models::GraphModel;
+use glint_gnn::trainer::{ClassifierTrainer, ContrastiveTrainer};
+use glint_graph::builder::OnlineBuilder;
+use glint_graph::InteractionGraph;
+use glint_rules::event::EventLog;
+use glint_rules::Rule;
+
+/// Outcome of screening one real-time window.
+#[derive(Clone, Debug)]
+pub struct Detection {
+    /// The real-time interaction graph that was analysed.
+    pub graph: InteractionGraph,
+    /// Drift screening verdict (step ⑤).
+    pub drifting: bool,
+    pub drift_degree: f64,
+    /// Classifier verdict (threat probability and hard label).
+    pub threat_probability: f32,
+    pub is_threat: bool,
+    /// The warning raised, if any.
+    pub warning: Option<Warning>,
+}
+
+/// The deployed Glint instance: deployed rules + trained models.
+pub struct GlintDetector<C: GraphModel, E: GraphModel> {
+    rules: Vec<Rule>,
+    classifier: C,
+    embedder: E,
+    drift: DriftDetector,
+    online: OnlineBuilder,
+    /// Number of causes listed in warnings.
+    pub top_k_causes: usize,
+}
+
+impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
+    pub fn new(rules: Vec<Rule>, classifier: C, embedder: E, drift: DriftDetector) -> Self {
+        Self { rules, classifier, embedder, drift, online: OnlineBuilder::default(), top_k_causes: 3 }
+    }
+
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    pub fn classifier(&self) -> &C {
+        &self.classifier
+    }
+
+    /// Give user feedback to the models (step ⑧: fine-tuning hooks).
+    pub fn classifier_mut(&mut self) -> &mut C {
+        &mut self.classifier
+    }
+
+    /// Screen one time window of the event log.
+    pub fn process_window(&self, log: &EventLog, from: f64, to: f64) -> Detection {
+        let graph = self.online.build(&self.rules, log, from, to, &crate::construction::node_features);
+        self.assess(graph)
+    }
+
+    /// Assess an already-constructed interaction graph.
+    pub fn assess(&self, graph: InteractionGraph) -> Detection {
+        if graph.n_nodes() == 0 {
+            return Detection {
+                graph,
+                drifting: false,
+                drift_degree: 0.0,
+                threat_probability: 0.0,
+                is_threat: false,
+                warning: None,
+            };
+        }
+        let prepared = PreparedGraph::from_graph(&graph);
+        // step ⑤: drift screening in the contrastive latent space
+        let embedding = ContrastiveTrainer::embed(&self.embedder, &prepared);
+        let drift_degree = self.drift.drift_degree(&embedding);
+        let drifting = drift_degree > self.drift.threshold;
+        // step ⑥: classification
+        let threat_probability = ClassifierTrainer::predict_proba(&self.classifier, &prepared);
+        let is_threat = threat_probability > 0.5;
+        // step ⑦: warning with explained causes
+        let warning = if is_threat || drifting {
+            let causes_idx = explain::top_causes(&self.classifier, &graph, self.top_k_causes);
+            let causes: Vec<&Rule> = causes_idx
+                .iter()
+                .filter_map(|&i| {
+                    let id = graph.node(i).rule_id.0;
+                    self.rules.iter().find(|r| r.id.0 == id)
+                })
+                .collect();
+            Some(Warning::new(drifting && !is_threat, &causes))
+        } else {
+            None
+        };
+        Detection { graph, drifting, drift_degree, threat_probability, is_threat, warning }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glint_gnn::models::{Itgnn, ItgnnConfig};
+    use glint_gnn::trainer::TrainConfig;
+    use glint_graph::GraphLabel;
+    use glint_rules::event::{EventKind, EventRecord};
+    use glint_rules::scenarios::table1_rules;
+    use glint_rules::Platform;
+    use glint_tensor::Matrix;
+
+    fn tiny_models() -> (Itgnn, Itgnn, DriftDetector) {
+        // train a minimal pair of models on oracle-labeled samples of the
+        // Table 1 house so the pipeline is end-to-end real
+        let rules = table1_rules();
+        let builder = crate::construction::OfflineBuilder::new(rules, 5);
+        let mut ds = builder.build_dataset(Platform::all(), 24, 6, true);
+        ds.oversample_threats(1);
+        let prepared = PreparedGraph::prepare_all(ds.graphs());
+        let types = glint_gnn::batch::GraphSchema::infer(ds.graphs().iter()).types;
+        let cfg = ItgnnConfig { hidden: 12, embed: 8, n_scales: 2, ..Default::default() };
+        let mut classifier = Itgnn::new(&types, cfg.clone());
+        ClassifierTrainer::new(TrainConfig { epochs: 4, ..Default::default() })
+            .train(&mut classifier, &prepared);
+        let mut embedder = Itgnn::new(&types, cfg);
+        ContrastiveTrainer::new(TrainConfig { epochs: 3, ..Default::default() })
+            .train(&mut embedder, &prepared);
+        let emb = ContrastiveTrainer::embed_all(&embedder, &prepared);
+        let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
+        let drift = DriftDetector::fit(&emb, &labels);
+        (classifier, embedder, drift)
+    }
+
+    #[test]
+    fn end_to_end_window_processing() {
+        let (classifier, embedder, drift) = tiny_models();
+        let detector = GlintDetector::new(table1_rules(), classifier, embedder, drift);
+        // replay the paper's running incident: movie → lights off → door
+        // locked; smoke → window open; temp high → AC on → windows closed
+        let mut log = EventLog::new();
+        log.push(EventRecord::new(100.0, EventKind::RuleFired { rule_id: 1 }));
+        log.push(EventRecord::new(130.0, EventKind::RuleFired { rule_id: 9 }));
+        log.push(EventRecord::new(1900.0, EventKind::RuleFired { rule_id: 6 }));
+        log.push(EventRecord::new(1960.0, EventKind::RuleFired { rule_id: 4 }));
+        log.push(EventRecord::new(2000.0, EventKind::RuleFired { rule_id: 5 }));
+        let det = detector.process_window(&log, 0.0, 3000.0);
+        assert_eq!(det.graph.n_nodes(), 5, "five rules executed");
+        assert!(det.graph.n_edges() >= 2, "causal chain edges survive pruning");
+        assert!((0.0..=1.0).contains(&det.threat_probability));
+        if det.is_threat {
+            let w = det.warning.expect("threat must carry a warning");
+            assert!(!w.causes.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_window_is_benign() {
+        let (classifier, embedder, drift) = tiny_models();
+        let detector = GlintDetector::new(table1_rules(), classifier, embedder, drift);
+        let log = EventLog::new();
+        let det = detector.process_window(&log, 0.0, 100.0);
+        assert!(!det.is_threat);
+        assert!(det.warning.is_none());
+        assert_eq!(det.graph.n_nodes(), 0);
+    }
+
+    #[test]
+    fn assess_flags_labeled_threat_graphs_sensibly() {
+        let (classifier, embedder, drift) = tiny_models();
+        let rules = table1_rules();
+        let detector = GlintDetector::new(rules.clone(), classifier, embedder, drift);
+        let builder = crate::construction::OfflineBuilder::new(rules, 77);
+        let ds = builder.build_dataset(Platform::all(), 12, 6, true);
+        let mut agree = 0;
+        for g in ds.iter() {
+            let want = g.label == Some(GraphLabel::Threat);
+            let mut unlabeled = g.clone();
+            unlabeled.label = None;
+            let det = detector.assess(unlabeled);
+            if det.is_threat == want {
+                agree += 1;
+            }
+        }
+        // lightly-trained tiny model: just demand better than random-ish
+        assert!(agree >= 6, "agreement {agree}/12");
+        let _ = Matrix::zeros(1, 1);
+    }
+}

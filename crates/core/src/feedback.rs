@@ -1,0 +1,152 @@
+//! User-intervention feedback (Figure 2, steps ⑦–⑧): store special graph
+//! cases (false alarms the user dismissed, confirmed threats, drift cases
+//! the analyst labeled) and fine-tune the detector on them.
+
+use glint_gnn::batch::PreparedGraph;
+use glint_gnn::models::GraphModel;
+use glint_gnn::trainer::{ClassifierTrainer, TrainConfig};
+use glint_graph::{GraphLabel, InteractionGraph};
+use serde::{Deserialize, Serialize};
+
+/// One user/analyst verdict on a flagged graph.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackCase {
+    pub graph: InteractionGraph,
+    /// The user's verdict (overrides whatever the model said).
+    pub verdict: GraphLabel,
+    /// Free-form analyst note ("vacuum motion is expected at 9 pm").
+    pub note: String,
+}
+
+/// The special-graph-case store (Figure 2 step ⑦).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FeedbackStore {
+    cases: Vec<FeedbackCase>,
+}
+
+impl FeedbackStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a dismissed false alarm.
+    pub fn dismiss(&mut self, graph: InteractionGraph, note: impl Into<String>) {
+        self.cases.push(FeedbackCase {
+            graph,
+            verdict: GraphLabel::Normal,
+            note: note.into(),
+        });
+    }
+
+    /// Record a confirmed threat (e.g. an analyst-triaged drift case).
+    pub fn confirm(&mut self, graph: InteractionGraph, note: impl Into<String>) {
+        self.cases.push(FeedbackCase {
+            graph,
+            verdict: GraphLabel::Threat,
+            note: note.into(),
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    pub fn cases(&self) -> &[FeedbackCase] {
+        &self.cases
+    }
+
+    /// Fine-tune a classifier on the stored cases (Figure 2 step ⑧).
+    /// The feedback set is replayed `repeats` times per epoch so a handful
+    /// of corrections actually move the model.
+    pub fn fine_tune(&self, model: &mut dyn GraphModel, config: TrainConfig, repeats: usize) {
+        if self.cases.is_empty() {
+            return;
+        }
+        let mut graphs = Vec::new();
+        for _ in 0..repeats.max(1) {
+            for c in &self.cases {
+                let mut g = c.graph.clone();
+                g.label = Some(c.verdict);
+                graphs.push(PreparedGraph::from_graph(&g));
+            }
+        }
+        ClassifierTrainer::new(config).train(model, &graphs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glint_gnn::models::{GcnModel, ModelConfig};
+    use glint_graph::graph::{EdgeKind, Node};
+    use glint_rules::{Platform, RuleId};
+
+    fn graph(bias: f32) -> InteractionGraph {
+        let nodes: Vec<Node> = (0..3)
+            .map(|i| Node {
+                rule_id: RuleId(i),
+                platform: Platform::Ifttt,
+                features: vec![bias; 4],
+            })
+            .collect();
+        let mut g = InteractionGraph::new(nodes);
+        g.add_edge(0, 1, EdgeKind::ActionTrigger);
+        g.add_edge(1, 2, EdgeKind::ActionTrigger);
+        g
+    }
+
+    #[test]
+    fn fine_tuning_moves_the_verdict() {
+        let mut model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 3 });
+        let g = graph(0.5);
+        let before = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&g));
+        let mut store = FeedbackStore::new();
+        store.confirm(g.clone(), "verified by analyst");
+        store.fine_tune(
+            &mut model,
+            TrainConfig { epochs: 20, lr: 1e-2, ..Default::default() },
+            4,
+        );
+        let after = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&g));
+        assert!(after > before, "confirming a threat must raise its probability: {before} → {after}");
+        assert!(after > 0.5, "fine-tuned model should now flag the case: {after}");
+    }
+
+    #[test]
+    fn dismissals_suppress_false_alarms() {
+        let mut model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 4 });
+        let g = graph(-0.25);
+        let mut store = FeedbackStore::new();
+        store.dismiss(g.clone(), "vacuum motion expected");
+        store.fine_tune(
+            &mut model,
+            TrainConfig { epochs: 20, lr: 1e-2, ..Default::default() },
+            4,
+        );
+        let p = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&g));
+        assert!(p < 0.5, "dismissed case still flagged: {p}");
+    }
+
+    #[test]
+    fn empty_store_is_a_noop() {
+        let mut model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 5 });
+        let g = graph(0.1);
+        let before = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&g));
+        FeedbackStore::new().fine_tune(&mut model, TrainConfig::default(), 2);
+        let after = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&g));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn store_serializes() {
+        let mut store = FeedbackStore::new();
+        store.dismiss(graph(0.0), "note");
+        let json = serde_json::to_string(&store).unwrap();
+        let back: FeedbackStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(store.cases(), back.cases());
+    }
+}

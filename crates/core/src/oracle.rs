@@ -1,0 +1,391 @@
+//! The threat-labeling oracle: the six literature threat types of Table 4,
+//! applied mechanically to the *structured* rules of a graph — the stand-in
+//! for the paper's 8-week volunteer labeling campaign (§4.2). The learning
+//! stack never sees these structures, only text embeddings.
+
+use glint_rules::correlation::{action_triggers, effective_affects};
+use glint_rules::{Action, Channel, Condition, Rule, StateValue, Trigger};
+use serde::{Deserialize, Serialize};
+
+/// The six policy threat types used for labeling.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreatKind {
+    ConditionBypass,
+    ConditionBlock,
+    ActionRevert,
+    ActionConflict,
+    ActionLoop,
+    GoalConflict,
+}
+
+impl ThreatKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ThreatKind::ConditionBypass => "condition bypass",
+            ThreatKind::ConditionBlock => "condition block",
+            ThreatKind::ActionRevert => "action revert",
+            ThreatKind::ActionConflict => "action conflict",
+            ThreatKind::ActionLoop => "action loop",
+            ThreatKind::GoalConflict => "goal conflict",
+        }
+    }
+}
+
+/// One detected threat among a rule set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThreatFinding {
+    pub kind: ThreatKind,
+    /// The rule ids involved.
+    pub rules: Vec<u32>,
+}
+
+fn action_state(a: &Action) -> Option<(glint_rules::DeviceKind, glint_rules::Location, glint_rules::Attribute, StateValue)> {
+    match a {
+        Action::SetState { device, location, attribute, state } => {
+            Some((*device, *location, *attribute, *state))
+        }
+        Action::SetLevel { device, location, attribute, value } => {
+            Some((*device, *location, *attribute, StateValue::Level(*value)))
+        }
+        _ => None,
+    }
+}
+
+/// Does any action of `a` and any action of `b` target the same device
+/// attribute (coupled locations) with opposing states?
+fn opposing_actions(a: &Rule, b: &Rule) -> bool {
+    for aa in &a.actions {
+        for ab in &b.actions {
+            if let (Some((d1, l1, at1, s1)), Some((d2, l2, at2, s2))) =
+                (action_state(aa), action_state(ab))
+            {
+                if d1 == d2 && at1 == at2 && l1.couples_with(l2) && s1.opposes(s2) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Do the same action (same device, attribute, state) appear in both rules?
+fn same_action_goal(a: &Rule, b: &Rule) -> bool {
+    for aa in &a.actions {
+        for ab in &b.actions {
+            if let (Some((d1, l1, at1, s1)), Some((d2, l2, at2, s2))) =
+                (action_state(aa), action_state(ab))
+            {
+                if d1 == d2 && at1 == at2 && l1.couples_with(l2) && s1 == s2 {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Do two time specs share any time of day (sampled at 15-minute steps)?
+fn timespecs_overlap(a: glint_rules::TimeSpec, b: glint_rules::TimeSpec) -> bool {
+    (0..96).any(|k| {
+        let h = k as f32 * 0.25;
+        a.matches(h) && b.matches(h)
+    })
+}
+
+/// Do the triggers of two rules overlap (same channel & coupled location, or
+/// genuinely overlapping times)? This is what makes two conflicting actions
+/// *concurrent* rather than merely opposed.
+fn triggers_overlap(a: &Rule, b: &Rule) -> bool {
+    match (&a.trigger, &b.trigger) {
+        (Trigger::Time(sa), Trigger::Time(sb)) => timespecs_overlap(*sa, *sb),
+        _ => match (a.trigger.channel(), b.trigger.channel()) {
+            (Some(ca), Some(cb)) => {
+                ca == cb
+                    && (ca.is_global() || a.trigger.location().couples_with(b.trigger.location()))
+                    && thresholds_compatible(&a.trigger, &b.trigger)
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Two threshold triggers on the same channel only overlap when some value
+/// satisfies both ("above 85" and "below 60" can never co-fire).
+fn thresholds_compatible(a: &Trigger, b: &Trigger) -> bool {
+    use glint_rules::Cmp;
+    let range = |t: &Trigger| -> Option<(f32, f32)> {
+        match t {
+            Trigger::ChannelThreshold { cmp: Cmp::Above, value, .. } => Some((*value, f32::MAX)),
+            Trigger::ChannelThreshold { cmp: Cmp::Below, value, .. } => Some((f32::MIN, *value)),
+            Trigger::ChannelRange { lo, hi, .. } => Some((*lo, *hi)),
+            _ => None,
+        }
+    };
+    match (range(a), range(b)) {
+        (Some((lo1, hi1)), Some((lo2, hi2))) => lo1.max(lo2) < hi1.min(hi2),
+        _ => true,
+    }
+}
+
+/// Can rule `a` (the trigger-er) realistically fire at all in circumstances
+/// where `b` is armed? Smoke/safety events co-occur with everything.
+fn concurrently_reachable(a: &Rule, b: &Rule) -> bool {
+    // a safety-event rule (smoke/leak) conflicts with anything scheduled
+    let safety = |r: &Rule| {
+        matches!(
+            r.trigger.channel(),
+            Some(Channel::Smoke) | Some(Channel::Leak)
+        )
+    };
+    safety(a) || safety(b) || triggers_overlap(a, b)
+}
+
+/// Does `rule`'s action falsify `cond` (set an opposing device state / mode)?
+fn action_falsifies_condition(rule: &Rule, cond: &Condition) -> bool {
+    for a in &rule.actions {
+        let Some((d, l, at, s)) = action_state(a) else { continue };
+        match cond {
+            Condition::DeviceState { device, location, attribute, state } => {
+                if d == *device && at == *attribute && l.couples_with(*location) && s.opposes(*state) {
+                    return true;
+                }
+            }
+            Condition::HomeMode(mode) => {
+                // arming/disarming/home/away actions falsify mode conditions
+                if at == glint_rules::Attribute::Mode && s.opposes(*mode) {
+                    return true;
+                }
+                // the paper's setting 4: disarm ⇒ "armed" condition blocked
+                if at == glint_rules::Attribute::Mode {
+                    if let (StateValue::Disarmed, StateValue::Armed)
+                    | (StateValue::Armed, StateValue::Disarmed)
+                    | (StateValue::HomeMode, StateValue::AwayMode)
+                    | (StateValue::AwayMode, StateValue::HomeMode) = (s, *mode)
+                    {
+                        return true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Channel-level intent of a rule's actions: (channel, net effect).
+fn channel_intents(r: &Rule) -> Vec<(Channel, glint_rules::Effect)> {
+    let mut out = Vec::new();
+    for a in &r.actions {
+        if let Some((d, _, _, s)) = action_state(a) {
+            out.extend(effective_affects(d, s));
+        }
+    }
+    out
+}
+
+/// Detect a directed action-trigger cycle among the rules.
+fn has_action_loop(rules: &[&Rule]) -> Option<Vec<u32>> {
+    let n = rules.len();
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && action_triggers(rules[i], rules[j]).is_some() {
+                adj[i].push(j);
+            }
+        }
+    }
+    // DFS cycle detection with path recovery
+    #[derive(Clone, Copy, PartialEq)]
+    enum C {
+        W,
+        G,
+        B,
+    }
+    fn dfs(u: usize, adj: &[Vec<usize>], color: &mut [C], path: &mut Vec<usize>) -> Option<Vec<usize>> {
+        color[u] = C::G;
+        path.push(u);
+        for &v in &adj[u] {
+            match color[v] {
+                C::G => {
+                    let start = path.iter().position(|&x| x == v).unwrap_or(0);
+                    return Some(path[start..].to_vec());
+                }
+                C::W => {
+                    if let Some(c) = dfs(v, adj, color, path) {
+                        return Some(c);
+                    }
+                }
+                C::B => {}
+            }
+        }
+        path.pop();
+        color[u] = C::B;
+        None
+    }
+    let mut color = vec![C::W; n];
+    for s in 0..n {
+        if color[s] == C::W {
+            let mut path = Vec::new();
+            if let Some(cycle) = dfs(s, &adj, &mut color, &mut path) {
+                return Some(cycle.into_iter().map(|i| rules[i].id.0).collect());
+            }
+        }
+    }
+    None
+}
+
+/// Apply all six policies to a rule set and report every finding.
+pub fn label_rules(rules: &[&Rule]) -> Vec<ThreatFinding> {
+    let mut findings = Vec::new();
+    let n = rules.len();
+
+    // action loop
+    if let Some(cycle) = has_action_loop(rules) {
+        findings.push(ThreatFinding { kind: ThreatKind::ActionLoop, rules: cycle });
+    }
+
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (a, b) = (rules[i], rules[j]);
+            // condition bypass: same goal, overlapping trigger, but one rule
+            // guards with strictly more conditions (the coarse rule bypasses
+            // the fine one's conditions)
+            if i < j
+                && same_action_goal(a, b)
+                && triggers_overlap(a, b)
+                && a.conditions.len() != b.conditions.len()
+            {
+                findings.push(ThreatFinding {
+                    kind: ThreatKind::ConditionBypass,
+                    rules: vec![a.id.0, b.id.0],
+                });
+            }
+            // condition block: a's action falsifies one of b's conditions
+            if b.conditions.iter().any(|c| action_falsifies_condition(a, c)) {
+                findings.push(ThreatFinding {
+                    kind: ThreatKind::ConditionBlock,
+                    rules: vec![a.id.0, b.id.0],
+                });
+            }
+            // action revert: a triggers b and b undoes a's device action
+            if action_triggers(a, b).is_some() && opposing_actions(a, b) {
+                findings.push(ThreatFinding {
+                    kind: ThreatKind::ActionRevert,
+                    rules: vec![a.id.0, b.id.0],
+                });
+            }
+            // action conflict: opposing device actions reachable in
+            // overlapping circumstances *without* a causal edge
+            if i < j
+                && opposing_actions(a, b)
+                && concurrently_reachable(a, b)
+                && action_triggers(a, b).is_none()
+                && action_triggers(b, a).is_none()
+            {
+                findings.push(ThreatFinding {
+                    kind: ThreatKind::ActionConflict,
+                    rules: vec![a.id.0, b.id.0],
+                });
+            }
+            // goal conflict: a triggers b via a channel and b's actions push
+            // that channel the other way with a *different* device
+            if let Some(glint_rules::correlation::Via::Channel(c)) = action_triggers(a, b) {
+                let a_intent = channel_intents(a).into_iter().find(|(ch, _)| *ch == c);
+                let b_intent = channel_intents(b).into_iter().find(|(ch, _)| *ch == c);
+                if let (Some((_, ea)), Some((_, eb))) = (a_intent, b_intent) {
+                    if ea.opposes(eb) && !opposing_actions(a, b) {
+                        findings.push(ThreatFinding {
+                            kind: ThreatKind::GoalConflict,
+                            rules: vec![a.id.0, b.id.0],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings.sort_by_key(|f| (f.kind.name(), f.rules.clone()));
+    findings.dedup();
+    findings
+}
+
+/// Graph-level label: threat iff any policy fires.
+pub fn is_vulnerable(rules: &[&Rule]) -> bool {
+    !label_rules(rules).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glint_rules::scenarios::{table4_settings, table4_threat_groups};
+
+    fn subset<'a>(rules: &'a [Rule], ids: &[u32]) -> Vec<&'a Rule> {
+        ids.iter().map(|id| rules.iter().find(|r| r.id.0 == *id).expect("rule exists")).collect()
+    }
+
+    #[test]
+    fn every_table4_group_is_flagged_with_its_type() {
+        let rules = table4_settings();
+        let expected = [
+            ("condition bypass", ThreatKind::ConditionBypass),
+            ("condition block", ThreatKind::ConditionBlock),
+            ("action revert", ThreatKind::ActionRevert),
+            ("action conflict", ThreatKind::ActionConflict),
+            ("action loop", ThreatKind::ActionLoop),
+            ("goal conflict", ThreatKind::GoalConflict),
+        ];
+        for (name, ids) in table4_threat_groups() {
+            let kind = expected.iter().find(|(n, _)| *n == name).unwrap().1;
+            let group = subset(&rules, &ids);
+            let findings = label_rules(&group);
+            assert!(
+                findings.iter().any(|f| f.kind == kind),
+                "{name} (rules {ids:?}) not detected as {kind:?}; got {findings:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn benign_rule_pairs_are_clean() {
+        let rules = table4_settings();
+        // setting 5 (light at 7pm) + setting 9 (lock at 10pm): unrelated
+        let group = subset(&rules, &[105, 109]);
+        assert!(label_rules(&group).is_empty(), "{:?}", label_rules(&group));
+    }
+
+    #[test]
+    fn single_rule_is_never_vulnerable() {
+        let rules = table4_settings();
+        for r in &rules {
+            assert!(label_rules(&[r]).is_empty(), "rule {} self-flagged", r.id.0);
+        }
+    }
+
+    #[test]
+    fn table1_running_example_is_vulnerable() {
+        // the paper's running example: the smoke-window interaction is unsafe
+        let rules = glint_rules::scenarios::table1_rules();
+        let all: Vec<&Rule> = rules.iter().collect();
+        assert!(is_vulnerable(&all));
+        // specifically rules 6 (open window on smoke) and 5 (close windows
+        // when AC on) revert/conflict on the window
+        let pair = subset(&rules, &[5, 6]);
+        let findings = label_rules(&pair);
+        assert!(
+            findings.iter().any(|f| matches!(f.kind, ThreatKind::ActionConflict | ThreatKind::ActionRevert)),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn findings_are_deduplicated_and_ordered() {
+        let rules = table4_settings();
+        let group = subset(&rules, &[110, 111]);
+        let findings = label_rules(&group);
+        let mut dedup = findings.clone();
+        dedup.dedup();
+        assert_eq!(findings, dedup);
+    }
+}

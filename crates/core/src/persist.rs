@@ -1,0 +1,95 @@
+//! Model persistence: save/load trained parameter sets (the cloud-provided
+//! "public GNN model" of §3.1 needs to ship to home hubs somehow).
+
+use glint_gnn::models::GraphModel;
+use glint_tensor::ParamSet;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+
+/// Save a model's parameters as JSON.
+pub fn save_params(model: &dyn GraphModel, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), model.params()).map_err(io::Error::other)
+}
+
+/// Load parameters into a freshly-constructed model of the same
+/// architecture. Returns how many tensors were restored (by name+shape).
+pub fn load_params(model: &mut dyn GraphModel, path: impl AsRef<Path>) -> io::Result<usize> {
+    let file = File::open(path)?;
+    let loaded: ParamSet = serde_json::from_reader(BufReader::new(file)).map_err(io::Error::other)?;
+    let n = model.params_mut().copy_matching_from(&loaded);
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "no parameters matched — wrong architecture?",
+        ));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glint_gnn::batch::PreparedGraph;
+    use glint_gnn::models::{GcnModel, GinModel, ModelConfig};
+    use glint_gnn::trainer::ClassifierTrainer;
+    use glint_graph::graph::{EdgeKind, Node};
+    use glint_graph::InteractionGraph;
+    use glint_rules::{Platform, RuleId};
+
+    fn graph() -> PreparedGraph {
+        let nodes: Vec<Node> = (0..4)
+            .map(|i| Node {
+                rule_id: RuleId(i),
+                platform: Platform::Ifttt,
+                features: vec![0.3 * i as f32, 0.5, -0.2, 0.9],
+            })
+            .collect();
+        let mut g = InteractionGraph::new(nodes);
+        g.add_edge(0, 1, EdgeKind::ActionTrigger);
+        g.add_edge(1, 2, EdgeKind::ActionTrigger);
+        g.add_edge(2, 3, EdgeKind::ActionTrigger);
+        PreparedGraph::from_graph(&g)
+    }
+
+    #[test]
+    fn save_load_round_trips_predictions() {
+        let dir = std::env::temp_dir().join("glint_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+
+        let model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 42 });
+        let g = graph();
+        let expected = ClassifierTrainer::predict_proba(&model, &g);
+        save_params(&model, &path).unwrap();
+
+        let mut restored = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 999 });
+        let n = load_params(&mut restored, &path).unwrap();
+        assert!(n > 0);
+        let actual = ClassifierTrainer::predict_proba(&restored, &g);
+        assert!((expected - actual).abs() < 1e-6, "{expected} vs {actual}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_architecture_matches_fewer_tensors() {
+        let dir = std::env::temp_dir().join("glint_persist_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 1 });
+        save_params(&model, &path).unwrap();
+        // GCN → GCN restores the whole set
+        let mut same = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 9 });
+        let full = load_params(&mut same, &path).unwrap();
+        assert_eq!(full, model.params().len());
+        // GIN's encoder params are named differently → only the shared
+        // fuse/head tensors (with matching shapes) restore
+        let mut other = GinModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 1 });
+        match load_params(&mut other, &path) {
+            Ok(n) => assert!(n < full, "architecture mismatch matched everything: {n}"),
+            Err(_) => {} // zero matches is also acceptable
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

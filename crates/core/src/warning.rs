@@ -1,0 +1,91 @@
+//! User-facing threat warnings (Figure 3): what happened, which rules are
+//! the likely causes, and where to go to fix them.
+
+use glint_rules::{render::render_rule, Rule};
+use serde::{Deserialize, Serialize};
+
+/// One implicated rule inside a warning.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ImplicatedRule {
+    pub rule_id: u32,
+    pub platform: String,
+    pub description: String,
+}
+
+/// A Glint notification (Figure 3a/3c).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Warning {
+    pub title: String,
+    /// Whether this came from the drift detector rather than the classifier.
+    pub drifting: bool,
+    pub causes: Vec<ImplicatedRule>,
+}
+
+impl Warning {
+    /// Build a warning from the implicated rules (ordered by importance).
+    pub fn new(drifting: bool, causes: &[&Rule]) -> Self {
+        let title = if drifting {
+            "Unusual automation interaction detected (possible new threat type)".to_string()
+        } else {
+            "Potential interactive bug detected!".to_string()
+        };
+        Self {
+            title,
+            drifting,
+            causes: causes
+                .iter()
+                .map(|r| ImplicatedRule {
+                    rule_id: r.id.0,
+                    platform: r.platform.name().to_string(),
+                    description: render_rule(r),
+                })
+                .collect(),
+        }
+    }
+
+    /// Render the notification body (the Figure 3c inspection list).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("GLINT NOTIFICATION\n{}\n\n", self.title));
+        out.push_str("We provide the following automation rules for further inspection.\n");
+        out.push_str("You may stop or update rule configurations in the corresponding app.\n\n");
+        for c in &self.causes {
+            out.push_str(&format!("  [{} Rule {}] {}\n", c.platform, c.rule_id, c.description));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glint_rules::scenarios::table1_rules;
+
+    #[test]
+    fn warning_lists_causes_with_platforms() {
+        let rules = table1_rules();
+        let causes: Vec<&Rule> = vec![&rules[4], &rules[5], &rules[8]];
+        let w = Warning::new(false, &causes);
+        assert_eq!(w.causes.len(), 3);
+        let text = w.render();
+        assert!(text.contains("IFTTT Rule 5"), "{text}");
+        assert!(text.contains("Alexa Skill Rule 9"), "{text}");
+        assert!(text.contains("Potential interactive bug"));
+    }
+
+    #[test]
+    fn drift_warning_has_distinct_title() {
+        let rules = table1_rules();
+        let w = Warning::new(true, &[&rules[0]]);
+        assert!(w.render().contains("new threat type"));
+    }
+
+    #[test]
+    fn warning_serializes() {
+        let rules = table1_rules();
+        let w = Warning::new(false, &[&rules[0]]);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Warning = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

@@ -1,0 +1,338 @@
+//! Graph preparation: adjacency variants, typed feature blocks, and
+//! metapath aggregation operators, precomputed once per graph.
+
+use glint_graph::hetero::{default_metapaths, metapath_instances, Metapath};
+use glint_graph::InteractionGraph;
+use glint_rules::Platform;
+use glint_tensor::{Csr, Matrix};
+
+/// Dataset-level schema: which node types occur and their feature dims.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSchema {
+    /// (platform, feature dim), sorted by platform type index.
+    pub types: Vec<(Platform, usize)>,
+}
+
+impl GraphSchema {
+    /// Infer the schema from a set of graphs.
+    pub fn infer<'a>(graphs: impl IntoIterator<Item = &'a InteractionGraph>) -> Self {
+        let mut types: Vec<(Platform, usize)> = Vec::new();
+        for g in graphs {
+            for n in g.nodes() {
+                match types.iter().find(|(p, _)| *p == n.platform) {
+                    Some((p, d)) => assert_eq!(
+                        *d,
+                        n.features.len(),
+                        "inconsistent feature dim for {p:?}"
+                    ),
+                    None => types.push((n.platform, n.features.len())),
+                }
+            }
+        }
+        types.sort_by_key(|(p, _)| p.type_index());
+        Self { types }
+    }
+
+    pub fn is_heterogeneous(&self) -> bool {
+        self.types.len() > 1
+    }
+
+    /// Feature dim of the single type (panics when heterogeneous).
+    pub fn homo_dim(&self) -> usize {
+        assert_eq!(self.types.len(), 1, "homo_dim on a heterogeneous schema");
+        self.types[0].1
+    }
+
+    pub fn dim_of(&self, p: Platform) -> Option<usize> {
+        self.types.iter().find(|(q, _)| *q == p).map(|(_, d)| *d)
+    }
+}
+
+/// One node type's features inside a graph.
+#[derive(Clone, Debug)]
+pub struct TypeBlock {
+    pub platform: Platform,
+    /// Node indices of this type (sorted).
+    pub indices: Vec<usize>,
+    /// k × d_type feature rows, aligned with `indices`.
+    pub feats: Matrix,
+    /// n × k selection operator (scatter rows back into graph positions).
+    pub select: Csr,
+}
+
+/// A metapath aggregation operator: `agg · H` averages, per start node, the
+/// projected features over all instances of the metapath.
+#[derive(Clone, Debug)]
+pub struct MetapathOp {
+    pub path: Metapath,
+    /// n × n averaging operator (zero rows where no instance starts).
+    pub agg: Csr,
+    /// Start nodes that have at least one instance.
+    pub valid_rows: Vec<usize>,
+}
+
+/// A graph with everything the models need, precomputed.
+#[derive(Clone, Debug)]
+pub struct PreparedGraph {
+    pub n: usize,
+    /// Symmetrically normalized adjacency with self loops (GCN propagation).
+    pub adj_norm: Csr,
+    /// Row-normalized adjacency, no self loops (mean aggregation).
+    pub adj_row: Csr,
+    /// Unnormalized symmetric 0/1 adjacency, no self loops (GIN sum agg).
+    pub adj_sum: Csr,
+    pub by_type: Vec<TypeBlock>,
+    pub metapath_ops: Vec<MetapathOp>,
+    pub label: Option<usize>,
+    pub is_hetero: bool,
+}
+
+impl PreparedGraph {
+    pub fn from_graph(g: &InteractionGraph) -> Self {
+        let n = g.n_nodes();
+        assert!(n > 0, "cannot prepare an empty graph");
+        let undirected = g.undirected_edges();
+        let adj_norm = Csr::normalized_adjacency(n, &undirected);
+        let adj_row = Csr::row_normalized(n, &undirected);
+        let mut sum_triplets = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in &undirected {
+            if u != v && seen.insert((u, v)) {
+                sum_triplets.push((u, v, 1.0));
+            }
+            if u != v && seen.insert((v, u)) {
+                sum_triplets.push((v, u, 1.0));
+            }
+        }
+        let adj_sum = Csr::from_triplets(n, n, &sum_triplets);
+
+        // typed feature blocks
+        let mut by_type: Vec<TypeBlock> = Vec::new();
+        for (platform, indices) in glint_graph::hetero::nodes_by_type(g) {
+            let dim = g.node(indices[0]).features.len();
+            let mut feats = Matrix::zeros(indices.len(), dim);
+            for (k, &i) in indices.iter().enumerate() {
+                assert_eq!(g.node(i).features.len(), dim, "ragged features within a type");
+                feats.row_mut(k).copy_from_slice(&g.node(i).features);
+            }
+            let select = Csr::from_triplets(
+                n,
+                indices.len(),
+                &indices.iter().enumerate().map(|(k, &i)| (i, k, 1.0)).collect::<Vec<_>>(),
+            );
+            by_type.push(TypeBlock { platform, indices, feats, select });
+        }
+
+        // metapath operators: identity path per type + default schemas
+        let mut metapath_ops = Vec::new();
+        for block in &by_type {
+            // identity metapath [A]: node aggregates itself
+            let path = Metapath(vec![block.platform]);
+            let agg = Csr::from_triplets(
+                n,
+                n,
+                &block.indices.iter().map(|&i| (i, i, 1.0)).collect::<Vec<_>>(),
+            );
+            metapath_ops.push(MetapathOp { path, agg, valid_rows: block.indices.clone() });
+        }
+        for path in default_metapaths(g) {
+            let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+            let mut valid_rows = Vec::new();
+            for v in 0..n {
+                let instances = metapath_instances(g, v, &path);
+                if instances.is_empty() {
+                    continue;
+                }
+                valid_rows.push(v);
+                // average projected features over all nodes of all instances
+                let total = (instances.len() * path.len()) as f32;
+                for inst in &instances {
+                    for &u in inst {
+                        triplets.push((v, u, 1.0 / total));
+                    }
+                }
+            }
+            if valid_rows.is_empty() {
+                continue;
+            }
+            metapath_ops.push(MetapathOp {
+                path,
+                agg: Csr::from_triplets(n, n, &triplets),
+                valid_rows,
+            });
+        }
+
+        Self {
+            n,
+            adj_norm,
+            adj_row,
+            adj_sum,
+            by_type,
+            metapath_ops,
+            label: g.label.map(|l| l.class()),
+            is_hetero: g.is_heterogeneous(),
+        }
+    }
+
+    /// Uniform feature matrix for homogeneous graphs.
+    pub fn homo_features(&self) -> Matrix {
+        assert_eq!(self.by_type.len(), 1, "homo_features on heterogeneous graph");
+        let block = &self.by_type[0];
+        // indices are 0..n in order for single-type graphs
+        let mut feats = Matrix::zeros(self.n, block.feats.cols());
+        for (k, &i) in block.indices.iter().enumerate() {
+            feats.row_mut(i).copy_from_slice(block.feats.row(k));
+        }
+        feats
+    }
+
+    /// Prepare a whole dataset.
+    pub fn prepare_all(graphs: &[InteractionGraph]) -> Vec<PreparedGraph> {
+        graphs.iter().map(Self::from_graph).collect()
+    }
+}
+
+/// Shared fixtures for this crate's unit tests.
+#[cfg(test)]
+pub mod tests_support {
+    use super::*;
+    use glint_graph::graph::{EdgeKind, GraphLabel, Node};
+    use glint_rules::RuleId;
+
+    /// A line graph of `n` homogeneous IFTTT nodes with `dim`-d features.
+    pub fn homo_line_graph(n: usize, dim: usize) -> InteractionGraph {
+        let nodes: Vec<Node> = (0..n)
+            .map(|i| Node {
+                rule_id: RuleId(i as u32),
+                platform: Platform::Ifttt,
+                features: (0..dim).map(|d| ((i * 7 + d * 3) % 5) as f32 / 5.0 + 0.1).collect(),
+            })
+            .collect();
+        let mut g = InteractionGraph::new(nodes);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1, EdgeKind::ActionTrigger);
+        }
+        g
+    }
+
+    /// Two structurally different prepared graphs with identical dims.
+    pub fn labeled_pair(dim: usize) -> (PreparedGraph, PreparedGraph) {
+        let a = homo_line_graph(5, dim).with_label(GraphLabel::Normal);
+        let mut b_raw = homo_line_graph(5, dim);
+        b_raw.add_edge(4, 0, EdgeKind::ActionTrigger); // close the loop
+        b_raw.add_edge(2, 0, EdgeKind::ActionTrigger);
+        let b = b_raw.with_label(GraphLabel::Threat);
+        (PreparedGraph::from_graph(&a), PreparedGraph::from_graph(&b))
+    }
+
+    /// A small heterogeneous prepared graph (IFTTT 4-d, Alexa 6-d).
+    pub fn hetero_small() -> PreparedGraph {
+        let mut g = InteractionGraph::new(vec![
+            Node { rule_id: RuleId(0), platform: Platform::Ifttt, features: vec![0.4; 4] },
+            Node { rule_id: RuleId(1), platform: Platform::Alexa, features: vec![0.2; 6] },
+            Node { rule_id: RuleId(2), platform: Platform::Ifttt, features: vec![0.9; 4] },
+            Node { rule_id: RuleId(3), platform: Platform::SmartThings, features: vec![0.5; 4] },
+        ]);
+        g.add_edge(0, 1, EdgeKind::ActionTrigger);
+        g.add_edge(1, 2, EdgeKind::ActionTrigger);
+        g.add_edge(2, 3, EdgeKind::ActionTrigger);
+        PreparedGraph::from_graph(&g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glint_graph::graph::{EdgeKind, Node};
+    use glint_rules::RuleId;
+
+    fn node(id: u32, platform: Platform, feats: Vec<f32>) -> Node {
+        Node { rule_id: RuleId(id), platform, features: feats }
+    }
+
+    fn homo_graph() -> InteractionGraph {
+        let mut g = InteractionGraph::new(vec![
+            node(0, Platform::Ifttt, vec![1.0, 0.0]),
+            node(1, Platform::Ifttt, vec![0.0, 1.0]),
+            node(2, Platform::Ifttt, vec![1.0, 1.0]),
+        ]);
+        g.add_edge(0, 1, EdgeKind::ActionTrigger);
+        g.add_edge(1, 2, EdgeKind::ActionTrigger);
+        g
+    }
+
+    fn hetero_graph() -> InteractionGraph {
+        let mut g = InteractionGraph::new(vec![
+            node(0, Platform::Ifttt, vec![1.0, 0.0]),
+            node(1, Platform::Alexa, vec![0.5, 0.5, 0.5]),
+            node(2, Platform::Ifttt, vec![0.0, 1.0]),
+        ]);
+        g.add_edge(0, 1, EdgeKind::ActionTrigger);
+        g.add_edge(1, 2, EdgeKind::ActionTrigger);
+        g
+    }
+
+    #[test]
+    fn schema_inference() {
+        let graphs = [homo_graph()];
+        let s = GraphSchema::infer(graphs.iter());
+        assert!(!s.is_heterogeneous());
+        assert_eq!(s.homo_dim(), 2);
+        let graphs2 = [hetero_graph()];
+        let s2 = GraphSchema::infer(graphs2.iter());
+        assert!(s2.is_heterogeneous());
+        assert_eq!(s2.dim_of(Platform::Alexa), Some(3));
+    }
+
+    #[test]
+    fn homo_features_round_trip() {
+        let p = PreparedGraph::from_graph(&homo_graph());
+        let f = p.homo_features();
+        assert_eq!(f.row(0), &[1.0, 0.0]);
+        assert_eq!(f.row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn type_blocks_select_operators() {
+        let p = PreparedGraph::from_graph(&hetero_graph());
+        assert_eq!(p.by_type.len(), 2);
+        let ifttt = p.by_type.iter().find(|b| b.platform == Platform::Ifttt).unwrap();
+        assert_eq!(ifttt.indices, vec![0, 2]);
+        // select is n×k: scattering [a;b] puts a at row 0, b at row 2
+        let scattered = ifttt.select.spmm(&Matrix::from_rows(&[vec![7.0], vec![9.0]]));
+        assert_eq!(scattered.get(0, 0), 7.0);
+        assert_eq!(scattered.get(1, 0), 0.0);
+        assert_eq!(scattered.get(2, 0), 9.0);
+    }
+
+    #[test]
+    fn metapath_ops_rows_average_to_one() {
+        let p = PreparedGraph::from_graph(&hetero_graph());
+        for op in &p.metapath_ops {
+            let d = op.agg.to_dense();
+            for &v in &op.valid_rows {
+                let s: f32 = (0..p.n).map(|c| d.get(v, c)).sum();
+                assert!((s - 1.0).abs() < 1e-5, "path {:?} row {v} sums {s}", op.path);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_paths_cover_every_node() {
+        let p = PreparedGraph::from_graph(&hetero_graph());
+        let mut covered = vec![false; p.n];
+        for op in p.metapath_ops.iter().filter(|o| o.path.len() == 1) {
+            for &v in &op.valid_rows {
+                covered[v] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "identity metapaths must cover all nodes");
+    }
+
+    #[test]
+    fn adjacency_variants_consistent() {
+        let p = PreparedGraph::from_graph(&homo_graph());
+        assert_eq!(p.adj_sum.nnz(), 4); // 2 undirected edges
+        assert!(p.adj_norm.is_symmetric(1e-6));
+    }
+}

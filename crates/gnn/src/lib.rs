@@ -1,0 +1,33 @@
+//! # glint-gnn
+//!
+//! Graph neural networks from scratch on the `glint-tensor` autograd
+//! substrate — the reproduction of the paper's model zoo:
+//!
+//! | Paper model | Here |
+//! |---|---|
+//! | ITGNN (the contribution, Alg. 2) | [`models::itgnn::Itgnn`] |
+//! | GCN (Kipf & Welling) | [`models::gcn::GcnModel`] |
+//! | GIN (Xu et al.) | [`models::gin::GinModel`] |
+//! | GXN (graph cross network, VIPool) | [`models::gxn::GxnModel`] |
+//! | InfoGraph (IFG) | [`models::infograph::InfoGraphModel`] |
+//! | MAGCN / MAGXN (MAGNN converter + GCN/GXN) | [`models::hetero::MagcnModel`], [`models::hetero::MagxnModel`] |
+//! | HGSL (heterogeneous graph structure learning) | [`models::hetero::HgslModel`] |
+//!
+//! Shared machinery: [`batch::PreparedGraph`] (adjacency variants + typed
+//! feature blocks + metapath operators), [`layers`] (GCN / GIN / TAG
+//! convolutions, readouts), [`metapath::MetapathEncoder`] (MAGNN-style
+//! node transformation), [`vipool::VIPool`] (vertex-infomax pooling with the
+//! Eq. 2 auxiliary loss), [`trainer`] (ITGNN-S classification training,
+//! ITGNN-C contrastive training, evaluation).
+
+pub mod batch;
+pub mod layers;
+pub mod loss;
+pub mod metapath;
+pub mod models;
+pub mod trainer;
+pub mod vipool;
+
+pub use batch::{GraphSchema, PreparedGraph};
+pub use models::{GraphModel, ModelOutput};
+pub use trainer::{ClassifierTrainer, ContrastiveTrainer, TrainConfig};

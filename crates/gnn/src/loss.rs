@@ -1,0 +1,102 @@
+//! Loss composition helpers: Eq. (2) total loss assembly and contrastive
+//! pair sampling for Eq. (1).
+
+use glint_tensor::{Tape, Var};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Combine the weighted classification loss with the β-weighted pooling loss
+/// (Eq. 2): `L = L_cls + β · L_pool`.
+pub fn eq2_total(tape: &mut Tape, cls_loss: Var, aux_loss: Option<Var>, beta: f32) -> Var {
+    match aux_loss {
+        Some(aux) if beta > 0.0 => {
+            let scaled = tape.scale(aux, beta);
+            tape.add(cls_loss, scaled)
+        }
+        _ => cls_loss,
+    }
+}
+
+/// Sample index pairs for contrastive training: roughly half same-label,
+/// half different-label, drawn without replacement per epoch where possible.
+pub fn sample_pairs(labels: &[usize], n_pairs: usize, rng: &mut StdRng) -> Vec<(usize, usize, bool)> {
+    let pos: Vec<usize> = labels.iter().enumerate().filter(|(_, &l)| l == 1).map(|(i, _)| i).collect();
+    let neg: Vec<usize> = labels.iter().enumerate().filter(|(_, &l)| l == 0).map(|(i, _)| i).collect();
+    let mut pairs = Vec::with_capacity(n_pairs);
+    for k in 0..n_pairs {
+        let same = k % 2 == 0;
+        let pick2 = |v: &Vec<usize>, rng: &mut StdRng| -> Option<(usize, usize)> {
+            if v.len() < 2 {
+                return None;
+            }
+            let a = v[rng.gen_range(0..v.len())];
+            let mut b = v[rng.gen_range(0..v.len())];
+            let mut guard = 0;
+            while b == a && guard < 10 {
+                b = v[rng.gen_range(0..v.len())];
+                guard += 1;
+            }
+            (a != b).then_some((a, b))
+        };
+        if same {
+            // same-label pair from whichever class can supply one
+            let classes: Vec<&Vec<usize>> = {
+                let mut c = vec![&pos, &neg];
+                c.shuffle(rng);
+                c
+            };
+            if let Some((a, b)) = classes.iter().find_map(|v| pick2(v, rng)) {
+                pairs.push((a, b, true));
+            }
+        } else if !pos.is_empty() && !neg.is_empty() {
+            let a = pos[rng.gen_range(0..pos.len())];
+            let b = neg[rng.gen_range(0..neg.len())];
+            pairs.push((a, b, false));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glint_tensor::Matrix;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eq2_adds_beta_weighted_aux() {
+        let mut tape = Tape::new();
+        let cls = tape.constant(Matrix::full(1, 1, 1.0));
+        let aux = tape.constant(Matrix::full(1, 1, 2.0));
+        let total = eq2_total(&mut tape, cls, Some(aux), 0.5);
+        assert!((tape.value(total).get(0, 0) - 2.0).abs() < 1e-6);
+        let total_no_aux = eq2_total(&mut tape, cls, None, 0.5);
+        assert_eq!(tape.value(total_no_aux).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn pair_sampling_mix() {
+        let labels = [0, 0, 0, 0, 1, 1, 1, 1];
+        let mut rng = StdRng::seed_from_u64(1);
+        let pairs = sample_pairs(&labels, 40, &mut rng);
+        assert!(pairs.len() >= 38);
+        let same = pairs.iter().filter(|(_, _, s)| *s).count();
+        let diff = pairs.len() - same;
+        assert!(same >= 15 && diff >= 15, "same={same} diff={diff}");
+        for &(a, b, same) in &pairs {
+            assert_ne!(a, b);
+            assert_eq!(labels[a] == labels[b], same);
+        }
+    }
+
+    #[test]
+    fn pair_sampling_single_class_degrades_gracefully() {
+        let labels = [0, 0, 0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let pairs = sample_pairs(&labels, 10, &mut rng);
+        // only same-label pairs are possible
+        assert!(pairs.iter().all(|(_, _, s)| *s));
+        assert!(!pairs.is_empty());
+    }
+}

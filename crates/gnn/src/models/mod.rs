@@ -1,0 +1,53 @@
+//! The model zoo: every architecture the paper evaluates.
+
+pub mod gcn;
+pub mod gin;
+pub mod gxn;
+pub mod hetero;
+pub mod infograph;
+pub mod itgnn;
+
+use crate::batch::PreparedGraph;
+use glint_tensor::{ParamSet, Tape, Var};
+
+pub use gcn::GcnModel;
+pub use gin::GinModel;
+pub use gxn::GxnModel;
+pub use hetero::{HgslModel, MagcnModel, MagxnModel};
+pub use infograph::InfoGraphModel;
+pub use itgnn::{Itgnn, ItgnnConfig};
+
+/// Result of one forward pass over a single graph.
+pub struct ModelOutput {
+    /// Graph-level embedding (`1 × embed_dim`).
+    pub embedding: Var,
+    /// Class logits (`1 × 2`).
+    pub logits: Var,
+    /// Auxiliary (pooling / infomax) loss to add with weight β, if any.
+    pub aux_loss: Option<Var>,
+}
+
+/// A trainable graph-classification model.
+pub trait GraphModel {
+    fn name(&self) -> &'static str;
+    fn params(&self) -> &ParamSet;
+    fn params_mut(&mut self) -> &mut ParamSet;
+    /// Dimension of [`ModelOutput::embedding`].
+    fn embed_dim(&self) -> usize;
+    /// Forward pass. `vars` must come from `self.params().bind(tape)`.
+    fn forward(&self, tape: &mut Tape, vars: &[Var], g: &PreparedGraph) -> ModelOutput;
+}
+
+/// Shared hyper-parameters for the baseline models.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    pub hidden: usize,
+    pub embed: usize,
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self { hidden: 64, embed: 64, seed: 0 }
+    }
+}

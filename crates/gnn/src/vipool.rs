@@ -1,0 +1,241 @@
+//! Vertex-infomax pooling (VIPool, from GXN) — the multi-scale graph
+//! generator of ITGNN (Algorithm 2 lines 15–21) together with the auxiliary
+//! pooling loss `L_pool` of Eq. (2).
+//!
+//! Each vertex is scored by an estimate of the mutual information between
+//! its own embedding and its neighbourhood's: `s_v = σ(W_s [h_v ‖ h_{N(v)}])`.
+//! The top-⌈ratio·n⌉ vertices are kept (features gated by their scores so
+//! gradients reach the scorer), and the infomax objective is a BCE that
+//! discriminates true (vertex, neighbourhood) pairs from shuffled ones.
+
+use glint_tensor::optim::ParamId;
+use glint_tensor::{init, Csr, Matrix, ParamSet, Tape, Var};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One VIPool stage.
+#[derive(Clone, Debug)]
+pub struct VIPool {
+    w: ParamId,
+    b: ParamId,
+    /// Bilinear interaction factors: the MI discriminator must score the
+    /// *correlation* between a vertex and its neighbourhood, which a linear
+    /// map on the concatenation cannot express (identical marginals).
+    bilin_a: ParamId,
+    bilin_b: ParamId,
+    pub ratio: f32,
+}
+
+/// Output of a pooling step.
+pub struct Pooled {
+    /// Gated, pooled node features (k × d).
+    pub h: Var,
+    /// Normalized adjacency of the induced subgraph.
+    pub adj_norm: Csr,
+    /// Row-normalized adjacency of the induced subgraph.
+    pub adj_row: Csr,
+    /// Kept node indices (into the pre-pool graph), sorted.
+    pub kept: Vec<usize>,
+    /// Infomax BCE loss for this stage (the `L_pool` summand).
+    pub pool_loss: Var,
+}
+
+impl VIPool {
+    pub fn new(params: &mut ParamSet, prefix: &str, dim: usize, ratio: f32, rng: &mut StdRng) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0);
+        let k = dim.min(16);
+        let w = params.add(format!("{prefix}.w"), init::xavier_uniform(rng, 2 * dim, 1));
+        let b = params.add(format!("{prefix}.b"), Matrix::zeros(1, 1));
+        let bilin_a = params.add(format!("{prefix}.ba"), init::xavier_uniform(rng, dim, k));
+        let bilin_b = params.add(format!("{prefix}.bb"), init::xavier_uniform(rng, dim, k));
+        Self { w, b, bilin_a, bilin_b, ratio }
+    }
+
+    /// Discriminator logits for (vertex, neighbourhood) rows:
+    /// `z = rowsum((H A) ∘ (N B)) + [H ‖ N] w + b`.
+    fn score(&self, tape: &mut Tape, vars: &[Var], h: Var, neigh: Var) -> Var {
+        let pair = tape.concat_cols(h, neigh);
+        let linear = tape.linear(pair, vars[self.w.0], vars[self.b.0]); // n × 1
+        let ha = tape.matmul(h, vars[self.bilin_a.0]);
+        let nb = tape.matmul(neigh, vars[self.bilin_b.0]);
+        let prod = tape.mul(ha, nb);
+        let k = tape.value(prod).cols();
+        let ones = tape.constant(Matrix::full(k, 1, 1.0));
+        let bilinear = tape.matmul(prod, ones); // n × 1
+        tape.add(linear, bilinear)
+    }
+
+    /// Score, select, gate, and compute the infomax loss.
+    ///
+    /// `adj_row` provides the mean-neighbourhood operator; `seed` drives the
+    /// negative-sample shuffle (deterministic per call site).
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        vars: &[Var],
+        adj_norm: &Csr,
+        adj_row: &Csr,
+        h: Var,
+        seed: u64,
+    ) -> Pooled {
+        let n = tape.value(h).rows();
+        let d = tape.value(h).cols();
+        let neigh = tape.spmm(adj_row, h);
+        let logits = self.score(tape, vars, h, neigh); // n × 1
+        let scores = tape.sigmoid(logits);
+
+        // negatives: same vertices paired with a shuffled neighbourhood
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        perm.shuffle(&mut rng);
+        // ensure it deranges something for n ≥ 2
+        if n >= 2 && perm.iter().enumerate().all(|(i, &p)| i == p) {
+            perm.swap(0, 1);
+        }
+        let shuffled_neigh = tape.gather_rows(neigh, &perm);
+        let neg_logits = self.score(tape, vars, h, shuffled_neigh);
+        let pos_loss = tape.bce_with_logits(logits, &vec![1.0; n]);
+        let neg_loss = tape.bce_with_logits(neg_logits, &vec![0.0; n]);
+        let sum = tape.add(pos_loss, neg_loss);
+        let pool_loss = tape.scale(sum, 0.5);
+
+        // top-k selection by score value (selection itself non-differentiable)
+        let k = ((self.ratio * n as f32).ceil() as usize).clamp(1, n);
+        let score_vals = tape.value(scores).clone();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| score_vals.get(b, 0).partial_cmp(&score_vals.get(a, 0)).unwrap());
+        let mut kept: Vec<usize> = order[..k].to_vec();
+        kept.sort_unstable();
+
+        // gate features by scores so the scorer receives task gradients
+        let ones = tape.constant(Matrix::full(1, d, 1.0));
+        let gate = tape.matmul(scores, ones); // n × d
+        let gated = tape.mul(h, gate);
+        let pooled_h = tape.gather_rows(gated, &kept);
+
+        // induced sub-adjacency, re-normalized
+        let sub_edges = induced_edges(adj_row, &kept);
+        let adj_norm_sub = Csr::normalized_adjacency(k, &sub_edges);
+        let adj_row_sub = Csr::row_normalized(k, &sub_edges);
+        let _ = adj_norm; // kept in the signature for symmetry with callers
+        Pooled { h: pooled_h, adj_norm: adj_norm_sub, adj_row: adj_row_sub, kept, pool_loss }
+    }
+}
+
+/// Edges of the induced subgraph on `kept` (kept must be sorted), relabelled
+/// to 0..k.
+fn induced_edges(adj: &Csr, kept: &[usize]) -> Vec<(usize, usize)> {
+    let mut remap = vec![usize::MAX; adj.cols()];
+    for (new, &old) in kept.iter().enumerate() {
+        remap[old] = new;
+    }
+    let mut edges = Vec::new();
+    for (new_r, &old_r) in kept.iter().enumerate() {
+        for (c, _v) in adj.row_iter(old_r) {
+            if remap[c] != usize::MAX && remap[c] != new_r {
+                edges.push((new_r, remap[c]));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize, ratio: f32) -> (ParamSet, VIPool, Csr, Csr, Matrix) {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pool = VIPool::new(&mut params, "pool", 4, ratio, &mut rng);
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let adj_norm = Csr::normalized_adjacency(n, &edges);
+        let adj_row = Csr::row_normalized(n, &edges);
+        let feats = init::uniform(&mut rng, n, 4, 1.0);
+        (params, pool, adj_norm, adj_row, feats)
+    }
+
+    #[test]
+    fn pooling_keeps_ratio_fraction() {
+        let (params, pool, adj_norm, adj_row, feats) = setup(10, 0.6);
+        let mut tape = Tape::new();
+        let vars = params.bind(&mut tape);
+        let h = tape.var(feats);
+        let out = pool.forward(&mut tape, &vars, &adj_norm, &adj_row, h, 1);
+        assert_eq!(out.kept.len(), 6);
+        assert_eq!(tape.value(out.h).shape(), (6, 4));
+        assert_eq!(out.adj_norm.rows(), 6);
+    }
+
+    #[test]
+    fn ratio_one_keeps_everything() {
+        let (params, pool, adj_norm, adj_row, feats) = setup(5, 1.0);
+        let mut tape = Tape::new();
+        let vars = params.bind(&mut tape);
+        let h = tape.var(feats);
+        let out = pool.forward(&mut tape, &vars, &adj_norm, &adj_row, h, 2);
+        assert_eq!(out.kept, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_loss_is_finite_and_positive() {
+        let (params, pool, adj_norm, adj_row, feats) = setup(8, 0.5);
+        let mut tape = Tape::new();
+        let vars = params.bind(&mut tape);
+        let h = tape.var(feats);
+        let out = pool.forward(&mut tape, &vars, &adj_norm, &adj_row, h, 3);
+        let loss = tape.value(out.pool_loss).get(0, 0);
+        assert!(loss.is_finite() && loss > 0.0, "pool loss {loss}");
+    }
+
+    #[test]
+    fn gradients_reach_scorer_via_gating() {
+        let (params, pool, adj_norm, adj_row, feats) = setup(6, 0.5);
+        let mut tape = Tape::new();
+        let vars = params.bind(&mut tape);
+        let h = tape.var(feats);
+        let out = pool.forward(&mut tape, &vars, &adj_norm, &adj_row, h, 4);
+        // task-style loss on pooled features only (no pool_loss term)
+        let loss = tape.mean_all(out.h);
+        let grads = tape.backward(loss);
+        let w_grad = grads.get(vars[0]).expect("scorer weight grad");
+        assert!(w_grad.norm() > 0.0, "gating must route task gradients to the scorer");
+    }
+
+    #[test]
+    fn training_on_infomax_reduces_loss() {
+        let (mut params, pool, adj_norm, adj_row, feats) = setup(12, 0.5);
+        let mut opt = glint_tensor::Adam::new(0.02);
+        let mut losses = Vec::new();
+        // fixed shuffle (seed 0) so the discriminator has a learnable target
+        for _ in 0..80 {
+            let mut tape = Tape::new();
+            let vars = params.bind(&mut tape);
+            let h = tape.constant(feats.clone());
+            let out = pool.forward(&mut tape, &vars, &adj_norm, &adj_row, h, 0);
+            let grads = tape.backward(out.pool_loss);
+            losses.push(tape.value(out.pool_loss).get(0, 0));
+            use glint_tensor::Optimizer;
+            opt.step(&mut params, &vars, &grads);
+        }
+        let first = losses[0];
+        let last = *losses.last().unwrap();
+        assert!(last < first, "infomax loss should fall: {first} → {last}");
+        assert!(last < 0.693, "infomax loss should fall below ln 2, got {last}");
+    }
+
+    #[test]
+    fn single_node_graph_is_safe() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let pool = VIPool::new(&mut params, "pool", 3, 0.5, &mut rng);
+        let adj_norm = Csr::normalized_adjacency(1, &[]);
+        let adj_row = Csr::row_normalized(1, &[]);
+        let mut tape = Tape::new();
+        let vars = params.bind(&mut tape);
+        let h = tape.var(Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]));
+        let out = pool.forward(&mut tape, &vars, &adj_norm, &adj_row, h, 5);
+        assert_eq!(out.kept, vec![0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the GNN stack: permutation invariance,
+//! determinism, and budget sanity across the model zoo.
+
+use glint_gnn::batch::PreparedGraph;
+use glint_gnn::models::{
+    GcnModel, GinModel, GraphModel, GxnModel, Itgnn, ItgnnConfig, MagcnModel, ModelConfig,
+};
+use glint_gnn::trainer::ClassifierTrainer;
+use glint_graph::graph::{EdgeKind, Node};
+use glint_graph::InteractionGraph;
+use glint_rules::{Platform, RuleId};
+use glint_tensor::Tape;
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = InteractionGraph> {
+    (2usize..7, proptest::collection::vec((0usize..7, 0usize..7), 1..10), 0u64..1000).prop_map(
+        |(n, raw_edges, seed)| {
+            let nodes: Vec<Node> = (0..n)
+                .map(|i| Node {
+                    rule_id: RuleId(i as u32),
+                    platform: Platform::Ifttt,
+                    features: (0..4)
+                        .map(|d| (((seed as usize + i * 31 + d * 7) % 97) as f32) / 97.0 - 0.5)
+                        .collect(),
+                })
+                .collect();
+            let mut g = InteractionGraph::new(nodes);
+            for (u, v) in raw_edges {
+                if u % n != v % n {
+                    g.add_edge(u % n, v % n, EdgeKind::ActionTrigger);
+                }
+            }
+            g
+        },
+    )
+}
+
+fn permute(g: &InteractionGraph, perm: &[usize]) -> InteractionGraph {
+    // perm[new] = old
+    let nodes: Vec<Node> = perm.iter().map(|&old| g.node(old).clone()).collect();
+    let inv = {
+        let mut inv = vec![0usize; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        inv
+    };
+    let mut out = InteractionGraph::new(nodes);
+    for &(u, v, kind) in g.edges() {
+        out.add_edge(inv[u], inv[v], kind);
+    }
+    out
+}
+
+fn embed(model: &dyn GraphModel, g: &InteractionGraph) -> Vec<f32> {
+    let p = PreparedGraph::from_graph(g);
+    let mut tape = Tape::new();
+    let vars = model.params().bind(&mut tape);
+    let out = model.forward(&mut tape, &vars, &p);
+    tape.value(out.embedding).data().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GCN / GIN / MAGCN graph embeddings are invariant to node relabeling
+    /// (mean/max/sum readouts over permutation-equivariant layers).
+    #[test]
+    fn embeddings_are_permutation_invariant(g in graph_strategy(), rot in 1usize..5) {
+        let n = g.n_nodes();
+        let perm: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
+        let pg = permute(&g, &perm);
+        let cfg = ModelConfig { hidden: 8, embed: 8, seed: 3 };
+        let models: Vec<Box<dyn GraphModel>> = vec![
+            Box::new(GcnModel::new(4, cfg)),
+            Box::new(GinModel::new(4, cfg)),
+            Box::new(MagcnModel::new(&[(Platform::Ifttt, 4)], 8, 8, 3)),
+        ];
+        for model in &models {
+            let a = embed(&**model, &g);
+            let b = embed(&**model, &pg);
+            let dist: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            prop_assert!(dist < 1e-6, "{} not permutation invariant: {dist}", model.name());
+        }
+    }
+
+    /// Forward passes are deterministic (same graph → same logits).
+    #[test]
+    fn forward_is_deterministic(g in graph_strategy()) {
+        let model = Itgnn::homogeneous(
+            Platform::Ifttt,
+            4,
+            ItgnnConfig { hidden: 8, embed: 8, n_scales: 2, ..Default::default() },
+        );
+        let a = embed(&model, &g);
+        let b = embed(&model, &g);
+        prop_assert_eq!(a, b);
+    }
+
+    /// All models produce finite logits on arbitrary small graphs.
+    #[test]
+    fn model_zoo_outputs_are_finite(g in graph_strategy()) {
+        let cfg = ModelConfig { hidden: 8, embed: 8, seed: 5 };
+        let p = PreparedGraph::from_graph(&g);
+        let models: Vec<Box<dyn GraphModel>> = vec![
+            Box::new(GcnModel::new(4, cfg)),
+            Box::new(GinModel::new(4, cfg)),
+            Box::new(GxnModel::new(4, cfg)),
+            Box::new(Itgnn::homogeneous(
+                Platform::Ifttt,
+                4,
+                ItgnnConfig { hidden: 8, embed: 8, n_scales: 2, ..Default::default() },
+            )),
+        ];
+        for model in &models {
+            let mut tape = Tape::new();
+            let vars = model.params().bind(&mut tape);
+            let out = model.forward(&mut tape, &vars, &p);
+            prop_assert!(tape.value(out.logits).all_finite(), "{}", model.name());
+            prop_assert!(tape.value(out.embedding).all_finite(), "{}", model.name());
+        }
+    }
+
+    /// predict_proba is a probability.
+    #[test]
+    fn predict_proba_bounds(g in graph_strategy()) {
+        let model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 7 });
+        let p = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&g));
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

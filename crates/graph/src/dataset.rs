@@ -1,0 +1,237 @@
+//! Labeled graph datasets: splits, oversampling, class statistics (§4.4).
+
+use crate::graph::{GraphLabel, InteractionGraph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Per-class counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassStats {
+    pub normal: usize,
+    pub threat: usize,
+}
+
+impl ClassStats {
+    pub fn total(&self) -> usize {
+        self.normal + self.threat
+    }
+
+    /// Inverse-frequency class weights (normal, threat), normalized so the
+    /// mean weight is 1 — the paper's imbalance counter-measure.
+    pub fn class_weights(&self) -> [f32; 2] {
+        let n = self.normal.max(1) as f32;
+        let t = self.threat.max(1) as f32;
+        let total = n + t;
+        let w = [total / (2.0 * n), total / (2.0 * t)];
+        w
+    }
+}
+
+/// A train/test split.
+#[derive(Clone, Debug)]
+pub struct Split {
+    pub train: GraphDataset,
+    pub test: GraphDataset,
+}
+
+/// A collection of labeled (or unlabeled) interaction graphs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GraphDataset {
+    graphs: Vec<InteractionGraph>,
+}
+
+impl GraphDataset {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_graphs(graphs: Vec<InteractionGraph>) -> Self {
+        Self { graphs }
+    }
+
+    pub fn push(&mut self, g: InteractionGraph) {
+        self.graphs.push(g);
+    }
+
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    pub fn graphs(&self) -> &[InteractionGraph] {
+        &self.graphs
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &InteractionGraph> {
+        self.graphs.iter()
+    }
+
+    /// Labels as class indices; panics if any graph is unlabeled.
+    pub fn labels(&self) -> Vec<usize> {
+        self.graphs
+            .iter()
+            .map(|g| g.label.expect("dataset graph must be labeled").class())
+            .collect()
+    }
+
+    pub fn class_stats(&self) -> ClassStats {
+        let mut s = ClassStats::default();
+        for g in &self.graphs {
+            match g.label {
+                Some(GraphLabel::Normal) => s.normal += 1,
+                Some(GraphLabel::Threat) => s.threat += 1,
+                None => {}
+            }
+        }
+        s
+    }
+
+    /// Stratified shuffle split by `train_ratio` (the paper's 8:2 protocol).
+    pub fn split(&self, train_ratio: f64, seed: u64) -> Split {
+        assert!((0.0..=1.0).contains(&train_ratio));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut by_class: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        for (i, g) in self.graphs.iter().enumerate() {
+            let c = g.label.expect("split requires labels").class();
+            by_class[c].push(i);
+        }
+        let mut train = GraphDataset::new();
+        let mut test = GraphDataset::new();
+        for class in &mut by_class {
+            class.shuffle(&mut rng);
+            let n_train = ((class.len() as f64) * train_ratio).round() as usize;
+            for (k, &i) in class.iter().enumerate() {
+                if k < n_train {
+                    train.push(self.graphs[i].clone());
+                } else {
+                    test.push(self.graphs[i].clone());
+                }
+            }
+        }
+        // shuffle training order so batches mix classes
+        train.graphs.shuffle(&mut rng);
+        Split { train, test }
+    }
+
+    /// Random oversampling of the threat class "until the number of
+    /// vulnerable graphs is doubled" (§4.4). No-op when already balanced.
+    pub fn oversample_threats(&mut self, seed: u64) {
+        let stats = self.class_stats();
+        if stats.threat == 0 || stats.threat * 2 > stats.normal {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let threats: Vec<InteractionGraph> = self
+            .graphs
+            .iter()
+            .filter(|g| g.label == Some(GraphLabel::Threat))
+            .cloned()
+            .collect();
+        for _ in 0..stats.threat {
+            let pick = threats.choose(&mut rng).expect("threats nonempty").clone();
+            self.graphs.push(pick);
+        }
+        self.graphs.shuffle(&mut rng);
+    }
+
+    /// Merge another dataset into this one.
+    pub fn extend(&mut self, other: GraphDataset) {
+        self.graphs.extend(other.graphs);
+    }
+
+    /// Subsample to at most `n` graphs (stratified, seeded) — used by the
+    /// scaled experiment harnesses.
+    pub fn subsample(&self, n: usize, seed: u64) -> GraphDataset {
+        if self.len() <= n {
+            return self.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(n);
+        GraphDataset::from_graphs(idx.into_iter().map(|i| self.graphs[i].clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Node;
+    use glint_rules::{Platform, RuleId};
+
+    fn graph(label: GraphLabel) -> InteractionGraph {
+        InteractionGraph::new(vec![Node {
+            rule_id: RuleId(0),
+            platform: Platform::Ifttt,
+            features: vec![0.0],
+        }])
+        .with_label(label)
+    }
+
+    fn dataset(normal: usize, threat: usize) -> GraphDataset {
+        let mut d = GraphDataset::new();
+        for _ in 0..normal {
+            d.push(graph(GraphLabel::Normal));
+        }
+        for _ in 0..threat {
+            d.push(graph(GraphLabel::Threat));
+        }
+        d
+    }
+
+    #[test]
+    fn class_stats_and_weights() {
+        let d = dataset(90, 10);
+        let s = d.class_stats();
+        assert_eq!(s, ClassStats { normal: 90, threat: 10 });
+        let w = s.class_weights();
+        assert!(w[1] > w[0], "minority class must be upweighted");
+        assert!((w[0] * 90.0 + w[1] * 10.0 - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let d = dataset(80, 20);
+        let split = d.split(0.8, 42);
+        assert_eq!(split.train.len() + split.test.len(), 100);
+        let train_stats = split.train.class_stats();
+        assert_eq!(train_stats.normal, 64);
+        assert_eq!(train_stats.threat, 16);
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let d = dataset(50, 10);
+        let a = d.split(0.8, 7);
+        let b = d.split(0.8, 7);
+        assert_eq!(a.train.labels(), b.train.labels());
+    }
+
+    #[test]
+    fn oversampling_doubles_threats() {
+        let mut d = dataset(100, 20);
+        d.oversample_threats(1);
+        let s = d.class_stats();
+        assert_eq!(s.threat, 40);
+        assert_eq!(s.normal, 100);
+    }
+
+    #[test]
+    fn oversampling_noop_when_balanced() {
+        let mut d = dataset(30, 25);
+        d.oversample_threats(1);
+        assert_eq!(d.class_stats().threat, 25);
+    }
+
+    #[test]
+    fn subsample_bounds() {
+        let d = dataset(30, 30);
+        assert_eq!(d.subsample(10, 1).len(), 10);
+        assert_eq!(d.subsample(100, 1).len(), 60);
+    }
+}

@@ -1,0 +1,169 @@
+//! Heterogeneous-graph utilities: node types and metapath instances.
+//!
+//! A *metapath* is a sequence of node types (platforms); an *instance* is a
+//! walk in the graph whose node types follow the schema (MAGNN; paper §3.3.1).
+//! ITGNN aggregates, per target node, the features of all instances of each
+//! metapath starting at that node.
+
+use crate::graph::InteractionGraph;
+use glint_rules::Platform;
+use serde::{Deserialize, Serialize};
+
+/// A metapath: a schema of platform types, length ≥ 1.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Metapath(pub Vec<Platform>);
+
+impl Metapath {
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn starts_at(&self, p: Platform) -> bool {
+        self.0.first() == Some(&p)
+    }
+}
+
+/// Default metapath schemas for a graph: every observed type pair `A→B` and
+/// triple `A→B→A`, capturing cross-platform coupling patterns.
+pub fn default_metapaths(g: &InteractionGraph) -> Vec<Metapath> {
+    let platforms = g.platforms();
+    let mut out = Vec::new();
+    for &a in &platforms {
+        // self-path (plain neighbourhood within a platform)
+        out.push(Metapath(vec![a, a]));
+        for &b in &platforms {
+            if a != b {
+                out.push(Metapath(vec![a, b]));
+                out.push(Metapath(vec![a, b, a]));
+            }
+        }
+    }
+    out
+}
+
+/// Enumerate the metapath instances *starting at* `start`. Each instance is
+/// a node-id walk of length `path.len()`; neighbours are undirected (an
+/// interaction couples both ways for pattern purposes). Walks may not
+/// immediately backtrack unless the graph is a single dyad.
+pub fn metapath_instances(g: &InteractionGraph, start: usize, path: &Metapath) -> Vec<Vec<usize>> {
+    if path.is_empty() || g.node(start).platform != path.0[0] {
+        return Vec::new();
+    }
+    let mut walks = vec![vec![start]];
+    for &wanted in &path.0[1..] {
+        let mut next = Vec::new();
+        for walk in &walks {
+            let last = *walk.last().expect("walk nonempty");
+            for nb in g.neighbors(last) {
+                if g.node(nb).platform != wanted {
+                    continue;
+                }
+                // no immediate backtracking (avoids degenerate A-B-A echoes
+                // along the same edge) unless there is no other option
+                if walk.len() >= 2 && walk[walk.len() - 2] == nb {
+                    continue;
+                }
+                let mut w = walk.clone();
+                w.push(nb);
+                next.push(w);
+            }
+        }
+        walks = next;
+        if walks.is_empty() {
+            break;
+        }
+    }
+    walks
+}
+
+/// Group node indices by platform type.
+pub fn nodes_by_type(g: &InteractionGraph) -> Vec<(Platform, Vec<usize>)> {
+    let mut out: Vec<(Platform, Vec<usize>)> = Vec::new();
+    for (i, n) in g.nodes().iter().enumerate() {
+        match out.iter_mut().find(|(p, _)| *p == n.platform) {
+            Some((_, v)) => v.push(i),
+            None => out.push((n.platform, vec![i])),
+        }
+    }
+    out.sort_by_key(|(p, _)| p.type_index());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeKind, Node};
+    use glint_rules::RuleId;
+
+    fn node(id: u32, platform: Platform) -> Node {
+        Node { rule_id: RuleId(id), platform, features: vec![0.0; 2] }
+    }
+
+    /// I0 — S1 — I2 — A3 (path), platforms Ifttt/SmartThings/Ifttt/Alexa
+    fn hetero_path() -> InteractionGraph {
+        let mut g = InteractionGraph::new(vec![
+            node(0, Platform::Ifttt),
+            node(1, Platform::SmartThings),
+            node(2, Platform::Ifttt),
+            node(3, Platform::Alexa),
+        ]);
+        g.add_edge(0, 1, EdgeKind::ActionTrigger);
+        g.add_edge(1, 2, EdgeKind::ActionTrigger);
+        g.add_edge(2, 3, EdgeKind::ActionTrigger);
+        g
+    }
+
+    #[test]
+    fn two_hop_instances() {
+        let g = hetero_path();
+        let mp = Metapath(vec![Platform::Ifttt, Platform::SmartThings]);
+        let inst = metapath_instances(&g, 0, &mp);
+        assert_eq!(inst, vec![vec![0, 1]]);
+        // node 2 also has a SmartThings neighbour
+        let inst2 = metapath_instances(&g, 2, &mp);
+        assert_eq!(inst2, vec![vec![2, 1]]);
+    }
+
+    #[test]
+    fn three_hop_no_backtrack() {
+        let g = hetero_path();
+        let mp = Metapath(vec![Platform::Ifttt, Platform::SmartThings, Platform::Ifttt]);
+        // 0 → 1 → 2 is valid; 0 → 1 → 0 is a backtrack and must be excluded
+        let inst = metapath_instances(&g, 0, &mp);
+        assert_eq!(inst, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn wrong_start_type_yields_nothing() {
+        let g = hetero_path();
+        let mp = Metapath(vec![Platform::Alexa, Platform::Ifttt]);
+        assert!(metapath_instances(&g, 0, &mp).is_empty());
+        // starting at the Alexa node works
+        assert_eq!(metapath_instances(&g, 3, &mp), vec![vec![3, 2]]);
+    }
+
+    #[test]
+    fn default_metapaths_cover_observed_types() {
+        let g = hetero_path();
+        let mps = default_metapaths(&g);
+        // 3 platforms → 3 self-paths + 3·2 pairs + 3·2 triples = 15
+        assert_eq!(mps.len(), 15);
+        for p in g.platforms() {
+            assert!(mps.iter().any(|m| m.starts_at(p)));
+        }
+    }
+
+    #[test]
+    fn nodes_by_type_partition() {
+        let g = hetero_path();
+        let by_type = nodes_by_type(&g);
+        let total: usize = by_type.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, g.n_nodes());
+        let ifttt = by_type.iter().find(|(p, _)| *p == Platform::Ifttt).unwrap();
+        assert_eq!(ifttt.1, vec![0, 2]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # glint-graph
+//!
+//! Interaction-graph substrate — the reproduction's stand-in for DGL.
+//!
+//! An *interaction graph* (paper §2.1) has one node per automation rule and a
+//! directed edge `u → v` when rule u's action invokes rule v's trigger
+//! ("action-trigger" correlation). Node features are NLP embeddings of the
+//! rule text; platforms contribute nodes of different *types* with different
+//! feature dimensions, which makes cross-platform graphs heterogeneous.
+//!
+//! Modules:
+//! - [`graph`] — the graph type, node/edge payloads, labels;
+//! - [`hetero`] — node-type utilities and metapath instance enumeration
+//!   (MAGNN-style, consumed by ITGNN's node transformation);
+//! - [`builder`] — offline chaining of correlated rules into graphs and
+//!   online construction from deployed rules + event logs with temporal
+//!   pruning (§3.2.2);
+//! - [`dataset`] — labeled collections, stratified splits, random
+//!   oversampling, class statistics (§4.4's training protocol);
+//! - [`store`] — JSON persistence.
+
+pub mod builder;
+pub mod dataset;
+pub mod graph;
+pub mod hetero;
+pub mod store;
+
+pub use builder::{GraphBuilder, OnlineBuilder};
+pub use dataset::{ClassStats, GraphDataset, Split};
+pub use graph::{EdgeKind, GraphLabel, InteractionGraph, Node};
+pub use hetero::{metapath_instances, Metapath};

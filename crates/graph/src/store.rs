@@ -1,0 +1,52 @@
+//! JSON persistence for graph datasets (DGL's stored-dataset stand-in).
+
+use crate::dataset::GraphDataset;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+
+/// Save a dataset as JSON.
+pub fn save(dataset: &GraphDataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = File::create(path)?;
+    let writer = BufWriter::new(file);
+    serde_json::to_writer(writer, dataset).map_err(io::Error::other)
+}
+
+/// Load a dataset from JSON.
+pub fn load(path: impl AsRef<Path>) -> io::Result<GraphDataset> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    serde_json::from_reader(reader).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeKind, GraphLabel, InteractionGraph, Node};
+    use glint_rules::{Platform, RuleId};
+
+    #[test]
+    fn round_trip() {
+        let mut g = InteractionGraph::new(vec![
+            Node { rule_id: RuleId(1), platform: Platform::Ifttt, features: vec![1.0, 2.0] },
+            Node { rule_id: RuleId(2), platform: Platform::Alexa, features: vec![3.0] },
+        ]);
+        g.add_edge(0, 1, EdgeKind::ActionTrigger);
+        let mut ds = GraphDataset::new();
+        ds.push(g.with_label(GraphLabel::Threat));
+
+        let dir = std::env::temp_dir().join("glint_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save(&ds, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.graphs()[0], ds.graphs()[0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load("/nonexistent/glint/ds.json").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for graph structures and dataset mechanics.
+
+use glint_graph::graph::{EdgeKind, GraphLabel, Node};
+use glint_graph::{GraphDataset, InteractionGraph};
+use glint_rules::{Platform, RuleId};
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = InteractionGraph> {
+    (1usize..8, proptest::collection::vec((0usize..8, 0usize..8), 0..14), proptest::bool::ANY)
+        .prop_map(|(n, raw, threat)| {
+            let nodes: Vec<Node> = (0..n)
+                .map(|i| Node {
+                    rule_id: RuleId(i as u32),
+                    platform: Platform::Ifttt,
+                    features: vec![i as f32, 1.0],
+                })
+                .collect();
+            let mut g = InteractionGraph::new(nodes);
+            for (u, v) in raw {
+                if u % n != v % n {
+                    g.add_edge(u % n, v % n, EdgeKind::ActionTrigger);
+                }
+            }
+            g.with_label(if threat { GraphLabel::Threat } else { GraphLabel::Normal })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Neighbour queries agree with the raw edge list.
+    #[test]
+    fn neighbour_queries_consistent(g in graph_strategy()) {
+        for u in 0..g.n_nodes() {
+            for v in g.successors(u) {
+                prop_assert!(g.edges().iter().any(|&(a, b, _)| a == u && b == v));
+                prop_assert!(g.predecessors(v).contains(&u));
+                prop_assert!(g.neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    /// Acyclic check agrees with a brute-force path search.
+    #[test]
+    fn cycle_detection_matches_reachability(g in graph_strategy()) {
+        // brute force: a cycle exists iff some node reaches itself
+        let n = g.n_nodes();
+        let mut reach = vec![vec![false; n]; n];
+        for &(u, v, _) in g.edges() {
+            reach[u][v] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if reach[i][k] && reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+        let brute = (0..n).any(|i| reach[i][i]);
+        prop_assert_eq!(g.has_cycle(), brute);
+    }
+
+    /// Splits partition the dataset and preserve per-class counts.
+    #[test]
+    fn split_partitions_and_stratifies(
+        graphs in proptest::collection::vec(graph_strategy(), 10..40),
+        seed in 0u64..100,
+    ) {
+        let ds = GraphDataset::from_graphs(graphs);
+        let stats = ds.class_stats();
+        prop_assume!(stats.normal >= 2 && stats.threat >= 2);
+        let split = ds.split(0.75, seed);
+        prop_assert_eq!(split.train.len() + split.test.len(), ds.len());
+        let train_stats = split.train.class_stats();
+        let test_stats = split.test.class_stats();
+        prop_assert_eq!(train_stats.normal + test_stats.normal, stats.normal);
+        prop_assert_eq!(train_stats.threat + test_stats.threat, stats.threat);
+        // both classes appear in training when the ratio allows it
+        prop_assert!(train_stats.normal > 0 && train_stats.threat > 0);
+    }
+
+    /// Oversampling never removes graphs and never creates new content.
+    #[test]
+    fn oversampling_is_additive(
+        graphs in proptest::collection::vec(graph_strategy(), 6..30),
+        seed in 0u64..100,
+    ) {
+        let mut ds = GraphDataset::from_graphs(graphs.clone());
+        let before = ds.class_stats();
+        ds.oversample_threats(seed);
+        let after = ds.class_stats();
+        prop_assert_eq!(after.normal, before.normal);
+        prop_assert!(after.threat >= before.threat);
+        for g in ds.iter() {
+            prop_assert!(graphs.contains(g), "oversampling fabricated a graph");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-validation and grid search (the §4.1 evaluation protocol:
+//! "grid search … and 10-fold cross-validation").
+
+use crate::metrics::BinaryMetrics;
+use crate::Classifier;
+use glint_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Stratified k-fold index sets.
+pub fn stratified_folds(y: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_classes = y.iter().copied().max().map_or(1, |m| m + 1);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &c) in y.iter().enumerate() {
+        by_class[c].push(i);
+    }
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for class in &mut by_class {
+        class.shuffle(&mut rng);
+        for (j, &i) in class.iter().enumerate() {
+            folds[j % k].push(i);
+        }
+    }
+    folds
+}
+
+/// Run k-fold CV for a classifier factory; returns per-fold metrics.
+pub fn cross_validate(
+    make: &mut dyn FnMut() -> Box<dyn Classifier>,
+    x: &Matrix,
+    y: &[usize],
+    k: usize,
+    seed: u64,
+) -> Vec<BinaryMetrics> {
+    let folds = stratified_folds(y, k, seed);
+    let mut results = Vec::with_capacity(k);
+    for test_fold in 0..k {
+        let test_idx = &folds[test_fold];
+        let train_idx: Vec<usize> =
+            folds.iter().enumerate().filter(|(i, _)| *i != test_fold).flat_map(|(_, f)| f.iter().copied()).collect();
+        if test_idx.is_empty() || train_idx.is_empty() {
+            continue;
+        }
+        let x_train = x.gather_rows(&train_idx);
+        let y_train: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
+        let x_test = x.gather_rows(test_idx);
+        let y_test: Vec<usize> = test_idx.iter().map(|&i| y[i]).collect();
+        let mut model = make();
+        model.fit(&x_train, &y_train);
+        let pred = model.predict(&x_test);
+        results.push(BinaryMetrics::from_predictions(&y_test, &pred));
+    }
+    results
+}
+
+/// Exhaustive grid search over parameter candidates, selecting by mean CV F1.
+/// Returns (best_index, best_mean_metrics).
+pub fn grid_search(
+    candidates: &mut [Box<dyn FnMut() -> Box<dyn Classifier>>],
+    x: &Matrix,
+    y: &[usize],
+    k: usize,
+    seed: u64,
+) -> (usize, BinaryMetrics) {
+    assert!(!candidates.is_empty());
+    let mut best = (0usize, BinaryMetrics::default());
+    for (i, make) in candidates.iter_mut().enumerate() {
+        let folds = cross_validate(&mut **make, x, y, k, seed);
+        let mean = BinaryMetrics::mean(&folds);
+        if mean.f1 > best.1.f1 {
+            best = (i, mean);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::Knn;
+    use rand::Rng;
+
+    fn blobs(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let cx = if c == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![cx + rng.gen_range(-0.5f32..0.5)]);
+            y.push(c);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn folds_partition_everything() {
+        let y = vec![0, 0, 0, 0, 1, 1, 1, 1, 1, 1];
+        let folds = stratified_folds(&y, 3, 1);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // each fold has both classes
+        for f in &folds {
+            assert!(f.iter().any(|&i| y[i] == 0));
+            assert!(f.iter().any(|&i| y[i] == 1));
+        }
+    }
+
+    #[test]
+    fn cv_on_separable_data_is_high() {
+        let (x, y) = blobs(100, 2);
+        let mut factory = || Box::new(Knn::new(3)) as Box<dyn Classifier>;
+        let metrics = cross_validate(&mut factory, &x, &y, 5, 3);
+        assert_eq!(metrics.len(), 5);
+        let mean = BinaryMetrics::mean(&metrics);
+        assert!(mean.accuracy > 0.9, "{mean}");
+    }
+
+    #[test]
+    fn grid_search_picks_the_better_candidate() {
+        let (x, y) = blobs(100, 4);
+        // k=1 vs absurd k=99 (ties into majority class noise)
+        let mut candidates: Vec<Box<dyn FnMut() -> Box<dyn Classifier>>> = vec![
+            Box::new(|| Box::new(Knn::new(3)) as Box<dyn Classifier>),
+            Box::new(|| Box::new(Knn::new(99)) as Box<dyn Classifier>),
+        ];
+        let (best, metrics) = grid_search(&mut candidates, &x, &y, 5, 5);
+        assert_eq!(best, 0);
+        assert!(metrics.f1 > 0.9);
+    }
+}

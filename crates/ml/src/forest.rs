@@ -1,0 +1,128 @@
+//! Random forest: bagged Gini trees with per-split random feature subspaces.
+
+use crate::tree::{Criterion, Tree, TreeConfig};
+use crate::Classifier;
+use glint_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-forest classifier.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub seed: u64,
+    /// Optional class weights (inverse-frequency when None).
+    pub class_weights: Option<[f32; 2]>,
+    trees: Vec<Tree>,
+}
+
+impl RandomForest {
+    pub fn new(n_trees: usize) -> Self {
+        Self { n_trees, max_depth: 12, seed: 0, class_weights: None, trees: Vec::new() }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_max_depth(mut self, d: usize) -> Self {
+        self.max_depth = d;
+        self
+    }
+
+    fn score_row(&self, row: &[f32]) -> f32 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict_row(row)).sum::<f32>() / self.trees.len() as f32
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[usize]) {
+        assert_eq!(x.rows(), y.len());
+        let cw = self.class_weights.unwrap_or_else(|| {
+            let w = crate::sampling::class_weights(y, 2);
+            [w[0], w[1]]
+        });
+        let yf: Vec<f32> = y.iter().map(|&c| c as f32).collect();
+        let w: Vec<f32> = y.iter().map(|&c| cw[c]).collect();
+        let n = x.rows();
+        let m_features = (x.cols() as f32).sqrt().ceil() as usize;
+        let config = TreeConfig {
+            max_depth: self.max_depth,
+            min_samples_split: 2,
+            max_features: Some(m_features.max(1)),
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                // bootstrap sample
+                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                Tree::fit(x, &yf, &w, &idx, config, Criterion::Gini, &mut rng)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|i| usize::from(self.score_row(x.row(i)) > 0.5)).collect()
+    }
+
+    fn decision_scores(&self, x: &Matrix) -> Vec<f32> {
+        (0..x.rows()).map(|i| self.score_row(x.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_moons_ish(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let t: f32 = rng.gen_range(0.0..std::f32::consts::PI);
+            let (cx, cy) = if c == 0 {
+                (t.cos(), t.sin())
+            } else {
+                (1.0 - t.cos(), 0.5 - t.sin())
+            };
+            rows.push(vec![cx + rng.gen_range(-0.1..0.1), cy + rng.gen_range(-0.1f32..0.1)]);
+            y.push(c);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fits_nonlinear_boundary() {
+        let (x, y) = two_moons_ish(300, 5);
+        let mut rf = RandomForest::new(25).with_seed(1);
+        rf.fit(&x, &y);
+        let acc = crate::metrics::BinaryMetrics::from_predictions(&y, &rf.predict(&x)).accuracy;
+        assert!(acc > 0.95, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = two_moons_ish(100, 6);
+        let mut a = RandomForest::new(10).with_seed(3);
+        let mut b = RandomForest::new(10).with_seed(3);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (x, y) = two_moons_ish(80, 7);
+        let mut rf = RandomForest::new(10);
+        rf.fit(&x, &y);
+        for s in rf.decision_scores(&x) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

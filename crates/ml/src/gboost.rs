@@ -1,0 +1,141 @@
+//! Gradient boosting: shallow variance-reduction trees on the logistic loss.
+
+use crate::tree::{Criterion, Tree, TreeConfig};
+use crate::Classifier;
+use glint_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Gradient-boosted trees for binary classification.
+#[derive(Clone, Debug)]
+pub struct GradientBoosting {
+    pub n_rounds: usize,
+    pub learning_rate: f32,
+    pub max_depth: usize,
+    pub seed: u64,
+    pub class_weights: Option<[f32; 2]>,
+    base: f32,
+    trees: Vec<Tree>,
+}
+
+impl GradientBoosting {
+    pub fn new(n_rounds: usize) -> Self {
+        Self {
+            n_rounds,
+            learning_rate: 0.2,
+            max_depth: 3,
+            seed: 0,
+            class_weights: None,
+            base: 0.0,
+            trees: Vec::new(),
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn raw_score(&self, row: &[f32]) -> f32 {
+        self.base
+            + self.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f32>()
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Classifier for GradientBoosting {
+    fn fit(&mut self, x: &Matrix, y: &[usize]) {
+        assert_eq!(x.rows(), y.len());
+        let cw = self.class_weights.unwrap_or_else(|| {
+            let w = crate::sampling::class_weights(y, 2);
+            [w[0], w[1]]
+        });
+        let w: Vec<f32> = y.iter().map(|&c| cw[c]).collect();
+        let n = x.rows();
+        // prior log-odds
+        let pos: f32 = y.iter().map(|&c| c as f32).sum::<f32>() / n.max(1) as f32;
+        let p0 = pos.clamp(1e-4, 1.0 - 1e-4);
+        self.base = (p0 / (1.0 - p0)).ln();
+        self.trees.clear();
+        let mut raw: Vec<f32> = vec![self.base; n];
+        let idx: Vec<usize> = (0..n).collect();
+        let config =
+            TreeConfig { max_depth: self.max_depth, min_samples_split: 4, max_features: None };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..self.n_rounds {
+            // negative gradient of weighted logistic loss: w (y − σ(raw))
+            let residual: Vec<f32> = (0..n)
+                .map(|i| w[i] * (y[i] as f32 - sigmoid(raw[i])))
+                .collect();
+            let tree = Tree::fit(x, &residual, &vec![1.0; n], &idx, config, Criterion::Variance, &mut rng);
+            for i in 0..n {
+                raw[i] += self.learning_rate * tree.predict_row(x.row(i));
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|i| usize::from(self.raw_score(x.row(i)) > 0.0)).collect()
+    }
+
+    fn decision_scores(&self, x: &Matrix) -> Vec<f32> {
+        (0..x.rows()).map(|i| sigmoid(self.raw_score(x.row(i)))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn ring_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        // class 1 inside a disc, class 0 in the surrounding ring
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+            let inside = rng.gen_bool(0.5);
+            let r: f32 = if inside { rng.gen_range(0.0..0.8) } else { rng.gen_range(1.2..2.0) };
+            rows.push(vec![r * a.cos(), r * a.sin()]);
+            y.push(usize::from(inside));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fits_radial_boundary() {
+        let (x, y) = ring_data(400, 11);
+        let mut gb = GradientBoosting::new(60);
+        gb.fit(&x, &y);
+        let acc = crate::metrics::BinaryMetrics::from_predictions(&y, &gb.predict(&x)).accuracy;
+        assert!(acc > 0.93, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let (x, y) = ring_data(100, 12);
+        let mut gb = GradientBoosting::new(10);
+        gb.fit(&x, &y);
+        for s in gb.decision_scores(&x) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn more_rounds_reduce_training_error() {
+        let (x, y) = ring_data(300, 13);
+        let mut small = GradientBoosting::new(5);
+        small.fit(&x, &y);
+        let acc_small =
+            crate::metrics::BinaryMetrics::from_predictions(&y, &small.predict(&x)).accuracy;
+        let mut big = GradientBoosting::new(80);
+        big.fit(&x, &y);
+        let acc_big = crate::metrics::BinaryMetrics::from_predictions(&y, &big.predict(&x)).accuracy;
+        assert!(acc_big >= acc_small, "{acc_big} < {acc_small}");
+    }
+}

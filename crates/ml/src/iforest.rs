@@ -1,0 +1,175 @@
+//! Isolation forest (Liu et al. 2008) — the second Figure 11 anomaly
+//! baseline. `predict` follows the scikit-learn convention (+1 / −1).
+
+use glint_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone, Debug)]
+enum ITree {
+    Leaf { size: usize },
+    Split { feature: usize, threshold: f32, left: Box<ITree>, right: Box<ITree> },
+}
+
+/// Isolation-forest anomaly detector.
+#[derive(Clone, Debug)]
+pub struct IsolationForest {
+    pub n_trees: usize,
+    pub subsample: usize,
+    /// Anomaly score threshold (standard 0.5–0.6 band; sklearn default ≈ 0.5
+    /// after offset calibration).
+    pub threshold: f64,
+    pub seed: u64,
+    trees: Vec<ITree>,
+    sample_size: usize,
+}
+
+/// Average unsuccessful-search path length in a BST of n nodes.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_7) - 2.0 * (n - 1.0) / n
+}
+
+fn grow(x: &Matrix, idx: &[usize], depth: usize, max_depth: usize, rng: &mut StdRng) -> ITree {
+    if idx.len() <= 1 || depth >= max_depth {
+        return ITree::Leaf { size: idx.len() };
+    }
+    // pick a feature with spread
+    for _ in 0..8 {
+        let f = rng.gen_range(0..x.cols());
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &i in idx {
+            lo = lo.min(x.get(i, f));
+            hi = hi.max(x.get(i, f));
+        }
+        if hi <= lo {
+            continue;
+        }
+        let t = rng.gen_range(lo..hi);
+        let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x.get(i, f) < t);
+        if l.is_empty() || r.is_empty() {
+            continue;
+        }
+        return ITree::Split {
+            feature: f,
+            threshold: t,
+            left: Box::new(grow(x, &l, depth + 1, max_depth, rng)),
+            right: Box::new(grow(x, &r, depth + 1, max_depth, rng)),
+        };
+    }
+    ITree::Leaf { size: idx.len() }
+}
+
+fn path_length(tree: &ITree, row: &[f32], depth: f64) -> f64 {
+    match tree {
+        ITree::Leaf { size } => depth + c_factor(*size),
+        ITree::Split { feature, threshold, left, right } => {
+            if row[*feature] < *threshold {
+                path_length(left, row, depth + 1.0)
+            } else {
+                path_length(right, row, depth + 1.0)
+            }
+        }
+    }
+}
+
+impl IsolationForest {
+    pub fn new(n_trees: usize) -> Self {
+        Self { n_trees, subsample: 128, threshold: 0.55, seed: 0, trees: Vec::new(), sample_size: 0 }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn fit(&mut self, x: &Matrix) {
+        assert!(x.rows() > 0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let m = self.subsample.min(x.rows());
+        self.sample_size = m;
+        let max_depth = (m as f64).log2().ceil() as usize + 1;
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                let idx: Vec<usize> = (0..m).map(|_| rng.gen_range(0..x.rows())).collect();
+                grow(x, &idx, 0, max_depth, &mut rng)
+            })
+            .collect();
+    }
+
+    /// Standard isolation-forest anomaly score in (0, 1); higher = more
+    /// anomalous, 0.5 ≈ average point.
+    pub fn anomaly_score(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "fit first");
+        let c = c_factor(self.sample_size).max(1e-9);
+        (0..x.rows())
+            .map(|r| {
+                let avg: f64 = self
+                    .trees
+                    .iter()
+                    .map(|t| path_length(t, x.row(r), 0.0))
+                    .sum::<f64>()
+                    / self.trees.len() as f64;
+                2.0f64.powf(-avg / c)
+            })
+            .collect()
+    }
+
+    /// +1 inlier, −1 anomaly.
+    pub fn predict(&self, x: &Matrix) -> Vec<i32> {
+        self.anomaly_score(x)
+            .iter()
+            .map(|&s| if s > self.threshold { -1 } else { 1 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, center: f32, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_rows(
+            &(0..n)
+                .map(|_| {
+                    vec![center + rng.gen_range(-0.5f32..0.5), center + rng.gen_range(-0.5f32..0.5)]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn isolates_outliers() {
+        let train = cluster(256, 0.0, 1);
+        let mut forest = IsolationForest::new(100).with_seed(2);
+        forest.fit(&train);
+        let scores_in = forest.anomaly_score(&cluster(30, 0.0, 3));
+        let scores_out = forest.anomaly_score(&cluster(30, 6.0, 4));
+        let mean_in: f64 = scores_in.iter().sum::<f64>() / 30.0;
+        let mean_out: f64 = scores_out.iter().sum::<f64>() / 30.0;
+        assert!(mean_out > mean_in + 0.1, "in={mean_in} out={mean_out}");
+        let preds = forest.predict(&cluster(30, 6.0, 5));
+        let caught = preds.iter().filter(|&&p| p == -1).count();
+        assert!(caught > 20, "caught only {caught}/30 outliers");
+    }
+
+    #[test]
+    fn c_factor_monotone() {
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(100) > c_factor(10));
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let train = cluster(100, 0.0, 6);
+        let mut forest = IsolationForest::new(20);
+        forest.fit(&train);
+        for s in forest.anomaly_score(&train) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! K-means clustering with k-means++ seeding (Figure 9's embedding analysis).
+
+use glint_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fitted k-means model.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    pub k: usize,
+    pub max_iter: usize,
+    pub seed: u64,
+    centroids: Matrix,
+}
+
+impl KMeans {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        Self { k, max_iter: 100, seed: 0, centroids: Matrix::zeros(0, 0) }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Fit and return per-row cluster assignments.
+    pub fn fit(&mut self, x: &Matrix) -> Vec<usize> {
+        assert!(x.rows() >= self.k, "need at least k points");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // k-means++ seeding
+        let mut centers: Vec<usize> = vec![rng.gen_range(0..x.rows())];
+        while centers.len() < self.k {
+            let d2: Vec<f32> = (0..x.rows())
+                .map(|r| {
+                    centers
+                        .iter()
+                        .map(|&c| Self::sq_dist(x.row(r), x.row(c)))
+                        .fold(f32::INFINITY, f32::min)
+                })
+                .collect();
+            let total: f32 = d2.iter().sum();
+            if total <= 0.0 {
+                // all points coincide with chosen centers; pick arbitrary
+                centers.push(rng.gen_range(0..x.rows()));
+                continue;
+            }
+            let mut pick = rng.gen_range(0.0..total);
+            let mut chosen = 0;
+            for (r, &d) in d2.iter().enumerate() {
+                pick -= d;
+                if pick <= 0.0 {
+                    chosen = r;
+                    break;
+                }
+            }
+            centers.push(chosen);
+        }
+        self.centroids = x.gather_rows(&centers);
+
+        let mut assign = vec![0usize; x.rows()];
+        for _ in 0..self.max_iter {
+            let mut changed = false;
+            for r in 0..x.rows() {
+                let best = (0..self.k)
+                    .min_by(|&a, &b| {
+                        Self::sq_dist(x.row(r), self.centroids.row(a))
+                            .partial_cmp(&Self::sq_dist(x.row(r), self.centroids.row(b)))
+                            .unwrap()
+                    })
+                    .unwrap_or(0);
+                if assign[r] != best {
+                    assign[r] = best;
+                    changed = true;
+                }
+            }
+            // recompute centroids
+            let mut sums = Matrix::zeros(self.k, x.cols());
+            let mut counts = vec![0usize; self.k];
+            for r in 0..x.rows() {
+                counts[assign[r]] += 1;
+                for (s, &v) in sums.row_mut(assign[r]).iter_mut().zip(x.row(r)) {
+                    *s += v;
+                }
+            }
+            for c in 0..self.k {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f32;
+                    for v in sums.row_mut(c) {
+                        *v *= inv;
+                    }
+                } else {
+                    sums.row_mut(c).copy_from_slice(self.centroids.row(c));
+                }
+            }
+            self.centroids = sums;
+            if !changed {
+                break;
+            }
+        }
+        assign
+    }
+
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Assign new points to the nearest fitted centroid.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| {
+                (0..self.k)
+                    .min_by(|&a, &b| {
+                        Self::sq_dist(x.row(r), self.centroids.row(a))
+                            .partial_cmp(&Self::sq_dist(x.row(r), self.centroids.row(b)))
+                            .unwrap()
+                    })
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        for _ in 0..50 {
+            rows.push(vec![rng.gen_range(-0.5f32..0.5), rng.gen_range(-0.5f32..0.5)]);
+        }
+        for _ in 0..50 {
+            rows.push(vec![10.0 + rng.gen_range(-0.5f32..0.5), rng.gen_range(-0.5f32..0.5)]);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut km = KMeans::new(2).with_seed(3);
+        let assign = km.fit(&x);
+        // all first-50 share a label, all last-50 share the other
+        let a = assign[0];
+        assert!(assign[..50].iter().all(|&c| c == a));
+        assert!(assign[50..].iter().all(|&c| c != a));
+    }
+
+    #[test]
+    fn centroids_land_on_blob_centers() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.2, 0.0],
+            vec![10.0, 10.0],
+            vec![10.2, 10.0],
+        ]);
+        let mut km = KMeans::new(2).with_seed(5);
+        km.fit(&x);
+        let mut cs: Vec<f32> = (0..2).map(|i| km.centroids().row(i)[0]).collect();
+        cs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((cs[0] - 0.1).abs() < 0.2);
+        assert!((cs[1] - 10.1).abs() < 0.2);
+    }
+
+    #[test]
+    fn predict_assigns_nearest() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        let mut km = KMeans::new(2).with_seed(7);
+        km.fit(&x);
+        let labels = km.predict(&Matrix::from_rows(&[vec![1.0], vec![9.0]]));
+        assert_ne!(labels[0], labels[1]);
+    }
+}

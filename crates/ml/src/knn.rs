@@ -1,0 +1,113 @@
+//! k-nearest-neighbours classifier (brute force, class-weighted votes).
+
+use crate::Classifier;
+use glint_tensor::Matrix;
+
+/// k-NN over Euclidean distance.
+#[derive(Clone, Debug)]
+pub struct Knn {
+    pub k: usize,
+    /// Optional class weights applied to votes.
+    pub class_weights: Option<Vec<f32>>,
+    train_x: Matrix,
+    train_y: Vec<usize>,
+}
+
+impl Knn {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        Self { k, class_weights: None, train_x: Matrix::zeros(0, 0), train_y: Vec::new() }
+    }
+
+    fn vote(&self, row: &[f32]) -> (usize, f32) {
+        let mut dists: Vec<(f32, usize)> = (0..self.train_x.rows())
+            .map(|i| {
+                let d: f32 = self
+                    .train_x
+                    .row(i)
+                    .iter()
+                    .zip(row)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, self.train_y[i])
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k.saturating_sub(1), |a, b| a.0.partial_cmp(&b.0).unwrap());
+        let n_classes = self.train_y.iter().copied().max().map_or(1, |m| m + 1);
+        let mut votes = vec![0.0f32; n_classes];
+        for &(_, c) in dists.iter().take(k) {
+            let w = self.class_weights.as_ref().map_or(1.0, |cw| cw[c]);
+            votes[c] += w;
+        }
+        let best = votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let total: f32 = votes.iter().sum();
+        let score1 = if votes.len() > 1 && total > 0.0 { votes[1] / total } else { 0.0 };
+        (best, score1)
+    }
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, x: &Matrix, y: &[usize]) {
+        assert_eq!(x.rows(), y.len());
+        assert!(!y.is_empty(), "kNN needs at least one training point");
+        self.train_x = x.clone();
+        self.train_y = y.to_vec();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|i| self.vote(x.row(i)).0).collect()
+    }
+
+    fn decision_scores(&self, x: &Matrix) -> Vec<f32> {
+        (0..x.rows()).map(|i| self.vote(x.row(i)).1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbour_classifies_exactly() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0]]);
+        let y = [0, 1];
+        let mut knn = Knn::new(1);
+        knn.fit(&x, &y);
+        let q = Matrix::from_rows(&[vec![1.0, 1.0], vec![9.0, 9.0]]);
+        assert_eq!(knn.predict(&q), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_majority_wins() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.2], vec![0.4], vec![0.3]]);
+        let y = [0, 0, 0, 1];
+        let mut knn = Knn::new(3);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&Matrix::from_rows(&[vec![0.25]])), vec![0]);
+    }
+
+    #[test]
+    fn class_weights_can_flip_minority_votes() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.2], vec![0.3]]);
+        let y = [0, 0, 1];
+        let mut knn = Knn::new(3);
+        knn.class_weights = Some(vec![1.0, 10.0]);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&Matrix::from_rows(&[vec![0.1]])), vec![1]);
+    }
+
+    #[test]
+    fn k_larger_than_train_set_is_safe() {
+        let x = Matrix::from_rows(&[vec![0.0]]);
+        let y = [1];
+        let mut knn = Knn::new(5);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&Matrix::from_rows(&[vec![100.0]])), vec![1]);
+    }
+}

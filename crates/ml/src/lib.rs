@@ -1,0 +1,48 @@
+//! # glint-ml
+//!
+//! Classical machine-learning substrate (the scikit-learn stand-in).
+//!
+//! Everything the paper's evaluation borrows from scikit-learn is
+//! implemented here from scratch:
+//!
+//! - the five correlation-discovery classifiers of Figure 6: [`svm::LinearSvc`],
+//!   [`mlp::MlpClassifier`], [`forest::RandomForest`], [`knn::Knn`],
+//!   [`gboost::GradientBoosting`];
+//! - the two anomaly-detection baselines of Figure 11: [`ocsvm::OneClassSvm`],
+//!   [`iforest::IsolationForest`];
+//! - the embedding-analysis tools of Figure 9: [`kmeans::KMeans`], [`pca::Pca`];
+//! - the evaluation protocol pieces: [`metrics`], [`cv`] (k-fold +
+//!   grid search), [`sampling`] (class weights, oversampling, scaling).
+//!
+//! All models consume a row-major [`glint_tensor::Matrix`] of features and
+//! integer class labels, and are deterministic given their seed.
+
+pub mod cv;
+pub mod forest;
+pub mod gboost;
+pub mod iforest;
+pub mod kmeans;
+pub mod knn;
+pub mod metrics;
+pub mod mlp;
+pub mod ocsvm;
+pub mod pca;
+pub mod sampling;
+pub mod svm;
+pub mod tree;
+
+pub use metrics::{BinaryMetrics, ConfusionMatrix};
+
+use glint_tensor::Matrix;
+
+/// A trainable classifier over dense features and integer labels.
+pub trait Classifier {
+    /// Fit on `x` (n×d) with labels `y` (len n).
+    fn fit(&mut self, x: &Matrix, y: &[usize]);
+    /// Predict a class per row.
+    fn predict(&self, x: &Matrix) -> Vec<usize>;
+    /// Probability-like score for class 1 per row (default: hard labels).
+    fn decision_scores(&self, x: &Matrix) -> Vec<f32> {
+        self.predict(x).iter().map(|&c| c as f32).collect()
+    }
+}

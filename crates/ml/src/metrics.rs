@@ -1,0 +1,208 @@
+//! Classification metrics: accuracy, precision, recall, F1, weighted F1.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion matrix with class 1 as the positive ("threat") class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    pub fn from_predictions(y_true: &[usize], y_pred: &[usize]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len());
+        let mut m = Self::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t, p) {
+                (1, 1) => m.tp += 1,
+                (0, 1) => m.fp += 1,
+                (0, 0) => m.tn += 1,
+                (1, 0) => m.fn_ += 1,
+                _ => panic!("binary metrics expect labels in {{0,1}}"),
+            }
+        }
+        m
+    }
+
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Precision of the positive class (0 when nothing was predicted positive).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Precision/recall/F1 of the *negative* class.
+    pub fn negative_f1(&self) -> f64 {
+        let p = {
+            let d = self.tn + self.fn_;
+            if d == 0 { 0.0 } else { self.tn as f64 / d as f64 }
+        };
+        let r = {
+            let d = self.tn + self.fp;
+            if d == 0 { 0.0 } else { self.tn as f64 / d as f64 }
+        };
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Support-weighted mean of per-class F1 (the paper's "weighted F1",
+    /// which can fall outside the [min(P,R), max(P,R)] band).
+    pub fn weighted_f1(&self) -> f64 {
+        let pos = (self.tp + self.fn_) as f64;
+        let neg = (self.tn + self.fp) as f64;
+        let total = pos + neg;
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.f1() * pos + self.negative_f1() * neg) / total
+    }
+}
+
+/// The four headline numbers reported throughout §4, as fractions in [0, 1].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    pub accuracy: f64,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl BinaryMetrics {
+    pub fn from_predictions(y_true: &[usize], y_pred: &[usize]) -> Self {
+        let m = ConfusionMatrix::from_predictions(y_true, y_pred);
+        Self { accuracy: m.accuracy(), precision: m.precision(), recall: m.recall(), f1: m.f1() }
+    }
+
+    /// Same, but with the paper's support-weighted F1.
+    pub fn weighted_from_predictions(y_true: &[usize], y_pred: &[usize]) -> Self {
+        let m = ConfusionMatrix::from_predictions(y_true, y_pred);
+        Self {
+            accuracy: m.accuracy(),
+            precision: m.precision(),
+            recall: m.recall(),
+            f1: m.weighted_f1(),
+        }
+    }
+
+    /// Mean of a set of metric observations.
+    pub fn mean(all: &[BinaryMetrics]) -> BinaryMetrics {
+        if all.is_empty() {
+            return BinaryMetrics::default();
+        }
+        let n = all.len() as f64;
+        BinaryMetrics {
+            accuracy: all.iter().map(|m| m.accuracy).sum::<f64>() / n,
+            precision: all.iter().map(|m| m.precision).sum::<f64>() / n,
+            recall: all.iter().map(|m| m.recall).sum::<f64>() / n,
+            f1: all.iter().map(|m| m.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+impl std::fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc={:.1}% prec={:.1}% rec={:.1}% f1={:.1}%",
+            self.accuracy * 100.0,
+            self.precision * 100.0,
+            self.recall * 100.0,
+            self.f1 * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [0, 1, 0, 1, 1];
+        let m = BinaryMetrics::from_predictions(&y, &y);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // tp=2 fp=1 tn=1 fn=1
+        let y_true = [1, 1, 1, 0, 0];
+        let y_pred = [1, 1, 0, 1, 0];
+        let m = ConfusionMatrix::from_predictions(&y_true, &y_pred);
+        assert_eq!(m, ConfusionMatrix { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((m.accuracy() - 0.6).abs() < 1e-9);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_all_negative_predictions() {
+        let y_true = [1, 1, 0];
+        let y_pred = [0, 0, 0];
+        let m = ConfusionMatrix::from_predictions(&y_true, &y_pred);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn weighted_f1_accounts_for_both_classes() {
+        let y_true = [0, 0, 0, 0, 1];
+        let y_pred = [0, 0, 0, 0, 0];
+        let m = ConfusionMatrix::from_predictions(&y_true, &y_pred);
+        // positive F1 = 0, negative F1 high → weighted F1 dominated by majority
+        assert!(m.weighted_f1() > 0.7);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let a = BinaryMetrics { accuracy: 1.0, precision: 0.5, recall: 1.0, f1: 0.5 };
+        let b = BinaryMetrics { accuracy: 0.0, precision: 0.5, recall: 0.0, f1: 0.5 };
+        let m = BinaryMetrics::mean(&[a, b]);
+        assert_eq!(m.accuracy, 0.5);
+        assert_eq!(m.precision, 0.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! One-class SVM stand-in via support vector data description (SVDD):
+//! a hypersphere in a random-Fourier-feature space whose radius is set by the
+//! `nu` contamination quantile. Interface mirrors scikit-learn's OneClassSVM
+//! (`predict` returns +1 for inliers, −1 for anomalies).
+
+use glint_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One-class anomaly detector.
+#[derive(Clone, Debug)]
+pub struct OneClassSvm {
+    /// Expected anomaly fraction in training data (quantile for the radius).
+    pub nu: f64,
+    /// RBF bandwidth for the random Fourier features.
+    pub gamma: f32,
+    /// Number of random Fourier features.
+    pub n_features: usize,
+    pub seed: u64,
+    proj: Option<Rff>,
+    center: Vec<f32>,
+    radius: f32,
+}
+
+#[derive(Clone, Debug)]
+struct Rff {
+    w: Matrix,
+    b: Vec<f32>,
+}
+
+impl OneClassSvm {
+    pub fn new(nu: f64) -> Self {
+        assert!((0.0..1.0).contains(&nu));
+        Self { nu, gamma: 0.5, n_features: 64, seed: 0, proj: None, center: Vec::new(), radius: 0.0 }
+    }
+
+    fn featurize(&self, x: &Matrix) -> Matrix {
+        let proj = self.proj.as_ref().expect("fit first");
+        let z = x.matmul(&proj.w); // n × m
+        let scale = (2.0 / self.n_features as f32).sqrt();
+        let mut out = Matrix::zeros(x.rows(), self.n_features);
+        for r in 0..x.rows() {
+            for c in 0..self.n_features {
+                out.set(r, c, scale * (z.get(r, c) + proj.b[c]).cos());
+            }
+        }
+        out
+    }
+
+    /// Fit on (assumed mostly-normal) data.
+    pub fn fit(&mut self, x: &Matrix) {
+        assert!(x.rows() > 0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let scale = (2.0 * self.gamma).sqrt();
+        let w = Matrix::from_vec(
+            x.cols(),
+            self.n_features,
+            (0..x.cols() * self.n_features)
+                .map(|_| {
+                    let s: f32 = (0..12).map(|_| rng.gen_range(0.0f32..1.0)).sum();
+                    (s - 6.0) * scale
+                })
+                .collect(),
+        );
+        let b: Vec<f32> = (0..self.n_features).map(|_| rng.gen_range(0.0..std::f32::consts::TAU)).collect();
+        self.proj = Some(Rff { w, b });
+        let phi = self.featurize(x);
+        self.center = phi.mean_rows().into_vec();
+        let mut dists: Vec<f32> = (0..phi.rows())
+            .map(|r| {
+                phi.row(r)
+                    .iter()
+                    .zip(&self.center)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    .sqrt()
+            })
+            .collect();
+        dists.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = (((1.0 - self.nu) * (dists.len() - 1) as f64).round() as usize).min(dists.len() - 1);
+        self.radius = dists[q];
+    }
+
+    /// Distance beyond the radius (positive = anomalous).
+    pub fn anomaly_score(&self, x: &Matrix) -> Vec<f32> {
+        let phi = self.featurize(x);
+        (0..phi.rows())
+            .map(|r| {
+                let d = phi
+                    .row(r)
+                    .iter()
+                    .zip(&self.center)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    .sqrt();
+                d - self.radius
+            })
+            .collect()
+    }
+
+    /// scikit-learn convention: +1 inlier, −1 anomaly.
+    pub fn predict(&self, x: &Matrix) -> Vec<i32> {
+        self.anomaly_score(x).iter().map(|&s| if s > 0.0 { -1 } else { 1 }).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, center: f32, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_rows(
+            &(0..n)
+                .map(|_| vec![center + rng.gen_range(-0.5f32..0.5), center + rng.gen_range(-0.5f32..0.5)])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn detects_far_outliers() {
+        let train = cluster(200, 0.0, 1);
+        let mut oc = OneClassSvm::new(0.05);
+        oc.fit(&train);
+        let inliers = cluster(50, 0.0, 2);
+        let outliers = cluster(50, 5.0, 3);
+        let in_pred = oc.predict(&inliers);
+        let out_pred = oc.predict(&outliers);
+        let in_rate = in_pred.iter().filter(|&&p| p == 1).count() as f64 / 50.0;
+        let out_rate = out_pred.iter().filter(|&&p| p == -1).count() as f64 / 50.0;
+        assert!(in_rate > 0.8, "inlier acceptance {in_rate}");
+        assert!(out_rate > 0.8, "outlier detection {out_rate}");
+    }
+
+    #[test]
+    fn nu_controls_training_rejection() {
+        let train = cluster(200, 0.0, 4);
+        let mut strict = OneClassSvm::new(0.3);
+        strict.fit(&train);
+        let rejected =
+            strict.predict(&train).iter().filter(|&&p| p == -1).count() as f64 / 200.0;
+        assert!((rejected - 0.3).abs() < 0.1, "rejection rate {rejected}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Principal component analysis via power iteration with deflation
+//! (Figure 9 projects 256-d graph embeddings to 2-d with PCA).
+
+use glint_tensor::Matrix;
+
+/// Fitted PCA transform.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    pub n_components: usize,
+    mean: Vec<f32>,
+    /// `n_components × d` row-major component matrix.
+    components: Matrix,
+}
+
+impl Pca {
+    /// Fit on `x` (n × d). Uses power iteration on the covariance with
+    /// deflation; adequate for the low component counts used here.
+    pub fn fit(x: &Matrix, n_components: usize) -> Self {
+        assert!(n_components >= 1 && n_components <= x.cols());
+        assert!(x.rows() >= 2, "need at least two samples");
+        let mean = x.mean_rows().into_vec();
+        let mut centered = x.clone();
+        for r in 0..centered.rows() {
+            for (v, m) in centered.row_mut(r).iter_mut().zip(&mean) {
+                *v -= m;
+            }
+        }
+        // covariance (d × d), scaled
+        let mut cov = centered.t_matmul(&centered);
+        let inv = 1.0 / (x.rows() - 1) as f32;
+        cov.map_inplace(|v| v * inv);
+
+        let d = x.cols();
+        let mut components = Matrix::zeros(n_components, d);
+        let mut work = cov;
+        for comp in 0..n_components {
+            // deterministic start vector
+            let mut v: Vec<f32> = (0..d).map(|i| ((i + comp + 1) as f32).sin()).collect();
+            normalize(&mut v);
+            for _ in 0..200 {
+                let mut next = vec![0.0f32; d];
+                for r in 0..d {
+                    let row = work.row(r);
+                    next[r] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+                }
+                let n = normalize(&mut next);
+                if n < 1e-12 {
+                    break;
+                }
+                let delta: f32 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+                v = next;
+                if delta < 1e-7 {
+                    break;
+                }
+            }
+            // eigenvalue for deflation
+            let mut av = vec![0.0f32; d];
+            for r in 0..d {
+                av[r] = work.row(r).iter().zip(&v).map(|(a, b)| a * b).sum();
+            }
+            let lambda: f32 = av.iter().zip(&v).map(|(a, b)| a * b).sum();
+            components.row_mut(comp).copy_from_slice(&v);
+            // deflate: work -= λ v vᵀ
+            for r in 0..d {
+                for c in 0..d {
+                    let val = work.get(r, c) - lambda * v[r] * v[c];
+                    work.set(r, c, val);
+                }
+            }
+        }
+        Self { n_components, mean, components }
+    }
+
+    /// Project points into the component space (n × n_components).
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.len());
+        let mut centered = x.clone();
+        for r in 0..centered.rows() {
+            for (v, m) in centered.row_mut(r).iter_mut().zip(&self.mean) {
+                *v -= m;
+            }
+        }
+        centered.matmul_t(&self.components)
+    }
+
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if n > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn first_component_is_max_variance_direction() {
+        // data stretched along (1, 1)/√2
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|_| {
+                let t = rng.gen_range(-5.0f32..5.0);
+                let noise = rng.gen_range(-0.1f32..0.1);
+                vec![t + noise, t - noise]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&x, 1);
+        let c = pca.components().row(0);
+        let expected = 1.0 / 2.0f32.sqrt();
+        assert!(
+            (c[0].abs() - expected).abs() < 0.05 && (c[1].abs() - expected).abs() < 0.05,
+            "component {c:?}"
+        );
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows: Vec<Vec<f32>> =
+            (0..100).map(|_| (0..5).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+        let x = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&x, 3);
+        for i in 0..3 {
+            let ni: f32 = pca.components().row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((ni - 1.0).abs() < 1e-3, "component {i} norm {ni}");
+            for j in 0..i {
+                let dot: f32 = pca
+                    .components()
+                    .row(i)
+                    .iter()
+                    .zip(pca.components().row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 0.05, "components {i},{j} not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let x = Matrix::from_rows(&[vec![10.0, 0.0], vec![12.0, 0.0], vec![14.0, 0.0]]);
+        let pca = Pca::fit(&x, 1);
+        let t = pca.transform(&x);
+        let mean: f32 = (0..3).map(|r| t.get(r, 0)).sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Class-imbalance utilities: inverse-frequency weights, random
+//! oversampling, and feature standardization.
+
+use glint_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Inverse-frequency class weights for `n_classes`, normalized to mean 1
+/// ("class weights inversely proportional to class frequencies", §4.1).
+pub fn class_weights(y: &[usize], n_classes: usize) -> Vec<f32> {
+    let mut counts = vec![0usize; n_classes];
+    for &c in y {
+        counts[c] += 1;
+    }
+    let total = y.len().max(1) as f32;
+    counts
+        .iter()
+        .map(|&c| if c == 0 { 1.0 } else { total / (n_classes as f32 * c as f32) })
+        .collect()
+}
+
+/// Per-sample weights from class weights.
+pub fn sample_weights(y: &[usize], class_w: &[f32]) -> Vec<f32> {
+    y.iter().map(|&c| class_w[c]).collect()
+}
+
+/// Randomly oversample minority-class rows until each class has at least
+/// `target_ratio` × majority count. Returns the new (x, y).
+pub fn oversample(x: &Matrix, y: &[usize], target_ratio: f64, seed: u64) -> (Matrix, Vec<usize>) {
+    assert_eq!(x.rows(), y.len());
+    let n_classes = y.iter().copied().max().map_or(0, |m| m + 1);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &c) in y.iter().enumerate() {
+        by_class[c].push(i);
+    }
+    let majority = by_class.iter().map(Vec::len).max().unwrap_or(0);
+    let target = ((majority as f64) * target_ratio).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<usize> = (0..y.len()).collect();
+    for class_rows in &by_class {
+        if class_rows.is_empty() || class_rows.len() >= target {
+            continue;
+        }
+        for _ in 0..(target - class_rows.len()) {
+            rows.push(*class_rows.choose(&mut rng).expect("class nonempty"));
+        }
+    }
+    rows.shuffle(&mut rng);
+    let new_y: Vec<usize> = rows.iter().map(|&i| y[i]).collect();
+    (x.gather_rows(&rows), new_y)
+}
+
+/// Column-wise standardizer fitted on training data.
+#[derive(Clone, Debug)]
+pub struct Scaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Scaler {
+    pub fn fit(x: &Matrix) -> Self {
+        let n = x.rows().max(1) as f32;
+        let mut mean = vec![0.0f32; x.cols()];
+        for r in 0..x.rows() {
+            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0f32; x.cols()];
+        for r in 0..x.rows() {
+            for ((s, &v), &m) in std.iter_mut().zip(x.row(r)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt().max(1e-6);
+        }
+        Self { mean, std }
+    }
+
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.len());
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let cols = out.cols();
+            let row = out.row_mut(r);
+            for c in 0..cols {
+                row[c] = (row[c] - self.mean[c]) / self.std[c];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_frequency_weights() {
+        let y = [0, 0, 0, 1];
+        let w = class_weights(&y, 2);
+        assert!(w[1] > w[0]);
+        // mean sample weight ≈ 1
+        let sw = sample_weights(&y, &w);
+        let mean: f32 = sw.iter().sum::<f32>() / sw.len() as f32;
+        assert!((mean - 1.0).abs() < 0.2, "mean sample weight {mean}");
+    }
+
+    #[test]
+    fn oversample_balances() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![10.0]]);
+        let y = [0, 0, 0, 0, 1];
+        let (x2, y2) = oversample(&x, &y, 1.0, 1);
+        let pos = y2.iter().filter(|&&c| c == 1).count();
+        assert_eq!(pos, 4);
+        assert_eq!(x2.rows(), y2.len());
+        // oversampled rows are copies of the single positive row
+        for (i, &c) in y2.iter().enumerate() {
+            if c == 1 {
+                assert_eq!(x2.row(i), &[10.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn scaler_standardizes() {
+        let x = Matrix::from_rows(&[vec![1.0, 100.0], vec![3.0, 300.0]]);
+        let s = Scaler::fit(&x);
+        let t = s.transform(&x);
+        // each column: mean 0, unit variance
+        for c in 0..2 {
+            let m = (t.get(0, c) + t.get(1, c)) / 2.0;
+            assert!(m.abs() < 1e-5);
+            assert!((t.get(0, c).abs() - 1.0).abs() < 1e-4);
+        }
+    }
+}

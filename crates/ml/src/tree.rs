@@ -1,0 +1,277 @@
+//! CART decision trees: weighted-Gini classification and variance-reduction
+//! regression (the latter backs gradient boosting).
+
+use glint_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A binary tree node stored in an arena.
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Leaf { value: f32 },
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
+}
+
+/// Tree growth hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// Number of candidate features per split (None = all).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 2, max_features: None }
+    }
+}
+
+/// A fitted CART tree. For classification leaves hold the positive-class
+/// probability; for regression the mean target.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    nodes: Vec<NodeKind>,
+}
+
+/// Split criterion.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Criterion {
+    /// Weighted Gini impurity on binary targets (0/1 in `y`).
+    Gini,
+    /// Variance reduction on real-valued targets.
+    Variance,
+}
+
+struct Grower<'a> {
+    x: &'a Matrix,
+    y: &'a [f32],
+    w: &'a [f32],
+    config: TreeConfig,
+    criterion: Criterion,
+    nodes: Vec<NodeKind>,
+}
+
+impl Tree {
+    /// Fit a tree on rows `idx` of `(x, y)` with sample weights `w`.
+    /// `rng` drives the per-split feature subsampling (random forests).
+    pub fn fit(
+        x: &Matrix,
+        y: &[f32],
+        w: &[f32],
+        idx: &[usize],
+        config: TreeConfig,
+        criterion: Criterion,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len());
+        assert_eq!(y.len(), w.len());
+        let mut grower = Grower { x, y, w, config, criterion, nodes: Vec::new() };
+        let mut indices = idx.to_vec();
+        grower.grow(&mut indices, 0, rng);
+        Tree { nodes: grower.nodes }
+    }
+
+    /// Predict the leaf value for one row.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                NodeKind::Leaf { value } => return *value,
+                NodeKind::Split { feature, threshold, left, right } => {
+                    cur = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    pub fn predict(&self, x: &Matrix) -> Vec<f32> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (1 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[NodeKind], i: usize) -> usize {
+            match &nodes[i] {
+                NodeKind::Leaf { .. } => 1,
+                NodeKind::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+impl Grower<'_> {
+    fn leaf_value(&self, idx: &[usize]) -> f32 {
+        let mut wsum = 0.0;
+        let mut vsum = 0.0;
+        for &i in idx {
+            wsum += self.w[i];
+            vsum += self.w[i] * self.y[i];
+        }
+        if wsum > 0.0 {
+            vsum / wsum
+        } else {
+            0.0
+        }
+    }
+
+    /// Weighted impurity of a (wsum, ysum, y2sum) accumulator.
+    fn impurity(&self, wsum: f32, ysum: f32, y2sum: f32) -> f32 {
+        if wsum <= 0.0 {
+            return 0.0;
+        }
+        match self.criterion {
+            Criterion::Gini => {
+                let p = ysum / wsum;
+                2.0 * p * (1.0 - p) * wsum
+            }
+            Criterion::Variance => y2sum - ysum * ysum / wsum,
+        }
+    }
+
+    fn grow(&mut self, idx: &mut Vec<usize>, depth: usize, rng: &mut StdRng) -> usize {
+        let node_id = self.nodes.len();
+        self.nodes.push(NodeKind::Leaf { value: self.leaf_value(idx) });
+        if depth >= self.config.max_depth || idx.len() < self.config.min_samples_split {
+            return node_id;
+        }
+        // candidate features
+        let n_features = self.x.cols();
+        let mut features: Vec<usize> = (0..n_features).collect();
+        if let Some(m) = self.config.max_features {
+            features.shuffle(rng);
+            features.truncate(m.min(n_features));
+        }
+        // total accumulators
+        let (mut wt, mut yt, mut y2t) = (0.0f32, 0.0f32, 0.0f32);
+        for &i in idx.iter() {
+            wt += self.w[i];
+            yt += self.w[i] * self.y[i];
+            y2t += self.w[i] * self.y[i] * self.y[i];
+        }
+        let parent_imp = self.impurity(wt, yt, y2t);
+        if parent_imp <= 1e-9 {
+            return node_id; // pure node
+        }
+        let mut best: Option<(f32, usize, f32)> = None; // (gain, feature, threshold)
+        let mut order = idx.clone();
+        for &f in &features {
+            order.sort_unstable_by(|&a, &b| {
+                self.x.get(a, f).partial_cmp(&self.x.get(b, f)).unwrap()
+            });
+            let (mut wl, mut yl, mut y2l) = (0.0f32, 0.0f32, 0.0f32);
+            for k in 0..order.len().saturating_sub(1) {
+                let i = order[k];
+                wl += self.w[i];
+                yl += self.w[i] * self.y[i];
+                y2l += self.w[i] * self.y[i] * self.y[i];
+                let xv = self.x.get(i, f);
+                let xn = self.x.get(order[k + 1], f);
+                if xn <= xv {
+                    continue; // no split point between equal values
+                }
+                let imp = self.impurity(wl, yl, y2l)
+                    + self.impurity(wt - wl, yt - yl, y2t - y2l);
+                let gain = parent_imp - imp;
+                // like sklearn: any valid split of an impure node is allowed
+                // (zero-gain splits let depth-2 structures such as XOR
+                // resolve); the best gain still wins
+                if gain > best.map_or(-1e-6, |(g, _, _)| g) {
+                    best = Some((gain, f, 0.5 * (xv + xn)));
+                }
+            }
+        }
+        let Some((_, feature, threshold)) = best else {
+            return node_id;
+        };
+        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| self.x.get(i, feature) <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return node_id;
+        }
+        let left = self.grow(&mut left_idx, depth + 1, rng);
+        let right = self.grow(&mut right_idx, depth + 1, rng);
+        self.nodes[node_id] = NodeKind::Split { feature, threshold, left, right };
+        node_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn xor_data() -> (Matrix, Vec<f32>) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = vec![0.0, 1.0, 1.0, 0.0];
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let w = vec![1.0; 4];
+        let idx: Vec<usize> = (0..4).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = Tree::fit(&x, &y, &w, &idx, TreeConfig::default(), Criterion::Gini, &mut rng);
+        for i in 0..4 {
+            let p = tree.predict_row(x.row(i));
+            assert_eq!((p > 0.5) as i32 as f32, y[i], "row {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (x, y) = xor_data();
+        let w = vec![1.0; 4];
+        let idx: Vec<usize> = (0..4).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let tree = Tree::fit(&x, &y, &w, &idx, cfg, Criterion::Gini, &mut rng);
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn regression_fits_step_function() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![10.0], vec![11.0]]);
+        let y = vec![1.0, 1.0, 1.0, 5.0, 5.0];
+        let w = vec![1.0; 5];
+        let idx: Vec<usize> = (0..5).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = Tree::fit(&x, &y, &w, &idx, TreeConfig::default(), Criterion::Variance, &mut rng);
+        assert!((tree.predict_row(&[1.5]) - 1.0).abs() < 1e-5);
+        assert!((tree.predict_row(&[10.5]) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pure_node_stays_leaf() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let y = vec![1.0, 1.0, 1.0];
+        let w = vec![1.0; 3];
+        let idx: Vec<usize> = (0..3).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = Tree::fit(&x, &y, &w, &idx, TreeConfig::default(), Criterion::Gini, &mut rng);
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn sample_weights_bias_the_leaf() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0]]);
+        let y = vec![0.0, 1.0];
+        let w = vec![1.0, 9.0];
+        let idx: Vec<usize> = vec![0, 1];
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = Tree::fit(&x, &y, &w, &idx, TreeConfig::default(), Criterion::Gini, &mut rng);
+        assert!((tree.predict_row(&[0.0]) - 0.9).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the classical-ML substrate.
+
+use glint_ml::metrics::{BinaryMetrics, ConfusionMatrix};
+use glint_ml::sampling::{class_weights, oversample, Scaler};
+use glint_ml::{kmeans::KMeans, knn::Knn, pca::Pca, Classifier};
+use glint_tensor::Matrix;
+use proptest::prelude::*;
+
+fn labels(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..2, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn confusion_matrix_totals_and_bounds(y_true in labels(20), y_pred in labels(20)) {
+        let m = ConfusionMatrix::from_predictions(&y_true, &y_pred);
+        prop_assert_eq!(m.total(), 20);
+        for v in [m.accuracy(), m.precision(), m.recall(), m.f1(), m.weighted_f1()] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_score_one(y in labels(15)) {
+        prop_assume!(y.contains(&1) && y.contains(&0));
+        let m = BinaryMetrics::from_predictions(&y, &y);
+        prop_assert_eq!(m.accuracy, 1.0);
+        prop_assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn class_weights_are_inverse_frequency(y in labels(30)) {
+        prop_assume!(y.contains(&1) && y.contains(&0));
+        let w = class_weights(&y, 2);
+        let n0 = y.iter().filter(|&&c| c == 0).count() as f32;
+        let n1 = y.len() as f32 - n0;
+        // rarer class gets the larger weight
+        if n0 < n1 {
+            prop_assert!(w[0] >= w[1]);
+        } else if n1 < n0 {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn oversampling_only_duplicates_existing_rows(
+        rows in proptest::collection::vec(proptest::collection::vec(-1.0f32..1.0, 2), 6..20),
+        seed in 0u64..100,
+    ) {
+        let n = rows.len();
+        let y: Vec<usize> = (0..n).map(|i| usize::from(i < 2)).collect(); // 2 positives
+        let x = Matrix::from_rows(&rows);
+        let (x2, y2) = oversample(&x, &y, 1.0, seed);
+        prop_assert!(x2.rows() >= x.rows());
+        prop_assert_eq!(x2.rows(), y2.len());
+        for r in 0..x2.rows() {
+            let found = (0..n).any(|i| x.row(i) == x2.row(r));
+            prop_assert!(found, "oversampling fabricated a row");
+        }
+    }
+
+    #[test]
+    fn scaler_transform_is_affine_invertible_in_spirit(
+        rows in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 3), 4..12),
+    ) {
+        let x = Matrix::from_rows(&rows);
+        let scaler = Scaler::fit(&x);
+        let t = scaler.transform(&x);
+        prop_assert_eq!(t.shape(), x.shape());
+        // column means ≈ 0 after standardization
+        for c in 0..3 {
+            let mean: f32 = (0..t.rows()).map(|r| t.get(r, c)).sum::<f32>() / t.rows() as f32;
+            prop_assert!(mean.abs() < 1e-3, "column {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn knn_train_accuracy_is_perfect_with_k1(
+        rows in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 2), 4..16),
+        y in labels(16),
+    ) {
+        let n = rows.len();
+        // require unique rows so nearest neighbour of each point is itself
+        let mut uniq = rows.clone();
+        uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        uniq.dedup();
+        prop_assume!(uniq.len() == n);
+        let y = &y[..n];
+        let x = Matrix::from_rows(&rows);
+        let mut knn = Knn::new(1);
+        knn.fit(&x, y);
+        prop_assert_eq!(knn.predict(&x), y.to_vec());
+    }
+
+    #[test]
+    fn kmeans_assignments_are_nearest_centroid(seed in 0u64..50) {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let c = if i % 2 == 0 { 0.0 } else { 8.0 };
+            rows.push(vec![c + (i as f32 * 0.07).sin(), (i as f32 * 0.13).cos()]);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut km = KMeans::new(2).with_seed(seed);
+        let assign = km.fit(&x);
+        for r in 0..x.rows() {
+            let d = |c: usize| -> f32 {
+                x.row(r).iter().zip(km.centroids().row(c)).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            prop_assert!(d(assign[r]) <= d(1 - assign[r]) + 1e-5);
+        }
+    }
+
+    #[test]
+    fn pca_projection_preserves_point_count(
+        rows in proptest::collection::vec(proptest::collection::vec(-2.0f32..2.0, 4), 5..15),
+    ) {
+        let x = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&x, 2);
+        let t = pca.transform(&x);
+        prop_assert_eq!(t.shape(), (x.rows(), 2));
+        prop_assert!(t.all_finite());
+    }
+}

@@ -1,0 +1,107 @@
+//! Lexical channel affinities: which environment channels a device word is
+//! commonly associated with, and in which direction its activation pushes
+//! them. This is dictionary-style world knowledge (the kind distributional
+//! embeddings and ConceptNet carry), used by Algorithm 1's semantic features
+//! — it is *not* the ground-truth physical oracle, which lives in
+//! `glint-rules` and also covers locations, thresholds, and state logic.
+
+use crate::lexicon::{Category, Lexicon};
+
+/// Channels a device concept is associated with: `(channel concept, sign)`.
+/// Sign +1 = activation pushes the channel up, −1 = down, 0 = discrete event.
+pub fn signed_channels(word: &str) -> Vec<(&'static str, i8)> {
+    let concept = Lexicon::global().concept_of(word);
+    match concept.as_str() {
+        "heater" | "oven" | "water_heater" | "thermostat" => vec![("temperature", 1)],
+        "ac" => vec![("temperature", -1), ("humidity", -1)],
+        "fan" => vec![("temperature", -1), ("sound", 1)],
+        "window" => vec![("temperature", -1), ("contact", 0), ("air_quality", 1)],
+        "humidifier" => vec![("humidity", 1)],
+        "dehumidifier" => vec![("humidity", -1)],
+        "light" => vec![("illuminance", 1)],
+        "blinds" => vec![("illuminance", -1)],
+        "tv" => vec![("sound", 1), ("illuminance", 1)],
+        "speaker" => vec![("sound", 1)],
+        "vacuum" => vec![("motion", 0), ("sound", 1)],
+        "washer" | "dryer" | "dishwasher" => vec![("sound", 1), ("power", 1), ("humidity", 1)],
+        "door" | "garage_door" => vec![("contact", 0), ("motion", 0)],
+        "lock_dev" => vec![("contact", 0)],
+        "sprinkler" => vec![("leak", 1), ("humidity", 1)],
+        "valve" => vec![("leak", 1)],
+        "alarm" | "smoke_alarm" | "doorbell" => vec![("sound", 1)],
+        "switch" | "plug" | "coffee_maker" => vec![("power", 1)],
+        "purifier" => vec![("air_quality", -1), ("power", 1)],
+        _ => Vec::new(),
+    }
+}
+
+/// If the word *names* a channel ("temperature", "humidity", "motion"…),
+/// its channel concept.
+pub fn channel_concept(word: &str) -> Option<String> {
+    let lex = Lexicon::global();
+    (lex.category(word) == Category::Channel).then(|| lex.concept_of(word))
+}
+
+/// Polarity of an action phrase from its state/verb words:
+/// +1 activating (on/open/start/play), −1 deactivating (off/close/stop), 0
+/// unknown.
+pub fn action_polarity(words: &[String]) -> i8 {
+    let lex = Lexicon::global();
+    for w in words {
+        match lex.concept_of(w).as_str() {
+            "st_on" | "v_start" | "v_play" | "st_open" | "v_open" | "v_heat" | "v_brighten"
+            | "v_arm" | "st_armed" => return 1,
+            "st_off" | "v_turn_off" | "v_stop" | "st_closed" | "v_close" | "v_cool" | "v_dim"
+            | "v_disarm" | "st_disarmed" => return -1,
+            _ => {}
+        }
+    }
+    0
+}
+
+/// Direction a trigger phrase watches: +1 for "above/high/rises/on",
+/// −1 for "below/low/drops/off", 0 for events/ranges.
+pub fn trigger_direction(words: &[String]) -> i8 {
+    let lex = Lexicon::global();
+    for w in words {
+        match lex.concept_of(w).as_str() {
+            "st_above" | "st_high" | "v_rise" | "st_on" | "st_open" => return 1,
+            "st_below" | "st_low" | "v_drop" | "st_off" | "st_closed" => return -1,
+            _ => {}
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_channel_knowledge() {
+        assert!(signed_channels("oven").iter().any(|&(c, s)| c == "temperature" && s == 1));
+        assert!(signed_channels("air_conditioner").iter().any(|&(c, s)| c == "temperature" && s == -1));
+        assert!(signed_channels("roomba").iter().any(|&(c, _)| c == "motion"));
+        assert!(signed_channels("sunset").is_empty());
+    }
+
+    #[test]
+    fn channel_nouns_resolve() {
+        assert_eq!(channel_concept("temperature").as_deref(), Some("temperature"));
+        assert_eq!(channel_concept("moisture").as_deref(), Some("humidity"));
+        assert_eq!(channel_concept("light"), None, "devices are not channels");
+    }
+
+    #[test]
+    fn polarity_and_direction() {
+        let on = vec!["turn".to_string(), "on".to_string()];
+        let off = vec!["turn".to_string(), "off".to_string()];
+        assert_eq!(action_polarity(&on), 1);
+        assert_eq!(action_polarity(&off), -1);
+        let above = vec!["above".to_string()];
+        let below = vec!["below".to_string()];
+        assert_eq!(trigger_direction(&above), 1);
+        assert_eq!(trigger_direction(&below), -1);
+        assert_eq!(trigger_direction(&["detected".to_string()]), 0);
+    }
+}

@@ -1,0 +1,474 @@
+//! The smart-home domain lexicon.
+//!
+//! Every content word the rule corpus can produce is catalogued here with its
+//! part of speech, semantic category, and *concept* — synonyms share one
+//! concept id, which is what makes the embedding space (and the WordNet
+//! stand-in) semantically coherent.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Part-of-speech tags (spaCy coarse tag set subset).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Pos {
+    Noun,
+    Verb,
+    Adj,
+    Adv,
+    Adp,
+    Det,
+    Num,
+    Sconj,
+    Cconj,
+    Pron,
+    Part,
+    X,
+}
+
+/// Semantic category of a lexicon entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Controllable or sensing device ("light", "air_conditioner").
+    Device,
+    /// Physical/environment channel ("temperature", "smoke").
+    Channel,
+    /// Device-state word ("on", "locked", "open").
+    State,
+    /// Action verb ("turn", "open", "lock").
+    Action,
+    /// Sensing/event verb ("detect", "beep").
+    Event,
+    /// Location noun ("kitchen", "bedroom").
+    Location,
+    /// Time expression ("sunset", "midnight", "pm").
+    Time,
+    /// Numeric value or unit.
+    Value,
+    /// Person/agent ("user", "alexa").
+    Agent,
+    /// Anything else (function words, glue).
+    Misc,
+}
+
+/// A lexicon entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    pub word: &'static str,
+    pub pos: Pos,
+    pub category: Category,
+    /// Concept id; synonyms share it.
+    pub concept: &'static str,
+}
+
+/// The global, immutable domain lexicon.
+pub struct Lexicon {
+    entries: HashMap<&'static str, Entry>,
+    /// Multi-word expressions, longest-first, as (joined_key, words).
+    mwes: Vec<(&'static str, Vec<&'static str>)>,
+}
+
+macro_rules! entries {
+    ($($word:literal, $pos:ident, $cat:ident, $concept:literal;)*) => {
+        &[$(Entry { word: $word, pos: Pos::$pos, category: Category::$cat, concept: $concept }),*]
+    };
+}
+
+fn raw_entries() -> &'static [Entry] {
+    entries![
+        // ---- devices ----
+        "light", Noun, Device, "light";
+        "lights", Noun, Device, "light";
+        "lamp", Noun, Device, "light";
+        "bulb", Noun, Device, "light";
+        "window", Noun, Device, "window";
+        "windows", Noun, Device, "window";
+        "door", Noun, Device, "door";
+        "doors", Noun, Device, "door";
+        "lock", Noun, Device, "lock_dev";
+        "deadbolt", Noun, Device, "lock_dev";
+        "thermostat", Noun, Device, "thermostat";
+        "heater", Noun, Device, "heater";
+        "furnace", Noun, Device, "heater";
+        "air_conditioner", Noun, Device, "ac";
+        "ac", Noun, Device, "ac";
+        "humidifier", Noun, Device, "humidifier";
+        "dehumidifier", Noun, Device, "dehumidifier";
+        "fan", Noun, Device, "fan";
+        "camera", Noun, Device, "camera";
+        "vacuum", Noun, Device, "vacuum";
+        "roomba", Noun, Device, "vacuum";
+        "tv", Noun, Device, "tv";
+        "television", Noun, Device, "tv";
+        "oven", Noun, Device, "oven";
+        "stove", Noun, Device, "oven";
+        "alarm", Noun, Device, "alarm";
+        "siren", Noun, Device, "alarm";
+        "smoke_alarm", Noun, Device, "smoke_alarm";
+        "smoke_detector", Noun, Device, "smoke_alarm";
+        "sensor", Noun, Device, "sensor";
+        "motion_sensor", Noun, Device, "motion_sensor";
+        "contact_sensor", Noun, Device, "contact_sensor";
+        "presence_sensor", Noun, Device, "presence_sensor";
+        "temperature_sensor", Noun, Device, "temperature_sensor";
+        "humidity_sensor", Noun, Device, "humidity_sensor";
+        "switch", Noun, Device, "switch";
+        "plug", Noun, Device, "plug";
+        "outlet", Noun, Device, "plug";
+        "speaker", Noun, Device, "speaker";
+        "doorbell", Noun, Device, "doorbell";
+        "sprinkler", Noun, Device, "sprinkler";
+        "valve", Noun, Device, "valve";
+        "blinds", Noun, Device, "blinds";
+        "shades", Noun, Device, "blinds";
+        "curtain", Noun, Device, "blinds";
+        "garage_door", Noun, Device, "garage_door";
+        "coffee_maker", Noun, Device, "coffee_maker";
+        "kettle", Noun, Device, "coffee_maker";
+        "washer", Noun, Device, "washer";
+        "dryer", Noun, Device, "dryer";
+        "dishwasher", Noun, Device, "dishwasher";
+        "fridge", Noun, Device, "fridge";
+        "refrigerator", Noun, Device, "fridge";
+        "button", Noun, Device, "button";
+        "hub", Noun, Device, "hub";
+        "phone", Noun, Device, "phone";
+        "water_heater", Noun, Device, "water_heater";
+        "leak_sensor", Noun, Device, "leak_sensor";
+        "purifier", Noun, Device, "purifier";
+        // ---- physical channels ----
+        "temperature", Noun, Channel, "temperature";
+        "heat", Noun, Channel, "temperature";
+        "humidity", Noun, Channel, "humidity";
+        "moisture", Noun, Channel, "humidity";
+        "smoke", Noun, Channel, "smoke";
+        "motion", Noun, Channel, "motion";
+        "movement", Noun, Channel, "motion";
+        "presence", Noun, Channel, "presence";
+        "occupancy", Noun, Channel, "presence";
+        "brightness", Noun, Channel, "illuminance";
+        "illuminance", Noun, Channel, "illuminance";
+        "luminosity", Noun, Channel, "illuminance";
+        "sound", Noun, Channel, "sound";
+        "noise", Noun, Channel, "sound";
+        "music", Noun, Channel, "sound";
+        "power", Noun, Channel, "power";
+        "energy", Noun, Channel, "power";
+        "contact", Noun, Channel, "contact";
+        "weather", Noun, Channel, "weather";
+        "rain", Noun, Channel, "weather";
+        "co2", Noun, Channel, "air_quality";
+        "air_quality", Noun, Channel, "air_quality";
+        "water", Noun, Channel, "leak";
+        "leak", Noun, Channel, "leak";
+        "home_state", Noun, Channel, "home_mode";
+        "homestate", Noun, Channel, "home_mode";
+        "mode", Noun, Channel, "home_mode";
+        // ---- states ----
+        "on", Adj, State, "st_on";
+        "off", Adj, State, "st_off";
+        "open", Adj, State, "st_open";
+        "opened", Adj, State, "st_open";
+        "closed", Adj, State, "st_closed";
+        "shut", Adj, State, "st_closed";
+        "locked", Adj, State, "st_locked";
+        "unlocked", Adj, State, "st_unlocked";
+        "armed", Adj, State, "st_armed";
+        "disarmed", Adj, State, "st_disarmed";
+        "home", Adj, State, "st_home";
+        "away", Adj, State, "st_away";
+        "high", Adj, State, "st_high";
+        "low", Adj, State, "st_low";
+        "above", Adp, State, "st_above";
+        "below", Adp, State, "st_below";
+        "between", Adp, State, "st_between";
+        "detected", Adj, State, "st_detected";
+        "beeping", Adj, State, "st_beeping";
+        "occupied", Adj, State, "st_occupied";
+        "vacant", Adj, State, "st_vacant";
+        "manual", Adj, State, "st_manual";
+        "bright", Adj, State, "st_high";
+        "dark", Adj, State, "st_low";
+        "hot", Adj, State, "st_high";
+        "cold", Adj, State, "st_low";
+        "wet", Adj, State, "st_detected";
+        "dry", Adj, State, "st_vacant";
+        // ---- action verbs ----
+        "turn", Verb, Action, "v_turn";
+        "switch_on", Verb, Action, "v_turn";
+        "toggle", Verb, Action, "v_turn";
+        "activate", Verb, Action, "v_turn";
+        "deactivate", Verb, Action, "v_turn_off";
+        "enable", Verb, Action, "v_turn";
+        "disable", Verb, Action, "v_turn_off";
+        "open", Verb, Action, "v_open";
+        "close", Verb, Action, "v_close";
+        "lock", Verb, Action, "v_lock";
+        "unlock", Verb, Action, "v_unlock";
+        "dim", Verb, Action, "v_dim";
+        "brighten", Verb, Action, "v_brighten";
+        "set", Verb, Action, "v_set";
+        "adjust", Verb, Action, "v_set";
+        "start", Verb, Action, "v_start";
+        "run", Verb, Action, "v_start";
+        "stop", Verb, Action, "v_stop";
+        "pause", Verb, Action, "v_stop";
+        "play", Verb, Action, "v_play";
+        "send", Verb, Action, "v_notify";
+        "notify", Verb, Action, "v_notify";
+        "alert", Verb, Action, "v_notify";
+        "text", Verb, Action, "v_notify";
+        "arm", Verb, Action, "v_arm";
+        "disarm", Verb, Action, "v_disarm";
+        "keep", Verb, Action, "v_keep";
+        "snapshot", Verb, Action, "v_snapshot";
+        "record", Verb, Action, "v_snapshot";
+        "water", Verb, Action, "v_water";
+        "heat", Verb, Action, "v_heat";
+        "cool", Verb, Action, "v_cool";
+        "preheat", Verb, Action, "v_heat";
+        "mute", Verb, Action, "v_stop";
+        "announce", Verb, Action, "v_notify";
+        // ---- event/sensing verbs ----
+        "detect", Verb, Event, "v_detect";
+        "detects", Verb, Event, "v_detect";
+        "sense", Verb, Event, "v_detect";
+        "beep", Verb, Event, "v_beep";
+        "beeps", Verb, Event, "v_beep";
+        "ring", Verb, Event, "v_beep";
+        "rise", Verb, Event, "v_rise";
+        "rises", Verb, Event, "v_rise";
+        "drop", Verb, Event, "v_drop";
+        "drops", Verb, Event, "v_drop";
+        "fall", Verb, Event, "v_drop";
+        "exceed", Verb, Event, "v_rise";
+        "exceeds", Verb, Event, "v_rise";
+        "opens", Verb, Event, "v_open_ev";
+        "closes", Verb, Event, "v_close_ev";
+        "arrive", Verb, Event, "v_arrive";
+        "arrives", Verb, Event, "v_arrive";
+        "leave", Verb, Event, "v_leave";
+        "leaves", Verb, Event, "v_leave";
+        "report", Verb, Event, "v_report";
+        "reports", Verb, Event, "v_report";
+        "is", Verb, Misc, "v_be";
+        "are", Verb, Misc, "v_be";
+        "becomes", Verb, Event, "v_be";
+        // ---- locations ----
+        "kitchen", Noun, Location, "kitchen";
+        "bedroom", Noun, Location, "bedroom";
+        "bathroom", Noun, Location, "bathroom";
+        "living_room", Noun, Location, "living_room";
+        "livingroom", Noun, Location, "living_room";
+        "hallway", Noun, Location, "hallway";
+        "garage", Noun, Location, "garage";
+        "garden", Noun, Location, "garden";
+        "lawn", Noun, Location, "garden";
+        "yard", Noun, Location, "garden";
+        "office", Noun, Location, "office";
+        "basement", Noun, Location, "basement";
+        "outside", Noun, Location, "outdoor";
+        "outdoor", Adj, Location, "outdoor";
+        "indoor", Adj, Location, "indoor";
+        "inside", Noun, Location, "indoor";
+        "room", Noun, Location, "room";
+        "house", Noun, Location, "house";
+        // ---- time ----
+        "sunset", Noun, Time, "sunset";
+        "sunrise", Noun, Time, "sunrise";
+        "sun", Noun, Time, "sunrise";
+        "midnight", Noun, Time, "midnight";
+        "noon", Noun, Time, "noon";
+        "morning", Noun, Time, "morning";
+        "evening", Noun, Time, "evening";
+        "night", Noun, Time, "night";
+        "am", Noun, Time, "t_am";
+        "pm", Noun, Time, "t_pm";
+        "oclock", Noun, Time, "t_oclock";
+        "daily", Adv, Time, "t_daily";
+        "everyday", Adv, Time, "t_daily";
+        "weekday", Noun, Time, "t_daily";
+        "time", Noun, Time, "t_time";
+        "hour", Noun, Time, "t_time";
+        "minutes", Noun, Time, "t_time";
+        // ---- values / units ----
+        "degrees", Noun, Value, "u_degree";
+        "fahrenheit", Noun, Value, "u_degree";
+        "celsius", Noun, Value, "u_degree";
+        "percent", Noun, Value, "u_percent";
+        // ---- agents ----
+        "alexa", Noun, Agent, "alexa";
+        "user", Noun, Agent, "user";
+        "everyone", Pron, Agent, "user";
+        "somebody", Pron, Agent, "user";
+        "nobody", Pron, Agent, "user";
+        "me", Pron, Agent, "user";
+        "i", Pron, Agent, "user";
+        // ---- glue ----
+        "if", Sconj, Misc, "g_if";
+        "when", Sconj, Misc, "g_when";
+        "then", Adv, Misc, "g_then";
+        "while", Sconj, Misc, "g_while";
+        "after", Adp, Misc, "g_after";
+        "before", Adp, Misc, "g_before";
+        "and", Cconj, Misc, "g_and";
+        "or", Cconj, Misc, "g_or";
+        "the", Det, Misc, "g_the";
+        "a", Det, Misc, "g_a";
+        "an", Det, Misc, "g_a";
+        "all", Det, Misc, "g_all";
+        "any", Det, Misc, "g_any";
+        "every", Det, Misc, "g_all";
+        "in", Adp, Misc, "g_in";
+        "at", Adp, Misc, "g_at";
+        "to", Part, Misc, "g_to";
+        "of", Adp, Misc, "g_of";
+        "for", Adp, Misc, "g_for";
+        "with", Adp, Misc, "g_with";
+        "it", Pron, Misc, "g_it";
+        "its", Pron, Misc, "g_it";
+        "not", Part, Misc, "g_not";
+        "no", Det, Misc, "g_not";
+    ]
+}
+
+/// Multi-word expressions merged at tokenization time. Longest first.
+fn raw_mwes() -> &'static [&'static [&'static str]] {
+    &[
+        &["air", "conditioner"],
+        &["smoke", "alarm"],
+        &["smoke", "detector"],
+        &["motion", "sensor"],
+        &["contact", "sensor"],
+        &["presence", "sensor"],
+        &["temperature", "sensor"],
+        &["humidity", "sensor"],
+        &["leak", "sensor"],
+        &["living", "room"],
+        &["garage", "door"],
+        &["coffee", "maker"],
+        &["water", "heater"],
+        &["home", "state"],
+        &["air", "quality"],
+        &["o", "clock"],
+    ]
+}
+
+impl Lexicon {
+    /// The process-wide lexicon instance.
+    pub fn global() -> &'static Lexicon {
+        static LEX: OnceLock<Lexicon> = OnceLock::new();
+        LEX.get_or_init(|| {
+            let mut entries = HashMap::new();
+            for e in raw_entries() {
+                // first entry for a word wins for POS priority (verb senses
+                // of "open"/"lock"/"water" are disambiguated in `pos`)
+                entries.entry(e.word).or_insert_with(|| e.clone());
+            }
+            let mwes = raw_mwes()
+                .iter()
+                .map(|words| {
+                    let joined: String = words.join("_");
+                    let key: &'static str = Box::leak(joined.into_boxed_str());
+                    (key, words.to_vec())
+                })
+                .collect();
+            Lexicon { entries, mwes }
+        })
+    }
+
+    /// Primary entry for a word, if known.
+    pub fn lookup(&self, word: &str) -> Option<&Entry> {
+        self.entries.get(word)
+    }
+
+    /// All senses of a word (noun+verb homographs like "open", "lock").
+    pub fn senses(&self, word: &str) -> Vec<&Entry> {
+        raw_entries().iter().filter(|e| e.word == word).collect()
+    }
+
+    /// Concept id for a word, falling back to the word itself.
+    pub fn concept_of(&self, word: &str) -> String {
+        self.lookup(word).map(|e| e.concept.to_string()).unwrap_or_else(|| word.to_string())
+    }
+
+    /// Category of a word (Misc when unknown).
+    pub fn category(&self, word: &str) -> Category {
+        self.lookup(word).map(|e| e.category).unwrap_or(Category::Misc)
+    }
+
+    /// Known multi-word expressions, longest first: (merged_token, parts).
+    pub fn mwes(&self) -> &[(&'static str, Vec<&'static str>)] {
+        &self.mwes
+    }
+
+    /// Does the lexicon know this word at all?
+    pub fn contains(&self, word: &str) -> bool {
+        self.entries.contains_key(word)
+    }
+
+    /// Number of distinct head words.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All words of a given category (used by corpus generation checks).
+    pub fn words_in_category(&self, cat: Category) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> =
+            self.entries.values().filter(|e| e.category == cat).map(|e| e.word).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// All lexicon entries, including homograph senses (for wordnet construction).
+pub fn all_entries() -> &'static [Entry] {
+    raw_entries()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synonyms_share_concepts() {
+        let lex = Lexicon::global();
+        assert_eq!(lex.concept_of("lamp"), lex.concept_of("bulb"));
+        assert_eq!(lex.concept_of("tv"), lex.concept_of("television"));
+        assert_eq!(lex.concept_of("shut"), lex.concept_of("closed"));
+    }
+
+    #[test]
+    fn categories_are_correct() {
+        let lex = Lexicon::global();
+        assert_eq!(lex.category("thermostat"), Category::Device);
+        assert_eq!(lex.category("temperature"), Category::Channel);
+        assert_eq!(lex.category("kitchen"), Category::Location);
+        assert_eq!(lex.category("sunset"), Category::Time);
+        assert_eq!(lex.category("zzz-unknown"), Category::Misc);
+    }
+
+    #[test]
+    fn homographs_have_multiple_senses() {
+        let lex = Lexicon::global();
+        let senses = lex.senses("open");
+        assert!(senses.iter().any(|e| e.pos == Pos::Verb));
+        assert!(senses.iter().any(|e| e.pos == Pos::Adj));
+    }
+
+    #[test]
+    fn mwes_longest_forms_exist() {
+        let lex = Lexicon::global();
+        assert!(lex.contains("air_conditioner"));
+        assert!(lex.contains("living_room"));
+        assert!(lex.mwes().iter().any(|(k, _)| *k == "air_conditioner"));
+    }
+
+    #[test]
+    fn vocabulary_is_substantial() {
+        assert!(Lexicon::global().len() > 200, "lexicon too small: {}", Lexicon::global().len());
+    }
+}

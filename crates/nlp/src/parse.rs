@@ -1,0 +1,186 @@
+//! Shallow dependency extraction for trigger-action rule sentences.
+//!
+//! Mirrors what the paper extracts from spaCy's parser (Figure 4): the root
+//! verb, direct objects, modifiers, and the split of a rule sentence into its
+//! *trigger* and *action* clauses on discourse markers (if / when / while /
+//! then / comma position).
+
+use crate::lexicon::{Category, Lexicon, Pos};
+use crate::pos::{nouns_and_verbs, tag, Tagged};
+use crate::token::{tokenize, Token};
+
+/// Syntactic elements of one clause (Algorithm 1's `[nouns, verbs]`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhraseElements {
+    /// Content nouns (devices, channels, locations), named entities dropped.
+    pub nouns: Vec<String>,
+    /// Verbs (action/event).
+    pub verbs: Vec<String>,
+    /// State adjectives ("open", "locked", "armed").
+    pub states: Vec<String>,
+    /// Time expressions ("sunset", "pm").
+    pub times: Vec<String>,
+    /// Numeric values mentioned.
+    pub values: Vec<f32>,
+}
+
+impl PhraseElements {
+    fn from_tagged(tagged: &[Tagged]) -> Self {
+        let lex = Lexicon::global();
+        let (mut nouns, verbs) = nouns_and_verbs(tagged);
+        // drop named entities / unknown brand-like tokens that would bias
+        // similarity (the paper discards named entities for this reason)
+        nouns.retain(|n| lex.contains(n));
+        let mut states = Vec::new();
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        for t in tagged {
+            match t.pos {
+                Pos::Adj | Pos::Adp if lex.category(&t.word) == Category::State => {
+                    states.push(t.word.clone());
+                }
+                Pos::Num => {
+                    if let Some(v) = t.value {
+                        values.push(v);
+                    }
+                }
+                _ => {}
+            }
+            if lex.category(&t.word) == Category::Time {
+                times.push(t.word.clone());
+            }
+        }
+        // time nouns shouldn't double as content nouns
+        nouns.retain(|n| lex.category(n) != Category::Time);
+        Self { nouns, verbs, states, times, values }
+    }
+
+    /// Is the clause empty of content?
+    pub fn is_empty(&self) -> bool {
+        self.nouns.is_empty() && self.verbs.is_empty() && self.states.is_empty()
+    }
+}
+
+/// A parsed rule sentence: trigger clause + action clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedRule {
+    pub trigger: PhraseElements,
+    pub action: PhraseElements,
+    /// The root verb of the action clause (the "main task" of Figure 4).
+    pub root_verb: Option<String>,
+}
+
+/// Does any sense of this word denote an action verb?
+fn is_action_verb(word: &str) -> bool {
+    Lexicon::global()
+        .senses(word)
+        .iter()
+        .any(|e| e.pos == Pos::Verb && e.category == Category::Action)
+}
+
+/// Split a tagged rule sentence into (trigger, action) clause token ranges.
+///
+/// Handles the corpus's dominant patterns:
+/// - "If/When <trigger>, [then] <action>"
+/// - "<action> if/when <trigger>"
+/// - "<action>" (no trigger — voice commands like "Alexa, play movies")
+fn split_clauses(tagged: &[Tagged]) -> (Vec<Tagged>, Vec<Tagged>) {
+    let marker_at = tagged.iter().position(|t| matches!(t.word.as_str(), "if" | "when" | "while"));
+    match marker_at {
+        Some(0) => {
+            // leading marker: trigger runs until "then" or the clause border
+            let then_at = tagged.iter().position(|t| t.word == "then");
+            if let Some(then) = then_at {
+                (tagged[1..then].to_vec(), tagged[then + 1..].to_vec())
+            } else {
+                // fall back: split at the first action verb after position 1
+                let split = tagged
+                    .iter()
+                    .skip(2)
+                    .position(|t| t.pos == Pos::Verb && is_action_verb(&t.word))
+                    .map(|p| p + 2)
+                    .unwrap_or(tagged.len());
+                (tagged[1..split].to_vec(), tagged[split..].to_vec())
+            }
+        }
+        Some(m) => (tagged[m + 1..].to_vec(), tagged[..m].to_vec()),
+        None => (Vec::new(), tagged.to_vec()),
+    }
+}
+
+/// Parse a rule sentence into trigger/action elements.
+pub fn parse_rule(text: &str) -> ParsedRule {
+    let tokens: Vec<Token> = tokenize(text);
+    let tagged = tag(&tokens);
+    let (trig, act) = split_clauses(&tagged);
+    let lex = Lexicon::global();
+    let action = PhraseElements::from_tagged(&act);
+    let trigger = PhraseElements::from_tagged(&trig);
+    let root_verb = act
+        .iter()
+        .find(|t| t.pos == Pos::Verb && lex.category(&t.word) == Category::Action)
+        .or_else(|| act.iter().find(|t| t.pos == Pos::Verb))
+        .map(|t| t.word.clone());
+    ParsedRule { trigger, action, root_verb }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leading_if_then() {
+        let p = parse_rule("If smoke is detected, then open the window");
+        assert!(p.trigger.nouns.contains(&"smoke".to_string()), "{:?}", p.trigger);
+        assert!(p.action.nouns.contains(&"window".to_string()), "{:?}", p.action);
+        assert_eq!(p.root_verb.as_deref(), Some("open"));
+    }
+
+    #[test]
+    fn leading_if_without_then() {
+        let p = parse_rule("If the smoke alarm is beeping, open the window and unlock the door");
+        assert!(p.trigger.nouns.contains(&"smoke_alarm".to_string()), "{:?}", p.trigger);
+        assert!(p.action.nouns.contains(&"window".to_string()), "{:?}", p.action);
+        assert!(p.action.nouns.contains(&"door".to_string()));
+        assert!(p.action.verbs.contains(&"unlock".to_string()));
+    }
+
+    #[test]
+    fn trailing_condition() {
+        let p = parse_rule("Turn off lights if playing movies");
+        assert!(p.action.nouns.contains(&"light".to_string()) || p.action.nouns.contains(&"lights".to_string()));
+        assert_eq!(p.root_verb.as_deref(), Some("turn"));
+        assert!(!p.trigger.is_empty());
+    }
+
+    #[test]
+    fn no_trigger_voice_command() {
+        let p = parse_rule("Alexa, play movies");
+        assert!(p.trigger.is_empty());
+        assert_eq!(p.root_verb.as_deref(), Some("play"));
+    }
+
+    #[test]
+    fn when_marker_mid_sentence() {
+        let p = parse_rule("Turn on the air conditioner when temperature is above 85°F");
+        assert!(p.action.nouns.contains(&"air_conditioner".to_string()), "{:?}", p.action);
+        assert!(p.trigger.nouns.contains(&"temperature".to_string()), "{:?}", p.trigger);
+        assert_eq!(p.trigger.values, vec![85.0]);
+        assert!(p.trigger.states.contains(&"above".to_string()));
+    }
+
+    #[test]
+    fn time_expressions_captured() {
+        let p = parse_rule("If the outdoor temperature is between 65 °F and 80 °F, open windows after sun rise");
+        assert!(!p.trigger.values.is_empty());
+        assert!(p.action.times.contains(&"sun".to_string()) || p.trigger.times.contains(&"sun".to_string()));
+    }
+
+    #[test]
+    fn named_entities_dropped() {
+        let p = parse_rule("If the Wyze camera detects motion, turn on the light");
+        // "wyze" is unknown to the lexicon → must not appear among nouns
+        assert!(!p.trigger.nouns.iter().any(|n| n == "wyze"));
+        assert!(p.trigger.nouns.contains(&"camera".to_string()));
+    }
+}

@@ -1,0 +1,144 @@
+//! Part-of-speech tagging.
+//!
+//! Lexicon lookup with light contextual disambiguation for noun/verb
+//! homographs ("open the window" vs "the window is open"), plus suffix-rule
+//! fallback for out-of-lexicon words — mirroring what the paper gets from
+//! spaCy's tagger on this domain.
+
+use crate::lexicon::{Lexicon, Pos};
+use crate::token::Token;
+
+/// A tagged token.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tagged {
+    pub word: String,
+    pub pos: Pos,
+    pub value: Option<f32>,
+}
+
+/// Tag a token stream.
+pub fn tag(tokens: &[Token]) -> Vec<Tagged> {
+    let lex = Lexicon::global();
+    let mut out = Vec::with_capacity(tokens.len());
+    for (i, t) in tokens.iter().enumerate() {
+        if t.value.is_some() {
+            out.push(Tagged { word: t.word.clone(), pos: Pos::Num, value: t.value });
+            continue;
+        }
+        let senses = lex.senses(&t.word);
+        let pos = if senses.is_empty() {
+            fallback_pos(&t.word)
+        } else if senses.len() == 1 {
+            senses[0].pos
+        } else {
+            disambiguate(&senses.iter().map(|e| e.pos).collect::<Vec<_>>(), tokens, i)
+        };
+        out.push(Tagged { word: t.word.clone(), pos, value: None });
+    }
+    out
+}
+
+/// Choose among homograph POS options using local context.
+fn disambiguate(options: &[Pos], tokens: &[Token], i: usize) -> Pos {
+    let prev = i.checked_sub(1).map(|p| tokens[p].word.as_str());
+    let next = tokens.get(i + 1).map(|t| t.word.as_str());
+    let has = |p: Pos| options.contains(&p);
+    // after a determiner or preposition → noun reading ("the lock", "of water")
+    if matches!(prev, Some("the" | "a" | "an" | "this" | "that" | "of" | "my" | "your")) && has(Pos::Noun) {
+        return Pos::Noun;
+    }
+    // after a copula → adjective/state reading ("door is open")
+    if matches!(prev, Some("is" | "are" | "was" | "were" | "becomes" | "stays")) && has(Pos::Adj) {
+        return Pos::Adj;
+    }
+    // sentence-initial or after then/and/to/comma-break → imperative verb
+    if (i == 0 || matches!(prev, Some("then" | "and" | "to" | "please"))) && has(Pos::Verb) {
+        return Pos::Verb;
+    }
+    // directly before a determiner or possessive → verb reading
+    // ("…, open the window"; the comma itself is lost at tokenization)
+    if matches!(next, Some("the" | "a" | "an" | "my" | "your" | "all" | "every")) && has(Pos::Verb) {
+        return Pos::Verb;
+    }
+    // default: first listed sense
+    options[0]
+}
+
+/// Suffix-rule fallback for unknown words.
+fn fallback_pos(word: &str) -> Pos {
+    if word.chars().all(|c| c.is_ascii_digit() || c == '.') {
+        Pos::Num
+    } else if word.ends_with("ing") || word.ends_with("ed") {
+        Pos::Verb
+    } else if word.ends_with("ly") {
+        Pos::Adv
+    } else {
+        Pos::Noun
+    }
+}
+
+/// Extract `[nouns, verbs]` from a tagged sequence (Algorithm 1, lines 2–3).
+/// Noun-reading includes channels/devices/locations; verb-reading includes
+/// action and event verbs.
+pub fn nouns_and_verbs(tagged: &[Tagged]) -> (Vec<String>, Vec<String>) {
+    let mut nouns = Vec::new();
+    let mut verbs = Vec::new();
+    for t in tagged {
+        match t.pos {
+            Pos::Noun => nouns.push(t.word.clone()),
+            Pos::Verb => verbs.push(t.word.clone()),
+            _ => {}
+        }
+    }
+    (nouns, verbs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    #[test]
+    fn imperative_verb_at_start() {
+        let tagged = tag(&tokenize("Open the window"));
+        assert_eq!(tagged[0].pos, Pos::Verb, "{tagged:?}");
+        assert_eq!(tagged[2].pos, Pos::Noun);
+    }
+
+    #[test]
+    fn copula_state_reading() {
+        let tagged = tag(&tokenize("the door is open"));
+        let open = tagged.iter().find(|t| t.word == "open").unwrap();
+        assert_eq!(open.pos, Pos::Adj);
+    }
+
+    #[test]
+    fn determiner_forces_noun() {
+        let tagged = tag(&tokenize("check the lock"));
+        let lock = tagged.iter().find(|t| t.word == "lock").unwrap();
+        assert_eq!(lock.pos, Pos::Noun);
+    }
+
+    #[test]
+    fn numbers_are_num() {
+        let tagged = tag(&tokenize("set temperature to 72 degrees"));
+        assert!(tagged.iter().any(|t| t.pos == Pos::Num && t.value == Some(72.0)));
+    }
+
+    #[test]
+    fn unknown_word_suffix_rules() {
+        assert_eq!(fallback_pos("blinking"), Pos::Verb);
+        assert_eq!(fallback_pos("suddenly"), Pos::Adv);
+        assert_eq!(fallback_pos("gizmo"), Pos::Noun);
+    }
+
+    #[test]
+    fn nouns_and_verbs_extraction() {
+        let tagged = tag(&tokenize("Turn on the light if the door opens"));
+        let (nouns, verbs) = nouns_and_verbs(&tagged);
+        assert!(nouns.contains(&"light".to_string()));
+        assert!(nouns.contains(&"door".to_string()));
+        assert!(verbs.contains(&"turn".to_string()));
+        assert!(verbs.contains(&"opens".to_string()));
+    }
+}

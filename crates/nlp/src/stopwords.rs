@@ -1,0 +1,43 @@
+//! Stop-word filtering for feature extraction.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+const STOPWORDS: &[&str] = &[
+    "the", "a", "an", "if", "when", "then", "while", "and", "or", "in", "at", "to", "of", "for",
+    "with", "it", "its", "is", "are", "be", "been", "was", "were", "this", "that", "these",
+    "those", "my", "your", "his", "her", "their", "our", "will", "would", "should", "can",
+    "could", "may", "might", "do", "does", "did", "have", "has", "had", "please",
+];
+
+fn set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Is this word a stop word?
+pub fn is_stopword(word: &str) -> bool {
+    set().contains(word)
+}
+
+/// Filter stop words out of a word sequence.
+pub fn remove_stopwords<'a>(words: impl IntoIterator<Item = &'a str>) -> Vec<&'a str> {
+    words.into_iter().filter(|w| !is_stopword(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_function_words() {
+        let out = remove_stopwords(vec!["turn", "on", "the", "light", "if", "door", "opens"]);
+        assert_eq!(out, vec!["turn", "on", "light", "door", "opens"]);
+    }
+
+    #[test]
+    fn content_words_survive() {
+        assert!(!is_stopword("temperature"));
+        assert!(is_stopword("the"));
+    }
+}

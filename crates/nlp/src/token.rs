@@ -1,0 +1,150 @@
+//! Tokenizer with multi-word-expression merging and unit-aware numbers.
+
+use crate::lexicon::Lexicon;
+
+/// A token: normalized word plus an optional numeric payload
+/// (for "85°F" → word `"85"` with `value = Some(85.0)`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub word: String,
+    pub value: Option<f32>,
+}
+
+impl Token {
+    pub fn word(w: impl Into<String>) -> Self {
+        Self { word: w.into(), value: None }
+    }
+
+    pub fn number(w: impl Into<String>, v: f32) -> Self {
+        Self { word: w.into(), value: Some(v) }
+    }
+}
+
+/// Tokenize a rule sentence: lowercase, strip punctuation, split numbers from
+/// unit suffixes (°F, %, am/pm), and merge known multi-word expressions.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let lex = Lexicon::global();
+    let mut raw: Vec<Token> = Vec::new();
+    let lowered = text.to_lowercase();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, out: &mut Vec<Token>| {
+        if cur.is_empty() {
+            return;
+        }
+        out.extend(split_number_unit(cur));
+        cur.clear();
+    };
+    for ch in lowered.chars() {
+        match ch {
+            'a'..='z' | '0'..='9' | '°' | '%' | '.' | ':' => cur.push(ch),
+            '\'' => {} // drop apostrophes ("o'clock" → "oclock")
+            _ => flush(&mut cur, &mut raw),
+        }
+    }
+    flush(&mut cur, &mut raw);
+
+    // merge multi-word expressions (longest-first list from the lexicon)
+    let mut merged: Vec<Token> = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    'outer: while i < raw.len() {
+        for (key, parts) in lex.mwes() {
+            if i + parts.len() <= raw.len()
+                && parts.iter().enumerate().all(|(k, p)| raw[i + k].word == *p)
+            {
+                merged.push(Token::word(*key));
+                i += parts.len();
+                continue 'outer;
+            }
+        }
+        merged.push(raw[i].clone());
+        i += 1;
+    }
+    merged
+}
+
+/// Split "85°f" → ["85"(85.0), "degrees"], "30%" → ["30"(30.0), "percent"],
+/// "7pm" → ["7"(7.0), "pm"], "20:08" → ["20.13"(≈20.13), "oclock"].
+fn split_number_unit(s: &str) -> Vec<Token> {
+    let trimmed = s.trim_matches('.');
+    if trimmed.is_empty() {
+        return Vec::new();
+    }
+    // clock time hh:mm
+    if let Some((h, m)) = trimmed.split_once(':') {
+        if let (Ok(h), Ok(m)) = (h.parse::<f32>(), m.parse::<f32>()) {
+            let v = h + m / 60.0;
+            return vec![Token::number(format!("{v:.2}"), v), Token::word("oclock")];
+        }
+    }
+    let digits_end = trimmed
+        .char_indices()
+        .take_while(|(_, c)| c.is_ascii_digit() || *c == '.')
+        .map(|(i, c)| i + c.len_utf8())
+        .last()
+        .unwrap_or(0);
+    if digits_end == 0 {
+        return vec![Token::word(trimmed)];
+    }
+    let (num, rest) = trimmed.split_at(digits_end);
+    let Ok(value) = num.parse::<f32>() else {
+        return vec![Token::word(trimmed)];
+    };
+    let mut out = vec![Token::number(num, value)];
+    match rest {
+        "" => {}
+        "°f" | "°c" | "f" | "c" | "°" | "degrees" => out.push(Token::word("degrees")),
+        "%" | "percent" => out.push(Token::word("percent")),
+        "am" => out.push(Token::word("am")),
+        "pm" => out.push(Token::word("pm")),
+        other => out.push(Token::word(other)),
+    }
+    out
+}
+
+/// Just the words (common test/feature-extraction convenience).
+pub fn words(tokens: &[Token]) -> Vec<&str> {
+    tokens.iter().map(|t| t.word.as_str()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_sentence() {
+        let toks = tokenize("Turn on the light if the door opens.");
+        assert_eq!(words(&toks), vec!["turn", "on", "the", "light", "if", "the", "door", "opens"]);
+    }
+
+    #[test]
+    fn merges_mwes() {
+        let toks = tokenize("Turn on the air conditioner when temperature is above 85°F");
+        let w = words(&toks);
+        assert!(w.contains(&"air_conditioner"));
+        assert!(w.contains(&"degrees"));
+        assert!(toks.iter().any(|t| t.value == Some(85.0)));
+    }
+
+    #[test]
+    fn percent_and_time_units() {
+        let toks = tokenize("When humidity is below 30%, at 7pm");
+        let w = words(&toks);
+        assert!(w.contains(&"percent"));
+        assert!(w.contains(&"pm"));
+        assert!(toks.iter().any(|t| t.value == Some(30.0)));
+        assert!(toks.iter().any(|t| t.value == Some(7.0)));
+    }
+
+    #[test]
+    fn clock_times() {
+        let toks = tokenize("Lock the door at 22:30");
+        assert!(toks.iter().any(|t| t.value.map_or(false, |v| (v - 22.5).abs() < 1e-3)));
+        assert!(words(&toks).contains(&"oclock"));
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ???").is_empty());
+    }
+}

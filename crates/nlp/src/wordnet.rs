@@ -1,0 +1,302 @@
+//! WordNet stand-in: synonym / hypernym / meronym / holonym queries over the
+//! smart-home vocabulary (consumed by Algorithm 1's binary relation features).
+
+use crate::lexicon::Lexicon;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Hypernym edges between *concepts*: (child, parent).
+const HYPERNYMS: &[(&str, &str)] = &[
+    // device taxonomy
+    ("light", "device"),
+    ("window", "opening"),
+    ("door", "opening"),
+    ("garage_door", "opening"),
+    ("opening", "device"),
+    ("lock_dev", "security_device"),
+    ("alarm", "security_device"),
+    ("smoke_alarm", "security_device"),
+    ("camera", "security_device"),
+    ("doorbell", "security_device"),
+    ("security_device", "device"),
+    ("thermostat", "climate_device"),
+    ("heater", "climate_device"),
+    ("ac", "climate_device"),
+    ("humidifier", "climate_device"),
+    ("dehumidifier", "climate_device"),
+    ("fan", "climate_device"),
+    ("purifier", "climate_device"),
+    ("water_heater", "climate_device"),
+    ("climate_device", "device"),
+    ("motion_sensor", "sensor"),
+    ("contact_sensor", "sensor"),
+    ("presence_sensor", "sensor"),
+    ("temperature_sensor", "sensor"),
+    ("humidity_sensor", "sensor"),
+    ("leak_sensor", "sensor"),
+    ("button", "sensor"),
+    ("sensor", "device"),
+    ("tv", "media_device"),
+    ("speaker", "media_device"),
+    ("media_device", "device"),
+    ("oven", "appliance"),
+    ("coffee_maker", "appliance"),
+    ("washer", "appliance"),
+    ("dryer", "appliance"),
+    ("dishwasher", "appliance"),
+    ("fridge", "appliance"),
+    ("vacuum", "appliance"),
+    ("appliance", "device"),
+    ("switch", "actuator"),
+    ("plug", "actuator"),
+    ("valve", "actuator"),
+    ("sprinkler", "actuator"),
+    ("blinds", "actuator"),
+    ("actuator", "device"),
+    // channel taxonomy
+    ("temperature", "environment"),
+    ("humidity", "environment"),
+    ("smoke", "environment"),
+    ("illuminance", "environment"),
+    ("sound", "environment"),
+    ("weather", "environment"),
+    ("air_quality", "environment"),
+    ("leak", "environment"),
+    ("motion", "activity"),
+    ("presence", "activity"),
+    ("contact", "activity"),
+    ("activity", "environment"),
+    // verb taxonomy
+    ("v_open", "v_actuate"),
+    ("v_close", "v_actuate"),
+    ("v_lock", "v_actuate"),
+    ("v_unlock", "v_actuate"),
+    ("v_turn", "v_actuate"),
+    ("v_turn_off", "v_actuate"),
+    ("v_dim", "v_set"),
+    ("v_brighten", "v_set"),
+    ("v_set", "v_actuate"),
+    ("v_start", "v_actuate"),
+    ("v_stop", "v_actuate"),
+    ("v_heat", "v_actuate"),
+    ("v_cool", "v_actuate"),
+    ("v_detect", "v_sense"),
+    ("v_beep", "v_sense"),
+    ("v_rise", "v_change"),
+    ("v_drop", "v_change"),
+    ("v_open_ev", "v_change"),
+    ("v_close_ev", "v_change"),
+];
+
+/// Antonym pairs between concepts (used by Algorithm 1's semantic features —
+/// opposed verbs/states are strong evidence *against* a correlation and
+/// strong evidence for revert/conflict patterns).
+const ANTONYMS: &[(&str, &str)] = &[
+    ("st_on", "st_off"),
+    ("v_turn", "v_turn_off"),
+    ("st_open", "st_closed"),
+    ("v_open", "v_close"),
+    ("v_open_ev", "v_close_ev"),
+    ("st_locked", "st_unlocked"),
+    ("v_lock", "v_unlock"),
+    ("st_armed", "st_disarmed"),
+    ("v_arm", "v_disarm"),
+    ("st_high", "st_low"),
+    ("st_above", "st_below"),
+    ("v_rise", "v_drop"),
+    ("st_home", "st_away"),
+    ("v_brighten", "v_dim"),
+    ("v_heat", "v_cool"),
+    ("v_start", "v_stop"),
+    ("st_occupied", "st_vacant"),
+    ("v_arrive", "v_leave"),
+];
+
+/// Meronym edges between concepts: (part, whole).
+const MERONYMS: &[(&str, &str)] = &[
+    ("window", "room"),
+    ("door", "room"),
+    ("blinds", "window"),
+    ("lock_dev", "door"),
+    ("doorbell", "door"),
+    ("room", "house"),
+    ("kitchen", "house"),
+    ("bedroom", "house"),
+    ("bathroom", "house"),
+    ("living_room", "house"),
+    ("hallway", "house"),
+    ("garage", "house"),
+    ("basement", "house"),
+    ("office", "house"),
+    ("garden", "house"),
+    ("garage_door", "garage"),
+    ("oven", "kitchen"),
+    ("fridge", "kitchen"),
+    ("coffee_maker", "kitchen"),
+    ("sprinkler", "garden"),
+];
+
+struct Net {
+    hyper: HashMap<&'static str, Vec<&'static str>>,
+    mero: HashMap<&'static str, Vec<&'static str>>,
+}
+
+fn net() -> &'static Net {
+    static NET: OnceLock<Net> = OnceLock::new();
+    NET.get_or_init(|| {
+        let mut hyper: HashMap<&'static str, Vec<&'static str>> = HashMap::new();
+        for &(c, p) in HYPERNYMS {
+            hyper.entry(c).or_default().push(p);
+        }
+        let mut mero: HashMap<&'static str, Vec<&'static str>> = HashMap::new();
+        for &(part, whole) in MERONYMS {
+            mero.entry(part).or_default().push(whole);
+        }
+        Net { hyper, mero }
+    })
+}
+
+/// All concepts a word can denote (homographs like "open" / "lock" have
+/// several senses).
+fn concepts(word: &str) -> Vec<String> {
+    let lex = Lexicon::global();
+    let senses = lex.senses(word);
+    if senses.is_empty() {
+        vec![word.to_string()]
+    } else {
+        let mut out: Vec<String> = senses.iter().map(|e| e.concept.to_string()).collect();
+        out.dedup();
+        out
+    }
+}
+
+/// All hypernym ancestors of a concept (transitive closure).
+fn ancestors(c: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![c.to_string()];
+    while let Some(cur) = stack.pop() {
+        if let Some(parents) = net().hyper.get(cur.as_str()) {
+            for &p in parents {
+                if !out.iter().any(|o| o == p) {
+                    out.push(p.to_string());
+                    stack.push(p.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Are the two words antonyms (any sense pair is an opposed concept)?
+pub fn are_antonyms(a: &str, b: &str) -> bool {
+    for ca in concepts(a) {
+        for cb in concepts(b) {
+            if ANTONYMS
+                .iter()
+                .any(|&(x, y)| (x == ca && y == cb) || (x == cb && y == ca))
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Are the two words synonyms (share any lexicon concept)?
+pub fn are_synonyms(a: &str, b: &str) -> bool {
+    a == b || concepts(a).iter().any(|ca| concepts(b).contains(ca))
+}
+
+/// Does one word's concept appear among the other's hypernym ancestors, or do
+/// they share a *direct* common parent (sibling co-hyponyms)? Checked across
+/// every sense pair of the two words.
+pub fn hypernym_related(a: &str, b: &str) -> bool {
+    for ca in concepts(a) {
+        for cb in concepts(b) {
+            if ca == cb {
+                return true;
+            }
+            let anc_a = ancestors(&ca);
+            let anc_b = ancestors(&cb);
+            if anc_a.iter().any(|x| *x == cb)
+                || anc_b.iter().any(|x| *x == ca)
+                || direct_parents(&ca).iter().any(|p| direct_parents(&cb).contains(p))
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn direct_parents(c: &str) -> Vec<&'static str> {
+    net().hyper.get(c).cloned().unwrap_or_default()
+}
+
+/// Meronym/holonym relation: is one a constituent part of the other
+/// (transitively)? Checked across every sense pair.
+pub fn meronym_related(a: &str, b: &str) -> bool {
+    for ca in concepts(a) {
+        for cb in concepts(b) {
+            if part_of(&ca, &cb) || part_of(&cb, &ca) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn part_of(part: &str, whole: &str) -> bool {
+    let mut stack = vec![part.to_string()];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur.clone()) {
+            continue;
+        }
+        if let Some(wholes) = net().mero.get(cur.as_str()) {
+            for &w in wholes {
+                if w == whole {
+                    return true;
+                }
+                stack.push(w.to_string());
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synonym_queries() {
+        assert!(are_synonyms("lamp", "bulb"));
+        assert!(are_synonyms("roomba", "vacuum"));
+        assert!(!are_synonyms("lamp", "door"));
+    }
+
+    #[test]
+    fn hypernym_transitive() {
+        // heater → climate_device → device; lamp → light → device
+        assert!(hypernym_related("heater", "thermostat")); // siblings under climate_device
+        assert!(hypernym_related("window", "door")); // siblings under opening
+        assert!(!hypernym_related("window", "tv"));
+    }
+
+    #[test]
+    fn verb_hierarchy() {
+        assert!(hypernym_related("open", "close")); // both v_actuate children
+        assert!(hypernym_related("rises", "drops")); // both v_change children
+        assert!(!hypernym_related("open", "detect"));
+    }
+
+    #[test]
+    fn meronym_transitive() {
+        assert!(meronym_related("blinds", "window"));
+        assert!(meronym_related("lock", "door"));
+        assert!(meronym_related("blinds", "room")); // blinds → window → room
+        assert!(meronym_related("room", "door")); // symmetric query
+        assert!(!meronym_related("tv", "door"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the NLP pipeline.
+
+use glint_nlp::embed::cosine;
+use glint_nlp::{dtw, tokenize, EmbeddingSpace};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("light".to_string()),
+        Just("window".to_string()),
+        Just("door".to_string()),
+        Just("temperature".to_string()),
+        Just("open".to_string()),
+        Just("close".to_string()),
+        Just("detect".to_string()),
+        Just("kitchen".to_string()),
+        Just("sunset".to_string()),
+        "[a-z]{3,8}".prop_map(|s| s),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tokenizer_output_is_lowercase_nonempty_words(s in "[A-Za-z0-9 ,.!°%]{0,60}") {
+        for t in tokenize(&s) {
+            prop_assert!(!t.word.is_empty());
+            prop_assert_eq!(t.word.to_lowercase(), t.word.clone());
+        }
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent_on_its_own_output(s in "[A-Za-z ]{0,40}") {
+        let once: Vec<String> = tokenize(&s).into_iter().map(|t| t.word).collect();
+        let again: Vec<String> = tokenize(&once.join(" ")).into_iter().map(|t| t.word).collect();
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn word_vectors_are_unit_norm_and_deterministic(w in word()) {
+        let space = EmbeddingSpace::word_space();
+        let v = space.word_vec(&w);
+        prop_assert_eq!(v.len(), 300);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-4, "norm {norm}");
+        prop_assert_eq!(v, space.word_vec(&w));
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded(a in word(), b in word()) {
+        let space = EmbeddingSpace::word_space();
+        let va = space.word_vec(&a);
+        let vb = space.word_vec(&b);
+        let c1 = cosine(&va, &vb);
+        let c2 = cosine(&vb, &va);
+        prop_assert!((c1 - c2).abs() < 1e-6);
+        prop_assert!((-1.0001..=1.0001).contains(&c1));
+    }
+
+    #[test]
+    fn dtw_similarity_is_symmetric_and_maximal_on_self(
+        a in proptest::collection::vec(word(), 1..5),
+        b in proptest::collection::vec(word(), 1..5),
+    ) {
+        let space = EmbeddingSpace::word_space();
+        let ab = dtw::word_sequence_similarity(&space, &a, &b);
+        let ba = dtw::word_sequence_similarity(&space, &b, &a);
+        prop_assert!((ab - ba).abs() < 1e-5, "asymmetric: {ab} vs {ba}");
+        let aa = dtw::word_sequence_similarity(&space, &a, &a);
+        prop_assert!(aa >= ab - 1e-5, "self-similarity not maximal: {aa} < {ab}");
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+    }
+
+    #[test]
+    fn parsing_never_panics_and_splits_cleanly(s in "[A-Za-z0-9 ,.']{0,80}") {
+        let parsed = glint_nlp::parse_rule(&s);
+        // no token should appear as both a trigger noun and vanish entirely
+        let _ = parsed.trigger.nouns.len() + parsed.action.nouns.len();
+    }
+
+    #[test]
+    fn wordnet_relations_are_symmetric(a in word(), b in word()) {
+        use glint_nlp::wordnet::*;
+        prop_assert_eq!(are_synonyms(&a, &b), are_synonyms(&b, &a));
+        prop_assert_eq!(are_antonyms(&a, &b), are_antonyms(&b, &a));
+        prop_assert_eq!(hypernym_related(&a, &b), hypernym_related(&b, &a));
+        prop_assert_eq!(meronym_related(&a, &b), meronym_related(&b, &a));
+    }
+
+    #[test]
+    fn synonyms_and_antonyms_are_disjoint(a in word(), b in word()) {
+        use glint_nlp::wordnet::*;
+        if are_synonyms(&a, &b) {
+            prop_assert!(!are_antonyms(&a, &b), "{a}/{b} both synonym and antonym");
+        }
+    }
+}

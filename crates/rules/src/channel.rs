@@ -1,0 +1,128 @@
+//! Physical and logical environment channels that couple rules together.
+
+use serde::{Deserialize, Serialize};
+
+/// An environment channel — the medium through which one rule's action can
+/// invoke another rule's trigger (the paper's "interacting devices and
+/// environment channels", Figure 1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Channel {
+    Temperature,
+    Humidity,
+    Smoke,
+    Motion,
+    Presence,
+    Illuminance,
+    Sound,
+    Power,
+    Contact,
+    Leak,
+    AirQuality,
+    Weather,
+    /// Armed/disarmed/home/away house mode.
+    HomeMode,
+    /// Notifications to the user's phone (terminal — nothing triggers on it).
+    Notification,
+}
+
+impl Channel {
+    /// Channels that are house-global: location does not gate coupling.
+    pub fn is_global(self) -> bool {
+        matches!(self, Channel::Smoke | Channel::HomeMode | Channel::Weather | Channel::Notification)
+    }
+
+    /// Channels nothing can trigger on (sinks).
+    pub fn is_sink(self) -> bool {
+        matches!(self, Channel::Notification)
+    }
+
+    /// Lexicon noun used when rendering this channel in text.
+    pub fn noun(self) -> &'static str {
+        match self {
+            Channel::Temperature => "temperature",
+            Channel::Humidity => "humidity",
+            Channel::Smoke => "smoke",
+            Channel::Motion => "motion",
+            Channel::Presence => "presence",
+            Channel::Illuminance => "brightness",
+            Channel::Sound => "sound",
+            Channel::Power => "power",
+            Channel::Contact => "contact",
+            Channel::Leak => "leak",
+            Channel::AirQuality => "air quality",
+            Channel::Weather => "weather",
+            Channel::HomeMode => "home state",
+            Channel::Notification => "notification",
+        }
+    }
+
+    /// All channels (for exhaustive iteration in tests and generators).
+    pub fn all() -> &'static [Channel] {
+        &[
+            Channel::Temperature,
+            Channel::Humidity,
+            Channel::Smoke,
+            Channel::Motion,
+            Channel::Presence,
+            Channel::Illuminance,
+            Channel::Sound,
+            Channel::Power,
+            Channel::Contact,
+            Channel::Leak,
+            Channel::AirQuality,
+            Channel::Weather,
+            Channel::HomeMode,
+            Channel::Notification,
+        ]
+    }
+}
+
+/// Direction of an action's influence on a channel.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Effect {
+    /// Pushes the channel value up (heater → temperature).
+    Increase,
+    /// Pushes the channel value down (AC → temperature).
+    Decrease,
+    /// Produces a discrete pulse (vacuum → motion, doorbell → sound).
+    Pulse,
+    /// Sets a discrete value (arm/disarm → home mode).
+    Set,
+}
+
+impl Effect {
+    /// Do two effects on the same channel work against each other?
+    pub fn opposes(self, other: Effect) -> bool {
+        matches!(
+            (self, other),
+            (Effect::Increase, Effect::Decrease) | (Effect::Decrease, Effect::Increase)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_channels() {
+        assert!(Channel::Smoke.is_global());
+        assert!(Channel::HomeMode.is_global());
+        assert!(!Channel::Temperature.is_global());
+        assert!(!Channel::Motion.is_global());
+    }
+
+    #[test]
+    fn notification_is_sink() {
+        assert!(Channel::Notification.is_sink());
+        assert!(Channel::all().iter().filter(|c| c.is_sink()).count() == 1);
+    }
+
+    #[test]
+    fn opposing_effects() {
+        assert!(Effect::Increase.opposes(Effect::Decrease));
+        assert!(Effect::Decrease.opposes(Effect::Increase));
+        assert!(!Effect::Increase.opposes(Effect::Increase));
+        assert!(!Effect::Pulse.opposes(Effect::Set));
+    }
+}

@@ -1,0 +1,270 @@
+//! Ground-truth "action → trigger" correlation semantics.
+//!
+//! This is the physical-world oracle: given rule A's action and rule B's
+//! trigger, does executing A invoke B? The paper obtains these labels by
+//! manual annotation (13,600 pairs, §4.1); here they follow mechanically from
+//! the device/channel taxonomy, which is what makes large-scale corpus
+//! labeling possible. The *learned* correlation classifier in `glint-core`
+//! recovers this function from rendered text only.
+
+use crate::ast::{Action, Cmp, Rule, StateValue, Trigger};
+use crate::channel::{Channel, Effect};
+use crate::device::{DeviceKind, Location};
+use serde::{Deserialize, Serialize};
+
+/// How an action reaches a trigger.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Via {
+    /// The trigger watches the very device the action sets.
+    Device(DeviceKind),
+    /// The action's physical side effect feeds the trigger's channel.
+    Channel(Channel),
+}
+
+/// Effective channel influences of setting `device` to `state`.
+/// Negative polarities (off/closed) flip Increase↔Decrease and suppress
+/// pulses; `Set` effects persist either way.
+pub fn effective_affects(device: DeviceKind, state: StateValue) -> Vec<(Channel, Effect)> {
+    let positive = state.is_positive();
+    device
+        .affects()
+        .iter()
+        .filter_map(|&(c, e)| match (e, positive) {
+            (Effect::Pulse, true) => Some((c, Effect::Pulse)),
+            (Effect::Pulse, false) => None,
+            (Effect::Increase, true) => Some((c, Effect::Increase)),
+            (Effect::Increase, false) => Some((c, Effect::Decrease)),
+            (Effect::Decrease, true) => Some((c, Effect::Decrease)),
+            (Effect::Decrease, false) => Some((c, Effect::Increase)),
+            (Effect::Set, _) => Some((c, Effect::Set)),
+        })
+        .collect()
+}
+
+/// Channels on which an Increase/Pulse constitutes a discrete *event*
+/// ("motion detected", "smoke detected", "leak detected").
+fn is_event_channel(c: Channel) -> bool {
+    matches!(c, Channel::Motion | Channel::Smoke | Channel::Leak | Channel::Contact | Channel::Sound | Channel::Presence)
+}
+
+fn locations_couple(a: Location, b: Location, channel: Option<Channel>) -> bool {
+    if channel.map_or(false, Channel::is_global) {
+        return true;
+    }
+    a.couples_with(b)
+}
+
+/// Does `action` invoke `trigger`? Returns the mediating path if so.
+pub fn action_invokes_trigger(action: &Action, trigger: &Trigger) -> Option<Via> {
+    let (a_dev, a_loc, a_state) = match action {
+        Action::SetState { device, location, state, .. } => (*device, *location, *state),
+        Action::SetLevel { device, location, value, .. } => {
+            (*device, *location, StateValue::Level(*value))
+        }
+        // notifications and snapshots are sinks: nothing triggers on them
+        Action::Notify | Action::Snapshot { .. } => return None,
+    };
+
+    match trigger {
+        Trigger::DeviceState { device, location, attribute, state } => {
+            // direct watch: same device kind + coupled location + the action
+            // drives the watched attribute to the watched state
+            if *device == a_dev && locations_couple(a_loc, *location, None) {
+                let matches_state = match (action, state) {
+                    (Action::SetState { attribute: aa, state: as_, .. }, s) => {
+                        aa == attribute && as_ == s
+                    }
+                    (Action::SetLevel { attribute: aa, .. }, StateValue::Level(_)) => {
+                        aa == attribute
+                    }
+                    _ => false,
+                };
+                if matches_state {
+                    return Some(Via::Device(a_dev));
+                }
+            }
+            // indirect: the action's side effect feeds the channel the
+            // device-state trigger is observing (e.g. vacuum → motion sensor)
+            let watched = crate::ast::device_state_channel(*device, *attribute)?;
+            channel_path(a_dev, a_loc, a_state, watched, *location, None)
+        }
+        Trigger::ChannelEvent { channel, location } => {
+            channel_path(a_dev, a_loc, a_state, *channel, *location, None).filter(|_| {
+                is_event_channel(*channel)
+            })
+        }
+        Trigger::ChannelThreshold { channel, location, cmp, .. } => {
+            channel_path(a_dev, a_loc, a_state, *channel, *location, Some(*cmp))
+        }
+        Trigger::ChannelRange { channel, location, .. } => {
+            // moving the channel in either direction can enter the range
+            channel_path(a_dev, a_loc, a_state, *channel, *location, None)
+        }
+        Trigger::Time(_) | Trigger::Voice | Trigger::Manual => None,
+    }
+}
+
+/// Can setting `a_dev` to `a_state` at `a_loc` move `channel` at `t_loc` in a
+/// direction compatible with `cmp` (if any)?
+fn channel_path(
+    a_dev: DeviceKind,
+    a_loc: Location,
+    a_state: StateValue,
+    channel: Channel,
+    t_loc: Location,
+    cmp: Option<Cmp>,
+) -> Option<Via> {
+    if !locations_couple(a_loc, t_loc, Some(channel)) {
+        return None;
+    }
+    for (c, eff) in effective_affects(a_dev, a_state) {
+        if c != channel {
+            continue;
+        }
+        let compatible = match (cmp, eff) {
+            (None, _) => true,
+            (Some(Cmp::Above), Effect::Increase | Effect::Pulse) => true,
+            (Some(Cmp::Below), Effect::Decrease) => true,
+            (Some(_), Effect::Set) => true,
+            _ => false,
+        };
+        if compatible {
+            return Some(Via::Channel(channel));
+        }
+    }
+    None
+}
+
+/// Does any action of `a` invoke the trigger of `b`? (Rule-level query used
+/// by the graph builder.)
+pub fn action_triggers(a: &Rule, b: &Rule) -> Option<Via> {
+    a.actions.iter().find_map(|act| action_invokes_trigger(act, &b.trigger))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Attribute;
+    use crate::platform::Platform;
+
+    fn set(device: DeviceKind, location: Location, attribute: Attribute, state: StateValue) -> Action {
+        Action::SetState { device, location, attribute, state }
+    }
+
+    #[test]
+    fn direct_device_watch() {
+        // "turn off lights" → "if all lights are turned off, lock the door"
+        let act = set(DeviceKind::Light, Location::LivingRoom, Attribute::Power, StateValue::Off);
+        let trig = Trigger::DeviceState {
+            device: DeviceKind::Light,
+            location: Location::LivingRoom,
+            attribute: Attribute::Power,
+            state: StateValue::Off,
+        };
+        assert_eq!(action_invokes_trigger(&act, &trig), Some(Via::Device(DeviceKind::Light)));
+    }
+
+    #[test]
+    fn opposite_state_does_not_trigger() {
+        let act = set(DeviceKind::Light, Location::LivingRoom, Attribute::Power, StateValue::On);
+        let trig = Trigger::DeviceState {
+            device: DeviceKind::Light,
+            location: Location::LivingRoom,
+            attribute: Attribute::Power,
+            state: StateValue::Off,
+        };
+        // turning it ON cannot fire the "turned off" trigger directly…
+        assert_ne!(action_invokes_trigger(&act, &trig), Some(Via::Device(DeviceKind::Light)));
+    }
+
+    #[test]
+    fn ac_on_feeds_temperature_below_threshold() {
+        // "turn on AC" → "if temperature is below 60, close windows"
+        let act = set(DeviceKind::AirConditioner, Location::House, Attribute::Power, StateValue::On);
+        let trig = Trigger::ChannelThreshold {
+            channel: Channel::Temperature,
+            location: Location::LivingRoom,
+            cmp: Cmp::Below,
+            value: 60.0,
+        };
+        assert_eq!(action_invokes_trigger(&act, &trig), Some(Via::Channel(Channel::Temperature)));
+        // …but it cannot push temperature ABOVE a threshold
+        let trig_hi = Trigger::ChannelThreshold {
+            channel: Channel::Temperature,
+            location: Location::LivingRoom,
+            cmp: Cmp::Above,
+            value: 85.0,
+        };
+        assert_eq!(action_invokes_trigger(&act, &trig_hi), None);
+    }
+
+    #[test]
+    fn heater_off_cools() {
+        let act = set(DeviceKind::Heater, Location::Bedroom, Attribute::Power, StateValue::Off);
+        let trig = Trigger::ChannelThreshold {
+            channel: Channel::Temperature,
+            location: Location::Bedroom,
+            cmp: Cmp::Below,
+            value: 60.0,
+        };
+        assert!(action_invokes_trigger(&act, &trig).is_some());
+    }
+
+    #[test]
+    fn vacuum_triggers_motion_sensor() {
+        // the §4.7 "trigger intake" physical path
+        let act = set(DeviceKind::Vacuum, Location::Hallway, Attribute::Power, StateValue::On);
+        let trig = Trigger::ChannelEvent { channel: Channel::Motion, location: Location::Hallway };
+        assert_eq!(action_invokes_trigger(&act, &trig), Some(Via::Channel(Channel::Motion)));
+        // motion does not carry across uncoupled rooms
+        let far = Trigger::ChannelEvent { channel: Channel::Motion, location: Location::Bedroom };
+        assert_eq!(action_invokes_trigger(&act, &far), None);
+    }
+
+    #[test]
+    fn location_gating_respects_globals() {
+        // smoke is global: oven in the kitchen can feed a house smoke trigger
+        let act = set(DeviceKind::Oven, Location::Kitchen, Attribute::Power, StateValue::On);
+        let trig = Trigger::ChannelEvent { channel: Channel::Smoke, location: Location::Bedroom };
+        assert!(action_invokes_trigger(&act, &trig).is_some());
+    }
+
+    #[test]
+    fn notify_is_a_sink() {
+        let trig = Trigger::ChannelEvent { channel: Channel::Sound, location: Location::House };
+        assert_eq!(action_invokes_trigger(&Action::Notify, &trig), None);
+    }
+
+    #[test]
+    fn time_and_voice_triggers_unreachable() {
+        let act = set(DeviceKind::Light, Location::Bedroom, Attribute::Power, StateValue::On);
+        assert_eq!(action_invokes_trigger(&act, &Trigger::Voice), None);
+        assert_eq!(
+            action_invokes_trigger(&act, &Trigger::Time(crate::ast::TimeSpec::Sunset)),
+            None
+        );
+    }
+
+    #[test]
+    fn rule_level_query() {
+        let a = Rule::simple(
+            1,
+            Platform::Alexa,
+            Trigger::Voice,
+            vec![set(DeviceKind::Light, Location::LivingRoom, Attribute::Power, StateValue::Off)],
+        );
+        let b = Rule::simple(
+            2,
+            Platform::Alexa,
+            Trigger::DeviceState {
+                device: DeviceKind::Light,
+                location: Location::LivingRoom,
+                attribute: Attribute::Power,
+                state: StateValue::Off,
+            },
+            vec![set(DeviceKind::Door, Location::Hallway, Attribute::LockState, StateValue::Locked)],
+        );
+        assert!(action_triggers(&a, &b).is_some());
+        assert!(action_triggers(&b, &a).is_none());
+    }
+}

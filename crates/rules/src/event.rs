@@ -1,0 +1,126 @@
+//! Event-log records — the online-stage input (Figure 3b).
+//!
+//! An event log entry carries the paper's three basic elements: time, object
+//! (device + location), and the object's current status.
+
+use crate::ast::StateValue;
+use crate::channel::Channel;
+use crate::device::{DeviceKind, Location};
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A device attribute changed ("Door is locked").
+    DeviceState { device: DeviceKind, location: Location, state: StateValue },
+    /// A channel reading ("Temperature is 86°F").
+    ChannelReading { channel: Channel, location: Location, value: f32 },
+    /// A discrete channel event ("Smoke alarm is beeping").
+    ChannelEvent { channel: Channel, location: Location },
+    /// A rule fired (attributed to a platform when known).
+    RuleFired { rule_id: u32 },
+}
+
+/// One event-log record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Seconds since the start of the observation window.
+    pub timestamp: f64,
+    pub kind: EventKind,
+    /// Which platform reported it, if attributable.
+    pub platform: Option<crate::platform::Platform>,
+}
+
+impl EventRecord {
+    pub fn new(timestamp: f64, kind: EventKind) -> Self {
+        Self { timestamp, kind, platform: None }
+    }
+
+    pub fn with_platform(mut self, p: crate::platform::Platform) -> Self {
+        self.platform = Some(p);
+        self
+    }
+
+    /// Hour-of-day of the timestamp (for time-trigger matching).
+    pub fn hour_of_day(&self) -> f32 {
+        ((self.timestamp / 3600.0) % 24.0) as f32
+    }
+}
+
+/// An ordered event log.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    records: Vec<EventRecord>,
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record, keeping timestamps non-decreasing.
+    pub fn push(&mut self, rec: EventRecord) {
+        if let Some(last) = self.records.last() {
+            assert!(
+                rec.timestamp >= last.timestamp,
+                "event log must be appended in time order ({} < {})",
+                rec.timestamp,
+                last.timestamp
+            );
+        }
+        self.records.push(rec);
+    }
+
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records inside a closed time window.
+    pub fn window(&self, from: f64, to: f64) -> impl Iterator<Item = &EventRecord> {
+        self.records.iter().filter(move |r| r.timestamp >= from && r.timestamp <= to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_append_enforced() {
+        let mut log = EventLog::new();
+        log.push(EventRecord::new(1.0, EventKind::RuleFired { rule_id: 1 }));
+        log.push(EventRecord::new(2.0, EventKind::RuleFired { rule_id: 2 }));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_append_panics() {
+        let mut log = EventLog::new();
+        log.push(EventRecord::new(5.0, EventKind::RuleFired { rule_id: 1 }));
+        log.push(EventRecord::new(1.0, EventKind::RuleFired { rule_id: 2 }));
+    }
+
+    #[test]
+    fn windowing() {
+        let mut log = EventLog::new();
+        for t in 0..10 {
+            log.push(EventRecord::new(t as f64, EventKind::RuleFired { rule_id: t }));
+        }
+        assert_eq!(log.window(3.0, 6.0).count(), 4);
+    }
+
+    #[test]
+    fn hour_of_day_wraps() {
+        let rec = EventRecord::new(25.0 * 3600.0, EventKind::RuleFired { rule_id: 0 });
+        assert!((rec.hour_of_day() - 1.0).abs() < 1e-6);
+    }
+}

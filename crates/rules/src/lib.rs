@@ -1,0 +1,38 @@
+//! # glint-rules
+//!
+//! The smart-home automation-rule substrate: a structured model of devices,
+//! physical channels, trigger-action rules, and the five platforms the paper
+//! evaluates (IFTTT, SmartThings, Alexa, Google Assistant, Home Assistant).
+//!
+//! This crate is the reproduction's stand-in for the paper's crawled rule
+//! corpora (Table 2). The key property: every rule carries *ground-truth
+//! semantics* (which device it touches, which physical channel its action
+//! influences and in which direction), which lets downstream crates
+//!
+//! - label action→trigger correlation pairs exactly (the paper's manual
+//!   labeling of 13.6k pairs, §4.1),
+//! - label interaction graphs against the literature's six threat policies
+//!   (the paper's 8-week volunteer labeling, §4.2), and
+//! - simulate rule execution on the testbed (§4.8),
+//!
+//! while the *learning* components only ever see the rendered natural-
+//! language description (via `glint-nlp` embeddings), exactly as the paper's
+//! models only see crawled text.
+
+pub mod ast;
+pub mod channel;
+pub mod corpus;
+pub mod correlation;
+pub mod device;
+pub mod event;
+pub mod platform;
+pub mod render;
+pub mod scenarios;
+
+pub use ast::{Action, Cmp, Condition, Rule, RuleId, StateValue, TimeSpec, Trigger};
+pub use channel::{Channel, Effect};
+pub use corpus::{CorpusConfig, CorpusGenerator};
+pub use correlation::action_triggers;
+pub use device::{Attribute, DeviceKind, Location};
+pub use event::{EventKind, EventRecord};
+pub use platform::Platform;

@@ -1,0 +1,103 @@
+//! The five smart-home platforms of the paper (Table 2) and their
+//! capability profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// A smart-home automation platform.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Platform {
+    Ifttt,
+    SmartThings,
+    Alexa,
+    GoogleAssistant,
+    HomeAssistant,
+}
+
+impl Platform {
+    pub fn all() -> &'static [Platform] {
+        &[
+            Platform::Ifttt,
+            Platform::SmartThings,
+            Platform::Alexa,
+            Platform::GoogleAssistant,
+            Platform::HomeAssistant,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Ifttt => "IFTTT",
+            Platform::SmartThings => "SmartThings",
+            Platform::Alexa => "Alexa Skill",
+            Platform::GoogleAssistant => "Google Assistant",
+            Platform::HomeAssistant => "Home Assistant",
+        }
+    }
+
+    /// Node-type index for heterogeneous graphs (stable ordering).
+    pub fn type_index(self) -> usize {
+        match self {
+            Platform::Ifttt => 0,
+            Platform::SmartThings => 1,
+            Platform::Alexa => 2,
+            Platform::GoogleAssistant => 3,
+            Platform::HomeAssistant => 4,
+        }
+    }
+
+    /// Voice-assistant platforms use 512-d sentence embeddings; the rest use
+    /// 300-d word embeddings (§4.2).
+    pub fn is_voice(self) -> bool {
+        matches!(self, Platform::Alexa | Platform::GoogleAssistant)
+    }
+
+    /// Does the platform's rule format support extra conditions?
+    /// (IFTTT applets are single trigger→action; voice commands have none.)
+    pub fn supports_conditions(self) -> bool {
+        matches!(self, Platform::SmartThings | Platform::HomeAssistant)
+    }
+
+    /// Does the platform support multiple actions per rule?
+    pub fn supports_multi_action(self) -> bool {
+        matches!(self, Platform::Ifttt | Platform::SmartThings | Platform::HomeAssistant)
+    }
+
+    /// Paper Table 2 rule counts (the full-scale corpus targets).
+    pub fn paper_rule_count(self) -> usize {
+        match self {
+            Platform::Ifttt => 316_928,
+            Platform::SmartThings => 185,
+            Platform::Alexa => 5_506,
+            Platform::GoogleAssistant => 5_292,
+            Platform::HomeAssistant => 574,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_indices_are_distinct_and_dense() {
+        let mut idx: Vec<usize> = Platform::all().iter().map(|p| p.type_index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capability_profiles() {
+        assert!(Platform::SmartThings.supports_conditions());
+        assert!(!Platform::Ifttt.supports_conditions());
+        assert!(!Platform::Alexa.supports_multi_action());
+        assert!(Platform::Alexa.is_voice());
+        assert!(!Platform::HomeAssistant.is_voice());
+    }
+
+    #[test]
+    fn table2_counts() {
+        assert_eq!(Platform::Ifttt.paper_rule_count(), 316_928);
+        let total: usize = Platform::all().iter().map(|p| p.paper_rule_count()).sum();
+        assert_eq!(total, 316_928 + 185 + 5_506 + 5_292 + 574);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the rule substrate.
+
+use glint_rules::correlation::{action_triggers, effective_affects};
+use glint_rules::render::render_rule;
+use glint_rules::{CorpusGenerator, Platform, StateValue, Trigger};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated rule renders to a parsable, non-degenerate sentence.
+    #[test]
+    fn generated_rules_render_and_parse(seed in 0u64..500, pidx in 0usize..5) {
+        let mut g = CorpusGenerator::new(seed);
+        let platform = Platform::all()[pidx];
+        for rule in g.generate_platform(platform, 5) {
+            let text = render_rule(&rule);
+            prop_assert!(text.len() > 8, "degenerate rendering: {text}");
+            prop_assert!(text.ends_with('.'));
+            let parsed = glint_nlp::parse_rule(&text);
+            prop_assert!(
+                !parsed.action.is_empty() || !parsed.trigger.is_empty(),
+                "nothing parsed from: {text}"
+            );
+        }
+    }
+
+    /// Rendering is a pure function of the rule.
+    #[test]
+    fn rendering_is_deterministic(seed in 0u64..500) {
+        let mut g = CorpusGenerator::new(seed);
+        let rule = g.rule_for(Platform::Ifttt);
+        prop_assert_eq!(render_rule(&rule), render_rule(&rule));
+    }
+
+    /// Flipping an action's polarity flips its channel effects.
+    #[test]
+    fn effective_affects_flips_with_polarity(didx in 0usize..37) {
+        use glint_rules::{Channel, Effect};
+        let device = glint_rules::DeviceKind::all()[didx % glint_rules::DeviceKind::all().len()];
+        let on = effective_affects(device, StateValue::On);
+        let off = effective_affects(device, StateValue::Off);
+        for (c, e) in &on {
+            if matches!(e, Effect::Increase | Effect::Decrease) {
+                let counter = off.iter().find(|(c2, _)| c2 == c);
+                if let Some((_, e2)) = counter {
+                    prop_assert!(e.opposes(*e2) || *e2 == *e && false, "{device:?}/{c:?}: {e:?} vs {e2:?}");
+                }
+            }
+            let _ = Channel::Temperature;
+        }
+    }
+
+    /// Correlation is never reflexive on voice/time-triggered rules (no
+    /// action can cause a voice command or the clock).
+    #[test]
+    fn nothing_triggers_time_or_voice(seed in 0u64..300) {
+        let mut g = CorpusGenerator::new(seed);
+        let rules = g.generate_platform(Platform::Ifttt, 12);
+        for a in &rules {
+            for b in &rules {
+                if matches!(b.trigger, Trigger::Time(_) | Trigger::Voice | Trigger::Manual) {
+                    prop_assert!(
+                        action_triggers(a, b).is_none(),
+                        "rule {} claims to trigger a schedule/voice rule {}",
+                        a.id.0,
+                        b.id.0
+                    );
+                }
+            }
+        }
+    }
+
+    /// The correlation oracle is deterministic.
+    #[test]
+    fn correlation_is_deterministic(seed in 0u64..300) {
+        let mut g = CorpusGenerator::new(seed);
+        let rules = g.generate_platform(Platform::SmartThings, 8);
+        for a in &rules {
+            for b in &rules {
+                prop_assert_eq!(action_triggers(a, b), action_triggers(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Compressed-sparse-row matrices for graph propagation.
+//!
+//! Interaction graphs are tiny (2–50 nodes) but numerous, so the CSR type is
+//! optimized for cheap construction from edge lists and fast `A × H`
+//! products rather than for mutation.
+
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A sparse `rows × cols` matrix in CSR layout.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// `indptr[r]..indptr[r+1]` is the slice of `indices`/`values` for row r.
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Build from (row, col, value) triplets. Duplicate coordinates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f32)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+            per_row[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut last: Option<usize> = None;
+            for &(c, v) in row.iter() {
+                if last == Some(c) {
+                    *values.last_mut().expect("value for duplicate") += v;
+                } else {
+                    indices.push(c);
+                    values.push(v);
+                    last = Some(c);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Identity CSR.
+    pub fn eye(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Symmetrically normalized adjacency with self loops:
+    /// `Â = D^{-1/2} (A + I) D^{-1/2}` (the GCN propagation matrix).
+    ///
+    /// `edges` are directed pairs; the adjacency is symmetrized first, as in
+    /// the paper's graph classification setting.
+    pub fn normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(edges.len() * 2 + n);
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of bounds for {n} nodes");
+            if seen.insert((u, v)) {
+                triplets.push((u, v, 1.0));
+            }
+            if u != v && seen.insert((v, u)) {
+                triplets.push((v, u, 1.0));
+            }
+        }
+        for i in 0..n {
+            if seen.insert((i, i)) {
+                triplets.push((i, i, 1.0));
+            }
+        }
+        let mut deg = vec![0.0f32; n];
+        for &(r, _, v) in &triplets {
+            deg[r] += v;
+        }
+        let inv_sqrt: Vec<f32> = deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        let norm: Vec<(usize, usize, f32)> =
+            triplets.into_iter().map(|(r, c, v)| (r, c, v * inv_sqrt[r] * inv_sqrt[c])).collect();
+        Self::from_triplets(n, n, &norm)
+    }
+
+    /// Row-normalized adjacency `D^{-1} A` (no self loops added), used by
+    /// mean-neighbourhood aggregators.
+    pub fn row_normalized(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in edges {
+            assert!(u < n && v < n);
+            if seen.insert((u, v)) {
+                triplets.push((u, v, 1.0));
+            }
+            if u != v && seen.insert((v, u)) {
+                triplets.push((v, u, 1.0));
+            }
+        }
+        let mut deg = vec![0.0f32; n];
+        for &(r, _, _) in &triplets {
+            deg[r] += 1.0;
+        }
+        let norm: Vec<(usize, usize, f32)> =
+            triplets.into_iter().map(|(r, c, v)| (r, c, v / deg[r].max(1.0))).collect();
+        Self::from_triplets(n, n, &norm)
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate the stored entries of one row as `(col, value)` pairs.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Sparse × dense product `self × h`.
+    pub fn spmm(&self, h: &Matrix) -> Matrix {
+        assert_eq!(self.cols, h.rows(), "spmm {}x{} × {}x{}", self.rows, self.cols, h.rows(), h.cols());
+        let mut out = Matrix::zeros(self.rows, h.cols());
+        for r in 0..self.rows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let out_row = out.row_mut(r);
+            for k in lo..hi {
+                let c = self.indices[k];
+                let v = self.values[k];
+                for (o, &x) in out_row.iter_mut().zip(h.row(c)) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse × dense product `selfᵀ × h` (used in backward passes).
+    pub fn t_spmm(&self, h: &Matrix) -> Matrix {
+        assert_eq!(self.rows, h.rows(), "t_spmm {}x{} × {}x{}", self.rows, self.cols, h.rows(), h.cols());
+        let mut out = Matrix::zeros(self.cols, h.cols());
+        for r in 0..self.rows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let h_row = h.row(r);
+            for k in lo..hi {
+                let c = self.indices[k];
+                let v = self.values[k];
+                let out_row = out.row_mut(c);
+                for (o, &x) in out_row.iter_mut().zip(h_row) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Densify (test/debug helper).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                m.set(r, c, m.get(r, c) + v);
+            }
+        }
+        m
+    }
+
+    /// Restrict to a subset of node indices (both rows and columns), keeping
+    /// their induced sub-adjacency. `keep` must be sorted & unique.
+    pub fn induced_subgraph(&self, keep: &[usize]) -> Csr {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted+unique");
+        let mut remap = vec![usize::MAX; self.cols];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old] = new;
+        }
+        let mut triplets = Vec::new();
+        for (new_r, &old_r) in keep.iter().enumerate() {
+            for (c, v) in self.row_iter(old_r) {
+                if remap[c] != usize::MAX {
+                    triplets.push((new_r, remap[c], v));
+                }
+            }
+        }
+        Csr::from_triplets(keep.len(), keep.len(), &triplets)
+    }
+
+    /// True when the matrix is exactly symmetric in its stored pattern+values.
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let d = self.to_dense();
+        for r in 0..self.rows {
+            for c in 0..r {
+                if (d.get(r, c) - d.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sum_duplicates_and_sort() {
+        let m = Csr::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 3.0), (1, 1, 5.0)]);
+        assert_eq!(m.nnz(), 3);
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 0), 2.0);
+        assert_eq!(d.get(0, 2), 4.0);
+        assert_eq!(d.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = Csr::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, 1.0), (2, 2, 3.0)]);
+        let h = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.spmm(&h), m.to_dense().matmul(&h));
+        assert_eq!(m.t_spmm(&h), m.to_dense().transpose().matmul(&h));
+    }
+
+    #[test]
+    fn normalized_adjacency_is_symmetric_with_self_loops() {
+        let a = Csr::normalized_adjacency(3, &[(0, 1), (1, 2)]);
+        assert!(a.is_symmetric(1e-6));
+        // path graph: middle node degree 3 (incl. self loop), ends degree 2
+        let d = a.to_dense();
+        assert!((d.get(0, 0) - 0.5).abs() < 1e-6); // 1/sqrt(2)/sqrt(2)
+        assert!((d.get(0, 1) - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
+        // rows of Â need not sum to 1, but every diagonal entry is positive
+        for i in 0..3 {
+            assert!(d.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one_for_connected_nodes() {
+        let a = Csr::row_normalized(4, &[(0, 1), (0, 2), (2, 3)]);
+        let d = a.to_dense();
+        for r in 0..4 {
+            let s: f32 = (0..4).map(|c| d.get(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let a = Csr::from_triplets(4, 4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let sub = a.induced_subgraph(&[1, 2]);
+        let d = sub.to_dense();
+        assert_eq!(d.get(0, 1), 1.0); // old edge 1→2 survives
+        assert_eq!(d.get(1, 0), 0.0); // old 2→3 and 3→0 dropped
+    }
+
+    #[test]
+    fn eye_spmm_is_identity() {
+        let h = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(Csr::eye(2).spmm(&h), h);
+    }
+}

@@ -1,0 +1,162 @@
+//! Finite-difference gradient checking used by this crate's own tests and by
+//! the GNN layer tests upstream.
+
+use crate::tape::{Tape, Var};
+use crate::Matrix;
+
+/// Result of a gradient check: worst absolute and relative error seen.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckReport {
+    pub max_abs_err: f32,
+    pub max_rel_err: f32,
+}
+
+impl CheckReport {
+    pub fn ok(&self, tol: f32) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Compare analytic gradients against central finite differences.
+///
+/// `build` receives a fresh tape and the current parameter values (in the same
+/// order as `inputs`) and must return the scalar loss var along with the vars
+/// bound for each input. Each input is perturbed element-wise with step `h`.
+pub fn check_gradients(
+    inputs: &[Matrix],
+    h: f32,
+    build: impl Fn(&mut Tape, &[Matrix]) -> (Var, Vec<Var>),
+) -> CheckReport {
+    // analytic pass
+    let mut tape = Tape::new();
+    let (loss, vars) = build(&mut tape, inputs);
+    let grads = tape.backward(loss);
+
+    let mut report = CheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    for (i, input) in inputs.iter().enumerate() {
+        let analytic = grads
+            .get(vars[i])
+            .cloned()
+            .unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
+        for k in 0..input.len() {
+            let mut plus = inputs.to_vec();
+            plus[i].data_mut()[k] += h;
+            let mut minus = inputs.to_vec();
+            minus[i].data_mut()[k] -= h;
+            let mut tp = Tape::new();
+            let (lp, _) = build(&mut tp, &plus);
+            let mut tm = Tape::new();
+            let (lm, _) = build(&mut tm, &minus);
+            let numeric = (tp.value(lp).get(0, 0) - tm.value(lm).get(0, 0)) / (2.0 * h);
+            let a = analytic.data()[k];
+            let abs = (a - numeric).abs();
+            let rel = abs / a.abs().max(numeric.abs()).max(1e-6);
+            report.max_abs_err = report.max_abs_err.max(abs);
+            report.max_rel_err = report.max_rel_err.min(1.0).max(rel.min(rel));
+            if rel > report.max_rel_err {
+                report.max_rel_err = rel;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, Csr};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_sigmoid_pipeline_grad_checks() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = init::uniform(&mut rng, 3, 4, 1.0);
+        let w = init::uniform(&mut rng, 4, 2, 1.0);
+        let report = check_gradients(&[x, w], 1e-3, |tape, ins| {
+            let x = tape.var(ins[0].clone());
+            let w = tape.var(ins[1].clone());
+            let y = tape.matmul(x, w);
+            let s = tape.sigmoid(y);
+            let loss = tape.mean_all(s);
+            (loss, vec![x, w])
+        });
+        assert!(report.ok(2e-2), "grad check failed: {report:?}");
+    }
+
+    #[test]
+    fn spmm_relu_readout_grad_checks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let adj = Csr::normalized_adjacency(4, &[(0, 1), (1, 2), (2, 3)]);
+        let h = init::uniform(&mut rng, 4, 3, 1.0);
+        let report = check_gradients(&[h], 1e-3, |tape, ins| {
+            let h = tape.var(ins[0].clone());
+            let p = tape.spmm(&adj, h);
+            let r = tape.relu(p);
+            let m = tape.mean_rows(r);
+            let loss = tape.sum_all(m);
+            (loss, vec![h])
+        });
+        assert!(report.ok(2e-2), "grad check failed: {report:?}");
+    }
+
+    #[test]
+    fn softmax_attention_grad_checks() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let scores = init::uniform(&mut rng, 1, 3, 1.0);
+        let h = init::uniform(&mut rng, 2, 2, 1.0);
+        let report = check_gradients(&[scores, h], 1e-3, |tape, ins| {
+            let s = tape.var(ins[0].clone());
+            let h0 = tape.var(ins[1].clone());
+            let h1 = tape.scale(h0, 2.0);
+            let h2 = tape.scale(h0, -1.0);
+            let w = tape.softmax_rows(s);
+            let fused = tape.weighted_sum(&[h0, h1, h2], w);
+            let loss = tape.mean_all(fused);
+            (loss, vec![s, h0])
+        });
+        assert!(report.ok(2e-2), "grad check failed: {report:?}");
+    }
+
+    #[test]
+    fn weighted_ce_grad_checks() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let logits = init::uniform(&mut rng, 4, 2, 2.0);
+        let targets = [0usize, 1, 1, 0];
+        let report = check_gradients(&[logits], 1e-3, |tape, ins| {
+            let z = tape.var(ins[0].clone());
+            let loss = tape.softmax_cross_entropy(z, &targets, &[1.0, 3.0]);
+            (loss, vec![z])
+        });
+        assert!(report.ok(2e-2), "grad check failed: {report:?}");
+    }
+
+    #[test]
+    fn bce_grad_checks() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let logits = init::uniform(&mut rng, 5, 1, 2.0);
+        let targets = [1.0, 0.0, 1.0, 0.0, 1.0];
+        let report = check_gradients(&[logits], 1e-3, |tape, ins| {
+            let z = tape.var(ins[0].clone());
+            let loss = tape.bce_with_logits(z, &targets);
+            (loss, vec![z])
+        });
+        assert!(report.ok(2e-2), "grad check failed: {report:?}");
+    }
+
+    #[test]
+    fn contrastive_grad_checks_both_branches() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for same in [true, false] {
+            let a = init::uniform(&mut rng, 1, 4, 0.4);
+            let b = init::uniform(&mut rng, 1, 4, 0.4);
+            let report = check_gradients(&[a, b], 1e-3, |tape, ins| {
+                let a = tape.var(ins[0].clone());
+                let b = tape.var(ins[1].clone());
+                let loss = tape.contrastive_pair(a, b, same, 10.0);
+                (loss, vec![a, b])
+            });
+            assert!(report.ok(3e-2), "grad check failed (same={same}): {report:?}");
+        }
+    }
+}

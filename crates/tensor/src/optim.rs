@@ -1,0 +1,298 @@
+//! Parameter containers and first-order optimizers.
+//!
+//! Models own a [`ParamSet`]; each forward pass binds the parameters onto a
+//! fresh [`Tape`] (in registration order) and after `backward` the optimizer
+//! applies the gradients back onto the set. Freezing (for the paper's
+//! transfer-learning stage, §3.3.4) is a per-parameter flag the optimizers
+//! honour.
+
+use crate::tape::{Grads, Tape, Var};
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a parameter inside a [`ParamSet`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ParamId(pub usize);
+
+/// Named, orderable collection of trainable matrices.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParamSet {
+    names: Vec<String>,
+    mats: Vec<Matrix>,
+    frozen: Vec<bool>,
+}
+
+impl ParamSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter; returns its stable id.
+    pub fn add(&mut self, name: impl Into<String>, mat: Matrix) -> ParamId {
+        self.names.push(name.into());
+        self.mats.push(mat);
+        self.frozen.push(false);
+        ParamId(self.mats.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.mats[id.0]
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.mats[id.0]
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Bind every parameter onto `tape`, returning vars in registration order.
+    pub fn bind(&self, tape: &mut Tape) -> Vec<Var> {
+        self.mats.iter().map(|m| tape.var(m.clone())).collect()
+    }
+
+    /// Freeze parameters whose name starts with `prefix` (transfer learning).
+    /// Returns how many parameters were frozen.
+    pub fn freeze_prefix(&mut self, prefix: &str) -> usize {
+        let mut n = 0;
+        for (name, f) in self.names.iter().zip(&mut self.frozen) {
+            if name.starts_with(prefix) {
+                *f = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Unfreeze everything.
+    pub fn unfreeze_all(&mut self) {
+        self.frozen.iter_mut().for_each(|f| *f = false);
+    }
+
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.frozen[id.0]
+    }
+
+    /// Count of frozen parameters.
+    pub fn frozen_count(&self) -> usize {
+        self.frozen.iter().filter(|&&f| f).count()
+    }
+
+    /// Total scalar count (for the §4.8.2 model-size measurement).
+    pub fn num_scalars(&self) -> usize {
+        self.mats.iter().map(Matrix::len).sum()
+    }
+
+    /// Serialized size in bytes if stored as raw f32 (model-size metric).
+    pub fn byte_size(&self) -> usize {
+        self.num_scalars() * std::mem::size_of::<f32>()
+    }
+
+    /// Copy parameter values from another set where names match (transfer).
+    /// Returns the number of transferred matrices.
+    pub fn copy_matching_from(&mut self, source: &ParamSet) -> usize {
+        let mut n = 0;
+        for (i, name) in self.names.iter().enumerate() {
+            if let Some(j) = source.names.iter().position(|s| s == name) {
+                if source.mats[j].shape() == self.mats[i].shape() {
+                    self.mats[i] = source.mats[j].clone();
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Iterate `(name, matrix)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.names.iter().map(String::as_str).zip(self.mats.iter())
+    }
+}
+
+/// Optimizer over a [`ParamSet`].
+pub trait Optimizer {
+    /// Apply one update step. `vars[i]` must be the tape var bound from
+    /// parameter `i` this pass (i.e. the output of [`ParamSet::bind`]).
+    fn step(&mut self, params: &mut ParamSet, vars: &[Var], grads: &Grads);
+}
+
+/// SGD with classical momentum and optional L2 weight decay.
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    pub weight_decay: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    pub fn with_momentum(mut self, m: f32) -> Self {
+        self.momentum = m;
+        self
+    }
+
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamSet, vars: &[Var], grads: &Grads) {
+        if self.velocity.len() < params.len() {
+            self.velocity.resize_with(params.len(), || None);
+        }
+        for i in 0..params.len() {
+            if params.frozen[i] {
+                continue;
+            }
+            let Some(g) = grads.get(vars[i]) else { continue };
+            let mut upd = g.clone();
+            if self.weight_decay > 0.0 {
+                upd.axpy(self.weight_decay, &params.mats[i]);
+            }
+            if self.momentum > 0.0 {
+                let v = self.velocity[i].get_or_insert_with(|| Matrix::zeros(upd.rows(), upd.cols()));
+                *v = v.scale(self.momentum);
+                v.axpy(1.0, &upd);
+                upd = v.clone();
+            }
+            params.mats[i].axpy(-self.lr, &upd);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamSet, vars: &[Var], grads: &Grads) {
+        if self.m.len() < params.len() {
+            self.m.resize_with(params.len(), || None);
+            self.v.resize_with(params.len(), || None);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            if params.frozen[i] {
+                continue;
+            }
+            let Some(g) = grads.get(vars[i]) else { continue };
+            let mut grad = g.clone();
+            if self.weight_decay > 0.0 {
+                grad.axpy(self.weight_decay, &params.mats[i]);
+            }
+            let m = self.m[i].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            let v = self.v[i].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            *m = m.scale(self.beta1);
+            m.axpy(1.0 - self.beta1, &grad);
+            *v = v.scale(self.beta2);
+            let g2 = grad.mul(&grad);
+            v.axpy(1.0 - self.beta2, &g2);
+            let p = &mut params.mats[i];
+            for k in 0..p.len() {
+                let mh = m.data()[k] / bc1;
+                let vh = v.data()[k] / bc2;
+                p.data_mut()[k] -= self.lr * mh / (vh.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    /// Minimise f(w) = (w − 3)² with each optimizer; both must converge.
+    fn run_quadratic(opt: &mut dyn Optimizer) -> f32 {
+        let mut params = ParamSet::new();
+        params.add("w", Matrix::full(1, 1, 0.0));
+        for _ in 0..300 {
+            let mut tape = Tape::new();
+            let vars = params.bind(&mut tape);
+            let target = tape.constant(Matrix::full(1, 1, 3.0));
+            let diff = tape.sub(vars[0], target);
+            let sq = tape.mul(diff, diff);
+            let loss = tape.sum_all(sq);
+            let grads = tape.backward(loss);
+            opt.step(&mut params, &vars, &grads);
+        }
+        params.get(ParamId(0)).get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.5);
+        assert!((run_quadratic(&mut opt) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        assert!((run_quadratic(&mut opt) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut params = ParamSet::new();
+        params.add("enc.w", Matrix::full(1, 1, 1.0));
+        params.add("head.w", Matrix::full(1, 1, 1.0));
+        assert_eq!(params.freeze_prefix("enc."), 1);
+        let mut opt = Sgd::new(0.5);
+        let mut tape = Tape::new();
+        let vars = params.bind(&mut tape);
+        let s = tape.add(vars[0], vars[1]);
+        let loss = tape.sum_all(s);
+        let grads = tape.backward(loss);
+        opt.step(&mut params, &vars, &grads);
+        assert_eq!(params.get(ParamId(0)).get(0, 0), 1.0, "frozen param moved");
+        assert!(params.get(ParamId(1)).get(0, 0) < 1.0, "live param should move");
+    }
+
+    #[test]
+    fn copy_matching_transfers_by_name_and_shape() {
+        let mut src = ParamSet::new();
+        src.add("enc.w", Matrix::full(2, 2, 5.0));
+        src.add("head.w", Matrix::full(1, 3, 7.0));
+        let mut dst = ParamSet::new();
+        dst.add("enc.w", Matrix::zeros(2, 2));
+        dst.add("head.w", Matrix::zeros(1, 4)); // shape mismatch: skipped
+        assert_eq!(dst.copy_matching_from(&src), 1);
+        assert_eq!(dst.get(ParamId(0)).get(0, 0), 5.0);
+        assert_eq!(dst.get(ParamId(1)).get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,641 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The tape is an append-only arena of nodes; [`Var`] is an index into it.
+//! A fresh tape is built per forward pass (graphs here are tiny, so the
+//! rebuild cost is negligible), and [`Tape::backward`] walks the arena in
+//! reverse, accumulating gradients per node.
+//!
+//! Fused loss ops ([`Tape::softmax_cross_entropy`], [`Tape::bce_with_logits`],
+//! [`Tape::contrastive_pair`]) carry analytic gradients so the numerically
+//! delicate parts never go through the generic op graph.
+
+use crate::{Csr, Matrix};
+
+/// Handle to a tape node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Backward function: `(grad_out, parent_values, node_value) -> parent grads`.
+type BackFn = Box<dyn Fn(&Matrix, &[&Matrix], &Matrix) -> Vec<Matrix>>;
+
+struct Node {
+    value: Matrix,
+    parents: Vec<usize>,
+    back: Option<BackFn>,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+pub struct Grads {
+    inner: Vec<Option<Matrix>>,
+}
+
+impl Grads {
+    /// Gradient of the loss w.r.t. `v`, if `v` participated in the loss.
+    pub fn get(&self, v: Var) -> Option<&Matrix> {
+        self.inner.get(v.0).and_then(Option::as_ref)
+    }
+
+    /// Global L2 norm over a set of vars (for clipping diagnostics).
+    pub fn global_norm(&self, vars: &[Var]) -> f32 {
+        vars.iter()
+            .filter_map(|&v| self.get(v))
+            .map(|g| g.data().iter().map(|x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// Reverse-mode autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, parents: Vec<usize>, back: Option<BackFn>) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value entering tape");
+        self.nodes.push(Node { value, parents, back });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Register a leaf (parameter or input). Gradients are accumulated for
+    /// every leaf; the caller decides which ones feed an optimizer.
+    pub fn var(&mut self, value: Matrix) -> Var {
+        self.push(value, Vec::new(), None)
+    }
+
+    /// Alias of [`Tape::var`] for readability at call sites with constants.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.var(value)
+    }
+
+    /// Current value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    // ---- element-wise binary ----
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(
+            value,
+            vec![a.0, b.0],
+            Some(Box::new(|g, _, _| vec![g.clone(), g.clone()])),
+        )
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        self.push(
+            value,
+            vec![a.0, b.0],
+            Some(Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)])),
+        )
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).mul(self.value(b));
+        self.push(
+            value,
+            vec![a.0, b.0],
+            Some(Box::new(|g, p, _| vec![g.mul(p[1]), g.mul(p[0])])),
+        )
+    }
+
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).scale(s);
+        self.push(value, vec![a.0], Some(Box::new(move |g, _, _| vec![g.scale(s)])))
+    }
+
+    // ---- linear algebra ----
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(
+            value,
+            vec![a.0, b.0],
+            Some(Box::new(|g, p, _| vec![g.matmul_t(p[1]), p[0].t_matmul(g)])),
+        )
+    }
+
+    /// Sparse propagation `adj × h` with `adj` a constant CSR matrix.
+    pub fn spmm(&mut self, adj: &Csr, h: Var) -> Var {
+        let value = adj.spmm(self.value(h));
+        let adj = adj.clone();
+        self.push(value, vec![h.0], Some(Box::new(move |g, _, _| vec![adj.t_spmm(g)])))
+    }
+
+    /// Broadcast-add a `1 × c` bias row to every row of `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let value = self.value(x).add_row_broadcast(self.value(bias));
+        self.push(
+            value,
+            vec![x.0, bias.0],
+            Some(Box::new(|g, _, _| vec![g.clone(), g.sum_rows()])),
+        )
+    }
+
+    /// Affine layer `x × w + bias` (bias broadcast over rows).
+    pub fn linear(&mut self, x: Var, w: Var, bias: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add_bias(xw, bias)
+    }
+
+    // ---- activations ----
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|g, p, _| vec![g.zip(p[0], |gi, x| if x > 0.0 { gi } else { 0.0 })])),
+        )
+    }
+
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let value = self.value(a).map(|x| if x > 0.0 { x } else { alpha * x });
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(move |g, p, _| {
+                vec![g.zip(p[0], |gi, x| if x > 0.0 { gi } else { alpha * gi })]
+            })),
+        )
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi * yi * (1.0 - yi))])),
+        )
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi * (1.0 - yi * yi))])),
+        )
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let value = self.value(a).softmax_rows();
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|g, _, y| {
+                let mut out = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let yr = y.row(r);
+                    let gr = g.row(r);
+                    let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                    let orow = out.row_mut(r);
+                    for ((o, &yi), &gi) in orow.iter_mut().zip(yr).zip(gr) {
+                        *o = yi * (gi - dot);
+                    }
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    /// Inverted dropout with a fixed pre-sampled mask (1.0 = keep). The mask
+    /// is expected to be already scaled by `1/keep_prob`.
+    pub fn dropout_mask(&mut self, a: Var, mask: &Matrix) -> Var {
+        let value = self.value(a).mul(mask);
+        let mask = mask.clone();
+        self.push(value, vec![a.0], Some(Box::new(move |g, _, _| vec![g.mul(&mask)])))
+    }
+
+    // ---- shape ops ----
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        self.push(value, vec![a.0], Some(Box::new(|g, _, _| vec![g.transpose()])))
+    }
+
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_cols(self.value(b));
+        self.push(
+            value,
+            vec![a.0, b.0],
+            Some(Box::new(|g, p, _| {
+                let ca = p[0].cols();
+                let cb = p[1].cols();
+                let mut ga = Matrix::zeros(g.rows(), ca);
+                let mut gb = Matrix::zeros(g.rows(), cb);
+                for r in 0..g.rows() {
+                    ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
+                    gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                }
+                vec![ga, gb]
+            })),
+        )
+    }
+
+    pub fn gather_rows(&mut self, a: Var, idx: &[usize]) -> Var {
+        let value = self.value(a).gather_rows(idx);
+        let idx = idx.to_vec();
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(move |g, p, _| {
+                let mut out = Matrix::zeros(p[0].rows(), p[0].cols());
+                for (r, &i) in idx.iter().enumerate() {
+                    for (o, &x) in out.row_mut(i).iter_mut().zip(g.row(r)) {
+                        *o += x;
+                    }
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    /// Column-wise mean over rows → `1 × c` (mean readout).
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let value = self.value(a).mean_rows();
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|g, p, _| {
+                let n = p[0].rows().max(1) as f32;
+                let mut out = Matrix::zeros(p[0].rows(), p[0].cols());
+                for r in 0..p[0].rows() {
+                    for (o, &gi) in out.row_mut(r).iter_mut().zip(g.row(0)) {
+                        *o = gi / n;
+                    }
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    /// Column-wise sum over rows → `1 × c` (sum readout, GIN-style).
+    pub fn sum_rows_readout(&mut self, a: Var) -> Var {
+        let value = self.value(a).sum_rows();
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|g, p, _| {
+                let mut out = Matrix::zeros(p[0].rows(), p[0].cols());
+                for r in 0..p[0].rows() {
+                    out.row_mut(r).copy_from_slice(g.row(0));
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    /// Column-wise max over rows → `1 × c` (max readout). Gradient is routed
+    /// to the (first) argmax row per column.
+    pub fn max_rows(&mut self, a: Var) -> Var {
+        let val = self.value(a);
+        let mut argmax = vec![0usize; val.cols()];
+        for c in 0..val.cols() {
+            let mut best = f32::NEG_INFINITY;
+            for r in 0..val.rows() {
+                if val.get(r, c) > best {
+                    best = val.get(r, c);
+                    argmax[c] = r;
+                }
+            }
+        }
+        let value = val.max_rows();
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(move |g, p, _| {
+                let mut out = Matrix::zeros(p[0].rows(), p[0].cols());
+                for (c, &r) in argmax.iter().enumerate() {
+                    out.set(r, c, g.get(0, c));
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    /// Mean over all elements → `1 × 1`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::full(1, 1, self.value(a).mean());
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|g, p, _| {
+                let n = p[0].len().max(1) as f32;
+                vec![Matrix::full(p[0].rows(), p[0].cols(), g.get(0, 0) / n)]
+            })),
+        )
+    }
+
+    /// Sum over all elements → `1 × 1`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::full(1, 1, self.value(a).sum());
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|g, p, _| vec![Matrix::full(p[0].rows(), p[0].cols(), g.get(0, 0))])),
+        )
+    }
+
+    /// Weighted sum of equally-shaped matrices: `Σ_p w[0,p] · hs[p]`.
+    ///
+    /// Used for inter-metapath attention fusion: `w` is a `1 × P` attention
+    /// row and each `hs[p]` an `n × d` metapath summary.
+    pub fn weighted_sum(&mut self, hs: &[Var], w: Var) -> Var {
+        assert!(!hs.is_empty());
+        assert_eq!(self.value(w).shape(), (1, hs.len()), "weights must be 1×P");
+        let shape = self.value(hs[0]).shape();
+        let mut value = Matrix::zeros(shape.0, shape.1);
+        for (p, &h) in hs.iter().enumerate() {
+            assert_eq!(self.value(h).shape(), shape, "weighted_sum shape mismatch");
+            value.axpy(self.value(w).get(0, p), self.value(h));
+        }
+        let mut parents: Vec<usize> = hs.iter().map(|v| v.0).collect();
+        parents.push(w.0);
+        let n_h = hs.len();
+        self.push(
+            value,
+            parents,
+            Some(Box::new(move |g, p, _| {
+                let w_val = p[n_h];
+                let mut grads: Vec<Matrix> = (0..n_h).map(|i| g.scale(w_val.get(0, i))).collect();
+                let mut gw = Matrix::zeros(1, n_h);
+                for i in 0..n_h {
+                    gw.set(0, i, g.dot(p[i]));
+                }
+                grads.push(gw);
+                grads
+            })),
+        )
+    }
+
+    // ---- fused losses ----
+
+    /// Class-weighted softmax cross-entropy over logits `n × k` with integer
+    /// targets. Implements the classification term of Eq. (2):
+    /// `L = Σ w_{y_n} · CE_n / Σ w_{y_n}`.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize], class_weights: &[f32]) -> Var {
+        let z = self.value(logits);
+        assert_eq!(z.rows(), targets.len());
+        let probs = z.softmax_rows();
+        let weights: Vec<f32> = targets.iter().map(|&t| class_weights[t]).collect();
+        let w_sum: f32 = weights.iter().sum::<f32>().max(1e-12);
+        let mut loss = 0.0;
+        for (r, &t) in targets.iter().enumerate() {
+            loss -= weights[r] * probs.get(r, t).max(1e-12).ln();
+        }
+        loss /= w_sum;
+        let targets = targets.to_vec();
+        self.push(
+            Matrix::full(1, 1, loss),
+            vec![logits.0],
+            Some(Box::new(move |g, p, _| {
+                let probs = p[0].softmax_rows();
+                let mut out = probs;
+                for (r, &t) in targets.iter().enumerate() {
+                    let w = weights[r] / w_sum;
+                    for c in 0..out.cols() {
+                        let y = if c == t { 1.0 } else { 0.0 };
+                        let v = (out.get(r, c) - y) * w * g.get(0, 0);
+                        out.set(r, c, v);
+                    }
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    /// Mean binary cross-entropy with logits; `targets[i] ∈ [0, 1]` pairs with
+    /// row `i` of the `n × 1` logit column. Used for the VIPool loss term.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        let z = self.value(logits);
+        assert_eq!(z.cols(), 1, "bce expects an n×1 logit column");
+        assert_eq!(z.rows(), targets.len());
+        let n = targets.len().max(1) as f32;
+        let mut loss = 0.0;
+        for (r, &t) in targets.iter().enumerate() {
+            let x = z.get(r, 0);
+            // stable: max(x,0) - x t + ln(1 + e^{-|x|})
+            loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        }
+        loss /= n;
+        let targets = targets.to_vec();
+        self.push(
+            Matrix::full(1, 1, loss),
+            vec![logits.0],
+            Some(Box::new(move |g, p, _| {
+                let mut out = Matrix::zeros(p[0].rows(), 1);
+                for (r, &t) in targets.iter().enumerate() {
+                    let x = p[0].get(r, 0);
+                    let s = 1.0 / (1.0 + (-x).exp());
+                    out.set(r, 0, (s - t) / n * g.get(0, 0));
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    /// Contrastive pair loss (Eq. 1) over two `1 × d` embeddings.
+    ///
+    /// Same label: `‖a − b‖²`. Different label: `max(0, ε − ‖a − b‖)²`.
+    pub fn contrastive_pair(&mut self, a: Var, b: Var, same_label: bool, margin: f32) -> Var {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.shape(), bv.shape());
+        let d2 = av.sq_dist(bv);
+        let d = d2.sqrt();
+        let loss = if same_label {
+            d2
+        } else {
+            let m = (margin - d).max(0.0);
+            m * m
+        };
+        self.push(
+            Matrix::full(1, 1, loss),
+            vec![a.0, b.0],
+            Some(Box::new(move |g, p, _| {
+                let diff = p[0].sub(p[1]);
+                let d = diff.norm();
+                let coeff = if same_label {
+                    2.0
+                } else if d < margin && d > 1e-12 {
+                    -2.0 * (margin - d) / d
+                } else {
+                    0.0
+                };
+                let ga = diff.scale(coeff * g.get(0, 0));
+                let gb = ga.scale(-1.0);
+                vec![ga, gb]
+            })),
+        )
+    }
+
+    // ---- backward ----
+
+    /// Run reverse-mode accumulation from a scalar (`1 × 1`) loss node.
+    pub fn backward(&self, loss: Var) -> Grads {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        let mut grads: Vec<Option<Matrix>> = Vec::with_capacity(self.nodes.len());
+        grads.resize_with(self.nodes.len(), || None);
+        grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].clone() else { continue };
+            let node = &self.nodes[i];
+            let Some(back) = &node.back else { continue };
+            let parent_vals: Vec<&Matrix> = node.parents.iter().map(|&p| &self.nodes[p].value).collect();
+            let pgrads = back(&g, &parent_vals, &node.value);
+            debug_assert_eq!(pgrads.len(), node.parents.len());
+            for (&p, pg) in node.parents.iter().zip(pgrads) {
+                match &mut grads[p] {
+                    Some(acc) => acc.axpy(1.0, &pg),
+                    slot @ None => *slot = Some(pg),
+                }
+            }
+        }
+        Grads { inner: grads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_mul_chain_gradient() {
+        // f = sum((a + b) ∘ a); df/da = (2a + b), df/db = a
+        let mut t = Tape::new();
+        let a = t.var(Matrix::row_vector(vec![1.0, 2.0]));
+        let b = t.var(Matrix::row_vector(vec![3.0, 4.0]));
+        let s = t.add(a, b);
+        let m = t.mul(s, a);
+        let loss = t.sum_all(m);
+        assert_eq!(t.value(loss).get(0, 0), 1.0 * 4.0 + 2.0 * 6.0);
+        let g = t.backward(loss);
+        assert_eq!(g.get(a).unwrap().data(), &[5.0, 8.0]);
+        assert_eq!(g.get(b).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_gradient_shapes() {
+        let mut t = Tape::new();
+        let a = t.var(Matrix::zeros(3, 4));
+        let b = t.var(Matrix::zeros(4, 2));
+        let c = t.matmul(a, b);
+        let loss = t.sum_all(c);
+        let g = t.backward(loss);
+        assert_eq!(g.get(a).unwrap().shape(), (3, 4));
+        assert_eq!(g.get(b).unwrap().shape(), (4, 2));
+    }
+
+    #[test]
+    fn sigmoid_gradient_at_zero() {
+        let mut t = Tape::new();
+        let a = t.var(Matrix::full(1, 1, 0.0));
+        let s = t.sigmoid(a);
+        let loss = t.sum_all(s);
+        let g = t.backward(loss);
+        // dσ/dx at 0 = 0.25
+        assert!((g.get(a).unwrap().get(0, 0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_is_p_minus_y() {
+        let mut t = Tape::new();
+        let logits = t.var(Matrix::from_rows(&[vec![1.0, 2.0]]));
+        let loss = t.softmax_cross_entropy(logits, &[1], &[1.0, 1.0]);
+        let g = t.backward(loss);
+        let probs = Matrix::from_rows(&[vec![1.0, 2.0]]).softmax_rows();
+        let gl = g.get(logits).unwrap();
+        assert!((gl.get(0, 0) - probs.get(0, 0)).abs() < 1e-6);
+        assert!((gl.get(0, 1) - (probs.get(0, 1) - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contrastive_same_label_pulls_together() {
+        let mut t = Tape::new();
+        let a = t.var(Matrix::row_vector(vec![1.0, 0.0]));
+        let b = t.var(Matrix::row_vector(vec![0.0, 0.0]));
+        let loss = t.contrastive_pair(a, b, true, 1.0);
+        assert!((t.value(loss).get(0, 0) - 1.0).abs() < 1e-6);
+        let g = t.backward(loss);
+        // gradient on a points away from b (loss decreases by moving a to b)
+        assert!(g.get(a).unwrap().get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn contrastive_diff_label_beyond_margin_is_zero() {
+        let mut t = Tape::new();
+        let a = t.var(Matrix::row_vector(vec![10.0, 0.0]));
+        let b = t.var(Matrix::row_vector(vec![0.0, 0.0]));
+        let loss = t.contrastive_pair(a, b, false, 1.0);
+        assert_eq!(t.value(loss).get(0, 0), 0.0);
+        let g = t.backward(loss);
+        assert_eq!(g.get(a).unwrap().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_rows_scatter_adds() {
+        let mut t = Tape::new();
+        let a = t.var(Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]));
+        let g1 = t.gather_rows(a, &[0, 0, 2]);
+        let loss = t.sum_all(g1);
+        let g = t.backward(loss);
+        assert_eq!(g.get(a).unwrap().data(), &[2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_sum_gradients() {
+        let mut t = Tape::new();
+        let h0 = t.var(Matrix::row_vector(vec![1.0, 2.0]));
+        let h1 = t.var(Matrix::row_vector(vec![3.0, 4.0]));
+        let w = t.var(Matrix::row_vector(vec![0.25, 0.75]));
+        let out = t.weighted_sum(&[h0, h1], w);
+        assert_eq!(t.value(out).data(), &[0.25 + 2.25, 0.5 + 3.0]);
+        let loss = t.sum_all(out);
+        let g = t.backward(loss);
+        assert_eq!(g.get(h0).unwrap().data(), &[0.25, 0.25]);
+        assert_eq!(g.get(w).unwrap().data(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn max_rows_routes_gradient_to_argmax() {
+        let mut t = Tape::new();
+        let a = t.var(Matrix::from_rows(&[vec![1.0, 5.0], vec![3.0, 2.0]]));
+        let m = t.max_rows(a);
+        assert_eq!(t.value(m).data(), &[3.0, 5.0]);
+        let loss = t.sum_all(m);
+        let g = t.backward(loss);
+        assert_eq!(g.get(a).unwrap().data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // loss = sum(a + a) => grad a = 2
+        let mut t = Tape::new();
+        let a = t.var(Matrix::full(1, 1, 3.0));
+        let s = t.add(a, a);
+        let loss = t.sum_all(s);
+        let g = t.backward(loss);
+        assert_eq!(g.get(a).unwrap().get(0, 0), 2.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the numeric substrate.
+
+use glint_tensor::{Csr, Matrix, Tape};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn edge_list(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..n * 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_is_an_involution(m in small_matrix(3, 5)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in small_matrix(3, 4), b in small_matrix(4, 2), c in small_matrix(4, 2)) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.sq_dist(&rhs) < 1e-6, "distributivity violated");
+    }
+
+    #[test]
+    fn t_matmul_agrees_with_explicit_transpose(a in small_matrix(4, 3), b in small_matrix(4, 2)) {
+        prop_assert!(a.t_matmul(&b).sq_dist(&a.transpose().matmul(&b)) < 1e-8);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in small_matrix(4, 6)) {
+        let s = m.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul(edges in edge_list(5), h in small_matrix(5, 3)) {
+        let adj = Csr::normalized_adjacency(5, &edges);
+        prop_assert!(adj.spmm(&h).sq_dist(&adj.to_dense().matmul(&h)) < 1e-6);
+        prop_assert!(adj.t_spmm(&h).sq_dist(&adj.to_dense().transpose().matmul(&h)) < 1e-6);
+    }
+
+    #[test]
+    fn normalized_adjacency_is_symmetric_psd_diag(edges in edge_list(6)) {
+        let adj = Csr::normalized_adjacency(6, &edges);
+        prop_assert!(adj.is_symmetric(1e-6));
+        let d = adj.to_dense();
+        for i in 0..6 {
+            prop_assert!(d.get(i, i) > 0.0, "self loop lost at {i}");
+        }
+    }
+
+    #[test]
+    fn backward_of_linear_matches_manual(x in small_matrix(3, 4), w in small_matrix(4, 2)) {
+        // loss = sum(x·w) ⇒ dL/dx = 1·wᵀ (broadcast), dL/dw = xᵀ·1
+        let mut tape = Tape::new();
+        let xv = tape.var(x.clone());
+        let wv = tape.var(w.clone());
+        let y = tape.matmul(xv, wv);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        let ones = Matrix::full(3, 2, 1.0);
+        let gx_expected = ones.matmul_t(&w);
+        let gw_expected = x.t_matmul(&ones);
+        prop_assert!(grads.get(xv).unwrap().sq_dist(&gx_expected) < 1e-6);
+        prop_assert!(grads.get(wv).unwrap().sq_dist(&gw_expected) < 1e-6);
+    }
+
+    #[test]
+    fn relu_gradient_is_a_mask(x in small_matrix(2, 5)) {
+        let mut tape = Tape::new();
+        let xv = tape.var(x.clone());
+        let y = tape.relu(xv);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        let g = grads.get(xv).unwrap();
+        for (gi, &xi) in g.data().iter().zip(x.data()) {
+            prop_assert_eq!(*gi, if xi > 0.0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_internal_structure(edges in edge_list(6)) {
+        let adj = Csr::from_triplets(
+            6,
+            6,
+            &edges.iter().map(|&(u, v)| (u, v, 1.0)).collect::<Vec<_>>(),
+        );
+        let keep = vec![1usize, 3, 5];
+        let sub = adj.induced_subgraph(&keep);
+        let dense = adj.to_dense();
+        let sub_dense = sub.to_dense();
+        for (ni, &oi) in keep.iter().enumerate() {
+            for (nj, &oj) in keep.iter().enumerate() {
+                prop_assert!((sub_dense.get(ni, nj) - dense.get(oi, oj)).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The five §4.8.1 attack/fault injectors, applied to simulated event logs:
+//! targeted compromise (fake commands, stealthy commands), interaction abuse
+//! (fake events, event losses), and misconfiguration (command failures).
+
+use glint_rules::event::{EventKind, EventLog, EventRecord};
+use glint_rules::{Channel, DeviceKind, Location, StateValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The attack taxonomy of §4.8.1.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Targeted compromise: a command the user never issued ("manually
+    /// turning off lights during normal operation").
+    FakeCommand,
+    /// Targeted compromise: a command whose side effects trip sensors
+    /// ("manually starting a robot vacuum to trigger motion sensors").
+    StealthyCommand,
+    /// Interaction abuse: a sensor event that never physically happened.
+    FakeEvent,
+    /// Interaction abuse: real events dropped from the log.
+    EventLoss,
+    /// Misconfiguration: a rule fires but its command never lands.
+    CommandFailure,
+}
+
+impl AttackKind {
+    pub fn all() -> &'static [AttackKind] {
+        &[
+            AttackKind::FakeCommand,
+            AttackKind::StealthyCommand,
+            AttackKind::FakeEvent,
+            AttackKind::EventLoss,
+            AttackKind::CommandFailure,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::FakeCommand => "fake command",
+            AttackKind::StealthyCommand => "stealthy command",
+            AttackKind::FakeEvent => "fake event",
+            AttackKind::EventLoss => "event loss",
+            AttackKind::CommandFailure => "command failure",
+        }
+    }
+}
+
+/// Inject one attack into a log, returning the tampered log. Timestamps stay
+/// ordered; injections land mid-log at a seeded position.
+pub fn inject(log: &EventLog, kind: AttackKind, seed: u64) -> EventLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records = log.records();
+    if records.is_empty() {
+        return log.clone();
+    }
+    let pivot = rng.gen_range(0..records.len());
+    let t = records[pivot].timestamp;
+    let mut out = EventLog::new();
+    match kind {
+        AttackKind::FakeCommand => {
+            // unsolicited light-off at pivot time, no RuleFired before it
+            for (i, r) in records.iter().enumerate() {
+                out.push(r.clone());
+                if i == pivot {
+                    out.push(EventRecord::new(
+                        t,
+                        EventKind::DeviceState {
+                            device: DeviceKind::Light,
+                            location: Location::LivingRoom,
+                            state: StateValue::Off,
+                        },
+                    ));
+                }
+            }
+        }
+        AttackKind::StealthyCommand => {
+            // vacuum start + the motion it physically induces
+            for (i, r) in records.iter().enumerate() {
+                out.push(r.clone());
+                if i == pivot {
+                    out.push(EventRecord::new(
+                        t,
+                        EventKind::DeviceState {
+                            device: DeviceKind::Vacuum,
+                            location: Location::Hallway,
+                            state: StateValue::On,
+                        },
+                    ));
+                    out.push(EventRecord::new(
+                        t + 5.0_f64.min(next_gap(records, i)),
+                        EventKind::ChannelEvent {
+                            channel: Channel::Motion,
+                            location: Location::Hallway,
+                        },
+                    ));
+                }
+            }
+        }
+        AttackKind::FakeEvent => {
+            for (i, r) in records.iter().enumerate() {
+                out.push(r.clone());
+                if i == pivot {
+                    out.push(EventRecord::new(
+                        t,
+                        EventKind::ChannelEvent {
+                            channel: Channel::Smoke,
+                            location: Location::Kitchen,
+                        },
+                    ));
+                }
+            }
+        }
+        AttackKind::EventLoss => {
+            // drop a contiguous run of device-state events
+            let drop_from = pivot;
+            let drop_to = (pivot + 3).min(records.len());
+            for (i, r) in records.iter().enumerate() {
+                let dropped = (drop_from..drop_to).contains(&i)
+                    && matches!(r.kind, EventKind::DeviceState { .. });
+                if !dropped {
+                    out.push(r.clone());
+                }
+            }
+        }
+        AttackKind::CommandFailure => {
+            // a RuleFired whose consequent device events vanish: pick a
+            // RuleFired record (seeded) and suppress the device events that
+            // follow it within 10 s
+            let fired: Vec<usize> = records
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r.kind, EventKind::RuleFired { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            if fired.is_empty() {
+                return log.clone();
+            }
+            let target = fired[rng.gen_range(0..fired.len())];
+            let suppress_until = records[target].timestamp + 10.0;
+            for (i, r) in records.iter().enumerate() {
+                let suppressed = i > target
+                    && r.timestamp <= suppress_until
+                    && matches!(r.kind, EventKind::DeviceState { .. });
+                if !suppressed {
+                    out.push(r.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+fn next_gap(records: &[EventRecord], i: usize) -> f64 {
+    records.get(i + 1).map(|r| (r.timestamp - records[i].timestamp).max(0.0)).unwrap_or(5.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_log() -> EventLog {
+        let mut log = EventLog::new();
+        for k in 0..20 {
+            let t = k as f64 * 10.0;
+            if k % 3 == 0 {
+                log.push(EventRecord::new(t, EventKind::RuleFired { rule_id: k }));
+            } else {
+                log.push(EventRecord::new(
+                    t,
+                    EventKind::DeviceState {
+                        device: DeviceKind::Light,
+                        location: Location::Bedroom,
+                        state: if k % 2 == 0 { StateValue::On } else { StateValue::Off },
+                    },
+                ));
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn fake_command_adds_unsolicited_state_change() {
+        let log = base_log();
+        let attacked = inject(&log, AttackKind::FakeCommand, 1);
+        assert_eq!(attacked.len(), log.len() + 1);
+    }
+
+    #[test]
+    fn stealthy_command_adds_vacuum_and_motion() {
+        let log = base_log();
+        let attacked = inject(&log, AttackKind::StealthyCommand, 2);
+        let vacuum = attacked.records().iter().any(|r| {
+            matches!(r.kind, EventKind::DeviceState { device: DeviceKind::Vacuum, .. })
+        });
+        let motion = attacked
+            .records()
+            .iter()
+            .any(|r| matches!(r.kind, EventKind::ChannelEvent { channel: Channel::Motion, .. }));
+        assert!(vacuum && motion);
+    }
+
+    #[test]
+    fn event_loss_removes_records() {
+        let log = base_log();
+        let attacked = inject(&log, AttackKind::EventLoss, 3);
+        assert!(attacked.len() < log.len());
+    }
+
+    #[test]
+    fn command_failure_keeps_rule_fired_but_drops_consequences() {
+        let mut log = EventLog::new();
+        log.push(EventRecord::new(0.0, EventKind::RuleFired { rule_id: 1 }));
+        log.push(EventRecord::new(
+            1.0,
+            EventKind::DeviceState {
+                device: DeviceKind::Window,
+                location: Location::House,
+                state: StateValue::Open,
+            },
+        ));
+        let attacked = inject(&log, AttackKind::CommandFailure, 4);
+        let has_fired = attacked
+            .records()
+            .iter()
+            .any(|r| matches!(r.kind, EventKind::RuleFired { .. }));
+        let has_device = attacked
+            .records()
+            .iter()
+            .any(|r| matches!(r.kind, EventKind::DeviceState { .. }));
+        assert!(has_fired && !has_device, "{:?}", attacked.records());
+    }
+
+    #[test]
+    fn all_attacks_preserve_time_order() {
+        let log = base_log();
+        for &k in AttackKind::all() {
+            let attacked = inject(&log, k, 7);
+            let times: Vec<f64> = attacked.records().iter().map(|r| r.timestamp).collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]), "{k:?} broke ordering");
+        }
+    }
+}

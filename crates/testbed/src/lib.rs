@@ -1,0 +1,23 @@
+//! # glint-testbed
+//!
+//! The real-life testbed substitute (§4.8): a discrete-event smart-home
+//! simulator with the Figure 10 device layout, a rule-execution engine that
+//! writes event logs, the five attack injectors of §4.8.1, the HAWatcher
+//! baseline, and the BCT/CCT test-set harness behind Figure 11.
+//!
+//! The paper collects 1,813 event logs from a volunteer's house over a week;
+//! this crate produces the same artifact — timestamped device/rule events —
+//! from a seeded simulation, so every Figure 11 number is reproducible.
+
+pub mod attack;
+pub mod harness;
+pub mod hawatcher;
+pub mod iruler;
+pub mod home;
+pub mod sim;
+
+pub use attack::AttackKind;
+pub use harness::{TestSetBuilder, ThreatComplexity};
+pub use hawatcher::HaWatcher;
+pub use home::{figure10_home, DeviceInstance, Home};
+pub use sim::{SimConfig, Simulator};

@@ -1,0 +1,12 @@
+#!/usr/bin/env python3
+"""Extract the experiment tables from bench_output.txt into EXPERIMENTS.md's
+measured-results appendix. Run after `cargo bench --workspace`."""
+import re, sys
+
+src = open("bench_output.txt").read()
+blocks = re.findall(r"(== .+? ==\n(?:.+\n)+?)\n", src)
+out = ["\n## Extracted tables (latest run)\n"]
+for b in blocks:
+    out.append("```text\n" + b.strip() + "\n```\n")
+open("EXPERIMENTS_RESULTS.md", "w").write("\n".join(out))
+print(f"extracted {len(blocks)} tables → EXPERIMENTS_RESULTS.md")

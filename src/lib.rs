@@ -1,0 +1,17 @@
+//! # glint-suite
+//!
+//! Umbrella crate for the Glint reproduction workspace. It re-exports every
+//! member crate under one roof so the `examples/` binaries and the top-level
+//! integration tests can reach the whole system through a single dependency.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use glint_core as core;
+pub use glint_gnn as gnn;
+pub use glint_graph as graph;
+pub use glint_ml as ml;
+pub use glint_nlp as nlp;
+pub use glint_rules as rules;
+pub use glint_tensor as tensor;
+pub use glint_testbed as testbed;

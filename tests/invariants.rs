@@ -1,0 +1,100 @@
+//! Property-based cross-crate invariants.
+
+use glint_suite::core::construction::{node_features, OfflineBuilder};
+use glint_suite::core::oracle;
+use glint_suite::graph::builder::{full_graph, GraphBuilder};
+use glint_suite::rules::{CorpusConfig, CorpusGenerator, Rule};
+use proptest::prelude::*;
+
+fn corpus(seed: u64) -> Vec<Rule> {
+    CorpusGenerator::generate_corpus(&CorpusConfig { scale: 0.0005, per_platform_cap: 80, seed })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The oracle is a pure function of the rule set: order-invariant and
+    /// deterministic.
+    #[test]
+    fn oracle_is_order_invariant(seed in 0u64..500, a in 0usize..40, b in 0usize..40, c in 0usize..40) {
+        let rules = corpus(seed);
+        let pick = |i: usize| &rules[i % rules.len()];
+        let fwd = [pick(a), pick(b), pick(c)];
+        let rev = [pick(c), pick(b), pick(a)];
+        let f1 = oracle::label_rules(&fwd);
+        let f2 = oracle::label_rules(&rev);
+        prop_assert_eq!(f1.is_empty(), f2.is_empty(), "vulnerability verdict must not depend on order");
+    }
+
+    /// Sampled interaction graphs always respect the size contract and
+    /// contain only valid edges.
+    #[test]
+    fn sampled_graphs_are_well_formed(seed in 0u64..200) {
+        let rules = corpus(7);
+        let mut builder = GraphBuilder::new(&rules, seed);
+        let g = builder.sample_graph(2, 9, &node_features);
+        prop_assert!(g.n_nodes() >= 2 && g.n_nodes() <= 9);
+        for &(u, v, _) in g.edges() {
+            prop_assert!(u < g.n_nodes() && v < g.n_nodes());
+            prop_assert_ne!(u, v, "no self loops from the builder");
+        }
+        // node features are non-empty and platform-consistent in dimension
+        for n in g.nodes() {
+            let expected = if n.platform.is_voice() { 512 } else { 300 };
+            prop_assert_eq!(n.features.len(), expected);
+        }
+    }
+
+    /// Graph JSON serialization round-trips exactly.
+    #[test]
+    fn dataset_serialization_round_trips(seed in 0u64..100) {
+        let rules = corpus(11);
+        let builder = OfflineBuilder::new(rules, seed);
+        let ds = builder.build_dataset(glint_suite::rules::Platform::all(), 4, 5, true);
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: glint_suite::graph::GraphDataset = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(ds.graphs(), back.graphs());
+    }
+
+    /// The full interaction graph over any subset is a subgraph of the full
+    /// interaction graph over the whole set (edge monotonicity).
+    #[test]
+    fn full_graph_edges_are_monotone(seed in 0u64..100, k in 2usize..6) {
+        let rules = corpus(13);
+        let mut idx: Vec<usize> = (0..rules.len()).collect();
+        // simple seeded shuffle
+        let mut s = seed;
+        for i in (1..idx.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            idx.swap(i, (s as usize) % (i + 1));
+        }
+        let subset: Vec<Rule> = idx[..k].iter().map(|&i| rules[i].clone()).collect();
+        let g_small = full_graph(&subset, &node_features);
+        let all: Vec<Rule> = idx[..(k + 3).min(idx.len())].iter().map(|&i| rules[i].clone()).collect();
+        let g_big = full_graph(&all, &node_features);
+        // map small-graph edges into big-graph node ids and verify presence
+        for &(u, v, kind) in g_small.edges() {
+            let ru = g_small.node(u).rule_id;
+            let rv = g_small.node(v).rule_id;
+            let bu = g_big.nodes().iter().position(|n| n.rule_id == ru).unwrap();
+            let bv = g_big.nodes().iter().position(|n| n.rule_id == rv).unwrap();
+            prop_assert!(
+                g_big.edges().iter().any(|&(x, y, k2)| x == bu && y == bv && k2 == kind),
+                "edge {:?}→{:?} lost when the rule set grew", ru, rv
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_findings_reference_only_member_rules() {
+    let rules = corpus(17);
+    for chunk in rules.chunks(4).take(20) {
+        let refs: Vec<&Rule> = chunk.iter().collect();
+        for f in oracle::label_rules(&refs) {
+            for id in &f.rules {
+                assert!(chunk.iter().any(|r| r.id.0 == *id), "finding references foreign rule {id}");
+            }
+        }
+    }
+}

@@ -7,8 +7,8 @@
 //! "condition duplicate" — blueprint patterns absent from training.
 
 use glint_bench::{n_graphs, offline, print_table, record_json, scale, timed, train_config};
-use glint_core::drift::DriftDetector;
 use glint_core::construction::node_features;
+use glint_core::drift::DriftDetector;
 use glint_gnn::batch::{GraphSchema, PreparedGraph};
 use glint_gnn::models::{Itgnn, ItgnnConfig};
 use glint_gnn::trainer::ContrastiveTrainer;
@@ -38,10 +38,22 @@ fn main() {
 
     // ITGNN-C on the labeled hetero dataset (5 platforms appear in the
     // unlabeled pool, so infer the schema over everything)
-    let schema = GraphSchema::infer(labeled.iter().chain(unlabeled_hetero.iter()).chain(unlabeled_ifttt.iter()));
+    let schema = GraphSchema::infer(
+        labeled
+            .iter()
+            .chain(unlabeled_hetero.iter())
+            .chain(unlabeled_ifttt.iter()),
+    );
     let prepared = PreparedGraph::prepare_all(labeled.graphs());
     let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
-    let mut model = Itgnn::new(&schema.types, ItgnnConfig { seed: 17, bounded_embedding: false, ..Default::default() });
+    let mut model = Itgnn::new(
+        &schema.types,
+        ItgnnConfig {
+            seed: 17,
+            bounded_embedding: false,
+            ..Default::default()
+        },
+    );
     timed("ITGNN-C training", || {
         ContrastiveTrainer::new(train_config(17)).train(&mut model, &prepared)
     });
@@ -68,7 +80,11 @@ fn main() {
             format!("{paper_hits}/{paper_total} ({:.2}%)", paper_rate * 100.0),
         ]);
     }
-    print_table("§4.7 — drifting samples in the unlabeled pools", &["pool", "drifting", "rate", "paper"], &rows);
+    print_table(
+        "§4.7 — drifting samples in the unlabeled pools",
+        &["pool", "drifting", "rate", "paper"],
+        &rows,
+    );
 
     // the four blueprint threats must drift harder than the typical
     // in-distribution graph
@@ -86,12 +102,18 @@ fn main() {
         rows.push(vec![
             name.to_string(),
             format!("{degree:.2}"),
-            if detector.is_drifting(&e) { "DRIFTING".into() } else { "in-dist".into() },
+            if detector.is_drifting(&e) {
+                "DRIFTING".into()
+            } else {
+                "in-dist".into()
+            },
         ]);
         bp_json.push(serde_json::json!({ "blueprint": name, "degree": degree }));
     }
     print_table(
-        &format!("§4.7 — the four blueprint threats (T_MAD = 3; in-dist mean degree {in_dist_mean:.2})"),
+        &format!(
+            "§4.7 — the four blueprint threats (T_MAD = 3; in-dist mean degree {in_dist_mean:.2})"
+        ),
         &["new threat type", "drift degree", "verdict"],
         &rows,
     );

@@ -25,8 +25,7 @@ fn main() {
     });
 
     // one ITGNN (untrained weights are fine for latency measurements)
-    let probe: Vec<glint_graph::InteractionGraph> =
-        vec![full_graph(&corpus[..6], &node_features)];
+    let probe: Vec<glint_graph::InteractionGraph> = vec![full_graph(&corpus[..6], &node_features)];
     let schema = GraphSchema::infer(probe.iter());
     let mut types = schema.types.clone();
     for p in glint_rules::Platform::all() {
@@ -54,7 +53,10 @@ fn main() {
         let glint_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         // iRuler-style bounded search
-        let checker = IRulerChecker { max_depth: 5, max_states: 400_000 };
+        let checker = IRulerChecker {
+            max_depth: 5,
+            max_states: 400_000,
+        };
         let t1 = Instant::now();
         let outcome = checker.check(subset);
         let iruler_ms = t1.elapsed().as_secs_f64() * 1e3;
@@ -64,7 +66,11 @@ fn main() {
             format!("{glint_ms:.1} ms"),
             format!("{iruler_ms:.1} ms"),
             outcome.explored_states.to_string(),
-            if outcome.truncated { "yes".into() } else { "no".into() },
+            if outcome.truncated {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             format!("{:.0}×", iruler_ms / glint_ms.max(1e-9)),
         ]);
         json.push(serde_json::json!({
@@ -74,7 +80,14 @@ fn main() {
     }
     print_table(
         "§4.8.2 — Glint inference vs search-based checking (depth 5)",
-        &["rules", "Glint", "model check", "states explored", "truncated", "slowdown"],
+        &[
+            "rules",
+            "Glint",
+            "model check",
+            "states explored",
+            "truncated",
+            "slowdown",
+        ],
         &rows,
     );
     println!("\npaper shape: learned prediction stays near-constant per graph while exhaustive");

@@ -32,9 +32,18 @@ fn main() {
     // scale the test set: paper uses 150 per family-and-class
     let per_family = ((150.0 * (scale() / 0.03)).round() as usize).clamp(20, 150);
     let cases = timed("test set", || {
-        TestSetBuilder { per_family, sim_hours: 3.0, seed: 0xf11 }.build()
+        TestSetBuilder {
+            per_family,
+            sim_hours: 3.0,
+            seed: 0xf11,
+        }
+        .build()
     });
-    println!("test cases: {} ({} per family/class; paper: 150)", cases.len(), per_family);
+    println!(
+        "test cases: {} ({} per family/class; paper: 150)",
+        cases.len(),
+        per_family
+    );
 
     // ---- Glint (ITGNN): pretrained offline on oracle-labeled corpus
     // graphs, then fine-tuned on a disjoint testbed slice (the paper's §4.8
@@ -56,10 +65,20 @@ fn main() {
     );
     let split = train_ds.split(0.9, 41);
     let (train, _) = prepare_split(&split, 41);
-    let mut itgnn = Itgnn::new(&schema.types, ItgnnConfig { seed: 4, ..Default::default() });
-    timed("ITGNN pretraining", || ClassifierTrainer::new(train_config(4)).train(&mut itgnn, &train));
-    let finetune_graphs: Vec<PreparedGraph> =
-        finetune_cases.iter().map(|c| PreparedGraph::from_graph(&c.graph)).collect();
+    let mut itgnn = Itgnn::new(
+        &schema.types,
+        ItgnnConfig {
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    timed("ITGNN pretraining", || {
+        ClassifierTrainer::new(train_config(4)).train(&mut itgnn, &train)
+    });
+    let finetune_graphs: Vec<PreparedGraph> = finetune_cases
+        .iter()
+        .map(|c| PreparedGraph::from_graph(&c.graph))
+        .collect();
     timed("ITGNN testbed fine-tuning", || {
         itgnn.params_mut().freeze_prefix("enc.meta.");
         ClassifierTrainer::new(train_config(5)).train(&mut itgnn, &finetune_graphs);
@@ -78,7 +97,11 @@ fn main() {
     let clean_log = Simulator::new(
         figure10_home(),
         clean_rules,
-        SimConfig { seed: 77, duration_hours: 72.0, ..Default::default() },
+        SimConfig {
+            seed: 77,
+            duration_hours: 72.0,
+            ..Default::default()
+        },
     )
     .run();
     let mut hawatcher = HaWatcher::new();
@@ -115,13 +138,19 @@ fn main() {
         let anomalies = preds.iter().filter(|&&p| p == -1).count();
         anomalies * 5 > preds.len() // ≥20% anomalous frames ⇒ threat window
     };
-    let ocsvm_verdicts: Vec<bool> =
-        cases.iter().map(|c| frame_verdict(&|m| ocsvm.predict(m), c)).collect();
-    let iforest_verdicts: Vec<bool> =
-        cases.iter().map(|c| frame_verdict(&|m| iforest.predict(m), c)).collect();
+    let ocsvm_verdicts: Vec<bool> = cases
+        .iter()
+        .map(|c| frame_verdict(&|m| ocsvm.predict(m), c))
+        .collect();
+    let iforest_verdicts: Vec<bool> = cases
+        .iter()
+        .map(|c| frame_verdict(&|m| iforest.predict(m), c))
+        .collect();
 
     // ---- report per complexity family ----
-    let paper: &[(&str, (f64, f64), (f64, f64))] = &[
+    // (detector, BCT (acc, F1), CCT (acc, F1)) from the paper's Figure 11
+    type PaperRow = (&'static str, (f64, f64), (f64, f64));
+    let paper: &[PaperRow] = &[
         ("Glint (ITGNN)", (1.0, 1.0), (0.96, 0.953)),
         ("HAWatcher", (0.978, 0.941), (0.832, 0.827)),
         ("OCSVM", (0.72, 0.68), (0.669, 0.633)),
@@ -135,15 +164,20 @@ fn main() {
     ];
     let mut json = Vec::new();
     for family in [ThreatComplexity::Bct, ThreatComplexity::Cct] {
-        let idx: Vec<usize> =
-            (0..cases.len()).filter(|&i| cases[i].complexity == family).collect();
+        let idx: Vec<usize> = (0..cases.len())
+            .filter(|&i| cases[i].complexity == family)
+            .collect();
         let fam_cases: Vec<&TestCase> = idx.iter().map(|&i| &cases[i]).collect();
         let mut rows = Vec::new();
         for (name, verdicts) in &all_verdicts {
             let v: Vec<bool> = idx.iter().map(|&i| verdicts[i]).collect();
             let (p, r) = metrics_of(&fam_cases, &v);
             let paper_row = paper.iter().find(|(n, _, _)| n == name).unwrap();
-            let (pp, pr) = if family == ThreatComplexity::Bct { paper_row.1 } else { paper_row.2 };
+            let (pp, pr) = if family == ThreatComplexity::Bct {
+                paper_row.1
+            } else {
+                paper_row.2
+            };
             rows.push(vec![
                 name.to_string(),
                 glint_bench::pct(p),
@@ -163,5 +197,8 @@ fn main() {
     }
     println!("\npaper shape: Glint leads both families; HAWatcher competitive on BCT but");
     println!("degraded on CCT; the time-series anomaly detectors trail everywhere.");
-    record_json("fig11", &serde_json::json!({ "scale": scale(), "per_family": per_family, "rows": json }));
+    record_json(
+        "fig11",
+        &serde_json::json!({ "scale": scale(), "per_family": per_family, "rows": json }),
+    );
 }

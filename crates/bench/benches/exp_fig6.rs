@@ -19,7 +19,9 @@ fn main() {
     let rules = corpus();
     let n_pos = ((5_600.0 * scale()) as usize).clamp(150, 2_000);
     let n_neg = ((8_000.0 * scale()) as usize).clamp(200, 2_800);
-    let data = timed("pair dataset", || PairDataset::build(&rules, n_pos, n_neg, 0x46));
+    let data = timed("pair dataset", || {
+        PairDataset::build(&rules, n_pos, n_neg, 0x46)
+    });
     println!(
         "pairs: {} positive / {} negative (paper: 5,600 / 8,000)",
         data.y.iter().filter(|&&l| l == 1).count(),
@@ -28,27 +30,56 @@ fn main() {
     let folds = 10;
 
     // paper-reported headline numbers (accuracy / recall highlights, §4.1)
-    let paper: &[(&str, f64)] =
-        &[("SVC", 0.97), ("MLP", 0.982), ("RForest", 0.984), ("KNN", 0.965), ("GBoost", 0.975)];
+    let paper: &[(&str, f64)] = &[
+        ("SVC", 0.97),
+        ("MLP", 0.982),
+        ("RForest", 0.984),
+        ("KNN", 0.965),
+        ("GBoost", 0.975),
+    ];
 
-    let mut factories: Vec<(&str, Box<dyn FnMut() -> Box<dyn Classifier>>)> = vec![
-        ("SVC", Box::new(|| Box::new(LinearSvc::new().with_epochs(30)) as Box<dyn Classifier>)),
-        ("MLP", Box::new(|| Box::new(MlpClassifier::new(vec![64]).with_epochs(60)) as Box<dyn Classifier>)),
-        ("RForest", Box::new(|| Box::new(RandomForest::new(40)) as Box<dyn Classifier>)),
-        ("KNN", Box::new(|| Box::new(Knn::new(5)) as Box<dyn Classifier>)),
-        ("GBoost", Box::new(|| Box::new(GradientBoosting::new(50)) as Box<dyn Classifier>)),
+    type ClassifierFactory = Box<dyn FnMut() -> Box<dyn Classifier>>;
+    let mut factories: Vec<(&str, ClassifierFactory)> = vec![
+        (
+            "SVC",
+            Box::new(|| Box::new(LinearSvc::new().with_epochs(30)) as Box<dyn Classifier>),
+        ),
+        (
+            "MLP",
+            Box::new(|| {
+                Box::new(MlpClassifier::new(vec![64]).with_epochs(60)) as Box<dyn Classifier>
+            }),
+        ),
+        (
+            "RForest",
+            Box::new(|| Box::new(RandomForest::new(40)) as Box<dyn Classifier>),
+        ),
+        (
+            "KNN",
+            Box::new(|| Box::new(Knn::new(5)) as Box<dyn Classifier>),
+        ),
+        (
+            "GBoost",
+            Box::new(|| Box::new(GradientBoosting::new(50)) as Box<dyn Classifier>),
+        ),
     ];
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
     for (name, factory) in &mut factories {
-        let fold_metrics = timed(name, || cross_validate(&mut **factory, &data.x, &data.y, folds, 7));
+        let fold_metrics = timed(name, || {
+            cross_validate(&mut **factory, &data.x, &data.y, folds, 7)
+        });
         let mean = BinaryMetrics::mean(&fold_metrics);
         let spread = fold_metrics
             .iter()
             .map(|m| (m.accuracy - mean.accuracy).abs())
             .fold(0.0f64, f64::max);
-        let paper_acc = paper.iter().find(|(n, _)| n == name).map(|(_, a)| *a).unwrap_or(f64::NAN);
+        let paper_acc = paper
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
+            .unwrap_or(f64::NAN);
         rows.push(vec![
             name.to_string(),
             pct(mean.accuracy),
@@ -65,9 +96,20 @@ fn main() {
     }
     print_table(
         "Figure 6 — correlation-discovery classifiers (10-fold CV)",
-        &["model", "accuracy", "precision", "recall", "F1", "spread", "paper acc"],
+        &[
+            "model",
+            "accuracy",
+            "precision",
+            "recall",
+            "F1",
+            "spread",
+            "paper acc",
+        ],
         &rows,
     );
     println!("\npaper shape: all five ≥ ~96%; RForest/MLP lead; precision high across the board.");
-    record_json("fig6", &serde_json::json!({ "scale": scale(), "rows": json_rows }));
+    record_json(
+        "fig6",
+        &serde_json::json!({ "scale": scale(), "rows": json_rows }),
+    );
 }

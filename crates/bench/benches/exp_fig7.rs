@@ -5,7 +5,9 @@
 //! 1–6 (best: 2; over-smoothing at 6), (iv) node-transformation variants
 //! none / intra-only / inter-only / all (paper: "None" ≈ 81.5%, full ≈ 95.1%).
 
-use glint_bench::{epochs, offline, prepare_split, print_table, record_json, scale, timed, train_config};
+use glint_bench::{
+    epochs, offline, prepare_split, print_table, record_json, scale, timed, train_config,
+};
 use glint_gnn::batch::GraphSchema;
 use glint_gnn::models::{Itgnn, ItgnnConfig};
 use glint_gnn::trainer::ClassifierTrainer;
@@ -15,7 +17,11 @@ fn main() {
     let builder = offline(0xab1a7e);
     let full = timed("hetero dataset", || glint_bench::hetero_dataset(&builder));
     // the ablation uses a subsample so 15 configurations stay tractable
-    let ds = full.subsample(full.len().min(((240.0 * (scale() / 0.03)) as usize).max(120)), 9);
+    let ds = full.subsample(
+        full.len()
+            .min(((240.0 * (scale() / 0.03)) as usize).max(120)),
+        9,
+    );
     let schema = GraphSchema::infer(ds.iter());
     let split = ds.split(0.8, 77);
     let (train, test) = prepare_split(&split, 1);
@@ -28,35 +34,76 @@ fn main() {
         m
     };
 
-    let base = ItgnnConfig { seed: 11, ..Default::default() };
+    let base = ItgnnConfig {
+        seed: 11,
+        ..Default::default()
+    };
 
     // panel (i): number of scales
     let mut rows = Vec::new();
     let mut scale_accs = Vec::new();
     for d in [1usize, 2, 3, 5] {
-        let m = run(format!("scales={d}"), ItgnnConfig { n_scales: d, ..base.clone() });
+        let m = run(
+            format!("scales={d}"),
+            ItgnnConfig {
+                n_scales: d,
+                ..base.clone()
+            },
+        );
         scale_accs.push((d, m));
-        rows.push(vec![d.to_string(), glint_bench::pct(m.accuracy), glint_bench::pct(m.f1)]);
+        rows.push(vec![
+            d.to_string(),
+            glint_bench::pct(m.accuracy),
+            glint_bench::pct(m.f1),
+        ]);
     }
-    print_table("Figure 7(i) — number of multi-scales (paper best: 3)", &["scales", "accuracy", "F1"], &rows);
+    print_table(
+        "Figure 7(i) — number of multi-scales (paper best: 3)",
+        &["scales", "accuracy", "F1"],
+        &rows,
+    );
 
     // panel (ii): pooling ratio
     let mut rows = Vec::new();
     let mut ratio_accs = Vec::new();
     for r in [0.3f32, 0.6, 1.0] {
-        let m = run(format!("ratio={r}"), ItgnnConfig { pool_ratio: r, ..base.clone() });
+        let m = run(
+            format!("ratio={r}"),
+            ItgnnConfig {
+                pool_ratio: r,
+                ..base.clone()
+            },
+        );
         ratio_accs.push((r, m));
-        rows.push(vec![format!("{r}"), glint_bench::pct(m.accuracy), glint_bench::pct(m.f1)]);
+        rows.push(vec![
+            format!("{r}"),
+            glint_bench::pct(m.accuracy),
+            glint_bench::pct(m.f1),
+        ]);
     }
-    print_table("Figure 7(ii) — pooling ratio (paper best: 0.6)", &["ratio", "accuracy", "F1"], &rows);
+    print_table(
+        "Figure 7(ii) — pooling ratio (paper best: 0.6)",
+        &["ratio", "accuracy", "F1"],
+        &rows,
+    );
 
     // panel (iii): propagation layers
     let mut rows = Vec::new();
     let mut layer_accs = Vec::new();
     for l in [1usize, 2, 4, 6] {
-        let m = run(format!("layers={l}"), ItgnnConfig { prop_layers: l, ..base.clone() });
+        let m = run(
+            format!("layers={l}"),
+            ItgnnConfig {
+                prop_layers: l,
+                ..base.clone()
+            },
+        );
         layer_accs.push((l, m));
-        rows.push(vec![l.to_string(), glint_bench::pct(m.accuracy), glint_bench::pct(m.f1)]);
+        rows.push(vec![
+            l.to_string(),
+            glint_bench::pct(m.accuracy),
+            glint_bench::pct(m.f1),
+        ]);
     }
     print_table(
         "Figure 7(iii) — propagation layers (paper best: 2, over-smooths at 6)",
@@ -75,10 +122,18 @@ fn main() {
     ] {
         let m = run(
             format!("transform={name}"),
-            ItgnnConfig { disable_intra: intra_off, disable_inter: inter_off, ..base.clone() },
+            ItgnnConfig {
+                disable_intra: intra_off,
+                disable_inter: inter_off,
+                ..base.clone()
+            },
         );
         variant_accs.push((name, m));
-        rows.push(vec![name.to_string(), glint_bench::pct(m.accuracy), glint_bench::pct(m.f1)]);
+        rows.push(vec![
+            name.to_string(),
+            glint_bench::pct(m.accuracy),
+            glint_bench::pct(m.f1),
+        ]);
     }
     print_table(
         "Figure 7(iv) — node transformation (paper: None 81.5% → ALL 95.1%)",
@@ -87,13 +142,22 @@ fn main() {
     );
 
     // shape assertions (soft): full transform ≥ none; 6 layers ≤ 2 layers
-    let acc = |v: &[(&str, BinaryMetrics)], k: &str| v.iter().find(|(n, _)| *n == k).unwrap().1.accuracy;
+    let acc =
+        |v: &[(&str, BinaryMetrics)], k: &str| v.iter().find(|(n, _)| *n == k).unwrap().1.accuracy;
     let all_acc = acc(&variant_accs, "ALL");
     let none_acc = acc(&variant_accs, "None");
-    println!("\nshape check: ALL ({:.1}%) vs None ({:.1}%)", all_acc * 100.0, none_acc * 100.0);
+    println!(
+        "\nshape check: ALL ({:.1}%) vs None ({:.1}%)",
+        all_acc * 100.0,
+        none_acc * 100.0
+    );
     let l2 = layer_accs.iter().find(|(l, _)| *l == 2).unwrap().1.accuracy;
     let l6 = layer_accs.iter().find(|(l, _)| *l == 6).unwrap().1.accuracy;
-    println!("over-smoothing check: layers=2 {:.1}% vs layers=6 {:.1}%", l2 * 100.0, l6 * 100.0);
+    println!(
+        "over-smoothing check: layers=2 {:.1}% vs layers=6 {:.1}%",
+        l2 * 100.0,
+        l6 * 100.0
+    );
 
     record_json(
         "fig7",

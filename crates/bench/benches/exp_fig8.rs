@@ -12,13 +12,21 @@ use glint_gnn::batch::GraphSchema;
 use glint_gnn::trainer::ClassifierTrainer;
 use glint_ml::metrics::BinaryMetrics;
 
-const PAPER: &[(&str, f64)] =
-    &[("HGSL", 0.929), ("MAGCN", 0.902), ("MAGXN", 0.817), ("ITGNN", 0.955)];
+const PAPER: &[(&str, f64)] = &[
+    ("HGSL", 0.929),
+    ("MAGCN", 0.902),
+    ("MAGXN", 0.817),
+    ("ITGNN", 0.955),
+];
 
 fn main() {
     let builder = offline(0xf18);
     let ds = timed("hetero dataset", || glint_bench::hetero_dataset(&builder));
-    println!("hetero dataset: {} graphs, {:?}", ds.len(), ds.class_stats());
+    println!(
+        "hetero dataset: {} graphs, {:?}",
+        ds.len(),
+        ds.class_stats()
+    );
     let schema = GraphSchema::infer(ds.iter());
 
     let mut rows = Vec::new();
@@ -56,7 +64,11 @@ fn main() {
     let itgnn = measured.iter().find(|(n, _)| *n == "ITGNN").unwrap().1;
     let magxn = measured.iter().find(|(n, _)| *n == "MAGXN").unwrap().1;
     println!("\npaper shape: ITGNN leads; MAGXN trails (heavier parameterization).");
-    println!("measured: ITGNN {:.1}% vs MAGXN {:.1}%", itgnn * 100.0, magxn * 100.0);
+    println!(
+        "measured: ITGNN {:.1}% vs MAGXN {:.1}%",
+        itgnn * 100.0,
+        magxn * 100.0
+    );
     record_json(
         "fig8",
         &serde_json::json!({ "scale": scale(), "epochs": epochs(), "trials": trials(), "rows": json }),

@@ -22,7 +22,12 @@ fn main() {
     let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
 
     // ITGNN-C with a 256-d embedding, as in the paper's Figure 9 caption
-    let cfg = ItgnnConfig { embed: 256, seed: 9, bounded_embedding: false, ..Default::default() };
+    let cfg = ItgnnConfig {
+        embed: 256,
+        seed: 9,
+        bounded_embedding: false,
+        ..Default::default()
+    };
     let mut model = Itgnn::new(&schema.types, cfg);
     timed("ITGNN-C training", || {
         ContrastiveTrainer::new(train_config(9)).train(&mut model, &prepared)
@@ -43,7 +48,10 @@ fn main() {
     let agree_direct = (0..n).filter(|&i| assign[i] == labels[i]).count();
     let agree_flipped = n - agree_direct;
     let purity = agree_direct.max(agree_flipped) as f64 / n as f64;
-    println!("cluster/label purity: {:.1}% (contrastive space separates the classes)", purity * 100.0);
+    println!(
+        "cluster/label purity: {:.1}% (contrastive space separates the classes)",
+        purity * 100.0
+    );
 
     // drift ring in the full 256-d space
     let detector = DriftDetector::fit(&emb, &labels);
@@ -54,7 +62,9 @@ fn main() {
     render_scatter(&proj, &assign, km.centroids());
 
     if purity <= 0.6 {
-        eprintln!("[glint-bench] WARNING: low cluster purity {purity:.2} at this scale/epoch budget");
+        eprintln!(
+            "[glint-bench] WARNING: low cluster purity {purity:.2} at this scale/epoch budget"
+        );
     }
     record_json(
         "fig9",
@@ -79,10 +89,10 @@ fn render_scatter(proj: &glint_tensor::Matrix, assign: &[usize], centroids: &gli
     let sx = (max_x - min_x).max(1e-6);
     let sy = (max_y - min_y).max(1e-6);
     let mut grid = vec![vec![' '; W]; H];
-    for r in 0..proj.rows() {
+    for (r, &cluster) in assign.iter().enumerate() {
         let cx = (((proj.get(r, 0) - min_x) / sx) * (W - 1) as f32) as usize;
         let cy = (((proj.get(r, 1) - min_y) / sy) * (H - 1) as f32) as usize;
-        grid[H - 1 - cy][cx] = if assign[r] == 0 { 'o' } else { 'x' };
+        grid[H - 1 - cy][cx] = if cluster == 0 { 'o' } else { 'x' };
     }
     for c in 0..centroids.rows() {
         let cx = (((centroids.get(c, 0) - min_x) / sx) * (W - 1) as f32) as usize;

@@ -9,7 +9,11 @@ use glint_bench::{print_table, record_json, scale};
 use glint_rules::{CorpusConfig, CorpusGenerator, Platform};
 
 fn main() {
-    let cfg = CorpusConfig { scale: scale(), per_platform_cap: 2_000, seed: 0x611_7 };
+    let cfg = CorpusConfig {
+        scale: scale(),
+        per_platform_cap: 2_000,
+        seed: 0x6117,
+    };
     let rules = CorpusGenerator::generate_corpus(&cfg);
     let count = |p: Platform| rules.iter().filter(|r| r.platform == p).count();
 

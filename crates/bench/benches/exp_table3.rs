@@ -30,13 +30,32 @@ fn main() {
     let st = t3.smartthings.labeled.class_stats();
     let het = t3.hetero.labeled.class_stats();
     let rows = vec![
-        row("IFTTT (homo)", ifttt.total(), ifttt.threat, t3.ifttt.unlabeled.len(), (6_000, 1_473, 10_000)),
+        row(
+            "IFTTT (homo)",
+            ifttt.total(),
+            ifttt.threat,
+            t3.ifttt.unlabeled.len(),
+            (6_000, 1_473, 10_000),
+        ),
         row("SmartThings (homo)", st.total(), st.threat, 0, (165, 36, 0)),
-        row("5-platform (hetero)", het.total(), het.threat, t3.hetero.unlabeled.len(), (12_758, 3_828, 19_440)),
+        row(
+            "5-platform (hetero)",
+            het.total(),
+            het.threat,
+            t3.hetero.unlabeled.len(),
+            (12_758, 3_828, 19_440),
+        ),
     ];
     print_table(
         "Table 3 — interaction graph datasets",
-        &["dataset", "labeled", "unsafe", "unsafe frac", "unlabeled", "paper (lbl/unsafe/unlbl)"],
+        &[
+            "dataset",
+            "labeled",
+            "unsafe",
+            "unsafe frac",
+            "unlabeled",
+            "paper (lbl/unsafe/unlbl)",
+        ],
         &rows,
     );
     println!(

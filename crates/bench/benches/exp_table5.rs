@@ -53,9 +53,8 @@ fn eval_contrastive(
         .iter()
         .map(|g| {
             let e = ContrastiveTrainer::embed(model, g);
-            let d = |c: &Vec<f32>| -> f32 {
-                c.iter().zip(&e).map(|(a, b)| (a - b) * (a - b)).sum()
-            };
+            let d =
+                |c: &Vec<f32>| -> f32 { c.iter().zip(&e).map(|(a, b)| (a - b) * (a - b)).sum() };
             usize::from(d(&centroids[1]) < d(&centroids[0]))
         })
         .collect();
@@ -63,7 +62,11 @@ fn eval_contrastive(
 }
 
 fn run_dataset(name: &str, ds: &GraphDataset, paper_col: usize) -> Vec<serde_json::Value> {
-    println!("\n--- {name}: {} graphs, {:?} ---", ds.len(), ds.class_stats());
+    println!(
+        "\n--- {name}: {} graphs, {:?} ---",
+        ds.len(),
+        ds.class_stats()
+    );
     let schema = GraphSchema::infer(ds.iter());
     let mut rows = Vec::new();
     let mut json = Vec::new();
@@ -130,7 +133,9 @@ fn run_dataset(name: &str, ds: &GraphDataset, paper_col: usize) -> Vec<serde_jso
 fn main() {
     let builder = offline(0x7ab1e5);
     let ifttt = timed("IFTTT dataset", || glint_bench::ifttt_dataset(&builder));
-    let st = timed("SmartThings dataset", || glint_bench::smartthings_dataset(&builder));
+    let st = timed("SmartThings dataset", || {
+        glint_bench::smartthings_dataset(&builder)
+    });
     let mut json = run_dataset("IFTTT", &ifttt, 0);
     json.extend(run_dataset("SmartThings", &st, 1));
     println!("\npaper shape: GNNs beat SVC/KNN on IFTTT; ITGNN-S best-in-class on IFTTT;");

@@ -6,7 +6,10 @@
 //! earliest layers. Paper shape: transfer never hurts; the biggest jump is
 //! ITGNN SmartThings ← IFTTT (88.2% → 100%).
 
-use glint_bench::{make_model, offline, prepare_split, print_table, record_json, scale, timed, train_config, trials};
+use glint_bench::{
+    make_model, offline, prepare_split, print_table, record_json, scale, timed, train_config,
+    trials,
+};
 use glint_core::transfer::run_transfer;
 use glint_gnn::batch::GraphSchema;
 use glint_gnn::trainer::ClassifierTrainer;
@@ -23,20 +26,78 @@ struct Row {
 }
 
 const ROWS: &[Row] = &[
-    Row { model: "GIN", target: "SmartThings", source: "IFTTT", paper_no: 0.897, paper_with: 0.923, freeze_all_enc: true },
-    Row { model: "GIN", target: "IFTTT", source: "SmartThings", paper_no: 0.950, paper_with: 0.952, freeze_all_enc: false },
-    Row { model: "GCN", target: "SmartThings", source: "IFTTT", paper_no: 0.909, paper_with: 0.941, freeze_all_enc: true },
-    Row { model: "GCN", target: "IFTTT", source: "SmartThings", paper_no: 0.895, paper_with: 0.939, freeze_all_enc: false },
-    Row { model: "ITGNN", target: "SmartThings", source: "IFTTT", paper_no: 0.882, paper_with: 1.0, freeze_all_enc: true },
-    Row { model: "ITGNN", target: "IFTTT", source: "SmartThings", paper_no: 0.957, paper_with: 0.964, freeze_all_enc: false },
-    Row { model: "ITGNN", target: "IFTTT", source: "Heterogeneous", paper_no: 0.957, paper_with: 0.961, freeze_all_enc: false },
-    Row { model: "ITGNN", target: "Heterogeneous", source: "IFTTT", paper_no: 0.951, paper_with: 0.955, freeze_all_enc: false },
+    Row {
+        model: "GIN",
+        target: "SmartThings",
+        source: "IFTTT",
+        paper_no: 0.897,
+        paper_with: 0.923,
+        freeze_all_enc: true,
+    },
+    Row {
+        model: "GIN",
+        target: "IFTTT",
+        source: "SmartThings",
+        paper_no: 0.950,
+        paper_with: 0.952,
+        freeze_all_enc: false,
+    },
+    Row {
+        model: "GCN",
+        target: "SmartThings",
+        source: "IFTTT",
+        paper_no: 0.909,
+        paper_with: 0.941,
+        freeze_all_enc: true,
+    },
+    Row {
+        model: "GCN",
+        target: "IFTTT",
+        source: "SmartThings",
+        paper_no: 0.895,
+        paper_with: 0.939,
+        freeze_all_enc: false,
+    },
+    Row {
+        model: "ITGNN",
+        target: "SmartThings",
+        source: "IFTTT",
+        paper_no: 0.882,
+        paper_with: 1.0,
+        freeze_all_enc: true,
+    },
+    Row {
+        model: "ITGNN",
+        target: "IFTTT",
+        source: "SmartThings",
+        paper_no: 0.957,
+        paper_with: 0.964,
+        freeze_all_enc: false,
+    },
+    Row {
+        model: "ITGNN",
+        target: "IFTTT",
+        source: "Heterogeneous",
+        paper_no: 0.957,
+        paper_with: 0.961,
+        freeze_all_enc: false,
+    },
+    Row {
+        model: "ITGNN",
+        target: "Heterogeneous",
+        source: "IFTTT",
+        paper_no: 0.951,
+        paper_with: 0.955,
+        freeze_all_enc: false,
+    },
 ];
 
 fn main() {
     let builder = offline(0x7a6);
     let ifttt = timed("IFTTT dataset", || glint_bench::ifttt_dataset(&builder));
-    let st = timed("SmartThings dataset", || glint_bench::smartthings_dataset(&builder));
+    let st = timed("SmartThings dataset", || {
+        glint_bench::smartthings_dataset(&builder)
+    });
     let het = timed("hetero dataset", || glint_bench::hetero_dataset(&builder));
     let pick = |name: &str| -> &GraphDataset {
         match name {
@@ -68,7 +129,11 @@ fn main() {
             let (target_train, target_test) = prepare_split(&target_split, seed ^ 0xff);
             let mut scratch = make_model(row.model, &schema, seed + 13);
             let mut transferred = make_model(row.model, &schema, seed + 13);
-            let freeze: &[&str] = if row.freeze_all_enc { &["enc."] } else { &["enc.meta.", "enc.l0", "enc.scale0.conv0"] };
+            let freeze: &[&str] = if row.freeze_all_enc {
+                &["enc."]
+            } else {
+                &["enc.meta.", "enc.l0", "enc.scale0.conv0"]
+            };
             let outcome = run_transfer(
                 &mut *scratch,
                 &mut *transferred,
@@ -86,7 +151,11 @@ fn main() {
         with_acc /= trials() as f64;
         eprintln!(
             "[glint-bench] {} {}←{}: {:.1}% → {:.1}%",
-            row.model, row.target, row.source, no_acc * 100.0, with_acc * 100.0
+            row.model,
+            row.target,
+            row.source,
+            no_acc * 100.0,
+            with_acc * 100.0
         );
         table.push(vec![
             row.model.to_string(),
@@ -95,7 +164,12 @@ fn main() {
             glint_bench::pct(no_acc),
             glint_bench::pct(with_acc),
             format!("{:+.1}", (with_acc - no_acc) * 100.0),
-            format!("{:.1}%→{:.1}% ({:+.1})", row.paper_no * 100.0, row.paper_with * 100.0, (row.paper_with - row.paper_no) * 100.0),
+            format!(
+                "{:.1}%→{:.1}% ({:+.1})",
+                row.paper_no * 100.0,
+                row.paper_with * 100.0,
+                (row.paper_with - row.paper_no) * 100.0
+            ),
         ]);
         json.push(serde_json::json!({
             "model": row.model, "target": row.target, "source": row.source,
@@ -105,10 +179,21 @@ fn main() {
     }
     print_table(
         "Table 6 — transfer learning (accuracy on the target domain)",
-        &["model", "target", "source", "no trans.", "trans.", "Δ", "paper"],
+        &[
+            "model",
+            "target",
+            "source",
+            "no trans.",
+            "trans.",
+            "Δ",
+            "paper",
+        ],
         &table,
     );
     println!("\npaper shape: improvement is non-negative in every row; largest gain on the");
     println!("tiny SmartThings target with the IFTTT-pretrained ITGNN encoder.");
-    record_json("table6", &serde_json::json!({ "scale": scale(), "rows": json }));
+    record_json(
+        "table6",
+        &serde_json::json!({ "scale": scale(), "rows": json }),
+    );
 }

@@ -23,7 +23,11 @@ fn build_graphs_of_size(rules: &[Rule], n_nodes: usize, count: usize) -> Vec<Pre
 }
 
 fn bench_inference(c: &mut Criterion) {
-    let cfg = CorpusConfig { scale: 0.001, per_platform_cap: 400, seed: 0xe44 };
+    let cfg = CorpusConfig {
+        scale: 0.001,
+        per_platform_cap: 400,
+        seed: 0xe44,
+    };
     let rules = CorpusGenerator::generate_corpus(&cfg);
     // schema covering all five platforms
     let sample = build_graphs_of_size(&rules, 6, 8);
@@ -67,7 +71,11 @@ fn bench_inference(c: &mut Criterion) {
 }
 
 fn bench_graph_prep(c: &mut Criterion) {
-    let cfg = CorpusConfig { scale: 0.001, per_platform_cap: 400, seed: 0xe45 };
+    let cfg = CorpusConfig {
+        scale: 0.001,
+        per_platform_cap: 400,
+        seed: 0xe45,
+    };
     let rules = CorpusGenerator::generate_corpus(&cfg);
     let mut builder = GraphBuilder::new(&rules, 1);
     let graph = builder.sample_graph(10, 10, &node_features);

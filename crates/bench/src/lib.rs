@@ -25,22 +25,35 @@ use std::io::Write as _;
 
 /// Dataset-scale multiplier (vs Table 2 / Table 3 paper counts).
 pub fn scale() -> f64 {
-    std::env::var("GLINT_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.03)
+    std::env::var("GLINT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.03)
 }
 
 /// Number of repeated trials per configuration (paper: 5).
 pub fn trials() -> usize {
-    std::env::var("GLINT_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+    std::env::var("GLINT_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
 }
 
 /// GNN training epochs.
 pub fn epochs() -> usize {
-    std::env::var("GLINT_EPOCHS").ok().and_then(|s| s.parse().ok()).unwrap_or(16)
+    std::env::var("GLINT_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
 }
 
 /// The shared synthetic corpus for all experiments.
 pub fn corpus() -> Vec<Rule> {
-    let cfg = CorpusConfig { scale: scale(), per_platform_cap: 2_000, seed: 0x611_7 };
+    let cfg = CorpusConfig {
+        scale: scale(),
+        per_platform_cap: 2_000,
+        seed: 0x6117,
+    };
     CorpusGenerator::generate_corpus(&cfg)
 }
 
@@ -57,7 +70,12 @@ pub fn n_graphs(paper_count: usize) -> usize {
 /// Standard training config for the experiment harnesses (lr from the
 /// Figure 7-style sweep: 1e-3 converges, 1e-2 diverges on this substrate).
 pub fn train_config(seed: u64) -> TrainConfig {
-    TrainConfig { epochs: epochs(), lr: 1e-3, beta: 0.1, margin: 5.0, pairs_per_epoch: None, seed, class_weights: None }
+    TrainConfig {
+        epochs: epochs(),
+        lr: 1e-3,
+        seed,
+        ..Default::default()
+    }
 }
 
 /// Prepare a split: oversample threats in train (the §4.4 protocol), then
@@ -65,21 +83,32 @@ pub fn train_config(seed: u64) -> TrainConfig {
 pub fn prepare_split(split: &Split, seed: u64) -> (Vec<PreparedGraph>, Vec<PreparedGraph>) {
     let mut train = split.train.clone();
     train.oversample_threats(seed);
-    (PreparedGraph::prepare_all(train.graphs()), PreparedGraph::prepare_all(split.test.graphs()))
+    (
+        PreparedGraph::prepare_all(train.graphs()),
+        PreparedGraph::prepare_all(split.test.graphs()),
+    )
 }
 
 /// Instantiate a model by its paper name for a dataset schema.
 pub fn make_model(name: &str, schema: &GraphSchema, seed: u64) -> Box<dyn GraphModel> {
     let homo_dim = schema.types.first().map(|(_, d)| *d).unwrap_or(0);
-    let cfg = ModelConfig { hidden: 64, embed: 64, seed };
+    let cfg = ModelConfig {
+        hidden: 64,
+        embed: 64,
+        seed,
+    };
     match name {
         "GCN" => Box::new(GcnModel::new(homo_dim, cfg)),
         "GIN" => Box::new(GinModel::new(homo_dim, cfg)),
         "GXN" => Box::new(GxnModel::new(homo_dim, cfg)),
         "IFG" => Box::new(InfoGraphModel::new(homo_dim, cfg)),
-        "ITGNN" | "ITGNN-S" | "ITGNN-C" => {
-            Box::new(Itgnn::new(&schema.types, ItgnnConfig { seed, ..Default::default() }))
-        }
+        "ITGNN" | "ITGNN-S" | "ITGNN-C" => Box::new(Itgnn::new(
+            &schema.types,
+            ItgnnConfig {
+                seed,
+                ..Default::default()
+            },
+        )),
         "HGSL" => Box::new(HgslModel::new(&schema.types, 64, 64, seed)),
         "MAGCN" => Box::new(MagcnModel::new(&schema.types, 64, 64, seed)),
         "MAGXN" => Box::new(MagxnModel::new(&schema.types, 64, 64, seed)),
@@ -178,7 +207,11 @@ pub fn record_json(experiment: &str, value: &serde_json::Value) {
     }
     let path = dir.join(format!("{experiment}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap_or_default());
+        let _ = writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(value).unwrap_or_default()
+        );
     }
 }
 
@@ -186,6 +219,9 @@ pub fn record_json(experiment: &str, value: &serde_json::Value) {
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = std::time::Instant::now();
     let out = f();
-    eprintln!("[glint-bench] {label}: {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "[glint-bench] {label}: {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
     out
 }

@@ -52,7 +52,11 @@ pub struct OfflineBuilder {
 
 impl OfflineBuilder {
     pub fn new(rules: Vec<Rule>, seed: u64) -> Self {
-        Self { rules, seed, feature_cache: parking_lot::Mutex::new(HashMap::new()) }
+        Self {
+            rules,
+            seed,
+            feature_cache: parking_lot::Mutex::new(HashMap::new()),
+        }
     }
 
     fn cached_features(&self, rule: &Rule) -> Vec<f32> {
@@ -71,8 +75,11 @@ impl OfflineBuilder {
     /// Label an interaction graph with the oracle (by looking up its rules).
     pub fn label_graph(&self, g: &InteractionGraph) -> GraphLabel {
         let by_id: HashMap<u32, &Rule> = self.rules.iter().map(|r| (r.id.0, r)).collect();
-        let members: Vec<&Rule> =
-            g.nodes().iter().filter_map(|n| by_id.get(&n.rule_id.0).copied()).collect();
+        let members: Vec<&Rule> = g
+            .nodes()
+            .iter()
+            .filter_map(|n| by_id.get(&n.rule_id.0).copied())
+            .collect();
         if oracle::is_vulnerable(&members) {
             GraphLabel::Threat
         } else {
@@ -162,7 +169,11 @@ mod tests {
     use glint_rules::{CorpusConfig, CorpusGenerator};
 
     fn small_corpus() -> Vec<Rule> {
-        let cfg = CorpusConfig { scale: 0.0005, per_platform_cap: 160, seed: 21 };
+        let cfg = CorpusConfig {
+            scale: 0.0005,
+            per_platform_cap: 160,
+            seed: 21,
+        };
         CorpusGenerator::generate_corpus(&cfg)
     }
 

@@ -31,15 +31,27 @@ pub const V4_BUCKETS: usize = 60;
 /// Compute Algorithm 1's feature vector for an (action, trigger) pair of
 /// parsed phrases.
 /// Number of scalar (non-bucket) features.
-pub const N_SCALAR_FEATURES: usize = 19;
+pub const N_SCALAR_FEATURES: usize = 21;
 
 pub fn pair_features_from_phrases(action: &PhraseElements, trigger: &PhraseElements) -> Vec<f32> {
     let space = EmbeddingSpace::word_space();
     let mut v = Vec::with_capacity(N_SCALAR_FEATURES + 2 * V4_BUCKETS);
     // V1: DTW similarities (verbs, nouns, states)
-    v.push(dtw::word_sequence_similarity(&space, &action.verbs, &trigger.verbs));
-    v.push(dtw::word_sequence_similarity(&space, &action.nouns, &trigger.nouns));
-    v.push(dtw::word_sequence_similarity(&space, &action.states, &trigger.states));
+    v.push(dtw::word_sequence_similarity(
+        &space,
+        &action.verbs,
+        &trigger.verbs,
+    ));
+    v.push(dtw::word_sequence_similarity(
+        &space,
+        &action.nouns,
+        &trigger.nouns,
+    ));
+    v.push(dtw::word_sequence_similarity(
+        &space,
+        &action.states,
+        &trigger.states,
+    ));
     // V2: verb relations (synonym, hypernym, antonym)
     v.push(any_pair(&action.verbs, &trigger.verbs, wordnet::are_synonyms) as u8 as f32);
     v.push(any_pair(&action.verbs, &trigger.verbs, wordnet::hypernym_related) as u8 as f32);
@@ -49,10 +61,18 @@ pub fn pair_features_from_phrases(action: &PhraseElements, trigger: &PhraseEleme
     v.push(any_pair(&action.nouns, &trigger.nouns, wordnet::hypernym_related) as u8 as f32);
     v.push(any_pair(&action.nouns, &trigger.nouns, wordnet::meronym_related) as u8 as f32);
     // state alignment: synonym vs antonym ("open" action vs "opens" trigger)
-    let a_state_words: Vec<String> =
-        action.states.iter().chain(action.verbs.iter()).cloned().collect();
-    let t_state_words: Vec<String> =
-        trigger.states.iter().chain(trigger.verbs.iter()).cloned().collect();
+    let a_state_words: Vec<String> = action
+        .states
+        .iter()
+        .chain(action.verbs.iter())
+        .cloned()
+        .collect();
+    let t_state_words: Vec<String> = trigger
+        .states
+        .iter()
+        .chain(trigger.verbs.iter())
+        .cloned()
+        .collect();
     v.push(any_pair(&a_state_words, &t_state_words, wordnet::are_synonyms) as u8 as f32);
     v.push(any_pair(&a_state_words, &t_state_words, wordnet::are_antonyms) as u8 as f32);
     // noun-concept Jaccard overlap
@@ -73,8 +93,16 @@ pub fn pair_features_from_phrases(action: &PhraseElements, trigger: &PhraseEleme
     // the trigger watches, and in a compatible direction?
     let polarity = affinity::action_polarity(&a_state_words);
     let direction = affinity::trigger_direction(&t_state_words);
-    let trigger_channels: Vec<String> =
-        trigger.nouns.iter().filter_map(|n| affinity::channel_concept(n)).collect();
+    // a device-state trigger is also a trigger on the channel that device
+    // senses ("the door is open" watches Contact), so fold sensed channels in
+    let mut trigger_channels: Vec<String> = trigger
+        .nouns
+        .iter()
+        .filter_map(|n| affinity::channel_concept(n))
+        .collect();
+    for n in &trigger.nouns {
+        trigger_channels.extend(affinity::sensed_channels(n).into_iter().map(str::to_string));
+    }
     let mut chan_match = 0.0f32;
     let mut signed_match = 0.0f32;
     for n in &action.nouns {
@@ -95,6 +123,26 @@ pub fn pair_features_from_phrases(action: &PhraseElements, trigger: &PhraseEleme
     // state-polarity agreement between the action and a device-state trigger
     let t_polarity = affinity::action_polarity(&t_state_words);
     v.push(if polarity != 0 && t_polarity != 0 {
+        (polarity == t_polarity) as u8 as f32
+    } else {
+        0.5
+    });
+    // direct device watch: the action drives the very device concept the
+    // trigger observes, and (separately) with an agreeing state polarity —
+    // the textual analogue of the oracle's Via::Device path
+    let lex = glint_nlp::Lexicon::global();
+    let device_concepts = |nouns: &[String]| -> Vec<String> {
+        nouns
+            .iter()
+            .filter(|n| lex.category(n) == glint_nlp::Category::Device)
+            .map(|n| lex.concept_of(n))
+            .collect()
+    };
+    let a_devs = device_concepts(&action.nouns);
+    let t_devs = device_concepts(&trigger.nouns);
+    let device_watch = a_devs.iter().any(|d| t_devs.contains(d));
+    v.push(device_watch as u8 as f32);
+    v.push(if device_watch && polarity != 0 && t_polarity != 0 {
         (polarity == t_polarity) as u8 as f32
     } else {
         0.5
@@ -177,7 +225,11 @@ pub fn pair_features(a: &Rule, b: &Rule) -> Vec<f32> {
     let pa = parse_rule(&render_rule(a));
     let pb = parse_rule(&render_rule(b));
     // voice rules have no trigger clause; their whole sentence is the action
-    let trigger_of_b = if pb.trigger.is_empty() { pb.action.clone() } else { pb.trigger };
+    let trigger_of_b = if pb.trigger.is_empty() {
+        pb.action.clone()
+    } else {
+        pb.trigger
+    };
     pair_features_from_phrases(&pa.action, &trigger_of_b)
 }
 
@@ -206,24 +258,42 @@ impl PairDataset {
         }
         positives.shuffle(&mut rng);
         positives.truncate(n_pos);
-        let mut negatives = Vec::new();
+        // Negatives are stratified: about half must be *hard* — pairs whose
+        // device/channel surfaces overlap but which the oracle rejects (wrong
+        // direction, state, or room). Uniform sampling yields almost only
+        // easy, unrelated pairs, and a classifier trained on those over-fires
+        // on near-miss pairs at deployment time.
+        let want_hard = n_neg / 3;
+        let mut hard = Vec::new();
+        let mut easy = Vec::new();
         let mut guard = 0;
-        while negatives.len() < n_neg && guard < n_neg * 50 {
+        while (hard.len() < want_hard || easy.len() < n_neg - want_hard) && guard < n_neg * 80 {
             guard += 1;
             let i = rng.gen_range(0..rules.len());
             let j = rng.gen_range(0..rules.len());
-            if i != j && action_triggers(&rules[i], &rules[j]).is_none() {
-                negatives.push((i, j));
+            if i == j || action_triggers(&rules[i], &rules[j]).is_some() {
+                continue;
+            }
+            if glint_rules::correlation::shares_surface(&rules[i], &rules[j]) {
+                hard.push((i, j));
+            } else {
+                easy.push((i, j));
             }
         }
+        hard.truncate(want_hard);
+        easy.truncate(n_neg - hard.len());
+        let mut negatives = hard;
+        negatives.append(&mut easy);
         let mut pairs: Vec<((usize, usize), usize)> = positives
             .into_iter()
             .map(|p| (p, 1usize))
             .chain(negatives.into_iter().map(|p| (p, 0usize)))
             .collect();
         pairs.shuffle(&mut rng);
-        let rows: Vec<Vec<f32>> =
-            pairs.iter().map(|((i, j), _)| pair_features(&rules[*i], &rules[*j])).collect();
+        let rows: Vec<Vec<f32>> = pairs
+            .iter()
+            .map(|((i, j), _)| pair_features(&rules[*i], &rules[*j]))
+            .collect();
         Self {
             x: Matrix::from_rows(&rows),
             y: pairs.iter().map(|(_, l)| *l).collect(),
@@ -239,41 +309,82 @@ pub struct CorrelationDiscoverer {
     mlp: MlpClassifier,
     forest: RandomForest,
     knn: Knn,
+    /// Per-column (mean, std) fitted on the training features. The binary
+    /// scalar features and the small-magnitude embedding buckets live on very
+    /// different scales; without standardization the distance-based kNN (and
+    /// to a lesser degree the MLP) is dominated by whichever block happens to
+    /// have the larger raw variance.
+    scaler: Vec<(f32, f32)>,
     fitted: bool,
 }
 
 impl CorrelationDiscoverer {
     pub fn new(seed: u64) -> Self {
         Self {
-            mlp: MlpClassifier::new(vec![64]).with_epochs(80).with_seed(seed),
-            forest: RandomForest::new(30).with_seed(seed),
+            mlp: MlpClassifier::new(vec![64])
+                .with_epochs(120)
+                .with_seed(seed),
+            forest: RandomForest::new(40).with_seed(seed),
             knn: Knn::new(5),
+            scaler: Vec::new(),
             fitted: false,
         }
     }
 
+    fn standardize(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            for (j, &(mean, std)) in self.scaler.iter().enumerate() {
+                let v = out.get(i, j);
+                out.set(i, j, (v - mean) / std);
+            }
+        }
+        out
+    }
+
+    /// The z-scored scalar block (V1–V3 + affinity features) — the view the
+    /// distance-based kNN votes on. Euclidean distance over the full vector
+    /// is dominated by the 120 embedding buckets, which individually carry
+    /// far less signal than the scalar similarities.
+    fn knn_view(&self, z: &Matrix) -> Matrix {
+        let rows: Vec<Vec<f32>> = (0..z.rows())
+            .map(|i| z.row(i)[..N_SCALAR_FEATURES].to_vec())
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
     pub fn fit(&mut self, data: &PairDataset) {
-        self.mlp.fit(&data.x, &data.y);
+        let (n, d) = (data.x.rows(), data.x.cols());
+        self.scaler = (0..d)
+            .map(|j| {
+                let mean = (0..n).map(|i| data.x.get(i, j)).sum::<f32>() / n.max(1) as f32;
+                let var = (0..n)
+                    .map(|i| (data.x.get(i, j) - mean).powi(2))
+                    .sum::<f32>()
+                    / n.max(1) as f32;
+                (mean, var.sqrt().max(1e-6))
+            })
+            .collect();
+        let z = self.standardize(&data.x);
+        self.mlp.fit(&z, &data.y);
+        // trees are scale-invariant; give the forest the raw features
         self.forest.fit(&data.x, &data.y);
-        self.knn.fit(&data.x, &data.y);
+        self.knn.fit(&self.knn_view(&z), &data.y);
         self.fitted = true;
     }
 
-    /// Ensemble vote per row: unanimity wins; otherwise the forest (the
-    /// strongest single model in Figure 6) arbitrates.
+    /// Ensemble vote per row: two-of-three majority across MLP, forest, and
+    /// kNN. (The paper routes disagreements to manual review; with binary
+    /// labels and three voters a majority always exists, so the vote is the
+    /// automated analogue.)
     pub fn predict(&self, x: &Matrix) -> Vec<usize> {
         assert!(self.fitted, "fit before predict");
-        let a = self.mlp.predict(x);
+        let z = self.standardize(x);
+        let a = self.mlp.predict(&z);
         let b = self.forest.predict(x);
-        let c = self.knn.predict(x);
+        let c = self.knn.predict(&self.knn_view(&z));
         (0..x.rows())
-            .map(|i| {
-                if a[i] == c[i] {
-                    if a[i] == b[i] { a[i] } else { b[i] }
-                } else {
-                    b[i]
-                }
-            })
+            .map(|i| usize::from(a[i] + b[i] + c[i] >= 2))
             .collect()
     }
 
@@ -313,7 +424,11 @@ mod tests {
 
     #[test]
     fn pair_dataset_builds_balanced_samples() {
-        let cfg = CorpusConfig { scale: 0.0003, per_platform_cap: 120, seed: 9 };
+        let cfg = CorpusConfig {
+            scale: 0.0003,
+            per_platform_cap: 120,
+            seed: 9,
+        };
         let rules = CorpusGenerator::generate_corpus(&cfg);
         let ds = PairDataset::build(&rules, 60, 80, 1);
         let pos = ds.y.iter().filter(|&&l| l == 1).count();
@@ -325,7 +440,11 @@ mod tests {
 
     #[test]
     fn discoverer_learns_correlations_from_text() {
-        let cfg = CorpusConfig { scale: 0.001, per_platform_cap: 350, seed: 10 };
+        let cfg = CorpusConfig {
+            scale: 0.001,
+            per_platform_cap: 350,
+            seed: 10,
+        };
         let rules = CorpusGenerator::generate_corpus(&cfg);
         let train = PairDataset::build(&rules, 300, 420, 2);
         let test = PairDataset::build(&rules, 60, 90, 3);

@@ -42,7 +42,14 @@ pub struct GlintDetector<C: GraphModel, E: GraphModel> {
 
 impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
     pub fn new(rules: Vec<Rule>, classifier: C, embedder: E, drift: DriftDetector) -> Self {
-        Self { rules, classifier, embedder, drift, online: OnlineBuilder::default(), top_k_causes: 3 }
+        Self {
+            rules,
+            classifier,
+            embedder,
+            drift,
+            online: OnlineBuilder::default(),
+            top_k_causes: 3,
+        }
     }
 
     pub fn rules(&self) -> &[Rule] {
@@ -60,7 +67,13 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
 
     /// Screen one time window of the event log.
     pub fn process_window(&self, log: &EventLog, from: f64, to: f64) -> Detection {
-        let graph = self.online.build(&self.rules, log, from, to, &crate::construction::node_features);
+        let graph = self.online.build(
+            &self.rules,
+            log,
+            from,
+            to,
+            &crate::construction::node_features,
+        );
         self.assess(graph)
     }
 
@@ -98,7 +111,22 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
         } else {
             None
         };
-        Detection { graph, drifting, drift_degree, threat_probability, is_threat, warning }
+        Detection {
+            graph,
+            drifting,
+            drift_degree,
+            threat_probability,
+            is_threat,
+            warning,
+        }
+    }
+
+    /// Assess a batch of graphs, scoring them concurrently. Results come
+    /// back in input order and are identical to mapping [`Self::assess`]
+    /// serially — the parallel kernels and the ordered fan-out are both
+    /// deterministic.
+    pub fn assess_batch(&self, graphs: &[InteractionGraph]) -> Vec<Detection> {
+        glint_tensor::par::ordered_map(graphs.len(), |i| self.assess(graphs[i].clone()))
     }
 }
 
@@ -122,13 +150,24 @@ mod tests {
         ds.oversample_threats(1);
         let prepared = PreparedGraph::prepare_all(ds.graphs());
         let types = glint_gnn::batch::GraphSchema::infer(ds.graphs().iter()).types;
-        let cfg = ItgnnConfig { hidden: 12, embed: 8, n_scales: 2, ..Default::default() };
+        let cfg = ItgnnConfig {
+            hidden: 12,
+            embed: 8,
+            n_scales: 2,
+            ..Default::default()
+        };
         let mut classifier = Itgnn::new(&types, cfg.clone());
-        ClassifierTrainer::new(TrainConfig { epochs: 4, ..Default::default() })
-            .train(&mut classifier, &prepared);
+        ClassifierTrainer::new(TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        })
+        .train(&mut classifier, &prepared);
         let mut embedder = Itgnn::new(&types, cfg);
-        ContrastiveTrainer::new(TrainConfig { epochs: 3, ..Default::default() })
-            .train(&mut embedder, &prepared);
+        ContrastiveTrainer::new(TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        })
+        .train(&mut embedder, &prepared);
         let emb = ContrastiveTrainer::embed_all(&embedder, &prepared);
         let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
         let drift = DriftDetector::fit(&emb, &labels);
@@ -144,12 +183,24 @@ mod tests {
         let mut log = EventLog::new();
         log.push(EventRecord::new(100.0, EventKind::RuleFired { rule_id: 1 }));
         log.push(EventRecord::new(130.0, EventKind::RuleFired { rule_id: 9 }));
-        log.push(EventRecord::new(1900.0, EventKind::RuleFired { rule_id: 6 }));
-        log.push(EventRecord::new(1960.0, EventKind::RuleFired { rule_id: 4 }));
-        log.push(EventRecord::new(2000.0, EventKind::RuleFired { rule_id: 5 }));
+        log.push(EventRecord::new(
+            1900.0,
+            EventKind::RuleFired { rule_id: 6 },
+        ));
+        log.push(EventRecord::new(
+            1960.0,
+            EventKind::RuleFired { rule_id: 4 },
+        ));
+        log.push(EventRecord::new(
+            2000.0,
+            EventKind::RuleFired { rule_id: 5 },
+        ));
         let det = detector.process_window(&log, 0.0, 3000.0);
         assert_eq!(det.graph.n_nodes(), 5, "five rules executed");
-        assert!(det.graph.n_edges() >= 2, "causal chain edges survive pruning");
+        assert!(
+            det.graph.n_edges() >= 2,
+            "causal chain edges survive pruning"
+        );
         assert!((0.0..=1.0).contains(&det.threat_probability));
         if det.is_threat {
             let w = det.warning.expect("threat must carry a warning");

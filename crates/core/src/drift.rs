@@ -26,11 +26,17 @@ pub struct DriftDetector {
 }
 
 fn dist(a: &[f32], b: &[f32]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn median(sorted: &mut [f64]) -> f64 {
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: NaNs sort to the end instead of panicking; callers filter
+    // them out, but a panic inside a detector is never the right failure mode
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n == 0 {
         return 0.0;
@@ -49,9 +55,12 @@ impl DriftDetector {
         let n_classes = labels.iter().copied().max().map_or(1, |m| m + 1);
         let mut classes = Vec::with_capacity(n_classes);
         for c in 0..n_classes {
-            let rows: Vec<usize> =
-                (0..labels.len()).filter(|&i| labels[i] == c).collect();
-            assert!(!rows.is_empty(), "class {c} has no training samples");
+            // a non-finite embedding (a NaN that leaked out of training)
+            // must not poison the centroid or the distance statistics
+            let rows: Vec<usize> = (0..labels.len())
+                .filter(|&i| labels[i] == c && embeddings.row(i).iter().all(|v| v.is_finite()))
+                .collect();
+            assert!(!rows.is_empty(), "class {c} has no finite training samples");
             // centroid (Algorithm 3 line 3's mean of latent representations)
             let mut centroid = vec![0.0f32; embeddings.cols()];
             for &i in &rows {
@@ -62,13 +71,23 @@ impl DriftDetector {
             let inv = 1.0 / rows.len() as f32;
             centroid.iter_mut().for_each(|v| *v *= inv);
             // distances, median, MAD (lines 5–9)
-            let mut dists: Vec<f64> = rows.iter().map(|&i| dist(embeddings.row(i), &centroid)).collect();
+            let mut dists: Vec<f64> = rows
+                .iter()
+                .map(|&i| dist(embeddings.row(i), &centroid))
+                .collect();
             let med = median(&mut dists);
             let mut devs: Vec<f64> = dists.iter().map(|d| (d - med).abs()).collect();
             let mad = median(&mut devs).max(1e-9);
-            classes.push(ClassStats { centroid, median_dist: med, mad });
+            classes.push(ClassStats {
+                centroid,
+                median_dist: med,
+                mad,
+            });
         }
-        Self { classes, threshold: T_MAD }
+        Self {
+            classes,
+            threshold: T_MAD,
+        }
     }
 
     /// Drifting degree of one embedding: `min_i (d_i − median_i)⁺ / MAD_i`
@@ -81,6 +100,12 @@ impl DriftDetector {
             .iter()
             .map(|c| {
                 let d = dist(embedding, &c.centroid);
+                if !d.is_finite() {
+                    // NaN/Inf embeddings are maximally out-of-distribution;
+                    // without this, NaN.max(0.0) silently evaluates to 0.0
+                    // and the sample would pass as perfectly in-distribution
+                    return f64::INFINITY;
+                }
                 (d - c.median_dist).max(0.0) / c.mad
             })
             .fold(f64::INFINITY, f64::min)
@@ -91,13 +116,17 @@ impl DriftDetector {
         self.drift_degree(embedding) > self.threshold
     }
 
-    /// Batch query: indices and degrees of drifting samples.
+    /// Batch query: indices and degrees of drifting samples. Rows are
+    /// scored concurrently; the result order follows the input rows, not
+    /// thread completion order.
     pub fn detect(&self, embeddings: &Matrix) -> Vec<(usize, f64)> {
-        (0..embeddings.rows())
-            .filter_map(|i| {
-                let deg = self.drift_degree(embeddings.row(i));
-                (deg > self.threshold).then_some((i, deg))
-            })
+        let degrees = glint_tensor::par::ordered_map(embeddings.rows(), |i| {
+            self.drift_degree(embeddings.row(i))
+        });
+        degrees
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, deg)| deg > self.threshold)
             .collect()
     }
 }
@@ -114,11 +143,17 @@ mod tests {
         let mut rows = Vec::new();
         let mut labels = Vec::new();
         for _ in 0..60 {
-            rows.push(vec![rng.gen_range(-0.5f32..0.5), rng.gen_range(-0.5f32..0.5)]);
+            rows.push(vec![
+                rng.gen_range(-0.5f32..0.5),
+                rng.gen_range(-0.5f32..0.5),
+            ]);
             labels.push(0);
         }
         for _ in 0..60 {
-            rows.push(vec![10.0 + rng.gen_range(-0.5f32..0.5), rng.gen_range(-0.5f32..0.5)]);
+            rows.push(vec![
+                10.0 + rng.gen_range(-0.5f32..0.5),
+                rng.gen_range(-0.5f32..0.5),
+            ]);
             labels.push(1);
         }
         (Matrix::from_rows(&rows), labels)
@@ -136,7 +171,11 @@ mod tests {
     fn far_samples_drift() {
         let (x, y) = fixture();
         let det = DriftDetector::fit(&x, &y);
-        assert!(det.is_drifting(&[5.0, 30.0]), "degree {}", det.drift_degree(&[5.0, 30.0]));
+        assert!(
+            det.is_drifting(&[5.0, 30.0]),
+            "degree {}",
+            det.drift_degree(&[5.0, 30.0])
+        );
         assert!(det.is_drifting(&[-50.0, 0.0]));
     }
 
@@ -161,6 +200,42 @@ mod tests {
         assert!(drifted.contains(&120) && drifted.contains(&121));
         // the vast majority of the training distribution passes
         assert!(hits.len() <= 8, "too many false drifts: {}", hits.len());
+    }
+
+    #[test]
+    fn nan_training_row_does_not_poison_fit() {
+        let (x, y) = fixture();
+        let clean = DriftDetector::fit(&x, &y);
+        // append a NaN embedding labeled class 0: fit must neither panic
+        // (median once sorted with partial_cmp().unwrap()) nor shift stats
+        let mut polluted = x.concat_rows(&Matrix::from_rows(&[vec![f32::NAN, 0.0]]));
+        let mut y2 = y.clone();
+        y2.push(0);
+        let det = DriftDetector::fit(&polluted, &y2);
+        for p in [[0.1f32, 0.1], [9.9, -0.2], [5.0, 30.0]] {
+            assert_eq!(clean.drift_degree(&p), det.drift_degree(&p));
+        }
+        polluted.set(x.rows(), 0, f32::INFINITY);
+        let det_inf = DriftDetector::fit(&polluted, &y2);
+        assert_eq!(
+            clean.drift_degree(&[0.1, 0.1]),
+            det_inf.drift_degree(&[0.1, 0.1])
+        );
+    }
+
+    #[test]
+    fn non_finite_queries_always_drift() {
+        let (x, y) = fixture();
+        let det = DriftDetector::fit(&x, &y);
+        assert!(det.is_drifting(&[f32::NAN, 0.0]));
+        assert!(det.is_drifting(&[0.0, f32::INFINITY]));
+        assert_eq!(det.drift_degree(&[f32::NAN, f32::NAN]), f64::INFINITY);
+        // batch path flags them too
+        let all = x.concat_rows(&Matrix::from_rows(&[vec![f32::NAN, 0.0]]));
+        let hits = det.detect(&all);
+        assert!(hits
+            .iter()
+            .any(|&(i, d)| i == x.rows() && d == f64::INFINITY));
     }
 
     #[test]

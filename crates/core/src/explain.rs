@@ -20,7 +20,8 @@ pub fn node_importance(model: &dyn GraphModel, g: &InteractionGraph) -> Vec<(usi
                 return (drop, 0.0);
             }
             let reduced = remove_node(g, drop);
-            let p = ClassifierTrainer::predict_proba(model, &PreparedGraph::from_graph(&reduced)) as f64;
+            let p = ClassifierTrainer::predict_proba(model, &PreparedGraph::from_graph(&reduced))
+                as f64;
             (drop, base - p)
         })
         .collect();
@@ -30,7 +31,11 @@ pub fn node_importance(model: &dyn GraphModel, g: &InteractionGraph) -> Vec<(usi
 
 /// The top-k most influential nodes (the warning's "potential causes").
 pub fn top_causes(model: &dyn GraphModel, g: &InteractionGraph, k: usize) -> Vec<usize> {
-    node_importance(model, g).into_iter().take(k).map(|(i, _)| i).collect()
+    node_importance(model, g)
+        .into_iter()
+        .take(k)
+        .map(|(i, _)| i)
+        .collect()
 }
 
 fn remove_node(g: &InteractionGraph, drop: usize) -> InteractionGraph {
@@ -86,7 +91,14 @@ mod tests {
     fn importance_is_a_permutation_of_nodes() {
         use glint_gnn::models::{GcnModel, ModelConfig};
         let g = graph(5);
-        let model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 1 });
+        let model = GcnModel::new(
+            4,
+            ModelConfig {
+                hidden: 8,
+                embed: 8,
+                seed: 1,
+            },
+        );
         let imp = node_importance(&model, &g);
         let mut idx: Vec<usize> = imp.iter().map(|(i, _)| *i).collect();
         idx.sort_unstable();
@@ -99,7 +111,14 @@ mod tests {
     fn single_node_graph_scores_zero() {
         use glint_gnn::models::{GcnModel, ModelConfig};
         let g = graph(1);
-        let model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 2 });
+        let model = GcnModel::new(
+            4,
+            ModelConfig {
+                hidden: 8,
+                embed: 8,
+                seed: 2,
+            },
+        );
         let imp = node_importance(&model, &g);
         assert_eq!(imp, vec![(0, 0.0)]);
     }

@@ -101,30 +101,58 @@ mod tests {
 
     #[test]
     fn fine_tuning_moves_the_verdict() {
-        let mut model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 3 });
+        let mut model = GcnModel::new(
+            4,
+            ModelConfig {
+                hidden: 8,
+                embed: 8,
+                seed: 3,
+            },
+        );
         let g = graph(0.5);
         let before = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&g));
         let mut store = FeedbackStore::new();
         store.confirm(g.clone(), "verified by analyst");
         store.fine_tune(
             &mut model,
-            TrainConfig { epochs: 20, lr: 1e-2, ..Default::default() },
+            TrainConfig {
+                epochs: 20,
+                lr: 1e-2,
+                ..Default::default()
+            },
             4,
         );
         let after = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&g));
-        assert!(after > before, "confirming a threat must raise its probability: {before} → {after}");
-        assert!(after > 0.5, "fine-tuned model should now flag the case: {after}");
+        assert!(
+            after > before,
+            "confirming a threat must raise its probability: {before} → {after}"
+        );
+        assert!(
+            after > 0.5,
+            "fine-tuned model should now flag the case: {after}"
+        );
     }
 
     #[test]
     fn dismissals_suppress_false_alarms() {
-        let mut model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 4 });
+        let mut model = GcnModel::new(
+            4,
+            ModelConfig {
+                hidden: 8,
+                embed: 8,
+                seed: 4,
+            },
+        );
         let g = graph(-0.25);
         let mut store = FeedbackStore::new();
         store.dismiss(g.clone(), "vacuum motion expected");
         store.fine_tune(
             &mut model,
-            TrainConfig { epochs: 20, lr: 1e-2, ..Default::default() },
+            TrainConfig {
+                epochs: 20,
+                lr: 1e-2,
+                ..Default::default()
+            },
             4,
         );
         let p = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&g));
@@ -133,7 +161,14 @@ mod tests {
 
     #[test]
     fn empty_store_is_a_noop() {
-        let mut model = GcnModel::new(4, ModelConfig { hidden: 8, embed: 8, seed: 5 });
+        let mut model = GcnModel::new(
+            4,
+            ModelConfig {
+                hidden: 8,
+                embed: 8,
+                seed: 5,
+            },
+        );
         let g = graph(0.1);
         let before = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&g));
         FeedbackStore::new().fine_tune(&mut model, TrainConfig::default(), 2);

@@ -39,14 +39,27 @@ pub struct ThreatFinding {
     pub rules: Vec<u32>,
 }
 
-fn action_state(a: &Action) -> Option<(glint_rules::DeviceKind, glint_rules::Location, glint_rules::Attribute, StateValue)> {
+fn action_state(
+    a: &Action,
+) -> Option<(
+    glint_rules::DeviceKind,
+    glint_rules::Location,
+    glint_rules::Attribute,
+    StateValue,
+)> {
     match a {
-        Action::SetState { device, location, attribute, state } => {
-            Some((*device, *location, *attribute, *state))
-        }
-        Action::SetLevel { device, location, attribute, value } => {
-            Some((*device, *location, *attribute, StateValue::Level(*value)))
-        }
+        Action::SetState {
+            device,
+            location,
+            attribute,
+            state,
+        } => Some((*device, *location, *attribute, *state)),
+        Action::SetLevel {
+            device,
+            location,
+            attribute,
+            value,
+        } => Some((*device, *location, *attribute, StateValue::Level(*value))),
         _ => None,
     }
 }
@@ -115,8 +128,16 @@ fn thresholds_compatible(a: &Trigger, b: &Trigger) -> bool {
     use glint_rules::Cmp;
     let range = |t: &Trigger| -> Option<(f32, f32)> {
         match t {
-            Trigger::ChannelThreshold { cmp: Cmp::Above, value, .. } => Some((*value, f32::MAX)),
-            Trigger::ChannelThreshold { cmp: Cmp::Below, value, .. } => Some((f32::MIN, *value)),
+            Trigger::ChannelThreshold {
+                cmp: Cmp::Above,
+                value,
+                ..
+            } => Some((*value, f32::MAX)),
+            Trigger::ChannelThreshold {
+                cmp: Cmp::Below,
+                value,
+                ..
+            } => Some((f32::MIN, *value)),
             Trigger::ChannelRange { lo, hi, .. } => Some((*lo, *hi)),
             _ => None,
         }
@@ -143,12 +164,21 @@ fn concurrently_reachable(a: &Rule, b: &Rule) -> bool {
 /// Does `rule`'s action falsify `cond` (set an opposing device state / mode)?
 fn action_falsifies_condition(rule: &Rule, cond: &Condition) -> bool {
     for a in &rule.actions {
-        let Some((d, l, at, s)) = action_state(a) else { continue };
+        let Some((d, l, at, s)) = action_state(a) else {
+            continue;
+        };
         match cond {
-            Condition::DeviceState { device, location, attribute, state } => {
-                if d == *device && at == *attribute && l.couples_with(*location) && s.opposes(*state) {
-                    return true;
-                }
+            Condition::DeviceState {
+                device,
+                location,
+                attribute,
+                state,
+            } if d == *device
+                && at == *attribute
+                && l.couples_with(*location)
+                && s.opposes(*state) =>
+            {
+                return true;
             }
             Condition::HomeMode(mode) => {
                 // arming/disarming/home/away actions falsify mode conditions
@@ -201,7 +231,12 @@ fn has_action_loop(rules: &[&Rule]) -> Option<Vec<u32>> {
         G,
         B,
     }
-    fn dfs(u: usize, adj: &[Vec<usize>], color: &mut [C], path: &mut Vec<usize>) -> Option<Vec<usize>> {
+    fn dfs(
+        u: usize,
+        adj: &[Vec<usize>],
+        color: &mut [C],
+        path: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
         color[u] = C::G;
         path.push(u);
         for &v in &adj[u] {
@@ -241,7 +276,10 @@ pub fn label_rules(rules: &[&Rule]) -> Vec<ThreatFinding> {
 
     // action loop
     if let Some(cycle) = has_action_loop(rules) {
-        findings.push(ThreatFinding { kind: ThreatKind::ActionLoop, rules: cycle });
+        findings.push(ThreatFinding {
+            kind: ThreatKind::ActionLoop,
+            rules: cycle,
+        });
     }
 
     for i in 0..n {
@@ -264,7 +302,10 @@ pub fn label_rules(rules: &[&Rule]) -> Vec<ThreatFinding> {
                 });
             }
             // condition block: a's action falsifies one of b's conditions
-            if b.conditions.iter().any(|c| action_falsifies_condition(a, c)) {
+            if b.conditions
+                .iter()
+                .any(|c| action_falsifies_condition(a, c))
+            {
                 findings.push(ThreatFinding {
                     kind: ThreatKind::ConditionBlock,
                     rules: vec![a.id.0, b.id.0],
@@ -322,7 +363,9 @@ mod tests {
     use glint_rules::scenarios::{table4_settings, table4_threat_groups};
 
     fn subset<'a>(rules: &'a [Rule], ids: &[u32]) -> Vec<&'a Rule> {
-        ids.iter().map(|id| rules.iter().find(|r| r.id.0 == *id).expect("rule exists")).collect()
+        ids.iter()
+            .map(|id| rules.iter().find(|r| r.id.0 == *id).expect("rule exists"))
+            .collect()
     }
 
     #[test]
@@ -374,7 +417,10 @@ mod tests {
         let pair = subset(&rules, &[5, 6]);
         let findings = label_rules(&pair);
         assert!(
-            findings.iter().any(|f| matches!(f.kind, ThreatKind::ActionConflict | ThreatKind::ActionRevert)),
+            findings.iter().any(|f| matches!(
+                f.kind,
+                ThreatKind::ActionConflict | ThreatKind::ActionRevert
+            )),
             "{findings:?}"
         );
     }

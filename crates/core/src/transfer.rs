@@ -54,7 +54,9 @@ pub fn run_transfer(
     let no_transfer = ClassifierTrainer::evaluate(scratch, target_test);
 
     // transfer: copy matching parameters, freeze the early stack, fine-tune
-    let transferred_params = transferred.params_mut().copy_matching_from(source_model.params());
+    let transferred_params = transferred
+        .params_mut()
+        .copy_matching_from(source_model.params());
     for prefix in freeze_prefixes {
         transferred.params_mut().freeze_prefix(prefix);
     }
@@ -63,7 +65,11 @@ pub fn run_transfer(
     transferred.params_mut().unfreeze_all();
     let with_transfer = ClassifierTrainer::evaluate(transferred, target_test);
 
-    TransferOutcome { no_transfer, with_transfer, transferred_params }
+    TransferOutcome {
+        no_transfer,
+        with_transfer,
+        transferred_params,
+    }
 }
 
 #[cfg(test)]
@@ -89,10 +95,7 @@ mod tests {
                         rule_id: RuleId(k as u32),
                         platform: Platform::Ifttt,
                         features: (0..dim)
-                            .map(|_| {
-                                rng.gen_range(-0.5f32..0.5)
-                                    + if threat { 0.3 } else { -0.3 }
-                            })
+                            .map(|_| rng.gen_range(-0.5f32..0.5) + if threat { 0.3 } else { -0.3 })
                             .collect(),
                     })
                     .collect();
@@ -118,13 +121,34 @@ mod tests {
         let target_train = domain(8, 2, 6);
         let target_test = domain(12, 3, 6);
 
-        let cfg = ModelConfig { hidden: 16, embed: 16, seed: 5 };
+        let cfg = ModelConfig {
+            hidden: 16,
+            embed: 16,
+            seed: 5,
+        };
         let mut source_model = GcnModel::new(6, cfg);
-        ClassifierTrainer::new(TrainConfig { epochs: 20, ..Default::default() })
-            .train(&mut source_model, &source);
+        ClassifierTrainer::new(TrainConfig {
+            epochs: 20,
+            ..Default::default()
+        })
+        .train(&mut source_model, &source);
 
-        let mut scratch = GcnModel::new(6, ModelConfig { hidden: 16, embed: 16, seed: 6 });
-        let mut transferred = GcnModel::new(6, ModelConfig { hidden: 16, embed: 16, seed: 7 });
+        let mut scratch = GcnModel::new(
+            6,
+            ModelConfig {
+                hidden: 16,
+                embed: 16,
+                seed: 6,
+            },
+        );
+        let mut transferred = GcnModel::new(
+            6,
+            ModelConfig {
+                hidden: 16,
+                embed: 16,
+                seed: 7,
+            },
+        );
         let outcome = run_transfer(
             &mut scratch,
             &mut transferred,
@@ -132,11 +156,21 @@ mod tests {
             &["enc."],
             &target_train,
             &target_test,
-            TrainConfig { epochs: 6, ..Default::default() },
-            TrainConfig { epochs: 6, ..Default::default() },
+            TrainConfig {
+                epochs: 6,
+                ..Default::default()
+            },
+            TrainConfig {
+                epochs: 6,
+                ..Default::default()
+            },
         );
         assert!(outcome.transferred_params > 0);
-        assert!(outcome.with_transfer.accuracy >= 0.5, "{:?}", outcome.with_transfer);
+        assert!(
+            outcome.with_transfer.accuracy >= 0.5,
+            "{:?}",
+            outcome.with_transfer
+        );
         // after run_transfer the model is unfrozen again
         assert_eq!(transferred.params().frozen_count(), 0);
     }
@@ -147,11 +181,35 @@ mod tests {
         let source = domain(40, 11, 6);
         let target_train = domain(6, 12, 6);
         let target_test = domain(20, 13, 6);
-        let mut source_model = GcnModel::new(6, ModelConfig { hidden: 16, embed: 16, seed: 8 });
-        ClassifierTrainer::new(TrainConfig { epochs: 25, ..Default::default() })
-            .train(&mut source_model, &source);
-        let mut scratch = GcnModel::new(6, ModelConfig { hidden: 16, embed: 16, seed: 9 });
-        let mut transferred = GcnModel::new(6, ModelConfig { hidden: 16, embed: 16, seed: 9 });
+        let mut source_model = GcnModel::new(
+            6,
+            ModelConfig {
+                hidden: 16,
+                embed: 16,
+                seed: 8,
+            },
+        );
+        ClassifierTrainer::new(TrainConfig {
+            epochs: 25,
+            ..Default::default()
+        })
+        .train(&mut source_model, &source);
+        let mut scratch = GcnModel::new(
+            6,
+            ModelConfig {
+                hidden: 16,
+                embed: 16,
+                seed: 9,
+            },
+        );
+        let mut transferred = GcnModel::new(
+            6,
+            ModelConfig {
+                hidden: 16,
+                embed: 16,
+                seed: 9,
+            },
+        );
         let outcome = run_transfer(
             &mut scratch,
             &mut transferred,
@@ -159,8 +217,14 @@ mod tests {
             &["enc."],
             &target_train,
             &target_test,
-            TrainConfig { epochs: 5, ..Default::default() },
-            TrainConfig { epochs: 5, ..Default::default() },
+            TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+            TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
         );
         assert!(
             outcome.improvement() > -0.15,

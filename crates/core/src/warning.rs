@@ -50,7 +50,10 @@ impl Warning {
         out.push_str("We provide the following automation rules for further inspection.\n");
         out.push_str("You may stop or update rule configurations in the corresponding app.\n\n");
         for c in &self.causes {
-            out.push_str(&format!("  [{} Rule {}] {}\n", c.platform, c.rule_id, c.description));
+            out.push_str(&format!(
+                "  [{} Rule {}] {}\n",
+                c.platform, c.rule_id, c.description
+            ));
         }
         out
     }

@@ -20,11 +20,9 @@ impl GraphSchema {
         for g in graphs {
             for n in g.nodes() {
                 match types.iter().find(|(p, _)| *p == n.platform) {
-                    Some((p, d)) => assert_eq!(
-                        *d,
-                        n.features.len(),
-                        "inconsistent feature dim for {p:?}"
-                    ),
+                    Some((p, d)) => {
+                        assert_eq!(*d, n.features.len(), "inconsistent feature dim for {p:?}")
+                    }
                     None => types.push((n.platform, n.features.len())),
                 }
             }
@@ -112,15 +110,28 @@ impl PreparedGraph {
             let dim = g.node(indices[0]).features.len();
             let mut feats = Matrix::zeros(indices.len(), dim);
             for (k, &i) in indices.iter().enumerate() {
-                assert_eq!(g.node(i).features.len(), dim, "ragged features within a type");
+                assert_eq!(
+                    g.node(i).features.len(),
+                    dim,
+                    "ragged features within a type"
+                );
                 feats.row_mut(k).copy_from_slice(&g.node(i).features);
             }
             let select = Csr::from_triplets(
                 n,
                 indices.len(),
-                &indices.iter().enumerate().map(|(k, &i)| (i, k, 1.0)).collect::<Vec<_>>(),
+                &indices
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &i)| (i, k, 1.0))
+                    .collect::<Vec<_>>(),
             );
-            by_type.push(TypeBlock { platform, indices, feats, select });
+            by_type.push(TypeBlock {
+                platform,
+                indices,
+                feats,
+                select,
+            });
         }
 
         // metapath operators: identity path per type + default schemas
@@ -131,9 +142,17 @@ impl PreparedGraph {
             let agg = Csr::from_triplets(
                 n,
                 n,
-                &block.indices.iter().map(|&i| (i, i, 1.0)).collect::<Vec<_>>(),
+                &block
+                    .indices
+                    .iter()
+                    .map(|&i| (i, i, 1.0))
+                    .collect::<Vec<_>>(),
             );
-            metapath_ops.push(MetapathOp { path, agg, valid_rows: block.indices.clone() });
+            metapath_ops.push(MetapathOp {
+                path,
+                agg,
+                valid_rows: block.indices.clone(),
+            });
         }
         for path in default_metapaths(g) {
             let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
@@ -176,7 +195,11 @@ impl PreparedGraph {
 
     /// Uniform feature matrix for homogeneous graphs.
     pub fn homo_features(&self) -> Matrix {
-        assert_eq!(self.by_type.len(), 1, "homo_features on heterogeneous graph");
+        assert_eq!(
+            self.by_type.len(),
+            1,
+            "homo_features on heterogeneous graph"
+        );
         let block = &self.by_type[0];
         // indices are 0..n in order for single-type graphs
         let mut feats = Matrix::zeros(self.n, block.feats.cols());
@@ -205,7 +228,9 @@ pub mod tests_support {
             .map(|i| Node {
                 rule_id: RuleId(i as u32),
                 platform: Platform::Ifttt,
-                features: (0..dim).map(|d| ((i * 7 + d * 3) % 5) as f32 / 5.0 + 0.1).collect(),
+                features: (0..dim)
+                    .map(|d| ((i * 7 + d * 3) % 5) as f32 / 5.0 + 0.1)
+                    .collect(),
             })
             .collect();
         let mut g = InteractionGraph::new(nodes);
@@ -228,10 +253,26 @@ pub mod tests_support {
     /// A small heterogeneous prepared graph (IFTTT 4-d, Alexa 6-d).
     pub fn hetero_small() -> PreparedGraph {
         let mut g = InteractionGraph::new(vec![
-            Node { rule_id: RuleId(0), platform: Platform::Ifttt, features: vec![0.4; 4] },
-            Node { rule_id: RuleId(1), platform: Platform::Alexa, features: vec![0.2; 6] },
-            Node { rule_id: RuleId(2), platform: Platform::Ifttt, features: vec![0.9; 4] },
-            Node { rule_id: RuleId(3), platform: Platform::SmartThings, features: vec![0.5; 4] },
+            Node {
+                rule_id: RuleId(0),
+                platform: Platform::Ifttt,
+                features: vec![0.4; 4],
+            },
+            Node {
+                rule_id: RuleId(1),
+                platform: Platform::Alexa,
+                features: vec![0.2; 6],
+            },
+            Node {
+                rule_id: RuleId(2),
+                platform: Platform::Ifttt,
+                features: vec![0.9; 4],
+            },
+            Node {
+                rule_id: RuleId(3),
+                platform: Platform::SmartThings,
+                features: vec![0.5; 4],
+            },
         ]);
         g.add_edge(0, 1, EdgeKind::ActionTrigger);
         g.add_edge(1, 2, EdgeKind::ActionTrigger);
@@ -247,7 +288,11 @@ mod tests {
     use glint_rules::RuleId;
 
     fn node(id: u32, platform: Platform, feats: Vec<f32>) -> Node {
-        Node { rule_id: RuleId(id), platform, features: feats }
+        Node {
+            rule_id: RuleId(id),
+            platform,
+            features: feats,
+        }
     }
 
     fn homo_graph() -> InteractionGraph {
@@ -296,10 +341,16 @@ mod tests {
     fn type_blocks_select_operators() {
         let p = PreparedGraph::from_graph(&hetero_graph());
         assert_eq!(p.by_type.len(), 2);
-        let ifttt = p.by_type.iter().find(|b| b.platform == Platform::Ifttt).unwrap();
+        let ifttt = p
+            .by_type
+            .iter()
+            .find(|b| b.platform == Platform::Ifttt)
+            .unwrap();
         assert_eq!(ifttt.indices, vec![0, 2]);
         // select is n×k: scattering [a;b] puts a at row 0, b at row 2
-        let scattered = ifttt.select.spmm(&Matrix::from_rows(&[vec![7.0], vec![9.0]]));
+        let scattered = ifttt
+            .select
+            .spmm(&Matrix::from_rows(&[vec![7.0], vec![9.0]]));
         assert_eq!(scattered.get(0, 0), 7.0);
         assert_eq!(scattered.get(1, 0), 0.0);
         assert_eq!(scattered.get(2, 0), 9.0);
@@ -312,7 +363,11 @@ mod tests {
             let d = op.agg.to_dense();
             for &v in &op.valid_rows {
                 let s: f32 = (0..p.n).map(|c| d.get(v, c)).sum();
-                assert!((s - 1.0).abs() < 1e-5, "path {:?} row {v} sums {s}", op.path);
+                assert!(
+                    (s - 1.0).abs() < 1e-5,
+                    "path {:?} row {v} sums {s}",
+                    op.path
+                );
             }
         }
     }
@@ -326,7 +381,10 @@ mod tests {
                 covered[v] = true;
             }
         }
-        assert!(covered.iter().all(|&c| c), "identity metapaths must cover all nodes");
+        assert!(
+            covered.iter().all(|&c| c),
+            "identity metapaths must cover all nodes"
+        );
     }
 
     #[test]

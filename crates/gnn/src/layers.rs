@@ -15,8 +15,17 @@ pub struct GcnLayer {
 }
 
 impl GcnLayer {
-    pub fn new(params: &mut ParamSet, prefix: &str, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
-        let w = params.add(format!("{prefix}.w"), init::xavier_uniform(rng, in_dim, out_dim));
+    pub fn new(
+        params: &mut ParamSet,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = params.add(
+            format!("{prefix}.w"),
+            init::xavier_uniform(rng, in_dim, out_dim),
+        );
         let b = params.add(format!("{prefix}.b"), Matrix::zeros(1, out_dim));
         Self { w, b }
     }
@@ -38,13 +47,31 @@ pub struct GinLayer {
 }
 
 impl GinLayer {
-    pub fn new(params: &mut ParamSet, prefix: &str, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        params: &mut ParamSet,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let eps = params.add(format!("{prefix}.eps"), Matrix::zeros(1, 1));
-        let w1 = params.add(format!("{prefix}.w1"), init::xavier_uniform(rng, in_dim, out_dim));
+        let w1 = params.add(
+            format!("{prefix}.w1"),
+            init::xavier_uniform(rng, in_dim, out_dim),
+        );
         let b1 = params.add(format!("{prefix}.b1"), Matrix::zeros(1, out_dim));
-        let w2 = params.add(format!("{prefix}.w2"), init::xavier_uniform(rng, out_dim, out_dim));
+        let w2 = params.add(
+            format!("{prefix}.w2"),
+            init::xavier_uniform(rng, out_dim, out_dim),
+        );
         let b2 = params.add(format!("{prefix}.b2"), Matrix::zeros(1, out_dim));
-        Self { eps, w1, b1, w2, b2 }
+        Self {
+            eps,
+            w1,
+            b1,
+            w2,
+            b2,
+        }
     }
 
     pub fn forward(&self, tape: &mut Tape, vars: &[Var], adj_sum: &Csr, h: Var) -> Var {
@@ -81,7 +108,12 @@ impl TagConv {
         rng: &mut StdRng,
     ) -> Self {
         let ws = (0..=k)
-            .map(|i| params.add(format!("{prefix}.w{i}"), init::xavier_uniform(rng, in_dim, out_dim)))
+            .map(|i| {
+                params.add(
+                    format!("{prefix}.w{i}"),
+                    init::xavier_uniform(rng, in_dim, out_dim),
+                )
+            })
             .collect();
         let b = params.add(format!("{prefix}.b"), Matrix::zeros(1, out_dim));
         Self { k, ws, b }
@@ -107,8 +139,17 @@ pub struct Dense {
 }
 
 impl Dense {
-    pub fn new(params: &mut ParamSet, prefix: &str, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
-        let w = params.add(format!("{prefix}.w"), init::xavier_uniform(rng, in_dim, out_dim));
+    pub fn new(
+        params: &mut ParamSet,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = params.add(
+            format!("{prefix}.w"),
+            init::xavier_uniform(rng, in_dim, out_dim),
+        );
         let b = params.add(format!("{prefix}.b"), Matrix::zeros(1, out_dim));
         Self { w, b }
     }
@@ -184,7 +225,10 @@ mod tests {
         };
         let triangle = run(&[(0, 1), (1, 2), (2, 0)]);
         let path = run(&[(0, 1), (1, 2)]);
-        assert!(triangle.sq_dist(&path) > 1e-6, "GIN failed to separate structures");
+        assert!(
+            triangle.sq_dist(&path) > 1e-6,
+            "GIN failed to separate structures"
+        );
     }
 
     #[test]
@@ -217,10 +261,23 @@ mod tests {
             let out = conv.forward(&mut tape, &vars, &adj, h);
             tape.value(out).clone()
         };
-        let base = run(Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0], vec![0.0, 0.0]]));
-        let moved = run(Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0], vec![5.0, 0.0]]));
+        let base = run(Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+        ]));
+        let moved = run(Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 0.0],
+            vec![5.0, 0.0],
+        ]));
         // node 0's output must change when node 2 (two hops away) changes
-        let delta: f32 = base.row(0).iter().zip(moved.row(0)).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f32 = base
+            .row(0)
+            .iter()
+            .zip(moved.row(0))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(delta > 1e-6, "K=2 TAG conv must see 2-hop context");
     }
 }

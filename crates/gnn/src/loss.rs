@@ -20,9 +20,23 @@ pub fn eq2_total(tape: &mut Tape, cls_loss: Var, aux_loss: Option<Var>, beta: f3
 
 /// Sample index pairs for contrastive training: roughly half same-label,
 /// half different-label, drawn without replacement per epoch where possible.
-pub fn sample_pairs(labels: &[usize], n_pairs: usize, rng: &mut StdRng) -> Vec<(usize, usize, bool)> {
-    let pos: Vec<usize> = labels.iter().enumerate().filter(|(_, &l)| l == 1).map(|(i, _)| i).collect();
-    let neg: Vec<usize> = labels.iter().enumerate().filter(|(_, &l)| l == 0).map(|(i, _)| i).collect();
+pub fn sample_pairs(
+    labels: &[usize],
+    n_pairs: usize,
+    rng: &mut StdRng,
+) -> Vec<(usize, usize, bool)> {
+    let pos: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l == 1)
+        .map(|(i, _)| i)
+        .collect();
+    let neg: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l == 0)
+        .map(|(i, _)| i)
+        .collect();
     let mut pairs = Vec::with_capacity(n_pairs);
     for k in 0..n_pairs {
         let same = k % 2 == 0;

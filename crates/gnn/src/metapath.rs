@@ -46,10 +46,24 @@ impl MetapathEncoder {
             })
             .collect();
         let att_dim = hidden.min(32);
-        let att_m = params.add(format!("{prefix}.att.m"), init::xavier_uniform(rng, hidden, att_dim));
+        let att_m = params.add(
+            format!("{prefix}.att.m"),
+            init::xavier_uniform(rng, hidden, att_dim),
+        );
         let att_b = params.add(format!("{prefix}.att.b"), Matrix::zeros(1, att_dim));
-        let att_q = params.add(format!("{prefix}.att.q"), init::xavier_uniform(rng, 1, att_dim));
-        Self { projections, att_m, att_b, att_q, hidden, disable_intra: false, disable_inter: false }
+        let att_q = params.add(
+            format!("{prefix}.att.q"),
+            init::xavier_uniform(rng, 1, att_dim),
+        );
+        Self {
+            projections,
+            att_m,
+            att_b,
+            att_q,
+            hidden,
+            disable_intra: false,
+            disable_inter: false,
+        }
     }
 
     /// Project per-type features into the shared space and scatter them into
@@ -85,7 +99,10 @@ impl MetapathEncoder {
         // intra-metapath aggregation: one summary per metapath
         let ops: Vec<&crate::batch::MetapathOp> = if self.disable_intra {
             // only identity paths (no instance averaging)
-            g.metapath_ops.iter().filter(|o| o.path.len() == 1).collect()
+            g.metapath_ops
+                .iter()
+                .filter(|o| o.path.len() == 1)
+                .collect()
         } else {
             g.metapath_ops.iter().collect()
         };
@@ -128,9 +145,21 @@ mod tests {
 
     fn hetero_graph() -> PreparedGraph {
         let mut g = InteractionGraph::new(vec![
-            Node { rule_id: RuleId(0), platform: Platform::Ifttt, features: vec![1.0, 0.0] },
-            Node { rule_id: RuleId(1), platform: Platform::Alexa, features: vec![0.3, 0.6, 0.9] },
-            Node { rule_id: RuleId(2), platform: Platform::Ifttt, features: vec![0.0, 1.0] },
+            Node {
+                rule_id: RuleId(0),
+                platform: Platform::Ifttt,
+                features: vec![1.0, 0.0],
+            },
+            Node {
+                rule_id: RuleId(1),
+                platform: Platform::Alexa,
+                features: vec![0.3, 0.6, 0.9],
+            },
+            Node {
+                rule_id: RuleId(2),
+                platform: Platform::Ifttt,
+                features: vec![0.0, 1.0],
+            },
         ]);
         g.add_edge(0, 1, EdgeKind::ActionTrigger);
         g.add_edge(1, 2, EdgeKind::ActionTrigger);
@@ -140,8 +169,11 @@ mod tests {
     fn encoder(g: &PreparedGraph) -> (ParamSet, MetapathEncoder) {
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(7);
-        let types: Vec<(Platform, usize)> =
-            g.by_type.iter().map(|b| (b.platform, b.feats.cols())).collect();
+        let types: Vec<(Platform, usize)> = g
+            .by_type
+            .iter()
+            .map(|b| (b.platform, b.feats.cols()))
+            .collect();
         let enc = MetapathEncoder::new(&mut params, "enc", &types, 8, &mut rng);
         (params, enc)
     }
@@ -188,8 +220,14 @@ mod tests {
         let mut no_both = enc.clone();
         no_both.disable_intra = true;
         no_both.disable_inter = true;
-        assert!(full.sq_dist(&run(&no_intra)) > 1e-10, "intra ablation is a no-op");
-        assert!(full.sq_dist(&run(&no_both)) > 1e-10, "full ablation is a no-op");
+        assert!(
+            full.sq_dist(&run(&no_intra)) > 1e-10,
+            "intra ablation is a no-op"
+        );
+        assert!(
+            full.sq_dist(&run(&no_both)) > 1e-10,
+            "full ablation is a no-op"
+        );
     }
 
     #[test]

@@ -22,10 +22,29 @@ impl GcnModel {
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let l0 = GcnLayer::new(&mut params, "enc.l0", in_dim, config.hidden, &mut rng);
-        let l1 = GcnLayer::new(&mut params, "enc.l1", config.hidden, config.hidden, &mut rng);
-        let fuse = Dense::new(&mut params, "fuse", 2 * config.hidden, config.embed, &mut rng);
+        let l1 = GcnLayer::new(
+            &mut params,
+            "enc.l1",
+            config.hidden,
+            config.hidden,
+            &mut rng,
+        );
+        let fuse = Dense::new(
+            &mut params,
+            "fuse",
+            2 * config.hidden,
+            config.embed,
+            &mut rng,
+        );
         let head = Dense::new(&mut params, "head", config.embed, 2, &mut rng);
-        Self { params, l0, l1, fuse, head, embed: config.embed }
+        Self {
+            params,
+            l0,
+            l1,
+            fuse,
+            head,
+            embed: config.embed,
+        }
     }
 }
 
@@ -56,7 +75,11 @@ impl GraphModel for GcnModel {
         let fused = self.fuse.forward(tape, vars, red);
         let embedding = tape.tanh(fused);
         let logits = self.head.forward(tape, vars, embedding);
-        ModelOutput { embedding, logits, aux_loss: None }
+        ModelOutput {
+            embedding,
+            logits,
+            aux_loss: None,
+        }
     }
 }
 
@@ -84,7 +107,11 @@ mod tests {
         let mut tape = Tape::new();
         let vars = model.params().bind(&mut tape);
         let out = model.forward(&mut tape, &vars, &g);
-        assert!(tape.value(out.embedding).data().iter().all(|v| v.abs() <= 1.0));
+        assert!(tape
+            .value(out.embedding)
+            .data()
+            .iter()
+            .all(|v| v.abs() <= 1.0));
     }
 
     #[test]

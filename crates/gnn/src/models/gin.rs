@@ -22,10 +22,28 @@ impl GinModel {
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let l0 = GinLayer::new(&mut params, "enc.l0", in_dim, config.hidden, &mut rng);
-        let l1 = GinLayer::new(&mut params, "enc.l1", config.hidden, config.hidden, &mut rng);
-        let fuse = Dense::new(&mut params, "fuse", 2 * config.hidden, config.embed, &mut rng);
+        let l1 = GinLayer::new(
+            &mut params,
+            "enc.l1",
+            config.hidden,
+            config.hidden,
+            &mut rng,
+        );
+        let fuse = Dense::new(
+            &mut params,
+            "fuse",
+            2 * config.hidden,
+            config.embed,
+            &mut rng,
+        );
         let head = Dense::new(&mut params, "head", config.embed, 2, &mut rng);
-        Self { params, layers: vec![l0, l1], fuse, head, embed: config.embed }
+        Self {
+            params,
+            layers: vec![l0, l1],
+            fuse,
+            head,
+            embed: config.embed,
+        }
     }
 }
 
@@ -63,7 +81,11 @@ impl GraphModel for GinModel {
         let fused = self.fuse.forward(tape, vars, red);
         let embedding = tape.tanh(fused);
         let logits = self.head.forward(tape, vars, embedding);
-        ModelOutput { embedding, logits, aux_loss: None }
+        ModelOutput {
+            embedding,
+            logits,
+            aux_loss: None,
+        }
     }
 }
 
@@ -93,6 +115,9 @@ mod tests {
             let out = model.forward(&mut tape, &vars, g);
             tape.value(out.embedding).clone()
         };
-        assert!(run(&a).sq_dist(&run(&b)) > 1e-10, "GIN must separate different structures");
+        assert!(
+            run(&a).sq_dist(&run(&b)) > 1e-10,
+            "GIN must separate different structures"
+        );
     }
 }

@@ -26,10 +26,30 @@ impl GxnModel {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let conv0 = GcnLayer::new(&mut params, "enc.l0", in_dim, config.hidden, &mut rng);
         let pool = VIPool::new(&mut params, "enc.pool", config.hidden, 0.6, &mut rng);
-        let conv1 = GcnLayer::new(&mut params, "enc.l1", config.hidden, config.hidden, &mut rng);
-        let fuse = Dense::new(&mut params, "fuse", 4 * config.hidden, config.embed, &mut rng);
+        let conv1 = GcnLayer::new(
+            &mut params,
+            "enc.l1",
+            config.hidden,
+            config.hidden,
+            &mut rng,
+        );
+        let fuse = Dense::new(
+            &mut params,
+            "fuse",
+            4 * config.hidden,
+            config.embed,
+            &mut rng,
+        );
         let head = Dense::new(&mut params, "head", config.embed, 2, &mut rng);
-        Self { params, conv0, pool, conv1, fuse, head, embed: config.embed }
+        Self {
+            params,
+            conv0,
+            pool,
+            conv1,
+            fuse,
+            head,
+            embed: config.embed,
+        }
     }
 }
 
@@ -56,7 +76,9 @@ impl GraphModel for GxnModel {
         let a0 = tape.relu(h0);
         let r0 = readout_mean_max(tape, a0);
 
-        let pooled = self.pool.forward(tape, vars, &g.adj_norm, &g.adj_row, a0, g.n as u64);
+        let pooled = self
+            .pool
+            .forward(tape, vars, &g.adj_norm, &g.adj_row, a0, g.n as u64);
         let h1 = self.conv1.forward(tape, vars, &pooled.adj_norm, pooled.h);
         let a1 = tape.relu(h1);
         let r1 = readout_mean_max(tape, a1);
@@ -65,7 +87,11 @@ impl GraphModel for GxnModel {
         let fused = self.fuse.forward(tape, vars, red);
         let embedding = tape.tanh(fused);
         let logits = self.head.forward(tape, vars, embedding);
-        ModelOutput { embedding, logits, aux_loss: Some(pooled.pool_loss) }
+        ModelOutput {
+            embedding,
+            logits,
+            aux_loss: Some(pooled.pool_loss),
+        }
     }
 }
 

@@ -32,7 +32,15 @@ impl MagcnModel {
         let l1 = GcnLayer::new(&mut params, "enc.l1", hidden, hidden, &mut rng);
         let fuse = Dense::new(&mut params, "fuse", 2 * hidden, embed, &mut rng);
         let head = Dense::new(&mut params, "head", embed, 2, &mut rng);
-        Self { params, encoder, l0, l1, fuse, head, embed }
+        Self {
+            params,
+            encoder,
+            l0,
+            l1,
+            fuse,
+            head,
+            embed,
+        }
     }
 }
 
@@ -63,7 +71,11 @@ impl GraphModel for MagcnModel {
         let fused = self.fuse.forward(tape, vars, red);
         let embedding = tape.tanh(fused);
         let logits = self.head.forward(tape, vars, embedding);
-        ModelOutput { embedding, logits, aux_loss: None }
+        ModelOutput {
+            embedding,
+            logits,
+            aux_loss: None,
+        }
     }
 }
 
@@ -90,7 +102,16 @@ impl MagxnModel {
         let conv1 = GcnLayer::new(&mut params, "enc.l1", hidden, hidden, &mut rng);
         let fuse = Dense::new(&mut params, "fuse", 4 * hidden, embed, &mut rng);
         let head = Dense::new(&mut params, "head", embed, 2, &mut rng);
-        Self { params, encoder, conv0, pool, conv1, fuse, head, embed }
+        Self {
+            params,
+            encoder,
+            conv0,
+            pool,
+            conv1,
+            fuse,
+            head,
+            embed,
+        }
     }
 }
 
@@ -116,7 +137,9 @@ impl GraphModel for MagxnModel {
         let h0 = self.conv0.forward(tape, vars, &g.adj_norm, h);
         let a0 = tape.relu(h0);
         let r0 = readout_mean_max(tape, a0);
-        let pooled = self.pool.forward(tape, vars, &g.adj_norm, &g.adj_row, a0, g.n as u64);
+        let pooled = self
+            .pool
+            .forward(tape, vars, &g.adj_norm, &g.adj_row, a0, g.n as u64);
         let h1 = self.conv1.forward(tape, vars, &pooled.adj_norm, pooled.h);
         let a1 = tape.relu(h1);
         let r1 = readout_mean_max(tape, a1);
@@ -124,7 +147,11 @@ impl GraphModel for MagxnModel {
         let fused = self.fuse.forward(tape, vars, red);
         let embedding = tape.tanh(fused);
         let logits = self.head.forward(tape, vars, embedding);
-        ModelOutput { embedding, logits, aux_loss: Some(pooled.pool_loss) }
+        ModelOutput {
+            embedding,
+            logits,
+            aux_loss: Some(pooled.pool_loss),
+        }
     }
 }
 
@@ -155,7 +182,17 @@ impl HgslModel {
         let l1 = GcnLayer::new(&mut params, "enc.l1", hidden, hidden, &mut rng);
         let fuse = Dense::new(&mut params, "fuse", 2 * hidden, embed, &mut rng);
         let head = Dense::new(&mut params, "head", embed, 2, &mut rng);
-        Self { params, encoder, conv_obs, conv_sim, l1, fuse, head, embed, sim_threshold: 0.7 }
+        Self {
+            params,
+            encoder,
+            conv_obs,
+            conv_sim,
+            l1,
+            fuse,
+            head,
+            embed,
+            sim_threshold: 0.7,
+        }
     }
 
     /// Feature-similarity graph over current projected features (treated as
@@ -216,7 +253,11 @@ impl GraphModel for HgslModel {
         let fused = self.fuse.forward(tape, vars, red);
         let embedding = tape.tanh(fused);
         let logits = self.head.forward(tape, vars, embedding);
-        ModelOutput { embedding, logits, aux_loss: None }
+        ModelOutput {
+            embedding,
+            logits,
+            aux_loss: None,
+        }
     }
 }
 
@@ -226,7 +267,11 @@ mod tests {
     use crate::batch::tests_support::hetero_small;
 
     fn types() -> Vec<(Platform, usize)> {
-        vec![(Platform::Ifttt, 4), (Platform::SmartThings, 4), (Platform::Alexa, 6)]
+        vec![
+            (Platform::Ifttt, 4),
+            (Platform::SmartThings, 4),
+            (Platform::Alexa, 6),
+        ]
     }
 
     #[test]

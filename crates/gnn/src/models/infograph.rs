@@ -20,7 +20,6 @@ pub struct InfoGraphModel {
     disc: glint_tensor::ParamId,
     fuse: Dense,
     head: Dense,
-    hidden: usize,
     embed: usize,
 }
 
@@ -29,11 +28,28 @@ impl InfoGraphModel {
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let l0 = GinLayer::new(&mut params, "enc.l0", in_dim, config.hidden, &mut rng);
-        let l1 = GinLayer::new(&mut params, "enc.l1", config.hidden, config.hidden, &mut rng);
-        let disc = params.add("enc.disc", init::xavier_uniform(&mut rng, config.hidden, config.embed));
+        let l1 = GinLayer::new(
+            &mut params,
+            "enc.l1",
+            config.hidden,
+            config.hidden,
+            &mut rng,
+        );
+        let disc = params.add(
+            "enc.disc",
+            init::xavier_uniform(&mut rng, config.hidden, config.embed),
+        );
         let fuse = Dense::new(&mut params, "fuse", config.hidden, config.embed, &mut rng);
         let head = Dense::new(&mut params, "head", config.embed, 2, &mut rng);
-        Self { params, l0, l1, disc, fuse, head, hidden: config.hidden, embed: config.embed }
+        Self {
+            params,
+            l0,
+            l1,
+            disc,
+            fuse,
+            head,
+            embed: config.embed,
+        }
     }
 }
 
@@ -89,7 +105,11 @@ impl GraphModel for InfoGraphModel {
         };
 
         let logits = self.head.forward(tape, vars, embedding);
-        ModelOutput { embedding, logits, aux_loss: aux }
+        ModelOutput {
+            embedding,
+            logits,
+            aux_loss: aux,
+        }
     }
 }
 

@@ -86,7 +86,8 @@ impl Itgnn {
         assert!(config.n_scales >= 1 && config.prop_layers >= 1);
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut encoder = MetapathEncoder::new(&mut params, "enc.meta", types, config.hidden, &mut rng);
+        let mut encoder =
+            MetapathEncoder::new(&mut params, "enc.meta", types, config.hidden, &mut rng);
         encoder.disable_intra = config.disable_intra;
         encoder.disable_inter = config.disable_inter;
         let mut scales = Vec::new();
@@ -123,7 +124,15 @@ impl Itgnn {
             &mut rng,
         );
         let head = Dense::new(&mut params, "head", config.embed, 2, &mut rng);
-        Self { params, encoder, scales, pools, fuse, head, config }
+        Self {
+            params,
+            encoder,
+            scales,
+            pools,
+            fuse,
+            head,
+            config,
+        }
     }
 
     /// Convenience constructor for a homogeneous platform.
@@ -185,13 +194,21 @@ impl GraphModel for Itgnn {
         // 3. multi-scale fusion
         let red = readouts.expect("at least one scale");
         let fused = self.fuse.forward(tape, vars, red);
-        let embedding = if self.config.bounded_embedding { tape.tanh(fused) } else { fused };
+        let embedding = if self.config.bounded_embedding {
+            tape.tanh(fused)
+        } else {
+            fused
+        };
         let logits = self.head.forward(tape, vars, embedding);
         let aux_loss = pool_losses.into_iter().reduce(|a, b| {
             let s = tape.add(a, b);
             tape.scale(s, 0.5)
         });
-        ModelOutput { embedding, logits, aux_loss }
+        ModelOutput {
+            embedding,
+            logits,
+            aux_loss,
+        }
     }
 }
 
@@ -220,12 +237,18 @@ mod tests {
         let vars2 = m_het.params().bind(&mut tape2);
         let out2 = m_het.forward(&mut tape2, &vars2, &het);
         assert!(tape2.value(out2.logits).all_finite());
-        assert!(out2.aux_loss.is_some(), "multi-scale ITGNN carries pool loss");
+        assert!(
+            out2.aux_loss.is_some(),
+            "multi-scale ITGNN carries pool loss"
+        );
     }
 
     #[test]
     fn one_scale_has_no_pool_loss() {
-        let cfg = ItgnnConfig { n_scales: 1, ..Default::default() };
+        let cfg = ItgnnConfig {
+            n_scales: 1,
+            ..Default::default()
+        };
         let m = Itgnn::homogeneous(Platform::Ifttt, 4, cfg);
         let g = PreparedGraph::from_graph(&homo_line_graph(4, 4));
         let mut tape = Tape::new();
@@ -236,8 +259,22 @@ mod tests {
 
     #[test]
     fn scale_count_changes_param_count() {
-        let small = Itgnn::homogeneous(Platform::Ifttt, 4, ItgnnConfig { n_scales: 1, ..Default::default() });
-        let big = Itgnn::homogeneous(Platform::Ifttt, 4, ItgnnConfig { n_scales: 4, ..Default::default() });
+        let small = Itgnn::homogeneous(
+            Platform::Ifttt,
+            4,
+            ItgnnConfig {
+                n_scales: 1,
+                ..Default::default()
+            },
+        );
+        let big = Itgnn::homogeneous(
+            Platform::Ifttt,
+            4,
+            ItgnnConfig {
+                n_scales: 4,
+                ..Default::default()
+            },
+        );
         assert!(big.params().num_scalars() > small.params().num_scalars());
     }
 

@@ -28,7 +28,11 @@ pub struct ModelOutput {
 }
 
 /// A trainable graph-classification model.
-pub trait GraphModel {
+///
+/// `Send + Sync` is a supertrait so trainers can run forward/backward passes
+/// for the graphs of a mini-batch on worker threads (every implementor is a
+/// plain data struct around a [`ParamSet`], so the bound is free).
+pub trait GraphModel: Send + Sync {
     fn name(&self) -> &'static str;
     fn params(&self) -> &ParamSet;
     fn params_mut(&mut self) -> &mut ParamSet;
@@ -48,6 +52,10 @@ pub struct ModelConfig {
 
 impl Default for ModelConfig {
     fn default() -> Self {
-        Self { hidden: 64, embed: 64, seed: 0 }
+        Self {
+            hidden: 64,
+            embed: 64,
+            seed: 0,
+        }
     }
 }

@@ -5,7 +5,8 @@ use crate::batch::PreparedGraph;
 use crate::loss::{eq2_total, sample_pairs};
 use crate::models::GraphModel;
 use glint_ml::metrics::BinaryMetrics;
-use glint_tensor::{Adam, Matrix, Optimizer, Tape};
+use glint_tensor::tape::Grads;
+use glint_tensor::{par, Adam, Matrix, Optimizer, Tape, Var};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -24,6 +25,12 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Explicit class weights; inverse-frequency when None.
     pub class_weights: Option<[f32; 2]>,
+    /// Graphs (or pairs) per optimizer step. `1` reproduces classic
+    /// per-sample SGD exactly; larger batches accumulate per-sample
+    /// gradients — computed concurrently on worker threads — and reduce
+    /// them in sample order before a single Adam step, so results are
+    /// identical at any thread count for a fixed seed.
+    pub batch_size: usize,
 }
 
 impl Default for TrainConfig {
@@ -36,8 +43,44 @@ impl Default for TrainConfig {
             pairs_per_epoch: None,
             seed: 0,
             class_weights: None,
+            batch_size: 1,
         }
     }
+}
+
+/// Reduce per-sample `(flat gradients, loss)` results into one [`Grads`]
+/// (mean over the batch) plus the summed loss. Accumulation follows the
+/// sample order of `results` — fixed by the caller, never by thread timing.
+fn reduce_batch(results: Vec<(Vec<Option<Matrix>>, f32)>) -> (Grads, f32) {
+    let n_params = results.first().map_or(0, |(g, _)| g.len());
+    let count = results.len();
+    let mut sum: Vec<Option<Matrix>> = vec![None; n_params];
+    let mut loss = 0.0f32;
+    for (flat, l) in results {
+        loss += l;
+        for (acc, g) in sum.iter_mut().zip(flat) {
+            if let Some(g) = g {
+                match acc {
+                    Some(a) => *a = a.add(&g),
+                    None => *acc = Some(g),
+                }
+            }
+        }
+    }
+    if count > 1 {
+        let inv = 1.0 / count as f32;
+        for a in sum.iter_mut().flatten() {
+            *a = a.scale(inv);
+        }
+    }
+    (Grads::from_options(sum), loss)
+}
+
+/// The tape vars a fresh `bind` will produce, computed once up front so the
+/// optimizer can be fed batch-reduced gradients without keeping any of the
+/// per-sample tapes alive.
+fn canonical_vars(model: &dyn GraphModel) -> Vec<Var> {
+    model.params().bind(&mut Tape::new())
 }
 
 /// Per-epoch mean losses from a training run.
@@ -57,7 +100,10 @@ impl TrainReport {
 }
 
 fn labels_of(graphs: &[PreparedGraph]) -> Vec<usize> {
-    graphs.iter().map(|g| g.label.expect("training graphs must be labeled")).collect()
+    graphs
+        .iter()
+        .map(|g| g.label.expect("training graphs must be labeled"))
+        .collect()
 }
 
 /// Supervised trainer (ITGNN-S protocol, also used for all baselines).
@@ -70,7 +116,10 @@ impl ClassifierTrainer {
         Self { config }
     }
 
-    /// Train in place; one optimizer step per graph.
+    /// Train in place; one optimizer step per `batch_size` graphs. The
+    /// per-graph forward/backward passes of a batch run concurrently (see
+    /// [`par::ordered_map`]); gradients are reduced in batch order, so the
+    /// result is independent of the thread count.
     pub fn train(&self, model: &mut dyn GraphModel, train: &[PreparedGraph]) -> TrainReport {
         assert!(!train.is_empty(), "empty training set");
         let labels = labels_of(train);
@@ -78,6 +127,8 @@ impl ClassifierTrainer {
             let w = glint_ml::sampling::class_weights(&labels, 2);
             [w[0], w[1]]
         });
+        let batch = self.config.batch_size.max(1);
+        let vars = canonical_vars(model);
         let mut opt = Adam::new(self.config.lr);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut order: Vec<usize> = (0..train.len()).collect();
@@ -85,15 +136,21 @@ impl ClassifierTrainer {
         for _ in 0..self.config.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
-            for &i in &order {
-                let g = &train[i];
-                let mut tape = Tape::new();
-                let vars = model.params().bind(&mut tape);
-                let out = model.forward(&mut tape, &vars, g);
-                let cls = tape.softmax_cross_entropy(out.logits, &[labels[i]], &cw);
-                let total = eq2_total(&mut tape, cls, out.aux_loss, self.config.beta);
-                let grads = tape.backward(total);
-                epoch_loss += tape.value(total).get(0, 0);
+            for chunk in order.chunks(batch) {
+                let frozen: &dyn GraphModel = model;
+                let results = par::ordered_map(chunk.len(), |j| {
+                    let i = chunk[j];
+                    let mut tape = Tape::new();
+                    let vars = frozen.params().bind(&mut tape);
+                    let out = frozen.forward(&mut tape, &vars, &train[i]);
+                    let cls = tape.softmax_cross_entropy(out.logits, &[labels[i]], &cw);
+                    let total = eq2_total(&mut tape, cls, out.aux_loss, self.config.beta);
+                    let grads = tape.backward(total);
+                    let flat = vars.iter().map(|&v| grads.get(v).cloned()).collect();
+                    (flat, tape.value(total).get(0, 0))
+                });
+                let (grads, loss_sum) = reduce_batch(results);
+                epoch_loss += loss_sum;
                 opt.step(model.params_mut(), &vars, &grads);
             }
             report.epoch_losses.push(epoch_loss / train.len() as f32);
@@ -118,9 +175,10 @@ impl ClassifierTrainer {
     }
 
     /// Evaluate on labeled graphs with the paper's weighted-F1 convention.
+    /// Test graphs are scored concurrently, predictions in input order.
     pub fn evaluate(model: &dyn GraphModel, test: &[PreparedGraph]) -> BinaryMetrics {
         let y_true = labels_of(test);
-        let y_pred: Vec<usize> = test.iter().map(|g| Self::predict(model, g)).collect();
+        let y_pred = par::ordered_map(test.len(), |i| Self::predict(model, &test[i]));
         BinaryMetrics::weighted_from_predictions(&y_true, &y_pred)
     }
 }
@@ -135,31 +193,49 @@ impl ContrastiveTrainer {
         Self { config }
     }
 
+    /// Train in place; one optimizer step per `batch_size` contrastive
+    /// pairs, with the pairs of a batch processed concurrently and reduced
+    /// in pair order (thread-count independent, like the classifier).
     pub fn train(&self, model: &mut dyn GraphModel, train: &[PreparedGraph]) -> TrainReport {
         assert!(!train.is_empty());
         let labels = labels_of(train);
         let n_pairs = self.config.pairs_per_epoch.unwrap_or(train.len());
+        let batch = self.config.batch_size.max(1);
+        let vars = canonical_vars(model);
         let mut opt = Adam::new(self.config.lr);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut report = TrainReport::default();
         for _ in 0..self.config.epochs {
             let pairs = sample_pairs(&labels, n_pairs, &mut rng);
             let mut epoch_loss = 0.0;
-            for &(a, b, same) in &pairs {
-                let mut tape = Tape::new();
-                let vars = model.params().bind(&mut tape);
-                let out_a = model.forward(&mut tape, &vars, &train[a]);
-                let out_b = model.forward(&mut tape, &vars, &train[b]);
-                let contrast =
-                    tape.contrastive_pair(out_a.embedding, out_b.embedding, same, self.config.margin);
-                // pooling losses from both forwards still regularize
-                let with_a = eq2_total(&mut tape, contrast, out_a.aux_loss, self.config.beta);
-                let total = eq2_total(&mut tape, with_a, out_b.aux_loss, self.config.beta);
-                let grads = tape.backward(total);
-                epoch_loss += tape.value(total).get(0, 0);
+            for chunk in pairs.chunks(batch) {
+                let frozen: &dyn GraphModel = model;
+                let results = par::ordered_map(chunk.len(), |j| {
+                    let (a, b, same) = chunk[j];
+                    let mut tape = Tape::new();
+                    let vars = frozen.params().bind(&mut tape);
+                    let out_a = frozen.forward(&mut tape, &vars, &train[a]);
+                    let out_b = frozen.forward(&mut tape, &vars, &train[b]);
+                    let contrast = tape.contrastive_pair(
+                        out_a.embedding,
+                        out_b.embedding,
+                        same,
+                        self.config.margin,
+                    );
+                    // pooling losses from both forwards still regularize
+                    let with_a = eq2_total(&mut tape, contrast, out_a.aux_loss, self.config.beta);
+                    let total = eq2_total(&mut tape, with_a, out_b.aux_loss, self.config.beta);
+                    let grads = tape.backward(total);
+                    let flat = vars.iter().map(|&v| grads.get(v).cloned()).collect();
+                    (flat, tape.value(total).get(0, 0))
+                });
+                let (grads, loss_sum) = reduce_batch(results);
+                epoch_loss += loss_sum;
                 opt.step(model.params_mut(), &vars, &grads);
             }
-            report.epoch_losses.push(epoch_loss / pairs.len().max(1) as f32);
+            report
+                .epoch_losses
+                .push(epoch_loss / pairs.len().max(1) as f32);
         }
         report
     }
@@ -172,9 +248,11 @@ impl ContrastiveTrainer {
         tape.value(out.embedding).data().to_vec()
     }
 
-    /// Embeddings of a whole set as an `n × embed` matrix.
+    /// Embeddings of a whole set as an `n × embed` matrix. Graphs are
+    /// scored concurrently; rows come back in input order regardless of
+    /// the thread count.
     pub fn embed_all(model: &dyn GraphModel, graphs: &[PreparedGraph]) -> Matrix {
-        let rows: Vec<Vec<f32>> = graphs.iter().map(|g| Self::embed(model, g)).collect();
+        let rows = par::ordered_map(graphs.len(), |i| Self::embed(model, &graphs[i]));
         Matrix::from_rows(&rows)
     }
 }
@@ -199,9 +277,11 @@ mod tests {
                 g.add_edge(size - 1, 0, EdgeKind::ActionTrigger);
                 g.add_edge(size / 2, 0, EdgeKind::ActionTrigger);
             }
-            out.push(PreparedGraph::from_graph(
-                &g.with_label(if threat { GraphLabel::Threat } else { GraphLabel::Normal }),
-            ));
+            out.push(PreparedGraph::from_graph(&g.with_label(if threat {
+                GraphLabel::Threat
+            } else {
+                GraphLabel::Normal
+            })));
         }
         out
     }
@@ -209,10 +289,25 @@ mod tests {
     #[test]
     fn classifier_training_reduces_loss_and_fits_toy_task() {
         let data = toy_dataset(24);
-        let mut model = GcnModel::new(6, ModelConfig { hidden: 16, embed: 16, seed: 1 });
-        let trainer = ClassifierTrainer::new(TrainConfig { epochs: 30, lr: 5e-3, ..Default::default() });
+        let mut model = GcnModel::new(
+            6,
+            ModelConfig {
+                hidden: 16,
+                embed: 16,
+                seed: 1,
+            },
+        );
+        let trainer = ClassifierTrainer::new(TrainConfig {
+            epochs: 30,
+            lr: 5e-3,
+            ..Default::default()
+        });
         let report = trainer.train(&mut model, &data);
-        assert!(report.improved(), "loss did not fall: {:?}", report.epoch_losses);
+        assert!(
+            report.improved(),
+            "loss did not fall: {:?}",
+            report.epoch_losses
+        );
         let metrics = ClassifierTrainer::evaluate(&model, &data);
         assert!(metrics.accuracy > 0.9, "toy accuracy {metrics}");
     }
@@ -220,9 +315,18 @@ mod tests {
     #[test]
     fn itgnn_fits_toy_task() {
         let data = toy_dataset(20);
-        let cfg = ItgnnConfig { hidden: 16, embed: 16, n_scales: 2, ..Default::default() };
+        let cfg = ItgnnConfig {
+            hidden: 16,
+            embed: 16,
+            n_scales: 2,
+            ..Default::default()
+        };
         let mut model = Itgnn::homogeneous(Platform::Ifttt, 6, cfg);
-        let trainer = ClassifierTrainer::new(TrainConfig { epochs: 25, lr: 5e-3, ..Default::default() });
+        let trainer = ClassifierTrainer::new(TrainConfig {
+            epochs: 25,
+            lr: 5e-3,
+            ..Default::default()
+        });
         trainer.train(&mut model, &data);
         let metrics = ClassifierTrainer::evaluate(&model, &data);
         assert!(metrics.accuracy > 0.85, "ITGNN toy accuracy {metrics}");
@@ -231,7 +335,12 @@ mod tests {
     #[test]
     fn contrastive_training_separates_classes() {
         let data = toy_dataset(20);
-        let cfg = ItgnnConfig { hidden: 16, embed: 8, n_scales: 2, ..Default::default() };
+        let cfg = ItgnnConfig {
+            hidden: 16,
+            embed: 8,
+            n_scales: 2,
+            ..Default::default()
+        };
         let mut model = Itgnn::homogeneous(Platform::Ifttt, 6, cfg);
         let trainer = ContrastiveTrainer::new(TrainConfig {
             epochs: 20,
@@ -264,14 +373,92 @@ mod tests {
         }
         let intra = intra / n_intra as f32;
         let inter = inter / n_inter as f32;
-        assert!(inter > intra, "contrastive failed: intra={intra} inter={inter}");
+        assert!(
+            inter > intra,
+            "contrastive failed: intra={intra} inter={inter}"
+        );
+    }
+
+    /// The batched trainers promise thread-count independence: same seed +
+    /// same batch size ⇒ bitwise-identical parameters and losses whether
+    /// the batch runs on 1 worker or 8.
+    #[test]
+    fn batched_training_deterministic_across_thread_counts() {
+        let data = toy_dataset(16);
+        let cfg = TrainConfig {
+            epochs: 4,
+            lr: 5e-3,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut model = GcnModel::new(
+                    6,
+                    ModelConfig {
+                        hidden: 16,
+                        embed: 16,
+                        seed: 7,
+                    },
+                );
+                let report = ClassifierTrainer::new(cfg.clone()).train(&mut model, &data);
+                (model, report)
+            })
+        };
+        let (m1, r1) = run(1);
+        let (m8, r8) = run(8);
+        assert_eq!(r1.epoch_losses, r8.epoch_losses, "loss curves diverged");
+        for ((n1, p1), (_, p8)) in m1.params().iter().zip(m8.params().iter()) {
+            assert_eq!(p1, p8, "parameter {n1} differs between thread counts");
+        }
+    }
+
+    #[test]
+    fn contrastive_batched_training_deterministic_across_thread_counts() {
+        let data = toy_dataset(12);
+        let cfg = ItgnnConfig {
+            hidden: 12,
+            embed: 8,
+            n_scales: 2,
+            ..Default::default()
+        };
+        let tcfg = TrainConfig {
+            epochs: 3,
+            lr: 5e-3,
+            margin: 3.0,
+            batch_size: 3,
+            ..Default::default()
+        };
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut model = Itgnn::homogeneous(Platform::Ifttt, 6, cfg.clone());
+                ContrastiveTrainer::new(tcfg.clone()).train(&mut model, &data);
+                ContrastiveTrainer::embed_all(&model, &data)
+            })
+        };
+        assert_eq!(
+            run(1),
+            run(8),
+            "contrastive embeddings differ between thread counts"
+        );
     }
 
     #[test]
     fn predict_proba_in_unit_interval() {
         let data = toy_dataset(8);
-        let mut model = GcnModel::new(6, ModelConfig { hidden: 8, embed: 8, seed: 2 });
-        ClassifierTrainer::new(TrainConfig { epochs: 3, ..Default::default() }).train(&mut model, &data);
+        let mut model = GcnModel::new(
+            6,
+            ModelConfig {
+                hidden: 8,
+                embed: 8,
+                seed: 2,
+            },
+        );
+        ClassifierTrainer::new(TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        })
+        .train(&mut model, &data);
         for g in &data {
             let p = ClassifierTrainer::predict_proba(&model, g);
             assert!((0.0..=1.0).contains(&p));

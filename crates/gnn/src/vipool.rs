@@ -42,14 +42,26 @@ pub struct Pooled {
 }
 
 impl VIPool {
-    pub fn new(params: &mut ParamSet, prefix: &str, dim: usize, ratio: f32, rng: &mut StdRng) -> Self {
+    pub fn new(
+        params: &mut ParamSet,
+        prefix: &str,
+        dim: usize,
+        ratio: f32,
+        rng: &mut StdRng,
+    ) -> Self {
         assert!(ratio > 0.0 && ratio <= 1.0);
         let k = dim.min(16);
         let w = params.add(format!("{prefix}.w"), init::xavier_uniform(rng, 2 * dim, 1));
         let b = params.add(format!("{prefix}.b"), Matrix::zeros(1, 1));
         let bilin_a = params.add(format!("{prefix}.ba"), init::xavier_uniform(rng, dim, k));
         let bilin_b = params.add(format!("{prefix}.bb"), init::xavier_uniform(rng, dim, k));
-        Self { w, b, bilin_a, bilin_b, ratio }
+        Self {
+            w,
+            b,
+            bilin_a,
+            bilin_b,
+            ratio,
+        }
     }
 
     /// Discriminator logits for (vertex, neighbourhood) rows:
@@ -104,7 +116,12 @@ impl VIPool {
         let k = ((self.ratio * n as f32).ceil() as usize).clamp(1, n);
         let score_vals = tape.value(scores).clone();
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| score_vals.get(b, 0).partial_cmp(&score_vals.get(a, 0)).unwrap());
+        order.sort_by(|&a, &b| {
+            score_vals
+                .get(b, 0)
+                .partial_cmp(&score_vals.get(a, 0))
+                .unwrap()
+        });
         let mut kept: Vec<usize> = order[..k].to_vec();
         kept.sort_unstable();
 
@@ -119,7 +136,13 @@ impl VIPool {
         let adj_norm_sub = Csr::normalized_adjacency(k, &sub_edges);
         let adj_row_sub = Csr::row_normalized(k, &sub_edges);
         let _ = adj_norm; // kept in the signature for symmetry with callers
-        Pooled { h: pooled_h, adj_norm: adj_norm_sub, adj_row: adj_row_sub, kept, pool_loss }
+        Pooled {
+            h: pooled_h,
+            adj_norm: adj_norm_sub,
+            adj_row: adj_row_sub,
+            kept,
+            pool_loss,
+        }
     }
 }
 
@@ -200,7 +223,10 @@ mod tests {
         let loss = tape.mean_all(out.h);
         let grads = tape.backward(loss);
         let w_grad = grads.get(vars[0]).expect("scorer weight grad");
-        assert!(w_grad.norm() > 0.0, "gating must route task gradients to the scorer");
+        assert!(
+            w_grad.norm() > 0.0,
+            "gating must route task gradients to the scorer"
+        );
     }
 
     #[test]
@@ -222,7 +248,10 @@ mod tests {
         let first = losses[0];
         let last = *losses.last().unwrap();
         assert!(last < first, "infomax loss should fall: {first} → {last}");
-        assert!(last < 0.693, "infomax loss should fall below ln 2, got {last}");
+        assert!(
+            last < 0.693,
+            "infomax loss should fall below ln 2, got {last}"
+        );
     }
 
     #[test]

@@ -13,8 +13,12 @@ use glint_tensor::Tape;
 use proptest::prelude::*;
 
 fn graph_strategy() -> impl Strategy<Value = InteractionGraph> {
-    (2usize..7, proptest::collection::vec((0usize..7, 0usize..7), 1..10), 0u64..1000).prop_map(
-        |(n, raw_edges, seed)| {
+    (
+        2usize..7,
+        proptest::collection::vec((0usize..7, 0usize..7), 1..10),
+        0u64..1000,
+    )
+        .prop_map(|(n, raw_edges, seed)| {
             let nodes: Vec<Node> = (0..n)
                 .map(|i| Node {
                     rule_id: RuleId(i as u32),
@@ -31,8 +35,7 @@ fn graph_strategy() -> impl Strategy<Value = InteractionGraph> {
                 }
             }
             g
-        },
-    )
+        })
 }
 
 fn permute(g: &InteractionGraph, perm: &[usize]) -> InteractionGraph {

@@ -2,7 +2,7 @@
 //! real-time construction from deployed rules + event logs (§3.2.2).
 
 use crate::graph::{EdgeKind, GraphLabel, InteractionGraph, Node};
-use glint_rules::correlation::{action_triggers, action_invokes_trigger};
+use glint_rules::correlation::{action_invokes_trigger, action_triggers};
 use glint_rules::event::{EventKind, EventLog};
 use glint_rules::{Action, Rule, StateValue, Trigger};
 use rand::rngs::StdRng;
@@ -102,7 +102,13 @@ impl<'a> GraphBuilder<'a> {
             v.sort_unstable();
             v.dedup();
         }
-        Self { rules, rng: StdRng::seed_from_u64(seed), successors, predecessors, shared_device }
+        Self {
+            rules,
+            rng: StdRng::seed_from_u64(seed),
+            successors,
+            predecessors,
+            shared_device,
+        }
     }
 
     /// Total correlated pairs in the index.
@@ -180,7 +186,11 @@ impl<'a> GraphBuilder<'a> {
             .iter()
             .map(|&i| {
                 let r = &self.rules[i];
-                Node { rule_id: r.id, platform: r.platform, features: feature_fn(r) }
+                Node {
+                    rule_id: r.id,
+                    platform: r.platform,
+                    features: feature_fn(r),
+                }
             })
             .collect();
         let mut g = InteractionGraph::new(nodes);
@@ -210,7 +220,11 @@ impl<'a> GraphBuilder<'a> {
 pub fn full_graph(rules: &[Rule], feature_fn: &dyn Fn(&Rule) -> Vec<f32>) -> InteractionGraph {
     let nodes: Vec<Node> = rules
         .iter()
-        .map(|r| Node { rule_id: r.id, platform: r.platform, features: feature_fn(r) })
+        .map(|r| Node {
+            rule_id: r.id,
+            platform: r.platform,
+            features: feature_fn(r),
+        })
         .collect();
     let mut g = InteractionGraph::new(nodes);
     for (i, a) in rules.iter().enumerate() {
@@ -228,7 +242,9 @@ pub fn full_graph(rules: &[Rule], feature_fn: &dyn Fn(&Rule) -> Vec<f32>) -> Int
                 continue;
             }
             let shared = a.actuated_devices().iter().any(|(d1, l1)| {
-                b.actuated_devices().iter().any(|(d2, l2)| d1 == d2 && l1.couples_with(*l2))
+                b.actuated_devices()
+                    .iter()
+                    .any(|(d2, l2)| d1 == d2 && l1.couples_with(*l2))
             });
             if shared {
                 g.add_edge(i, j, EdgeKind::SharedDevice);
@@ -245,7 +261,10 @@ pub fn full_graph(rules: &[Rule], feature_fn: &dyn Fn(&Rule) -> Vec<f32>) -> Int
             for cond in &b.conditions {
                 let as_trigger = condition_as_trigger(cond);
                 if let Some(t) = as_trigger {
-                    if a.actions.iter().any(|act| action_invokes_trigger(act, &t).is_some()) {
+                    if a.actions
+                        .iter()
+                        .any(|act| action_invokes_trigger(act, &t).is_some())
+                    {
                         g.add_edge(i, j, EdgeKind::ActionCondition);
                     }
                 }
@@ -257,22 +276,28 @@ pub fn full_graph(rules: &[Rule], feature_fn: &dyn Fn(&Rule) -> Vec<f32>) -> Int
 
 fn condition_as_trigger(cond: &glint_rules::Condition) -> Option<Trigger> {
     match cond {
-        glint_rules::Condition::DeviceState { device, location, attribute, state } => {
-            Some(Trigger::DeviceState {
-                device: *device,
-                location: *location,
-                attribute: *attribute,
-                state: *state,
-            })
-        }
-        glint_rules::Condition::ChannelThreshold { channel, location, cmp, value } => {
-            Some(Trigger::ChannelThreshold {
-                channel: *channel,
-                location: *location,
-                cmp: *cmp,
-                value: *value,
-            })
-        }
+        glint_rules::Condition::DeviceState {
+            device,
+            location,
+            attribute,
+            state,
+        } => Some(Trigger::DeviceState {
+            device: *device,
+            location: *location,
+            attribute: *attribute,
+            state: *state,
+        }),
+        glint_rules::Condition::ChannelThreshold {
+            channel,
+            location,
+            cmp,
+            value,
+        } => Some(Trigger::ChannelThreshold {
+            channel: *channel,
+            location: *location,
+            cmp: *cmp,
+            value: *value,
+        }),
         _ => None,
     }
 }
@@ -288,7 +313,9 @@ pub struct OnlineBuilder {
 
 impl Default for OnlineBuilder {
     fn default() -> Self {
-        Self { max_gap: 3.0 * 3600.0 }
+        Self {
+            max_gap: 3.0 * 3600.0,
+        }
     }
 }
 
@@ -304,12 +331,19 @@ impl OnlineBuilder {
                         times[i].push(rec.timestamp);
                     }
                 }
-                EventKind::DeviceState { device, location, state } => {
+                EventKind::DeviceState {
+                    device,
+                    location,
+                    state,
+                } => {
                     for (i, r) in rules.iter().enumerate() {
                         let hit = r.actions.iter().any(|a| match a {
-                            Action::SetState { device: d, location: l, state: s, .. } => {
-                                d == device && l.couples_with(*location) && s == state
-                            }
+                            Action::SetState {
+                                device: d,
+                                location: l,
+                                state: s,
+                                ..
+                            } => d == device && l.couples_with(*location) && s == state,
                             _ => false,
                         });
                         if hit {
@@ -345,7 +379,8 @@ impl OnlineBuilder {
             let tu = &times[active[u]];
             let tv = &times[active[v]];
             let plausible = tu.iter().any(|&a| {
-                tv.iter().any(|&b| b > a && b - a <= self.max_gap && a >= from && b <= to)
+                tv.iter()
+                    .any(|&b| b > a && b - a <= self.max_gap && a >= from && b <= to)
             });
             if plausible {
                 g.add_edge(u, v, kind);
@@ -404,7 +439,9 @@ mod tests {
         let g = full_graph(&rules, &feat);
         let idx = |id: u32| rules.iter().position(|r| r.id.0 == id).unwrap();
         let has = |a: u32, b: u32| {
-            g.edges().iter().any(|&(u, v, _)| u == idx(a) && v == idx(b))
+            g.edges()
+                .iter()
+                .any(|&(u, v, _)| u == idx(a) && v == idx(b))
         };
         assert!(has(1, 9), "lights-off → lock-door edge");
         assert!(has(4, 5), "AC-on → close-windows edge");
@@ -437,9 +474,16 @@ mod tests {
         let mut log = EventLog::new();
         log.push(EventRecord::new(0.0, EventKind::RuleFired { rule_id: 1 }));
         // 5 hours later — beyond the 3 h pruning interval
-        log.push(EventRecord::new(5.0 * 3600.0, EventKind::RuleFired { rule_id: 9 }));
+        log.push(EventRecord::new(
+            5.0 * 3600.0,
+            EventKind::RuleFired { rule_id: 9 },
+        ));
         let g = OnlineBuilder::default().build(&rules, &log, 0.0, 1e9, &feat);
-        assert_eq!(g.n_edges(), 0, "disjoined occurrence time must prune the edge");
+        assert_eq!(
+            g.n_edges(),
+            0,
+            "disjoined occurrence time must prune the edge"
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@ impl ClassStats {
         let n = self.normal.max(1) as f32;
         let t = self.threat.max(1) as f32;
         let total = n + t;
-        let w = [total / (2.0 * n), total / (2.0 * t)];
-        w
+
+        [total / (2.0 * n), total / (2.0 * t)]
     }
 }
 
@@ -188,7 +188,13 @@ mod tests {
     fn class_stats_and_weights() {
         let d = dataset(90, 10);
         let s = d.class_stats();
-        assert_eq!(s, ClassStats { normal: 90, threat: 10 });
+        assert_eq!(
+            s,
+            ClassStats {
+                normal: 90,
+                threat: 10
+            }
+        );
         let w = s.class_weights();
         assert!(w[1] > w[0], "minority class must be upweighted");
         assert!((w[0] * 90.0 + w[1] * 10.0 - 100.0).abs() < 1.0);

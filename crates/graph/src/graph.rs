@@ -62,7 +62,11 @@ pub struct InteractionGraph {
 
 impl InteractionGraph {
     pub fn new(nodes: Vec<Node>) -> Self {
-        Self { nodes, edges: Vec::new(), label: None }
+        Self {
+            nodes,
+            edges: Vec::new(),
+            label: None,
+        }
     }
 
     pub fn with_label(mut self, label: GraphLabel) -> Self {
@@ -72,7 +76,10 @@ impl InteractionGraph {
 
     /// Add a directed edge; panics on out-of-range endpoints.
     pub fn add_edge(&mut self, src: usize, dst: usize, kind: EdgeKind) {
-        assert!(src < self.nodes.len() && dst < self.nodes.len(), "edge out of range");
+        assert!(
+            src < self.nodes.len() && dst < self.nodes.len(),
+            "edge out of range"
+        );
         if !self.edges.contains(&(src, dst, kind)) {
             self.edges.push((src, dst, kind));
         }
@@ -105,12 +112,20 @@ impl InteractionGraph {
 
     /// Out-neighbours of a node.
     pub fn successors(&self, u: usize) -> Vec<usize> {
-        self.edges.iter().filter(|(s, _, _)| *s == u).map(|(_, d, _)| *d).collect()
+        self.edges
+            .iter()
+            .filter(|(s, _, _)| *s == u)
+            .map(|(_, d, _)| *d)
+            .collect()
     }
 
     /// In-neighbours of a node.
     pub fn predecessors(&self, v: usize) -> Vec<usize> {
-        self.edges.iter().filter(|(_, d, _)| *d == v).map(|(s, _, _)| *s).collect()
+        self.edges
+            .iter()
+            .filter(|(_, d, _)| *d == v)
+            .map(|(s, _, _)| *s)
+            .collect()
     }
 
     /// Undirected neighbours (deduplicated).
@@ -118,7 +133,15 @@ impl InteractionGraph {
         let mut out: Vec<usize> = self
             .edges
             .iter()
-            .filter_map(|&(s, d, _)| if s == u { Some(d) } else if d == u { Some(s) } else { None })
+            .filter_map(|&(s, d, _)| {
+                if s == u {
+                    Some(d)
+                } else if d == u {
+                    Some(s)
+                } else {
+                    None
+                }
+            })
             .collect();
         out.sort_unstable();
         out.dedup();
@@ -185,7 +208,11 @@ impl InteractionGraph {
 
     /// Maximum feature dimension across nodes.
     pub fn max_feature_dim(&self) -> usize {
-        self.nodes.iter().map(|n| n.features.len()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.features.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -194,7 +221,11 @@ mod tests {
     use super::*;
 
     fn node(id: u32, platform: Platform, dim: usize) -> Node {
-        Node { rule_id: RuleId(id), platform, features: vec![0.0; dim] }
+        Node {
+            rule_id: RuleId(id),
+            platform,
+            features: vec![0.0; dim],
+        }
     }
 
     fn simple_graph() -> InteractionGraph {
@@ -252,7 +283,13 @@ mod tests {
 
     #[test]
     fn label_classes_round_trip() {
-        assert_eq!(GraphLabel::from_class(GraphLabel::Threat.class()), GraphLabel::Threat);
-        assert_eq!(GraphLabel::from_class(GraphLabel::Normal.class()), GraphLabel::Normal);
+        assert_eq!(
+            GraphLabel::from_class(GraphLabel::Threat.class()),
+            GraphLabel::Threat
+        );
+        assert_eq!(
+            GraphLabel::from_class(GraphLabel::Normal.class()),
+            GraphLabel::Normal
+        );
     }
 }

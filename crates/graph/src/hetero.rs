@@ -100,7 +100,11 @@ mod tests {
     use glint_rules::RuleId;
 
     fn node(id: u32, platform: Platform) -> Node {
-        Node { rule_id: RuleId(id), platform, features: vec![0.0; 2] }
+        Node {
+            rule_id: RuleId(id),
+            platform,
+            features: vec![0.0; 2],
+        }
     }
 
     /// I0 — S1 — I2 — A3 (path), platforms Ifttt/SmartThings/Ifttt/Alexa
@@ -131,7 +135,11 @@ mod tests {
     #[test]
     fn three_hop_no_backtrack() {
         let g = hetero_path();
-        let mp = Metapath(vec![Platform::Ifttt, Platform::SmartThings, Platform::Ifttt]);
+        let mp = Metapath(vec![
+            Platform::Ifttt,
+            Platform::SmartThings,
+            Platform::Ifttt,
+        ]);
         // 0 → 1 → 2 is valid; 0 → 1 → 0 is a backtrack and must be excluded
         let inst = metapath_instances(&g, 0, &mp);
         assert_eq!(inst, vec![vec![0, 1, 2]]);

@@ -28,8 +28,16 @@ mod tests {
     #[test]
     fn round_trip() {
         let mut g = InteractionGraph::new(vec![
-            Node { rule_id: RuleId(1), platform: Platform::Ifttt, features: vec![1.0, 2.0] },
-            Node { rule_id: RuleId(2), platform: Platform::Alexa, features: vec![3.0] },
+            Node {
+                rule_id: RuleId(1),
+                platform: Platform::Ifttt,
+                features: vec![1.0, 2.0],
+            },
+            Node {
+                rule_id: RuleId(2),
+                platform: Platform::Alexa,
+                features: vec![3.0],
+            },
         ]);
         g.add_edge(0, 1, EdgeKind::ActionTrigger);
         let mut ds = GraphDataset::new();

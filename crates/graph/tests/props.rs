@@ -6,7 +6,11 @@ use glint_rules::{Platform, RuleId};
 use proptest::prelude::*;
 
 fn graph_strategy() -> impl Strategy<Value = InteractionGraph> {
-    (1usize..8, proptest::collection::vec((0usize..8, 0usize..8), 0..14), proptest::bool::ANY)
+    (
+        1usize..8,
+        proptest::collection::vec((0usize..8, 0usize..8), 0..14),
+        proptest::bool::ANY,
+    )
         .prop_map(|(n, raw, threat)| {
             let nodes: Vec<Node> = (0..n)
                 .map(|i| Node {
@@ -21,7 +25,11 @@ fn graph_strategy() -> impl Strategy<Value = InteractionGraph> {
                     g.add_edge(u % n, v % n, EdgeKind::ActionTrigger);
                 }
             }
-            g.with_label(if threat { GraphLabel::Threat } else { GraphLabel::Normal })
+            g.with_label(if threat {
+                GraphLabel::Threat
+            } else {
+                GraphLabel::Normal
+            })
         })
 }
 

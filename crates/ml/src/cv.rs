@@ -39,8 +39,12 @@ pub fn cross_validate(
     let mut results = Vec::with_capacity(k);
     for test_fold in 0..k {
         let test_idx = &folds[test_fold];
-        let train_idx: Vec<usize> =
-            folds.iter().enumerate().filter(|(i, _)| *i != test_fold).flat_map(|(_, f)| f.iter().copied()).collect();
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != test_fold)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
         if test_idx.is_empty() || train_idx.is_empty() {
             continue;
         }

@@ -19,7 +19,13 @@ pub struct RandomForest {
 
 impl RandomForest {
     pub fn new(n_trees: usize) -> Self {
-        Self { n_trees, max_depth: 12, seed: 0, class_weights: None, trees: Vec::new() }
+        Self {
+            n_trees,
+            max_depth: 12,
+            seed: 0,
+            class_weights: None,
+            trees: Vec::new(),
+        }
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -67,7 +73,9 @@ impl Classifier for RandomForest {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
-        (0..x.rows()).map(|i| usize::from(self.score_row(x.row(i)) > 0.5)).collect()
+        (0..x.rows())
+            .map(|i| usize::from(self.score_row(x.row(i)) > 0.5))
+            .collect()
     }
 
     fn decision_scores(&self, x: &Matrix) -> Vec<f32> {
@@ -91,7 +99,10 @@ mod tests {
             } else {
                 (1.0 - t.cos(), 0.5 - t.sin())
             };
-            rows.push(vec![cx + rng.gen_range(-0.1..0.1), cy + rng.gen_range(-0.1f32..0.1)]);
+            rows.push(vec![
+                cx + rng.gen_range(-0.1..0.1),
+                cy + rng.gen_range(-0.1f32..0.1),
+            ]);
             y.push(c);
         }
         (Matrix::from_rows(&rows), y)

@@ -37,8 +37,7 @@ impl GradientBoosting {
     }
 
     fn raw_score(&self, row: &[f32]) -> f32 {
-        self.base
-            + self.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f32>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f32>()
     }
 }
 
@@ -62,28 +61,43 @@ impl Classifier for GradientBoosting {
         self.trees.clear();
         let mut raw: Vec<f32> = vec![self.base; n];
         let idx: Vec<usize> = (0..n).collect();
-        let config =
-            TreeConfig { max_depth: self.max_depth, min_samples_split: 4, max_features: None };
+        let config = TreeConfig {
+            max_depth: self.max_depth,
+            min_samples_split: 4,
+            max_features: None,
+        };
         let mut rng = StdRng::seed_from_u64(self.seed);
         for _ in 0..self.n_rounds {
             // negative gradient of weighted logistic loss: w (y − σ(raw))
             let residual: Vec<f32> = (0..n)
                 .map(|i| w[i] * (y[i] as f32 - sigmoid(raw[i])))
                 .collect();
-            let tree = Tree::fit(x, &residual, &vec![1.0; n], &idx, config, Criterion::Variance, &mut rng);
-            for i in 0..n {
-                raw[i] += self.learning_rate * tree.predict_row(x.row(i));
+            let tree = Tree::fit(
+                x,
+                &residual,
+                &vec![1.0; n],
+                &idx,
+                config,
+                Criterion::Variance,
+                &mut rng,
+            );
+            for (i, rv) in raw.iter_mut().enumerate() {
+                *rv += self.learning_rate * tree.predict_row(x.row(i));
             }
             self.trees.push(tree);
         }
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
-        (0..x.rows()).map(|i| usize::from(self.raw_score(x.row(i)) > 0.0)).collect()
+        (0..x.rows())
+            .map(|i| usize::from(self.raw_score(x.row(i)) > 0.0))
+            .collect()
     }
 
     fn decision_scores(&self, x: &Matrix) -> Vec<f32> {
-        (0..x.rows()).map(|i| sigmoid(self.raw_score(x.row(i)))).collect()
+        (0..x.rows())
+            .map(|i| sigmoid(self.raw_score(x.row(i))))
+            .collect()
     }
 }
 
@@ -100,7 +114,11 @@ mod tests {
         for _ in 0..n {
             let a: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
             let inside = rng.gen_bool(0.5);
-            let r: f32 = if inside { rng.gen_range(0.0..0.8) } else { rng.gen_range(1.2..2.0) };
+            let r: f32 = if inside {
+                rng.gen_range(0.0..0.8)
+            } else {
+                rng.gen_range(1.2..2.0)
+            };
             rows.push(vec![r * a.cos(), r * a.sin()]);
             y.push(usize::from(inside));
         }
@@ -135,7 +153,8 @@ mod tests {
             crate::metrics::BinaryMetrics::from_predictions(&y, &small.predict(&x)).accuracy;
         let mut big = GradientBoosting::new(80);
         big.fit(&x, &y);
-        let acc_big = crate::metrics::BinaryMetrics::from_predictions(&y, &big.predict(&x)).accuracy;
+        let acc_big =
+            crate::metrics::BinaryMetrics::from_predictions(&y, &big.predict(&x)).accuracy;
         assert!(acc_big >= acc_small, "{acc_big} < {acc_small}");
     }
 }

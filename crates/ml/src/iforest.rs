@@ -7,8 +7,15 @@ use rand::{Rng, SeedableRng};
 
 #[derive(Clone, Debug)]
 enum ITree {
-    Leaf { size: usize },
-    Split { feature: usize, threshold: f32, left: Box<ITree>, right: Box<ITree> },
+    Leaf {
+        size: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<ITree>,
+        right: Box<ITree>,
+    },
 }
 
 /// Isolation-forest anomaly detector.
@@ -66,7 +73,12 @@ fn grow(x: &Matrix, idx: &[usize], depth: usize, max_depth: usize, rng: &mut Std
 fn path_length(tree: &ITree, row: &[f32], depth: f64) -> f64 {
     match tree {
         ITree::Leaf { size } => depth + c_factor(*size),
-        ITree::Split { feature, threshold, left, right } => {
+        ITree::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
             if row[*feature] < *threshold {
                 path_length(left, row, depth + 1.0)
             } else {
@@ -78,7 +90,14 @@ fn path_length(tree: &ITree, row: &[f32], depth: f64) -> f64 {
 
 impl IsolationForest {
     pub fn new(n_trees: usize) -> Self {
-        Self { n_trees, subsample: 128, threshold: 0.55, seed: 0, trees: Vec::new(), sample_size: 0 }
+        Self {
+            n_trees,
+            subsample: 128,
+            threshold: 0.55,
+            seed: 0,
+            trees: Vec::new(),
+            sample_size: 0,
+        }
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -136,7 +155,10 @@ mod tests {
         Matrix::from_rows(
             &(0..n)
                 .map(|_| {
-                    vec![center + rng.gen_range(-0.5f32..0.5), center + rng.gen_range(-0.5f32..0.5)]
+                    vec![
+                        center + rng.gen_range(-0.5f32..0.5),
+                        center + rng.gen_range(-0.5f32..0.5),
+                    ]
                 })
                 .collect::<Vec<_>>(),
         )

@@ -16,7 +16,12 @@ pub struct KMeans {
 impl KMeans {
     pub fn new(k: usize) -> Self {
         assert!(k >= 1);
-        Self { k, max_iter: 100, seed: 0, centroids: Matrix::zeros(0, 0) }
+        Self {
+            k,
+            max_iter: 100,
+            seed: 0,
+            centroids: Matrix::zeros(0, 0),
+        }
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -65,7 +70,7 @@ impl KMeans {
         let mut assign = vec![0usize; x.rows()];
         for _ in 0..self.max_iter {
             let mut changed = false;
-            for r in 0..x.rows() {
+            for (r, slot) in assign.iter_mut().enumerate() {
                 let best = (0..self.k)
                     .min_by(|&a, &b| {
                         Self::sq_dist(x.row(r), self.centroids.row(a))
@@ -73,8 +78,8 @@ impl KMeans {
                             .unwrap()
                     })
                     .unwrap_or(0);
-                if assign[r] != best {
-                    assign[r] = best;
+                if *slot != best {
+                    *slot = best;
                     changed = true;
                 }
             }
@@ -87,9 +92,9 @@ impl KMeans {
                     *s += v;
                 }
             }
-            for c in 0..self.k {
-                if counts[c] > 0 {
-                    let inv = 1.0 / counts[c] as f32;
+            for (c, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    let inv = 1.0 / count as f32;
                     for v in sums.row_mut(c) {
                         *v *= inv;
                     }
@@ -134,10 +139,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut rows = Vec::new();
         for _ in 0..50 {
-            rows.push(vec![rng.gen_range(-0.5f32..0.5), rng.gen_range(-0.5f32..0.5)]);
+            rows.push(vec![
+                rng.gen_range(-0.5f32..0.5),
+                rng.gen_range(-0.5f32..0.5),
+            ]);
         }
         for _ in 0..50 {
-            rows.push(vec![10.0 + rng.gen_range(-0.5f32..0.5), rng.gen_range(-0.5f32..0.5)]);
+            rows.push(vec![
+                10.0 + rng.gen_range(-0.5f32..0.5),
+                rng.gen_range(-0.5f32..0.5),
+            ]);
         }
         let x = Matrix::from_rows(&rows);
         let mut km = KMeans::new(2).with_seed(3);

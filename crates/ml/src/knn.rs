@@ -16,7 +16,12 @@ pub struct Knn {
 impl Knn {
     pub fn new(k: usize) -> Self {
         assert!(k >= 1);
-        Self { k, class_weights: None, train_x: Matrix::zeros(0, 0), train_y: Vec::new() }
+        Self {
+            k,
+            class_weights: None,
+            train_x: Matrix::zeros(0, 0),
+            train_y: Vec::new(),
+        }
     }
 
     fn vote(&self, row: &[f32]) -> (usize, f32) {
@@ -47,7 +52,11 @@ impl Knn {
             .map(|(i, _)| i)
             .unwrap_or(0);
         let total: f32 = votes.iter().sum();
-        let score1 = if votes.len() > 1 && total > 0.0 { votes[1] / total } else { 0.0 };
+        let score1 = if votes.len() > 1 && total > 0.0 {
+            votes[1] / total
+        } else {
+            0.0
+        };
         (best, score1)
     }
 }

@@ -71,11 +71,19 @@ impl ConfusionMatrix {
     pub fn negative_f1(&self) -> f64 {
         let p = {
             let d = self.tn + self.fn_;
-            if d == 0 { 0.0 } else { self.tn as f64 / d as f64 }
+            if d == 0 {
+                0.0
+            } else {
+                self.tn as f64 / d as f64
+            }
         };
         let r = {
             let d = self.tn + self.fp;
-            if d == 0 { 0.0 } else { self.tn as f64 / d as f64 }
+            if d == 0 {
+                0.0
+            } else {
+                self.tn as f64 / d as f64
+            }
         };
         if p + r == 0.0 {
             0.0
@@ -109,7 +117,12 @@ pub struct BinaryMetrics {
 impl BinaryMetrics {
     pub fn from_predictions(y_true: &[usize], y_pred: &[usize]) -> Self {
         let m = ConfusionMatrix::from_predictions(y_true, y_pred);
-        Self { accuracy: m.accuracy(), precision: m.precision(), recall: m.recall(), f1: m.f1() }
+        Self {
+            accuracy: m.accuracy(),
+            precision: m.precision(),
+            recall: m.recall(),
+            f1: m.f1(),
+        }
     }
 
     /// Same, but with the paper's support-weighted F1.
@@ -171,7 +184,15 @@ mod tests {
         let y_true = [1, 1, 1, 0, 0];
         let y_pred = [1, 1, 0, 1, 0];
         let m = ConfusionMatrix::from_predictions(&y_true, &y_pred);
-        assert_eq!(m, ConfusionMatrix { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            m,
+            ConfusionMatrix {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((m.accuracy() - 0.6).abs() < 1e-9);
         assert!((m.precision() - 2.0 / 3.0).abs() < 1e-9);
         assert!((m.recall() - 2.0 / 3.0).abs() < 1e-9);
@@ -199,8 +220,18 @@ mod tests {
 
     #[test]
     fn mean_aggregation() {
-        let a = BinaryMetrics { accuracy: 1.0, precision: 0.5, recall: 1.0, f1: 0.5 };
-        let b = BinaryMetrics { accuracy: 0.0, precision: 0.5, recall: 0.0, f1: 0.5 };
+        let a = BinaryMetrics {
+            accuracy: 1.0,
+            precision: 0.5,
+            recall: 1.0,
+            f1: 0.5,
+        };
+        let b = BinaryMetrics {
+            accuracy: 0.0,
+            precision: 0.5,
+            recall: 0.0,
+            f1: 0.5,
+        };
         let m = BinaryMetrics::mean(&[a, b]);
         assert_eq!(m.accuracy, 0.5);
         assert_eq!(m.precision, 0.5);

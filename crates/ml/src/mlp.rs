@@ -53,14 +53,24 @@ impl MlpClassifier {
         dims.extend(&self.hidden);
         dims.push(2);
         for (l, w) in dims.windows(2).enumerate() {
-            let wid = self.params.add(format!("mlp.l{l}.w"), init::xavier_uniform(&mut rng, w[0], w[1]));
-            let bid = self.params.add(format!("mlp.l{l}.b"), Matrix::zeros(1, w[1]));
+            let wid = self.params.add(
+                format!("mlp.l{l}.w"),
+                init::xavier_uniform(&mut rng, w[0], w[1]),
+            );
+            let bid = self
+                .params
+                .add(format!("mlp.l{l}.b"), Matrix::zeros(1, w[1]));
             self.layer_ids.push((wid, bid));
         }
     }
 
     /// Forward pass, returning the logits var.
-    fn forward(&self, tape: &mut Tape, vars: &[glint_tensor::Var], x: &Matrix) -> glint_tensor::Var {
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        vars: &[glint_tensor::Var],
+        x: &Matrix,
+    ) -> glint_tensor::Var {
         let mut h = tape.constant(x.clone());
         let n_layers = self.layer_ids.len();
         for (l, (wid, bid)) in self.layer_ids.iter().enumerate() {

@@ -31,7 +31,15 @@ struct Rff {
 impl OneClassSvm {
     pub fn new(nu: f64) -> Self {
         assert!((0.0..1.0).contains(&nu));
-        Self { nu, gamma: 0.5, n_features: 64, seed: 0, proj: None, center: Vec::new(), radius: 0.0 }
+        Self {
+            nu,
+            gamma: 0.5,
+            n_features: 64,
+            seed: 0,
+            proj: None,
+            center: Vec::new(),
+            radius: 0.0,
+        }
     }
 
     fn featurize(&self, x: &Matrix) -> Matrix {
@@ -62,7 +70,9 @@ impl OneClassSvm {
                 })
                 .collect(),
         );
-        let b: Vec<f32> = (0..self.n_features).map(|_| rng.gen_range(0.0..std::f32::consts::TAU)).collect();
+        let b: Vec<f32> = (0..self.n_features)
+            .map(|_| rng.gen_range(0.0..std::f32::consts::TAU))
+            .collect();
         self.proj = Some(Rff { w, b });
         let phi = self.featurize(x);
         self.center = phi.mean_rows().into_vec();
@@ -77,7 +87,8 @@ impl OneClassSvm {
             })
             .collect();
         dists.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-        let q = (((1.0 - self.nu) * (dists.len() - 1) as f64).round() as usize).min(dists.len() - 1);
+        let q =
+            (((1.0 - self.nu) * (dists.len() - 1) as f64).round() as usize).min(dists.len() - 1);
         self.radius = dists[q];
     }
 
@@ -100,7 +111,10 @@ impl OneClassSvm {
 
     /// scikit-learn convention: +1 inlier, −1 anomaly.
     pub fn predict(&self, x: &Matrix) -> Vec<i32> {
-        self.anomaly_score(x).iter().map(|&s| if s > 0.0 { -1 } else { 1 }).collect()
+        self.anomaly_score(x)
+            .iter()
+            .map(|&s| if s > 0.0 { -1 } else { 1 })
+            .collect()
     }
 }
 
@@ -112,7 +126,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         Matrix::from_rows(
             &(0..n)
-                .map(|_| vec![center + rng.gen_range(-0.5f32..0.5), center + rng.gen_range(-0.5f32..0.5)])
+                .map(|_| {
+                    vec![
+                        center + rng.gen_range(-0.5f32..0.5),
+                        center + rng.gen_range(-0.5f32..0.5),
+                    ]
+                })
                 .collect::<Vec<_>>(),
         )
     }
@@ -137,8 +156,7 @@ mod tests {
         let train = cluster(200, 0.0, 4);
         let mut strict = OneClassSvm::new(0.3);
         strict.fit(&train);
-        let rejected =
-            strict.predict(&train).iter().filter(|&&p| p == -1).count() as f64 / 200.0;
+        let rejected = strict.predict(&train).iter().filter(|&&p| p == -1).count() as f64 / 200.0;
         assert!((rejected - 0.3).abs() < 0.1, "rejection rate {rejected}");
     }
 }

@@ -39,9 +39,8 @@ impl Pca {
             normalize(&mut v);
             for _ in 0..200 {
                 let mut next = vec![0.0f32; d];
-                for r in 0..d {
-                    let row = work.row(r);
-                    next[r] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+                for (r, nv) in next.iter_mut().enumerate() {
+                    *nv = work.row(r).iter().zip(&v).map(|(a, b)| a * b).sum();
                 }
                 let n = normalize(&mut next);
                 if n < 1e-12 {
@@ -55,8 +54,8 @@ impl Pca {
             }
             // eigenvalue for deflation
             let mut av = vec![0.0f32; d];
-            for r in 0..d {
-                av[r] = work.row(r).iter().zip(&v).map(|(a, b)| a * b).sum();
+            for (r, slot) in av.iter_mut().enumerate() {
+                *slot = work.row(r).iter().zip(&v).map(|(a, b)| a * b).sum();
             }
             let lambda: f32 = av.iter().zip(&v).map(|(a, b)| a * b).sum();
             components.row_mut(comp).copy_from_slice(&v);
@@ -68,7 +67,11 @@ impl Pca {
                 }
             }
         }
-        Self { n_components, mean, components }
+        Self {
+            n_components,
+            mean,
+            components,
+        }
     }
 
     /// Project points into the component space (n × n_components).
@@ -128,12 +131,19 @@ mod tests {
     #[test]
     fn components_are_orthonormal() {
         let mut rng = StdRng::seed_from_u64(2);
-        let rows: Vec<Vec<f32>> =
-            (0..100).map(|_| (0..5).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+        let rows: Vec<Vec<f32>> = (0..100)
+            .map(|_| (0..5).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
         let x = Matrix::from_rows(&rows);
         let pca = Pca::fit(&x, 3);
         for i in 0..3 {
-            let ni: f32 = pca.components().row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            let ni: f32 = pca
+                .components()
+                .row(i)
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt();
             assert!((ni - 1.0).abs() < 1e-3, "component {i} norm {ni}");
             for j in 0..i {
                 let dot: f32 = pca

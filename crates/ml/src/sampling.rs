@@ -16,7 +16,13 @@ pub fn class_weights(y: &[usize], n_classes: usize) -> Vec<f32> {
     let total = y.len().max(1) as f32;
     counts
         .iter()
-        .map(|&c| if c == 0 { 1.0 } else { total / (n_classes as f32 * c as f32) })
+        .map(|&c| {
+            if c == 0 {
+                1.0
+            } else {
+                total / (n_classes as f32 * c as f32)
+            }
+        })
         .collect()
 }
 
@@ -86,10 +92,9 @@ impl Scaler {
         assert_eq!(x.cols(), self.mean.len());
         let mut out = x.clone();
         for r in 0..out.rows() {
-            let cols = out.cols();
             let row = out.row_mut(r);
-            for c in 0..cols {
-                row[c] = (row[c] - self.mean[c]) / self.std[c];
+            for ((v, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
             }
         }
         out

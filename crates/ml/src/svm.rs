@@ -24,7 +24,14 @@ pub struct LinearSvc {
 
 impl LinearSvc {
     pub fn new() -> Self {
-        Self { lambda: 1e-4, epochs: 40, seed: 0, class_weights: None, w: Vec::new(), b: 0.0 }
+        Self {
+            lambda: 1e-4,
+            epochs: 40,
+            seed: 0,
+            class_weights: None,
+            w: Vec::new(),
+            b: 0.0,
+        }
     }
 
     pub fn with_lambda(mut self, lambda: f32) -> Self {
@@ -56,17 +63,23 @@ impl Default for LinearSvc {
 impl Classifier for LinearSvc {
     fn fit(&mut self, x: &Matrix, y: &[usize]) {
         assert_eq!(x.rows(), y.len());
-        let cw = self
-            .class_weights
-            .unwrap_or_else(|| {
-                let w = crate::sampling::class_weights(y, 2);
-                [w[0], w[1]]
-            });
+        let cw = self.class_weights.unwrap_or_else(|| {
+            let w = crate::sampling::class_weights(y, 2);
+            [w[0], w[1]]
+        });
         self.w = vec![0.0; x.cols()];
         self.b = 0.0;
         let mut order: Vec<usize> = (0..x.rows()).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut t: f32 = 1.0;
+        // tail averaging: the single final SGD iterate oscillates around the
+        // optimum, so the returned model averages the second half of training
+        let total_steps = self.epochs * x.rows();
+        let mut w_sum = vec![0.0f32; x.cols()];
+        let mut b_sum = 0.0f32;
+        let mut n_avg = 0usize;
+        let mut step_idx = 0usize;
+        let radius = 1.0 / self.lambda.sqrt();
         for _ in 0..self.epochs {
             order.shuffle(&mut rng);
             for &i in &order {
@@ -87,12 +100,36 @@ impl Classifier for LinearSvc {
                     }
                     self.b += step * 0.1; // slow bias learning
                 }
+                // Pegasos projection onto the ball ‖w‖ ≤ 1/√λ keeps the huge
+                // early steps (η = 1/λt) from dominating the trajectory
+                let norm = self.w.iter().map(|w| w * w).sum::<f32>().sqrt();
+                if norm > radius {
+                    let scale = radius / norm;
+                    for w in &mut self.w {
+                        *w *= scale;
+                    }
+                }
+                step_idx += 1;
+                if step_idx * 2 >= total_steps {
+                    for (s, w) in w_sum.iter_mut().zip(&self.w) {
+                        *s += w;
+                    }
+                    b_sum += self.b;
+                    n_avg += 1;
+                }
             }
+        }
+        if n_avg > 0 {
+            let inv = 1.0 / n_avg as f32;
+            self.w = w_sum.iter().map(|s| s * inv).collect();
+            self.b = b_sum * inv;
         }
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
-        (0..x.rows()).map(|i| usize::from(self.margin(x.row(i)) > 0.0)).collect()
+        (0..x.rows())
+            .map(|i| usize::from(self.margin(x.row(i)) > 0.0))
+            .collect()
     }
 
     fn decision_scores(&self, x: &Matrix) -> Vec<f32> {
@@ -113,7 +150,10 @@ mod tests {
         for i in 0..n {
             let c = i % 2;
             let cx = if c == 0 { -2.0 } else { 2.0 };
-            rows.push(vec![cx + rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)]);
+            rows.push(vec![
+                cx + rng.gen_range(-1.0f32..1.0),
+                rng.gen_range(-1.0f32..1.0),
+            ]);
             y.push(c);
         }
         (Matrix::from_rows(&rows), y)
@@ -136,23 +176,33 @@ mod tests {
         let mut y = Vec::new();
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..190 {
-            rows.push(vec![rng.gen_range(-3.0f32..0.5), rng.gen_range(-1.0f32..1.0)]);
+            rows.push(vec![
+                rng.gen_range(-3.0f32..0.5),
+                rng.gen_range(-1.0f32..1.0),
+            ]);
             y.push(0);
         }
         for _ in 0..10 {
-            rows.push(vec![rng.gen_range(-0.5f32..3.0), rng.gen_range(-1.0f32..1.0)]);
+            rows.push(vec![
+                rng.gen_range(-0.5f32..3.0),
+                rng.gen_range(-1.0f32..1.0),
+            ]);
             y.push(1);
         }
         let x = Matrix::from_rows(&rows);
         let mut weighted = LinearSvc::new();
         weighted.fit(&x, &y);
-        let rec_w = crate::metrics::BinaryMetrics::from_predictions(&y, &weighted.predict(&x)).recall;
+        let rec_w =
+            crate::metrics::BinaryMetrics::from_predictions(&y, &weighted.predict(&x)).recall;
         let mut unweighted = LinearSvc::new();
         unweighted.class_weights = Some([1.0, 1.0]);
         unweighted.fit(&x, &y);
         let rec_u =
             crate::metrics::BinaryMetrics::from_predictions(&y, &unweighted.predict(&x)).recall;
-        assert!(rec_w >= rec_u, "weighted recall {rec_w} < unweighted {rec_u}");
+        assert!(
+            rec_w >= rec_u,
+            "weighted recall {rec_w} < unweighted {rec_u}"
+        );
     }
 
     #[test]

@@ -8,8 +8,15 @@ use rand::seq::SliceRandom;
 /// A binary tree node stored in an arena.
 #[derive(Clone, Debug)]
 enum NodeKind {
-    Leaf { value: f32 },
-    Split { feature: usize, threshold: f32, left: usize, right: usize },
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// Tree growth hyper-parameters.
@@ -23,7 +30,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 12, min_samples_split: 2, max_features: None }
+        Self {
+            max_depth: 12,
+            min_samples_split: 2,
+            max_features: None,
+        }
     }
 }
 
@@ -66,10 +77,19 @@ impl Tree {
     ) -> Self {
         assert_eq!(x.rows(), y.len());
         assert_eq!(y.len(), w.len());
-        let mut grower = Grower { x, y, w, config, criterion, nodes: Vec::new() };
-        let mut indices = idx.to_vec();
-        grower.grow(&mut indices, 0, rng);
-        Tree { nodes: grower.nodes }
+        let mut grower = Grower {
+            x,
+            y,
+            w,
+            config,
+            criterion,
+            nodes: Vec::new(),
+        };
+        let indices = idx.to_vec();
+        grower.grow(&indices, 0, rng);
+        Tree {
+            nodes: grower.nodes,
+        }
     }
 
     /// Predict the leaf value for one row.
@@ -78,8 +98,17 @@ impl Tree {
         loop {
             match &self.nodes[cur] {
                 NodeKind::Leaf { value } => return *value,
-                NodeKind::Split { feature, threshold, left, right } => {
-                    cur = if row[*feature] <= *threshold { *left } else { *right };
+                NodeKind::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -98,7 +127,9 @@ impl Tree {
         fn rec(nodes: &[NodeKind], i: usize) -> usize {
             match &nodes[i] {
                 NodeKind::Leaf { .. } => 1,
-                NodeKind::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+                NodeKind::Split { left, right, .. } => {
+                    1 + rec(nodes, *left).max(rec(nodes, *right))
+                }
             }
         }
         rec(&self.nodes, 0)
@@ -134,9 +165,11 @@ impl Grower<'_> {
         }
     }
 
-    fn grow(&mut self, idx: &mut Vec<usize>, depth: usize, rng: &mut StdRng) -> usize {
+    fn grow(&mut self, idx: &[usize], depth: usize, rng: &mut StdRng) -> usize {
         let node_id = self.nodes.len();
-        self.nodes.push(NodeKind::Leaf { value: self.leaf_value(idx) });
+        self.nodes.push(NodeKind::Leaf {
+            value: self.leaf_value(idx),
+        });
         if depth >= self.config.max_depth || idx.len() < self.config.min_samples_split {
             return node_id;
         }
@@ -159,7 +192,7 @@ impl Grower<'_> {
             return node_id; // pure node
         }
         let mut best: Option<(f32, usize, f32)> = None; // (gain, feature, threshold)
-        let mut order = idx.clone();
+        let mut order = idx.to_vec();
         for &f in &features {
             order.sort_unstable_by(|&a, &b| {
                 self.x.get(a, f).partial_cmp(&self.x.get(b, f)).unwrap()
@@ -175,8 +208,7 @@ impl Grower<'_> {
                 if xn <= xv {
                     continue; // no split point between equal values
                 }
-                let imp = self.impurity(wl, yl, y2l)
-                    + self.impurity(wt - wl, yt - yl, y2t - y2l);
+                let imp = self.impurity(wl, yl, y2l) + self.impurity(wt - wl, yt - yl, y2t - y2l);
                 let gain = parent_imp - imp;
                 // like sklearn: any valid split of an impure node is allowed
                 // (zero-gain splits let depth-2 structures such as XOR
@@ -189,14 +221,20 @@ impl Grower<'_> {
         let Some((_, feature, threshold)) = best else {
             return node_id;
         };
-        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
-            idx.iter().partition(|&&i| self.x.get(i, feature) <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&i| self.x.get(i, feature) <= threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             return node_id;
         }
-        let left = self.grow(&mut left_idx, depth + 1, rng);
-        let right = self.grow(&mut right_idx, depth + 1, rng);
-        self.nodes[node_id] = NodeKind::Split { feature, threshold, left, right };
+        let left = self.grow(&left_idx, depth + 1, rng);
+        let right = self.grow(&right_idx, depth + 1, rng);
+        self.nodes[node_id] = NodeKind::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_id
     }
 }
@@ -223,10 +261,18 @@ mod tests {
         let w = vec![1.0; 4];
         let idx: Vec<usize> = (0..4).collect();
         let mut rng = StdRng::seed_from_u64(0);
-        let tree = Tree::fit(&x, &y, &w, &idx, TreeConfig::default(), Criterion::Gini, &mut rng);
-        for i in 0..4 {
+        let tree = Tree::fit(
+            &x,
+            &y,
+            &w,
+            &idx,
+            TreeConfig::default(),
+            Criterion::Gini,
+            &mut rng,
+        );
+        for (i, &label) in y.iter().enumerate() {
             let p = tree.predict_row(x.row(i));
-            assert_eq!((p > 0.5) as i32 as f32, y[i], "row {i}: {p}");
+            assert_eq!((p > 0.5) as i32 as f32, label, "row {i}: {p}");
         }
     }
 
@@ -236,7 +282,10 @@ mod tests {
         let w = vec![1.0; 4];
         let idx: Vec<usize> = (0..4).collect();
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
         let tree = Tree::fit(&x, &y, &w, &idx, cfg, Criterion::Gini, &mut rng);
         assert!(tree.depth() <= 2);
     }
@@ -248,7 +297,15 @@ mod tests {
         let w = vec![1.0; 5];
         let idx: Vec<usize> = (0..5).collect();
         let mut rng = StdRng::seed_from_u64(0);
-        let tree = Tree::fit(&x, &y, &w, &idx, TreeConfig::default(), Criterion::Variance, &mut rng);
+        let tree = Tree::fit(
+            &x,
+            &y,
+            &w,
+            &idx,
+            TreeConfig::default(),
+            Criterion::Variance,
+            &mut rng,
+        );
         assert!((tree.predict_row(&[1.5]) - 1.0).abs() < 1e-5);
         assert!((tree.predict_row(&[10.5]) - 5.0).abs() < 1e-5);
     }
@@ -260,7 +317,15 @@ mod tests {
         let w = vec![1.0; 3];
         let idx: Vec<usize> = (0..3).collect();
         let mut rng = StdRng::seed_from_u64(0);
-        let tree = Tree::fit(&x, &y, &w, &idx, TreeConfig::default(), Criterion::Gini, &mut rng);
+        let tree = Tree::fit(
+            &x,
+            &y,
+            &w,
+            &idx,
+            TreeConfig::default(),
+            Criterion::Gini,
+            &mut rng,
+        );
         assert_eq!(tree.n_nodes(), 1);
     }
 
@@ -271,7 +336,15 @@ mod tests {
         let w = vec![1.0, 9.0];
         let idx: Vec<usize> = vec![0, 1];
         let mut rng = StdRng::seed_from_u64(0);
-        let tree = Tree::fit(&x, &y, &w, &idx, TreeConfig::default(), Criterion::Gini, &mut rng);
+        let tree = Tree::fit(
+            &x,
+            &y,
+            &w,
+            &idx,
+            TreeConfig::default(),
+            Criterion::Gini,
+            &mut rng,
+        );
         assert!((tree.predict_row(&[0.0]) - 0.9).abs() < 1e-5);
     }
 }

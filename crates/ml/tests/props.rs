@@ -104,11 +104,11 @@ proptest! {
         let x = Matrix::from_rows(&rows);
         let mut km = KMeans::new(2).with_seed(seed);
         let assign = km.fit(&x);
-        for r in 0..x.rows() {
+        for (r, &cluster) in assign.iter().enumerate() {
             let d = |c: usize| -> f32 {
                 x.row(r).iter().zip(km.centroids().row(c)).map(|(a, b)| (a - b) * (a - b)).sum()
             };
-            prop_assert!(d(assign[r]) <= d(1 - assign[r]) + 1e-5);
+            prop_assert!(d(cluster) <= d(1 - cluster) + 1e-5);
         }
     }
 

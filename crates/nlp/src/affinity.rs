@@ -35,6 +35,30 @@ pub fn signed_channels(word: &str) -> Vec<(&'static str, i8)> {
     }
 }
 
+/// Channels a device concept *senses or reports* — the text-side analogue of
+/// watching a device state: a trigger about a door's state is (also) a
+/// trigger about the contact channel, a motion-sensor trigger is a motion
+/// trigger, and so on.
+pub fn sensed_channels(word: &str) -> Vec<&'static str> {
+    let concept = Lexicon::global().concept_of(word);
+    match concept.as_str() {
+        "motion_sensor" | "camera" => vec!["motion"],
+        "contact_sensor" | "door" | "window" | "garage_door" | "blinds" | "valve" | "lock_dev" => {
+            vec!["contact"]
+        }
+        "light" => vec!["illuminance"],
+        "tv" | "speaker" | "doorbell" => vec!["sound"],
+        "thermostat" | "temperature_sensor" => vec!["temperature"],
+        "humidity_sensor" => vec!["humidity"],
+        "smoke_alarm" => vec!["smoke", "sound"],
+        "alarm" => vec!["sound"],
+        "leak_sensor" => vec!["leak"],
+        "presence_sensor" => vec!["presence"],
+        "switch" | "plug" => vec!["power"],
+        _ => Vec::new(),
+    }
+}
+
 /// If the word *names* a channel ("temperature", "humidity", "motion"…),
 /// its channel concept.
 pub fn channel_concept(word: &str) -> Option<String> {
@@ -79,15 +103,24 @@ mod tests {
 
     #[test]
     fn device_channel_knowledge() {
-        assert!(signed_channels("oven").iter().any(|&(c, s)| c == "temperature" && s == 1));
-        assert!(signed_channels("air_conditioner").iter().any(|&(c, s)| c == "temperature" && s == -1));
-        assert!(signed_channels("roomba").iter().any(|&(c, _)| c == "motion"));
+        assert!(signed_channels("oven")
+            .iter()
+            .any(|&(c, s)| c == "temperature" && s == 1));
+        assert!(signed_channels("air_conditioner")
+            .iter()
+            .any(|&(c, s)| c == "temperature" && s == -1));
+        assert!(signed_channels("roomba")
+            .iter()
+            .any(|&(c, _)| c == "motion"));
         assert!(signed_channels("sunset").is_empty());
     }
 
     #[test]
     fn channel_nouns_resolve() {
-        assert_eq!(channel_concept("temperature").as_deref(), Some("temperature"));
+        assert_eq!(
+            channel_concept("temperature").as_deref(),
+            Some("temperature")
+        );
         assert_eq!(channel_concept("moisture").as_deref(), Some("humidity"));
         assert_eq!(channel_concept("light"), None, "devices are not channels");
     }

@@ -29,12 +29,18 @@ pub struct EmbeddingSpace {
 impl EmbeddingSpace {
     /// The 300-d word space (spaCy stand-in).
     pub fn word_space() -> Self {
-        Self { dim: crate::WORD_DIM, salt: 0x5ac1_77e5 }
+        Self {
+            dim: crate::WORD_DIM,
+            salt: 0x5ac1_77e5,
+        }
     }
 
     /// The 512-d sentence space (Universal Sentence Encoder stand-in).
     pub fn sentence_space() -> Self {
-        Self { dim: crate::SENTENCE_DIM, salt: 0x05e4_7e4c_0de5_u64 }
+        Self {
+            dim: crate::SENTENCE_DIM,
+            salt: 0x05e4_7e4c_0de5_u64,
+        }
     }
 
     /// A custom space (tests / ablations).
@@ -47,7 +53,9 @@ impl EmbeddingSpace {
     }
 
     fn unit_vec(&self, key: &str, kind: u64) -> Vec<f32> {
-        let seed = fnv1a(key) ^ self.salt.rotate_left(kind as u32 * 7 + 1) ^ kind.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let seed = fnv1a(key)
+            ^ self.salt.rotate_left(kind as u32 * 7 + 1)
+            ^ kind.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut v: Vec<f32> = (0..self.dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         normalize(&mut v);
@@ -211,7 +219,9 @@ fn concept_family(concept: &str) -> &str {
         "humidity" | "humidifier" | "dehumidifier" => "fam_humidity",
         "v_play" | "sound" | "speaker" | "tv" => "fam_media",
         "v_dim" | "v_brighten" | "light" | "illuminance" => "fam_light",
-        "v_arm" | "st_armed" | "v_disarm" | "st_disarmed" | "home_mode" | "st_home" | "st_away" => "fam_mode",
+        "v_arm" | "st_armed" | "v_disarm" | "st_disarmed" | "home_mode" | "st_home" | "st_away" => {
+            "fam_mode"
+        }
         "presence" | "presence_sensor" | "st_occupied" | "v_arrive" | "v_leave" => "fam_presence",
         "smoke" => "fam_alarm",
         "contact" | "contact_sensor" | "door" => "fam_door",
@@ -263,7 +273,8 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     if na < 1e-12 || nb < 1e-12 {
         0.0
     } else {
-        dot / (na * nb)
+        // rounding can push |dot| a few ulps past ‖a‖‖b‖ (e.g. a == b)
+        (dot / (na * nb)).clamp(-1.0, 1.0)
     }
 }
 
@@ -312,7 +323,10 @@ mod tests {
         let a = s.embed_text("If smoke is detected, open the window");
         let b = s.embed_text("Open the windows when the smoke alarm beeps");
         let c = s.embed_text("Play music in the living room at 3 pm");
-        assert!(cosine(&a, &b) > cosine(&a, &c), "related rule texts must be closer");
+        assert!(
+            cosine(&a, &b) > cosine(&a, &c),
+            "related rule texts must be closer"
+        );
     }
 
     #[test]

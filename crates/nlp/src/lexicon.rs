@@ -388,12 +388,16 @@ impl Lexicon {
 
     /// Concept id for a word, falling back to the word itself.
     pub fn concept_of(&self, word: &str) -> String {
-        self.lookup(word).map(|e| e.concept.to_string()).unwrap_or_else(|| word.to_string())
+        self.lookup(word)
+            .map(|e| e.concept.to_string())
+            .unwrap_or_else(|| word.to_string())
     }
 
     /// Category of a word (Misc when unknown).
     pub fn category(&self, word: &str) -> Category {
-        self.lookup(word).map(|e| e.category).unwrap_or(Category::Misc)
+        self.lookup(word)
+            .map(|e| e.category)
+            .unwrap_or(Category::Misc)
     }
 
     /// Known multi-word expressions, longest first: (merged_token, parts).
@@ -417,8 +421,12 @@ impl Lexicon {
 
     /// All words of a given category (used by corpus generation checks).
     pub fn words_in_category(&self, cat: Category) -> Vec<&'static str> {
-        let mut v: Vec<&'static str> =
-            self.entries.values().filter(|e| e.category == cat).map(|e| e.word).collect();
+        let mut v: Vec<&'static str> = self
+            .entries
+            .values()
+            .filter(|e| e.category == cat)
+            .map(|e| e.word)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -469,6 +477,10 @@ mod tests {
 
     #[test]
     fn vocabulary_is_substantial() {
-        assert!(Lexicon::global().len() > 200, "lexicon too small: {}", Lexicon::global().len());
+        assert!(
+            Lexicon::global().len() > 200,
+            "lexicon too small: {}",
+            Lexicon::global().len()
+        );
     }
 }

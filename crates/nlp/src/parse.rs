@@ -52,7 +52,13 @@ impl PhraseElements {
         }
         // time nouns shouldn't double as content nouns
         nouns.retain(|n| lex.category(n) != Category::Time);
-        Self { nouns, verbs, states, times, values }
+        Self {
+            nouns,
+            verbs,
+            states,
+            times,
+            values,
+        }
     }
 
     /// Is the clause empty of content?
@@ -85,7 +91,9 @@ fn is_action_verb(word: &str) -> bool {
 /// - "<action> if/when <trigger>"
 /// - "<action>" (no trigger — voice commands like "Alexa, play movies")
 fn split_clauses(tagged: &[Tagged]) -> (Vec<Tagged>, Vec<Tagged>) {
-    let marker_at = tagged.iter().position(|t| matches!(t.word.as_str(), "if" | "when" | "while"));
+    let marker_at = tagged
+        .iter()
+        .position(|t| matches!(t.word.as_str(), "if" | "when" | "while"));
     match marker_at {
         Some(0) => {
             // leading marker: trigger runs until "then" or the clause border
@@ -121,7 +129,11 @@ pub fn parse_rule(text: &str) -> ParsedRule {
         .find(|t| t.pos == Pos::Verb && lex.category(&t.word) == Category::Action)
         .or_else(|| act.iter().find(|t| t.pos == Pos::Verb))
         .map(|t| t.word.clone());
-    ParsedRule { trigger, action, root_verb }
+    ParsedRule {
+        trigger,
+        action,
+        root_verb,
+    }
 }
 
 #[cfg(test)]
@@ -131,16 +143,32 @@ mod tests {
     #[test]
     fn leading_if_then() {
         let p = parse_rule("If smoke is detected, then open the window");
-        assert!(p.trigger.nouns.contains(&"smoke".to_string()), "{:?}", p.trigger);
-        assert!(p.action.nouns.contains(&"window".to_string()), "{:?}", p.action);
+        assert!(
+            p.trigger.nouns.contains(&"smoke".to_string()),
+            "{:?}",
+            p.trigger
+        );
+        assert!(
+            p.action.nouns.contains(&"window".to_string()),
+            "{:?}",
+            p.action
+        );
         assert_eq!(p.root_verb.as_deref(), Some("open"));
     }
 
     #[test]
     fn leading_if_without_then() {
         let p = parse_rule("If the smoke alarm is beeping, open the window and unlock the door");
-        assert!(p.trigger.nouns.contains(&"smoke_alarm".to_string()), "{:?}", p.trigger);
-        assert!(p.action.nouns.contains(&"window".to_string()), "{:?}", p.action);
+        assert!(
+            p.trigger.nouns.contains(&"smoke_alarm".to_string()),
+            "{:?}",
+            p.trigger
+        );
+        assert!(
+            p.action.nouns.contains(&"window".to_string()),
+            "{:?}",
+            p.action
+        );
         assert!(p.action.nouns.contains(&"door".to_string()));
         assert!(p.action.verbs.contains(&"unlock".to_string()));
     }
@@ -148,7 +176,10 @@ mod tests {
     #[test]
     fn trailing_condition() {
         let p = parse_rule("Turn off lights if playing movies");
-        assert!(p.action.nouns.contains(&"light".to_string()) || p.action.nouns.contains(&"lights".to_string()));
+        assert!(
+            p.action.nouns.contains(&"light".to_string())
+                || p.action.nouns.contains(&"lights".to_string())
+        );
         assert_eq!(p.root_verb.as_deref(), Some("turn"));
         assert!(!p.trigger.is_empty());
     }
@@ -163,17 +194,30 @@ mod tests {
     #[test]
     fn when_marker_mid_sentence() {
         let p = parse_rule("Turn on the air conditioner when temperature is above 85°F");
-        assert!(p.action.nouns.contains(&"air_conditioner".to_string()), "{:?}", p.action);
-        assert!(p.trigger.nouns.contains(&"temperature".to_string()), "{:?}", p.trigger);
+        assert!(
+            p.action.nouns.contains(&"air_conditioner".to_string()),
+            "{:?}",
+            p.action
+        );
+        assert!(
+            p.trigger.nouns.contains(&"temperature".to_string()),
+            "{:?}",
+            p.trigger
+        );
         assert_eq!(p.trigger.values, vec![85.0]);
         assert!(p.trigger.states.contains(&"above".to_string()));
     }
 
     #[test]
     fn time_expressions_captured() {
-        let p = parse_rule("If the outdoor temperature is between 65 °F and 80 °F, open windows after sun rise");
+        let p = parse_rule(
+            "If the outdoor temperature is between 65 °F and 80 °F, open windows after sun rise",
+        );
         assert!(!p.trigger.values.is_empty());
-        assert!(p.action.times.contains(&"sun".to_string()) || p.trigger.times.contains(&"sun".to_string()));
+        assert!(
+            p.action.times.contains(&"sun".to_string())
+                || p.trigger.times.contains(&"sun".to_string())
+        );
     }
 
     #[test]

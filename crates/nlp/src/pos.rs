@@ -22,7 +22,11 @@ pub fn tag(tokens: &[Token]) -> Vec<Tagged> {
     let mut out = Vec::with_capacity(tokens.len());
     for (i, t) in tokens.iter().enumerate() {
         if t.value.is_some() {
-            out.push(Tagged { word: t.word.clone(), pos: Pos::Num, value: t.value });
+            out.push(Tagged {
+                word: t.word.clone(),
+                pos: Pos::Num,
+                value: t.value,
+            });
             continue;
         }
         let senses = lex.senses(&t.word);
@@ -33,7 +37,11 @@ pub fn tag(tokens: &[Token]) -> Vec<Tagged> {
         } else {
             disambiguate(&senses.iter().map(|e| e.pos).collect::<Vec<_>>(), tokens, i)
         };
-        out.push(Tagged { word: t.word.clone(), pos, value: None });
+        out.push(Tagged {
+            word: t.word.clone(),
+            pos,
+            value: None,
+        });
     }
     out
 }
@@ -44,11 +52,19 @@ fn disambiguate(options: &[Pos], tokens: &[Token], i: usize) -> Pos {
     let next = tokens.get(i + 1).map(|t| t.word.as_str());
     let has = |p: Pos| options.contains(&p);
     // after a determiner or preposition → noun reading ("the lock", "of water")
-    if matches!(prev, Some("the" | "a" | "an" | "this" | "that" | "of" | "my" | "your")) && has(Pos::Noun) {
+    if matches!(
+        prev,
+        Some("the" | "a" | "an" | "this" | "that" | "of" | "my" | "your")
+    ) && has(Pos::Noun)
+    {
         return Pos::Noun;
     }
     // after a copula → adjective/state reading ("door is open")
-    if matches!(prev, Some("is" | "are" | "was" | "were" | "becomes" | "stays")) && has(Pos::Adj) {
+    if matches!(
+        prev,
+        Some("is" | "are" | "was" | "were" | "becomes" | "stays")
+    ) && has(Pos::Adj)
+    {
         return Pos::Adj;
     }
     // sentence-initial or after then/and/to/comma-break → imperative verb
@@ -57,7 +73,11 @@ fn disambiguate(options: &[Pos], tokens: &[Token], i: usize) -> Pos {
     }
     // directly before a determiner or possessive → verb reading
     // ("…, open the window"; the comma itself is lost at tokenization)
-    if matches!(next, Some("the" | "a" | "an" | "my" | "your" | "all" | "every")) && has(Pos::Verb) {
+    if matches!(
+        next,
+        Some("the" | "a" | "an" | "my" | "your" | "all" | "every")
+    ) && has(Pos::Verb)
+    {
         return Pos::Verb;
     }
     // default: first listed sense
@@ -122,7 +142,9 @@ mod tests {
     #[test]
     fn numbers_are_num() {
         let tagged = tag(&tokenize("set temperature to 72 degrees"));
-        assert!(tagged.iter().any(|t| t.pos == Pos::Num && t.value == Some(72.0)));
+        assert!(tagged
+            .iter()
+            .any(|t| t.pos == Pos::Num && t.value == Some(72.0)));
     }
 
     #[test]

@@ -6,8 +6,8 @@ use std::sync::OnceLock;
 const STOPWORDS: &[&str] = &[
     "the", "a", "an", "if", "when", "then", "while", "and", "or", "in", "at", "to", "of", "for",
     "with", "it", "its", "is", "are", "be", "been", "was", "were", "this", "that", "these",
-    "those", "my", "your", "his", "her", "their", "our", "will", "would", "should", "can",
-    "could", "may", "might", "do", "does", "did", "have", "has", "had", "please",
+    "those", "my", "your", "his", "her", "their", "our", "will", "would", "should", "can", "could",
+    "may", "might", "do", "does", "did", "have", "has", "had", "please",
 ];
 
 fn set() -> &'static HashSet<&'static str> {

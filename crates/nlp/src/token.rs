@@ -12,11 +12,17 @@ pub struct Token {
 
 impl Token {
     pub fn word(w: impl Into<String>) -> Self {
-        Self { word: w.into(), value: None }
+        Self {
+            word: w.into(),
+            value: None,
+        }
     }
 
     pub fn number(w: impl Into<String>, v: f32) -> Self {
-        Self { word: w.into(), value: Some(v) }
+        Self {
+            word: w.into(),
+            value: Some(v),
+        }
     }
 }
 
@@ -113,7 +119,10 @@ mod tests {
     #[test]
     fn basic_sentence() {
         let toks = tokenize("Turn on the light if the door opens.");
-        assert_eq!(words(&toks), vec!["turn", "on", "the", "light", "if", "the", "door", "opens"]);
+        assert_eq!(
+            words(&toks),
+            vec!["turn", "on", "the", "light", "if", "the", "door", "opens"]
+        );
     }
 
     #[test]
@@ -138,7 +147,9 @@ mod tests {
     #[test]
     fn clock_times() {
         let toks = tokenize("Lock the door at 22:30");
-        assert!(toks.iter().any(|t| t.value.map_or(false, |v| (v - 22.5).abs() < 1e-3)));
+        assert!(toks
+            .iter()
+            .any(|t| t.value.is_some_and(|v| (v - 22.5).abs() < 1e-3)));
         assert!(words(&toks).contains(&"oclock"));
     }
 

@@ -218,9 +218,11 @@ pub fn hypernym_related(a: &str, b: &str) -> bool {
             }
             let anc_a = ancestors(&ca);
             let anc_b = ancestors(&cb);
-            if anc_a.iter().any(|x| *x == cb)
-                || anc_b.iter().any(|x| *x == ca)
-                || direct_parents(&ca).iter().any(|p| direct_parents(&cb).contains(p))
+            if anc_a.contains(&cb)
+                || anc_b.contains(&ca)
+                || direct_parents(&ca)
+                    .iter()
+                    .any(|p| direct_parents(&cb).contains(p))
             {
                 return true;
             }

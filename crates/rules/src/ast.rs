@@ -32,11 +32,16 @@ impl StateValue {
         use StateValue::*;
         matches!(
             (self, other),
-            (On, Off) | (Off, On)
-                | (Open, Closed) | (Closed, Open)
-                | (Locked, Unlocked) | (Unlocked, Locked)
-                | (Armed, Disarmed) | (Disarmed, Armed)
-                | (HomeMode, AwayMode) | (AwayMode, HomeMode)
+            (On, Off)
+                | (Off, On)
+                | (Open, Closed)
+                | (Closed, Open)
+                | (Locked, Unlocked)
+                | (Unlocked, Locked)
+                | (Armed, Disarmed)
+                | (Disarmed, Armed)
+                | (HomeMode, AwayMode)
+                | (AwayMode, HomeMode)
         )
     }
 
@@ -130,11 +135,24 @@ pub enum Trigger {
         state: StateValue,
     },
     /// A channel crosses a threshold ("temperature above 85°F").
-    ChannelThreshold { channel: Channel, location: Location, cmp: Cmp, value: f32 },
+    ChannelThreshold {
+        channel: Channel,
+        location: Location,
+        cmp: Cmp,
+        value: f32,
+    },
     /// A channel is inside a range ("between 65°F and 80°F").
-    ChannelRange { channel: Channel, location: Location, lo: f32, hi: f32 },
+    ChannelRange {
+        channel: Channel,
+        location: Location,
+        lo: f32,
+        hi: f32,
+    },
     /// A discrete channel event ("motion detected", "smoke detected").
-    ChannelEvent { channel: Channel, location: Location },
+    ChannelEvent {
+        channel: Channel,
+        location: Location,
+    },
     /// A scheduled time.
     Time(TimeSpec),
     /// A voice command ("Alexa, …").
@@ -150,7 +168,9 @@ impl Trigger {
             Trigger::ChannelThreshold { channel, .. }
             | Trigger::ChannelRange { channel, .. }
             | Trigger::ChannelEvent { channel, .. } => Some(*channel),
-            Trigger::DeviceState { device, attribute, .. } => device_state_channel(*device, *attribute),
+            Trigger::DeviceState {
+                device, attribute, ..
+            } => device_state_channel(*device, *attribute),
             _ => None,
         }
     }
@@ -172,7 +192,9 @@ impl Trigger {
 pub fn device_state_channel(device: DeviceKind, attribute: Attribute) -> Option<Channel> {
     use DeviceKind::*;
     match (device, attribute) {
-        (Door | Window | GarageDoor | Blinds | Valve, Attribute::OpenClose) => Some(Channel::Contact),
+        (Door | Window | GarageDoor | Blinds | Valve, Attribute::OpenClose) => {
+            Some(Channel::Contact)
+        }
         (Lock | Door, Attribute::LockState) => Some(Channel::Contact),
         (Light, Attribute::Power) => Some(Channel::Illuminance),
         (Alarm | SmokeAlarm, Attribute::Mode) => Some(Channel::HomeMode),
@@ -191,7 +213,12 @@ pub enum Condition {
         attribute: Attribute,
         state: StateValue,
     },
-    ChannelThreshold { channel: Channel, location: Location, cmp: Cmp, value: f32 },
+    ChannelThreshold {
+        channel: Channel,
+        location: Location,
+        cmp: Cmp,
+        value: f32,
+    },
     Time(TimeSpec),
     HomeMode(StateValue),
 }
@@ -207,7 +234,12 @@ pub enum Action {
         state: StateValue,
     },
     /// Set a continuous level ("set brightness to 100%").
-    SetLevel { device: DeviceKind, location: Location, attribute: Attribute, value: f32 },
+    SetLevel {
+        device: DeviceKind,
+        location: Location,
+        attribute: Attribute,
+        value: f32,
+    },
     /// Notify the user's phone.
     Notify,
     /// Take a camera snapshot.
@@ -218,9 +250,12 @@ impl Action {
     /// Target device, if the action touches one.
     pub fn device(&self) -> Option<(DeviceKind, Location)> {
         match self {
-            Action::SetState { device, location, .. } | Action::SetLevel { device, location, .. } => {
-                Some((*device, *location))
+            Action::SetState {
+                device, location, ..
             }
+            | Action::SetLevel {
+                device, location, ..
+            } => Some((*device, *location)),
             Action::Snapshot { location } => Some((DeviceKind::Camera, *location)),
             Action::Notify => None,
         }
@@ -244,7 +279,13 @@ pub struct Rule {
 impl Rule {
     /// Construct with no conditions.
     pub fn simple(id: u32, platform: Platform, trigger: Trigger, actions: Vec<Action>) -> Self {
-        Self { id: RuleId(id), platform, trigger, conditions: Vec::new(), actions }
+        Self {
+            id: RuleId(id),
+            platform,
+            trigger,
+            conditions: Vec::new(),
+            actions,
+        }
     }
 
     /// Devices this rule's actions touch.
@@ -260,7 +301,12 @@ mod tests {
     #[test]
     fn state_opposition_is_symmetric() {
         use StateValue::*;
-        for (a, b) in [(On, Off), (Open, Closed), (Locked, Unlocked), (Armed, Disarmed)] {
+        for (a, b) in [
+            (On, Off),
+            (Open, Closed),
+            (Locked, Unlocked),
+            (Armed, Disarmed),
+        ] {
             assert!(a.opposes(b) && b.opposes(a));
             assert_eq!(a.negated(), Some(b));
             assert_eq!(b.negated(), Some(a));
@@ -297,7 +343,10 @@ mod tests {
             state: StateValue::Open,
         };
         assert_eq!(t.channel(), Some(Channel::Contact));
-        let t2 = Trigger::ChannelEvent { channel: Channel::Smoke, location: Location::House };
+        let t2 = Trigger::ChannelEvent {
+            channel: Channel::Smoke,
+            location: Location::House,
+        };
         assert_eq!(t2.channel(), Some(Channel::Smoke));
         assert_eq!(Trigger::Voice.channel(), None);
     }
@@ -307,7 +356,10 @@ mod tests {
         let r = Rule::simple(
             1,
             Platform::Ifttt,
-            Trigger::ChannelEvent { channel: Channel::Smoke, location: Location::House },
+            Trigger::ChannelEvent {
+                channel: Channel::Smoke,
+                location: Location::House,
+            },
             vec![
                 Action::SetState {
                     device: DeviceKind::Window,
@@ -318,6 +370,9 @@ mod tests {
                 Action::Notify,
             ],
         );
-        assert_eq!(r.actuated_devices(), vec![(DeviceKind::Window, Location::Bedroom)]);
+        assert_eq!(
+            r.actuated_devices(),
+            vec![(DeviceKind::Window, Location::Bedroom)]
+        );
     }
 }

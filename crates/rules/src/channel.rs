@@ -28,7 +28,10 @@ pub enum Channel {
 impl Channel {
     /// Channels that are house-global: location does not gate coupling.
     pub fn is_global(self) -> bool {
-        matches!(self, Channel::Smoke | Channel::HomeMode | Channel::Weather | Channel::Notification)
+        matches!(
+            self,
+            Channel::Smoke | Channel::HomeMode | Channel::Weather | Channel::Notification
+        )
     }
 
     /// Channels nothing can trigger on (sinks).

@@ -27,15 +27,25 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        Self { scale: 0.01, per_platform_cap: 20_000, seed: 0x611_7 }
+        Self {
+            scale: 0.01,
+            per_platform_cap: 20_000,
+            seed: 0x6117,
+        }
     }
 }
 
 impl CorpusConfig {
     /// Read scale from the `GLINT_SCALE` env var (default 0.01).
     pub fn from_env() -> Self {
-        let scale = std::env::var("GLINT_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.01);
-        Self { scale, ..Self::default() }
+        let scale = std::env::var("GLINT_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.01);
+        Self {
+            scale,
+            ..Self::default()
+        }
     }
 
     /// Target rule count for a platform under this config (at least 30 so
@@ -54,7 +64,10 @@ pub struct CorpusGenerator {
 
 impl CorpusGenerator {
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), next_id: 0 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
     }
 
     fn fresh_id(&mut self) -> u32 {
@@ -100,7 +113,11 @@ impl CorpusGenerator {
         } else {
             self.sample_trigger()
         };
-        let n_actions = if platform.supports_multi_action() && self.rng.gen_bool(0.25) { 2 } else { 1 };
+        let n_actions = if platform.supports_multi_action() && self.rng.gen_bool(0.25) {
+            2
+        } else {
+            1
+        };
         let mut actions: Vec<Action> = (0..n_actions).map(|_| self.sample_action()).collect();
         // occasionally append a notification (common in crawled corpora)
         if self.rng.gen_bool(0.12) {
@@ -111,7 +128,13 @@ impl CorpusGenerator {
         } else {
             Vec::new()
         };
-        Rule { id: RuleId(self.fresh_id()), platform, trigger, conditions, actions }
+        Rule {
+            id: RuleId(self.fresh_id()),
+            platform,
+            trigger,
+            conditions,
+            actions,
+        }
     }
 
     fn sample_location(&mut self) -> Location {
@@ -120,7 +143,9 @@ impl CorpusGenerator {
         if self.rng.gen_bool(0.2) {
             Location::House
         } else {
-            *Location::rooms().choose(&mut self.rng).expect("rooms nonempty")
+            *Location::rooms()
+                .choose(&mut self.rng)
+                .expect("rooms nonempty")
         }
     }
 
@@ -129,15 +154,24 @@ impl CorpusGenerator {
     /// environment thresholds.
     pub fn sample_trigger(&mut self) -> Trigger {
         match self.rng.gen_range(0..12) {
-            0 | 1 | 2 => {
+            0..=2 => {
                 // device-state trigger on an actuatable device
                 let device = self.sample_actuator();
                 let (attribute, state) = self.sample_attr_state(device);
-                Trigger::DeviceState { device, location: self.sample_location(), attribute, state }
+                Trigger::DeviceState {
+                    device,
+                    location: self.sample_location(),
+                    attribute,
+                    state,
+                }
             }
             3 => {
                 let (channel, lo, hi) = self.sample_numeric_channel();
-                let cmp = if self.rng.gen_bool(0.5) { Cmp::Above } else { Cmp::Below };
+                let cmp = if self.rng.gen_bool(0.5) {
+                    Cmp::Above
+                } else {
+                    Cmp::Below
+                };
                 let value = self.rng.gen_range(lo..hi);
                 Trigger::ChannelThreshold {
                     channel,
@@ -151,7 +185,12 @@ impl CorpusGenerator {
                 let a = self.rng.gen_range(lo..hi).round();
                 let b = self.rng.gen_range(lo..hi).round();
                 let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                Trigger::ChannelRange { channel, location: self.sample_location(), lo, hi: hi + 1.0 }
+                Trigger::ChannelRange {
+                    channel,
+                    location: self.sample_location(),
+                    lo,
+                    hi: hi + 1.0,
+                }
             }
             5 | 6 => {
                 let channel = *[
@@ -164,9 +203,12 @@ impl CorpusGenerator {
                 ]
                 .choose(&mut self.rng)
                 .expect("nonempty");
-                Trigger::ChannelEvent { channel, location: self.sample_location() }
+                Trigger::ChannelEvent {
+                    channel,
+                    location: self.sample_location(),
+                }
             }
-            7 | 8 | 9 => Trigger::Time(self.sample_time()),
+            7..=9 => Trigger::Time(self.sample_time()),
             _ => Trigger::Manual,
         }
     }
@@ -225,9 +267,14 @@ impl CorpusGenerator {
                     StateValue::Unlocked
                 }
             }
-            Attribute::Mode => *[StateValue::Armed, StateValue::Disarmed, StateValue::HomeMode, StateValue::AwayMode]
-                .choose(&mut self.rng)
-                .expect("nonempty"),
+            Attribute::Mode => *[
+                StateValue::Armed,
+                StateValue::Disarmed,
+                StateValue::HomeMode,
+                StateValue::AwayMode,
+            ]
+            .choose(&mut self.rng)
+            .expect("nonempty"),
             Attribute::Level => StateValue::Level(self.rng.gen_range(1..100) as f32),
         };
         (attribute, state)
@@ -244,8 +291,18 @@ impl CorpusGenerator {
         let (attribute, state) = self.sample_attr_state(device);
         let location = self.sample_location();
         match state {
-            StateValue::Level(v) => Action::SetLevel { device, location, attribute, value: v },
-            s => Action::SetState { device, location, attribute, state: s },
+            StateValue::Level(v) => Action::SetLevel {
+                device,
+                location,
+                attribute,
+                value: v,
+            },
+            s => Action::SetState {
+                device,
+                location,
+                attribute,
+                state: s,
+            },
         }
     }
 
@@ -254,11 +311,20 @@ impl CorpusGenerator {
             0 => {
                 let device = self.sample_actuator();
                 let (attribute, state) = self.sample_attr_state(device);
-                Condition::DeviceState { device, location: self.sample_location(), attribute, state }
+                Condition::DeviceState {
+                    device,
+                    location: self.sample_location(),
+                    attribute,
+                    state,
+                }
             }
             1 => {
                 let (channel, lo, hi) = self.sample_numeric_channel();
-                let cmp = if self.rng.gen_bool(0.5) { Cmp::Above } else { Cmp::Below };
+                let cmp = if self.rng.gen_bool(0.5) {
+                    Cmp::Above
+                } else {
+                    Cmp::Below
+                };
                 Condition::ChannelThreshold {
                     channel,
                     location: self.sample_location(),
@@ -282,7 +348,11 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let cfg = CorpusConfig { scale: 0.001, per_platform_cap: 500, seed: 1 };
+        let cfg = CorpusConfig {
+            scale: 0.001,
+            per_platform_cap: 500,
+            seed: 1,
+        };
         let a = CorpusGenerator::generate_corpus(&cfg);
         let b = CorpusGenerator::generate_corpus(&cfg);
         assert_eq!(a, b);
@@ -290,7 +360,11 @@ mod tests {
 
     #[test]
     fn table2_proportions_hold() {
-        let cfg = CorpusConfig { scale: 0.01, per_platform_cap: 100_000, seed: 2 };
+        let cfg = CorpusConfig {
+            scale: 0.01,
+            per_platform_cap: 100_000,
+            seed: 2,
+        };
         let rules = CorpusGenerator::generate_corpus(&cfg);
         let count = |p: Platform| rules.iter().filter(|r| r.platform == p).count();
         // generated counts plus the seeded scenario rules per platform
@@ -300,29 +374,49 @@ mod tests {
             s.extend(crate::scenarios::table4_settings());
             s.iter().filter(|r| r.platform == p).count()
         };
-        assert_eq!(count(Platform::Ifttt), 3169 + scenario_count(Platform::Ifttt));
+        assert_eq!(
+            count(Platform::Ifttt),
+            3169 + scenario_count(Platform::Ifttt)
+        );
         assert_eq!(count(Platform::Alexa), 55 + scenario_count(Platform::Alexa));
-        assert_eq!(count(Platform::SmartThings), 30 + scenario_count(Platform::SmartThings));
-        assert_eq!(count(Platform::HomeAssistant), 30 + scenario_count(Platform::HomeAssistant));
+        assert_eq!(
+            count(Platform::SmartThings),
+            30 + scenario_count(Platform::SmartThings)
+        );
+        assert_eq!(
+            count(Platform::HomeAssistant),
+            30 + scenario_count(Platform::HomeAssistant)
+        );
     }
 
     #[test]
     fn platform_capabilities_respected() {
         let mut g = CorpusGenerator::new(3);
         let ifttt = g.generate_platform(Platform::Ifttt, 300);
-        assert!(ifttt.iter().all(|r| r.conditions.is_empty()), "IFTTT has no conditions");
+        assert!(
+            ifttt.iter().all(|r| r.conditions.is_empty()),
+            "IFTTT has no conditions"
+        );
         let alexa = g.generate_platform(Platform::Alexa, 300);
         let voice = alexa.iter().filter(|r| r.trigger == Trigger::Voice).count();
         assert!(voice > 150, "Alexa should be mostly voice rules: {voice}");
         assert!(alexa.iter().all(|r| {
             // multi-action not supported (but an appended Notify is allowed)
-            r.actions.iter().filter(|a| !matches!(a, Action::Notify)).count() <= 1
+            r.actions
+                .iter()
+                .filter(|a| !matches!(a, Action::Notify))
+                .count()
+                <= 1
         }));
     }
 
     #[test]
     fn rule_ids_are_unique() {
-        let cfg = CorpusConfig { scale: 0.002, per_platform_cap: 1000, seed: 4 };
+        let cfg = CorpusConfig {
+            scale: 0.002,
+            per_platform_cap: 1000,
+            seed: 4,
+        };
         let rules = CorpusGenerator::generate_corpus(&cfg);
         let ids: std::collections::HashSet<u32> = rules.iter().map(|r| r.id.0).collect();
         assert_eq!(ids.len(), rules.len());

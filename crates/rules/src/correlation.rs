@@ -44,11 +44,19 @@ pub fn effective_affects(device: DeviceKind, state: StateValue) -> Vec<(Channel,
 /// Channels on which an Increase/Pulse constitutes a discrete *event*
 /// ("motion detected", "smoke detected", "leak detected").
 fn is_event_channel(c: Channel) -> bool {
-    matches!(c, Channel::Motion | Channel::Smoke | Channel::Leak | Channel::Contact | Channel::Sound | Channel::Presence)
+    matches!(
+        c,
+        Channel::Motion
+            | Channel::Smoke
+            | Channel::Leak
+            | Channel::Contact
+            | Channel::Sound
+            | Channel::Presence
+    )
 }
 
 fn locations_couple(a: Location, b: Location, channel: Option<Channel>) -> bool {
-    if channel.map_or(false, Channel::is_global) {
+    if channel.is_some_and(Channel::is_global) {
         return true;
     }
     a.couples_with(b)
@@ -57,23 +65,41 @@ fn locations_couple(a: Location, b: Location, channel: Option<Channel>) -> bool 
 /// Does `action` invoke `trigger`? Returns the mediating path if so.
 pub fn action_invokes_trigger(action: &Action, trigger: &Trigger) -> Option<Via> {
     let (a_dev, a_loc, a_state) = match action {
-        Action::SetState { device, location, state, .. } => (*device, *location, *state),
-        Action::SetLevel { device, location, value, .. } => {
-            (*device, *location, StateValue::Level(*value))
-        }
+        Action::SetState {
+            device,
+            location,
+            state,
+            ..
+        } => (*device, *location, *state),
+        Action::SetLevel {
+            device,
+            location,
+            value,
+            ..
+        } => (*device, *location, StateValue::Level(*value)),
         // notifications and snapshots are sinks: nothing triggers on them
         Action::Notify | Action::Snapshot { .. } => return None,
     };
 
     match trigger {
-        Trigger::DeviceState { device, location, attribute, state } => {
+        Trigger::DeviceState {
+            device,
+            location,
+            attribute,
+            state,
+        } => {
             // direct watch: same device kind + coupled location + the action
             // drives the watched attribute to the watched state
             if *device == a_dev && locations_couple(a_loc, *location, None) {
                 let matches_state = match (action, state) {
-                    (Action::SetState { attribute: aa, state: as_, .. }, s) => {
-                        aa == attribute && as_ == s
-                    }
+                    (
+                        Action::SetState {
+                            attribute: aa,
+                            state: as_,
+                            ..
+                        },
+                        s,
+                    ) => aa == attribute && as_ == s,
                     (Action::SetLevel { attribute: aa, .. }, StateValue::Level(_)) => {
                         aa == attribute
                     }
@@ -89,14 +115,18 @@ pub fn action_invokes_trigger(action: &Action, trigger: &Trigger) -> Option<Via>
             channel_path(a_dev, a_loc, a_state, watched, *location, None)
         }
         Trigger::ChannelEvent { channel, location } => {
-            channel_path(a_dev, a_loc, a_state, *channel, *location, None).filter(|_| {
-                is_event_channel(*channel)
-            })
+            channel_path(a_dev, a_loc, a_state, *channel, *location, None)
+                .filter(|_| is_event_channel(*channel))
         }
-        Trigger::ChannelThreshold { channel, location, cmp, .. } => {
-            channel_path(a_dev, a_loc, a_state, *channel, *location, Some(*cmp))
-        }
-        Trigger::ChannelRange { channel, location, .. } => {
+        Trigger::ChannelThreshold {
+            channel,
+            location,
+            cmp,
+            ..
+        } => channel_path(a_dev, a_loc, a_state, *channel, *location, Some(*cmp)),
+        Trigger::ChannelRange {
+            channel, location, ..
+        } => {
             // moving the channel in either direction can enter the range
             channel_path(a_dev, a_loc, a_state, *channel, *location, None)
         }
@@ -121,13 +151,13 @@ fn channel_path(
         if c != channel {
             continue;
         }
-        let compatible = match (cmp, eff) {
-            (None, _) => true,
-            (Some(Cmp::Above), Effect::Increase | Effect::Pulse) => true,
-            (Some(Cmp::Below), Effect::Decrease) => true,
-            (Some(_), Effect::Set) => true,
-            _ => false,
-        };
+        let compatible = matches!(
+            (cmp, eff),
+            (None, _)
+                | (Some(Cmp::Above), Effect::Increase | Effect::Pulse)
+                | (Some(Cmp::Below), Effect::Decrease)
+                | (Some(_), Effect::Set)
+        );
         if compatible {
             return Some(Via::Channel(channel));
         }
@@ -138,7 +168,38 @@ fn channel_path(
 /// Does any action of `a` invoke the trigger of `b`? (Rule-level query used
 /// by the graph builder.)
 pub fn action_triggers(a: &Rule, b: &Rule) -> Option<Via> {
-    a.actions.iter().find_map(|act| action_invokes_trigger(act, &b.trigger))
+    a.actions
+        .iter()
+        .find_map(|act| action_invokes_trigger(act, &b.trigger))
+}
+
+/// Do `a`'s actions and `b`'s trigger reference an overlapping device/channel
+/// surface at all? A pair can overlap here and still be uncorrelated (wrong
+/// direction, incompatible state, uncoupled rooms) — those are the *hard
+/// negatives* a correlation classifier must learn to reject, as opposed to
+/// pairs about entirely unrelated devices.
+pub fn shares_surface(a: &Rule, b: &Rule) -> bool {
+    let mut devices = Vec::new();
+    let mut channels = Vec::new();
+    for act in &a.actions {
+        if let Action::SetState { device, .. } | Action::SetLevel { device, .. } = act {
+            devices.push(*device);
+            channels.extend(device.affects().iter().map(|&(c, _)| c));
+        }
+    }
+    match &b.trigger {
+        Trigger::DeviceState {
+            device, attribute, ..
+        } => {
+            devices.contains(device)
+                || crate::ast::device_state_channel(*device, *attribute)
+                    .is_some_and(|c| channels.contains(&c))
+        }
+        Trigger::ChannelEvent { channel, .. }
+        | Trigger::ChannelThreshold { channel, .. }
+        | Trigger::ChannelRange { channel, .. } => channels.contains(channel),
+        Trigger::Time(_) | Trigger::Voice | Trigger::Manual => false,
+    }
 }
 
 #[cfg(test)]
@@ -147,26 +208,49 @@ mod tests {
     use crate::device::Attribute;
     use crate::platform::Platform;
 
-    fn set(device: DeviceKind, location: Location, attribute: Attribute, state: StateValue) -> Action {
-        Action::SetState { device, location, attribute, state }
+    fn set(
+        device: DeviceKind,
+        location: Location,
+        attribute: Attribute,
+        state: StateValue,
+    ) -> Action {
+        Action::SetState {
+            device,
+            location,
+            attribute,
+            state,
+        }
     }
 
     #[test]
     fn direct_device_watch() {
         // "turn off lights" → "if all lights are turned off, lock the door"
-        let act = set(DeviceKind::Light, Location::LivingRoom, Attribute::Power, StateValue::Off);
+        let act = set(
+            DeviceKind::Light,
+            Location::LivingRoom,
+            Attribute::Power,
+            StateValue::Off,
+        );
         let trig = Trigger::DeviceState {
             device: DeviceKind::Light,
             location: Location::LivingRoom,
             attribute: Attribute::Power,
             state: StateValue::Off,
         };
-        assert_eq!(action_invokes_trigger(&act, &trig), Some(Via::Device(DeviceKind::Light)));
+        assert_eq!(
+            action_invokes_trigger(&act, &trig),
+            Some(Via::Device(DeviceKind::Light))
+        );
     }
 
     #[test]
     fn opposite_state_does_not_trigger() {
-        let act = set(DeviceKind::Light, Location::LivingRoom, Attribute::Power, StateValue::On);
+        let act = set(
+            DeviceKind::Light,
+            Location::LivingRoom,
+            Attribute::Power,
+            StateValue::On,
+        );
         let trig = Trigger::DeviceState {
             device: DeviceKind::Light,
             location: Location::LivingRoom,
@@ -174,20 +258,31 @@ mod tests {
             state: StateValue::Off,
         };
         // turning it ON cannot fire the "turned off" trigger directly…
-        assert_ne!(action_invokes_trigger(&act, &trig), Some(Via::Device(DeviceKind::Light)));
+        assert_ne!(
+            action_invokes_trigger(&act, &trig),
+            Some(Via::Device(DeviceKind::Light))
+        );
     }
 
     #[test]
     fn ac_on_feeds_temperature_below_threshold() {
         // "turn on AC" → "if temperature is below 60, close windows"
-        let act = set(DeviceKind::AirConditioner, Location::House, Attribute::Power, StateValue::On);
+        let act = set(
+            DeviceKind::AirConditioner,
+            Location::House,
+            Attribute::Power,
+            StateValue::On,
+        );
         let trig = Trigger::ChannelThreshold {
             channel: Channel::Temperature,
             location: Location::LivingRoom,
             cmp: Cmp::Below,
             value: 60.0,
         };
-        assert_eq!(action_invokes_trigger(&act, &trig), Some(Via::Channel(Channel::Temperature)));
+        assert_eq!(
+            action_invokes_trigger(&act, &trig),
+            Some(Via::Channel(Channel::Temperature))
+        );
         // …but it cannot push temperature ABOVE a threshold
         let trig_hi = Trigger::ChannelThreshold {
             channel: Channel::Temperature,
@@ -200,7 +295,12 @@ mod tests {
 
     #[test]
     fn heater_off_cools() {
-        let act = set(DeviceKind::Heater, Location::Bedroom, Attribute::Power, StateValue::Off);
+        let act = set(
+            DeviceKind::Heater,
+            Location::Bedroom,
+            Attribute::Power,
+            StateValue::Off,
+        );
         let trig = Trigger::ChannelThreshold {
             channel: Channel::Temperature,
             location: Location::Bedroom,
@@ -213,31 +313,61 @@ mod tests {
     #[test]
     fn vacuum_triggers_motion_sensor() {
         // the §4.7 "trigger intake" physical path
-        let act = set(DeviceKind::Vacuum, Location::Hallway, Attribute::Power, StateValue::On);
-        let trig = Trigger::ChannelEvent { channel: Channel::Motion, location: Location::Hallway };
-        assert_eq!(action_invokes_trigger(&act, &trig), Some(Via::Channel(Channel::Motion)));
+        let act = set(
+            DeviceKind::Vacuum,
+            Location::Hallway,
+            Attribute::Power,
+            StateValue::On,
+        );
+        let trig = Trigger::ChannelEvent {
+            channel: Channel::Motion,
+            location: Location::Hallway,
+        };
+        assert_eq!(
+            action_invokes_trigger(&act, &trig),
+            Some(Via::Channel(Channel::Motion))
+        );
         // motion does not carry across uncoupled rooms
-        let far = Trigger::ChannelEvent { channel: Channel::Motion, location: Location::Bedroom };
+        let far = Trigger::ChannelEvent {
+            channel: Channel::Motion,
+            location: Location::Bedroom,
+        };
         assert_eq!(action_invokes_trigger(&act, &far), None);
     }
 
     #[test]
     fn location_gating_respects_globals() {
         // smoke is global: oven in the kitchen can feed a house smoke trigger
-        let act = set(DeviceKind::Oven, Location::Kitchen, Attribute::Power, StateValue::On);
-        let trig = Trigger::ChannelEvent { channel: Channel::Smoke, location: Location::Bedroom };
+        let act = set(
+            DeviceKind::Oven,
+            Location::Kitchen,
+            Attribute::Power,
+            StateValue::On,
+        );
+        let trig = Trigger::ChannelEvent {
+            channel: Channel::Smoke,
+            location: Location::Bedroom,
+        };
         assert!(action_invokes_trigger(&act, &trig).is_some());
     }
 
     #[test]
     fn notify_is_a_sink() {
-        let trig = Trigger::ChannelEvent { channel: Channel::Sound, location: Location::House };
+        let trig = Trigger::ChannelEvent {
+            channel: Channel::Sound,
+            location: Location::House,
+        };
         assert_eq!(action_invokes_trigger(&Action::Notify, &trig), None);
     }
 
     #[test]
     fn time_and_voice_triggers_unreachable() {
-        let act = set(DeviceKind::Light, Location::Bedroom, Attribute::Power, StateValue::On);
+        let act = set(
+            DeviceKind::Light,
+            Location::Bedroom,
+            Attribute::Power,
+            StateValue::On,
+        );
         assert_eq!(action_invokes_trigger(&act, &Trigger::Voice), None);
         assert_eq!(
             action_invokes_trigger(&act, &Trigger::Time(crate::ast::TimeSpec::Sunset)),
@@ -251,7 +381,12 @@ mod tests {
             1,
             Platform::Alexa,
             Trigger::Voice,
-            vec![set(DeviceKind::Light, Location::LivingRoom, Attribute::Power, StateValue::Off)],
+            vec![set(
+                DeviceKind::Light,
+                Location::LivingRoom,
+                Attribute::Power,
+                StateValue::Off,
+            )],
         );
         let b = Rule::simple(
             2,
@@ -262,7 +397,12 @@ mod tests {
                 attribute: Attribute::Power,
                 state: StateValue::Off,
             },
-            vec![set(DeviceKind::Door, Location::Hallway, Attribute::LockState, StateValue::Locked)],
+            vec![set(
+                DeviceKind::Door,
+                Location::Hallway,
+                Attribute::LockState,
+                StateValue::Locked,
+            )],
         );
         assert!(action_triggers(&a, &b).is_some());
         assert!(action_triggers(&b, &a).is_none());

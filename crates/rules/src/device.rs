@@ -117,13 +117,18 @@ impl Location {
 
     pub fn all() -> &'static [Location] {
         use Location::*;
-        &[Kitchen, Bedroom, Bathroom, LivingRoom, Hallway, Garage, Garden, Office, Basement, Outdoor, House]
+        &[
+            Kitchen, Bedroom, Bathroom, LivingRoom, Hallway, Garage, Garden, Office, Basement,
+            Outdoor, House,
+        ]
     }
 
     /// Indoor rooms suitable for placing most devices.
     pub fn rooms() -> &'static [Location] {
         use Location::*;
-        &[Kitchen, Bedroom, Bathroom, LivingRoom, Hallway, Garage, Office, Basement]
+        &[
+            Kitchen, Bedroom, Bathroom, LivingRoom, Hallway, Garage, Office, Basement,
+        ]
     }
 }
 
@@ -181,7 +186,9 @@ impl DeviceKind {
             Door => &[OpenClose, LockState],
             Lock => &[LockState],
             Thermostat => &[Power, Level, Mode],
-            Heater | AirConditioner | Humidifier | Dehumidifier | Fan | Purifier | WaterHeater => &[Power, Level],
+            Heater | AirConditioner | Humidifier | Dehumidifier | Fan | Purifier | WaterHeater => {
+                &[Power, Level]
+            }
             Camera => &[Power, Recording],
             Vacuum | CoffeeMaker | Washer | Dryer | Dishwasher | Oven | Sprinkler => &[Power],
             Tv | Speaker => &[Power, Playing, Level],
@@ -222,12 +229,20 @@ impl DeviceKind {
         use Effect::*;
         match self {
             Light => &[(Illuminance, Increase)],
-            Window => &[(Temperature, Decrease), (Contact, Set), (AirQuality, Increase)],
+            Window => &[
+                (Temperature, Decrease),
+                (Contact, Set),
+                (AirQuality, Increase),
+            ],
             Door => &[(Contact, Set), (Motion, Pulse)],
             GarageDoor => &[(Contact, Set)],
             Lock => &[(Contact, Set)],
             Heater | WaterHeater => &[(Temperature, Increase), (Power, Increase)],
-            AirConditioner => &[(Temperature, Decrease), (Humidity, Decrease), (Power, Increase)],
+            AirConditioner => &[
+                (Temperature, Decrease),
+                (Humidity, Decrease),
+                (Power, Increase),
+            ],
             Thermostat => &[(Temperature, Increase)],
             Humidifier => &[(Humidity, Increase)],
             Dehumidifier => &[(Humidity, Decrease)],
@@ -242,7 +257,9 @@ impl DeviceKind {
             Valve => &[(Leak, Increase)],
             Blinds => &[(Illuminance, Decrease)],
             CoffeeMaker => &[(Power, Increase)],
-            Washer | Dryer | Dishwasher => &[(Sound, Increase), (Power, Increase), (Humidity, Increase)],
+            Washer | Dryer | Dishwasher => {
+                &[(Sound, Increase), (Power, Increase), (Humidity, Increase)]
+            }
             Camera => &[],
             Switch | Plug => &[(Power, Increase)],
             Purifier => &[(AirQuality, Decrease), (Power, Increase)],
@@ -258,18 +275,54 @@ impl DeviceKind {
 
     /// Actuatable devices (targets of actions).
     pub fn actuators() -> Vec<DeviceKind> {
-        Self::all().iter().copied().filter(|d| !d.is_sensor()).collect()
+        Self::all()
+            .iter()
+            .copied()
+            .filter(|d| !d.is_sensor())
+            .collect()
     }
 
     /// Every device kind.
     pub fn all() -> &'static [DeviceKind] {
         use DeviceKind::*;
         &[
-            Light, Window, Door, Lock, Thermostat, Heater, AirConditioner, Humidifier,
-            Dehumidifier, Fan, Camera, Vacuum, Tv, Oven, Alarm, SmokeAlarm, MotionSensor,
-            ContactSensor, PresenceSensor, TemperatureSensor, HumiditySensor, LeakSensor, Switch,
-            Plug, Speaker, Doorbell, Sprinkler, Valve, Blinds, GarageDoor, CoffeeMaker, Washer,
-            Dryer, Dishwasher, Button, WaterHeater, Purifier,
+            Light,
+            Window,
+            Door,
+            Lock,
+            Thermostat,
+            Heater,
+            AirConditioner,
+            Humidifier,
+            Dehumidifier,
+            Fan,
+            Camera,
+            Vacuum,
+            Tv,
+            Oven,
+            Alarm,
+            SmokeAlarm,
+            MotionSensor,
+            ContactSensor,
+            PresenceSensor,
+            TemperatureSensor,
+            HumiditySensor,
+            LeakSensor,
+            Switch,
+            Plug,
+            Speaker,
+            Doorbell,
+            Sprinkler,
+            Valve,
+            Blinds,
+            GarageDoor,
+            CoffeeMaker,
+            Washer,
+            Dryer,
+            Dishwasher,
+            Button,
+            WaterHeater,
+            Purifier,
         ]
     }
 }
@@ -290,7 +343,10 @@ mod tests {
         let ac: Vec<_> = DeviceKind::AirConditioner.affects().iter().collect();
         let heater: Vec<_> = DeviceKind::Heater.affects().iter().collect();
         let ac_t = ac.iter().find(|(c, _)| *c == Channel::Temperature).unwrap();
-        let h_t = heater.iter().find(|(c, _)| *c == Channel::Temperature).unwrap();
+        let h_t = heater
+            .iter()
+            .find(|(c, _)| *c == Channel::Temperature)
+            .unwrap();
         assert!(ac_t.1.opposes(h_t.1));
     }
 

@@ -12,11 +12,22 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum EventKind {
     /// A device attribute changed ("Door is locked").
-    DeviceState { device: DeviceKind, location: Location, state: StateValue },
+    DeviceState {
+        device: DeviceKind,
+        location: Location,
+        state: StateValue,
+    },
     /// A channel reading ("Temperature is 86°F").
-    ChannelReading { channel: Channel, location: Location, value: f32 },
+    ChannelReading {
+        channel: Channel,
+        location: Location,
+        value: f32,
+    },
     /// A discrete channel event ("Smoke alarm is beeping").
-    ChannelEvent { channel: Channel, location: Location },
+    ChannelEvent {
+        channel: Channel,
+        location: Location,
+    },
     /// A rule fired (attributed to a platform when known).
     RuleFired { rule_id: u32 },
 }
@@ -33,7 +44,11 @@ pub struct EventRecord {
 
 impl EventRecord {
     pub fn new(timestamp: f64, kind: EventKind) -> Self {
-        Self { timestamp, kind, platform: None }
+        Self {
+            timestamp,
+            kind,
+            platform: None,
+        }
     }
 
     pub fn with_platform(mut self, p: crate::platform::Platform) -> Self {
@@ -85,7 +100,9 @@ impl EventLog {
 
     /// Records inside a closed time window.
     pub fn window(&self, from: f64, to: f64) -> impl Iterator<Item = &EventRecord> {
-        self.records.iter().filter(move |r| r.timestamp >= from && r.timestamp <= to)
+        self.records
+            .iter()
+            .filter(move |r| r.timestamp >= from && r.timestamp <= to)
     }
 }
 
@@ -113,7 +130,10 @@ mod tests {
     fn windowing() {
         let mut log = EventLog::new();
         for t in 0..10 {
-            log.push(EventRecord::new(t as f64, EventKind::RuleFired { rule_id: t }));
+            log.push(EventRecord::new(
+                t as f64,
+                EventKind::RuleFired { rule_id: t },
+            ));
         }
         assert_eq!(log.window(3.0, 6.0).count(), 4);
     }

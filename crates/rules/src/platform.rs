@@ -59,7 +59,10 @@ impl Platform {
 
     /// Does the platform support multiple actions per rule?
     pub fn supports_multi_action(self) -> bool {
-        matches!(self, Platform::Ifttt | Platform::SmartThings | Platform::HomeAssistant)
+        matches!(
+            self,
+            Platform::Ifttt | Platform::SmartThings | Platform::HomeAssistant
+        )
     }
 
     /// Paper Table 2 rule counts (the full-scale corpus targets).

@@ -46,7 +46,7 @@ fn action_verb(attribute: Attribute, state: StateValue) -> &'static str {
 }
 
 fn device_phrase(device: DeviceKind, location: Location, variant: u32) -> String {
-    if location == Location::House || variant % 2 == 0 {
+    if location == Location::House || variant.is_multiple_of(2) {
         format!("the {}", device.noun())
     } else {
         format!("the {} {}", location.noun(), device.noun())
@@ -54,7 +54,7 @@ fn device_phrase(device: DeviceKind, location: Location, variant: u32) -> String
 }
 
 fn channel_scope(channel: Channel, location: Location, variant: u32) -> String {
-    if channel.is_global() || location == Location::House || variant % 3 == 0 {
+    if channel.is_global() || location == Location::House || variant.is_multiple_of(3) {
         channel.noun().to_string()
     } else if location == Location::Outdoor {
         format!("outdoor {}", channel.noun())
@@ -66,7 +66,12 @@ fn channel_scope(channel: Channel, location: Location, variant: u32) -> String {
 /// Render a trigger clause (no leading marker word).
 pub fn render_trigger(trigger: &Trigger, variant: u32) -> String {
     match trigger {
-        Trigger::DeviceState { device, location, attribute, state } => {
+        Trigger::DeviceState {
+            device,
+            location,
+            attribute,
+            state,
+        } => {
             let dev = device_phrase(*device, *location, variant);
             match (attribute, state, variant % 2) {
                 (Attribute::OpenClose, StateValue::Open, 0) => format!("{dev} opens"),
@@ -74,7 +79,12 @@ pub fn render_trigger(trigger: &Trigger, variant: u32) -> String {
                 _ => format!("{dev} is {}", state_word(*attribute, *state)),
             }
         }
-        Trigger::ChannelThreshold { channel, location, cmp, value } => {
+        Trigger::ChannelThreshold {
+            channel,
+            location,
+            cmp,
+            value,
+        } => {
             let scope = channel_scope(*channel, *location, variant);
             let dir = match cmp {
                 Cmp::Above => "above",
@@ -83,7 +93,12 @@ pub fn render_trigger(trigger: &Trigger, variant: u32) -> String {
             let unit = unit_for(*channel);
             format!("the {scope} is {dir} {value:.0}{unit}")
         }
-        Trigger::ChannelRange { channel, location, lo, hi } => {
+        Trigger::ChannelRange {
+            channel,
+            location,
+            lo,
+            hi,
+        } => {
             let scope = channel_scope(*channel, *location, variant);
             let unit = unit_for(*channel);
             format!("the {scope} is between {lo:.0}{unit} and {hi:.0}{unit}")
@@ -97,7 +112,7 @@ pub fn render_trigger(trigger: &Trigger, variant: u32) -> String {
                 }
             }
             Channel::Smoke => {
-                if variant % 2 == 0 {
+                if variant.is_multiple_of(2) {
                     "smoke is detected".into()
                 } else {
                     "the smoke alarm is beeping".into()
@@ -105,7 +120,7 @@ pub fn render_trigger(trigger: &Trigger, variant: u32) -> String {
             }
             Channel::Leak => "a water leak is detected".into(),
             Channel::Presence => {
-                if variant % 2 == 0 {
+                if variant.is_multiple_of(2) {
                     "somebody arrives home".into()
                 } else {
                     "presence is detected".into()
@@ -149,7 +164,12 @@ fn render_time(spec: &TimeSpec) -> String {
 /// Render an action clause (imperative form).
 pub fn render_action(action: &Action, variant: u32) -> String {
     match action {
-        Action::SetState { device, location, attribute, state } => {
+        Action::SetState {
+            device,
+            location,
+            attribute,
+            state,
+        } => {
             let verb = action_verb(*attribute, *state);
             let dev = device_phrase(*device, *location, variant);
             if *attribute == Attribute::Mode {
@@ -162,20 +182,34 @@ pub fn render_action(action: &Action, variant: u32) -> String {
                 format!("{verb} {dev}")
             }
         }
-        Action::SetLevel { device, location, attribute, value } => {
+        Action::SetLevel {
+            device,
+            location,
+            attribute,
+            value,
+        } => {
             let dev = device_phrase(*device, *location, variant);
             match attribute {
                 Attribute::Level if *device == DeviceKind::Light => {
                     format!("set {dev} brightness to {value:.0}%")
                 }
-                Attribute::Level if matches!(device, DeviceKind::Thermostat | DeviceKind::Heater | DeviceKind::Oven | DeviceKind::AirConditioner | DeviceKind::WaterHeater) => {
+                Attribute::Level
+                    if matches!(
+                        device,
+                        DeviceKind::Thermostat
+                            | DeviceKind::Heater
+                            | DeviceKind::Oven
+                            | DeviceKind::AirConditioner
+                            | DeviceKind::WaterHeater
+                    ) =>
+                {
                     format!("set {dev} temperature to {value:.0}°F")
                 }
                 _ => format!("set {dev} to {value:.0}"),
             }
         }
         Action::Notify => {
-            if variant % 2 == 0 {
+            if variant.is_multiple_of(2) {
                 "send a notification".into()
             } else {
                 "notify me".into()
@@ -193,11 +227,21 @@ pub fn render_action(action: &Action, variant: u32) -> String {
 
 fn render_condition(cond: &Condition, variant: u32) -> String {
     match cond {
-        Condition::DeviceState { device, location, attribute, state } => {
+        Condition::DeviceState {
+            device,
+            location,
+            attribute,
+            state,
+        } => {
             let dev = device_phrase(*device, *location, variant);
             format!("{dev} is {}", state_word(*attribute, *state))
         }
-        Condition::ChannelThreshold { channel, location, cmp, value } => {
+        Condition::ChannelThreshold {
+            channel,
+            location,
+            cmp,
+            value,
+        } => {
             let scope = channel_scope(*channel, *location, variant);
             let dir = match cmp {
                 Cmp::Above => "above",
@@ -207,7 +251,10 @@ fn render_condition(cond: &Condition, variant: u32) -> String {
         }
         Condition::Time(spec) => render_time(spec),
         Condition::HomeMode(state) => {
-            format!("the home is in {} state", state_word(Attribute::Mode, *state))
+            format!(
+                "the home is in {} state",
+                state_word(Attribute::Mode, *state)
+            )
         }
     }
 }
@@ -219,10 +266,22 @@ pub fn render_rule(rule: &Rule) -> String {
     let action_str = match actions.len() {
         0 => String::from("do nothing"),
         1 => actions[0].clone(),
-        _ => format!("{} and {}", actions[..actions.len() - 1].join(", "), actions.last().unwrap()),
+        _ => format!(
+            "{} and {}",
+            actions[..actions.len() - 1].join(", "),
+            actions.last().unwrap()
+        ),
     };
-    let conds: Vec<String> = rule.conditions.iter().map(|c| render_condition(c, v)).collect();
-    let cond_str = if conds.is_empty() { String::new() } else { format!(" and {}", conds.join(" and ")) };
+    let conds: Vec<String> = rule
+        .conditions
+        .iter()
+        .map(|c| render_condition(c, v))
+        .collect();
+    let cond_str = if conds.is_empty() {
+        String::new()
+    } else {
+        format!(" and {}", conds.join(" and "))
+    };
 
     let sentence = match (&rule.trigger, rule.platform) {
         (Trigger::Voice, _) => {
@@ -230,7 +289,7 @@ pub fn render_rule(rule: &Rule) -> String {
         }
         (trigger, Platform::Ifttt) => {
             let t = render_trigger(trigger, v);
-            if v % 2 == 0 {
+            if v.is_multiple_of(2) {
                 format!("If {t}{cond_str}, then {action_str}")
             } else {
                 format!("If {t}{cond_str}, {action_str}")
@@ -250,7 +309,7 @@ pub fn render_rule(rule: &Rule) -> String {
         }
         (trigger, Platform::Alexa | Platform::GoogleAssistant) => {
             let t = render_trigger(trigger, v);
-            if v % 2 == 0 {
+            if v.is_multiple_of(2) {
                 format!("{} if {t}", capitalize(&action_str))
             } else {
                 format!("If {t}, {action_str}")
@@ -276,7 +335,13 @@ mod tests {
     use crate::ast::RuleId;
 
     fn rule(id: u32, platform: Platform, trigger: Trigger, actions: Vec<Action>) -> Rule {
-        Rule { id: RuleId(id), platform, trigger, conditions: Vec::new(), actions }
+        Rule {
+            id: RuleId(id),
+            platform,
+            trigger,
+            conditions: Vec::new(),
+            actions,
+        }
     }
 
     #[test]
@@ -284,7 +349,10 @@ mod tests {
         let r = rule(
             6,
             Platform::Ifttt,
-            Trigger::ChannelEvent { channel: Channel::Smoke, location: Location::House },
+            Trigger::ChannelEvent {
+                channel: Channel::Smoke,
+                location: Location::House,
+            },
             vec![
                 Action::SetState {
                     device: DeviceKind::Window,
@@ -352,7 +420,10 @@ mod tests {
         let r = rule(
             2,
             Platform::Ifttt,
-            Trigger::ChannelEvent { channel: Channel::Motion, location: Location::Hallway },
+            Trigger::ChannelEvent {
+                channel: Channel::Motion,
+                location: Location::Hallway,
+            },
             vec![Action::SetState {
                 device: DeviceKind::Light,
                 location: Location::Hallway,
@@ -380,7 +451,10 @@ mod tests {
             rule(
                 id,
                 Platform::SmartThings,
-                Trigger::ChannelEvent { channel: Channel::Motion, location: Location::House },
+                Trigger::ChannelEvent {
+                    channel: Channel::Motion,
+                    location: Location::House,
+                },
                 vec![Action::SetState {
                     device: DeviceKind::Light,
                     location: Location::Bedroom,

@@ -8,11 +8,22 @@ use crate::device::{Attribute, DeviceKind, Location};
 use crate::platform::Platform;
 
 fn set(device: DeviceKind, location: Location, attribute: Attribute, state: StateValue) -> Action {
-    Action::SetState { device, location, attribute, state }
+    Action::SetState {
+        device,
+        location,
+        attribute,
+        state,
+    }
 }
 
 fn rule(id: u32, platform: Platform, trigger: Trigger, actions: Vec<Action>) -> Rule {
-    Rule { id: RuleId(id), platform, trigger, conditions: Vec::new(), actions }
+    Rule {
+        id: RuleId(id),
+        platform,
+        trigger,
+        conditions: Vec::new(),
+        actions,
+    }
 }
 
 /// The nine rules of Table 1 (the Figure 1 interaction graph), ids 1–9.
@@ -87,7 +98,10 @@ pub fn table1_rules() -> Vec<Rule> {
         rule(
             6,
             Platform::Ifttt,
-            Trigger::ChannelEvent { channel: Channel::Smoke, location: House },
+            Trigger::ChannelEvent {
+                channel: Channel::Smoke,
+                location: House,
+            },
             vec![
                 set(Window, House, Attribute::OpenClose, Open),
                 set(Door, House, Attribute::LockState, Unlocked),
@@ -97,14 +111,20 @@ pub fn table1_rules() -> Vec<Rule> {
         rule(
             7,
             Platform::Ifttt,
-            Trigger::ChannelEvent { channel: Channel::Motion, location: Location::Hallway },
+            Trigger::ChannelEvent {
+                channel: Channel::Motion,
+                location: Location::Hallway,
+            },
             vec![set(Light, Location::Hallway, Attribute::Power, On)],
         ),
         // 8. IFTTT: If motion is detected, open the door.
         rule(
             8,
             Platform::Ifttt,
-            Trigger::ChannelEvent { channel: Channel::Motion, location: Location::Hallway },
+            Trigger::ChannelEvent {
+                channel: Channel::Motion,
+                location: Location::Hallway,
+            },
             vec![set(Door, Location::Hallway, Attribute::OpenClose, Open)],
         ),
         // 9. Alexa: Lock the door if all lights are turned off.
@@ -156,7 +176,10 @@ pub fn table4_settings() -> Vec<Rule> {
         Rule {
             id: RuleId(103),
             platform: Platform::Ifttt,
-            trigger: Trigger::ChannelEvent { channel: Channel::Motion, location: Location::Hallway },
+            trigger: Trigger::ChannelEvent {
+                channel: Channel::Motion,
+                location: Location::Hallway,
+            },
             conditions: vec![Condition::HomeMode(Armed)],
             actions: vec![Action::Notify],
         },
@@ -210,7 +233,10 @@ pub fn table4_settings() -> Vec<Rule> {
         rule(
             108,
             Platform::SmartThings,
-            Trigger::ChannelEvent { channel: Channel::Smoke, location: Location::House },
+            Trigger::ChannelEvent {
+                channel: Channel::Smoke,
+                location: Location::House,
+            },
             vec![set(Door, Location::House, Attribute::LockState, Unlocked)],
         ),
         // 9. Alexa: Lock the door at 10 pm every day.
@@ -246,7 +272,12 @@ pub fn table4_settings() -> Vec<Rule> {
             actions: vec![set(Light, Location::Bedroom, Attribute::Power, On)],
         },
         // 12. Alexa: Turn on a heater.
-        rule(112, Platform::Alexa, Trigger::Voice, vec![set(Heater, Location::Bathroom, Attribute::Power, On)]),
+        rule(
+            112,
+            Platform::Alexa,
+            Trigger::Voice,
+            vec![set(Heater, Location::Bathroom, Attribute::Power, On)],
+        ),
         // 13. SmartThings: Open windows if indoor temperature above 80°F.
         rule(
             113,
@@ -356,8 +387,16 @@ pub fn trigger_intake_blueprint() -> Vec<Rule> {
         rule(
             221,
             Platform::HomeAssistant,
-            Trigger::ChannelEvent { channel: Channel::Motion, location: Location::Hallway },
-            vec![Action::Snapshot { location: Location::Hallway }, Action::Notify],
+            Trigger::ChannelEvent {
+                channel: Channel::Motion,
+                location: Location::Hallway,
+            },
+            vec![
+                Action::Snapshot {
+                    location: Location::Hallway,
+                },
+                Action::Notify,
+            ],
         ),
         rule(
             222,
@@ -384,7 +423,12 @@ pub fn condition_duplicate_blueprint() -> Vec<Rule> {
                 attribute: Attribute::Playing,
                 state: On,
             },
-            vec![set(PresenceSensor, Location::Bedroom, Attribute::Mode, HomeMode)],
+            vec![set(
+                PresenceSensor,
+                Location::Bedroom,
+                Attribute::Mode,
+                HomeMode,
+            )],
         ),
         // IFTTT: play music in the room from 3 pm to 4 pm
         rule(
@@ -397,7 +441,10 @@ pub fn condition_duplicate_blueprint() -> Vec<Rule> {
         Rule {
             id: RuleId(233),
             platform: Platform::HomeAssistant,
-            trigger: Trigger::ChannelEvent { channel: Channel::Presence, location: Location::Bedroom },
+            trigger: Trigger::ChannelEvent {
+                channel: Channel::Presence,
+                location: Location::Bedroom,
+            },
             conditions: vec![Condition::ChannelThreshold {
                 channel: Channel::Temperature,
                 location: Location::Bedroom,
@@ -437,13 +484,22 @@ mod tests {
         let rules = table1_rules();
         let get = |id: u32| rules.iter().find(|r| r.id.0 == id).expect("rule id exists");
         // Rule 1 (turn off lights) triggers Rule 9 (lock door when lights off)
-        assert!(action_triggers(get(1), get(9)).is_some(), "1→9 must correlate");
+        assert!(
+            action_triggers(get(1), get(9)).is_some(),
+            "1→9 must correlate"
+        );
         // Rule 4 (AC on) triggers Rule 5 (close windows when AC on)
-        assert!(action_triggers(get(4), get(5)).is_some(), "4→5 must correlate");
+        assert!(
+            action_triggers(get(4), get(5)).is_some(),
+            "4→5 must correlate"
+        );
         // Rule 5 (close windows) conflicts with Rule 6's goal, but 6 (open
         // windows) can feed Rule 3's channel? No: rule 3 triggers on LOW
         // outdoor temperature — not caused by opening a window indoors.
-        assert!(action_triggers(get(6), get(5)).is_none(), "6 does not invoke 5");
+        assert!(
+            action_triggers(get(6), get(5)).is_none(),
+            "6 does not invoke 5"
+        );
     }
 
     #[test]
@@ -473,13 +529,24 @@ mod tests {
         let rules = trigger_intake_blueprint();
         let vacuum = &rules[1];
         let snapshot = &rules[0];
-        assert!(action_triggers(vacuum, snapshot).is_some(), "vacuum must trip the motion rule");
+        assert!(
+            action_triggers(vacuum, snapshot).is_some(),
+            "vacuum must trip the motion rule"
+        );
     }
 
     #[test]
     fn drift_blueprints_named_like_the_paper() {
         let names: Vec<&str> = drift_blueprints().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["action block", "action ablation", "trigger intake", "condition duplicate"]);
+        assert_eq!(
+            names,
+            vec![
+                "action block",
+                "action ablation",
+                "trigger intake",
+                "condition duplicate"
+            ]
+        );
     }
 
     #[test]

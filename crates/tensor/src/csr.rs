@@ -23,7 +23,10 @@ impl Csr {
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
         let mut per_row: Vec<Vec<(usize, f32)>> = vec![Vec::new(); rows];
         for &(r, c, v) in triplets {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of {rows}x{cols}"
+            );
             per_row[r].push((c, v));
         }
         let mut indptr = Vec::with_capacity(rows + 1);
@@ -44,7 +47,13 @@ impl Csr {
             }
             indptr.push(indices.len());
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Identity CSR.
@@ -84,9 +93,14 @@ impl Csr {
         for &(r, _, v) in &triplets {
             deg[r] += v;
         }
-        let inv_sqrt: Vec<f32> = deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
-        let norm: Vec<(usize, usize, f32)> =
-            triplets.into_iter().map(|(r, c, v)| (r, c, v * inv_sqrt[r] * inv_sqrt[c])).collect();
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let norm: Vec<(usize, usize, f32)> = triplets
+            .into_iter()
+            .map(|(r, c, v)| (r, c, v * inv_sqrt[r] * inv_sqrt[c]))
+            .collect();
         Self::from_triplets(n, n, &norm)
     }
 
@@ -108,8 +122,10 @@ impl Csr {
         for &(r, _, _) in &triplets {
             deg[r] += 1.0;
         }
-        let norm: Vec<(usize, usize, f32)> =
-            triplets.into_iter().map(|(r, c, v)| (r, c, v / deg[r].max(1.0))).collect();
+        let norm: Vec<(usize, usize, f32)> = triplets
+            .into_iter()
+            .map(|(r, c, v)| (r, c, v / deg[r].max(1.0)))
+            .collect();
         Self::from_triplets(n, n, &norm)
     }
 
@@ -130,17 +146,45 @@ impl Csr {
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
         let lo = self.indptr[r];
         let hi = self.indptr[r + 1];
-        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Sparse × dense product `self × h`.
     pub fn spmm(&self, h: &Matrix) -> Matrix {
-        assert_eq!(self.cols, h.rows(), "spmm {}x{} × {}x{}", self.rows, self.cols, h.rows(), h.cols());
+        assert_eq!(
+            self.cols,
+            h.rows(),
+            "spmm {}x{} × {}x{}",
+            self.rows,
+            self.cols,
+            h.rows(),
+            h.cols()
+        );
         let mut out = Matrix::zeros(self.rows, h.cols());
-        for r in 0..self.rows {
+        self.spmm_block(h, 0, self.rows, out.data_mut());
+        out
+    }
+
+    /// Rows `[row_lo, row_hi)` of `self × h` into `out_block` (a
+    /// zero-initialized slice covering exactly those output rows). Output
+    /// rows are independent in CSR, so the parallel layer partitions them
+    /// directly; each element sees the serial accumulation order.
+    pub(crate) fn spmm_block(
+        &self,
+        h: &Matrix,
+        row_lo: usize,
+        row_hi: usize,
+        out_block: &mut [f32],
+    ) {
+        let w = h.cols();
+        debug_assert_eq!(out_block.len(), (row_hi - row_lo) * w);
+        for r in row_lo..row_hi {
             let lo = self.indptr[r];
             let hi = self.indptr[r + 1];
-            let out_row = out.row_mut(r);
+            let out_row = &mut out_block[(r - row_lo) * w..(r - row_lo + 1) * w];
             for k in lo..hi {
                 let c = self.indices[k];
                 let v = self.values[k];
@@ -149,12 +193,19 @@ impl Csr {
                 }
             }
         }
-        out
     }
 
     /// Transposed sparse × dense product `selfᵀ × h` (used in backward passes).
     pub fn t_spmm(&self, h: &Matrix) -> Matrix {
-        assert_eq!(self.rows, h.rows(), "t_spmm {}x{} × {}x{}", self.rows, self.cols, h.rows(), h.cols());
+        assert_eq!(
+            self.rows,
+            h.rows(),
+            "t_spmm {}x{} × {}x{}",
+            self.rows,
+            self.cols,
+            h.rows(),
+            h.cols()
+        );
         let mut out = Matrix::zeros(self.cols, h.cols());
         for r in 0..self.rows {
             let lo = self.indptr[r];
@@ -172,6 +223,57 @@ impl Csr {
         out
     }
 
+    /// Column-grouped (CSC) view of the stored entries: `(col_ptr, entries)`
+    /// where `entries[col_ptr[c]..col_ptr[c + 1]]` lists the `(row, value)`
+    /// pairs of column `c` in **ascending row order**. That ordering is what
+    /// makes a column-partitioned `t_spmm` bitwise-identical to the serial
+    /// scatter loop: serially, output row `c` accumulates its contributions
+    /// in ascending source-row order too.
+    pub(crate) fn csc_groups(&self) -> (Vec<usize>, Vec<(usize, f32)>) {
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            col_ptr[c + 1] += 1;
+        }
+        for c in 0..self.cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut entries = vec![(0usize, 0.0f32); self.values.len()];
+        for r in 0..self.rows {
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k];
+                entries[cursor[c]] = (r, self.values[k]);
+                cursor[c] += 1;
+            }
+        }
+        (col_ptr, entries)
+    }
+
+    /// Output rows `[col_lo, col_hi)` of `selfᵀ × h` into `out_block`, using
+    /// a precomputed [`Self::csc_groups`] view. Each output row (= column of
+    /// `self`) is written by exactly one caller, so disjoint column ranges
+    /// can run on different threads.
+    pub(crate) fn t_spmm_block(
+        &self,
+        h: &Matrix,
+        col_ptr: &[usize],
+        entries: &[(usize, f32)],
+        col_lo: usize,
+        col_hi: usize,
+        out_block: &mut [f32],
+    ) {
+        let w = h.cols();
+        debug_assert_eq!(out_block.len(), (col_hi - col_lo) * w);
+        for c in col_lo..col_hi {
+            let out_row = &mut out_block[(c - col_lo) * w..(c - col_lo + 1) * w];
+            for &(r, v) in &entries[col_ptr[c]..col_ptr[c + 1]] {
+                for (o, &x) in out_row.iter_mut().zip(h.row(r)) {
+                    *o += v * x;
+                }
+            }
+        }
+    }
+
     /// Densify (test/debug helper).
     pub fn to_dense(&self) -> Matrix {
         let mut m = Matrix::zeros(self.rows, self.cols);
@@ -186,7 +288,10 @@ impl Csr {
     /// Restrict to a subset of node indices (both rows and columns), keeping
     /// their induced sub-adjacency. `keep` must be sorted & unique.
     pub fn induced_subgraph(&self, keep: &[usize]) -> Csr {
-        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted+unique");
+        debug_assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "keep must be sorted+unique"
+        );
         let mut remap = vec![usize::MAX; self.cols];
         for (new, &old) in keep.iter().enumerate() {
             remap[old] = new;
@@ -278,5 +383,46 @@ mod tests {
     fn eye_spmm_is_identity() {
         let h = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(Csr::eye(2).spmm(&h), h);
+    }
+
+    /// A stored zero (e.g. `+1` and `-1` triplets summing out) must still
+    /// multiply its dense row: `0 × NaN = NaN` has to reach the output.
+    #[test]
+    fn spmm_stored_zero_times_nan_propagates() {
+        let m = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, -1.0), (1, 1, 2.0)]);
+        let h = Matrix::from_rows(&[vec![f32::NAN, 1.0], vec![3.0, 4.0]]);
+        let c = m.spmm(&h);
+        assert!(c.get(0, 0).is_nan(), "0 × NaN was lost: {:?}", c);
+        assert_eq!(c.get(0, 1), 0.0);
+        assert_eq!(c.row(1), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn t_spmm_nan_propagates() {
+        let m = Csr::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 2.0)]);
+        let h = Matrix::from_rows(&[vec![f32::NAN, 1.0], vec![3.0, 4.0]]);
+        // out = mᵀ × h: out[1][*] pulls h row 0 (NaN), out[0][*] pulls row 1
+        let c = m.t_spmm(&h);
+        assert!(c.get(1, 0).is_nan(), "{:?}", c);
+        assert_eq!(c.row(0), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn csc_groups_round_trip() {
+        let m = Csr::from_triplets(3, 4, &[(2, 0, 5.0), (0, 0, 1.0), (0, 3, 2.0), (1, 2, 3.0)]);
+        let (col_ptr, entries) = m.csc_groups();
+        assert_eq!(col_ptr.len(), 5);
+        assert_eq!(entries.len(), m.nnz());
+        // column 0 lists rows ascending: (0, 1.0) then (2, 5.0)
+        assert_eq!(&entries[col_ptr[0]..col_ptr[1]], &[(0, 1.0), (2, 5.0)]);
+        assert_eq!(&entries[col_ptr[2]..col_ptr[3]], &[(1, 3.0)]);
+        // rebuilding the dense matrix from the groups matches to_dense
+        let mut d = Matrix::zeros(3, 4);
+        for c in 0..4 {
+            for &(r, v) in &entries[col_ptr[c]..col_ptr[c + 1]] {
+                d.set(r, c, d.get(r, c) + v);
+            }
+        }
+        assert_eq!(d, m.to_dense());
     }
 }

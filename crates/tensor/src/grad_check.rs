@@ -32,7 +32,10 @@ pub fn check_gradients(
     let (loss, vars) = build(&mut tape, inputs);
     let grads = tape.backward(loss);
 
-    let mut report = CheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    let mut report = CheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+    };
     for (i, input) in inputs.iter().enumerate() {
         let analytic = grads
             .get(vars[i])
@@ -156,7 +159,10 @@ mod tests {
                 let loss = tape.contrastive_pair(a, b, same, 10.0);
                 (loss, vec![a, b])
             });
-            assert!(report.ok(3e-2), "grad check failed (same={same}): {report:?}");
+            assert!(
+                report.ok(3e-2),
+                "grad check failed (same={same}): {report:?}"
+            );
         }
     }
 }

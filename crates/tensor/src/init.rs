@@ -7,20 +7,26 @@ use rand::Rng;
 /// Glorot/Xavier uniform: `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
 pub fn xavier_uniform(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
     let limit = (6.0 / (rows + cols) as f32).sqrt();
-    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
 /// Kaiming/He uniform for ReLU fan-in.
 pub fn kaiming_uniform(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
     let limit = (6.0 / rows as f32).sqrt();
-    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
 /// Uniform in `[-limit, limit]`.
 pub fn uniform(rng: &mut StdRng, rows: usize, cols: usize, limit: f32) -> Matrix {
-    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
@@ -56,7 +62,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let m = normal(&mut rng, 100, 100, 1.0);
         let mean = m.mean();
-        let var = m.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / m.len() as f32;
+        let var = m
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / m.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -21,6 +21,7 @@ pub mod grad_check;
 pub mod init;
 pub mod matrix;
 pub mod optim;
+pub mod par;
 pub mod tape;
 
 pub use csr::Csr;

@@ -28,17 +28,32 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Create a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create from a flat row-major buffer. Panics if the length mismatches.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length {} != {}x{}", data.len(), rows, cols);
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
         Self { rows, cols, data }
     }
 
@@ -51,13 +66,21 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// A `1 × n` row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let n = data.len();
-        Self { rows: 1, cols: n, data }
+        Self {
+            rows: 1,
+            cols: n,
+            data,
+        }
     }
 
     /// Identity matrix.
@@ -126,62 +149,51 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Per-row flags: is every element of the row finite? The zero-skip fast
+    /// paths below may only skip a `0 × b_row` product when that product is
+    /// exactly zero, i.e. when `b_row` has no NaN/Inf (IEEE 754: `0 × NaN`
+    /// and `0 × ∞` are NaN and must reach the accumulator).
+    pub(crate) fn finite_rows(&self) -> Vec<bool> {
+        (0..self.rows)
+            .map(|r| self.row(r).iter().all(|v| v.is_finite()))
+            .collect()
+    }
+
     /// Matrix product `self × rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul {}x{} × {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul {}x{} × {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // ikj loop order: stream rhs rows, accumulate into the output row.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let b_finite = rhs.finite_rows();
+        matmul_block(self, rhs, &b_finite, 0, self.rows, &mut out.data);
         out
     }
 
     /// `selfᵀ × rhs` without materializing the transpose.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.rows, rhs.rows, "t_matmul {}x{} × {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul {}x{} × {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let b_finite = rhs.finite_rows();
+        t_matmul_block(self, rhs, &b_finite, 0, self.cols, &mut out.data);
         out
     }
 
     /// `self × rhsᵀ` without materializing the transpose.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.cols, "matmul_t {}x{} × {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t {}x{} × {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
+        matmul_t_block(self, rhs, 0, self.rows, &mut out.data);
         out
     }
 
@@ -198,7 +210,11 @@ impl Matrix {
 
     /// Element-wise map into a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// In-place element-wise map.
@@ -214,7 +230,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -356,7 +377,11 @@ impl Matrix {
         let mut data = Vec::with_capacity((self.rows + rhs.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&rhs.data);
-        Matrix { rows: self.rows + rhs.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Euclidean (Frobenius) norm.
@@ -367,7 +392,11 @@ impl Matrix {
     /// Squared Euclidean distance between two equally-shaped matrices.
     pub fn sq_dist(&self, rhs: &Matrix) -> f32 {
         assert_eq!(self.shape(), rhs.shape());
-        self.data.iter().zip(&rhs.data).map(|(a, b)| (a - b) * (a - b)).sum()
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
     }
 
     /// Dot product treating both matrices as flat vectors.
@@ -381,7 +410,11 @@ impl Matrix {
         (0..self.rows)
             .map(|r| {
                 let row = self.row(r);
-                row.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap_or(0)
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
             })
             .collect()
     }
@@ -389,6 +422,96 @@ impl Matrix {
     /// True if every element is finite.
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block kernels.
+//
+// Each function computes output rows `[row_lo, row_hi)` into `out_block`, a
+// slice covering exactly those rows of the (zero-initialized) result buffer.
+// The serial entry points above call them over the full row range; the
+// parallel layer (`par`) hands each worker a disjoint block via
+// `split_at_mut`. Because each output element is accumulated by exactly one
+// worker using exactly the serial per-element loop, the parallel results are
+// bitwise identical to the serial ones at any thread count.
+// ---------------------------------------------------------------------------
+
+/// Rows `[row_lo, row_hi)` of `a × rhs`. `b_finite` must be `rhs.finite_rows()`.
+pub(crate) fn matmul_block(
+    a: &Matrix,
+    rhs: &Matrix,
+    b_finite: &[bool],
+    row_lo: usize,
+    row_hi: usize,
+    out_block: &mut [f32],
+) {
+    debug_assert_eq!(out_block.len(), (row_hi - row_lo) * rhs.cols);
+    // ikj loop order: stream rhs rows, accumulate into the output row.
+    for i in row_lo..row_hi {
+        let a_row = a.row(i);
+        let out_row = &mut out_block[(i - row_lo) * rhs.cols..(i - row_lo + 1) * rhs.cols];
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 && b_finite[k] {
+                continue;
+            }
+            let b_row = rhs.row(k);
+            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                *o += av * b;
+            }
+        }
+    }
+}
+
+/// Output rows `[row_lo, row_hi)` of `aᵀ × rhs`. Output row `i` is the
+/// product of `a`'s column `i` with all of `rhs`; iterating `k` ascending
+/// preserves the serial accumulation order for every output element
+/// regardless of how the rows are partitioned.
+pub(crate) fn t_matmul_block(
+    a: &Matrix,
+    rhs: &Matrix,
+    b_finite: &[bool],
+    row_lo: usize,
+    row_hi: usize,
+    out_block: &mut [f32],
+) {
+    debug_assert_eq!(out_block.len(), (row_hi - row_lo) * rhs.cols);
+    for (k, &k_finite) in b_finite.iter().enumerate() {
+        let a_row = a.row(k);
+        let b_row = rhs.row(k);
+        for (i, &av) in a_row.iter().enumerate().take(row_hi).skip(row_lo) {
+            if av == 0.0 && k_finite {
+                continue;
+            }
+            let out_row = &mut out_block[(i - row_lo) * rhs.cols..(i - row_lo + 1) * rhs.cols];
+            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                *o += av * b;
+            }
+        }
+    }
+}
+
+/// Output rows `[row_lo, row_hi)` of `a × rhsᵀ`. Pure dot products — every
+/// element of both operands reaches the accumulator, so no finite-row
+/// bookkeeping is needed.
+pub(crate) fn matmul_t_block(
+    a: &Matrix,
+    rhs: &Matrix,
+    row_lo: usize,
+    row_hi: usize,
+    out_block: &mut [f32],
+) {
+    debug_assert_eq!(out_block.len(), (row_hi - row_lo) * rhs.rows);
+    for i in row_lo..row_hi {
+        let a_row = a.row(i);
+        for j in 0..rhs.rows {
+            let b_row = rhs.row(j);
+            let mut acc = 0.0;
+            for (&av, &b) in a_row.iter().zip(b_row) {
+                acc += av * b;
+            }
+            out_block[(i - row_lo) * rhs.rows + j] = acc;
+        }
     }
 }
 
@@ -464,5 +587,53 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// IEEE 754: `0 × NaN = NaN` and `0 × ∞ = NaN`. The zero-skip fast path
+    /// must not swallow them — a NaN that sneaks into an activation must
+    /// surface in the product, not vanish behind a sparsity optimization.
+    #[test]
+    fn matmul_zero_times_nan_propagates() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 0.0]]);
+        let b = Matrix::from_rows(&[vec![f32::NAN, 3.0], vec![4.0, 5.0]]);
+        let c = a.matmul(&b);
+        // row 0: 0×NaN + 1×4 must be NaN, 0×3 + 1×5 is skippable-clean
+        assert!(c.get(0, 0).is_nan(), "0 × NaN was skipped: {:?}", c);
+        assert!(c.get(1, 0).is_nan(), "2 × NaN lost: {:?}", c);
+        let b_inf = Matrix::from_rows(&[vec![f32::INFINITY, 3.0], vec![4.0, 5.0]]);
+        assert!(a.matmul(&b_inf).get(0, 0).is_nan(), "0 × ∞ must be NaN");
+        // clean zeros still act as exact zeros
+        let b_ok = Matrix::from_rows(&[vec![6.0, 3.0], vec![4.0, 5.0]]);
+        assert_eq!(
+            a.matmul(&b_ok),
+            Matrix::from_rows(&[vec![4.0, 5.0], vec![12.0, 6.0]])
+        );
+    }
+
+    #[test]
+    fn t_matmul_zero_times_nan_propagates() {
+        // column 0 of `a` is all zeros; b[0][0] is NaN ⇒ out[0][0] = 0 × NaN
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![f32::NAN, 1.0], vec![2.0, 3.0]]);
+        let c = a.t_matmul(&b);
+        // out[0][0] = 0×NaN + 0×2 = NaN; out[0][1] = 0×1 + 0×3 = 0 (finite
+        // operands: the zero products are exact and may be skipped)
+        assert!(c.get(0, 0).is_nan(), "{:?}", c);
+        assert_eq!(c.get(0, 1), 0.0);
+        assert_eq!(c.get(1, 1), 7.0);
+        assert!(c.get(1, 0).is_nan(), "1 × NaN reaches out[1][0]");
+        assert!(
+            a.transpose().matmul(&b).get(0, 0).is_nan(),
+            "explicit transpose agrees"
+        );
+    }
+
+    #[test]
+    fn matmul_t_nan_propagates() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0]]);
+        let b = Matrix::from_rows(&[vec![f32::NAN, 2.0], vec![3.0, 4.0]]);
+        let c = a.matmul_t(&b);
+        assert!(c.get(0, 0).is_nan());
+        assert_eq!(c.get(0, 1), 4.0);
     }
 }

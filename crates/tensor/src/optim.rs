@@ -135,7 +135,12 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     pub fn with_momentum(mut self, m: f32) -> Self {
@@ -154,17 +159,22 @@ impl Optimizer for Sgd {
         if self.velocity.len() < params.len() {
             self.velocity.resize_with(params.len(), || None);
         }
+        // i indexes four parallel arrays (frozen, mats, vars, velocity)
+        #[allow(clippy::needless_range_loop)]
         for i in 0..params.len() {
             if params.frozen[i] {
                 continue;
             }
-            let Some(g) = grads.get(vars[i]) else { continue };
+            let Some(g) = grads.get(vars[i]) else {
+                continue;
+            };
             let mut upd = g.clone();
             if self.weight_decay > 0.0 {
                 upd.axpy(self.weight_decay, &params.mats[i]);
             }
             if self.momentum > 0.0 {
-                let v = self.velocity[i].get_or_insert_with(|| Matrix::zeros(upd.rows(), upd.cols()));
+                let v =
+                    self.velocity[i].get_or_insert_with(|| Matrix::zeros(upd.rows(), upd.cols()));
                 *v = v.scale(self.momentum);
                 v.axpy(1.0, &upd);
                 upd = v.clone();
@@ -188,7 +198,16 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
@@ -206,11 +225,15 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // i indexes the parallel arrays (frozen, mats, vars, m, v)
+        #[allow(clippy::needless_range_loop)]
         for i in 0..params.len() {
             if params.frozen[i] {
                 continue;
             }
-            let Some(g) = grads.get(vars[i]) else { continue };
+            let Some(g) = grads.get(vars[i]) else {
+                continue;
+            };
             let mut grad = g.clone();
             if self.weight_decay > 0.0 {
                 grad.axpy(self.weight_decay, &params.mats[i]);
@@ -280,7 +303,10 @@ mod tests {
         let grads = tape.backward(loss);
         opt.step(&mut params, &vars, &grads);
         assert_eq!(params.get(ParamId(0)).get(0, 0), 1.0, "frozen param moved");
-        assert!(params.get(ParamId(1)).get(0, 0) < 1.0, "live param should move");
+        assert!(
+            params.get(ParamId(1)).get(0, 0) < 1.0,
+            "live param should move"
+        );
     }
 
     #[test]

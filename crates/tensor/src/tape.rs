@@ -35,6 +35,13 @@ impl Grads {
         self.inner.get(v.0).and_then(Option::as_ref)
     }
 
+    /// Assemble a gradient set directly, `inner[i]` being the gradient for
+    /// `Var(i)`. Used by mini-batch training to feed an optimizer step with
+    /// gradients reduced across several per-graph tapes.
+    pub fn from_options(inner: Vec<Option<Matrix>>) -> Self {
+        Self { inner }
+    }
+
     /// Global L2 norm over a set of vars (for clipping diagnostics).
     pub fn global_norm(&self, vars: &[Var]) -> f32 {
         vars.iter()
@@ -67,7 +74,11 @@ impl Tape {
 
     fn push(&mut self, value: Matrix, parents: Vec<usize>, back: Option<BackFn>) -> Var {
         debug_assert!(value.all_finite(), "non-finite value entering tape");
-        self.nodes.push(Node { value, parents, back });
+        self.nodes.push(Node {
+            value,
+            parents,
+            back,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -119,25 +130,38 @@ impl Tape {
 
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
         let value = self.value(a).scale(s);
-        self.push(value, vec![a.0], Some(Box::new(move |g, _, _| vec![g.scale(s)])))
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(move |g, _, _| vec![g.scale(s)])),
+        )
     }
 
     // ---- linear algebra ----
 
+    // Forward and backward products go through the `par` entry points: they
+    // return bitwise-serial results but fan out over threads once the
+    // operands clear `par::MIN_PAR_WORK` (tiny graphs stay serial).
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let value = crate::par::matmul(self.value(a), self.value(b));
         self.push(
             value,
             vec![a.0, b.0],
-            Some(Box::new(|g, p, _| vec![g.matmul_t(p[1]), p[0].t_matmul(g)])),
+            Some(Box::new(|g, p, _| {
+                vec![crate::par::matmul_t(g, p[1]), crate::par::t_matmul(p[0], g)]
+            })),
         )
     }
 
     /// Sparse propagation `adj × h` with `adj` a constant CSR matrix.
     pub fn spmm(&mut self, adj: &Csr, h: Var) -> Var {
-        let value = adj.spmm(self.value(h));
+        let value = crate::par::spmm(adj, self.value(h));
         let adj = adj.clone();
-        self.push(value, vec![h.0], Some(Box::new(move |g, _, _| vec![adj.t_spmm(g)])))
+        self.push(
+            value,
+            vec![h.0],
+            Some(Box::new(move |g, _, _| vec![crate::par::t_spmm(&adj, g)])),
+        )
     }
 
     /// Broadcast-add a `1 × c` bias row to every row of `x`.
@@ -163,7 +187,9 @@ impl Tape {
         self.push(
             value,
             vec![a.0],
-            Some(Box::new(|g, p, _| vec![g.zip(p[0], |gi, x| if x > 0.0 { gi } else { 0.0 })])),
+            Some(Box::new(|g, p, _| {
+                vec![g.zip(p[0], |gi, x| if x > 0.0 { gi } else { 0.0 })]
+            })),
         )
     }
 
@@ -183,7 +209,9 @@ impl Tape {
         self.push(
             value,
             vec![a.0],
-            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi * yi * (1.0 - yi))])),
+            Some(Box::new(|g, _, y| {
+                vec![g.zip(y, |gi, yi| gi * yi * (1.0 - yi))]
+            })),
         )
     }
 
@@ -192,7 +220,9 @@ impl Tape {
         self.push(
             value,
             vec![a.0],
-            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi * (1.0 - yi * yi))])),
+            Some(Box::new(|g, _, y| {
+                vec![g.zip(y, |gi, yi| gi * (1.0 - yi * yi))]
+            })),
         )
     }
 
@@ -223,7 +253,11 @@ impl Tape {
     pub fn dropout_mask(&mut self, a: Var, mask: &Matrix) -> Var {
         let value = self.value(a).mul(mask);
         let mask = mask.clone();
-        self.push(value, vec![a.0], Some(Box::new(move |g, _, _| vec![g.mul(&mask)])))
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(move |g, _, _| vec![g.mul(&mask)])),
+        )
     }
 
     // ---- shape ops ----
@@ -231,7 +265,11 @@ impl Tape {
     /// Matrix transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
         let value = self.value(a).transpose();
-        self.push(value, vec![a.0], Some(Box::new(|g, _, _| vec![g.transpose()])))
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|g, _, _| vec![g.transpose()])),
+        )
     }
 
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
@@ -311,12 +349,12 @@ impl Tape {
     pub fn max_rows(&mut self, a: Var) -> Var {
         let val = self.value(a);
         let mut argmax = vec![0usize; val.cols()];
-        for c in 0..val.cols() {
+        for (c, am) in argmax.iter_mut().enumerate() {
             let mut best = f32::NEG_INFINITY;
             for r in 0..val.rows() {
                 if val.get(r, c) > best {
                     best = val.get(r, c);
-                    argmax[c] = r;
+                    *am = r;
                 }
             }
         }
@@ -353,7 +391,9 @@ impl Tape {
         self.push(
             value,
             vec![a.0],
-            Some(Box::new(|g, p, _| vec![Matrix::full(p[0].rows(), p[0].cols(), g.get(0, 0))])),
+            Some(Box::new(|g, p, _| {
+                vec![Matrix::full(p[0].rows(), p[0].cols(), g.get(0, 0))]
+            })),
         )
     }
 
@@ -380,8 +420,8 @@ impl Tape {
                 let w_val = p[n_h];
                 let mut grads: Vec<Matrix> = (0..n_h).map(|i| g.scale(w_val.get(0, i))).collect();
                 let mut gw = Matrix::zeros(1, n_h);
-                for i in 0..n_h {
-                    gw.set(0, i, g.dot(p[i]));
+                for (i, h) in p.iter().take(n_h).enumerate() {
+                    gw.set(0, i, g.dot(h));
                 }
                 grads.push(gw);
                 grads
@@ -394,7 +434,12 @@ impl Tape {
     /// Class-weighted softmax cross-entropy over logits `n × k` with integer
     /// targets. Implements the classification term of Eq. (2):
     /// `L = Σ w_{y_n} · CE_n / Σ w_{y_n}`.
-    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize], class_weights: &[f32]) -> Var {
+    pub fn softmax_cross_entropy(
+        &mut self,
+        logits: Var,
+        targets: &[usize],
+        class_weights: &[f32],
+    ) -> Var {
         let z = self.value(logits);
         assert_eq!(z.rows(), targets.len());
         let probs = z.softmax_rows();
@@ -502,7 +547,8 @@ impl Tape {
             let Some(g) = grads[i].clone() else { continue };
             let node = &self.nodes[i];
             let Some(back) = &node.back else { continue };
-            let parent_vals: Vec<&Matrix> = node.parents.iter().map(|&p| &self.nodes[p].value).collect();
+            let parent_vals: Vec<&Matrix> =
+                node.parents.iter().map(|&p| &self.nodes[p].value).collect();
             let pgrads = back(&g, &parent_vals, &node.value);
             debug_assert_eq!(pgrads.len(), node.parents.len());
             for (&p, pg) in node.parents.iter().zip(pgrads) {

@@ -152,7 +152,10 @@ pub fn inject(log: &EventLog, kind: AttackKind, seed: u64) -> EventLog {
 }
 
 fn next_gap(records: &[EventRecord], i: usize) -> f64 {
-    records.get(i + 1).map(|r| (r.timestamp - records[i].timestamp).max(0.0)).unwrap_or(5.0)
+    records
+        .get(i + 1)
+        .map(|r| (r.timestamp - records[i].timestamp).max(0.0))
+        .unwrap_or(5.0)
 }
 
 #[cfg(test)]
@@ -171,7 +174,11 @@ mod tests {
                     EventKind::DeviceState {
                         device: DeviceKind::Light,
                         location: Location::Bedroom,
-                        state: if k % 2 == 0 { StateValue::On } else { StateValue::Off },
+                        state: if k % 2 == 0 {
+                            StateValue::On
+                        } else {
+                            StateValue::Off
+                        },
                     },
                 ));
             }
@@ -191,12 +198,23 @@ mod tests {
         let log = base_log();
         let attacked = inject(&log, AttackKind::StealthyCommand, 2);
         let vacuum = attacked.records().iter().any(|r| {
-            matches!(r.kind, EventKind::DeviceState { device: DeviceKind::Vacuum, .. })
+            matches!(
+                r.kind,
+                EventKind::DeviceState {
+                    device: DeviceKind::Vacuum,
+                    ..
+                }
+            )
         });
-        let motion = attacked
-            .records()
-            .iter()
-            .any(|r| matches!(r.kind, EventKind::ChannelEvent { channel: Channel::Motion, .. }));
+        let motion = attacked.records().iter().any(|r| {
+            matches!(
+                r.kind,
+                EventKind::ChannelEvent {
+                    channel: Channel::Motion,
+                    ..
+                }
+            )
+        });
         assert!(vacuum && motion);
     }
 
@@ -237,7 +255,10 @@ mod tests {
         for &k in AttackKind::all() {
             let attacked = inject(&log, k, 7);
             let times: Vec<f64> = attacked.records().iter().map(|r| r.timestamp).collect();
-            assert!(times.windows(2).all(|w| w[0] <= w[1]), "{k:?} broke ordering");
+            assert!(
+                times.windows(2).all(|w| w[0] <= w[1]),
+                "{k:?} broke ordering"
+            );
         }
     }
 }

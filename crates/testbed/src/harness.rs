@@ -64,9 +64,23 @@ pub struct TestSetBuilder {
 
 impl Default for TestSetBuilder {
     fn default() -> Self {
-        Self { per_family: 150, sim_hours: 6.0, seed: 0x7e57 }
+        Self {
+            per_family: 150,
+            sim_hours: 6.0,
+            seed: 0x7e57,
+        }
     }
 }
+
+/// A threat subset paired with the oracle findings that label it.
+type LabeledThreat = (Vec<Rule>, Vec<ThreatKind>);
+/// (BCT threats, BCT normals, CCT threats, CCT normals).
+type SubsetPools = (
+    Vec<LabeledThreat>,
+    Vec<Vec<Rule>>,
+    Vec<LabeledThreat>,
+    Vec<Vec<Rule>>,
+);
 
 impl TestSetBuilder {
     /// All scenario rules the cases draw from.
@@ -77,7 +91,7 @@ impl TestSetBuilder {
     }
 
     /// Enumerate oracle-labeled subsets: (rules, findings) for sizes 2..=5.
-    fn labeled_subsets(pool: &[Rule]) -> (Vec<(Vec<Rule>, Vec<ThreatKind>)>, Vec<Vec<Rule>>, Vec<(Vec<Rule>, Vec<ThreatKind>)>, Vec<Vec<Rule>>) {
+    fn labeled_subsets(pool: &[Rule]) -> SubsetPools {
         let n = pool.len();
         let mut bct_threat = Vec::new();
         let mut bct_normal = Vec::new();
@@ -126,11 +140,11 @@ impl TestSetBuilder {
         let mut cases = Vec::new();
         let mut id = 0u64;
         let push_case = |cases: &mut Vec<TestCase>,
-                             rng: &mut StdRng,
-                             rules: Vec<Rule>,
-                             kinds: Vec<ThreatKind>,
-                             complexity: ThreatComplexity,
-                             id: &mut u64| {
+                         rng: &mut StdRng,
+                         rules: Vec<Rule>,
+                         kinds: Vec<ThreatKind>,
+                         complexity: ThreatComplexity,
+                         id: &mut u64| {
             let threat = !kinds.is_empty();
             let config = SimConfig {
                 seed: self.seed ^ *id,
@@ -148,15 +162,27 @@ impl TestSetBuilder {
                 None
             };
             let mut graph = full_graph(&rules, &glint_core::construction::node_features);
-            graph.label =
-                Some(if threat { GraphLabel::Threat } else { GraphLabel::Normal });
-            cases.push(TestCase { id: *id, complexity, threat, kinds, rules, log, graph, attack });
+            graph.label = Some(if threat {
+                GraphLabel::Threat
+            } else {
+                GraphLabel::Normal
+            });
+            cases.push(TestCase {
+                id: *id,
+                complexity,
+                threat,
+                kinds,
+                rules,
+                log,
+                graph,
+                attack,
+            });
             *id += 1;
             let _ = rng;
         };
 
         for family in [ThreatComplexity::Bct, ThreatComplexity::Cct] {
-            let (threats, normals): (&[(Vec<Rule>, Vec<ThreatKind>)], &[Vec<Rule>]) = match family {
+            let (threats, normals): (&[LabeledThreat], &[Vec<Rule>]) = match family {
                 ThreatComplexity::Bct => (&bct_threat, &bct_normal),
                 ThreatComplexity::Cct => (&cct_threat, &cct_normal),
             };
@@ -182,7 +208,12 @@ pub fn frame_vectors(home_template: &Home, log: &EventLog, stride: usize) -> Mat
     let mut home = home_template.clone();
     let mut frames: Vec<Vec<f32>> = Vec::new();
     for rec in log.records() {
-        if let EventKind::DeviceState { device, location, state } = &rec.kind {
+        if let EventKind::DeviceState {
+            device,
+            location,
+            state,
+        } = &rec.kind
+        {
             if let Some(i) = home.find(*device, *location) {
                 home.device_mut(i).set(best_attr(*device, *state), *state);
             }
@@ -228,7 +259,13 @@ fn snapshot(home: &Home) -> Vec<f32> {
     for d in &home.devices {
         for &attr in d.kind.attributes() {
             let x = match d.get(attr) {
-                Some(StateValue::On | StateValue::Open | StateValue::Unlocked | StateValue::Armed | StateValue::HomeMode) => 1.0,
+                Some(
+                    StateValue::On
+                    | StateValue::Open
+                    | StateValue::Unlocked
+                    | StateValue::Armed
+                    | StateValue::HomeMode,
+                ) => 1.0,
                 Some(StateValue::Level(l)) => l / 100.0,
                 _ => 0.0,
             };
@@ -244,11 +281,21 @@ mod tests {
 
     #[test]
     fn small_test_set_is_balanced_and_labeled() {
-        let builder = TestSetBuilder { per_family: 6, sim_hours: 1.0, seed: 1 };
+        let builder = TestSetBuilder {
+            per_family: 6,
+            sim_hours: 1.0,
+            seed: 1,
+        };
         let cases = builder.build();
         assert_eq!(cases.len(), 24);
-        let bct: Vec<_> = cases.iter().filter(|c| c.complexity == ThreatComplexity::Bct).collect();
-        let cct: Vec<_> = cases.iter().filter(|c| c.complexity == ThreatComplexity::Cct).collect();
+        let bct: Vec<_> = cases
+            .iter()
+            .filter(|c| c.complexity == ThreatComplexity::Bct)
+            .collect();
+        let cct: Vec<_> = cases
+            .iter()
+            .filter(|c| c.complexity == ThreatComplexity::Cct)
+            .collect();
         assert_eq!(bct.len(), 12);
         assert_eq!(cct.len(), 12);
         assert_eq!(bct.iter().filter(|c| c.threat).count(), 6);
@@ -267,18 +314,28 @@ mod tests {
 
     #[test]
     fn hawatcher_coverage_classification() {
-        let builder = TestSetBuilder { per_family: 10, sim_hours: 0.5, seed: 2 };
+        let builder = TestSetBuilder {
+            per_family: 10,
+            sim_hours: 0.5,
+            seed: 2,
+        };
         let cases = builder.build();
         // some threat cases must be uncovered (revert/goal-conflict/bypass)
-        let uncovered =
-            cases.iter().filter(|c| c.threat && !c.hawatcher_covered()).count();
+        let uncovered = cases
+            .iter()
+            .filter(|c| c.threat && !c.hawatcher_covered())
+            .count();
         assert!(uncovered > 0, "expected uncovered threat kinds in the pool");
     }
 
     #[test]
     fn frames_have_stable_width_and_four_frame_history() {
         let home = figure10_home();
-        let builder = TestSetBuilder { per_family: 2, sim_hours: 0.5, seed: 3 };
+        let builder = TestSetBuilder {
+            per_family: 2,
+            sim_hours: 0.5,
+            seed: 3,
+        };
         let cases = builder.build();
         let m = frame_vectors(&home, &cases[0].log, 1);
         assert!(m.rows() >= 1);

@@ -25,9 +25,11 @@ pub struct Correlation {
 /// Discretized key of an event (device+state or channel event).
 fn event_key(kind: &EventKind) -> Option<String> {
     match kind {
-        EventKind::DeviceState { device, location, state } => {
-            Some(format!("dev:{device:?}@{location:?}={state:?}"))
-        }
+        EventKind::DeviceState {
+            device,
+            location,
+            state,
+        } => Some(format!("dev:{device:?}@{location:?}={state:?}")),
         EventKind::ChannelEvent { channel, location } => {
             Some(format!("chan:{channel:?}@{location:?}"))
         }
@@ -87,15 +89,18 @@ impl HaWatcher {
             .filter_map(|((a, b), n)| {
                 let total = antecedent_count[&a];
                 let confidence = n as f64 / total as f64;
-                (n >= self.min_support && confidence >= self.min_confidence).then_some(Correlation {
-                    antecedent: a,
-                    consequent: b,
-                    confidence,
-                    support: n,
-                })
+                (n >= self.min_support && confidence >= self.min_confidence).then_some(
+                    Correlation {
+                        antecedent: a,
+                        consequent: b,
+                        confidence,
+                        support: n,
+                    },
+                )
             })
             .collect();
-        self.correlations.sort_by(|a, b| (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent)));
+        self.correlations
+            .sort_by(|a, b| (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent)));
     }
 
     pub fn correlations(&self) -> &[Correlation] {
@@ -158,7 +163,10 @@ mod tests {
             let t = k as f64 * 600.0;
             log.push(EventRecord::new(
                 t,
-                EventKind::ChannelEvent { channel: Channel::Motion, location: Location::Hallway },
+                EventKind::ChannelEvent {
+                    channel: Channel::Motion,
+                    location: Location::Hallway,
+                },
             ));
             log.push(EventRecord::new(
                 t + 5.0,
@@ -177,7 +185,9 @@ mod tests {
         let mut hw = HaWatcher::new();
         hw.train(&train_log(10));
         assert!(
-            hw.correlations().iter().any(|c| c.antecedent.contains("Motion") && c.consequent.contains("Light")),
+            hw.correlations()
+                .iter()
+                .any(|c| c.antecedent.contains("Motion") && c.consequent.contains("Light")),
             "{:?}",
             hw.correlations()
         );
@@ -198,7 +208,10 @@ mod tests {
         let mut bad = EventLog::new();
         bad.push(EventRecord::new(
             0.0,
-            EventKind::ChannelEvent { channel: Channel::Motion, location: Location::Hallway },
+            EventKind::ChannelEvent {
+                channel: Channel::Motion,
+                location: Location::Hallway,
+            },
         ));
         assert!(hw.check(&bad));
     }

@@ -18,7 +18,11 @@ impl DeviceInstance {
         for &attr in kind.attributes() {
             state.insert(attr, default_state(attr));
         }
-        Self { kind, location, state }
+        Self {
+            kind,
+            location,
+            state,
+        }
     }
 
     pub fn get(&self, attr: Attribute) -> Option<StateValue> {
@@ -134,15 +138,23 @@ mod tests {
         let mut d = DeviceInstance::new(DeviceKind::Light, Location::Bedroom);
         assert_eq!(d.get(Attribute::Power), Some(StateValue::Off));
         assert!(d.set(Attribute::Power, StateValue::On));
-        assert!(!d.set(Attribute::Power, StateValue::On), "idempotent set reports no change");
-        assert!(!d.set(Attribute::OpenClose, StateValue::Open), "unknown attribute ignored");
+        assert!(
+            !d.set(Attribute::Power, StateValue::On),
+            "idempotent set reports no change"
+        );
+        assert!(
+            !d.set(Attribute::OpenClose, StateValue::Open),
+            "unknown attribute ignored"
+        );
     }
 
     #[test]
     fn find_respects_location_coupling() {
         let home = figure10_home();
         // AC is house-wide: findable from any room
-        assert!(home.find(DeviceKind::AirConditioner, Location::Bedroom).is_some());
+        assert!(home
+            .find(DeviceKind::AirConditioner, Location::Bedroom)
+            .is_some());
         // hallway motion sensor is not in the bedroom
         let hallway_motion = home.find(DeviceKind::MotionSensor, Location::Hallway);
         assert!(hallway_motion.is_some());

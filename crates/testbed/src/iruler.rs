@@ -42,7 +42,10 @@ pub struct IRulerChecker {
 
 impl Default for IRulerChecker {
     fn default() -> Self {
-        Self { max_depth: 6, max_states: 200_000 }
+        Self {
+            max_depth: 6,
+            max_states: 200_000,
+        }
     }
 }
 
@@ -59,7 +62,12 @@ fn state_key(s: &AbstractState, depth: usize) -> String {
 /// over-approximated as always-possible (sound for threat finding).
 fn may_fire(rule: &Rule, state: &AbstractState) -> bool {
     match &rule.trigger {
-        Trigger::DeviceState { device, location, state: want, .. } => state
+        Trigger::DeviceState {
+            device,
+            location,
+            state: want,
+            ..
+        } => state
             .get(&(*device, *location))
             .map(|have| have == want)
             .unwrap_or(true),
@@ -70,7 +78,13 @@ fn may_fire(rule: &Rule, state: &AbstractState) -> bool {
 fn apply(rule: &Rule, state: &AbstractState) -> AbstractState {
     let mut next = state.clone();
     for a in &rule.actions {
-        if let Action::SetState { device, location, state: v, .. } = a {
+        if let Action::SetState {
+            device,
+            location,
+            state: v,
+            ..
+        } = a
+        {
             next.insert((*device, *location), *v);
         }
     }
@@ -115,7 +129,13 @@ impl IRulerChecker {
                 // an opposing value along the same chain
                 let mut new_writes = writes.clone();
                 for a in &rule.actions {
-                    if let Action::SetState { device, location, state: v, .. } = a {
+                    if let Action::SetState {
+                        device,
+                        location,
+                        state: v,
+                        ..
+                    } = a
+                    {
                         for ((d2, l2), (owner, prev)) in &writes {
                             if *d2 == *device
                                 && l2.couples_with(*location)
@@ -162,7 +182,11 @@ mod tests {
     #[test]
     fn benign_pairs_produce_no_violations() {
         let rules = table4_settings();
-        let pair: Vec<Rule> = rules.iter().filter(|r| [105, 109].contains(&r.id.0)).cloned().collect();
+        let pair: Vec<Rule> = rules
+            .iter()
+            .filter(|r| [105, 109].contains(&r.id.0))
+            .cloned()
+            .collect();
         let outcome = IRulerChecker::default().check(&pair);
         assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
     }
@@ -170,8 +194,16 @@ mod tests {
     #[test]
     fn state_explosion_grows_with_rule_count() {
         let rules = table1_rules();
-        let small = IRulerChecker { max_depth: 4, max_states: 1_000_000 }.check(&rules[..3]);
-        let large = IRulerChecker { max_depth: 4, max_states: 1_000_000 }.check(&rules);
+        let small = IRulerChecker {
+            max_depth: 4,
+            max_states: 1_000_000,
+        }
+        .check(&rules[..3]);
+        let large = IRulerChecker {
+            max_depth: 4,
+            max_states: 1_000_000,
+        }
+        .check(&rules);
         assert!(
             large.explored_states > small.explored_states * 2,
             "no blow-up: {} vs {}",
@@ -183,7 +215,11 @@ mod tests {
     #[test]
     fn depth_bound_truncates() {
         let rules = table1_rules();
-        let shallow = IRulerChecker { max_depth: 1, max_states: 1_000_000 }.check(&rules);
+        let shallow = IRulerChecker {
+            max_depth: 1,
+            max_states: 1_000_000,
+        }
+        .check(&rules);
         assert!(shallow.truncated);
     }
 }

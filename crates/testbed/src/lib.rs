@@ -12,8 +12,8 @@
 pub mod attack;
 pub mod harness;
 pub mod hawatcher;
-pub mod iruler;
 pub mod home;
+pub mod iruler;
 pub mod sim;
 
 pub use attack::AttackKind;

@@ -24,7 +24,12 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { seed: 0, duration_hours: 168.0, tick_minutes: 10.0, activity_rate: 4.0 }
+        Self {
+            seed: 0,
+            duration_hours: 168.0,
+            tick_minutes: 10.0,
+            activity_rate: 4.0,
+        }
     }
 }
 
@@ -132,7 +137,8 @@ impl Simulator {
     fn environment_tick(&mut self, dt: f64) {
         let h = self.hour_of_day() as f64;
         let outdoor = 70.0 + 15.0 * ((h - 14.0) * std::f64::consts::PI / 12.0).cos();
-        self.env.set(Channel::Temperature, Location::Outdoor, outdoor);
+        self.env
+            .set(Channel::Temperature, Location::Outdoor, outdoor);
         let indoor = self.env.get(Channel::Temperature, Location::House);
         let mut delta = (outdoor - indoor) * 0.02 * (dt / 600.0);
         let mut hum_delta = (45.0 - self.env.get(Channel::Humidity, Location::House)) * 0.05;
@@ -153,9 +159,14 @@ impl Simulator {
                 _ => {}
             }
         }
-        self.env.set(Channel::Temperature, Location::House, indoor + delta);
+        self.env
+            .set(Channel::Temperature, Location::House, indoor + delta);
         let hum = self.env.get(Channel::Humidity, Location::House);
-        self.env.set(Channel::Humidity, Location::House, (hum + hum_delta * (dt / 600.0)).clamp(5.0, 95.0));
+        self.env.set(
+            Channel::Humidity,
+            Location::House,
+            (hum + hum_delta * (dt / 600.0)).clamp(5.0, 95.0),
+        );
         // periodic sensor readings in the log
         self.record(EventKind::ChannelReading {
             channel: Channel::Temperature,
@@ -189,10 +200,18 @@ impl Simulator {
             .rules
             .iter()
             .filter(|r| match &r.trigger {
-                Trigger::ChannelThreshold { channel, location, cmp, value } => {
-                    cmp.check(self.env.get(*channel, *location) as f32, *value)
-                }
-                Trigger::ChannelRange { channel, location, lo, hi } => {
+                Trigger::ChannelThreshold {
+                    channel,
+                    location,
+                    cmp,
+                    value,
+                } => cmp.check(self.env.get(*channel, *location) as f32, *value),
+                Trigger::ChannelRange {
+                    channel,
+                    location,
+                    lo,
+                    hi,
+                } => {
                     let v = self.env.get(*channel, *location) as f32;
                     v >= *lo && v <= *hi
                 }
@@ -214,7 +233,12 @@ impl Simulator {
 
     /// Seeded resident behavior: motion, doors, buttons, presence, TV.
     fn resident_activity(&mut self) {
-        let rooms = [Location::Hallway, Location::LivingRoom, Location::Kitchen, Location::Bedroom];
+        let rooms = [
+            Location::Hallway,
+            Location::LivingRoom,
+            Location::Kitchen,
+            Location::Bedroom,
+        ];
         match self.rng.gen_range(0..6) {
             0 | 1 => {
                 let room = rooms[self.rng.gen_range(0..rooms.len())];
@@ -225,9 +249,18 @@ impl Simulator {
             }
             3 => {
                 // open/close the hallway door manually
-                let state =
-                    if self.rng.gen_bool(0.5) { StateValue::Open } else { StateValue::Closed };
-                self.apply_device_change(DeviceKind::Door, Location::Hallway, Attribute::OpenClose, state, 0);
+                let state = if self.rng.gen_bool(0.5) {
+                    StateValue::Open
+                } else {
+                    StateValue::Closed
+                };
+                self.apply_device_change(
+                    DeviceKind::Door,
+                    Location::Hallway,
+                    Attribute::OpenClose,
+                    state,
+                    0,
+                );
             }
             4 => {
                 // evening TV session
@@ -268,9 +301,10 @@ impl Simulator {
             .rules
             .iter()
             .filter(|r| match &r.trigger {
-                Trigger::ChannelEvent { channel: c, location: l } => {
-                    *c == channel && (channel.is_global() || l.couples_with(location))
-                }
+                Trigger::ChannelEvent {
+                    channel: c,
+                    location: l,
+                } => *c == channel && (channel.is_global() || l.couples_with(location)),
                 _ => false,
             })
             .map(|r| r.id.0)
@@ -283,11 +317,19 @@ impl Simulator {
     /// Check a rule's conditions against current state.
     fn conditions_hold(&self, rule: &Rule) -> bool {
         rule.conditions.iter().all(|c| match c {
-            Condition::ChannelThreshold { channel, location, cmp, value } => {
-                cmp.check(self.env.get(*channel, *location) as f32, *value)
-            }
+            Condition::ChannelThreshold {
+                channel,
+                location,
+                cmp,
+                value,
+            } => cmp.check(self.env.get(*channel, *location) as f32, *value),
             Condition::Time(spec) => spec.matches(self.hour_of_day()),
-            Condition::DeviceState { device, location, attribute, state } => self
+            Condition::DeviceState {
+                device,
+                location,
+                attribute,
+                state,
+            } => self
                 .home
                 .find(*device, *location)
                 .map(|i| self.home.device(i).get(*attribute) == Some(*state))
@@ -314,11 +356,27 @@ impl Simulator {
         self.record(EventKind::RuleFired { rule_id });
         for action in rule.actions.clone() {
             match action {
-                Action::SetState { device, location, attribute, state } => {
+                Action::SetState {
+                    device,
+                    location,
+                    attribute,
+                    state,
+                } => {
                     self.apply_device_change(device, location, attribute, state, depth + 1);
                 }
-                Action::SetLevel { device, location, attribute, value } => {
-                    self.apply_device_change(device, location, attribute, StateValue::Level(value), depth + 1);
+                Action::SetLevel {
+                    device,
+                    location,
+                    attribute,
+                    value,
+                } => {
+                    self.apply_device_change(
+                        device,
+                        location,
+                        attribute,
+                        StateValue::Level(value),
+                        depth + 1,
+                    );
                 }
                 Action::Notify | Action::Snapshot { .. } => {
                     // notifications are sinks: logged only
@@ -339,13 +397,19 @@ impl Simulator {
         state: StateValue,
         depth: usize,
     ) {
-        let Some(idx) = self.home.find(device, location) else { return };
+        let Some(idx) = self.home.find(device, location) else {
+            return;
+        };
         let changed = self.home.device_mut(idx).set(attribute, state);
         if !changed {
             return;
         }
         let loc = self.home.device(idx).location;
-        self.record(EventKind::DeviceState { device, location: loc, state });
+        self.record(EventKind::DeviceState {
+            device,
+            location: loc,
+            state,
+        });
         // physical side effects: vacuum motion, TV sound, etc.
         if state == StateValue::On {
             match device {
@@ -361,9 +425,12 @@ impl Simulator {
             .rules
             .iter()
             .filter(|r| match &r.trigger {
-                Trigger::DeviceState { device: d, location: l, attribute: a, state: s } => {
-                    *d == device && *a == attribute && *s == state && l.couples_with(loc)
-                }
+                Trigger::DeviceState {
+                    device: d,
+                    location: l,
+                    attribute: a,
+                    state: s,
+                } => *d == device && *a == attribute && *s == state && l.couples_with(loc),
                 _ => false,
             })
             .map(|r| r.id.0)
@@ -386,7 +453,11 @@ mod tests {
     use glint_rules::scenarios::table1_rules;
 
     fn one_day_sim() -> EventLog {
-        let config = SimConfig { seed: 3, duration_hours: 24.0, ..Default::default() };
+        let config = SimConfig {
+            seed: 3,
+            duration_hours: 24.0,
+            ..Default::default()
+        };
         Simulator::new(figure10_home(), table1_rules(), config).run()
     }
 
@@ -411,7 +482,11 @@ mod tests {
         let light_on = log.records().iter().any(|r| {
             matches!(
                 r.kind,
-                EventKind::DeviceState { device: DeviceKind::Light, state: StateValue::On, .. }
+                EventKind::DeviceState {
+                    device: DeviceKind::Light,
+                    state: StateValue::On,
+                    ..
+                }
             )
         });
         assert!(light_on);
@@ -419,23 +494,38 @@ mod tests {
 
     #[test]
     fn smoke_event_opens_window_and_unlocks_door() {
-        let config = SimConfig { seed: 4, duration_hours: 1.0, ..Default::default() };
+        let config = SimConfig {
+            seed: 4,
+            duration_hours: 1.0,
+            ..Default::default()
+        };
         let mut sim = Simulator::new(figure10_home(), table1_rules(), config);
         sim.emit_channel_event(Channel::Smoke, Location::Kitchen);
         let log = sim.log.clone();
         let window_open = log.records().iter().any(|r| {
             matches!(
                 r.kind,
-                EventKind::DeviceState { device: DeviceKind::Window, state: StateValue::Open, .. }
+                EventKind::DeviceState {
+                    device: DeviceKind::Window,
+                    state: StateValue::Open,
+                    ..
+                }
             )
         });
         let door_unlocked = log.records().iter().any(|r| {
             matches!(
                 r.kind,
-                EventKind::DeviceState { device: DeviceKind::Door, state: StateValue::Unlocked, .. }
+                EventKind::DeviceState {
+                    device: DeviceKind::Door,
+                    state: StateValue::Unlocked,
+                    ..
+                }
             )
         });
-        assert!(window_open && door_unlocked, "smoke rule 6 must actuate both devices");
+        assert!(
+            window_open && door_unlocked,
+            "smoke rule 6 must actuate both devices"
+        );
     }
 
     #[test]
@@ -451,7 +541,11 @@ mod tests {
         // rules 110/111 of Table 4 form an action loop; the engine must not
         // recurse forever
         let rules = glint_rules::scenarios::table4_settings();
-        let config = SimConfig { seed: 5, duration_hours: 0.5, ..Default::default() };
+        let config = SimConfig {
+            seed: 5,
+            duration_hours: 0.5,
+            ..Default::default()
+        };
         let mut sim = Simulator::new(figure10_home(), rules, config);
         sim.apply_device_change(
             DeviceKind::Light,
@@ -460,12 +554,21 @@ mod tests {
             StateValue::On,
             0,
         );
-        assert!(sim.log.len() < 100, "loop guard failed: {} events", sim.log.len());
+        assert!(
+            sim.log.len() < 100,
+            "loop guard failed: {} events",
+            sim.log.len()
+        );
     }
 
     #[test]
     fn week_long_log_matches_paper_order_of_magnitude() {
-        let config = SimConfig { seed: 6, duration_hours: 168.0, tick_minutes: 10.0, activity_rate: 4.0 };
+        let config = SimConfig {
+            seed: 6,
+            duration_hours: 168.0,
+            tick_minutes: 10.0,
+            activity_rate: 4.0,
+        };
         let log = Simulator::new(figure10_home(), table1_rules(), config).run();
         // paper: 1,813 events in a week; periodic readings dominate here —
         // the automation-relevant subset should be in the same ballpark

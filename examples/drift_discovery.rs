@@ -30,7 +30,11 @@ fn main() {
         true,
     );
     dataset.oversample_threats(3);
-    println!("training distribution: {} graphs ({:?})", dataset.len(), dataset.class_stats());
+    println!(
+        "training distribution: {} graphs ({:?})",
+        dataset.len(),
+        dataset.class_stats()
+    );
 
     let prepared = PreparedGraph::prepare_all(dataset.graphs());
     // include HA/Google in the schema so blueprint graphs embed cleanly
@@ -43,16 +47,32 @@ fn main() {
     schema.types.sort_by_key(|(p, _)| p.type_index());
 
     println!("training ITGNN-C (contrastive, Eq. 1)…");
-    let mut model = Itgnn::new(&schema.types, ItgnnConfig { hidden: 32, embed: 64, ..Default::default() });
-    ContrastiveTrainer::new(TrainConfig { epochs: 6, ..Default::default() }).train(&mut model, &prepared);
+    let mut model = Itgnn::new(
+        &schema.types,
+        ItgnnConfig {
+            hidden: 32,
+            embed: 64,
+            ..Default::default()
+        },
+    );
+    ContrastiveTrainer::new(TrainConfig {
+        epochs: 6,
+        ..Default::default()
+    })
+    .train(&mut model, &prepared);
     let emb = ContrastiveTrainer::embed_all(&model, &prepared);
     let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
     let detector = DriftDetector::fit(&emb, &labels);
 
     // baseline: how much does the training distribution itself drift?
-    let in_dist: Vec<f64> = (0..emb.rows()).map(|i| detector.drift_degree(emb.row(i))).collect();
+    let in_dist: Vec<f64> = (0..emb.rows())
+        .map(|i| detector.drift_degree(emb.row(i)))
+        .collect();
     let mean_in = in_dist.iter().sum::<f64>() / in_dist.len() as f64;
-    println!("in-distribution mean drift degree: {mean_in:.2} (threshold {})\n", detector.threshold);
+    println!(
+        "in-distribution mean drift degree: {mean_in:.2} (threshold {})\n",
+        detector.threshold
+    );
 
     // scan the four blueprint patterns
     for (name, rules) in drift_blueprints() {
@@ -61,7 +81,11 @@ fn main() {
         let degree = detector.drift_degree(&e);
         println!(
             "blueprint «{name}» — drift degree {degree:.2} {}",
-            if detector.is_drifting(&e) { "→ DRIFTING (new threat type)" } else { "" }
+            if detector.is_drifting(&e) {
+                "→ DRIFTING (new threat type)"
+            } else {
+                ""
+            }
         );
         for r in &rules {
             println!("    [{:>16}] {}", r.platform.name(), render_rule(r));

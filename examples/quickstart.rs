@@ -25,15 +25,28 @@ fn main() {
     let rules = table1_rules();
     println!("Deployed automation rules:");
     for r in &rules {
-        println!("  [{:>16} #{}] {}", r.platform.name(), r.id.0, render_rule(r));
+        println!(
+            "  [{:>16} #{}] {}",
+            r.platform.name(),
+            r.id.0,
+            render_rule(r)
+        );
     }
 
     // 2. the complete interaction graph + oracle findings
     let graph = full_graph(&rules, &node_features);
-    println!("\nInteraction graph: {} nodes, {} edges", graph.n_nodes(), graph.n_edges());
+    println!(
+        "\nInteraction graph: {} nodes, {} edges",
+        graph.n_nodes(),
+        graph.n_edges()
+    );
     let refs: Vec<&Rule> = rules.iter().collect();
     for f in oracle::label_rules(&refs) {
-        println!("  policy finding: {} involving rules {:?}", f.kind.name(), f.rules);
+        println!(
+            "  policy finding: {} involving rules {:?}",
+            f.kind.name(),
+            f.rules
+        );
     }
 
     // 3. train a small ITGNN-S + ITGNN-C on sampled interaction graphs
@@ -41,15 +54,30 @@ fn main() {
     let builder = OfflineBuilder::new(rules.clone(), 1);
     let mut dataset = builder.build_dataset(Platform::all(), 60, 6, true);
     dataset.oversample_threats(1);
-    println!("  dataset: {} graphs ({:?})", dataset.len(), dataset.class_stats());
+    println!(
+        "  dataset: {} graphs ({:?})",
+        dataset.len(),
+        dataset.class_stats()
+    );
     let prepared = PreparedGraph::prepare_all(dataset.graphs());
     let schema = GraphSchema::infer(dataset.iter());
-    let cfg = ItgnnConfig { hidden: 32, embed: 32, ..Default::default() };
+    let cfg = ItgnnConfig {
+        hidden: 32,
+        embed: 32,
+        ..Default::default()
+    };
     let mut classifier = Itgnn::new(&schema.types, cfg.clone());
-    let train_cfg = TrainConfig { epochs: 8, ..Default::default() };
+    let train_cfg = TrainConfig {
+        epochs: 8,
+        ..Default::default()
+    };
     ClassifierTrainer::new(train_cfg.clone()).train(&mut classifier, &prepared);
     let mut embedder = Itgnn::new(&schema.types, cfg);
-    ContrastiveTrainer::new(TrainConfig { epochs: 5, ..train_cfg }).train(&mut embedder, &prepared);
+    ContrastiveTrainer::new(TrainConfig {
+        epochs: 5,
+        ..train_cfg
+    })
+    .train(&mut embedder, &prepared);
     let emb = ContrastiveTrainer::embed_all(&embedder, &prepared);
     let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
     let drift = DriftDetector::fit(&emb, &labels);
@@ -61,9 +89,18 @@ fn main() {
     let mut log = EventLog::new();
     log.push(EventRecord::new(100.0, EventKind::RuleFired { rule_id: 1 })); // lights off (movie)
     log.push(EventRecord::new(130.0, EventKind::RuleFired { rule_id: 9 })); // door locks
-    log.push(EventRecord::new(1900.0, EventKind::RuleFired { rule_id: 6 })); // smoke → window opens
-    log.push(EventRecord::new(1960.0, EventKind::RuleFired { rule_id: 4 })); // temp 86°F → AC on
-    log.push(EventRecord::new(2000.0, EventKind::RuleFired { rule_id: 5 })); // AC on → windows closed
+    log.push(EventRecord::new(
+        1900.0,
+        EventKind::RuleFired { rule_id: 6 },
+    )); // smoke → window opens
+    log.push(EventRecord::new(
+        1960.0,
+        EventKind::RuleFired { rule_id: 4 },
+    )); // temp 86°F → AC on
+    log.push(EventRecord::new(
+        2000.0,
+        EventKind::RuleFired { rule_id: 5 },
+    )); // AC on → windows closed
     let detection = detector.process_window(&log, 0.0, 3600.0);
     println!(
         "\nReal-time window: {} executed rules, {} causal edges, threat probability {:.2}",

@@ -25,13 +25,23 @@ fn main() {
     dataset.oversample_threats(7);
     let prepared = PreparedGraph::prepare_all(dataset.graphs());
     let schema = GraphSchema::infer(dataset.iter());
-    let cfg = ItgnnConfig { hidden: 32, embed: 32, ..Default::default() };
+    let cfg = ItgnnConfig {
+        hidden: 32,
+        embed: 32,
+        ..Default::default()
+    };
     let mut classifier = Itgnn::new(&schema.types, cfg.clone());
-    ClassifierTrainer::new(TrainConfig { epochs: 8, ..Default::default() })
-        .train(&mut classifier, &prepared);
+    ClassifierTrainer::new(TrainConfig {
+        epochs: 8,
+        ..Default::default()
+    })
+    .train(&mut classifier, &prepared);
     let mut embedder = Itgnn::new(&schema.types, cfg);
-    ContrastiveTrainer::new(TrainConfig { epochs: 5, ..Default::default() })
-        .train(&mut embedder, &prepared);
+    ContrastiveTrainer::new(TrainConfig {
+        epochs: 5,
+        ..Default::default()
+    })
+    .train(&mut embedder, &prepared);
     let emb = ContrastiveTrainer::embed_all(&embedder, &prepared);
     let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
     let drift = DriftDetector::fit(&emb, &labels);
@@ -39,10 +49,17 @@ fn main() {
 
     // online: a simulated day with a stealthy-command attack injected
     println!("Online stage: simulating 24 h of home activity…");
-    let config = SimConfig { seed: 42, duration_hours: 24.0, ..Default::default() };
+    let config = SimConfig {
+        seed: 42,
+        duration_hours: 24.0,
+        ..Default::default()
+    };
     let log = Simulator::new(figure10_home(), rules, config).run();
     let log = inject(&log, AttackKind::StealthyCommand, 99);
-    println!("  event log: {} records (stealthy vacuum command injected)", log.len());
+    println!(
+        "  event log: {} records (stealthy vacuum command injected)",
+        log.len()
+    );
 
     // screen 3-hour windows
     let mut warned = 0;

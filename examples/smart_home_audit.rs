@@ -17,12 +17,17 @@ use glint_suite::rules::{Platform, Rule};
 
 fn main() {
     let rules = table4_settings();
-    println!("Auditing {} rules from Table 4 across three platforms…\n", rules.len());
+    println!(
+        "Auditing {} rules from Table 4 across three platforms…\n",
+        rules.len()
+    );
 
     // 1. static policy audit over every threat group
     for (name, ids) in table4_threat_groups() {
-        let group: Vec<&Rule> =
-            ids.iter().map(|id| rules.iter().find(|r| r.id.0 == *id).unwrap()).collect();
+        let group: Vec<&Rule> = ids
+            .iter()
+            .map(|id| rules.iter().find(|r| r.id.0 == *id).unwrap())
+            .collect();
         let findings = oracle::label_rules(&group);
         println!("settings {ids:?} — expected: {name}");
         for r in &group {
@@ -41,8 +46,19 @@ fn main() {
     dataset.oversample_threats(2);
     let prepared = PreparedGraph::prepare_all(dataset.graphs());
     let schema = GraphSchema::infer(dataset.iter());
-    let mut model = Itgnn::new(&schema.types, ItgnnConfig { hidden: 32, embed: 32, ..Default::default() });
-    ClassifierTrainer::new(TrainConfig { epochs: 8, ..Default::default() }).train(&mut model, &prepared);
+    let mut model = Itgnn::new(
+        &schema.types,
+        ItgnnConfig {
+            hidden: 32,
+            embed: 32,
+            ..Default::default()
+        },
+    );
+    ClassifierTrainer::new(TrainConfig {
+        epochs: 8,
+        ..Default::default()
+    })
+    .train(&mut model, &prepared);
 
     let whole = full_graph(&rules, &node_features);
     let p = ClassifierTrainer::predict_proba(&model, &PreparedGraph::from_graph(&whole));
@@ -54,6 +70,11 @@ fn main() {
     for i in causes {
         let node = whole.node(i);
         let rule = rules.iter().find(|r| r.id == node.rule_id).unwrap();
-        println!("  [{:>16} #{}] {}", rule.platform.name(), rule.id.0, render_rule(rule));
+        println!(
+            "  [{:>16} #{}] {}",
+            rule.platform.name(),
+            rule.id.0,
+            render_rule(rule)
+        );
     }
 }

@@ -22,12 +22,27 @@ fn main() {
     // source: plentiful IFTTT graphs; target: a tiny SmartThings set
     let source = builder.build_dataset(&[Platform::Ifttt], 160, 8, true);
     let target = builder.build_dataset(&[Platform::SmartThings], 40, 8, true);
-    println!("source (IFTTT): {} graphs {:?}", source.len(), source.class_stats());
-    println!("target (SmartThings): {} graphs {:?}", target.len(), target.class_stats());
+    println!(
+        "source (IFTTT): {} graphs {:?}",
+        source.len(),
+        source.class_stats()
+    );
+    println!(
+        "target (SmartThings): {} graphs {:?}",
+        target.len(),
+        target.class_stats()
+    );
 
     let schema = GraphSchema::infer(source.iter().chain(target.iter()));
-    let cfg = ItgnnConfig { hidden: 32, embed: 32, ..Default::default() };
-    let train_cfg = TrainConfig { epochs: 8, ..Default::default() };
+    let cfg = ItgnnConfig {
+        hidden: 32,
+        embed: 32,
+        ..Default::default()
+    };
+    let train_cfg = TrainConfig {
+        epochs: 8,
+        ..Default::default()
+    };
 
     // pretrain on the source domain
     println!("\npretraining ITGNN on IFTTT…");
@@ -50,7 +65,13 @@ fn main() {
     let tgt_train = glint_suite::gnn::batch::PreparedGraph::prepare_all(tgt_train.graphs());
     let tgt_test = glint_suite::gnn::batch::PreparedGraph::prepare_all(target_split.test.graphs());
 
-    let mut scratch = Itgnn::new(&schema.types, ItgnnConfig { seed: 5, ..cfg.clone() });
+    let mut scratch = Itgnn::new(
+        &schema.types,
+        ItgnnConfig {
+            seed: 5,
+            ..cfg.clone()
+        },
+    );
     let mut transferred = Itgnn::new(&schema.types, ItgnnConfig { seed: 5, ..cfg });
     let outcome = run_transfer(
         &mut scratch,
@@ -62,8 +83,14 @@ fn main() {
         train_cfg.clone(),
         train_cfg,
     );
-    println!("\ntransferred {} parameter tensors from the IFTTT model", outcome.transferred_params);
+    println!(
+        "\ntransferred {} parameter tensors from the IFTTT model",
+        outcome.transferred_params
+    );
     println!("target from scratch : {}", outcome.no_transfer);
     println!("target with transfer: {}", outcome.with_transfer);
-    println!("improvement: {:+.1} accuracy points", outcome.improvement() * 100.0);
+    println!(
+        "improvement: {:+.1} accuracy points",
+        outcome.improvement() * 100.0
+    );
 }

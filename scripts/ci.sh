@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the test suite in both the default
+# (parallel) and forced-serial thread configurations. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (default GLINT_THREADS) =="
+cargo test --workspace -q
+
+echo "== cargo test (GLINT_THREADS=1, forced serial) =="
+GLINT_THREADS=1 cargo test --workspace -q
+
+echo "ci: all green"

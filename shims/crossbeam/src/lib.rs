@@ -1,0 +1,71 @@
+//! Offline shim of the `crossbeam` API surface used by this workspace:
+//! scoped threads (delegating to `std::thread::scope`, which has provided
+//! structured concurrency since Rust 1.63) and a re-export of std mpsc as
+//! `channel`. One deliberate deviation from upstream crossbeam: `spawn`
+//! closures take no `&Scope` argument (nested spawning goes through the
+//! scope handle captured by reference instead).
+
+pub mod thread {
+    /// Result of joining a (possibly panicked) thread.
+    pub use std::thread::Result;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, non-'static threads can be
+    /// spawned; all are joined before `scope` returns. Unlike upstream
+    /// crossbeam this cannot observe child panics as an `Err` (std's scope
+    /// re-panics on join), so the `Result` is always `Ok` on return.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    pub use std::sync::mpsc::{channel, Receiver, RecvError, SendError, Sender};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut partials = [0u64; 2];
+        super::thread::scope(|s| {
+            let (lo, hi) = data.split_at(4);
+            let (p0, p1) = partials.split_at_mut(1);
+            let h0 = s.spawn(|| p0[0] = lo.iter().sum());
+            let h1 = s.spawn(|| p1[0] = hi.iter().sum());
+            h0.join().unwrap();
+            h1.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(partials[0] + partials[1], 36);
+    }
+}

@@ -41,15 +41,29 @@ fn fixture() -> Fixture {
     schema.types.sort_by_key(|(p, _)| p.type_index());
     let mut model = Itgnn::new(
         &schema.types,
-        ItgnnConfig { hidden: 24, embed: 32, n_scales: 2, ..Default::default() },
+        ItgnnConfig {
+            hidden: 24,
+            embed: 32,
+            n_scales: 2,
+            ..Default::default()
+        },
     );
-    ContrastiveTrainer::new(TrainConfig { epochs: 5, ..Default::default() })
-        .train(&mut model, &prepared);
+    ContrastiveTrainer::new(TrainConfig {
+        epochs: 5,
+        ..Default::default()
+    })
+    .train(&mut model, &prepared);
     let emb = ContrastiveTrainer::embed_all(&model, &prepared);
     let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
     let detector = DriftDetector::fit(&emb, &labels);
-    let in_dist_degrees = (0..emb.rows()).map(|i| detector.drift_degree(emb.row(i))).collect();
-    Fixture { model, detector, in_dist_degrees }
+    let in_dist_degrees = (0..emb.rows())
+        .map(|i| detector.drift_degree(emb.row(i)))
+        .collect();
+    Fixture {
+        model,
+        detector,
+        in_dist_degrees,
+    }
 }
 
 #[test]
@@ -74,8 +88,11 @@ fn blueprints_drift_beyond_the_typical_training_sample() {
 #[test]
 fn in_distribution_false_flag_rate_is_a_tail() {
     let fx = fixture();
-    let flags =
-        fx.in_dist_degrees.iter().filter(|&&d| d > fx.detector.threshold).count();
+    let flags = fx
+        .in_dist_degrees
+        .iter()
+        .filter(|&&d| d > fx.detector.threshold)
+        .count();
     let rate = flags as f64 / fx.in_dist_degrees.len() as f64;
     // the paper's unlabeled pools flag ≈0.5–0.6%; training data itself
     // should flag an even smaller tail — allow up to 10% for tiny models

@@ -7,7 +7,11 @@ use glint_suite::rules::{CorpusConfig, CorpusGenerator, Rule};
 use proptest::prelude::*;
 
 fn corpus(seed: u64) -> Vec<Rule> {
-    CorpusGenerator::generate_corpus(&CorpusConfig { scale: 0.0005, per_platform_cap: 80, seed })
+    CorpusGenerator::generate_corpus(&CorpusConfig {
+        scale: 0.0005,
+        per_platform_cap: 80,
+        seed,
+    })
 }
 
 proptest! {
@@ -93,7 +97,10 @@ fn oracle_findings_reference_only_member_rules() {
         let refs: Vec<&Rule> = chunk.iter().collect();
         for f in oracle::label_rules(&refs) {
             for id in &f.rules {
-                assert!(chunk.iter().any(|r| r.id.0 == *id), "finding references foreign rule {id}");
+                assert!(
+                    chunk.iter().any(|r| r.id.0 == *id),
+                    "finding references foreign rule {id}"
+                );
             }
         }
     }

@@ -39,7 +39,10 @@ fn itgnn_detects_threats_on_held_out_graphs() {
         true,
     );
     let stats = ds.class_stats();
-    assert!(stats.threat >= 10 && stats.normal >= 10, "degenerate dataset {stats:?}");
+    assert!(
+        stats.threat >= 10 && stats.normal >= 10,
+        "degenerate dataset {stats:?}"
+    );
     let split = ds.split(0.8, 3);
     ds = split.train.clone();
     ds.oversample_threats(3);
@@ -48,11 +51,24 @@ fn itgnn_detects_threats_on_held_out_graphs() {
     let schema = GraphSchema::infer(split.train.iter().chain(split.test.iter()));
     let mut model = Itgnn::new(
         &schema.types,
-        ItgnnConfig { hidden: 32, embed: 32, n_scales: 2, ..Default::default() },
+        ItgnnConfig {
+            hidden: 32,
+            embed: 32,
+            n_scales: 2,
+            ..Default::default()
+        },
     );
-    let report = ClassifierTrainer::new(TrainConfig { epochs: 16, lr: 1e-3, ..Default::default() })
-        .train(&mut model, &train);
-    assert!(report.improved(), "training loss did not fall: {:?}", report.epoch_losses);
+    let report = ClassifierTrainer::new(TrainConfig {
+        epochs: 16,
+        lr: 1e-3,
+        ..Default::default()
+    })
+    .train(&mut model, &train);
+    assert!(
+        report.improved(),
+        "training loss did not fall: {:?}",
+        report.epoch_losses
+    );
     // capacity: the model must be able to fit the (oversampled) training set
     let train_metrics = ClassifierTrainer::evaluate(&model, &train);
     assert!(

@@ -20,16 +20,32 @@ fn trained_detector(seed: u64) -> GlintDetector<Itgnn, Itgnn> {
     ds.oversample_threats(seed);
     let prepared = PreparedGraph::prepare_all(ds.graphs());
     let schema = GraphSchema::infer(ds.iter());
-    let cfg = ItgnnConfig { hidden: 24, embed: 16, n_scales: 2, ..Default::default() };
+    let cfg = ItgnnConfig {
+        hidden: 24,
+        embed: 16,
+        n_scales: 2,
+        ..Default::default()
+    };
     let mut classifier = Itgnn::new(&schema.types, cfg.clone());
-    ClassifierTrainer::new(TrainConfig { epochs: 6, ..Default::default() })
-        .train(&mut classifier, &prepared);
+    ClassifierTrainer::new(TrainConfig {
+        epochs: 6,
+        ..Default::default()
+    })
+    .train(&mut classifier, &prepared);
     let mut embedder = Itgnn::new(&schema.types, cfg);
-    ContrastiveTrainer::new(TrainConfig { epochs: 4, ..Default::default() })
-        .train(&mut embedder, &prepared);
+    ContrastiveTrainer::new(TrainConfig {
+        epochs: 4,
+        ..Default::default()
+    })
+    .train(&mut embedder, &prepared);
     let emb = ContrastiveTrainer::embed_all(&embedder, &prepared);
     let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
-    GlintDetector::new(rules, classifier, embedder, DriftDetector::fit(&emb, &labels))
+    GlintDetector::new(
+        rules,
+        classifier,
+        embedder,
+        DriftDetector::fit(&emb, &labels),
+    )
 }
 
 #[test]
@@ -38,7 +54,11 @@ fn simulated_day_processes_into_windows() {
     let log = Simulator::new(
         figure10_home(),
         table1_rules(),
-        SimConfig { seed: 9, duration_hours: 24.0, ..Default::default() },
+        SimConfig {
+            seed: 9,
+            duration_hours: 24.0,
+            ..Default::default()
+        },
     )
     .run();
     assert!(log.len() > 100);
@@ -54,7 +74,10 @@ fn simulated_day_processes_into_windows() {
             assert_eq!(det.warning.is_some(), det.is_threat || det.drifting);
         }
     }
-    assert!(non_empty_windows >= 2, "day produced almost no active windows");
+    assert!(
+        non_empty_windows >= 2,
+        "day produced almost no active windows"
+    );
 }
 
 #[test]
@@ -63,14 +86,21 @@ fn attack_injection_changes_detection_surface() {
     let clean = Simulator::new(
         figure10_home(),
         table1_rules(),
-        SimConfig { seed: 10, duration_hours: 12.0, ..Default::default() },
+        SimConfig {
+            seed: 10,
+            duration_hours: 12.0,
+            ..Default::default()
+        },
     )
     .run();
     for &attack in AttackKind::all() {
         let tampered = inject(&clean, attack, 31);
         // tampered logs stay processable end-to-end
         let det = detector.process_window(&tampered, 0.0, 12.0 * 3600.0);
-        assert!(det.threat_probability.is_finite(), "{attack:?} broke the pipeline");
+        assert!(
+            det.threat_probability.is_finite(),
+            "{attack:?} broke the pipeline"
+        );
     }
 }
 
@@ -79,13 +109,18 @@ fn every_table4_pair_graph_is_assessable() {
     let detector = trained_detector(3);
     let rules = glint_suite::rules::scenarios::table4_settings();
     for (name, ids) in glint_suite::rules::scenarios::table4_threat_groups() {
-        let subset: Vec<glint_suite::rules::Rule> =
-            ids.iter().map(|id| rules.iter().find(|r| r.id.0 == *id).unwrap().clone()).collect();
+        let subset: Vec<glint_suite::rules::Rule> = ids
+            .iter()
+            .map(|id| rules.iter().find(|r| r.id.0 == *id).unwrap().clone())
+            .collect();
         let graph = glint_suite::graph::builder::full_graph(
             &subset,
             &glint_suite::core::construction::node_features,
         );
         let det = detector.assess(graph);
-        assert!(det.threat_probability.is_finite(), "{name} graph not assessable");
+        assert!(
+            det.threat_probability.is_finite(),
+            "{name} graph not assessable"
+        );
     }
 }

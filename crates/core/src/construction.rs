@@ -7,7 +7,7 @@ use glint_graph::builder::GraphBuilder;
 use glint_graph::{GraphDataset, GraphLabel, InteractionGraph};
 use glint_nlp::EmbeddingSpace;
 use glint_rules::{render::render_rule, Platform, Rule};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Node features for a rule: the averaged word embedding of its rendered
 /// description — 512-d sentence embeddings for voice platforms, 300-d word
@@ -47,7 +47,7 @@ pub struct OfflineBuilder {
     seed: u64,
     /// Rule-id → embedded features, computed once (text embedding is the
     /// hot path when sampling thousands of graphs).
-    feature_cache: parking_lot::Mutex<HashMap<u32, Vec<f32>>>,
+    feature_cache: parking_lot::Mutex<BTreeMap<u32, Vec<f32>>>,
 }
 
 impl OfflineBuilder {
@@ -55,7 +55,7 @@ impl OfflineBuilder {
         Self {
             rules,
             seed,
-            feature_cache: parking_lot::Mutex::new(HashMap::new()),
+            feature_cache: parking_lot::Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -74,7 +74,7 @@ impl OfflineBuilder {
 
     /// Label an interaction graph with the oracle (by looking up its rules).
     pub fn label_graph(&self, g: &InteractionGraph) -> GraphLabel {
-        let by_id: HashMap<u32, &Rule> = self.rules.iter().map(|r| (r.id.0, r)).collect();
+        let by_id: BTreeMap<u32, &Rule> = self.rules.iter().map(|r| (r.id.0, r)).collect();
         let members: Vec<&Rule> = g
             .nodes()
             .iter()

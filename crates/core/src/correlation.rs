@@ -175,10 +175,10 @@ pub fn pair_features_from_phrases(action: &PhraseElements, trigger: &PhraseEleme
 }
 
 fn concept_jaccard(a: &[String], b: &[String]) -> f32 {
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     let lex = glint_nlp::Lexicon::global();
-    let ca: HashSet<String> = a.iter().map(|w| lex.concept_of(w)).collect();
-    let cb: HashSet<String> = b.iter().map(|w| lex.concept_of(w)).collect();
+    let ca: BTreeSet<String> = a.iter().map(|w| lex.concept_of(w)).collect();
+    let cb: BTreeSet<String> = b.iter().map(|w| lex.concept_of(w)).collect();
     if ca.is_empty() && cb.is_empty() {
         return 0.0;
     }

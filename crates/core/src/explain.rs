@@ -25,8 +25,16 @@ pub fn node_importance(model: &dyn GraphModel, g: &InteractionGraph) -> Vec<(usi
             (drop, base - p)
         })
         .collect();
-    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    rank_desc(&mut scores);
     scores
+}
+
+/// Sort `(node, importance)` pairs by descending importance under the IEEE
+/// total order — deterministic even when a degenerate model yields NaN
+/// importances (NaN ranks first, so broken attributions are visible rather
+/// than panicking).
+fn rank_desc(scores: &mut [(usize, f64)]) {
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
 }
 
 /// The top-k most influential nodes (the warning's "potential causes").
@@ -121,5 +129,17 @@ mod tests {
         );
         let imp = node_importance(&model, &g);
         assert_eq!(imp, vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn rank_desc_is_total_on_nan_importances() {
+        let mut scores = vec![(0, 0.5), (1, f64::NAN), (2, 0.9), (3, f64::NEG_INFINITY)];
+        rank_desc(&mut scores);
+        // NaN outranks +inf under total_cmp, so a broken attribution surfaces
+        // at the top of the cause list instead of panicking the sort.
+        assert_eq!(
+            scores.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![1, 2, 0, 3]
+        );
     }
 }

@@ -93,7 +93,7 @@ impl PreparedGraph {
         let adj_norm = Csr::normalized_adjacency(n, &undirected);
         let adj_row = Csr::row_normalized(n, &undirected);
         let mut sum_triplets = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &(u, v) in &undirected {
             if u != v && seen.insert((u, v)) {
                 sum_triplets.push((u, v, 1.0));

@@ -115,13 +115,7 @@ impl VIPool {
         // top-k selection by score value (selection itself non-differentiable)
         let k = ((self.ratio * n as f32).ceil() as usize).clamp(1, n);
         let score_vals = tape.value(scores).clone();
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            score_vals
-                .get(b, 0)
-                .partial_cmp(&score_vals.get(a, 0))
-                .unwrap()
-        });
+        let order = rank_desc(&score_vals);
         let mut kept: Vec<usize> = order[..k].to_vec();
         kept.sort_unstable();
 
@@ -144,6 +138,15 @@ impl VIPool {
             pool_loss,
         }
     }
+}
+
+/// Node order by descending score (column 0), under the IEEE total order:
+/// deterministic for any input, including NaN scores from a diverged scorer
+/// (NaN ranks first instead of panicking mid-sort).
+fn rank_desc(scores: &Matrix) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.rows()).collect();
+    order.sort_by(|&a, &b| scores.get(b, 0).total_cmp(&scores.get(a, 0)));
+    order
 }
 
 /// Edges of the induced subgraph on `kept` (kept must be sorted), relabelled
@@ -266,5 +269,14 @@ mod tests {
         let h = tape.var(Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]));
         let out = pool.forward(&mut tape, &vars, &adj_norm, &adj_row, h, 5);
         assert_eq!(out.kept, vec![0]);
+    }
+
+    #[test]
+    fn rank_desc_is_total_on_nan_scores() {
+        let scores =
+            Matrix::from_rows(&[vec![0.2], vec![f32::NAN], vec![f32::INFINITY], vec![-1.0]]);
+        // NaN sorts above +inf under the IEEE total order, so a diverged
+        // scorer is visible in the kept set rather than a sort panic.
+        assert_eq!(rank_desc(&scores), vec![1, 2, 0, 3]);
     }
 }

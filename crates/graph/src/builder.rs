@@ -8,7 +8,7 @@ use glint_rules::{Action, Rule, StateValue, Trigger};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Offline builder: samples interaction graphs of 2–50 nodes by chaining
 /// rules along ground-truth "action-trigger" correlations, then densifies
@@ -29,8 +29,8 @@ impl<'a> GraphBuilder<'a> {
     /// Precompute the correlation index over the corpus. Complexity is kept
     /// near-linear by bucketing candidate triggers by channel/device first.
     pub fn new(rules: &'a [Rule], seed: u64) -> Self {
-        let mut by_channel: HashMap<glint_rules::Channel, Vec<usize>> = HashMap::new();
-        let mut by_device: HashMap<glint_rules::DeviceKind, Vec<usize>> = HashMap::new();
+        let mut by_channel: BTreeMap<glint_rules::Channel, Vec<usize>> = BTreeMap::new();
+        let mut by_device: BTreeMap<glint_rules::DeviceKind, Vec<usize>> = BTreeMap::new();
         for (i, r) in rules.iter().enumerate() {
             if let Some(c) = r.trigger.channel() {
                 by_channel.entry(c).or_default().push(i);
@@ -42,7 +42,7 @@ impl<'a> GraphBuilder<'a> {
         let mut successors = vec![Vec::new(); rules.len()];
         let mut predecessors = vec![Vec::new(); rules.len()];
         for (i, a) in rules.iter().enumerate() {
-            let mut candidates: HashSet<usize> = HashSet::new();
+            let mut candidates: BTreeSet<usize> = BTreeSet::new();
             for act in &a.actions {
                 if let Some((dev, _)) = act.device() {
                     if let Some(v) = by_device.get(&dev) {
@@ -69,7 +69,7 @@ impl<'a> GraphBuilder<'a> {
         }
         // device-sharing coupling: rules actuating the same device kind in
         // coupled locations (Figure 1's device-mediated connections)
-        let mut actuated: HashMap<glint_rules::DeviceKind, Vec<usize>> = HashMap::new();
+        let mut actuated: BTreeMap<glint_rules::DeviceKind, Vec<usize>> = BTreeMap::new();
         for (i, r) in rules.iter().enumerate() {
             for (dev, _) in r.actuated_devices() {
                 actuated.entry(dev).or_default().push(i);
@@ -131,7 +131,7 @@ impl<'a> GraphBuilder<'a> {
         let b = self.rng.gen_range(min_nodes..=max_nodes);
         let target = a.min(b);
         let mut selected: Vec<usize> = Vec::with_capacity(target);
-        let mut in_graph: HashSet<usize> = HashSet::new();
+        let mut in_graph: BTreeSet<usize> = BTreeSet::new();
         let start = self.rng.gen_range(0..self.rules.len());
         selected.push(start);
         in_graph.insert(start);

@@ -1,0 +1,45 @@
+//! Determinism regression tests for graph construction. The builder's
+//! correlation index used to be HashMap-backed, which made edge discovery
+//! order depend on hasher state; after the BTreeMap migration two builds
+//! over the same corpus and seed must agree edge-for-edge.
+
+use glint_graph::builder::{full_graph, GraphBuilder};
+use glint_rules::{CorpusConfig, CorpusGenerator, Rule};
+
+fn corpus() -> Vec<Rule> {
+    CorpusGenerator::generate_corpus(&CorpusConfig {
+        scale: 0.002,
+        per_platform_cap: 120,
+        seed: 0x5eed,
+    })
+}
+
+fn features(r: &Rule) -> Vec<f32> {
+    vec![r.actions.len() as f32, 1.0]
+}
+
+#[test]
+fn sampled_graphs_are_identical_across_builds() {
+    let rules = corpus();
+    let mut a = GraphBuilder::new(&rules, 42);
+    let mut b = GraphBuilder::new(&rules, 42);
+    assert_eq!(a.n_correlations(), b.n_correlations());
+    for _ in 0..16 {
+        let ga = a.sample_graph(2, 12, &features);
+        let gb = b.sample_graph(2, 12, &features);
+        assert_eq!(ga.edges(), gb.edges());
+        assert_eq!(ga.n_nodes(), gb.n_nodes());
+        let ids_a: Vec<_> = (0..ga.n_nodes()).map(|i| ga.node(i).rule_id).collect();
+        let ids_b: Vec<_> = (0..gb.n_nodes()).map(|i| gb.node(i).rule_id).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+}
+
+#[test]
+fn full_graph_edge_list_is_identical_across_builds() {
+    let rules = corpus();
+    let ga = full_graph(&rules, &features);
+    let gb = full_graph(&rules, &features);
+    assert!(!ga.edges().is_empty(), "corpus should correlate");
+    assert_eq!(ga.edges(), gb.edges());
+}

@@ -1,0 +1,100 @@
+//! # glint-lint
+//!
+//! Self-hosted static analysis for the Glint workspace. PR 2 made training
+//! and inference deterministic across thread counts; these invariants are
+//! one `HashMap` iteration or one `partial_cmp(..).unwrap()` away from
+//! silently regressing. This crate pins them mechanically:
+//!
+//! * **determinism** — no std hash-collection types in deterministic-crate
+//!   library code, no wall-clock reads or OS-seeded RNGs outside bench;
+//! * **NaN-safety** — no `partial_cmp(..).unwrap()`, no ordering adaptors
+//!   driven by `partial_cmp`, no float-literal `==`;
+//! * **panic-safety** — no `unwrap`/`expect`/panicking macros in designated
+//!   hot-path kernels (slice indexing opt-in per module).
+//!
+//! No external parser: a small hand-written lexer ([`lexer`]) that is
+//! comment/string/raw-string aware feeds token-pattern rules ([`rules`]).
+//! Violations that are individually sound carry a justified suppression
+//! pragma: `// glint-lint: allow(<rule>) — <reason>`.
+//!
+//! The workspace lints itself: `tests/invariant_lint.rs` in the root crate
+//! runs [`lint_workspace`] under `cargo test` and asserts zero findings,
+//! and `scripts/ci.sh` runs the binary with `--json`.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use rules::{Config, Finding, RuleId, ALL_RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Lint a single source string as if it lived at workspace-relative `path`
+/// (the path decides which rules apply). Fixture tests drive this directly.
+pub fn lint_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let toks = lexer::strip_cfg_test(&lexed.toks);
+    rules::check_file(path, &toks, &lexed.comments, cfg)
+}
+
+/// Lint the whole workspace rooted at `root` with the default [`Config`].
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    lint_workspace_with(root, &Config::default())
+}
+
+/// Lint the whole workspace rooted at `root`. Scans library code only:
+/// `src/` trees of the root package and of every crate under `crates/`
+/// (shims, tests, benches, examples, and fixtures are out of scope — the
+/// invariants guard shipping code).
+pub fn lint_workspace_with(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for krate in sorted_dir(&crates_dir)? {
+            let src = krate.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel, &src, cfg));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// Directory entries sorted by name — the report order must itself be
+/// deterministic.
+fn sorted_dir(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for path in sorted_dir(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! CLI entry point: `cargo run -p glint-lint [-- --json] [--root <dir>]`.
+//! Exits 1 when findings exist (CI gates on this), 2 on usage/IO errors.
+
+use glint_lint::{lint_workspace, report, ALL_RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: glint-lint [--json] [--root <dir>] [--list-rules]
+  --json        machine-readable report on stdout
+  --root <dir>  workspace root to scan (default: current directory)
+  --list-rules  print every rule id and its invariant family";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in ALL_RULES {
+            println!("{:<20} {}", rule.as_str(), rule.family());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("glint-lint: io error scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report::json(&findings));
+    } else {
+        print!("{}", report::human(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,98 @@
+//! Human-readable and JSON rendering of findings. The JSON writer is
+//! hand-rolled (the linter is dependency-free by design) and escapes
+//! strings per RFC 8259.
+
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// `path:line: [family/rule] message`, one per finding, plus a summary line.
+pub fn human(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    for f in findings {
+        let _ = writeln!(
+            s,
+            "{}:{}: [{}/{}] {}",
+            f.file,
+            f.line,
+            f.rule.family(),
+            f.rule.as_str(),
+            f.message
+        );
+    }
+    if findings.is_empty() {
+        s.push_str("glint-lint: no findings\n");
+    } else {
+        let _ = writeln!(s, "glint-lint: {} finding(s)", findings.len());
+    }
+    s
+}
+
+/// `{"version":1,"count":N,"findings":[{file,line,rule,family,message}…]}`
+pub fn json(findings: &[Finding]) -> String {
+    let mut s = String::from("{\"version\":1,\"count\":");
+    let _ = write!(s, "{}", findings.len());
+    s.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"family\":{},\"message\":{}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule.as_str()),
+            json_str(f.rule.family()),
+            json_str(&f.message)
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let fs = vec![Finding {
+            file: "a/b.rs".into(),
+            line: 3,
+            rule: RuleId::FloatEq,
+            message: "has \"quotes\" and\nnewline".into(),
+        }];
+        let j = json(&fs);
+        assert!(j.contains("\"count\":1"));
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"rule\":\"float-eq\""));
+    }
+
+    #[test]
+    fn empty_is_valid() {
+        assert_eq!(json(&[]), "{\"version\":1,\"count\":0,\"findings\":[]}");
+        assert!(human(&[]).contains("no findings"));
+    }
+}

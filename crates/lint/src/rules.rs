@@ -1,0 +1,559 @@
+//! Token-pattern rules enforcing the workspace invariants, plus the
+//! suppression-pragma machinery.
+//!
+//! Three invariant families (see DESIGN.md "Static invariants"):
+//!
+//! * **determinism** — `hash-collection`, `wall-clock`, `entropy-rng`
+//! * **NaN-safety** — `partial-cmp-unwrap`, `float-cmp-order`, `float-eq`
+//! * **panic-safety** — `hot-unwrap`, `hot-panic`, `hot-index`
+//!
+//! A finding on line `L` is suppressed by a justified pragma on line `L` or
+//! `L-1`:
+//!
+//! ```text
+//! // glint-lint: allow(rule-id, other-rule) — why this site is sound
+//! ```
+//!
+//! The justification after the dash is mandatory; a pragma without one (or
+//! naming an unknown rule) is itself reported under the `pragma` rule.
+
+use crate::lexer::{Comment, Tok, TokKind};
+
+/// Stable rule identifiers (kebab-case, used in reports and pragmas).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    HashCollection,
+    WallClock,
+    EntropyRng,
+    PartialCmpUnwrap,
+    FloatCmpOrder,
+    FloatEq,
+    HotUnwrap,
+    HotPanic,
+    HotIndex,
+    Pragma,
+}
+
+impl RuleId {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::HashCollection => "hash-collection",
+            RuleId::WallClock => "wall-clock",
+            RuleId::EntropyRng => "entropy-rng",
+            RuleId::PartialCmpUnwrap => "partial-cmp-unwrap",
+            RuleId::FloatCmpOrder => "float-cmp-order",
+            RuleId::FloatEq => "float-eq",
+            RuleId::HotUnwrap => "hot-unwrap",
+            RuleId::HotPanic => "hot-panic",
+            RuleId::HotIndex => "hot-index",
+            RuleId::Pragma => "pragma",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        ALL_RULES.iter().copied().find(|r| r.as_str() == s)
+    }
+
+    /// Invariant family, for reports.
+    pub fn family(self) -> &'static str {
+        match self {
+            RuleId::HashCollection | RuleId::WallClock | RuleId::EntropyRng => "determinism",
+            RuleId::PartialCmpUnwrap | RuleId::FloatCmpOrder | RuleId::FloatEq => "nan-safety",
+            RuleId::HotUnwrap | RuleId::HotPanic | RuleId::HotIndex => "panic-safety",
+            RuleId::Pragma => "meta",
+        }
+    }
+}
+
+/// Every rule, in report order.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::HashCollection,
+    RuleId::WallClock,
+    RuleId::EntropyRng,
+    RuleId::PartialCmpUnwrap,
+    RuleId::FloatCmpOrder,
+    RuleId::FloatEq,
+    RuleId::HotUnwrap,
+    RuleId::HotPanic,
+    RuleId::HotIndex,
+    RuleId::Pragma,
+];
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+/// Which parts of the workspace each rule family applies to. Paths are
+/// workspace-relative with `/` separators.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Path prefixes where `hash-collection` applies: crates whose library
+    /// code must be insertion-order independent.
+    pub deterministic_prefixes: Vec<String>,
+    /// Path prefixes exempt from `wall-clock` / `entropy-rng` (benchmarks
+    /// time things by design).
+    pub clock_exempt_prefixes: Vec<String>,
+    /// Exact files where `hot-unwrap` / `hot-panic` apply (designated
+    /// hot-path kernels that must not panic per element).
+    pub hot_path_files: Vec<String>,
+    /// Exact files where `hot-index` applies (opt-in: kernels audited to use
+    /// iterators/`split_at_mut` instead of per-element indexing).
+    pub no_index_files: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            deterministic_prefixes: vec![
+                "crates/gnn/src/".into(),
+                "crates/graph/src/".into(),
+                "crates/core/src/".into(),
+                "crates/tensor/src/".into(),
+            ],
+            clock_exempt_prefixes: vec!["crates/bench/".into()],
+            hot_path_files: vec![
+                "crates/tensor/src/par.rs".into(),
+                "crates/tensor/src/matrix.rs".into(),
+                "crates/tensor/src/csr.rs".into(),
+            ],
+            no_index_files: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    fn in_deterministic(&self, path: &str) -> bool {
+        self.deterministic_prefixes
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+    fn clock_exempt(&self, path: &str) -> bool {
+        self.clock_exempt_prefixes
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+    fn is_hot_path(&self, path: &str) -> bool {
+        self.hot_path_files.iter().any(|p| p == path)
+    }
+    fn is_no_index(&self, path: &str) -> bool {
+        self.no_index_files.iter().any(|p| p == path)
+    }
+}
+
+/// A parsed `glint-lint: allow(…)` pragma.
+#[derive(Clone, Debug)]
+struct Pragma {
+    line: u32,
+    rules: Vec<String>,
+    justified: bool,
+}
+
+/// Parse suppression pragmas out of the comment stream. Returns the pragmas
+/// plus findings for malformed ones.
+fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let text = c.text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = text.strip_prefix("glint-lint:") else {
+            continue;
+        };
+        if !c.is_line {
+            findings.push(Finding {
+                file: file.into(),
+                line: c.line,
+                rule: RuleId::Pragma,
+                message: "suppression pragmas must be `//` line comments".into(),
+            });
+            continue;
+        }
+        let rest = rest.trim();
+        let (rules_part, after) = match rest.strip_prefix("allow(").and_then(|r| r.split_once(')'))
+        {
+            Some(split) => split,
+            None => {
+                findings.push(Finding {
+                    file: file.into(),
+                    line: c.line,
+                    rule: RuleId::Pragma,
+                    message: "malformed pragma: expected `glint-lint: allow(<rule, …>) — <reason>`"
+                        .into(),
+                });
+                continue;
+            }
+        };
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        for r in &rules {
+            if RuleId::parse(r).is_none() {
+                findings.push(Finding {
+                    file: file.into(),
+                    line: c.line,
+                    rule: RuleId::Pragma,
+                    message: format!("pragma names unknown rule `{r}`"),
+                });
+            }
+        }
+        // Justification: whatever follows the closing paren, minus separator
+        // punctuation (`—`, `-`, `:`). Must contain a word.
+        let reason = after.trim_start_matches([' ', '\t', '—', '-', ':']).trim();
+        let justified = reason.chars().any(|ch| ch.is_alphanumeric());
+        if !justified {
+            findings.push(Finding {
+                file: file.into(),
+                line: c.line,
+                rule: RuleId::Pragma,
+                message: "pragma is missing its justification: `allow(<rule>) — <reason>`".into(),
+            });
+        }
+        if rules.is_empty() {
+            findings.push(Finding {
+                file: file.into(),
+                line: c.line,
+                rule: RuleId::Pragma,
+                message: "pragma allows no rules".into(),
+            });
+        }
+        pragmas.push(Pragma {
+            line: c.line,
+            rules,
+            justified,
+        });
+    }
+    (pragmas, findings)
+}
+
+/// Run every applicable rule over one file's (cfg(test)-stripped) tokens and
+/// comments. `path` is workspace-relative with `/` separators.
+pub fn check_file(path: &str, toks: &[Tok], comments: &[Comment], cfg: &Config) -> Vec<Finding> {
+    let (pragmas, mut findings) = parse_pragmas(path, comments);
+    let mut raw: Vec<Finding> = Vec::new();
+
+    if cfg.in_deterministic(path) {
+        rule_hash_collection(path, toks, &mut raw);
+    }
+    if !cfg.clock_exempt(path) {
+        rule_wall_clock(path, toks, &mut raw);
+        rule_entropy_rng(path, toks, &mut raw);
+    }
+    rule_partial_cmp_unwrap(path, toks, &mut raw);
+    rule_float_cmp_order(path, toks, &mut raw);
+    rule_float_eq(path, toks, &mut raw);
+    if cfg.is_hot_path(path) {
+        rule_hot_unwrap(path, toks, &mut raw);
+        rule_hot_panic(path, toks, &mut raw);
+    }
+    if cfg.is_no_index(path) {
+        rule_hot_index(path, toks, &mut raw);
+    }
+
+    // Apply suppressions: a justified pragma covers findings on its own line
+    // (trailing comment) or on the next line holding any code token — so a
+    // justification wrapped over several comment lines still reaches the
+    // statement below it.
+    let next_code_line = |l: u32| toks.iter().map(|t| t.line).filter(|&tl| tl > l).min();
+    let suppressed = |f: &Finding| {
+        pragmas.iter().any(|p| {
+            p.justified
+                && p.rules.iter().any(|r| r == f.rule.as_str())
+                && (p.line == f.line || next_code_line(p.line) == Some(f.line))
+        })
+    };
+    raw.retain(|f| !suppressed(f));
+    findings.append(&mut raw);
+    findings.sort();
+    findings
+}
+
+fn push(out: &mut Vec<Finding>, file: &str, line: u32, rule: RuleId, message: impl Into<String>) {
+    out.push(Finding {
+        file: file.into(),
+        line,
+        rule,
+        message: message.into(),
+    });
+}
+
+fn is_ident(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+/// `hash-collection`: `HashMap`/`HashSet` anywhere in deterministic-crate
+/// library code. Iteration order of std hash collections varies run-to-run
+/// (RandomState), and a token-level pass cannot prove a map is never
+/// iterated — so the types are banned outright; membership-only sites carry
+/// a justified pragma.
+fn rule_hash_collection(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            push(
+                out,
+                file,
+                t.line,
+                RuleId::HashCollection,
+                format!(
+                    "`{}` in deterministic crate code: iteration order is random per process; \
+                     use BTreeMap/BTreeSet or a sorted-key loop",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `wall-clock`: `Instant::now()` / `SystemTime::now()` outside bench code.
+fn rule_wall_clock(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for w in toks.windows(3) {
+        if (is_ident(&w[0], "Instant") || is_ident(&w[0], "SystemTime"))
+            && w[1].text == "::"
+            && is_ident(&w[2], "now")
+        {
+            push(
+                out,
+                file,
+                w[0].line,
+                RuleId::WallClock,
+                format!(
+                    "`{}::now()` outside bench code: wall-clock reads make runs \
+                     non-reproducible; thread timing through explicit parameters",
+                    w[0].text
+                ),
+            );
+        }
+    }
+}
+
+/// `entropy-rng`: OS/time-seeded randomness outside bench code. Seeds must
+/// be explicit (`seed_from_u64`) so every run is replayable.
+fn rule_entropy_rng(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "thread_rng" || t.text == "from_entropy" {
+            push(
+                out,
+                file,
+                t.line,
+                RuleId::EntropyRng,
+                format!(
+                    "`{}` seeds from the OS: results differ every run; \
+                     use `SeedableRng::seed_from_u64` with an explicit seed",
+                    t.text
+                ),
+            );
+        }
+        if t.text == "random"
+            && i >= 2
+            && toks[i - 1].text == "::"
+            && is_ident(&toks[i - 2], "rand")
+        {
+            push(
+                out,
+                file,
+                t.line,
+                RuleId::EntropyRng,
+                "`rand::random` seeds from the OS; use an explicitly seeded RNG",
+            );
+        }
+    }
+}
+
+/// Index just past the balanced `(...)` group starting at `open_idx`
+/// (which must point at `(`). If `toks[open_idx]` is not `(`, returns
+/// `open_idx` unchanged.
+fn skip_paren_group(toks: &[Tok], open_idx: usize) -> usize {
+    if toks.get(open_idx).map(|t| t.text.as_str()) != Some("(") {
+        return open_idx;
+    }
+    let mut depth = 0usize;
+    let mut j = open_idx;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// `partial-cmp-unwrap`: `partial_cmp(…).unwrap()` / `.expect(…)` — panics
+/// the moment a NaN reaches the comparison. `f32::total_cmp`/`f64::total_cmp`
+/// is the drop-in fix.
+fn rule_partial_cmp_unwrap(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !is_ident(t, "partial_cmp") {
+            continue;
+        }
+        let after = skip_paren_group(toks, i + 1);
+        if toks.get(after).map(|t| t.text.as_str()) == Some(".")
+            && toks
+                .get(after + 1)
+                .is_some_and(|t| is_ident(t, "unwrap") || is_ident(t, "expect"))
+        {
+            push(
+                out,
+                file,
+                t.line,
+                RuleId::PartialCmpUnwrap,
+                "`partial_cmp(..).unwrap()` panics on NaN; use `total_cmp` \
+                 or handle non-finite values explicitly",
+            );
+        }
+    }
+}
+
+/// Ordering adaptors whose comparator decides sort/extremum results.
+const ORDER_FNS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "select_nth_unstable_by",
+    "binary_search_by",
+    "max_by",
+    "min_by",
+];
+
+/// `float-cmp-order`: an ordering adaptor whose comparator uses
+/// `partial_cmp` — even with a NaN fallback (`unwrap_or(Equal)`), NaNs make
+/// the comparator non-total and the resulting order input-position
+/// dependent. `total_cmp` gives one deterministic order.
+fn rule_float_cmp_order(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && ORDER_FNS.contains(&t.text.as_str())) {
+            continue;
+        }
+        let open = i + 1;
+        if toks.get(open).map(|t| t.text.as_str()) != Some("(") {
+            continue;
+        }
+        let end = skip_paren_group(toks, open);
+        if toks[open..end].iter().any(|t| is_ident(t, "partial_cmp")) {
+            push(
+                out,
+                file,
+                t.line,
+                RuleId::FloatCmpOrder,
+                format!(
+                    "`{}` with a `partial_cmp` comparator is not a total order under \
+                     NaN; use `total_cmp` (or filter non-finite values first)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `float-eq`: `==`/`!=` with a float literal on either side. Exact float
+/// equality is almost always a rounding bug; where it is deliberate (IEEE
+/// zero tests in kernels) the site carries a pragma saying why.
+fn rule_float_eq(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=")) {
+            continue;
+        }
+        let lhs_float = i > 0 && toks[i - 1].kind == TokKind::Float;
+        let rhs_float = toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Float);
+        if lhs_float || rhs_float {
+            push(
+                out,
+                file,
+                t.line,
+                RuleId::FloatEq,
+                format!(
+                    "`{}` against a float literal: exact float equality is \
+                     rounding-fragile; compare against a tolerance (or pragma \
+                     a deliberate IEEE zero test)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `hot-unwrap`: `.unwrap()` / `.expect(…)` in designated hot-path kernels.
+fn rule_hot_unwrap(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].text == "."
+        {
+            push(
+                out,
+                file,
+                t.line,
+                RuleId::HotUnwrap,
+                format!(
+                    "`.{}()` in a hot-path kernel: return an error or restructure \
+                     so the failure case cannot exist",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `hot-panic`: panicking macros in designated hot-path kernels
+/// (`assert!`/`debug_assert!` stay allowed — they state contracts).
+fn rule_hot_panic(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    for w in toks.windows(2) {
+        if w[0].kind == TokKind::Ident
+            && PANIC_MACROS.contains(&w[0].text.as_str())
+            && w[1].text == "!"
+        {
+            push(
+                out,
+                file,
+                w[0].line,
+                RuleId::HotPanic,
+                format!("`{}!` in a hot-path kernel", w[0].text),
+            );
+        }
+    }
+}
+
+/// `hot-index`: `expr[…]` indexing in opt-in panic-free modules (prefer
+/// iterators, `get`, or `split_at_mut`). Array literals (`= [...]`), macro
+/// brackets (`vec![...]`) and attributes (`#[...]`) do not fire.
+fn rule_hot_index(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 1..toks.len() {
+        if toks[i].text != "[" {
+            continue;
+        }
+        const KEYWORDS: &[&str] = &[
+            "return", "break", "else", "in", "match", "if", "while", "loop", "move", "mut", "ref",
+            "as",
+        ];
+        let prev = &toks[i - 1];
+        let indexable = (prev.kind == TokKind::Ident && !KEYWORDS.contains(&prev.text.as_str()))
+            || prev.text == ")"
+            || prev.text == "]";
+        if indexable {
+            push(
+                out,
+                file,
+                toks[i].line,
+                RuleId::HotIndex,
+                "slice indexing in a panic-free module: use iterators, `get`, \
+                 or `split_at_mut`",
+            );
+        }
+    }
+}

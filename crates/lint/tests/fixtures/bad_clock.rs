@@ -1,0 +1,15 @@
+// Fixture: wall-clock violations (banned everywhere outside bench crates).
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_ms(f: impl FnOnce()) -> u128 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_millis()
+}
+
+pub fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+// Fixture: float-eq violations — exact float equality is almost always a
+// tolerance bug, and NaN != NaN makes `!=` a silent trap.
+pub fn is_zero(x: f32) -> bool {
+    x == 0.0
+}
+
+pub fn changed(a: f64, b: f64) -> bool {
+    a - b != 0.0
+}

@@ -1,0 +1,10 @@
+// Fixture: float-cmp-order violations — ordering callbacks built on
+// partial_cmp give unstable (or panicking) results on NaN.
+pub fn sort(v: &mut [f32]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn top(v: &[f64]) -> Option<&f64> {
+    v.iter()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less))
+}

@@ -1,0 +1,15 @@
+// Fixture: hash-collection violations (applies in deterministic crates).
+use std::collections::{HashMap, HashSet};
+
+pub fn count(words: &[String]) -> HashMap<String, usize> {
+    let mut m = HashMap::new();
+    for w in words {
+        *m.entry(w.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn dedup(ids: &[u32]) -> Vec<u32> {
+    let mut seen = HashSet::new();
+    ids.iter().copied().filter(|i| seen.insert(*i)).collect()
+}

@@ -1,0 +1,9 @@
+// Fixture: partial-cmp-unwrap violations — panics the first time a NaN
+// reaches the comparison.
+pub fn bigger(a: f32, b: f32) -> bool {
+    a.partial_cmp(&b).unwrap() == std::cmp::Ordering::Greater
+}
+
+pub fn ordering(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("comparable")
+}

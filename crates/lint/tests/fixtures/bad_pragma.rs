@@ -1,0 +1,27 @@
+// Fixture: malformed pragmas. Each one is reported under the `pragma` rule,
+// and none of them suppress the violations they sit next to.
+
+pub fn unjustified(x: f32) -> bool {
+    // glint-lint: allow(float-eq)
+    x == 0.0
+}
+
+pub fn unknown_rule(x: f32) -> bool {
+    // glint-lint: allow(flaot-eq) — typo in the rule name
+    x == 0.0
+}
+
+pub fn malformed(x: f32) -> bool {
+    // glint-lint: float-eq is fine here
+    x == 0.0
+}
+
+pub fn empty_allow(x: f32) -> bool {
+    // glint-lint: allow() — no rule named
+    x == 0.0
+}
+
+/* glint-lint: allow(float-eq) — block comments are not accepted */
+pub fn block_comment(x: f32) -> bool {
+    x == 0.0
+}

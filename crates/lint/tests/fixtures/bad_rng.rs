@@ -1,0 +1,17 @@
+// Fixture: entropy-rng violations — time/OS-seeded randomness breaks
+// run-to-run reproducibility.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn unseeded() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn roll() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

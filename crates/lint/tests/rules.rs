@@ -1,0 +1,121 @@
+//! Fixture tests: every rule must (a) catch its violation fixture, (b) stay
+//! silent on the clean fixture, and (c) honour a justified suppression
+//! pragma. Fixtures are linted under masquerade workspace paths so the
+//! path-scoped rules (determinism prefixes, hot-path files) apply.
+
+use glint_lint::{lint_source, Config, Finding, RuleId};
+
+/// A path inside a deterministic prefix AND the hot-path list, with
+/// `no_index_files` extended to cover it — every rule is live at once.
+const HOT: &str = "crates/tensor/src/par.rs";
+
+fn all_rules_config() -> Config {
+    let mut cfg = Config::default();
+    cfg.no_index_files.push(HOT.to_string());
+    cfg
+}
+
+fn lint_fixture(src: &str) -> Vec<Finding> {
+    lint_source(HOT, src, &all_rules_config())
+}
+
+fn count(findings: &[Finding], rule: RuleId) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn hash_collection_catches_hashmap_and_hashset() {
+    let f = lint_fixture(include_str!("fixtures/bad_hash.rs"));
+    assert!(count(&f, RuleId::HashCollection) >= 3, "{f:?}");
+}
+
+#[test]
+fn hash_collection_is_scoped_to_deterministic_prefixes() {
+    let src = include_str!("fixtures/bad_hash.rs");
+    let f = lint_source("crates/ml/src/fixture.rs", src, &Config::default());
+    assert_eq!(count(&f, RuleId::HashCollection), 0, "{f:?}");
+}
+
+#[test]
+fn wall_clock_catches_instant_and_system_time() {
+    let f = lint_fixture(include_str!("fixtures/bad_clock.rs"));
+    assert!(count(&f, RuleId::WallClock) >= 2, "{f:?}");
+}
+
+#[test]
+fn wall_clock_is_exempt_in_bench() {
+    let src = include_str!("fixtures/bad_clock.rs");
+    let f = lint_source("crates/bench/src/fixture.rs", src, &Config::default());
+    assert_eq!(count(&f, RuleId::WallClock), 0, "{f:?}");
+}
+
+#[test]
+fn entropy_rng_catches_unseeded_generators() {
+    let f = lint_fixture(include_str!("fixtures/bad_rng.rs"));
+    assert!(count(&f, RuleId::EntropyRng) >= 3, "{f:?}");
+}
+
+#[test]
+fn partial_cmp_unwrap_catches_unwrap_and_expect() {
+    let f = lint_fixture(include_str!("fixtures/bad_partial_cmp.rs"));
+    assert_eq!(count(&f, RuleId::PartialCmpUnwrap), 2, "{f:?}");
+}
+
+#[test]
+fn float_cmp_order_catches_partial_cmp_comparators() {
+    let f = lint_fixture(include_str!("fixtures/bad_float_order.rs"));
+    assert_eq!(count(&f, RuleId::FloatCmpOrder), 2, "{f:?}");
+}
+
+#[test]
+fn float_eq_catches_float_equality() {
+    let f = lint_fixture(include_str!("fixtures/bad_float_eq.rs"));
+    assert_eq!(count(&f, RuleId::FloatEq), 2, "{f:?}");
+}
+
+#[test]
+fn hot_rules_catch_unwrap_panic_and_indexing() {
+    let f = lint_fixture(include_str!("fixtures/bad_hot.rs"));
+    assert_eq!(count(&f, RuleId::HotUnwrap), 2, "{f:?}");
+    assert!(count(&f, RuleId::HotPanic) >= 2, "{f:?}");
+    assert!(count(&f, RuleId::HotIndex) >= 1, "{f:?}");
+}
+
+#[test]
+fn hot_rules_only_apply_to_designated_files() {
+    let src = include_str!("fixtures/bad_hot.rs");
+    let f = lint_source("crates/ml/src/fixture.rs", src, &Config::default());
+    assert_eq!(count(&f, RuleId::HotUnwrap), 0, "{f:?}");
+    assert_eq!(count(&f, RuleId::HotPanic), 0, "{f:?}");
+    assert_eq!(count(&f, RuleId::HotIndex), 0, "{f:?}");
+}
+
+/// Every justified pragma in the suppressed fixture must silence its
+/// finding: the file lints completely clean.
+#[test]
+fn justified_pragmas_suppress_every_rule() {
+    let f = lint_fixture(include_str!("fixtures/suppressed.rs"));
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+/// The clean fixture has near misses only — strings, comments, doc comments,
+/// total_cmp comparators, tuple indices, cfg(test) code — and none may fire.
+#[test]
+fn clean_fixture_has_no_findings() {
+    let f = lint_fixture(include_str!("fixtures/clean.rs"));
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+/// Malformed pragmas are findings themselves, and do not suppress anything.
+#[test]
+fn malformed_pragmas_are_reported_and_do_not_suppress() {
+    let f = lint_fixture(include_str!("fixtures/bad_pragma.rs"));
+    // unjustified, unknown rule, empty allow(), block comment → pragma
+    // findings (the `glint-lint: float-eq is fine` comment lacks `allow(`
+    // only after the prefix matches, so it is malformed too).
+    assert!(count(&f, RuleId::Pragma) >= 4, "{f:?}");
+    // ...and all five float-eq violations still fire (the unknown-rule and
+    // block-comment pragmas must not silence their neighbours; the
+    // unjustified one is rejected outright).
+    assert_eq!(count(&f, RuleId::FloatEq), 5, "{f:?}");
+}

@@ -74,8 +74,7 @@ impl KMeans {
                 let best = (0..self.k)
                     .min_by(|&a, &b| {
                         Self::sq_dist(x.row(r), self.centroids.row(a))
-                            .partial_cmp(&Self::sq_dist(x.row(r), self.centroids.row(b)))
-                            .unwrap()
+                            .total_cmp(&Self::sq_dist(x.row(r), self.centroids.row(b)))
                     })
                     .unwrap_or(0);
                 if *slot != best {
@@ -121,8 +120,7 @@ impl KMeans {
                 (0..self.k)
                     .min_by(|&a, &b| {
                         Self::sq_dist(x.row(r), self.centroids.row(a))
-                            .partial_cmp(&Self::sq_dist(x.row(r), self.centroids.row(b)))
-                            .unwrap()
+                            .total_cmp(&Self::sq_dist(x.row(r), self.centroids.row(b)))
                     })
                     .unwrap_or(0)
             })
@@ -170,7 +168,7 @@ mod tests {
         let mut km = KMeans::new(2).with_seed(5);
         km.fit(&x);
         let mut cs: Vec<f32> = (0..2).map(|i| km.centroids().row(i)[0]).collect();
-        cs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        cs.sort_by(f32::total_cmp);
         assert!((cs[0] - 0.1).abs() < 0.2);
         assert!((cs[1] - 10.1).abs() < 0.2);
     }

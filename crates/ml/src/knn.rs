@@ -38,7 +38,7 @@ impl Knn {
             })
             .collect();
         let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k.saturating_sub(1), |a, b| a.0.partial_cmp(&b.0).unwrap());
+        dists.select_nth_unstable_by(k.saturating_sub(1), |a, b| a.0.total_cmp(&b.0));
         let n_classes = self.train_y.iter().copied().max().map_or(1, |m| m + 1);
         let mut votes = vec![0.0f32; n_classes];
         for &(_, c) in dists.iter().take(k) {
@@ -48,7 +48,7 @@ impl Knn {
         let best = votes
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         let total: f32 = votes.iter().sum();

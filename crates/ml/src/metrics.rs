@@ -60,10 +60,10 @@ impl ConfusionMatrix {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 {
-            0.0
-        } else {
+        if p + r > 0.0 {
             2.0 * p * r / (p + r)
+        } else {
+            0.0
         }
     }
 
@@ -85,10 +85,10 @@ impl ConfusionMatrix {
                 self.tn as f64 / d as f64
             }
         };
-        if p + r == 0.0 {
-            0.0
-        } else {
+        if p + r > 0.0 {
             2.0 * p * r / (p + r)
+        } else {
+            0.0
         }
     }
 
@@ -98,7 +98,7 @@ impl ConfusionMatrix {
         let pos = (self.tp + self.fn_) as f64;
         let neg = (self.tn + self.fp) as f64;
         let total = pos + neg;
-        if total == 0.0 {
+        if total <= 0.0 {
             return 0.0;
         }
         (self.f1() * pos + self.negative_f1() * neg) / total

@@ -86,7 +86,7 @@ impl OneClassSvm {
                     .sqrt()
             })
             .collect();
-        dists.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_unstable_by(f32::total_cmp);
         let q =
             (((1.0 - self.nu) * (dists.len() - 1) as f64).round() as usize).min(dists.len() - 1);
         self.radius = dists[q];

@@ -194,9 +194,7 @@ impl Grower<'_> {
         let mut best: Option<(f32, usize, f32)> = None; // (gain, feature, threshold)
         let mut order = idx.to_vec();
         for &f in &features {
-            order.sort_unstable_by(|&a, &b| {
-                self.x.get(a, f).partial_cmp(&self.x.get(b, f)).unwrap()
-            });
+            order.sort_unstable_by(|&a, &b| self.x.get(a, f).total_cmp(&self.x.get(b, f)));
             let (mut wl, mut yl, mut y2l) = (0.0f32, 0.0f32, 0.0f32);
             for k in 0..order.len().saturating_sub(1) {
                 let i = order[k];

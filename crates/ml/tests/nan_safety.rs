@@ -1,0 +1,67 @@
+//! NaN-input regression tests. Every model here used to reach a
+//! `partial_cmp(..).unwrap()` (or an unwrap-based comparator) somewhere in
+//! its fit/predict path, which panicked the first time a NaN feature slipped
+//! in. After the `total_cmp` migration a NaN input degrades into a
+//! deterministic (if meaningless) answer instead of aborting the pipeline.
+
+use glint_ml::kmeans::KMeans;
+use glint_ml::knn::Knn;
+use glint_ml::ocsvm::OneClassSvm;
+use glint_ml::tree::{Criterion, Tree, TreeConfig};
+use glint_ml::Classifier;
+use glint_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn with_nan() -> Matrix {
+    Matrix::from_rows(&[
+        vec![0.0, 0.1],
+        vec![0.9, 1.0],
+        vec![f32::NAN, 0.5],
+        vec![1.0, 0.9],
+    ])
+}
+
+#[test]
+fn knn_survives_nan_features() {
+    let mut knn = Knn::new(3);
+    knn.fit(&with_nan(), &[0, 1, 0, 1]);
+    let preds = knn.predict(&with_nan());
+    assert_eq!(preds.len(), 4);
+}
+
+#[test]
+fn kmeans_survives_nan_features() {
+    let mut km = KMeans::new(2).with_seed(7);
+    let assign = km.fit(&with_nan());
+    assert_eq!(assign.len(), 4);
+    let preds = km.predict(&with_nan());
+    assert_eq!(preds.len(), 4);
+}
+
+#[test]
+fn ocsvm_survives_nan_features() {
+    let mut svm = OneClassSvm::new(0.2);
+    svm.fit(&with_nan());
+    let scores = svm.anomaly_score(&with_nan());
+    assert_eq!(scores.len(), 4);
+}
+
+#[test]
+fn tree_survives_nan_features() {
+    let x = with_nan();
+    let y = [0.0, 1.0, 0.0, 1.0];
+    let w = [1.0; 4];
+    let mut rng = StdRng::seed_from_u64(3);
+    let tree = Tree::fit(
+        &x,
+        &y,
+        &w,
+        &[0, 1, 2, 3],
+        TreeConfig::default(),
+        Criterion::Gini,
+        &mut rng,
+    );
+    let preds = tree.predict(&x);
+    assert_eq!(preds.len(), 4);
+}

@@ -38,7 +38,9 @@ impl Csr {
             let mut last: Option<usize> = None;
             for &(c, v) in row.iter() {
                 if last == Some(c) {
-                    *values.last_mut().expect("value for duplicate") += v;
+                    if let Some(tail) = values.last_mut() {
+                        *tail += v;
+                    }
                 } else {
                     indices.push(c);
                     values.push(v);
@@ -54,6 +56,34 @@ impl Csr {
             indices,
             values,
         }
+    }
+
+    /// Check the structural invariants of the CSR layout: `indptr` has
+    /// `rows + 1` monotone entries bracketing `indices`/`values`, and every
+    /// column index is in range. Strict mode (`--features strict`) runs this
+    /// before each sparse product; it is also a cheap sanity check after
+    /// deserializing a persisted matrix.
+    pub fn validate(&self) {
+        assert_eq!(self.indptr.len(), self.rows + 1, "csr indptr length");
+        assert_eq!(self.indptr.first().copied(), Some(0), "csr indptr start");
+        assert_eq!(
+            self.indptr.last().copied(),
+            Some(self.indices.len()),
+            "csr indptr end"
+        );
+        assert!(
+            self.indptr.windows(2).all(|w| w[0] <= w[1]),
+            "csr indptr must be monotone"
+        );
+        assert_eq!(
+            self.indices.len(),
+            self.values.len(),
+            "csr indices/values length"
+        );
+        assert!(
+            self.indices.iter().all(|&c| c < self.cols),
+            "csr column index out of range"
+        );
     }
 
     /// Identity CSR.
@@ -74,6 +104,8 @@ impl Csr {
     /// the paper's graph classification setting.
     pub fn normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> Self {
         let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(edges.len() * 2 + n);
+        // glint-lint: allow(hash-collection) — membership-only dedup set:
+        // it is never iterated, so hash order cannot reach the CSR layout
         let mut seen = std::collections::HashSet::new();
         for &(u, v) in edges {
             assert!(u < n && v < n, "edge ({u},{v}) out of bounds for {n} nodes");
@@ -108,6 +140,8 @@ impl Csr {
     /// mean-neighbourhood aggregators.
     pub fn row_normalized(n: usize, edges: &[(usize, usize)]) -> Self {
         let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+        // glint-lint: allow(hash-collection) — membership-only dedup set:
+        // it is never iterated, so hash order cannot reach the CSR layout
         let mut seen = std::collections::HashSet::new();
         for &(u, v) in edges {
             assert!(u < n && v < n);

@@ -412,7 +412,7 @@ impl Matrix {
                 let row = self.row(r);
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
@@ -452,6 +452,9 @@ pub(crate) fn matmul_block(
         let a_row = a.row(i);
         let out_row = &mut out_block[(i - row_lo) * rhs.cols..(i - row_lo + 1) * rhs.cols];
         for (k, &av) in a_row.iter().enumerate() {
+            // glint-lint: allow(float-eq) — deliberate IEEE exact-zero skip:
+            // 0 × finite is exactly 0, and non-finite rhs rows disable it so
+            // 0 × NaN/inf still propagates
             if av == 0.0 && b_finite[k] {
                 continue;
             }
@@ -480,6 +483,8 @@ pub(crate) fn t_matmul_block(
         let a_row = a.row(k);
         let b_row = rhs.row(k);
         for (i, &av) in a_row.iter().enumerate().take(row_hi).skip(row_lo) {
+            // glint-lint: allow(float-eq) — deliberate IEEE exact-zero skip,
+            // same contract as matmul_block above
             if av == 0.0 && k_finite {
                 continue;
             }
@@ -635,5 +640,18 @@ mod tests {
         let c = a.matmul_t(&b);
         assert!(c.get(0, 0).is_nan());
         assert_eq!(c.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn argmax_rows_is_deterministic_on_nan() {
+        let m = Matrix::from_rows(&[
+            vec![0.0, 3.0, 1.0],
+            vec![2.0, f32::NAN, f32::INFINITY],
+            vec![f32::NAN, f32::NAN, f32::NAN],
+        ]);
+        // Positive NaN is the maximum of the IEEE total order, so it wins the
+        // argmax (deterministically) instead of panicking the comparator;
+        // ties resolve to the last index, as Iterator::max_by specifies.
+        assert_eq!(m.argmax_rows(), vec![1, 1, 2]);
     }
 }

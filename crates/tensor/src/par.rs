@@ -102,9 +102,13 @@ where
             handles.push(s.spawn(move || with_threads(1, || kernel(lo, hi, block))));
         }
         for h in handles {
+            // glint-lint: allow(hot-unwrap) — a worker panic must propagate
+            // to the caller; there is no partial result to salvage
             h.join().expect("parallel kernel worker panicked");
         }
     })
+    // glint-lint: allow(hot-unwrap) — scope teardown only errs if a worker
+    // panicked, which must propagate
     .expect("scoped thread pool failed");
 }
 
@@ -259,12 +263,18 @@ where
             }));
         }
         for h in handles {
+            // glint-lint: allow(hot-unwrap) — a worker panic must propagate
+            // to the caller; there is no partial result to salvage
             h.join().expect("ordered_map worker panicked");
         }
     })
+    // glint-lint: allow(hot-unwrap) — scope teardown only errs if a worker
+    // panicked, which must propagate
     .expect("scoped thread pool failed");
     slots
         .into_iter()
+        // glint-lint: allow(hot-unwrap) — the contiguous partition covers
+        // every index exactly once, so each slot was written before join
         .map(|s| s.expect("every slot filled"))
         .collect()
 }

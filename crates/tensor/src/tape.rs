@@ -11,6 +11,70 @@
 
 use crate::{Csr, Matrix};
 
+/// Strict-mode dynamic checks (`--features strict`): shape, bounds, and
+/// finiteness contracts on every tape op, covering what the token-level
+/// linter (`glint-lint`) cannot see statically. Everything is
+/// `debug_assert!`-based, so even with the feature on, release builds pay
+/// nothing; with the feature off this module does not exist.
+#[cfg(feature = "strict")]
+mod strict {
+    use crate::{Csr, Matrix};
+
+    pub fn shape_eq(op: &str, a: &Matrix, b: &Matrix) {
+        debug_assert_eq!(a.shape(), b.shape(), "strict: `{op}` operand shapes differ");
+    }
+
+    pub fn matmul_dims(op: &str, a: &Matrix, b: &Matrix) {
+        debug_assert_eq!(
+            a.cols(),
+            b.rows(),
+            "strict: `{op}` inner dimensions differ ({}x{} × {}x{})",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        );
+    }
+
+    pub fn spmm_operands(adj: &Csr, h: &Matrix) {
+        #[cfg(debug_assertions)]
+        adj.validate();
+        debug_assert_eq!(
+            adj.cols(),
+            h.rows(),
+            "strict: spmm adjacency cols must equal feature rows"
+        );
+    }
+
+    pub fn bias_shape(x: &Matrix, bias: &Matrix) {
+        debug_assert!(
+            bias.rows() == 1 && bias.cols() == x.cols(),
+            "strict: bias must be 1x{}, got {}x{}",
+            x.cols(),
+            bias.rows(),
+            bias.cols()
+        );
+    }
+
+    pub fn rows_in_bounds(op: &str, idx: &[usize], rows: usize) {
+        debug_assert!(
+            idx.iter().all(|&i| i < rows),
+            "strict: `{op}` row index out of bounds (rows = {rows})"
+        );
+    }
+
+    /// Backward contract: each parent gradient matches its parent's value
+    /// shape and stays finite.
+    pub fn grad_ok(parent: &Matrix, grad: &Matrix) {
+        debug_assert_eq!(
+            grad.shape(),
+            parent.shape(),
+            "strict: gradient shape must equal parent value shape"
+        );
+        debug_assert!(grad.all_finite(), "strict: non-finite gradient");
+    }
+}
+
 /// Handle to a tape node.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Var(pub(crate) usize);
@@ -101,6 +165,8 @@ impl Tape {
     // ---- element-wise binary ----
 
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        #[cfg(feature = "strict")]
+        strict::shape_eq("add", self.value(a), self.value(b));
         let value = self.value(a).add(self.value(b));
         self.push(
             value,
@@ -110,6 +176,8 @@ impl Tape {
     }
 
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        #[cfg(feature = "strict")]
+        strict::shape_eq("sub", self.value(a), self.value(b));
         let value = self.value(a).sub(self.value(b));
         self.push(
             value,
@@ -120,6 +188,8 @@ impl Tape {
 
     /// Element-wise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        #[cfg(feature = "strict")]
+        strict::shape_eq("mul", self.value(a), self.value(b));
         let value = self.value(a).mul(self.value(b));
         self.push(
             value,
@@ -143,6 +213,8 @@ impl Tape {
     // return bitwise-serial results but fan out over threads once the
     // operands clear `par::MIN_PAR_WORK` (tiny graphs stay serial).
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        #[cfg(feature = "strict")]
+        strict::matmul_dims("matmul", self.value(a), self.value(b));
         let value = crate::par::matmul(self.value(a), self.value(b));
         self.push(
             value,
@@ -155,6 +227,8 @@ impl Tape {
 
     /// Sparse propagation `adj × h` with `adj` a constant CSR matrix.
     pub fn spmm(&mut self, adj: &Csr, h: Var) -> Var {
+        #[cfg(feature = "strict")]
+        strict::spmm_operands(adj, self.value(h));
         let value = crate::par::spmm(adj, self.value(h));
         let adj = adj.clone();
         self.push(
@@ -166,6 +240,8 @@ impl Tape {
 
     /// Broadcast-add a `1 × c` bias row to every row of `x`.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        #[cfg(feature = "strict")]
+        strict::bias_shape(self.value(x), self.value(bias));
         let value = self.value(x).add_row_broadcast(self.value(bias));
         self.push(
             value,
@@ -251,6 +327,8 @@ impl Tape {
     /// Inverted dropout with a fixed pre-sampled mask (1.0 = keep). The mask
     /// is expected to be already scaled by `1/keep_prob`.
     pub fn dropout_mask(&mut self, a: Var, mask: &Matrix) -> Var {
+        #[cfg(feature = "strict")]
+        strict::shape_eq("dropout_mask", self.value(a), mask);
         let value = self.value(a).mul(mask);
         let mask = mask.clone();
         self.push(
@@ -292,6 +370,8 @@ impl Tape {
     }
 
     pub fn gather_rows(&mut self, a: Var, idx: &[usize]) -> Var {
+        #[cfg(feature = "strict")]
+        strict::rows_in_bounds("gather_rows", idx, self.value(a).rows());
         let value = self.value(a).gather_rows(idx);
         let idx = idx.to_vec();
         self.push(
@@ -551,6 +631,10 @@ impl Tape {
                 node.parents.iter().map(|&p| &self.nodes[p].value).collect();
             let pgrads = back(&g, &parent_vals, &node.value);
             debug_assert_eq!(pgrads.len(), node.parents.len());
+            #[cfg(feature = "strict")]
+            for (pv, pg) in parent_vals.iter().zip(&pgrads) {
+                strict::grad_ok(pv, pg);
+            }
             for (&p, pg) in node.parents.iter().zip(pgrads) {
                 match &mut grads[p] {
                     Some(acc) => acc.axpy(1.0, &pg),

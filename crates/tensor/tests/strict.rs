@@ -1,0 +1,54 @@
+//! Strict-mode integration tests. This whole file only compiles when the
+//! `strict` feature is enabled (CI runs the suite once with `--features
+//! strict`); the checks themselves are `debug_assert!`s, so they also need a
+//! debug build to fire — which `cargo test` provides.
+#![cfg(feature = "strict")]
+
+use glint_tensor::{Csr, Matrix, Tape};
+
+/// A well-formed forward + backward pass must sail through every strict
+/// check: this pins down that the checks are not over-eager.
+#[test]
+fn clean_pass_satisfies_strict_checks() {
+    let mut tape = Tape::new();
+    let adj = Csr::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (2, 2, 1.0)]);
+    let h = tape.var(Matrix::from_rows(&[
+        vec![1.0, 2.0],
+        vec![3.0, 4.0],
+        vec![5.0, 6.0],
+    ]));
+    let w = tape.var(Matrix::from_rows(&[vec![0.5, -0.5], vec![0.25, 0.75]]));
+    let bias = tape.var(Matrix::from_vec(1, 2, vec![0.1, -0.1]));
+
+    let agg = tape.spmm(&adj, h);
+    let lin = tape.linear(agg, w, bias);
+    let act = tape.relu(lin);
+    let pooled = tape.gather_rows(act, &[0, 2]);
+    let loss = tape.mean_all(pooled);
+
+    let grads = tape.backward(loss);
+    assert!(grads.get(w).is_some());
+    assert!(grads.get(w).unwrap().all_finite());
+}
+
+/// spmm with mismatched inner dimensions: the adjacency has 3 columns but the
+/// feature matrix only 2 rows. Without strict mode this silently computes
+/// (out-of-range columns simply never match a row); strict mode refuses it.
+#[test]
+#[should_panic(expected = "spmm")]
+fn spmm_dim_mismatch_panics_under_strict() {
+    let mut tape = Tape::new();
+    let adj = Csr::from_triplets(2, 3, &[(0, 2, 1.0), (1, 0, 1.0)]);
+    let h = tape.var(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+    let _ = tape.spmm(&adj, h);
+}
+
+/// gather_rows with an out-of-bounds row index must be rejected before it
+/// reaches the unchecked copy.
+#[test]
+#[should_panic(expected = "gather_rows")]
+fn gather_rows_out_of_bounds_panics_under_strict() {
+    let mut tape = Tape::new();
+    let a = tape.var(Matrix::from_rows(&[vec![1.0], vec![2.0]]));
+    let _ = tape.gather_rows(a, &[0, 2]);
+}

@@ -10,10 +10,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== glint-lint (workspace invariants: determinism / NaN-safety / panic-safety) =="
+cargo run -q -p glint-lint -- --json
+
 echo "== cargo test (default GLINT_THREADS) =="
 cargo test --workspace -q
 
 echo "== cargo test (GLINT_THREADS=1, forced serial) =="
 GLINT_THREADS=1 cargo test --workspace -q
+
+echo "== cargo test (strict mode: shape/finiteness checks on every tape op) =="
+cargo test -q --features strict
 
 echo "ci: all green"

@@ -1,0 +1,19 @@
+//! Tier-1 self-test: the workspace must be clean under its own invariant
+//! checker. Any new HashMap in a deterministic crate, `partial_cmp(..)
+//! .unwrap()`, wall-clock read outside bench, or unwrap in a hot-path module
+//! fails this test with a file:line report — the same output `scripts/ci.sh`
+//! prints from the `glint-lint` binary stage.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = glint_lint::lint_workspace(root).expect("workspace sources must be readable");
+    assert!(
+        findings.is_empty(),
+        "glint-lint found {} invariant violation(s):\n{}",
+        findings.len(),
+        glint_lint::report::human(&findings)
+    );
+}

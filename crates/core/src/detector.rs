@@ -2,8 +2,26 @@
 //! real-time interaction graph from deployed rules + event logs, screen it
 //! with the drift detector, classify it with the threat detector, and raise
 //! a warning with explained causes.
+//!
+//! ## Degradation ladder
+//!
+//! Serving never panics past this API. Each graph is assessed independently
+//! and lands on one rung:
+//!
+//! 1. **Full verdict** ([`Degradation::None`]) — drift screening + GNN
+//!    classification, the normal path.
+//! 2. **Drift-only fallback** ([`Degradation::DriftOnly`]) — the classifier
+//!    failed (panic, injected fault, non-finite output); the verdict falls
+//!    back to the MAD drift score, with a pseudo-probability derived from
+//!    the drift degree.
+//! 3. **Quarantine** ([`Degradation::Quarantined`]) — the graph failed
+//!    structural validation or the embedding itself failed; no verdict is
+//!    possible, the `Detection` carries NaN scores and the reason. In
+//!    [`GlintDetector::assess_batch`] a quarantined graph degrades only its
+//!    own slot — the rest of the batch is unaffected.
 
 use crate::drift::DriftDetector;
+use crate::error::GlintError;
 use crate::explain;
 use crate::warning::Warning;
 use glint_gnn::batch::PreparedGraph;
@@ -13,6 +31,32 @@ use glint_graph::builder::OnlineBuilder;
 use glint_graph::InteractionGraph;
 use glint_rules::event::EventLog;
 use glint_rules::Rule;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Fail-point site hit at the top of every per-graph assessment.
+pub const SITE_ASSESS: &str = "detector.assess";
+/// Fail-point site hit before the classifier runs (forces the drift-only
+/// fallback rung).
+pub const SITE_CLASSIFY: &str = "detector.classify";
+
+/// How much of the detection pipeline actually ran for this graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Degradation {
+    /// Full pipeline: drift screening + GNN classification.
+    None,
+    /// Classifier failed; the verdict is the drift/MAD score only. Carries
+    /// the failure reason.
+    DriftOnly(String),
+    /// Input rejected or embedding failed; no verdict at all. Carries the
+    /// reason.
+    Quarantined(String),
+}
+
+impl Degradation {
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, Degradation::None)
+    }
+}
 
 /// Outcome of screening one real-time window.
 #[derive(Clone, Debug)]
@@ -27,6 +71,42 @@ pub struct Detection {
     pub is_threat: bool,
     /// The warning raised, if any.
     pub warning: Option<Warning>,
+    /// Which rung of the degradation ladder produced this verdict.
+    pub degradation: Degradation,
+}
+
+impl Detection {
+    /// A quarantined detection: no verdict, NaN scores, reason attached.
+    pub fn quarantined(graph: InteractionGraph, reason: String) -> Self {
+        Detection {
+            graph,
+            drifting: false,
+            drift_degree: f64::NAN,
+            threat_probability: f32::NAN,
+            is_threat: false,
+            warning: None,
+            degradation: Degradation::Quarantined(reason),
+        }
+    }
+}
+
+/// Everything [`Detection`] carries except the graph itself (the internal
+/// assessment result, before the graph is moved into place).
+struct Verdict {
+    drifting: bool,
+    drift_degree: f64,
+    threat_probability: f32,
+    is_threat: bool,
+    warning: Option<Warning>,
+    degradation: Degradation,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
 }
 
 /// The deployed Glint instance: deployed rules + trained models.
@@ -77,29 +157,110 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
         self.assess(graph)
     }
 
-    /// Assess an already-constructed interaction graph.
+    /// Assess an already-constructed interaction graph. Never panics: a
+    /// poisoned graph or an internal failure lands on a lower rung of the
+    /// degradation ladder (drift-only fallback or quarantine) instead.
     pub fn assess(&self, graph: InteractionGraph) -> Detection {
-        if graph.n_nodes() == 0 {
-            return Detection {
+        match self.verdict(&graph) {
+            Ok(v) => Detection {
                 graph,
+                drifting: v.drifting,
+                drift_degree: v.drift_degree,
+                threat_probability: v.threat_probability,
+                is_threat: v.is_threat,
+                warning: v.warning,
+                degradation: v.degradation,
+            },
+            Err(e) => Detection::quarantined(graph, e.to_string()),
+        }
+    }
+
+    /// Like [`assess`](Self::assess), but surfaces quarantine-level
+    /// failures as a typed [`GlintError`] instead of a quarantined
+    /// `Detection` — for callers that treat a rejected input as an error
+    /// rather than a degraded verdict. Drift-only fallback still returns
+    /// `Ok` (the verdict exists, just degraded).
+    pub fn try_assess(&self, graph: InteractionGraph) -> Result<Detection, GlintError> {
+        let v = self.verdict(&graph)?;
+        Ok(Detection {
+            graph,
+            drifting: v.drifting,
+            drift_degree: v.drift_degree,
+            threat_probability: v.threat_probability,
+            is_threat: v.is_threat,
+            warning: v.warning,
+            degradation: v.degradation,
+        })
+    }
+
+    /// The assessment pipeline. `Err` means quarantine (no verdict
+    /// possible); `Ok` verdicts may still be degraded to drift-only.
+    fn verdict(&self, graph: &InteractionGraph) -> Result<Verdict, GlintError> {
+        if graph.n_nodes() == 0 {
+            return Ok(Verdict {
                 drifting: false,
                 drift_degree: 0.0,
                 threat_probability: 0.0,
                 is_threat: false,
                 warning: None,
-            };
+                degradation: Degradation::None,
+            });
         }
-        let prepared = PreparedGraph::from_graph(&graph);
-        // step ⑤: drift screening in the contrastive latent space
-        let embedding = ContrastiveTrainer::embed(&self.embedder, &prepared);
+        graph.validate().map_err(GlintError::InvalidGraph)?;
+        // step ⑤: drift screening in the contrastive latent space. Batch
+        // preparation and the embedder run behind a panic barrier — a graph
+        // that slips past validation, or a poisoned embedder, quarantines
+        // this one graph instead of killing the monitoring loop.
+        let embedded = catch_unwind(AssertUnwindSafe(
+            || -> Result<(PreparedGraph, Vec<f32>), GlintError> {
+                glint_failpoint::trigger(SITE_ASSESS)?;
+                let prepared = PreparedGraph::from_graph(graph);
+                let embedding = ContrastiveTrainer::embed(&self.embedder, &prepared);
+                Ok((prepared, embedding))
+            },
+        ));
+        let (prepared, embedding) = match embedded {
+            Ok(Ok(x)) => x,
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => return Err(GlintError::Panicked(panic_message(payload))),
+        };
         let drift_degree = self.drift.drift_degree(&embedding);
         let drifting = drift_degree > self.drift.threshold;
-        // step ⑥: classification
-        let threat_probability = ClassifierTrainer::predict_proba(&self.classifier, &prepared);
-        let is_threat = threat_probability > 0.5;
-        // step ⑦: warning with explained causes
+        // step ⑥: classification, falling back to the drift score when the
+        // classifier fails — a degraded verdict beats no verdict.
+        let classified = catch_unwind(AssertUnwindSafe(|| -> Result<f32, GlintError> {
+            glint_failpoint::trigger(SITE_CLASSIFY)?;
+            Ok(ClassifierTrainer::predict_proba(
+                &self.classifier,
+                &prepared,
+            ))
+        }));
+        let (threat_probability, is_threat, degradation) = match classified {
+            Ok(Ok(p)) if p.is_finite() => (p, p > 0.5, Degradation::None),
+            other => {
+                let reason = match other {
+                    Ok(Ok(p)) => format!("classifier produced non-finite probability {p}"),
+                    Ok(Err(e)) => e.to_string(),
+                    Err(payload) => panic_message(payload),
+                };
+                // drift-only pseudo-probability: 0.5 exactly at the MAD
+                // threshold, approaching 1 as the drift degree grows
+                let pseudo = (drift_degree / (drift_degree + self.drift.threshold)) as f32;
+                (pseudo, drifting, Degradation::DriftOnly(reason))
+            }
+        };
+        // step ⑦: warning with explained causes. Explanation reuses the
+        // classifier, so on the fallback rung (or if explain itself fails)
+        // the warning is raised without cause attribution.
         let warning = if is_threat || drifting {
-            let causes_idx = explain::top_causes(&self.classifier, &graph, self.top_k_causes);
+            let causes_idx = if degradation == Degradation::None {
+                catch_unwind(AssertUnwindSafe(|| {
+                    explain::top_causes(&self.classifier, graph, self.top_k_causes)
+                }))
+                .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
             let causes: Vec<&Rule> = causes_idx
                 .iter()
                 .filter_map(|&i| {
@@ -111,20 +272,22 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
         } else {
             None
         };
-        Detection {
-            graph,
+        Ok(Verdict {
             drifting,
             drift_degree,
             threat_probability,
             is_threat,
             warning,
-        }
+            degradation,
+        })
     }
 
     /// Assess a batch of graphs, scoring them concurrently. Results come
     /// back in input order and are identical to mapping [`Self::assess`]
     /// serially — the parallel kernels and the ordered fan-out are both
-    /// deterministic.
+    /// deterministic. Failures are isolated per graph: a poisoned graph
+    /// yields a quarantined `Detection` in its own slot and the rest of the
+    /// batch is assessed normally.
     pub fn assess_batch(&self, graphs: &[InteractionGraph]) -> Vec<Detection> {
         glint_tensor::par::ordered_map(graphs.len(), |i| self.assess(graphs[i].clone()))
     }
@@ -217,6 +380,68 @@ mod tests {
         assert!(!det.is_threat);
         assert!(det.warning.is_none());
         assert_eq!(det.graph.n_nodes(), 0);
+    }
+
+    #[test]
+    fn nan_feature_graph_quarantines_only_its_own_slot() {
+        let (classifier, embedder, drift) = tiny_models();
+        let rules = table1_rules();
+        let detector = GlintDetector::new(rules.clone(), classifier, embedder, drift);
+        let builder = crate::construction::OfflineBuilder::new(rules, 5);
+        let ds = builder.build_dataset(Platform::all(), 6, 6, true);
+        let mut graphs: Vec<_> = ds.graphs().iter().take(3).cloned().collect();
+        assert!(graphs.len() >= 2, "need at least two graphs");
+        // poison the middle graph with a NaN feature (bypassing add_edge's
+        // construction-time checks, as a hostile producer would)
+        let poisoned = {
+            let g = &graphs[1];
+            let mut nodes = g.nodes().to_vec();
+            nodes[0].features[0] = f32::NAN;
+            let mut bad = InteractionGraph::new(nodes);
+            for &(s, d, k) in g.edges() {
+                bad.add_edge(s, d, k);
+            }
+            bad
+        };
+        graphs[1] = poisoned;
+        let detections = detector.assess_batch(&graphs);
+        assert_eq!(detections.len(), 3);
+        for (i, det) in detections.iter().enumerate() {
+            if i == 1 {
+                assert!(
+                    matches!(det.degradation, Degradation::Quarantined(_)),
+                    "poisoned graph must quarantine, got {:?}",
+                    det.degradation
+                );
+                assert!(det.threat_probability.is_nan());
+                assert!(!det.is_threat);
+            } else {
+                assert_eq!(
+                    det.degradation,
+                    Degradation::None,
+                    "healthy graph {i} must get a full verdict"
+                );
+                assert!((0.0..=1.0).contains(&det.threat_probability));
+            }
+        }
+    }
+
+    #[test]
+    fn try_assess_surfaces_invalid_graph_as_typed_error() {
+        let (classifier, embedder, drift) = tiny_models();
+        let detector = GlintDetector::new(table1_rules(), classifier, embedder, drift);
+        let mut nodes = vec![glint_graph::graph::Node {
+            rule_id: glint_rules::RuleId(1),
+            platform: Platform::Ifttt,
+            features: vec![1.0, f32::INFINITY],
+        }];
+        nodes[0].features[1] = f32::INFINITY;
+        let bad = InteractionGraph::new(nodes);
+        let err = detector.try_assess(bad).unwrap_err();
+        assert!(
+            matches!(err, crate::error::GlintError::InvalidGraph(_)),
+            "got {err}"
+        );
     }
 
     #[test]

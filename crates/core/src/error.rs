@@ -1,0 +1,58 @@
+//! The typed error surfaced at glint-core's public API boundary. Nothing in
+//! the serving or persistence paths panics past this crate: failures either
+//! become a [`GlintError`] or a quarantined
+//! [`Detection`](crate::detector::Detection).
+
+use glint_failpoint::durable::DurableError;
+use glint_tensor::ParamMismatch;
+use std::fmt;
+
+/// Every failure the core pipeline can surface.
+#[derive(Debug)]
+pub enum GlintError {
+    /// Durable-file failure: IO, truncation, checksum, kind, or version.
+    Envelope(DurableError),
+    /// Bytes verified but do not decode to the expected structure.
+    Decode(String),
+    /// Strict parameter restore found name/shape mismatches.
+    Params(ParamMismatch),
+    /// An input graph failed structural validation.
+    InvalidGraph(String),
+    /// Filesystem or injected-fault IO error.
+    Io(std::io::Error),
+    /// An internal computation panicked and was contained.
+    Panicked(String),
+}
+
+impl fmt::Display for GlintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlintError::Envelope(e) => write!(f, "envelope error: {e}"),
+            GlintError::Decode(why) => write!(f, "decode error: {why}"),
+            GlintError::Params(e) => write!(f, "parameter restore error: {e}"),
+            GlintError::InvalidGraph(why) => write!(f, "invalid graph: {why}"),
+            GlintError::Io(e) => write!(f, "io error: {e}"),
+            GlintError::Panicked(why) => write!(f, "contained panic: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GlintError {}
+
+impl From<DurableError> for GlintError {
+    fn from(e: DurableError) -> Self {
+        GlintError::Envelope(e)
+    }
+}
+
+impl From<ParamMismatch> for GlintError {
+    fn from(e: ParamMismatch) -> Self {
+        GlintError::Params(e)
+    }
+}
+
+impl From<std::io::Error> for GlintError {
+    fn from(e: std::io::Error) -> Self {
+        GlintError::Io(e)
+    }
+}

@@ -18,6 +18,7 @@ pub mod construction;
 pub mod correlation;
 pub mod detector;
 pub mod drift;
+pub mod error;
 pub mod explain;
 pub mod feedback;
 pub mod oracle;
@@ -27,8 +28,9 @@ pub mod warning;
 
 pub use construction::{node_features, DatasetBundle, OfflineBuilder};
 pub use correlation::{pair_features, CorrelationDiscoverer, PairDataset};
-pub use detector::{Detection, GlintDetector};
+pub use detector::{Degradation, Detection, GlintDetector};
 pub use drift::DriftDetector;
+pub use error::GlintError;
 pub use feedback::FeedbackStore;
 pub use oracle::{label_rules, ThreatFinding, ThreatKind};
 pub use warning::Warning;

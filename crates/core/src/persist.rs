@@ -1,32 +1,84 @@
 //! Model persistence: save/load trained parameter sets (the cloud-provided
 //! "public GNN model" of §3.1 needs to ship to home hubs somehow).
+//!
+//! Parameters travel inside the durable envelope (checksummed, versioned,
+//! atomic temp-file + rename), so a crash mid-save leaves the previous model
+//! readable and a torn or bit-flipped file is rejected with a typed error.
+//! [`load_params`] is strict — every tensor must restore, or the whole load
+//! fails with a matched-vs-expected report. [`load_params_partial`] keeps
+//! the lenient by-name/shape matching that cross-platform transfer learning
+//! (§3.3.4) relies on.
 
+use crate::error::GlintError;
+use glint_failpoint::durable::{self, DurableError};
 use glint_gnn::models::GraphModel;
 use glint_tensor::ParamSet;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter};
 use std::path::Path;
 
-/// Save a model's parameters as JSON.
-pub fn save_params(model: &dyn GraphModel, path: impl AsRef<Path>) -> io::Result<()> {
-    let file = File::create(path)?;
-    serde_json::to_writer(BufWriter::new(file), model.params()).map_err(io::Error::other)
+/// Envelope kind tag for persisted parameter sets.
+pub const PARAMS_KIND: &str = "glint-params";
+/// Current parameter-file format version.
+pub const PARAMS_VERSION: u32 = 1;
+/// Fail-point site hit by [`save_params`].
+pub const SITE_PERSIST_SAVE: &str = "persist.save";
+
+/// Save a model's parameters durably (atomic write, CRC-checked envelope).
+pub fn save_params(model: &dyn GraphModel, path: impl AsRef<Path>) -> Result<(), GlintError> {
+    let json = serde_json::to_string(model.params())
+        .map_err(|e| GlintError::Decode(format!("serialize: {e}")))?;
+    durable::write_durable(
+        SITE_PERSIST_SAVE,
+        path,
+        PARAMS_KIND,
+        PARAMS_VERSION,
+        json.as_bytes(),
+    )?;
+    Ok(())
+}
+
+/// Read a parameter set off disk, verifying the envelope when present and
+/// falling back to the legacy bare-JSON format otherwise.
+fn read_param_set(path: impl AsRef<Path>) -> Result<ParamSet, GlintError> {
+    let bytes = std::fs::read(path.as_ref()).map_err(DurableError::Io)?;
+    let text = match durable::parse_envelope(&bytes, PARAMS_KIND, PARAMS_VERSION) {
+        Ok((_version, payload)) => String::from_utf8(payload)
+            .map_err(|_| GlintError::Decode("payload is not UTF-8".into()))?,
+        Err(DurableError::NotAnEnvelope(_)) => String::from_utf8(bytes)
+            .map_err(|_| GlintError::Decode("file is neither envelope nor UTF-8 JSON".into()))?,
+        Err(e) => return Err(e.into()),
+    };
+    serde_json::from_str(&text).map_err(|e| GlintError::Decode(format!("parse: {e}")))
 }
 
 /// Load parameters into a freshly-constructed model of the same
-/// architecture. Returns how many tensors were restored (by name+shape).
-pub fn load_params(model: &mut dyn GraphModel, path: impl AsRef<Path>) -> io::Result<usize> {
-    let file = File::open(path)?;
-    let loaded: ParamSet =
-        serde_json::from_reader(BufReader::new(file)).map_err(io::Error::other)?;
-    let n = model.params_mut().copy_matching_from(&loaded);
-    if n == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "no parameters matched — wrong architecture?",
+/// architecture. Strict: every tensor of the model must restore by name and
+/// shape, with no extras in the file — any discrepancy fails the whole load
+/// with a matched-vs-expected report ([`GlintError::Params`]). Silent
+/// partial restores were a deployment hazard; for deliberate partial reuse
+/// see [`load_params_partial`].
+pub fn load_params(model: &mut dyn GraphModel, path: impl AsRef<Path>) -> Result<(), GlintError> {
+    let loaded = read_param_set(path)?;
+    model.params_mut().copy_exact_from(&loaded)?;
+    Ok(())
+}
+
+/// Lenient load for transfer learning: restore whatever matches by name and
+/// shape, skip the rest, and report how many tensors were restored out of
+/// how many the model expects. Errors only when *nothing* matches (almost
+/// certainly the wrong file).
+pub fn load_params_partial(
+    model: &mut dyn GraphModel,
+    path: impl AsRef<Path>,
+) -> Result<(usize, usize), GlintError> {
+    let loaded = read_param_set(path)?;
+    let expected = model.params().len();
+    let matched = model.params_mut().copy_matching_from(&loaded);
+    if matched == 0 {
+        return Err(GlintError::Decode(
+            "no parameters matched — wrong architecture?".into(),
         ));
     }
-    Ok(n)
+    Ok((matched, expected))
 }
 
 #[cfg(test)]
@@ -54,66 +106,47 @@ mod tests {
         PreparedGraph::from_graph(&g)
     }
 
+    fn gcn(seed: u64) -> GcnModel {
+        GcnModel::new(
+            4,
+            ModelConfig {
+                hidden: 8,
+                embed: 8,
+                seed,
+            },
+        )
+    }
+
     #[test]
     fn save_load_round_trips_predictions() {
         let dir = std::env::temp_dir().join("glint_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.json");
+        let path = dir.join("model.bin");
 
-        let model = GcnModel::new(
-            4,
-            ModelConfig {
-                hidden: 8,
-                embed: 8,
-                seed: 42,
-            },
-        );
+        let model = gcn(42);
         let g = graph();
         let expected = ClassifierTrainer::predict_proba(&model, &g);
         save_params(&model, &path).unwrap();
 
-        let mut restored = GcnModel::new(
-            4,
-            ModelConfig {
-                hidden: 8,
-                embed: 8,
-                seed: 999,
-            },
-        );
-        let n = load_params(&mut restored, &path).unwrap();
-        assert!(n > 0);
+        let mut restored = gcn(999);
+        load_params(&mut restored, &path).unwrap();
         let actual = ClassifierTrainer::predict_proba(&restored, &g);
         assert!((expected - actual).abs() < 1e-6, "{expected} vs {actual}");
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn wrong_architecture_matches_fewer_tensors() {
+    fn strict_load_rejects_wrong_architecture() {
         let dir = std::env::temp_dir().join("glint_persist_test2");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.json");
-        let model = GcnModel::new(
-            4,
-            ModelConfig {
-                hidden: 8,
-                embed: 8,
-                seed: 1,
-            },
-        );
+        let path = dir.join("model.bin");
+        let model = gcn(1);
         save_params(&model, &path).unwrap();
-        // GCN → GCN restores the whole set
-        let mut same = GcnModel::new(
-            4,
-            ModelConfig {
-                hidden: 8,
-                embed: 8,
-                seed: 9,
-            },
-        );
-        let full = load_params(&mut same, &path).unwrap();
-        assert_eq!(full, model.params().len());
-        // GIN's encoder params are named differently → only the shared
-        // fuse/head tensors (with matching shapes) restore
+        // GCN → GCN restores cleanly
+        let mut same = gcn(9);
+        load_params(&mut same, &path).unwrap();
+        // GIN's encoder params are named differently → strict load fails
+        // with a matched-vs-expected report instead of restoring a fraction
         let mut other = GinModel::new(
             4,
             ModelConfig {
@@ -122,10 +155,91 @@ mod tests {
                 seed: 1,
             },
         );
-        // zero matches (Err) is also acceptable
-        if let Ok(n) = load_params(&mut other, &path) {
-            assert!(n < full, "architecture mismatch matched everything: {n}");
+        let err = load_params(&mut other, &path).unwrap_err();
+        match err {
+            GlintError::Params(m) => {
+                assert!(m.matched < m.expected, "{m}");
+                assert!(!m.mismatches.is_empty());
+            }
+            other => panic!("expected Params error, got {other}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_load_transfers_what_matches() {
+        let dir = std::env::temp_dir().join("glint_persist_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let model = gcn(1);
+        save_params(&model, &path).unwrap();
+        let mut other = GinModel::new(
+            4,
+            ModelConfig {
+                hidden: 8,
+                embed: 8,
+                seed: 1,
+            },
+        );
+        // GIN shares the fuse/head tensor names with GCN; the encoder does
+        // not — partial load reports the split instead of pretending success
+        match load_params_partial(&mut other, &path) {
+            Ok((matched, expected)) => assert!(matched < expected, "{matched}/{expected}"),
+            Err(GlintError::Decode(_)) => {} // zero overlap is also acceptable
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_and_truncated_params_are_typed_errors() {
+        let dir = std::env::temp_dir().join("glint_persist_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let model = gcn(3);
+        save_params(&model, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let torn = dir.join("torn.bin");
+        std::fs::write(&torn, &good[..good.len() / 3]).unwrap();
+        let mut m = gcn(5);
+        assert!(matches!(
+            load_params(&mut m, &torn),
+            Err(GlintError::Envelope(DurableError::Truncated { .. }))
+        ));
+
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        let corrupt = dir.join("corrupt.bin");
+        std::fs::write(&corrupt, &flipped).unwrap();
+        assert!(matches!(
+            load_params(&mut m, &corrupt),
+            Err(GlintError::Envelope(DurableError::ChecksumMismatch))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_save_failure_preserves_previous_model() {
+        let dir = std::env::temp_dir().join("glint_persist_test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let model = gcn(7);
+        save_params(&model, &path).unwrap();
+        let g = graph();
+        let expected = ClassifierTrainer::predict_proba(&model, &g);
+
+        let _guard = glint_failpoint::ScopedFail::new(
+            SITE_PERSIST_SAVE,
+            glint_failpoint::Action::ShortWrite(20),
+            1,
+        );
+        assert!(save_params(&gcn(8), &path).is_err());
+        let mut restored = gcn(11);
+        load_params(&mut restored, &path).unwrap();
+        let actual = ClassifierTrainer::predict_proba(&restored, &g);
+        assert!((expected - actual).abs() < 1e-6);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -30,4 +30,6 @@ pub mod vipool;
 
 pub use batch::{GraphSchema, PreparedGraph};
 pub use models::{GraphModel, ModelOutput};
-pub use trainer::{ClassifierTrainer, ContrastiveTrainer, TrainConfig};
+pub use trainer::{
+    CheckpointPolicy, ClassifierTrainer, ContrastiveTrainer, TrainConfig, TrainError,
+};

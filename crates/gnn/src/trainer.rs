@@ -5,11 +5,20 @@ use crate::batch::PreparedGraph;
 use crate::loss::{eq2_total, sample_pairs};
 use crate::models::GraphModel;
 use glint_ml::metrics::BinaryMetrics;
+use glint_tensor::checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointError, TrainCheckpoint,
+};
 use glint_tensor::tape::Grads;
-use glint_tensor::{par, Adam, Matrix, Optimizer, Tape, Var};
+use glint_tensor::{par, Adam, Matrix, Optimizer, ParamMismatch, Tape, Var};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Fail-point site hit after every completed epoch (post-checkpoint) in the
+/// resumable training paths.
+pub const SITE_EPOCH_END: &str = "trainer.epoch_end";
 
 /// Shared training hyper-parameters.
 #[derive(Clone, Debug)]
@@ -83,6 +92,134 @@ fn canonical_vars(model: &dyn GraphModel) -> Vec<Var> {
     model.params().bind(&mut Tape::new())
 }
 
+/// Where and how often resumable training writes durable checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file (one file, overwritten atomically each save).
+    pub path: PathBuf,
+    /// Save after every `every` completed epochs (`1` = every epoch).
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        Self {
+            path: path.into(),
+            every: every.max(1),
+        }
+    }
+}
+
+/// Why resumable training stopped short of a finished report.
+#[derive(Debug)]
+pub enum TrainError {
+    /// No graphs (or pairs) to train on.
+    EmptyTrainingSet,
+    /// A checkpoint could not be written, or an existing one could not be
+    /// read (corrupt/truncated/version-mismatch files land here, typed).
+    Checkpoint(CheckpointError),
+    /// The checkpoint's parameters do not fit the model being resumed.
+    Restore(ParamMismatch),
+    /// An injected fault (or real IO error) fired at an epoch boundary;
+    /// training state up to the last checkpoint is safely on disk.
+    Interrupted(std::io::Error),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "empty training set"),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            TrainError::Restore(e) => write!(f, "resume rejected: {e}"),
+            TrainError::Interrupted(e) => write!(f, "training interrupted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+impl From<ParamMismatch> for TrainError {
+    fn from(e: ParamMismatch) -> Self {
+        TrainError::Restore(e)
+    }
+}
+
+/// Mutable state a trainer carries across epochs; exactly what a checkpoint
+/// captures, so `resume(save(state))` is the identity.
+struct EpochState {
+    opt: Adam,
+    rng: StdRng,
+    start_epoch: usize,
+    losses: Vec<f32>,
+}
+
+impl EpochState {
+    fn fresh(lr: f32, seed: u64) -> Self {
+        Self {
+            opt: Adam::new(lr),
+            rng: StdRng::seed_from_u64(seed),
+            start_epoch: 0,
+            losses: Vec::new(),
+        }
+    }
+
+    /// Resume from `policy.path` when a checkpoint exists there; fresh state
+    /// otherwise. A present-but-unreadable checkpoint is a typed error, not
+    /// a silent restart — the caller decides whether to delete it.
+    fn resume(
+        lr: f32,
+        seed: u64,
+        model: &mut dyn GraphModel,
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<Self, TrainError> {
+        let Some(policy) = policy else {
+            return Ok(Self::fresh(lr, seed));
+        };
+        if !policy.path.exists() {
+            return Ok(Self::fresh(lr, seed));
+        }
+        let ckpt = load_checkpoint(&policy.path)?;
+        model.params_mut().copy_exact_from(&ckpt.params)?;
+        let mut opt = Adam::new(lr);
+        opt.restore(ckpt.opt);
+        Ok(Self {
+            opt,
+            rng: StdRng::from_state(ckpt.rng_state),
+            start_epoch: ckpt.epochs_done,
+            losses: ckpt.epoch_losses,
+        })
+    }
+
+    /// Checkpoint after epoch `done` (1-based count of completed epochs) if
+    /// the policy says so, then hit the epoch-end fail point.
+    fn epoch_end(
+        &mut self,
+        done: usize,
+        model: &dyn GraphModel,
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<(), TrainError> {
+        if let Some(policy) = policy {
+            if done.is_multiple_of(policy.every) {
+                let ckpt = TrainCheckpoint {
+                    params: model.params().clone(),
+                    opt: self.opt.state(),
+                    rng_state: self.rng.state(),
+                    epochs_done: done,
+                    epoch_losses: self.losses.clone(),
+                };
+                save_checkpoint(&policy.path, &ckpt)?;
+            }
+        }
+        glint_failpoint::trigger(SITE_EPOCH_END).map_err(TrainError::Interrupted)
+    }
+}
+
 /// Per-epoch mean losses from a training run.
 #[derive(Clone, Debug, Default)]
 pub struct TrainReport {
@@ -122,6 +259,33 @@ impl ClassifierTrainer {
     /// result is independent of the thread count.
     pub fn train(&self, model: &mut dyn GraphModel, train: &[PreparedGraph]) -> TrainReport {
         assert!(!train.is_empty(), "empty training set");
+        self.train_inner(model, train, None)
+            .expect("training without a checkpoint policy cannot fail")
+    }
+
+    /// Like [`train`](Self::train), but checkpoints every
+    /// [`CheckpointPolicy::every`] epochs and resumes from `policy.path`
+    /// when a checkpoint already exists there. A run killed at any epoch
+    /// boundary and resumed produces bitwise the same parameters, losses,
+    /// and report as an uninterrupted run with the same config.
+    pub fn train_resumable(
+        &self,
+        model: &mut dyn GraphModel,
+        train: &[PreparedGraph],
+        policy: &CheckpointPolicy,
+    ) -> Result<TrainReport, TrainError> {
+        self.train_inner(model, train, Some(policy))
+    }
+
+    fn train_inner(
+        &self,
+        model: &mut dyn GraphModel,
+        train: &[PreparedGraph],
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<TrainReport, TrainError> {
+        if train.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
         let labels = labels_of(train);
         let cw = self.config.class_weights.unwrap_or_else(|| {
             let w = glint_ml::sampling::class_weights(&labels, 2);
@@ -129,12 +293,10 @@ impl ClassifierTrainer {
         });
         let batch = self.config.batch_size.max(1);
         let vars = canonical_vars(model);
-        let mut opt = Adam::new(self.config.lr);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut order: Vec<usize> = (0..train.len()).collect();
-        let mut report = TrainReport::default();
-        for _ in 0..self.config.epochs {
-            order.shuffle(&mut rng);
+        let mut state = EpochState::resume(self.config.lr, self.config.seed, model, policy)?;
+        for epoch in state.start_epoch..self.config.epochs {
+            let mut order: Vec<usize> = (0..train.len()).collect();
+            order.shuffle(&mut state.rng);
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(batch) {
                 let frozen: &dyn GraphModel = model;
@@ -151,11 +313,14 @@ impl ClassifierTrainer {
                 });
                 let (grads, loss_sum) = reduce_batch(results);
                 epoch_loss += loss_sum;
-                opt.step(model.params_mut(), &vars, &grads);
+                state.opt.step(model.params_mut(), &vars, &grads);
             }
-            report.epoch_losses.push(epoch_loss / train.len() as f32);
+            state.losses.push(epoch_loss / train.len() as f32);
+            state.epoch_end(epoch + 1, model, policy)?;
         }
-        report
+        Ok(TrainReport {
+            epoch_losses: state.losses,
+        })
     }
 
     /// Predict the class of one graph.
@@ -198,15 +363,39 @@ impl ContrastiveTrainer {
     /// in pair order (thread-count independent, like the classifier).
     pub fn train(&self, model: &mut dyn GraphModel, train: &[PreparedGraph]) -> TrainReport {
         assert!(!train.is_empty());
+        self.train_inner(model, train, None)
+            .expect("training without a checkpoint policy cannot fail")
+    }
+
+    /// Resumable variant — same contract as
+    /// [`ClassifierTrainer::train_resumable`]: kill at any epoch boundary,
+    /// resume, and the final parameters are bitwise identical to an
+    /// uninterrupted run.
+    pub fn train_resumable(
+        &self,
+        model: &mut dyn GraphModel,
+        train: &[PreparedGraph],
+        policy: &CheckpointPolicy,
+    ) -> Result<TrainReport, TrainError> {
+        self.train_inner(model, train, Some(policy))
+    }
+
+    fn train_inner(
+        &self,
+        model: &mut dyn GraphModel,
+        train: &[PreparedGraph],
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<TrainReport, TrainError> {
+        if train.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
         let labels = labels_of(train);
         let n_pairs = self.config.pairs_per_epoch.unwrap_or(train.len());
         let batch = self.config.batch_size.max(1);
         let vars = canonical_vars(model);
-        let mut opt = Adam::new(self.config.lr);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut report = TrainReport::default();
-        for _ in 0..self.config.epochs {
-            let pairs = sample_pairs(&labels, n_pairs, &mut rng);
+        let mut state = EpochState::resume(self.config.lr, self.config.seed, model, policy)?;
+        for epoch in state.start_epoch..self.config.epochs {
+            let pairs = sample_pairs(&labels, n_pairs, &mut state.rng);
             let mut epoch_loss = 0.0;
             for chunk in pairs.chunks(batch) {
                 let frozen: &dyn GraphModel = model;
@@ -231,13 +420,14 @@ impl ContrastiveTrainer {
                 });
                 let (grads, loss_sum) = reduce_batch(results);
                 epoch_loss += loss_sum;
-                opt.step(model.params_mut(), &vars, &grads);
+                state.opt.step(model.params_mut(), &vars, &grads);
             }
-            report
-                .epoch_losses
-                .push(epoch_loss / pairs.len().max(1) as f32);
+            state.losses.push(epoch_loss / pairs.len().max(1) as f32);
+            state.epoch_end(epoch + 1, model, policy)?;
         }
-        report
+        Ok(TrainReport {
+            epoch_losses: state.losses,
+        })
     }
 
     /// Latent representation of one graph (Algorithm 3 line 3).
@@ -441,6 +631,198 @@ mod tests {
             run(8),
             "contrastive embeddings differ between thread counts"
         );
+    }
+
+    fn ckpt_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("glint_trainer_tests");
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path); // each test starts fresh
+        path
+    }
+
+    fn assert_params_bitwise(a: &dyn GraphModel, b: &dyn GraphModel) {
+        for ((name, pa), (_, pb)) in a.params().iter().zip(b.params().iter()) {
+            assert_eq!(pa.shape(), pb.shape(), "shape of {name}");
+            for (x, y) in pa.data().iter().zip(pb.data()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "parameter {name} not bitwise equal"
+                );
+            }
+        }
+    }
+
+    /// Kill the classifier run at every possible epoch boundary; each
+    /// resumed run must match the uninterrupted run bitwise.
+    #[test]
+    fn classifier_kill_resume_is_bitwise_identical() {
+        let data = toy_dataset(12);
+        let cfg = TrainConfig {
+            epochs: 6,
+            lr: 5e-3,
+            batch_size: 3,
+            seed: 9,
+            ..Default::default()
+        };
+        let fresh_model = || {
+            GcnModel::new(
+                6,
+                ModelConfig {
+                    hidden: 8,
+                    embed: 8,
+                    seed: 5,
+                },
+            )
+        };
+        let mut straight = fresh_model();
+        let straight_report = ClassifierTrainer::new(cfg.clone()).train(&mut straight, &data);
+
+        for kill_after in 1..cfg.epochs {
+            let path = ckpt_path(&format!("classifier_kill_{kill_after}.ckpt"));
+            let policy = CheckpointPolicy::new(&path, 1);
+            // phase 1: run only `kill_after` epochs, as if the process died
+            let mut part = fresh_model();
+            let short_cfg = TrainConfig {
+                epochs: kill_after,
+                ..cfg.clone()
+            };
+            ClassifierTrainer::new(short_cfg)
+                .train_resumable(&mut part, &data, &policy)
+                .unwrap();
+            // phase 2: brand-new process resumes from the checkpoint
+            let mut resumed = fresh_model();
+            let report = ClassifierTrainer::new(cfg.clone())
+                .train_resumable(&mut resumed, &data, &policy)
+                .unwrap();
+            assert_params_bitwise(&straight, &resumed);
+            assert_eq!(
+                straight_report.epoch_losses, report.epoch_losses,
+                "loss trace diverged resuming after epoch {kill_after}"
+            );
+        }
+    }
+
+    #[test]
+    fn contrastive_kill_resume_is_bitwise_identical() {
+        let data = toy_dataset(10);
+        let mcfg = ItgnnConfig {
+            hidden: 8,
+            embed: 8,
+            n_scales: 2,
+            ..Default::default()
+        };
+        let cfg = TrainConfig {
+            epochs: 4,
+            lr: 5e-3,
+            margin: 3.0,
+            batch_size: 2,
+            seed: 3,
+            ..Default::default()
+        };
+        let fresh_model = || Itgnn::homogeneous(Platform::Ifttt, 6, mcfg.clone());
+        let mut straight = fresh_model();
+        ContrastiveTrainer::new(cfg.clone()).train(&mut straight, &data);
+
+        let kill_after = 2;
+        let path = ckpt_path("contrastive_kill.ckpt");
+        let policy = CheckpointPolicy::new(&path, 1);
+        let mut part = fresh_model();
+        ContrastiveTrainer::new(TrainConfig {
+            epochs: kill_after,
+            ..cfg.clone()
+        })
+        .train_resumable(&mut part, &data, &policy)
+        .unwrap();
+        let mut resumed = fresh_model();
+        ContrastiveTrainer::new(cfg)
+            .train_resumable(&mut resumed, &data, &policy)
+            .unwrap();
+        assert_params_bitwise(&straight, &resumed);
+    }
+
+    /// A resumable run with no pre-existing checkpoint matches plain train.
+    #[test]
+    fn resumable_fresh_run_matches_plain_train() {
+        let data = toy_dataset(10);
+        let cfg = TrainConfig {
+            epochs: 3,
+            lr: 5e-3,
+            batch_size: 2,
+            ..Default::default()
+        };
+        let fresh_model = || {
+            GcnModel::new(
+                6,
+                ModelConfig {
+                    hidden: 8,
+                    embed: 8,
+                    seed: 4,
+                },
+            )
+        };
+        let mut plain = fresh_model();
+        ClassifierTrainer::new(cfg.clone()).train(&mut plain, &data);
+        let path = ckpt_path("fresh_run.ckpt");
+        let mut resumable = fresh_model();
+        ClassifierTrainer::new(cfg)
+            .train_resumable(&mut resumable, &data, &CheckpointPolicy::new(&path, 2))
+            .unwrap();
+        assert_params_bitwise(&plain, &resumable);
+    }
+
+    /// Resuming into a model with a different architecture is a typed
+    /// error, not a silent partial restore.
+    #[test]
+    fn resume_into_wrong_architecture_is_rejected() {
+        let data = toy_dataset(8);
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
+        let path = ckpt_path("wrong_arch.ckpt");
+        let policy = CheckpointPolicy::new(&path, 1);
+        let mut model = GcnModel::new(
+            6,
+            ModelConfig {
+                hidden: 8,
+                embed: 8,
+                seed: 1,
+            },
+        );
+        ClassifierTrainer::new(cfg.clone())
+            .train_resumable(&mut model, &data, &policy)
+            .unwrap();
+        let mut other = GcnModel::new(
+            6,
+            ModelConfig {
+                hidden: 12, // different hidden width: shapes cannot match
+                embed: 8,
+                seed: 1,
+            },
+        );
+        let err = ClassifierTrainer::new(cfg)
+            .train_resumable(&mut other, &data, &policy)
+            .unwrap_err();
+        assert!(matches!(err, TrainError::Restore(_)), "got {err}");
+    }
+
+    #[test]
+    fn empty_training_set_is_typed_error_in_resumable_path() {
+        let path = ckpt_path("empty_set.ckpt");
+        let mut model = GcnModel::new(
+            6,
+            ModelConfig {
+                hidden: 8,
+                embed: 8,
+                seed: 1,
+            },
+        );
+        let err = ClassifierTrainer::new(TrainConfig::default())
+            .train_resumable(&mut model, &[], &CheckpointPolicy::new(&path, 1))
+            .unwrap_err();
+        assert!(matches!(err, TrainError::EmptyTrainingSet));
     }
 
     #[test]

@@ -85,6 +85,44 @@ impl InteractionGraph {
         }
     }
 
+    /// Structural soundness check for graphs that bypassed [`add_edge`]'s
+    /// assertions — deserialized datasets, external producers. Returns the
+    /// first problem found: an empty node list, an out-of-range edge
+    /// endpoint, or a non-finite node feature. Downstream batch preparation
+    /// panics on exactly these conditions, so serving paths call this first
+    /// and quarantine offenders instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("graph has no nodes".into());
+        }
+        for &(src, dst, kind) in &self.edges {
+            if src >= self.nodes.len() || dst >= self.nodes.len() {
+                return Err(format!(
+                    "edge ({src}, {dst}, {kind:?}) out of range for {} nodes",
+                    self.nodes.len()
+                ));
+            }
+        }
+        let mut dims: Vec<(Platform, usize)> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(bad) = node.features.iter().position(|f| !f.is_finite()) {
+                return Err(format!("node {i} feature {bad} is not finite"));
+            }
+            match dims.iter().find(|(p, _)| *p == node.platform) {
+                None => dims.push((node.platform, node.features.len())),
+                Some((_, d)) if *d != node.features.len() => {
+                    return Err(format!(
+                        "node {i} has {} features but {:?} nodes carry {d}",
+                        node.features.len(),
+                        node.platform
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
     }

@@ -1,22 +1,95 @@
-//! JSON persistence for graph datasets (DGL's stored-dataset stand-in).
+//! Durable persistence for graph datasets (DGL's stored-dataset stand-in).
+//!
+//! Datasets are written through the [`glint_failpoint::durable`] envelope:
+//! checksummed, versioned, and renamed into place atomically so a crash
+//! mid-save leaves the previous generation intact instead of a torn file.
+//! Loading a truncated, corrupt, or future-version file is a typed
+//! [`StoreError`] — never a panic. Plain pre-envelope JSON files (the old
+//! format) still load, so existing datasets keep working.
 
 use crate::dataset::GraphDataset;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter};
+use glint_failpoint::durable::{self, DurableError};
+use std::fmt;
 use std::path::Path;
 
-/// Save a dataset as JSON.
-pub fn save(dataset: &GraphDataset, path: impl AsRef<Path>) -> io::Result<()> {
-    let file = File::create(path)?;
-    let writer = BufWriter::new(file);
-    serde_json::to_writer(writer, dataset).map_err(io::Error::other)
+/// Envelope kind tag for stored datasets.
+pub const DATASET_KIND: &str = "glint-dataset";
+/// Current dataset format version.
+pub const DATASET_VERSION: u32 = 1;
+/// Fail-point site hit by [`save`].
+pub const SITE_STORE_SAVE: &str = "graph.store.save";
+
+/// Why a dataset could not be saved or loaded.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Envelope-level failure: IO, truncation, checksum, version, kind.
+    Envelope(DurableError),
+    /// The bytes verified (or were legacy JSON) but don't decode to a
+    /// dataset.
+    Decode(String),
+    /// The dataset decoded but contains a structurally invalid graph.
+    InvalidGraph { index: usize, reason: String },
 }
 
-/// Load a dataset from JSON.
-pub fn load(path: impl AsRef<Path>) -> io::Result<GraphDataset> {
-    let file = File::open(path)?;
-    let reader = BufReader::new(file);
-    serde_json::from_reader(reader).map_err(io::Error::other)
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Envelope(e) => write!(f, "dataset envelope error: {e}"),
+            StoreError::Decode(why) => write!(f, "dataset decode error: {why}"),
+            StoreError::InvalidGraph { index, reason } => {
+                write!(f, "dataset graph {index} is invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<DurableError> for StoreError {
+    fn from(e: DurableError) -> Self {
+        StoreError::Envelope(e)
+    }
+}
+
+/// Save a dataset durably: JSON payload inside a checksummed envelope,
+/// written to a temp file and renamed into place. Hits [`SITE_STORE_SAVE`].
+pub fn save(dataset: &GraphDataset, path: impl AsRef<Path>) -> Result<(), StoreError> {
+    let json = serde_json::to_string(dataset)
+        .map_err(|e| StoreError::Decode(format!("serialize: {e}")))?;
+    durable::write_durable(
+        SITE_STORE_SAVE,
+        path,
+        DATASET_KIND,
+        DATASET_VERSION,
+        json.as_bytes(),
+    )?;
+    Ok(())
+}
+
+/// Load a dataset, verifying checksum and structure. Falls back to the
+/// legacy bare-JSON format when the file predates the envelope. Every
+/// malformed input — torn write, flipped bits, wrong kind, future version,
+/// out-of-range edges — surfaces as a typed [`StoreError`].
+pub fn load(path: impl AsRef<Path>) -> Result<GraphDataset, StoreError> {
+    let bytes = std::fs::read(path.as_ref()).map_err(DurableError::Io)?;
+    let text = match durable::parse_envelope(&bytes, DATASET_KIND, DATASET_VERSION) {
+        Ok((_version, payload)) => String::from_utf8(payload)
+            .map_err(|_| StoreError::Decode("payload is not UTF-8".into()))?,
+        // legacy pre-envelope datasets were bare JSON; only the envelope
+        // header's absence routes there, so torn/corrupt envelopes still
+        // surface their typed error
+        Err(DurableError::NotAnEnvelope(_)) => String::from_utf8(bytes)
+            .map_err(|_| StoreError::Decode("file is neither envelope nor UTF-8 JSON".into()))?,
+        Err(e) => return Err(e.into()),
+    };
+    let dataset: GraphDataset =
+        serde_json::from_str(&text).map_err(|e| StoreError::Decode(format!("parse: {e}")))?;
+    for (index, graph) in dataset.graphs().iter().enumerate() {
+        graph
+            .validate()
+            .map_err(|reason| StoreError::InvalidGraph { index, reason })?;
+    }
+    Ok(dataset)
 }
 
 #[cfg(test)]
@@ -25,8 +98,7 @@ mod tests {
     use crate::graph::{EdgeKind, GraphLabel, InteractionGraph, Node};
     use glint_rules::{Platform, RuleId};
 
-    #[test]
-    fn round_trip() {
+    fn sample_dataset() -> GraphDataset {
         let mut g = InteractionGraph::new(vec![
             Node {
                 rule_id: RuleId(1),
@@ -42,10 +114,19 @@ mod tests {
         g.add_edge(0, 1, EdgeKind::ActionTrigger);
         let mut ds = GraphDataset::new();
         ds.push(g.with_label(GraphLabel::Threat));
+        ds
+    }
 
+    fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("glint_store_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ds.json");
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip() {
+        let ds = sample_dataset();
+        let path = tmp("ds.bin");
         save(&ds, &path).unwrap();
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.len(), 1);
@@ -56,5 +137,75 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(load("/nonexistent/glint/ds.json").is_err());
+    }
+
+    #[test]
+    fn legacy_bare_json_still_loads() {
+        let ds = sample_dataset();
+        let path = tmp("legacy.json");
+        std::fs::write(&path, serde_json::to_string(&ds).unwrap()).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.graphs()[0], ds.graphs()[0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_and_garbage_files_are_typed_errors() {
+        let ds = sample_dataset();
+        let path = tmp("mangle.bin");
+        save(&ds, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let torn = tmp("mangle_torn.bin");
+        std::fs::write(&torn, &good[..good.len() - 10]).unwrap();
+        assert!(matches!(
+            load(&torn),
+            Err(StoreError::Envelope(DurableError::Truncated { .. }))
+        ));
+
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x20;
+        let corrupt = tmp("mangle_corrupt.bin");
+        std::fs::write(&corrupt, &flipped).unwrap();
+        assert!(matches!(
+            load(&corrupt),
+            Err(StoreError::Envelope(DurableError::ChecksumMismatch))
+        ));
+
+        let garbage = tmp("mangle_garbage.bin");
+        std::fs::write(&garbage, b"]]] not json, not envelope").unwrap();
+        assert!(matches!(load(&garbage), Err(StoreError::Decode(_))));
+    }
+
+    #[test]
+    fn out_of_range_edges_from_disk_are_rejected() {
+        // hand-craft a legacy JSON dataset whose edge indexes a missing node
+        // (serde bypasses add_edge's assertion)
+        let ds = sample_dataset();
+        let json = serde_json::to_string(&ds)
+            .unwrap()
+            .replace("[0,1,", "[0,9,");
+        let path = tmp("bad_edge.json");
+        std::fs::write(&path, json).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(StoreError::InvalidGraph { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn failed_save_leaves_previous_generation_readable() {
+        let ds = sample_dataset();
+        let path = tmp("atomic.bin");
+        save(&ds, &path).unwrap();
+        let _guard = glint_failpoint::ScopedFail::new(
+            SITE_STORE_SAVE,
+            glint_failpoint::Action::ShortWrite(12),
+            1,
+        );
+        assert!(save(&ds, &path).is_err());
+        assert_eq!(load(&path).unwrap().graphs()[0], ds.graphs()[0]);
+        std::fs::remove_file(&path).ok();
     }
 }

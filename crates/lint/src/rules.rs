@@ -31,6 +31,7 @@ pub enum RuleId {
     HotUnwrap,
     HotPanic,
     HotIndex,
+    CatchUnwind,
     Pragma,
 }
 
@@ -46,6 +47,7 @@ impl RuleId {
             RuleId::HotUnwrap => "hot-unwrap",
             RuleId::HotPanic => "hot-panic",
             RuleId::HotIndex => "hot-index",
+            RuleId::CatchUnwind => "catch-unwind",
             RuleId::Pragma => "pragma",
         }
     }
@@ -59,7 +61,9 @@ impl RuleId {
         match self {
             RuleId::HashCollection | RuleId::WallClock | RuleId::EntropyRng => "determinism",
             RuleId::PartialCmpUnwrap | RuleId::FloatCmpOrder | RuleId::FloatEq => "nan-safety",
-            RuleId::HotUnwrap | RuleId::HotPanic | RuleId::HotIndex => "panic-safety",
+            RuleId::HotUnwrap | RuleId::HotPanic | RuleId::HotIndex | RuleId::CatchUnwind => {
+                "panic-safety"
+            }
             RuleId::Pragma => "meta",
         }
     }
@@ -76,6 +80,7 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::HotUnwrap,
     RuleId::HotPanic,
     RuleId::HotIndex,
+    RuleId::CatchUnwind,
     RuleId::Pragma,
 ];
 
@@ -104,6 +109,10 @@ pub struct Config {
     /// Exact files where `hot-index` applies (opt-in: kernels audited to use
     /// iterators/`split_at_mut` instead of per-element indexing).
     pub no_index_files: Vec<String>,
+    /// Exact files allowed to use `catch_unwind`: the designated graceful-
+    /// degradation layer, where containing a panic to quarantine one graph
+    /// is the point. Everywhere else, swallowing panics hides bugs.
+    pub degradation_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -122,6 +131,7 @@ impl Default for Config {
                 "crates/tensor/src/csr.rs".into(),
             ],
             no_index_files: Vec::new(),
+            degradation_files: vec!["crates/core/src/detector.rs".into()],
         }
     }
 }
@@ -142,6 +152,9 @@ impl Config {
     }
     fn is_no_index(&self, path: &str) -> bool {
         self.no_index_files.iter().any(|p| p == path)
+    }
+    fn is_degradation(&self, path: &str) -> bool {
+        self.degradation_files.iter().any(|p| p == path)
     }
 }
 
@@ -253,6 +266,9 @@ pub fn check_file(path: &str, toks: &[Tok], comments: &[Comment], cfg: &Config) 
     }
     if cfg.is_no_index(path) {
         rule_hot_index(path, toks, &mut raw);
+    }
+    if !cfg.is_degradation(path) {
+        rule_catch_unwind(path, toks, &mut raw);
     }
 
     // Apply suppressions: a justified pragma covers findings on its own line
@@ -524,6 +540,26 @@ fn rule_hot_panic(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
                 w[0].line,
                 RuleId::HotPanic,
                 format!("`{}!` in a hot-path kernel", w[0].text),
+            );
+        }
+    }
+}
+
+/// `catch-unwind`: `catch_unwind` outside the designated degradation layer.
+/// Containing a panic is legitimate exactly where one poisoned input must
+/// not kill its siblings (the serving path's quarantine); anywhere else it
+/// swallows bugs that typed errors should surface.
+fn rule_catch_unwind(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for t in toks {
+        if is_ident(t, "catch_unwind") {
+            push(
+                out,
+                file,
+                t.line,
+                RuleId::CatchUnwind,
+                "`catch_unwind` outside the degradation layer: return typed errors \
+                 instead of containing panics (fault isolation belongs in the files \
+                 listed in `Config::degradation_files`)",
             );
         }
     }

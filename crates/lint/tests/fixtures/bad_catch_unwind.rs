@@ -1,0 +1,11 @@
+//! Fixture: `catch_unwind` outside the designated degradation layer.
+
+use std::panic::AssertUnwindSafe;
+
+pub fn swallow_everything(f: impl Fn() -> i32) -> i32 {
+    std::panic::catch_unwind(AssertUnwindSafe(|| f())).unwrap_or(0)
+}
+
+pub fn swallow_qualified(f: impl Fn() -> i32) -> i32 {
+    std::panic::catch_unwind(AssertUnwindSafe(|| f())).unwrap_or(-1)
+}

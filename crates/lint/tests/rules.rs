@@ -90,6 +90,19 @@ fn hot_rules_only_apply_to_designated_files() {
     assert_eq!(count(&f, RuleId::HotIndex), 0, "{f:?}");
 }
 
+#[test]
+fn catch_unwind_is_flagged_outside_degradation_layer() {
+    let f = lint_fixture(include_str!("fixtures/bad_catch_unwind.rs"));
+    assert_eq!(count(&f, RuleId::CatchUnwind), 2, "{f:?}");
+}
+
+#[test]
+fn catch_unwind_is_allowed_in_degradation_files() {
+    let src = include_str!("fixtures/bad_catch_unwind.rs");
+    let f = lint_source("crates/core/src/detector.rs", src, &Config::default());
+    assert_eq!(count(&f, RuleId::CatchUnwind), 0, "{f:?}");
+}
+
 /// Every justified pragma in the suppressed fixture must silence its
 /// finding: the file lints completely clean.
 #[test]

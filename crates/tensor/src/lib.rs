@@ -6,8 +6,9 @@
 //! minimal-but-complete stand-in: a row-major [`Matrix`] type with the dense
 //! kernels GNN training needs, a CSR sparse matrix ([`csr::Csr`]) for
 //! normalized adjacency propagation, a tape-based reverse-mode autograd
-//! engine ([`tape::Tape`]), parameter initialization, and first-order
-//! optimizers (SGD with momentum, Adam).
+//! engine ([`tape::Tape`]), parameter initialization, first-order
+//! optimizers (SGD with momentum, Adam), and durable training checkpoints
+//! ([`checkpoint`]) for crash-safe resume-exact training.
 //!
 //! Design notes (following the Rust performance-book idioms):
 //! - all tensors are `f32`, row-major, contiguous `Vec<f32>`;
@@ -16,6 +17,7 @@
 //! - sparse × dense products iterate CSR rows directly and are the only
 //!   graph-propagation primitive the models need.
 
+pub mod checkpoint;
 pub mod csr;
 pub mod grad_check;
 pub mod init;
@@ -24,9 +26,10 @@ pub mod optim;
 pub mod par;
 pub mod tape;
 
+pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError, TrainCheckpoint};
 pub use csr::Csr;
 pub use matrix::Matrix;
-pub use optim::{Adam, Optimizer, ParamId, ParamSet, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, ParamId, ParamMismatch, ParamSet, Sgd};
 pub use tape::{Tape, Var};
 
 /// Numeric tolerance used across the crate's tests and gradient checks.

@@ -112,11 +112,75 @@ impl ParamSet {
         n
     }
 
+    /// Strict variant of [`copy_matching_from`](Self::copy_matching_from):
+    /// every parameter in `self` must find a same-name, same-shape source, and
+    /// `source` must carry no extras. Any discrepancy is an error describing
+    /// exactly what failed to line up — nothing is silently skipped (the
+    /// destination is still mutated for whatever did match; callers treat an
+    /// `Err` as fatal and discard the set).
+    pub fn copy_exact_from(&mut self, source: &ParamSet) -> Result<(), ParamMismatch> {
+        let mut mismatches = Vec::new();
+        for (i, name) in self.names.iter().enumerate() {
+            match source.names.iter().position(|s| s == name) {
+                None => mismatches.push(format!("missing parameter `{name}`")),
+                Some(j) if source.mats[j].shape() != self.mats[i].shape() => {
+                    mismatches.push(format!(
+                        "shape mismatch for `{name}`: expected {:?}, found {:?}",
+                        self.mats[i].shape(),
+                        source.mats[j].shape()
+                    ));
+                }
+                Some(j) => self.mats[i] = source.mats[j].clone(),
+            }
+        }
+        for name in &source.names {
+            if !self.names.contains(name) {
+                mismatches.push(format!("unexpected parameter `{name}`"));
+            }
+        }
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(ParamMismatch {
+                expected: self.names.len(),
+                matched: self.names.len()
+                    - mismatches
+                        .iter()
+                        .filter(|m| !m.starts_with("unexpected"))
+                        .count(),
+                mismatches,
+            })
+        }
+    }
+
     /// Iterate `(name, matrix)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
         self.names.iter().map(String::as_str).zip(self.mats.iter())
     }
 }
+
+/// Why a strict parameter restore was rejected: the matched-vs-expected
+/// count plus a line per discrepancy.
+#[derive(Debug, Clone)]
+pub struct ParamMismatch {
+    pub expected: usize,
+    pub matched: usize,
+    pub mismatches: Vec<String>,
+}
+
+impl std::fmt::Display for ParamMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "parameter set mismatch ({}/{} matched): {}",
+            self.matched,
+            self.expected,
+            self.mismatches.join("; ")
+        )
+    }
+}
+
+impl std::error::Error for ParamMismatch {}
 
 /// Optimizer over a [`ParamSet`].
 pub trait Optimizer {
@@ -214,6 +278,34 @@ impl Adam {
         self.weight_decay = wd;
         self
     }
+
+    /// Snapshot the optimizer's mutable state (step count + moment
+    /// estimates) for exact-resume checkpointing. Hyperparameters are not
+    /// included — they come from the training config on resume.
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restore a snapshot taken by [`state`](Self::state). The next `step`
+    /// continues the bias-correction schedule and moment estimates exactly
+    /// where the snapshotted optimizer left off.
+    pub fn restore(&mut self, state: AdamState) {
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
+    }
+}
+
+/// Serializable snapshot of [`Adam`]'s mutable state.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AdamState {
+    pub t: u64,
+    pub m: Vec<Option<Matrix>>,
+    pub v: Vec<Option<Matrix>>,
 }
 
 impl Optimizer for Adam {
@@ -307,6 +399,61 @@ mod tests {
             params.get(ParamId(1)).get(0, 0) < 1.0,
             "live param should move"
         );
+    }
+
+    #[test]
+    fn copy_exact_rejects_any_mismatch() {
+        let mut src = ParamSet::new();
+        src.add("enc.w", Matrix::full(2, 2, 5.0));
+        src.add("head.w", Matrix::full(1, 3, 7.0));
+
+        let mut exact = ParamSet::new();
+        exact.add("enc.w", Matrix::zeros(2, 2));
+        exact.add("head.w", Matrix::zeros(1, 3));
+        assert!(exact.copy_exact_from(&src).is_ok());
+        assert_eq!(exact.get(ParamId(1)).get(0, 2), 7.0);
+
+        let mut shape_off = ParamSet::new();
+        shape_off.add("enc.w", Matrix::zeros(2, 2));
+        shape_off.add("head.w", Matrix::zeros(1, 4));
+        let err = shape_off.copy_exact_from(&src).unwrap_err();
+        assert_eq!(err.matched, 1);
+        assert_eq!(err.expected, 2);
+        assert!(err.to_string().contains("head.w"), "{err}");
+
+        let mut missing = ParamSet::new();
+        missing.add("enc.w", Matrix::zeros(2, 2));
+        missing.add("other.w", Matrix::zeros(1, 1));
+        let err = missing.copy_exact_from(&src).unwrap_err();
+        assert!(err.to_string().contains("missing parameter `other.w`"));
+        assert!(err.to_string().contains("unexpected parameter `head.w`"));
+    }
+
+    #[test]
+    fn adam_state_round_trip_resumes_exact() {
+        // run 10 steps straight vs 5 steps + snapshot/restore + 5 steps
+        let run = |split: Option<usize>| -> f32 {
+            let mut params = ParamSet::new();
+            params.add("w", Matrix::full(1, 1, 0.0));
+            let mut opt = Adam::new(0.1);
+            for step in 0..10 {
+                if split == Some(step) {
+                    let snap = opt.state();
+                    opt = Adam::new(0.1);
+                    opt.restore(snap);
+                }
+                let mut tape = Tape::new();
+                let vars = params.bind(&mut tape);
+                let target = tape.constant(Matrix::full(1, 1, 3.0));
+                let diff = tape.sub(vars[0], target);
+                let sq = tape.mul(diff, diff);
+                let loss = tape.sum_all(sq);
+                let grads = tape.backward(loss);
+                opt.step(&mut params, &vars, &grads);
+            }
+            params.get(ParamId(0)).get(0, 0)
+        };
+        assert_eq!(run(None).to_bits(), run(Some(5)).to_bits());
     }
 
     #[test]

@@ -1,14 +1,27 @@
 //! Real-time monitoring: simulate a day in the Figure 10 testbed home,
 //! inject an attack, and watch Glint screen successive log windows.
 //!
+//! The offline stage is fault-tolerant: training checkpoints every other
+//! epoch (kill the process mid-training and rerun — it resumes from the
+//! last epoch boundary, bitwise-exact), and the trained parameters persist
+//! to disk so later runs restore instead of retraining. The online stage
+//! reports degradation events — windows where the detector fell back to
+//! drift-only scoring or quarantined the graph — instead of crashing.
+//!
 //! Run: `cargo run --release --example real_time_monitor`
+//! (run twice to see the warm-start path; delete `target/monitor_state/`
+//! to retrain from scratch)
+
+use std::path::Path;
 
 use glint_suite::core::construction::OfflineBuilder;
 use glint_suite::core::drift::DriftDetector;
-use glint_suite::core::GlintDetector;
+use glint_suite::core::{persist, Degradation, GlintDetector};
 use glint_suite::gnn::batch::{GraphSchema, PreparedGraph};
 use glint_suite::gnn::models::{Itgnn, ItgnnConfig};
-use glint_suite::gnn::trainer::{ClassifierTrainer, ContrastiveTrainer, TrainConfig};
+use glint_suite::gnn::trainer::{
+    CheckpointPolicy, ClassifierTrainer, ContrastiveTrainer, TrainConfig,
+};
 use glint_suite::rules::scenarios::table1_rules;
 use glint_suite::rules::Platform;
 use glint_suite::testbed::attack::{inject, AttackKind};
@@ -17,9 +30,16 @@ use glint_suite::testbed::sim::{SimConfig, Simulator};
 
 fn main() {
     let rules = table1_rules();
+    let state_dir = Path::new("target/monitor_state");
+    if let Err(e) = std::fs::create_dir_all(state_dir) {
+        eprintln!("cannot create {}: {e}", state_dir.display());
+        std::process::exit(1);
+    }
+    let clf_path = state_dir.join("classifier.params");
+    let emb_path = state_dir.join("embedder.params");
 
-    // offline: train the detector pair on oracle-labeled samples
-    println!("Offline stage: training detector…");
+    // offline: train the detector pair on oracle-labeled samples, or
+    // restore a previous run's parameters from disk
     let builder = OfflineBuilder::new(rules.clone(), 7);
     let mut dataset = builder.build_dataset(Platform::all(), 80, 6, true);
     dataset.oversample_threats(7);
@@ -30,18 +50,49 @@ fn main() {
         embed: 32,
         ..Default::default()
     };
+
     let mut classifier = Itgnn::new(&schema.types, cfg.clone());
-    ClassifierTrainer::new(TrainConfig {
-        epochs: 8,
-        ..Default::default()
-    })
-    .train(&mut classifier, &prepared);
     let mut embedder = Itgnn::new(&schema.types, cfg);
-    ContrastiveTrainer::new(TrainConfig {
-        epochs: 5,
-        ..Default::default()
-    })
-    .train(&mut embedder, &prepared);
+    let restored = persist::load_params(&mut classifier, &clf_path).is_ok()
+        && persist::load_params(&mut embedder, &emb_path).is_ok();
+    if restored {
+        println!(
+            "Offline stage: restored trained parameters from {}",
+            state_dir.display()
+        );
+    } else {
+        println!("Offline stage: training detector (checkpointing every 2 epochs)…");
+        let clf_policy = CheckpointPolicy::new(state_dir.join("classifier.ckpt"), 2);
+        if let Err(e) = ClassifierTrainer::new(TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        })
+        .train_resumable(&mut classifier, &prepared, &clf_policy)
+        {
+            eprintln!("classifier training interrupted: {e}");
+            eprintln!("rerun to resume from the last checkpoint");
+            std::process::exit(1);
+        }
+        let emb_policy = CheckpointPolicy::new(state_dir.join("embedder.ckpt"), 2);
+        if let Err(e) = ContrastiveTrainer::new(TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        })
+        .train_resumable(&mut embedder, &prepared, &emb_policy)
+        {
+            eprintln!("embedder training interrupted: {e}");
+            eprintln!("rerun to resume from the last checkpoint");
+            std::process::exit(1);
+        }
+        // Durable, checksummed saves; a torn write leaves the previous
+        // generation intact and the next run simply retrains.
+        for (model, path) in [(&classifier, &clf_path), (&embedder, &emb_path)] {
+            if let Err(e) = persist::save_params(model, path) {
+                eprintln!("warning: could not persist {}: {e}", path.display());
+            }
+        }
+    }
+
     let emb = ContrastiveTrainer::embed_all(&embedder, &prepared);
     let labels: Vec<usize> = prepared.iter().map(|g| g.label.unwrap()).collect();
     let drift = DriftDetector::fit(&emb, &labels);
@@ -63,6 +114,7 @@ fn main() {
 
     // screen 3-hour windows
     let mut warned = 0;
+    let mut degraded = 0;
     for w in 0..8 {
         let from = w as f64 * 3.0 * 3600.0;
         let to = from + 3.0 * 3600.0;
@@ -84,6 +136,17 @@ fn main() {
             det.drift_degree,
             flag
         );
+        match &det.degradation {
+            Degradation::None => {}
+            Degradation::DriftOnly(reason) => {
+                degraded += 1;
+                println!("    degraded (drift-only fallback): {reason}");
+            }
+            Degradation::Quarantined(reason) => {
+                degraded += 1;
+                println!("    degraded (window quarantined): {reason}");
+            }
+        }
         if let Some(warning) = det.warning {
             warned += 1;
             if warned == 1 {
@@ -91,5 +154,5 @@ fn main() {
             }
         }
     }
-    println!("\nWindows with warnings: {warned}/8");
+    println!("\nWindows with warnings: {warned}/8, degraded windows: {degraded}/8");
 }

@@ -22,4 +22,24 @@ GLINT_THREADS=1 cargo test --workspace -q
 echo "== cargo test (strict mode: shape/finiteness checks on every tape op) =="
 cargo test -q --features strict
 
+echo "== fault-injection matrix (forced fail points, default + serial threads) =="
+FAULTS=(
+  "persist.save=err" "persist.save=short:24"
+  "checkpoint.save=err" "checkpoint.save=short:8"
+  "graph.store.save=err" "graph.store.save=short:16"
+  "trainer.epoch_end=err"
+  "detector.assess=err" "detector.assess=panic"
+  "detector.classify=err" "detector.classify=panic"
+)
+for threads in "" "1"; do
+  for spec in "${FAULTS[@]}"; do
+    if ! env ${threads:+GLINT_THREADS=$threads} GLINT_FAILPOINTS="$spec" \
+      cargo test -q --test fault_injection env_forced_matrix >/dev/null 2>&1; then
+      echo "FAULT MATRIX FAILED: spec=$spec GLINT_THREADS=${threads:-default}" >&2
+      exit 1
+    fi
+  done
+done
+echo "   ${#FAULTS[@]} fault specs x {default, GLINT_THREADS=1}: all contained"
+
 echo "ci: all green"

@@ -8,6 +8,7 @@
 //! paper-vs-measured record.
 
 pub use glint_core as core;
+pub use glint_failpoint as failpoint;
 pub use glint_gnn as gnn;
 pub use glint_graph as graph;
 pub use glint_ml as ml;

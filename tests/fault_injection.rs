@@ -1,0 +1,490 @@
+//! Fault-injection matrix for the train/serve pipeline.
+//!
+//! Every canonical fail-point site is forced here and the observable outcome
+//! is pinned: storage sites surface **typed errors** and leave the previous
+//! generation readable; serving sites degrade to a **quarantined or
+//! drift-only `Detection`** — no panic ever escapes a public API.
+//!
+//! Storage-site `panic` actions are deliberately absent from this matrix:
+//! a panic mid-save *is* the simulated process crash, and its guarantee
+//! (atomic temp-file + rename, so the destination is never torn) is what the
+//! kill/resume tests below verify by interrupting and resuming training.
+//!
+//! The fail-point registry is process-global, so every test serialises on
+//! one mutex — two tests arming sites concurrently would steal each other's
+//! faults.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use glint_suite::core::construction::OfflineBuilder;
+use glint_suite::core::drift::DriftDetector;
+use glint_suite::core::persist;
+use glint_suite::core::{Degradation, GlintDetector, GlintError};
+use glint_suite::failpoint::{self, Action, ScopedFail};
+use glint_suite::gnn::batch::{GraphSchema, PreparedGraph};
+use glint_suite::gnn::models::{GraphModel, Itgnn, ItgnnConfig};
+use glint_suite::gnn::trainer::{
+    CheckpointPolicy, ClassifierTrainer, ContrastiveTrainer, TrainConfig, TrainError,
+};
+use glint_suite::graph::store;
+use glint_suite::graph::{GraphDataset, InteractionGraph, Node};
+use glint_suite::rules::scenarios::table1_rules;
+use glint_suite::rules::Platform;
+use glint_suite::tensor::checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
+use glint_suite::tensor::par;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialise tests sharing the global fail-point registry. A previous test
+/// failing while holding the lock must not cascade, so poison is cleared.
+fn serial() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Scratch path under the target dir; removed up-front so each run is fresh.
+fn scratch(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("glint-fault-{name}"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+struct Fixture {
+    graphs: Vec<InteractionGraph>,
+    prepared: Vec<PreparedGraph>,
+    schema: GraphSchema,
+    cfg: ItgnnConfig,
+}
+
+/// One small labeled dataset shared by every test in this binary.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let rules = table1_rules();
+        let builder = OfflineBuilder::new(rules, 7);
+        let mut ds = builder.build_dataset(Platform::all(), 32, 5, true);
+        ds.oversample_threats(7);
+        let prepared = PreparedGraph::prepare_all(ds.graphs());
+        let schema = GraphSchema::infer(ds.iter());
+        let cfg = ItgnnConfig {
+            hidden: 12,
+            embed: 8,
+            n_scales: 2,
+            ..Default::default()
+        };
+        Fixture {
+            graphs: ds.graphs().to_vec(),
+            prepared,
+            schema,
+            cfg,
+        }
+    })
+}
+
+fn trained_detector() -> GlintDetector<Itgnn, Itgnn> {
+    let fx = fixture();
+    let mut classifier = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+    ClassifierTrainer::new(TrainConfig {
+        epochs: 3,
+        ..Default::default()
+    })
+    .train(&mut classifier, &fx.prepared);
+    let mut embedder = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+    ContrastiveTrainer::new(TrainConfig {
+        epochs: 2,
+        ..Default::default()
+    })
+    .train(&mut embedder, &fx.prepared);
+    let emb = ContrastiveTrainer::embed_all(&embedder, &fx.prepared);
+    let labels: Vec<usize> = fx.prepared.iter().map(|g| g.label.unwrap_or(0)).collect();
+    GlintDetector::new(
+        table1_rules(),
+        classifier,
+        embedder,
+        DriftDetector::fit(&emb, &labels),
+    )
+}
+
+/// A graph the detector can score (borrowed from the shared dataset).
+fn sample_graph() -> InteractionGraph {
+    fixture().graphs[0].clone()
+}
+
+fn params_bitwise_equal(a: &Itgnn, b: &Itgnn) -> bool {
+    let pa = a.params();
+    let pb = b.params();
+    pa.iter().zip(pb.iter()).all(|((na, ma), (nb, mb))| {
+        na == nb
+            && ma.data().len() == mb.data().len()
+            && ma
+                .data()
+                .iter()
+                .zip(mb.data().iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Storage sites: typed errors, previous generation survives.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn persist_save_faults_yield_typed_errors_and_preserve_previous_model() {
+    let _g = serial();
+    let fx = fixture();
+    let model = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+    let path = scratch("persist.json");
+    persist::save_params(&model, &path).expect("clean save");
+
+    for action in [Action::Err, Action::ShortWrite(24)] {
+        let _fp = ScopedFail::new(persist::SITE_PERSIST_SAVE, action, 1);
+        let err = persist::save_params(&model, &path).expect_err("fault must surface");
+        assert!(matches!(err, GlintError::Envelope(_)), "unexpected: {err}");
+        // Previous generation still loads bit-for-bit.
+        let mut reloaded = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+        persist::load_params(&mut reloaded, &path).expect("previous generation readable");
+        assert!(params_bitwise_equal(&model, &reloaded));
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_save_faults_yield_typed_errors() {
+    let _g = serial();
+    let path = scratch("ckpt-fault.json");
+    let ckpt = glint_suite::tensor::TrainCheckpoint::default();
+    save_checkpoint(&path, &ckpt).expect("clean save");
+
+    for action in [Action::Err, Action::ShortWrite(10)] {
+        let _fp = ScopedFail::new(
+            glint_suite::tensor::checkpoint::SITE_CHECKPOINT_SAVE,
+            action,
+            1,
+        );
+        let err = save_checkpoint(&path, &ckpt).expect_err("fault must surface");
+        assert!(matches!(err, CheckpointError::Envelope(_)), "{err}");
+        load_checkpoint(&path).expect("previous checkpoint generation readable");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn store_save_faults_yield_typed_errors_and_preserve_previous_dataset() {
+    let _g = serial();
+    let path = scratch("store-fault.json");
+    let ds = GraphDataset::from_graphs(vec![sample_graph()]);
+    store::save(&ds, &path).expect("clean save");
+
+    for action in [Action::Err, Action::ShortWrite(16)] {
+        let _fp = ScopedFail::new(store::SITE_STORE_SAVE, action, 1);
+        let err = store::save(&ds, &path).expect_err("fault must surface");
+        assert!(matches!(err, store::StoreError::Envelope(_)), "{err}");
+        let back = store::load(&path).expect("previous dataset generation readable");
+        assert_eq!(back.len(), ds.len());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Trainer site: interruption is a typed error; resume is bitwise-exact.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trainer_interrupt_then_resume_is_bitwise_identical() {
+    let _g = serial();
+    let fx = fixture();
+    let cfg = TrainConfig {
+        epochs: 6,
+        ..Default::default()
+    };
+    let path = scratch("trainer-interrupt.json");
+
+    // Uninterrupted reference run.
+    let mut reference = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+    ClassifierTrainer::new(cfg.clone()).train(&mut reference, &fx.prepared);
+
+    // Interrupted run: the epoch-end fault fires after epoch 3's checkpoint.
+    let mut victim = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+    let policy = CheckpointPolicy::new(&path, 1);
+    {
+        let _fp = ScopedFail::new(glint_suite::gnn::trainer::SITE_EPOCH_END, Action::Err, 3);
+        let err = ClassifierTrainer::new(cfg.clone())
+            .train_resumable(&mut victim, &fx.prepared, &policy)
+            .expect_err("injected interruption must surface");
+        assert!(matches!(err, TrainError::Interrupted(_)), "{err}");
+    }
+
+    // Resume from the checkpoint on a fresh model and finish.
+    let mut resumed = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+    ClassifierTrainer::new(cfg)
+        .train_resumable(&mut resumed, &fx.prepared, &policy)
+        .expect("resume completes");
+    assert!(
+        params_bitwise_equal(&reference, &resumed),
+        "resumed trajectory diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trainer_interrupt_then_resume_is_bitwise_identical_serial_threads() {
+    let _g = serial();
+    par::with_threads(1, || {
+        let fx = fixture();
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
+        let path = scratch("trainer-interrupt-serial.json");
+
+        let mut reference = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+        ContrastiveTrainer::new(cfg.clone()).train(&mut reference, &fx.prepared);
+
+        let mut victim = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+        let policy = CheckpointPolicy::new(&path, 1);
+        {
+            let _fp = ScopedFail::new(glint_suite::gnn::trainer::SITE_EPOCH_END, Action::Err, 2);
+            let err = ContrastiveTrainer::new(cfg.clone())
+                .train_resumable(&mut victim, &fx.prepared, &policy)
+                .expect_err("injected interruption must surface");
+            assert!(matches!(err, TrainError::Interrupted(_)), "{err}");
+        }
+
+        let mut resumed = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+        ContrastiveTrainer::new(cfg)
+            .train_resumable(&mut resumed, &fx.prepared, &policy)
+            .expect("resume completes");
+        assert!(
+            params_bitwise_equal(&reference, &resumed),
+            "serial-thread resumed trajectory diverged"
+        );
+        let _ = std::fs::remove_file(&path);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: arbitrary byte damage to a checkpoint is a typed error, never
+// a panic, never a silently-wrong load.
+// ---------------------------------------------------------------------------
+
+mod corruption {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn valid_checkpoint_bytes() -> Vec<u8> {
+        static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+        BYTES
+            .get_or_init(|| {
+                let path = scratch("proptest-template.json");
+                let ckpt = glint_suite::tensor::TrainCheckpoint {
+                    rng_state: [1, 2, 3, 4],
+                    epochs_done: 2,
+                    epoch_losses: vec![0.5, 0.25],
+                    ..Default::default()
+                };
+                save_checkpoint(&path, &ckpt).expect("template save");
+                let bytes = std::fs::read(&path).expect("template read");
+                let _ = std::fs::remove_file(&path);
+                bytes
+            })
+            .clone()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Flip bytes at random offsets: load must return a typed error or —
+        /// when the flip misses every integrity-relevant byte — the original
+        /// payload. It must never panic.
+        #[test]
+        fn random_byte_flips_never_panic(
+            offsets in proptest::collection::vec((0usize..4096, 1u8..=255u8), 1..8)
+        ) {
+            let _g = serial();
+            let mut bytes = valid_checkpoint_bytes();
+            let mut changed = false;
+            for (off, xor) in offsets {
+                let off = off % bytes.len();
+                bytes[off] ^= xor;
+                changed = true;
+            }
+            let path = scratch("proptest-corrupt.json");
+            std::fs::write(&path, &bytes).expect("write corrupted bytes");
+            if changed {
+                // Either a typed rejection or (if the flip cancelled out /
+                // hit only JSON whitespace-equivalent content) a clean load;
+                // both are fine — panicking is not. The call itself is the
+                // assertion: a panic fails the test.
+                let _ = load_checkpoint(&path);
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+
+        /// Truncate at every possible length: always a typed error.
+        #[test]
+        fn every_truncation_is_a_typed_error(cut in 0usize..4096) {
+            let _g = serial();
+            let bytes = valid_checkpoint_bytes();
+            let cut = cut % bytes.len();
+            let path = scratch("proptest-truncate.json");
+            std::fs::write(&path, &bytes[..cut]).expect("write truncated bytes");
+            let err = load_checkpoint(&path).expect_err("truncation must be rejected");
+            prop_assert!(matches!(err, CheckpointError::Envelope(_)), "{}", err);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving sites: degradation, not propagation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn assess_faults_quarantine_instead_of_panicking() {
+    let _g = serial();
+    let detector = trained_detector();
+    for action in [Action::Err, Action::Panic] {
+        let _fp = ScopedFail::new(glint_suite::core::detector::SITE_ASSESS, action, 1);
+        let det = detector.assess(sample_graph());
+        assert!(
+            matches!(det.degradation, Degradation::Quarantined(_)),
+            "expected quarantine, got {:?}",
+            det.degradation
+        );
+        assert!(det.threat_probability.is_nan());
+        assert!(!det.is_threat);
+    }
+}
+
+#[test]
+fn classifier_faults_fall_back_to_drift_only_scoring() {
+    let _g = serial();
+    let detector = trained_detector();
+    for action in [Action::Err, Action::Panic] {
+        let _fp = ScopedFail::new(glint_suite::core::detector::SITE_CLASSIFY, action, 1);
+        let det = detector.assess(sample_graph());
+        assert!(
+            matches!(det.degradation, Degradation::DriftOnly(_)),
+            "expected drift-only fallback, got {:?}",
+            det.degradation
+        );
+        assert!(
+            det.threat_probability.is_finite(),
+            "fallback must still produce a usable score"
+        );
+        assert!((0.0..=1.0).contains(&det.threat_probability));
+        assert!(det.drift_degree.is_finite());
+    }
+}
+
+#[test]
+fn batch_fault_degrades_exactly_one_slot() {
+    let _g = serial();
+    let detector = trained_detector();
+    let graphs = vec![sample_graph(), sample_graph(), sample_graph()];
+    let _fp = ScopedFail::new(glint_suite::core::detector::SITE_ASSESS, Action::Panic, 1);
+    let dets = detector.assess_batch(&graphs);
+    assert_eq!(dets.len(), 3);
+    let quarantined = dets
+        .iter()
+        .filter(|d| matches!(d.degradation, Degradation::Quarantined(_)))
+        .count();
+    let healthy = dets
+        .iter()
+        .filter(|d| matches!(d.degradation, Degradation::None))
+        .count();
+    assert_eq!(quarantined, 1, "exactly one slot takes the fault");
+    assert_eq!(healthy, 2, "siblings are untouched");
+}
+
+#[test]
+fn nan_poisoned_graph_in_batch_degrades_only_its_own_slot() {
+    let _g = serial();
+    par::with_threads(1, || {
+        let detector = trained_detector();
+        let good = sample_graph();
+        let mut poisoned_nodes: Vec<Node> = good.nodes().to_vec();
+        if let Some(f) = poisoned_nodes[0].features.first_mut() {
+            *f = f32::NAN;
+        }
+        let mut poisoned = InteractionGraph::new(poisoned_nodes);
+        for &(s, d, k) in good.edges() {
+            poisoned.add_edge(s, d, k);
+        }
+        let graphs = vec![good.clone(), poisoned, good];
+        let dets = detector.assess_batch(&graphs);
+        assert!(matches!(dets[1].degradation, Degradation::Quarantined(_)));
+        assert!(dets[1].threat_probability.is_nan());
+        for i in [0, 2] {
+            assert!(
+                matches!(dets[i].degradation, Degradation::None),
+                "healthy slot {i} degraded: {:?}",
+                dets[i].degradation
+            );
+            assert!(dets[i].threat_probability.is_finite());
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Environment-driven matrix entry point (used by scripts/ci.sh).
+// ---------------------------------------------------------------------------
+
+/// Driven by `GLINT_FAILPOINTS=<site>=<action>`: exercises whichever sites
+/// the environment armed and asserts the contract for each. With nothing
+/// armed (the normal `cargo test` run) it passes trivially. The ci matrix
+/// runs this test alone (filtered) so no sibling test consumes the fault.
+#[test]
+fn env_forced_matrix() {
+    let _g = serial();
+    let sites = failpoint::armed_sites();
+    if sites.is_empty() {
+        return;
+    }
+    let fx = fixture();
+    for site in sites {
+        match site.as_str() {
+            "persist.save" => {
+                let model = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+                let path = scratch("env-persist.json");
+                persist::save_params(&model, &path)
+                    .expect_err("armed persist.save must surface a typed error");
+                let _ = std::fs::remove_file(&path);
+            }
+            "checkpoint.save" => {
+                let path = scratch("env-ckpt.json");
+                save_checkpoint(&path, &glint_suite::tensor::TrainCheckpoint::default())
+                    .expect_err("armed checkpoint.save must surface a typed error");
+                let _ = std::fs::remove_file(&path);
+            }
+            "graph.store.save" => {
+                let path = scratch("env-store.json");
+                store::save(&GraphDataset::from_graphs(vec![sample_graph()]), &path)
+                    .expect_err("armed graph.store.save must surface a typed error");
+                let _ = std::fs::remove_file(&path);
+            }
+            "trainer.epoch_end" => {
+                let path = scratch("env-trainer.json");
+                let mut model = Itgnn::new(&fx.schema.types, fx.cfg.clone());
+                let err = ClassifierTrainer::new(TrainConfig {
+                    epochs: 2,
+                    ..Default::default()
+                })
+                .train_resumable(&mut model, &fx.prepared, &CheckpointPolicy::new(&path, 1))
+                .expect_err("armed trainer.epoch_end must interrupt training");
+                assert!(matches!(err, TrainError::Interrupted(_)), "{err}");
+                let _ = std::fs::remove_file(&path);
+            }
+            "detector.assess" | "detector.classify" => {
+                let detector = trained_detector();
+                let det = detector.assess(sample_graph());
+                assert!(
+                    det.degradation.is_degraded(),
+                    "armed {site} must degrade the detection, got {:?}",
+                    det.degradation
+                );
+            }
+            other => panic!("unknown fail-point site in GLINT_FAILPOINTS: {other}"),
+        }
+    }
+}

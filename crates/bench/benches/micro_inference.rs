@@ -4,7 +4,7 @@
 //! heterogeneous graph on their GPU stack — we report CPU numbers and the
 //! scaling shape), plus the serialized ITGNN model size (paper: 6.13 MB).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use glint_core::construction::node_features;
 use glint_gnn::batch::{GraphSchema, PreparedGraph};
 use glint_gnn::models::{GraphModel, Itgnn, ItgnnConfig};
@@ -97,4 +97,12 @@ fn bench_embedding(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_inference, bench_graph_prep, bench_embedding);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // with GLINT_TRACE=1 this snapshots kernel/inference counters to the
+    // repo-root BENCH_trace.json (no-op otherwise)
+    if let Some(path) = glint_bench::export_trace("micro_inference") {
+        println!("trace exported to {}", path.display());
+    }
+}

@@ -10,7 +10,7 @@
 //! The acceptance bar from the parallel-layer work: ≥2× at 4+ threads for
 //! both. A summary line per workload prints the measured speedups.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use glint_core::construction::node_features;
 use glint_gnn::batch::PreparedGraph;
 use glint_gnn::models::{Itgnn, ItgnnConfig};
@@ -141,4 +141,12 @@ fn time_it(f: impl Fn()) -> f64 {
 }
 
 criterion_group!(benches, bench_matmul, bench_batched_inference);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // with GLINT_TRACE=1 this snapshots kernel flop/call counters to the
+    // repo-root BENCH_trace.json (no-op otherwise)
+    if let Some(path) = glint_bench::export_trace("micro_parallel") {
+        println!("trace exported to {}", path.display());
+    }
+}

@@ -215,6 +215,27 @@ pub fn record_json(experiment: &str, value: &serde_json::Value) {
     }
 }
 
+/// Repo-root `BENCH_trace.json` — the machine-readable observability
+/// snapshot CI checks for (resolved from this crate's manifest dir so it
+/// lands at the root regardless of the harness working directory).
+pub fn bench_trace_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trace.json")
+}
+
+/// Export everything glint-trace collected so far to the repo-root
+/// `BENCH_trace.json` plus a per-run copy under `target/glint-trace/`.
+/// No-op (returns `None`) when tracing is disabled, so harnesses can call
+/// it unconditionally at the end of a run.
+pub fn export_trace(run: &str) -> Option<std::path::PathBuf> {
+    if !glint_trace::enabled() {
+        return None;
+    }
+    let path = bench_trace_path();
+    glint_trace::export::write_json_to(&path, run).ok()?;
+    let _ = glint_trace::export::export_run(run);
+    Some(path)
+}
+
 /// Wall-clock helper.
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = std::time::Instant::now();

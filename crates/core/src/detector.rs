@@ -161,7 +161,8 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
     /// poisoned graph or an internal failure lands on a lower rung of the
     /// degradation ladder (drift-only fallback or quarantine) instead.
     pub fn assess(&self, graph: InteractionGraph) -> Detection {
-        match self.verdict(&graph) {
+        let _span = glint_trace::span("assess");
+        let detection = match self.verdict(&graph) {
             Ok(v) => Detection {
                 graph,
                 drifting: v.drifting,
@@ -172,7 +173,17 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
                 degradation: v.degradation,
             },
             Err(e) => Detection::quarantined(graph, e.to_string()),
+        };
+        if glint_trace::enabled() {
+            let rung = match &detection.degradation {
+                Degradation::None => "detector.verdict.full",
+                Degradation::DriftOnly(_) => "detector.verdict.drift_only",
+                Degradation::Quarantined(_) => "detector.verdict.quarantined",
+            };
+            glint_trace::counter(rung, 1);
+            glint_trace::histogram("detector.drift_degree", detection.drift_degree);
         }
+        detection
     }
 
     /// Like [`assess`](Self::assess), but surfaces quarantine-level
@@ -211,14 +222,17 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
         // preparation and the embedder run behind a panic barrier — a graph
         // that slips past validation, or a poisoned embedder, quarantines
         // this one graph instead of killing the monitoring loop.
-        let embedded = catch_unwind(AssertUnwindSafe(
-            || -> Result<(PreparedGraph, Vec<f32>), GlintError> {
-                glint_failpoint::trigger(SITE_ASSESS)?;
-                let prepared = PreparedGraph::from_graph(graph);
-                let embedding = ContrastiveTrainer::embed(&self.embedder, &prepared);
-                Ok((prepared, embedding))
-            },
-        ));
+        let embedded = {
+            let _span = glint_trace::span("embed");
+            catch_unwind(AssertUnwindSafe(
+                || -> Result<(PreparedGraph, Vec<f32>), GlintError> {
+                    glint_failpoint::trigger(SITE_ASSESS)?;
+                    let prepared = PreparedGraph::from_graph(graph);
+                    let embedding = ContrastiveTrainer::embed(&self.embedder, &prepared);
+                    Ok((prepared, embedding))
+                },
+            ))
+        };
         let (prepared, embedding) = match embedded {
             Ok(Ok(x)) => x,
             Ok(Err(e)) => return Err(e),
@@ -228,13 +242,16 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
         let drifting = drift_degree > self.drift.threshold;
         // step ⑥: classification, falling back to the drift score when the
         // classifier fails — a degraded verdict beats no verdict.
-        let classified = catch_unwind(AssertUnwindSafe(|| -> Result<f32, GlintError> {
-            glint_failpoint::trigger(SITE_CLASSIFY)?;
-            Ok(ClassifierTrainer::predict_proba(
-                &self.classifier,
-                &prepared,
-            ))
-        }));
+        let classified = {
+            let _span = glint_trace::span("classify");
+            catch_unwind(AssertUnwindSafe(|| -> Result<f32, GlintError> {
+                glint_failpoint::trigger(SITE_CLASSIFY)?;
+                Ok(ClassifierTrainer::predict_proba(
+                    &self.classifier,
+                    &prepared,
+                ))
+            }))
+        };
         let (threat_probability, is_threat, degradation) = match classified {
             Ok(Ok(p)) if p.is_finite() => (p, p > 0.5, Degradation::None),
             other => {

@@ -206,6 +206,7 @@ impl EpochState {
     ) -> Result<(), TrainError> {
         if let Some(policy) = policy {
             if done.is_multiple_of(policy.every) {
+                let _span = glint_trace::span("checkpoint");
                 let ckpt = TrainCheckpoint {
                     params: model.params().clone(),
                     opt: self.opt.state(),
@@ -214,6 +215,7 @@ impl EpochState {
                     epoch_losses: self.losses.clone(),
                 };
                 save_checkpoint(&policy.path, &ckpt)?;
+                glint_trace::counter("train.checkpoints", 1);
             }
         }
         glint_failpoint::trigger(SITE_EPOCH_END).map_err(TrainError::Interrupted)
@@ -294,28 +296,42 @@ impl ClassifierTrainer {
         let batch = self.config.batch_size.max(1);
         let vars = canonical_vars(model);
         let mut state = EpochState::resume(self.config.lr, self.config.seed, model, policy)?;
+        let _train_span = glint_trace::span("classifier_train");
         for epoch in state.start_epoch..self.config.epochs {
+            let _epoch_span = glint_trace::span("epoch");
             let mut order: Vec<usize> = (0..train.len()).collect();
             order.shuffle(&mut state.rng);
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(batch) {
                 let frozen: &dyn GraphModel = model;
-                let results = par::ordered_map(chunk.len(), |j| {
-                    let i = chunk[j];
-                    let mut tape = Tape::new();
-                    let vars = frozen.params().bind(&mut tape);
-                    let out = frozen.forward(&mut tape, &vars, &train[i]);
-                    let cls = tape.softmax_cross_entropy(out.logits, &[labels[i]], &cw);
-                    let total = eq2_total(&mut tape, cls, out.aux_loss, self.config.beta);
-                    let grads = tape.backward(total);
-                    let flat = vars.iter().map(|&v| grads.get(v).cloned()).collect();
-                    (flat, tape.value(total).get(0, 0))
-                });
+                let results = {
+                    let _span = glint_trace::span("forward_backward");
+                    par::ordered_map(chunk.len(), |j| {
+                        let i = chunk[j];
+                        let mut tape = Tape::new();
+                        let vars = frozen.params().bind(&mut tape);
+                        let out = frozen.forward(&mut tape, &vars, &train[i]);
+                        let cls = tape.softmax_cross_entropy(out.logits, &[labels[i]], &cw);
+                        let total = eq2_total(&mut tape, cls, out.aux_loss, self.config.beta);
+                        let grads = tape.backward(total);
+                        let flat = vars.iter().map(|&v| grads.get(v).cloned()).collect();
+                        (flat, tape.value(total).get(0, 0))
+                    })
+                };
                 let (grads, loss_sum) = reduce_batch(results);
                 epoch_loss += loss_sum;
+                if glint_trace::enabled() {
+                    glint_trace::counter("train.steps", 1);
+                    glint_trace::gauge("train.grad_norm", f64::from(grads.global_norm(&vars)));
+                }
+                let _opt_span = glint_trace::span("optimizer");
                 state.opt.step(model.params_mut(), &vars, &grads);
             }
             state.losses.push(epoch_loss / train.len() as f32);
+            if glint_trace::enabled() {
+                glint_trace::counter("train.epochs", 1);
+                glint_trace::gauge("train.loss", f64::from(epoch_loss / train.len() as f32));
+            }
             state.epoch_end(epoch + 1, model, policy)?;
         }
         Ok(TrainReport {
@@ -394,35 +410,53 @@ impl ContrastiveTrainer {
         let batch = self.config.batch_size.max(1);
         let vars = canonical_vars(model);
         let mut state = EpochState::resume(self.config.lr, self.config.seed, model, policy)?;
+        let _train_span = glint_trace::span("contrastive_train");
         for epoch in state.start_epoch..self.config.epochs {
+            let _epoch_span = glint_trace::span("epoch");
             let pairs = sample_pairs(&labels, n_pairs, &mut state.rng);
             let mut epoch_loss = 0.0;
             for chunk in pairs.chunks(batch) {
                 let frozen: &dyn GraphModel = model;
-                let results = par::ordered_map(chunk.len(), |j| {
-                    let (a, b, same) = chunk[j];
-                    let mut tape = Tape::new();
-                    let vars = frozen.params().bind(&mut tape);
-                    let out_a = frozen.forward(&mut tape, &vars, &train[a]);
-                    let out_b = frozen.forward(&mut tape, &vars, &train[b]);
-                    let contrast = tape.contrastive_pair(
-                        out_a.embedding,
-                        out_b.embedding,
-                        same,
-                        self.config.margin,
-                    );
-                    // pooling losses from both forwards still regularize
-                    let with_a = eq2_total(&mut tape, contrast, out_a.aux_loss, self.config.beta);
-                    let total = eq2_total(&mut tape, with_a, out_b.aux_loss, self.config.beta);
-                    let grads = tape.backward(total);
-                    let flat = vars.iter().map(|&v| grads.get(v).cloned()).collect();
-                    (flat, tape.value(total).get(0, 0))
-                });
+                let results = {
+                    let _span = glint_trace::span("forward_backward");
+                    par::ordered_map(chunk.len(), |j| {
+                        let (a, b, same) = chunk[j];
+                        let mut tape = Tape::new();
+                        let vars = frozen.params().bind(&mut tape);
+                        let out_a = frozen.forward(&mut tape, &vars, &train[a]);
+                        let out_b = frozen.forward(&mut tape, &vars, &train[b]);
+                        let contrast = tape.contrastive_pair(
+                            out_a.embedding,
+                            out_b.embedding,
+                            same,
+                            self.config.margin,
+                        );
+                        // pooling losses from both forwards still regularize
+                        let with_a =
+                            eq2_total(&mut tape, contrast, out_a.aux_loss, self.config.beta);
+                        let total = eq2_total(&mut tape, with_a, out_b.aux_loss, self.config.beta);
+                        let grads = tape.backward(total);
+                        let flat = vars.iter().map(|&v| grads.get(v).cloned()).collect();
+                        (flat, tape.value(total).get(0, 0))
+                    })
+                };
                 let (grads, loss_sum) = reduce_batch(results);
                 epoch_loss += loss_sum;
+                if glint_trace::enabled() {
+                    glint_trace::counter("train.steps", 1);
+                    glint_trace::gauge("train.grad_norm", f64::from(grads.global_norm(&vars)));
+                }
+                let _opt_span = glint_trace::span("optimizer");
                 state.opt.step(model.params_mut(), &vars, &grads);
             }
             state.losses.push(epoch_loss / pairs.len().max(1) as f32);
+            if glint_trace::enabled() {
+                glint_trace::counter("train.epochs", 1);
+                glint_trace::gauge(
+                    "train.loss",
+                    f64::from(epoch_loss / pairs.len().max(1) as f32),
+                );
+            }
             state.epoch_end(epoch + 1, model, policy)?;
         }
         Ok(TrainReport {

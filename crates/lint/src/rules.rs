@@ -123,6 +123,7 @@ impl Default for Config {
                 "crates/graph/src/".into(),
                 "crates/core/src/".into(),
                 "crates/tensor/src/".into(),
+                "crates/trace/src/".into(),
             ],
             clock_exempt_prefixes: vec!["crates/bench/".into()],
             hot_path_files: vec![

@@ -4,14 +4,21 @@
 use crate::tape::{Tape, Var};
 use crate::Matrix;
 
-/// Result of a gradient check: worst absolute and relative error seen.
+/// Result of a gradient check: worst absolute and relative error seen, plus
+/// where it happened (input index, flat element index, analytic value,
+/// numeric value) for diagnosing which layer parameter disagrees.
 #[derive(Debug, Clone, Copy)]
 pub struct CheckReport {
     pub max_abs_err: f32,
     pub max_rel_err: f32,
+    pub worst: Option<(usize, usize, f32, f32)>,
 }
 
 impl CheckReport {
+    /// An element passes when either error is below `tol` (tiny gradients
+    /// have meaningless relative error; large ones meaningless absolute
+    /// error). The report tracks the worst element by that same criterion,
+    /// so the check passes iff every element does.
     pub fn ok(&self, tol: f32) -> bool {
         self.max_abs_err < tol || self.max_rel_err < tol
     }
@@ -35,7 +42,9 @@ pub fn check_gradients(
     let mut report = CheckReport {
         max_abs_err: 0.0,
         max_rel_err: 0.0,
+        worst: None,
     };
+    let mut worst_score = f32::NEG_INFINITY;
     for (i, input) in inputs.iter().enumerate() {
         let analytic = grads
             .get(vars[i])
@@ -55,9 +64,13 @@ pub fn check_gradients(
             let abs = (a - numeric).abs();
             let rel = abs / a.abs().max(numeric.abs()).max(1e-6);
             report.max_abs_err = report.max_abs_err.max(abs);
-            report.max_rel_err = report.max_rel_err.min(1.0).max(rel.min(rel));
-            if rel > report.max_rel_err {
-                report.max_rel_err = rel;
+            report.max_rel_err = report.max_rel_err.max(rel);
+            // worst element under the pass criterion of `ok`: its smaller
+            // error is what has to clear the tolerance
+            let score = abs.min(rel);
+            if score > worst_score {
+                worst_score = score;
+                report.worst = Some((i, k, a, numeric));
             }
         }
     }

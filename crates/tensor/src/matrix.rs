@@ -28,6 +28,10 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Create a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        if glint_trace::enabled() {
+            glint_trace::counter("tensor.alloc.matrices", 1);
+            glint_trace::counter("tensor.alloc.elements", (rows * cols) as u64);
+        }
         Self {
             rows,
             cols,

@@ -114,6 +114,13 @@ where
 
 /// Parallel `a × b`; exact same result as [`Matrix::matmul`].
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    if glint_trace::enabled() {
+        glint_trace::counter("tensor.matmul.calls", 1);
+        glint_trace::counter(
+            "tensor.matmul.flops",
+            2 * (a.rows() * a.cols() * b.cols()) as u64,
+        );
+    }
     let threads = current_threads();
     if threads <= 1 || a.rows() < 2 || a.rows() * a.cols() * b.cols() < MIN_PAR_WORK {
         return a.matmul(b);
@@ -137,6 +144,13 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// Parallel `aᵀ × b`; exact same result as [`Matrix::t_matmul`].
 pub fn t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    if glint_trace::enabled() {
+        glint_trace::counter("tensor.matmul.calls", 1);
+        glint_trace::counter(
+            "tensor.matmul.flops",
+            2 * (a.rows() * a.cols() * b.cols()) as u64,
+        );
+    }
     let threads = current_threads();
     if threads <= 1 || a.cols() < 2 || a.rows() * a.cols() * b.cols() < MIN_PAR_WORK {
         return a.t_matmul(b);
@@ -160,6 +174,13 @@ pub fn t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// Parallel `a × bᵀ`; exact same result as [`Matrix::matmul_t`].
 pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+    if glint_trace::enabled() {
+        glint_trace::counter("tensor.matmul.calls", 1);
+        glint_trace::counter(
+            "tensor.matmul.flops",
+            2 * (a.rows() * a.cols() * b.rows()) as u64,
+        );
+    }
     let threads = current_threads();
     if threads <= 1 || a.rows() < 2 || a.rows() * a.cols() * b.rows() < MIN_PAR_WORK {
         return a.matmul_t(b);
@@ -182,6 +203,10 @@ pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// Parallel sparse × dense `a × h`; exact same result as [`Csr::spmm`].
 pub fn spmm(a: &Csr, h: &Matrix) -> Matrix {
+    if glint_trace::enabled() {
+        glint_trace::counter("tensor.spmm.calls", 1);
+        glint_trace::counter("tensor.spmm.flops", 2 * (a.nnz() * h.cols()) as u64);
+    }
     let threads = current_threads();
     if threads <= 1 || a.rows() < 2 || a.nnz() * h.cols() < MIN_PAR_WORK {
         return a.spmm(h);
@@ -208,6 +233,10 @@ pub fn spmm(a: &Csr, h: &Matrix) -> Matrix {
 /// serial accumulation order per output element) and then partitions the
 /// output rows like every other kernel.
 pub fn t_spmm(a: &Csr, h: &Matrix) -> Matrix {
+    if glint_trace::enabled() {
+        glint_trace::counter("tensor.spmm.calls", 1);
+        glint_trace::counter("tensor.spmm.flops", 2 * (a.nnz() * h.cols()) as u64);
+    }
     let threads = current_threads();
     if threads <= 1 || a.cols() < 2 || a.nnz() * h.cols() < MIN_PAR_WORK {
         return a.t_spmm(h);

@@ -619,6 +619,11 @@ impl Tape {
 
     /// Run reverse-mode accumulation from a scalar (`1 × 1`) loss node.
     pub fn backward(&self, loss: Var) -> Grads {
+        let _span = glint_trace::span("tape_backward");
+        if glint_trace::enabled() {
+            glint_trace::counter("tensor.backward.calls", 1);
+            glint_trace::counter("tensor.backward.nodes", self.nodes.len() as u64);
+        }
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
         let mut grads: Vec<Option<Matrix>> = Vec::with_capacity(self.nodes.len());
         grads.resize_with(self.nodes.len(), || None);

@@ -1,0 +1,285 @@
+//! JSON export of the trace registry.
+//!
+//! Hand-rolled writer (the crate is dependency-free): `BTreeMap` iteration
+//! order makes the output deterministic up to the `*_ns` / `sum` values,
+//! non-finite floats serialize as `null` (matching the workspace's
+//! serde_json conventions), and strings are escaped per RFC 8259.
+//!
+//! Layout of an exported document:
+//!
+//! ```json
+//! {
+//!   "run": "<label>",
+//!   "schema": 1,
+//!   "counters": { "<name>": <u64>, ... },
+//!   "gauges": { "<name>": { "last": <f64>, "updates": <u64> }, ... },
+//!   "histograms": { "<name>": { "count": .., "nonfinite": ..,
+//!       "sum": .., "min": .., "max": .., "edges": [..], "buckets": [..] } },
+//!   "spans": { "<path>": { "count": .., "total_ns": .., "min_ns": ..,
+//!       "max_ns": .. }, ... }
+//! }
+//! ```
+
+use crate::{Snapshot, HISTOGRAM_EDGES};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema version stamped into every export; bump on layout changes so CI
+/// can reject stale readers.
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{:?}` always keeps a decimal point or exponent, so the value
+        // round-trips as a JSON number (never bare `inf`/`NaN`).
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Render a snapshot as a pretty-printed JSON document.
+pub fn to_json(snap: &Snapshot, run: &str) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"run\": ");
+    escape_json(run, &mut out);
+    let _ = write!(out, ",\n  \"schema\": {SCHEMA_VERSION},\n");
+
+    out.push_str("  \"counters\": {");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        escape_json(name, &mut out);
+        let _ = write!(out, ": {v}");
+    }
+    out.push_str(if snap.counters.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"gauges\": {");
+    for (i, (name, g)) in snap.gauges.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        escape_json(name, &mut out);
+        out.push_str(": {\"last\": ");
+        push_f64(g.last, &mut out);
+        let _ = write!(out, ", \"updates\": {}}}", g.updates);
+    }
+    out.push_str(if snap.gauges.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"histograms\": {");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        escape_json(name, &mut out);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"nonfinite\": {}, \"sum\": ",
+            h.count, h.nonfinite
+        );
+        push_f64(h.sum, &mut out);
+        out.push_str(", \"min\": ");
+        push_f64(h.min, &mut out);
+        out.push_str(", \"max\": ");
+        push_f64(h.max, &mut out);
+        out.push_str(", \"edges\": [");
+        for (j, e) in HISTOGRAM_EDGES.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            push_f64(*e, &mut out);
+        }
+        out.push_str("], \"buckets\": [");
+        for (j, b) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if snap.histograms.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"spans\": {");
+    for (i, (path, s)) in snap.spans.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        escape_json(path, &mut out);
+        let min_ns = if s.count == 0 { 0 } else { s.min_ns };
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+            s.count, s.total_ns, min_ns, s.max_ns
+        );
+    }
+    out.push_str(if snap.spans.is_empty() {
+        "}\n"
+    } else {
+        "\n  }\n"
+    });
+
+    out.push_str("}\n");
+    out
+}
+
+/// Directory run exports land in: `$GLINT_TRACE_DIR` when set, else
+/// `target/glint-trace/` under the current directory.
+pub fn trace_dir() -> PathBuf {
+    match std::env::var_os("GLINT_TRACE_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("target").join("glint-trace"),
+    }
+}
+
+/// Write the current registry snapshot to `path` (parent directories are
+/// created). Returns the rendered document length in bytes.
+pub fn write_json_to(path: &Path, run: &str) -> std::io::Result<usize> {
+    let doc = to_json(&crate::snapshot(), run);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.as_bytes())?;
+    Ok(doc.len())
+}
+
+/// Export the current registry snapshot as `<trace_dir>/<run>.json` and
+/// return the path written. `run` must be a bare file stem (it is
+/// sanitized: path separators become `_`).
+pub fn export_run(run: &str) -> std::io::Result<PathBuf> {
+    let stem: String = run
+        .chars()
+        .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+        .collect();
+    let path = trace_dir().join(format!("{stem}.json"));
+    write_json_to(&path, run)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GaugeStat, HistogramStat, SpanStat};
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("b.second".into(), 7);
+        snap.counters.insert("a.first".into(), 1);
+        snap.gauges.insert(
+            "train.loss".into(),
+            GaugeStat {
+                last: 0.5,
+                updates: 3,
+            },
+        );
+        let mut h = HistogramStat {
+            count: 2,
+            nonfinite: 1,
+            sum: 4.0,
+            min: 1.0,
+            max: 3.0,
+            ..Default::default()
+        };
+        h.buckets[3] = 2;
+        snap.histograms.insert("detector.drift".into(), h);
+        snap.spans.insert(
+            "epoch/forward".into(),
+            SpanStat {
+                count: 4,
+                total_ns: 100,
+                min_ns: 10,
+                max_ns: 40,
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn renders_all_sections_in_sorted_order() {
+        let doc = to_json(&sample_snapshot(), "unit");
+        assert!(doc.contains("\"run\": \"unit\""));
+        assert!(doc.contains("\"schema\": 1"));
+        let a = doc.find("a.first").unwrap();
+        let b = doc.find("b.second").unwrap();
+        assert!(a < b, "counters must be name-sorted");
+        assert!(doc.contains("\"epoch/forward\": {\"count\": 4"));
+        assert!(doc.contains("\"buckets\": [0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0]"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_structure() {
+        let doc = to_json(&Snapshot::default(), "empty");
+        assert!(doc.contains("\"counters\": {}"));
+        assert!(doc.contains("\"spans\": {}"));
+        assert!(doc.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let mut snap = Snapshot::default();
+        // a never-hit histogram keeps min=+inf / max=-inf
+        snap.histograms
+            .insert("empty".into(), HistogramStat::default());
+        snap.gauges.insert(
+            "bad".into(),
+            GaugeStat {
+                last: f64::NAN,
+                updates: 1,
+            },
+        );
+        let doc = to_json(&snap, "nf");
+        assert!(doc.contains("\"min\": null"));
+        assert!(doc.contains("\"max\": null"));
+        assert!(doc.contains("{\"last\": null, \"updates\": 1}"));
+        assert!(!doc.contains("inf") && !doc.contains("NaN"));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn export_run_sanitizes_and_writes() {
+        let dir = std::env::temp_dir().join("glint-trace-test-export");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("GLINT_TRACE_DIR", &dir);
+        let path = export_run("ci/unit").unwrap();
+        std::env::remove_var("GLINT_TRACE_DIR");
+        assert!(path.ends_with("ci_unit.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"run\": \"ci/unit\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

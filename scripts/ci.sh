@@ -22,6 +22,16 @@ GLINT_THREADS=1 cargo test --workspace -q
 echo "== cargo test (strict mode: shape/finiteness checks on every tape op) =="
 cargo test -q --features strict
 
+echo "== trace-enabled pass (GLINT_TRACE=1 must refresh a valid BENCH_trace.json) =="
+rm -f BENCH_trace.json
+GLINT_TRACE=1 cargo test -q --test observability
+if ! test -s BENCH_trace.json; then
+  echo "TRACE STAGE FAILED: BENCH_trace.json missing or empty" >&2
+  exit 1
+fi
+# re-parse the freshly written snapshot with the workspace's own JSON layer
+cargo test -q --test observability bench_trace_snapshot_file_is_valid_when_present
+
 echo "== fault-injection matrix (forced fail points, default + serial threads) =="
 FAULTS=(
   "persist.save=err" "persist.save=short:24"

@@ -1,0 +1,179 @@
+//! Golden regression test for Algorithm 1 (correlation mining + interaction
+//! graph construction).
+//!
+//! The fixture `tests/data/corpus40.json` is a frozen 40-rule heterogeneous
+//! corpus (8 rules per platform, generator seed 0x40). The goldens pin, byte
+//! for byte:
+//! - the mined action→trigger correlation set (every ordered rule pair the
+//!   oracle says A invokes B, with the physical channel it travels via);
+//! - the full interaction-graph edge list (action-trigger + shared-device +
+//!   condition-duplicate coupling) built by `full_graph` over the fixture.
+//!
+//! Any silent drift in the NLP features' upstream rule model, the channel
+//! taxonomy, or the graph builder shows up as a diff here. To re-freeze
+//! after an *intentional* semantic change:
+//!
+//! ```text
+//! GLINT_REGEN_GOLDEN=1 cargo test --test golden_algorithm1
+//! ```
+//!
+//! and review the golden diffs like any other code change.
+
+use glint_core::construction::node_features;
+use glint_graph::builder::full_graph;
+use glint_rules::correlation::action_triggers;
+use glint_rules::{CorpusGenerator, Platform, Rule};
+use std::path::{Path, PathBuf};
+
+fn data_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data")
+}
+
+fn regen() -> bool {
+    std::env::var("GLINT_REGEN_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The frozen corpus: loaded from the fixture in normal runs; regenerated
+/// from the corpus generator (and written back) only in regen mode.
+fn corpus() -> Vec<Rule> {
+    let path = data_dir().join("corpus40.json");
+    if regen() {
+        let mut gen = CorpusGenerator::new(0x40);
+        let rules: Vec<Rule> = Platform::all()
+            .iter()
+            .flat_map(|&p| gen.generate_platform(p, 8))
+            .collect();
+        assert_eq!(rules.len(), 40, "fixture must stay a 40-rule corpus");
+        let json = serde_json::to_string_pretty(&rules).expect("serialize corpus");
+        std::fs::create_dir_all(data_dir()).expect("create tests/data");
+        std::fs::write(&path, json).expect("write corpus fixture");
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {} ({e}); regenerate with GLINT_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    serde_json::from_str(&text).expect("parse corpus fixture")
+}
+
+/// One line per mined ordered correlation: `a -> b via <route>`.
+fn mined_correlation_set(rules: &[Rule]) -> String {
+    let mut out = String::new();
+    for a in rules {
+        for b in rules {
+            if a.id == b.id {
+                continue;
+            }
+            if let Some(via) = action_triggers(a, b) {
+                out.push_str(&format!("{} -> {} via {:?}\n", a.id.0, b.id.0, via));
+            }
+        }
+    }
+    out
+}
+
+/// One line per interaction-graph edge in builder insertion order.
+fn edge_list(rules: &[Rule]) -> String {
+    let g = full_graph(rules, &node_features);
+    let mut out = format!("nodes {}\n", g.n_nodes());
+    for &(u, v, kind) in g.edges() {
+        out.push_str(&format!("{u} -> {v} {kind:?}\n"));
+    }
+    out
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = data_dir().join(name);
+    if regen() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {} ({e}); regenerate with GLINT_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // byte-exact comparison with a readable first-divergence report
+        let line = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map_or(expected.lines().count().min(actual.lines().count()), |i| i);
+        panic!(
+            "golden mismatch in {name} at line {} (expected {} lines, got {}):\n  expected: {:?}\n  actual:   {:?}\n\
+             If this change is intentional, re-freeze with GLINT_REGEN_GOLDEN=1 and review the diff.",
+            line + 1,
+            expected.lines().count(),
+            actual.lines().count(),
+            expected.lines().nth(line).unwrap_or("<eof>"),
+            actual.lines().nth(line).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn fixture_is_a_40_rule_heterogeneous_corpus() {
+    let rules = corpus();
+    assert_eq!(rules.len(), 40);
+    for &p in Platform::all() {
+        assert_eq!(
+            rules.iter().filter(|r| r.platform == p).count(),
+            8,
+            "platform {p:?} must contribute exactly 8 rules"
+        );
+    }
+    // the fixture must round-trip: what the goldens pin is the parsed form
+    let json = serde_json::to_string(&rules).expect("serialize");
+    let back: Vec<Rule> = serde_json::from_str(&json).expect("reparse");
+    assert_eq!(back, rules, "corpus fixture does not round-trip");
+}
+
+#[test]
+fn golden_mined_correlation_set_is_stable() {
+    let rules = corpus();
+    let mined = mined_correlation_set(&rules);
+    assert!(
+        mined.lines().count() >= 10,
+        "fixture too sparse to be a meaningful oracle: {} correlations",
+        mined.lines().count()
+    );
+    assert_golden("corpus40_correlations.golden", &mined);
+}
+
+#[test]
+fn golden_interaction_graph_edge_list_is_stable() {
+    let rules = corpus();
+    let edges = edge_list(&rules);
+    assert_golden("corpus40_edges.golden", &edges);
+}
+
+/// The mined set and the graph must agree: every mined pair is an
+/// ActionTrigger edge and vice versa (the golden files cannot silently
+/// drift apart from each other).
+#[test]
+fn correlation_set_matches_action_trigger_edges() {
+    let rules = corpus();
+    let g = full_graph(&rules, &node_features);
+    let from_graph: Vec<(u32, u32)> = g
+        .edges()
+        .iter()
+        .filter(|(_, _, k)| format!("{k:?}") == "ActionTrigger")
+        .map(|&(u, v, _)| (rules[u].id.0, rules[v].id.0))
+        .collect();
+    let mut from_oracle = Vec::new();
+    for (i, a) in rules.iter().enumerate() {
+        for (j, b) in rules.iter().enumerate() {
+            if i != j && action_triggers(a, b).is_some() {
+                from_oracle.push((a.id.0, b.id.0));
+            }
+        }
+    }
+    let mut sorted_graph = from_graph.clone();
+    sorted_graph.sort_unstable();
+    let mut sorted_oracle = from_oracle.clone();
+    sorted_oracle.sort_unstable();
+    assert_eq!(sorted_graph, sorted_oracle);
+}

@@ -161,6 +161,9 @@ pub fn check(site: &str) -> Option<Action> {
         return None;
     }
     let action = {
+        // glint-lint: allow(hot-unwrap, hot-lock) — reached only while a
+        // fault is armed (the disabled fast path above is one relaxed atomic
+        // load); registry poisoning means a panic mid-arm, unrecoverable
         let mut map = registry().lock().expect("failpoint registry poisoned");
         let armed = map.get_mut(site)?;
         armed.countdown -= 1;
@@ -172,6 +175,8 @@ pub fn check(site: &str) -> Option<Action> {
         action
     };
     if action == Action::Panic {
+        // glint-lint: allow(hot-panic) — Action::Panic exists to inject a
+        // panic at this site for fault drills; firing is the feature
         panic!("glint-failpoint: forced panic at site `{site}`");
     }
     Some(action)

@@ -75,6 +75,10 @@ impl MetapathEncoder {
                 .projections
                 .iter()
                 .find(|(p, _)| *p == block.platform)
+                // glint-lint: allow(hot-panic) — a block with no projection is
+                // a model-construction bug (projections cover every platform
+                // at build time); the detector's degradation layer quarantines
+                // the panic to the offending graph
                 .unwrap_or_else(|| panic!("no projection for {:?}", block.platform))
                 .1;
             let x = tape.constant(block.feats.clone());
@@ -85,6 +89,9 @@ impl MetapathEncoder {
                 None => scattered,
             });
         }
+        // glint-lint: allow(hot-unwrap) — PreparedGraph construction always
+        // emits at least one type block for a non-empty graph, and empty
+        // graphs are rejected before projection
         acc.expect("graph has at least one type block")
     }
 
@@ -130,6 +137,8 @@ impl MetapathEncoder {
                 None => score,
             });
         }
+        // glint-lint: allow(hot-unwrap) — the metapath set is fixed at model
+        // construction and validated non-empty there
         let beta = tape.softmax_rows(scores.expect("at least one metapath"));
         tape.weighted_sum(&h_paths, beta)
     }

@@ -77,6 +77,8 @@ impl GraphModel for GinModel {
                 None => r,
             });
         }
+        // glint-lint: allow(hot-unwrap) — layer count is a construction-time
+        // constant >= 1, so the readout accumulator is always seeded
         let red = readouts.expect("at least one layer");
         let fused = self.fuse.forward(tape, vars, red);
         let embedding = tape.tanh(fused);

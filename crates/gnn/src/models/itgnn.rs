@@ -192,6 +192,8 @@ impl GraphModel for Itgnn {
         }
 
         // 3. multi-scale fusion
+        // glint-lint: allow(hot-unwrap) — scale count is a construction-time
+        // constant >= 1, so the readout accumulator is always seeded
         let red = readouts.expect("at least one scale");
         let fused = self.fuse.forward(tape, vars, red);
         let embedding = if self.config.bounded_embedding {

@@ -57,7 +57,7 @@ pub fn metapath_instances(g: &InteractionGraph, start: usize, path: &Metapath) -
     for &wanted in &path.0[1..] {
         let mut next = Vec::new();
         for walk in &walks {
-            let last = *walk.last().expect("walk nonempty");
+            let Some(&last) = walk.last() else { continue };
             for nb in g.neighbors(last) {
                 if g.node(nb).platform != wanted {
                     continue;

@@ -1,0 +1,677 @@
+//! Workspace-wide approximate call graph over the syntax layer's symbol
+//! tables, plus hot-set propagation from declared entry points.
+//!
+//! Resolution is name-based with method-receiver heuristics — NOT type
+//! checked. The soundness posture (documented in DESIGN.md):
+//!
+//! * **over-approximation**: a method call `x.embed(…)` links to *every*
+//!   workspace fn named `embed` that has a receiver — this is exactly what
+//!   makes trait dispatch (`dyn GraphModel`) visible without types, at the
+//!   cost of possible false edges. False edges can only make *more* code
+//!   hot, never hide hot code, so the panic-safety rules stay conservative;
+//! * **under-approximation**: calls through function pointers/closures
+//!   passed as values, macro-generated calls, and calls into `std` are not
+//!   edges. Qualified calls whose qualifier names nothing in the workspace
+//!   (`Vec::new`, `f32::max`) and method calls on SCREAMING_CASE statics
+//!   (`STATE.load(…)` — std atomics/lazies) are treated as std too, rather
+//!   than linked to every same-named workspace fn. Calls that match no
+//!   workspace symbol are *reported* in [`CallGraph::unresolved`] rather
+//!   than silently dropped.
+//!
+//! `#[cfg(test)]` functions are excluded from the graph entirely: they
+//! neither seed hotness nor extend chains (test callers must not make
+//! library code hot).
+
+use crate::syntax::{CallKind, CallSite, FileSyntax};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One function node in the workspace graph.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Workspace-relative file path (`crates/tensor/src/par.rs`).
+    pub file: String,
+    /// Crate name derived from the path (`glint-tensor` → `glint_tensor`;
+    /// the root package is `glint_suite`).
+    pub krate: String,
+    pub name: String,
+    pub receiver: Option<String>,
+    pub module: Vec<String>,
+    pub line: u32,
+    /// Body token range into that file's token vector.
+    pub body: Option<(usize, usize)>,
+    pub cfg_feature: Option<String>,
+    pub calls: Vec<CallSite>,
+}
+
+impl FnNode {
+    /// `crate::module::Receiver::name`, the display identity used in
+    /// reports and call chains.
+    pub fn qualified(&self) -> String {
+        let mut parts: Vec<&str> = vec![self.krate.as_str()];
+        for m in &self.module {
+            parts.push(m);
+        }
+        if let Some(r) = &self.receiver {
+            parts.push(r);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub fns: Vec<FnNode>,
+    /// Adjacency: `edges[i]` = indices of fns that `fns[i]` may call.
+    pub edges: Vec<Vec<usize>>,
+    /// Calls that matched no workspace symbol: callee name → count.
+    /// (Mostly std/shim calls; reported, never dropped.)
+    pub unresolved: BTreeMap<String, usize>,
+    /// Total resolved call edges (before dedup), for the report.
+    pub resolved_calls: usize,
+}
+
+/// Module segments a file contributes by its location: Rust's file-tree
+/// module structure. `crates/tensor/src/par.rs` → `["par"]`,
+/// `crates/gnn/src/models/gin.rs` → `["models", "gin"]`; `lib.rs`,
+/// `main.rs`, and `mod.rs` contribute their directories only. Without
+/// this, `par::ordered_map(…)` cannot resolve — inline `mod` blocks are
+/// not the only way code gets a module path.
+pub fn file_modules(path: &str) -> Vec<String> {
+    let rest = path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split_once('/'))
+        .map(|(_, r)| r)
+        .unwrap_or(path);
+    let rest = rest.strip_prefix("src/").unwrap_or(rest);
+    let mut mods: Vec<String> = rest.split('/').map(|s| s.to_string()).collect();
+    if let Some(last) = mods.last_mut() {
+        *last = last.trim_end_matches(".rs").to_string();
+        if last == "lib" || last == "main" || last == "mod" {
+            mods.pop();
+        }
+    }
+    mods
+}
+
+/// Derive the crate name from a workspace-relative path.
+pub fn crate_of(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let krate = rest.split('/').next().unwrap_or(rest);
+        format!("glint_{}", krate.replace('-', "_"))
+    } else if path.starts_with("src/") {
+        "glint_suite".to_string()
+    } else {
+        // Fixture/masquerade paths: first component.
+        path.split('/').next().unwrap_or(path).replace('-', "_")
+    }
+}
+
+impl CallGraph {
+    /// Build the graph from parsed files. `#[cfg(test)]` fns are dropped
+    /// here — they are not nodes at all.
+    pub fn build(files: &[FileSyntax]) -> CallGraph {
+        let mut fns: Vec<FnNode> = Vec::new();
+        for fs in files {
+            let krate = crate_of(&fs.path);
+            let file_mods = file_modules(&fs.path);
+            for f in &fs.fns {
+                if f.is_test {
+                    continue;
+                }
+                let mut module = file_mods.clone();
+                module.extend(f.module.iter().cloned());
+                fns.push(FnNode {
+                    file: fs.path.clone(),
+                    krate: krate.clone(),
+                    name: f.name.clone(),
+                    receiver: f.receiver.clone(),
+                    module,
+                    line: f.line,
+                    body: f.body,
+                    cfg_feature: f.cfg_feature.clone(),
+                    calls: f.calls.clone(),
+                });
+            }
+        }
+        // Deterministic node order regardless of input file order.
+        fns.sort_by(|a, b| {
+            (&a.file, a.line, &a.name, &a.receiver).cmp(&(&b.file, b.line, &b.name, &b.receiver))
+        });
+
+        // Indices for resolution.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(i);
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        let mut unresolved: BTreeMap<String, usize> = BTreeMap::new();
+        let mut resolved_calls = 0usize;
+        for i in 0..fns.len() {
+            let caller = fns[i].clone();
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            for call in &caller.calls {
+                match resolve(&fns, &by_name, &caller, call) {
+                    Some(targets) => {
+                        resolved_calls += 1;
+                        out.extend(targets);
+                    }
+                    None => {
+                        *unresolved.entry(call.name.clone()).or_insert(0) += 1;
+                    }
+                }
+            }
+            edges[i] = out.into_iter().collect();
+        }
+        CallGraph {
+            fns,
+            edges,
+            unresolved,
+            resolved_calls,
+        }
+    }
+
+    /// Indices of fns matching an entry-point spec:
+    /// * `name` — every fn with that name, method or free;
+    /// * `Recv::name` — fns named `name` whose receiver is `Recv`;
+    /// * `Recv::*` — every method of `Recv`.
+    pub fn match_spec(&self, spec: &str) -> Vec<usize> {
+        match spec.split_once("::") {
+            Some((recv, name)) => self
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| {
+                    f.receiver.as_deref() == Some(recv) && (name == "*" || f.name == name)
+                })
+                .map(|(i, _)| i)
+                .collect(),
+            None => self
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.name == spec)
+                .map(|(i, _)| i)
+                .collect(),
+        }
+    }
+
+    /// Forward reachability from the given entry-point specs: the hot set.
+    pub fn reachable(&self, specs: &[String]) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for spec in specs {
+            for i in self.match_spec(spec) {
+                if seen.insert(i) {
+                    queue.push(i);
+                }
+            }
+        }
+        while let Some(i) = queue.pop() {
+            for &j in &self.edges[i] {
+                if seen.insert(j) {
+                    queue.push(j);
+                }
+            }
+        }
+        seen
+    }
+
+    /// BFS parent map from the entry specs: `parents[i]` is the index this
+    /// fn was first discovered from (entries map to themselves). Shortest
+    /// call chains for census evidence are read out of this.
+    pub fn parents_from(&self, specs: &[String]) -> BTreeMap<usize, usize> {
+        let mut parents: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut frontier: Vec<usize> = Vec::new();
+        for spec in specs {
+            for i in self.match_spec(spec) {
+                parents.entry(i).or_insert(i);
+                frontier.push(i);
+            }
+        }
+        frontier.sort_unstable();
+        frontier.dedup();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &i in &frontier {
+                for &j in &self.edges[i] {
+                    if let std::collections::btree_map::Entry::Vacant(e) = parents.entry(j) {
+                        e.insert(i);
+                        next.push(j);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+        parents
+    }
+
+    /// Shortest call chain (entry → … → fn `i`) as qualified names.
+    pub fn chain(&self, parents: &BTreeMap<usize, usize>, i: usize) -> Vec<String> {
+        let mut rev = vec![i];
+        let mut cur = i;
+        while let Some(&p) = parents.get(&cur) {
+            if p == cur {
+                break;
+            }
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        rev.into_iter().map(|k| self.fns[k].qualified()).collect()
+    }
+
+    /// Hot token ranges per file: path → body ranges of hot fns.
+    pub fn hot_ranges(&self, hot: &BTreeSet<usize>) -> BTreeMap<String, Vec<(usize, usize)>> {
+        let mut out: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+        for &i in hot {
+            if let Some(range) = self.fns[i].body {
+                out.entry(self.fns[i].file.clone()).or_default().push(range);
+            }
+        }
+        out
+    }
+}
+
+/// Resolve one call against the symbol table. Returns `None` when nothing
+/// in the workspace matches (→ unresolved report).
+fn resolve(
+    fns: &[FnNode],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    caller: &FnNode,
+    call: &CallSite,
+) -> Option<Vec<usize>> {
+    let candidates = by_name.get(call.name.as_str())?;
+    let pick = |pred: &dyn Fn(&FnNode) -> bool| -> Vec<usize> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| pred(&fns[i]))
+            .collect()
+    };
+    match &call.kind {
+        CallKind::Method { recv_ident } => {
+            // `STATIC.load(…)` / `GATE.store(…)`: a SCREAMING_CASE receiver
+            // is a static — its methods are std atomics/lazies, not
+            // workspace dispatch. Report unresolved instead of linking the
+            // name to unrelated workspace fns (e.g. dataset `load`).
+            if recv_ident.as_deref().is_some_and(is_screaming_case) {
+                return None;
+            }
+            let methods = pick(&|f| f.receiver.is_some());
+            // Positive receiver evidence narrows the candidate set:
+            // `self.f(…)` → the caller's own impl; `tape.f(…)` → a type
+            // whose lowercased name matches the receiver ident.
+            if let Some(recv) = recv_ident.as_deref() {
+                if recv == "self" && caller.receiver.is_some() {
+                    let own: Vec<usize> = methods
+                        .iter()
+                        .copied()
+                        .filter(|&i| fns[i].receiver == caller.receiver)
+                        .collect();
+                    if !own.is_empty() {
+                        return Some(own);
+                    }
+                } else {
+                    let typed: Vec<usize> = methods
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            fns[i]
+                                .receiver
+                                .as_deref()
+                                .is_some_and(|r| r.eq_ignore_ascii_case(recv))
+                        })
+                        .collect();
+                    if !typed.is_empty() {
+                        return Some(typed);
+                    }
+                }
+            }
+            // Without evidence, std-staple names (`len`, `push`, `split`,
+            // `iter`, …) are overwhelmingly std container/iterator calls —
+            // linking them by bare name would pull arbitrary workspace
+            // types into the hot set. Report unresolved instead.
+            if STD_METHOD_STAPLES.contains(&call.name.as_str()) {
+                return None;
+            }
+            // Method-receiver heuristic: any workspace method of that name
+            // (this is what keeps `dyn GraphModel` trait dispatch visible);
+            // free fns only as fallback.
+            if !methods.is_empty() {
+                return Some(methods);
+            }
+            Some(candidates.clone())
+        }
+        CallKind::Free => {
+            // Same-crate free fns first (plain `helper()` is almost always
+            // a sibling), then any free fn, then anything by name.
+            let same_crate = pick(&|f| f.receiver.is_none() && f.krate == caller.krate);
+            if !same_crate.is_empty() {
+                return Some(same_crate);
+            }
+            let free = pick(&|f| f.receiver.is_none());
+            if !free.is_empty() {
+                return Some(free);
+            }
+            Some(candidates.clone())
+        }
+        CallKind::Path(qual) => {
+            // `Self::f` → the caller's own impl block.
+            if qual == "Self" {
+                let own = pick(&|f| f.receiver == caller.receiver);
+                if !own.is_empty() {
+                    return Some(own);
+                }
+            }
+            // `Type::f` → methods of that type.
+            let typed = pick(&|f| f.receiver.as_deref() == Some(qual.as_str()));
+            if !typed.is_empty() {
+                return Some(typed);
+            }
+            // `module::f` → fns whose module path ends with the qualifier.
+            let in_mod = pick(&|f| f.module.last().map(|m| m == qual).unwrap_or(false));
+            if !in_mod.is_empty() {
+                return Some(in_mod);
+            }
+            // `crate_name::f` (with `-`/`_` normalization).
+            let q_norm = qual.replace('-', "_");
+            let in_crate = pick(&|f| f.krate == q_norm);
+            if !in_crate.is_empty() {
+                return Some(in_crate);
+            }
+            // `crate::` / `self::` / `super::` → same crate.
+            if qual == "crate" || qual == "self" || qual == "super" {
+                let same = pick(&|f| f.krate == caller.krate);
+                if !same.is_empty() {
+                    return Some(same);
+                }
+            }
+            // Unknown qualifier: a type/module outside the workspace (std,
+            // shim, enum ctor). Linking by bare name here would make every
+            // `Vec::new()` in hot code mark every workspace constructor
+            // hot — report unresolved instead.
+            None
+        }
+    }
+}
+
+/// Method names that are std container/iterator/IO staples. Without
+/// positive receiver evidence these resolve as std (→ unresolved report),
+/// not as workspace edges: one `rest.split('/')` must not mark
+/// `GraphDataset::split` hot.
+const STD_METHOD_STAPLES: &[&str] = &[
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "clear",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "filter",
+    "fold",
+    "sum",
+    "min",
+    "max",
+    "count",
+    "collect",
+    "extend",
+    "split",
+    "split_at",
+    "split_once",
+    "split_whitespace",
+    "join",
+    "clone",
+    "to_vec",
+    "to_string",
+    "parse",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "chars",
+    "lines",
+    "load",
+    "store",
+    "swap",
+    "take",
+    "replace",
+    "last",
+    "first",
+    "sort",
+    "sort_by",
+    "reverse",
+    "resize",
+    "truncate",
+    "drain",
+    "entry",
+    "keys",
+    "values",
+    "position",
+    "find",
+    "any",
+    "all",
+    "zip",
+    "rev",
+    "skip",
+    "enumerate",
+    "flat_map",
+    "push_str",
+    "write",
+    "read",
+    "flush",
+];
+
+/// `STATE`, `REGISTRY`, `A_B2` — the static-item naming convention.
+fn is_screaming_case(s: &str) -> bool {
+    s.len() >= 2
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && s.chars().any(|c| c.is_ascii_uppercase())
+}
+
+/// Convenience carried around by lib.rs: a built graph plus its derived
+/// hot information for one configuration.
+pub struct HotAnalysis {
+    pub graph: CallGraph,
+    /// Fns reachable from `Config::hot_entry_points`.
+    pub hot: BTreeSet<usize>,
+    /// path → hot body token ranges.
+    pub hot_ranges: BTreeMap<String, Vec<(usize, usize)>>,
+}
+
+impl HotAnalysis {
+    pub fn new(files: &[FileSyntax], hot_entry_points: &[String]) -> HotAnalysis {
+        let graph = CallGraph::build(files);
+        let hot = graph.reachable(hot_entry_points);
+        let hot_ranges = graph.hot_ranges(&hot);
+        HotAnalysis {
+            graph,
+            hot,
+            hot_ranges,
+        }
+    }
+}
+
+/// Resolve fn-name specs (same syntax as entry points) to per-file body
+/// ranges — used for the opt-in `hot-index` rule.
+pub fn spec_ranges(graph: &CallGraph, specs: &[String]) -> BTreeMap<String, Vec<(usize, usize)>> {
+    let mut set: BTreeSet<usize> = BTreeSet::new();
+    for spec in specs {
+        set.extend(graph.match_spec(spec));
+    }
+    graph.hot_ranges(&set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::FileSyntax;
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let parsed: Vec<FileSyntax> = files.iter().map(|(p, s)| FileSyntax::parse(p, s)).collect();
+        CallGraph::build(&parsed)
+    }
+
+    fn names(g: &CallGraph, set: &BTreeSet<usize>) -> Vec<String> {
+        set.iter().map(|&i| g.fns[i].qualified()).collect()
+    }
+
+    #[test]
+    fn cycles_terminate_and_stay_hot() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn entry() { ping(); } fn ping() { pong(); } fn pong() { ping(); }",
+        )]);
+        let hot = g.reachable(&["entry".to_string()]);
+        assert_eq!(hot.len(), 3, "{:?}", names(&g, &hot));
+    }
+
+    #[test]
+    fn method_name_collisions_over_approximate() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            struct A; struct B;
+            impl A { fn score(&self) -> f32 { 1.0 } }
+            impl B { fn score(&self) -> f32 { 2.0 } }
+            fn entry(x: &A) -> f32 { x.score() }
+            "#,
+        )]);
+        let hot = g.reachable(&["entry".to_string()]);
+        // Both `score` methods are linked — name-based dispatch cannot
+        // distinguish receivers, and over-approximating keeps rules sound.
+        assert_eq!(hot.len(), 3, "{:?}", names(&g, &hot));
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_named_type() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            struct A; struct B;
+            impl A { fn make() -> A { A } }
+            impl B { fn make() -> B { B } }
+            fn entry() { A::make(); }
+            "#,
+        )]);
+        let hot = g.reachable(&["entry".to_string()]);
+        let n = names(&g, &hot);
+        assert!(n.iter().any(|q| q.ends_with("A::make")), "{n:?}");
+        assert!(!n.iter().any(|q| q.ends_with("B::make")), "{n:?}");
+    }
+
+    #[test]
+    fn file_level_modules_resolve_qualified_free_calls() {
+        // `par::ordered_map(..)` must resolve to the fn living in
+        // crates/tensor/src/par.rs: the file path contributes the `par`
+        // module segment even though the file has no inline `mod par`.
+        let g = graph_of(&[
+            (
+                "crates/tensor/src/batch.rs",
+                "pub fn assess_batch() { par::ordered_map(); }",
+            ),
+            (
+                "crates/tensor/src/par.rs",
+                "pub fn ordered_map() { loop {} }",
+            ),
+        ]);
+        let hot = g.reachable(&["assess_batch".to_string()]);
+        let n = names(&g, &hot);
+        assert!(
+            n.iter().any(|q| q == "glint_tensor::par::ordered_map"),
+            "{n:?}"
+        );
+        assert!(g.unresolved.is_empty(), "{:?}", g.unresolved);
+    }
+
+    #[test]
+    fn cross_crate_edges_resolve() {
+        let g = graph_of(&[
+            (
+                "crates/core/src/detector.rs",
+                "impl Detector { pub fn assess(&self) { spmm(); } }",
+            ),
+            (
+                "crates/tensor/src/csr.rs",
+                "pub fn spmm() { inner_kernel(); } fn inner_kernel() {}",
+            ),
+        ]);
+        let hot = g.reachable(&["Detector::assess".to_string()]);
+        let n = names(&g, &hot);
+        assert!(
+            n.contains(&"glint_tensor::csr::inner_kernel".to_string()),
+            "{n:?}"
+        );
+    }
+
+    #[test]
+    fn cfg_test_callers_are_excluded_entirely() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            fn kernel() {}
+            #[cfg(test)]
+            mod tests {
+                fn entry() { kernel(); }
+            }
+            "#,
+        )]);
+        // The test-only caller is not even a node…
+        assert_eq!(g.fns.len(), 1);
+        // …so seeding from its name reaches nothing.
+        let hot = g.reachable(&["entry".to_string()]);
+        assert!(hot.is_empty());
+    }
+
+    #[test]
+    fn wildcard_specs_match_every_method_of_a_type() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "impl Tape { fn matmul(&self) {} fn relu(&self) {} } fn free() {}",
+        )]);
+        let hot = g.reachable(&["Tape::*".to_string()]);
+        assert_eq!(hot.len(), 2, "{:?}", names(&g, &hot));
+    }
+
+    #[test]
+    fn unresolved_calls_are_reported_not_dropped() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn entry(v: &[f32]) -> f32 { v.iter().copied().fold(0.0, f32::max) }",
+        )]);
+        assert!(g.unresolved.contains_key("iter"), "{:?}", g.unresolved);
+        assert!(g.unresolved.contains_key("fold"), "{:?}", g.unresolved);
+    }
+
+    #[test]
+    fn chains_walk_back_to_the_entry() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn entry() { mid(); } fn mid() { leaf(); } fn leaf() {}",
+        )]);
+        let parents = g.parents_from(&["entry".to_string()]);
+        let leaf = g.match_spec("leaf")[0];
+        let chain = g.chain(&parents, leaf);
+        assert_eq!(
+            chain,
+            vec![
+                "glint_a::entry".to_string(),
+                "glint_a::mid".to_string(),
+                "glint_a::leaf".to_string()
+            ]
+        );
+    }
+}

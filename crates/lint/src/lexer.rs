@@ -180,18 +180,31 @@ pub fn lex(src: &str) -> Lexed {
 }
 
 /// Lex a `"…"` string starting at `i` (which must point at the quote).
-/// Returns the token, the next index, and the updated line number.
+/// Returns the token, the next index, and the updated line number. The
+/// token's `text` is the raw content between the quotes (escapes are NOT
+/// processed) — the syntax layer reads it for `cfg(feature = "…")`, and
+/// rule patterns never match `Str` tokens, so keeping it is safe.
 fn lex_string(chars: &[char], i: usize, mut line: u32) -> (Tok, usize, u32) {
     let start_line = line;
     let mut j = i + 1;
+    let content_start = j;
+    let mut content_end = chars.len();
     while j < chars.len() {
         match chars[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // An escaped newline (line continuation) still advances the
+                // line counter; other escapes are opaque two-char units.
+                if chars.get(j + 1) == Some(&'\n') {
+                    line += 1;
+                }
+                j += 2;
+            }
             '\n' => {
                 line += 1;
                 j += 1;
             }
             '"' => {
+                content_end = j;
                 j += 1;
                 break;
             }
@@ -201,7 +214,9 @@ fn lex_string(chars: &[char], i: usize, mut line: u32) -> (Tok, usize, u32) {
     (
         Tok {
             kind: TokKind::Str,
-            text: String::new(),
+            text: chars[content_start..content_end.min(chars.len())]
+                .iter()
+                .collect(),
             line: start_line,
         },
         j.min(chars.len()),
@@ -222,6 +237,8 @@ fn lex_raw_string(chars: &[char], i: usize, mut line: u32) -> (Tok, usize, u32) 
     if chars.get(j) == Some(&'"') {
         j += 1;
     }
+    let content_start = j;
+    let mut content_end = chars.len();
     while j < chars.len() {
         if chars[j] == '\n' {
             line += 1;
@@ -234,6 +251,7 @@ fn lex_raw_string(chars: &[char], i: usize, mut line: u32) -> (Tok, usize, u32) 
                 k += 1;
             }
             if seen == hashes {
+                content_end = j;
                 j = k;
                 break;
             }
@@ -245,7 +263,9 @@ fn lex_raw_string(chars: &[char], i: usize, mut line: u32) -> (Tok, usize, u32) 
     (
         Tok {
             kind: TokKind::Str,
-            text: String::new(),
+            text: chars[content_start..content_end.min(chars.len())]
+                .iter()
+                .collect(),
             line: start_line,
         },
         j,
@@ -257,8 +277,13 @@ fn lex_raw_string(chars: &[char], i: usize, mut line: u32) -> (Tok, usize, u32) 
 fn lex_quote(chars: &[char], i: usize, line: u32) -> (Tok, usize) {
     let next = chars.get(i + 1).copied();
     if next == Some('\\') {
-        // Escaped char literal: consume to the closing quote.
+        // Escaped char literal: the char right after the backslash is part
+        // of the escape and is consumed unconditionally — `'\''` must not
+        // stop at its own escaped quote — then scan to the closing quote.
         let mut j = i + 2;
+        if j < chars.len() {
+            j += 1;
+        }
         while j < chars.len() && chars[j] != '\'' {
             j += if chars[j] == '\\' { 2 } else { 1 };
         }
@@ -407,15 +432,17 @@ fn try_lex_prefixed_literal(chars: &[char], i: usize, line: u32) -> Option<(Tok,
     }
 }
 
-/// Remove tokens belonging to `#[cfg(test)]` items (attribute + the item it
-/// decorates, up to the matching close brace or terminating semicolon).
-/// Test-only code is allowed to use whatever it likes — the invariants
-/// guard library code.
-pub fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
-    let mut out = Vec::with_capacity(toks.len());
+/// Token-index ranges `[start, end)` covering every `#[cfg(test)]` item
+/// (attribute + the item it decorates, up to the matching close brace or
+/// terminating semicolon). Returned as ranges — rather than a stripped
+/// stream — so the syntax layer's body ranges stay index-aligned with the
+/// original token vector.
+pub fn cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
         if is_cfg_test_attr(toks, i) {
+            let start = i;
             let mut j = i + 7; // past `# [ cfg ( test ) ]`
                                // Skip any further attributes on the same item.
             while j < toks.len()
@@ -449,13 +476,24 @@ pub fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
                 }
                 j += 1;
             }
+            out.push((start, j));
             i = j;
         } else {
-            out.push(toks[i].clone());
             i += 1;
         }
     }
     out
+}
+
+/// Remove tokens belonging to `#[cfg(test)]` items. Test-only code is
+/// allowed to use whatever it likes — the invariants guard library code.
+pub fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
+    let ranges = cfg_test_ranges(toks);
+    toks.iter()
+        .enumerate()
+        .filter(|(i, _)| !ranges.iter().any(|&(s, e)| *i >= s && *i < e))
+        .map(|(_, t)| t.clone())
+        .collect()
 }
 
 fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
@@ -595,5 +633,140 @@ mod tests {
             .map(|t| t.text.as_str())
             .collect();
         assert_eq!(ids, ["after"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_match_rustc_depth_rules() {
+        // rustc nests block comments to arbitrary depth; `*/` tokens inside
+        // must pair with their own `/*`.
+        let lexed = lex("/* a /* b /* c */ b */ a */ tail");
+        let ids = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(ids, ["tail"]);
+        // An unterminated nested comment swallows the rest of the file
+        // (tolerated, never a panic) — same as rustc's error recovery.
+        let lexed = lex("/* open /* inner */ still open... ident");
+        assert!(lexed.toks.is_empty());
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_leak_a_quote() {
+        // `'\''` previously lexed as 3 chars, leaving the closing quote to
+        // start a bogus lifetime that ate the next identifier.
+        let lexed = lex(r"let q = '\''; let after = 1;");
+        let ids = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert!(ids.contains(&"after"), "{ids:?}");
+        assert!(
+            !lexed.toks.iter().any(|t| t.kind == TokKind::Lifetime),
+            "{:?}",
+            lexed.toks
+        );
+    }
+
+    #[test]
+    fn escape_sequences_in_char_literals() {
+        for src in [r"'\\'", r"'\n'", r"'\u{41}'", r"'\x7f'", r"b'\''"] {
+            let lexed = lex(&format!("let c = {src}; done()"));
+            assert!(
+                lexed.toks.iter().any(|t| is_ident(t, "done")),
+                "{src}: {:?}",
+                lexed.toks
+            );
+            assert!(
+                lexed.toks.iter().any(|t| t.kind == TokKind::Char),
+                "{src} should contain a char literal"
+            );
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_chars_edge_cases() {
+        // `'_` and labels are lifetimes; `'a'` in a range pattern is a char.
+        let lexed = lex(
+            "fn f(x: &'_ str) { 'outer: loop { match c { 'a'..='z' => break 'outer, _ => {} } } }",
+        );
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'_", "'outer", "'outer"]);
+        assert_eq!(
+            lexed
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_strings_keep_contents_and_hash_depth() {
+        // Content (with inner quotes) is preserved on the token but never
+        // becomes code tokens; `"#` inside a `r##"…"##` does not terminate.
+        let lexed = lex(r###"let s = r##"inner "# quote"##; end()"###);
+        let s = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("raw string token");
+        assert_eq!(s.text, r##"inner "# quote"##);
+        assert!(lexed.toks.iter().any(|t| is_ident(t, "end")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let lexed = lex("let r#type = 1; use_it(r#type)");
+        assert!(lexed.toks.iter().any(|t| is_ident(t, "type")));
+        assert!(!lexed.toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn multiline_and_continued_strings_count_lines() {
+        let lexed = lex("let a = \"l1\nl2\";\nlet b = \"x\\\ny\";\nlast()");
+        let last = lexed
+            .toks
+            .iter()
+            .find(|t| is_ident(t, "last"))
+            .expect("last ident");
+        assert_eq!(last.line, 5, "{:?}", lexed.toks);
+    }
+
+    #[test]
+    fn string_tokens_carry_contents_for_cfg_feature() {
+        let lexed = lex(r#"#[cfg(feature = "strict")] fn gated() {}"#);
+        let s = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("feature string");
+        assert_eq!(s.text, "strict");
+    }
+
+    fn is_ident(t: &Tok, s: &str) -> bool {
+        t.kind == TokKind::Ident && t.text == s
+    }
+
+    #[test]
+    fn cfg_test_ranges_align_with_token_indices() {
+        let src = "fn lib() {} #[cfg(test)] mod t { fn x() {} } fn tail() {}";
+        let lexed = lex(src);
+        let ranges = cfg_test_ranges(&lexed.toks);
+        assert_eq!(ranges.len(), 1);
+        let (s, e) = ranges[0];
+        assert_eq!(lexed.toks[s].text, "#");
+        assert_eq!(lexed.toks[e - 1].text, "}");
+        assert!(lexed.toks[e..].iter().any(|t| is_ident(t, "tail")));
     }
 }

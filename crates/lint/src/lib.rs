@@ -9,44 +9,144 @@
 //!   library code, no wall-clock reads or OS-seeded RNGs outside bench;
 //! * **NaN-safety** — no `partial_cmp(..).unwrap()`, no ordering adaptors
 //!   driven by `partial_cmp`, no float-literal `==`;
-//! * **panic-safety** — no `unwrap`/`expect`/panicking macros in designated
-//!   hot-path kernels (slice indexing opt-in per module).
+//! * **panic-safety** — no `unwrap`/`expect`/panicking macros/`catch_unwind`
+//!   in *call-graph-hot* code (slice indexing opt-in per fn);
+//! * **concurrency** — no non-`Relaxed` atomic orderings or lock
+//!   acquisitions in call-graph-hot code without a justification.
 //!
-//! No external parser: a small hand-written lexer ([`lexer`]) that is
-//! comment/string/raw-string aware feeds token-pattern rules ([`rules`]).
+//! Two layers, no external parser:
+//!
+//! 1. a hand-written lexer ([`lexer`]) feeds a syntax layer ([`syntax`])
+//!    that recognizes items (`fn`/`impl`/`trait`/`mod`, `#[cfg(test)]` and
+//!    `#[cfg(feature = "…")]` aware), fn bodies, and call expressions —
+//!    one symbol table per file;
+//! 2. the symbol tables merge into a workspace-wide approximate call graph
+//!    ([`callgraph`]); "hot" is *defined by reachability* from the entry
+//!    points in [`Config::hot_entry_points`] (kernels, `GlintDetector`
+//!    serving methods, trainer step functions), so hotness follows code
+//!    motion instead of a hand-maintained file list. The same graph drives
+//!    an allocation-site census over the inference fast path ([`census`]),
+//!    exported as `BENCH_lint.json` with call-chain evidence per site.
+//!
+//! Resolution is name-based and deliberately over-approximate: a method
+//! call may mark several same-named fns hot, which is conservative for
+//! panic-safety (never *less* hot code than reality). Calls that resolve
+//! to nothing in the workspace (std, fn pointers, macros) are counted and
+//! reported, not silently dropped.
+//!
 //! Violations that are individually sound carry a justified suppression
-//! pragma: `// glint-lint: allow(<rule>) — <reason>`.
+//! pragma: `// glint-lint: allow(<rule>) — <reason>`. A pragma that
+//! suppresses nothing is itself a finding (`unused-allow`).
 //!
 //! The workspace lints itself: `tests/invariant_lint.rs` in the root crate
 //! runs [`lint_workspace`] under `cargo test` and asserts zero findings,
-//! and `scripts/ci.sh` runs the binary with `--json`.
+//! and `scripts/ci.sh` runs the binary with `--json --bench-out` and gates
+//! the census against the committed `BENCH_lint.json`.
 
+pub mod callgraph;
+pub mod census;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod syntax;
 
 pub use rules::{Config, Finding, RuleId, ALL_RULES};
 
+use callgraph::CallGraph;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use syntax::FileSyntax;
 
-/// Lint a single source string as if it lived at workspace-relative `path`
-/// (the path decides which rules apply). Fixture tests drive this directly.
+/// Call-graph summary carried alongside findings in reports.
+#[derive(Debug, Default)]
+pub struct GraphStats {
+    pub files: usize,
+    pub fns: usize,
+    pub resolved_calls: usize,
+    /// Call names that resolved to nothing in the workspace → count.
+    pub unresolved: BTreeMap<String, usize>,
+    /// Fns reachable from the hot entry points.
+    pub hot_fns: usize,
+}
+
+/// Full result of one analysis run: lint findings, the inference-path
+/// allocation census, and call-graph statistics.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub census: census::Census,
+    pub stats: GraphStats,
+}
+
+/// Analyze a set of (workspace-relative path, source) pairs as one
+/// workspace: parse every file, build the call graph, derive hot regions,
+/// run the rules, and take the census.
+pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Analysis {
+    let files: Vec<FileSyntax> = sources
+        .iter()
+        .map(|(path, src)| FileSyntax::parse(path, src))
+        .collect();
+    let graph = CallGraph::build(&files);
+    let hot = graph.reachable(&cfg.hot_entry_points);
+    let hot_ranges = graph.hot_ranges(&hot);
+    let no_index_ranges = callgraph::spec_ranges(&graph, &cfg.no_index_fns);
+    const EMPTY: &[(usize, usize)] = &[];
+
+    let mut findings = Vec::new();
+    for f in &files {
+        let input = rules::FileInput {
+            path: &f.path,
+            toks: &f.toks,
+            comments: &f.comments,
+            test_ranges: &f.test_ranges,
+            hot_ranges: hot_ranges.get(f.path.as_str()).map_or(EMPTY, |v| v),
+            no_index_ranges: no_index_ranges.get(f.path.as_str()).map_or(EMPTY, |v| v),
+        };
+        findings.extend(rules::check_file(&input, cfg));
+    }
+    findings.sort();
+
+    let census = census::run(&graph, &cfg.inference_entry_points, &files);
+    let stats = GraphStats {
+        files: files.len(),
+        fns: graph.fns.len(),
+        resolved_calls: graph.resolved_calls,
+        unresolved: graph.unresolved.clone(),
+        hot_fns: hot.len(),
+    };
+    Analysis {
+        findings,
+        census,
+        stats,
+    }
+}
+
+/// Lint a single source string as if it lived at workspace-relative `path`.
+/// The call graph is built from this one file, so `cfg.hot_entry_points`
+/// must name fns defined in it for hot rules to fire. Fixture tests drive
+/// this directly.
 pub fn lint_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
-    let lexed = lexer::lex(src);
-    let toks = lexer::strip_cfg_test(&lexed.toks);
-    rules::check_file(path, &toks, &lexed.comments, cfg)
+    analyze_sources(&[(path.to_string(), src.to_string())], cfg).findings
 }
 
 /// Lint the whole workspace rooted at `root` with the default [`Config`].
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    lint_workspace_with(root, &Config::default())
+    lint_workspace_with(root, &Config::default()).map(|a| a.findings)
 }
 
-/// Lint the whole workspace rooted at `root`. Scans library code only:
+/// Analyze the whole workspace rooted at `root`. Scans library code only:
 /// `src/` trees of the root package and of every crate under `crates/`
 /// (shims, tests, benches, examples, and fixtures are out of scope — the
 /// invariants guard shipping code).
-pub fn lint_workspace_with(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+pub fn lint_workspace_with(root: &Path, cfg: &Config) -> std::io::Result<Analysis> {
+    let sources = workspace_sources(root)?;
+    Ok(analyze_sources(&sources, cfg))
+}
+
+/// Collect (workspace-relative path, contents) for every library source
+/// file in scan scope, sorted by path — report order must itself be
+/// deterministic.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -61,8 +161,7 @@ pub fn lint_workspace_with(root: &Path, cfg: &Config) -> std::io::Result<Vec<Fin
     if root_src.is_dir() {
         collect_rs(&root_src, &mut files)?;
     }
-
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for file in files {
         let rel = file
             .strip_prefix(root)
@@ -72,14 +171,12 @@ pub fn lint_workspace_with(root: &Path, cfg: &Config) -> std::io::Result<Vec<Fin
             .collect::<Vec<_>>()
             .join("/");
         let src = std::fs::read_to_string(&file)?;
-        findings.extend(lint_source(&rel, &src, cfg));
+        sources.push((rel, src));
     }
-    findings.sort();
-    Ok(findings)
+    Ok(sources)
 }
 
-/// Directory entries sorted by name — the report order must itself be
-/// deterministic.
+/// Directory entries sorted by name.
 fn sorted_dir(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .map(|e| e.map(|e| e.path()))

@@ -1,30 +1,49 @@
 //! CLI entry point: `cargo run -p glint-lint [-- --json] [--root <dir>]`.
-//! Exits 1 when findings exist (CI gates on this), 2 on usage/IO errors.
+//! Exits 1 when findings exist or the census regressed past the baseline
+//! (CI gates on this), 2 on usage/IO errors.
 
-use glint_lint::{lint_workspace, report, ALL_RULES};
+use glint_lint::{lint_workspace_with, report, Config, ALL_RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: glint-lint [--json] [--root <dir>] [--list-rules]
-  --json        machine-readable report on stdout
-  --root <dir>  workspace root to scan (default: current directory)
-  --list-rules  print every rule id and its invariant family";
+                  [--bench-out <file>] [--baseline <file>]
+  --json             machine-readable findings report on stdout
+  --root <dir>       workspace root to scan (default: current directory)
+  --list-rules       print every rule id and its invariant family
+  --bench-out <file> write BENCH_lint.json (call-graph stats + ranked
+                     inference-path allocation census) to <file>
+  --baseline <file>  fail if the census has more total sites than the
+                     committed BENCH_lint.json at <file>";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut list_rules = false;
     let mut root = PathBuf::from(".");
+    let mut bench_out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut path_arg = |name: &str| -> Result<PathBuf, ExitCode> {
+            args.next().map(PathBuf::from).ok_or_else(|| {
+                eprintln!("{name} requires a path\n{USAGE}");
+                ExitCode::from(2)
+            })
+        };
         match arg.as_str() {
             "--json" => json = true,
             "--list-rules" => list_rules = true,
-            "--root" => match args.next() {
-                Some(dir) => root = PathBuf::from(dir),
-                None => {
-                    eprintln!("--root requires a directory\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+            "--root" => match path_arg("--root") {
+                Ok(dir) => root = dir,
+                Err(code) => return code,
+            },
+            "--bench-out" => match path_arg("--bench-out") {
+                Ok(p) => bench_out = Some(p),
+                Err(code) => return code,
+            },
+            "--baseline" => match path_arg("--baseline") {
+                Ok(p) => baseline = Some(p),
+                Err(code) => return code,
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -44,19 +63,57 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let findings = match lint_workspace(&root) {
-        Ok(f) => f,
+    let analysis = match lint_workspace_with(&root, &Config::default()) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("glint-lint: io error scanning {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
     if json {
-        println!("{}", report::json(&findings));
+        println!("{}", report::json(&analysis.findings));
     } else {
-        print!("{}", report::human(&findings));
+        print!("{}", report::human(&analysis.findings));
     }
-    if findings.is_empty() {
+
+    if let Some(path) = &bench_out {
+        if let Err(e) = std::fs::write(path, report::bench_json(&analysis)) {
+            eprintln!("glint-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut census_regressed = false;
+    if let Some(path) = &baseline {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("glint-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let Some(allowed) = report::baseline_total_sites(&doc) else {
+            eprintln!(
+                "glint-lint: baseline {} has no \"total_sites\" field",
+                path.display()
+            );
+            return ExitCode::from(2);
+        };
+        let now = analysis.census.total_sites();
+        if now > allowed {
+            census_regressed = true;
+            eprintln!(
+                "glint-lint: census regression — {now} allocation sites on the \
+                 inference path, baseline allows {allowed}; either eliminate the \
+                 new allocations or commit the regenerated BENCH_lint.json with \
+                 a rationale"
+            );
+        } else {
+            eprintln!("glint-lint: census {now} site(s) <= baseline {allowed}");
+        }
+    }
+
+    if analysis.findings.is_empty() && !census_regressed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -3,6 +3,7 @@
 //! strings per RFC 8259.
 
 use crate::rules::Finding;
+use crate::Analysis;
 use std::fmt::Write as _;
 
 /// `path:line: [family/rule] message`, one per finding, plus a summary line.
@@ -48,6 +49,86 @@ pub fn json(findings: &[Finding]) -> String {
     }
     s.push_str("]}");
     s
+}
+
+/// The `BENCH_lint.json` document: findings count, call-graph statistics,
+/// and the ranked inference-path allocation census with call-chain
+/// evidence. Snapshotted at the repo root by CI; `--baseline` gates
+/// against the committed copy.
+pub fn bench_json(a: &Analysis) -> String {
+    let mut s = String::from("{\"version\":2,\"findings\":{\"count\":");
+    let _ = write!(s, "{}", a.findings.len());
+    s.push_str("},\"graph\":{");
+    let _ = write!(
+        s,
+        "\"files\":{},\"fns\":{},\"resolved_calls\":{},\"hot_fns\":{},\"unresolved_total\":{}",
+        a.stats.files,
+        a.stats.fns,
+        a.stats.resolved_calls,
+        a.stats.hot_fns,
+        a.stats.unresolved.values().sum::<usize>(),
+    );
+    s.push_str(",\"unresolved\":[");
+    for (i, (name, count)) in a.stats.unresolved.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"name\":{},\"count\":{}}}", json_str(name), count);
+    }
+    s.push_str("]},\"census\":{");
+    let _ = write!(
+        s,
+        "\"total_sites\":{},\"reachable_fns\":{}",
+        a.census.total_sites(),
+        a.census.reachable_fns
+    );
+    s.push_str(",\"by_kind\":{");
+    for (i, (kind, count)) in a.census.by_kind.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}:{}", json_str(kind), count);
+    }
+    s.push_str("},\"sites\":[");
+    for (i, site) in a.census.sites.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"file\":{},\"line\":{},\"kind\":{},\"in_fn\":{}",
+            json_str(&site.file),
+            site.line,
+            json_str(site.kind.as_str()),
+            json_str(&site.in_fn)
+        );
+        if let Some(feat) = &site.cfg_feature {
+            let _ = write!(s, ",\"cfg_feature\":{}", json_str(feat));
+        }
+        s.push_str(",\"chain\":[");
+        for (j, link) in site.chain.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_str(link));
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}}");
+    s
+}
+
+/// Extract `"total_sites":N` from a (committed) `BENCH_lint.json` without a
+/// JSON parser — the linter stays dependency-free, and the field is written
+/// by [`bench_json`] in exactly this shape.
+pub fn baseline_total_sites(doc: &str) -> Option<usize> {
+    let key = "\"total_sites\":";
+    let at = doc.find(key)? + key.len();
+    let digits: String = doc[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
 }
 
 fn json_str(s: &str) -> String {

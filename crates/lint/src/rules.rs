@@ -1,11 +1,22 @@
-//! Token-pattern rules enforcing the workspace invariants, plus the
-//! suppression-pragma machinery.
+//! Rules enforcing the workspace invariants, plus the suppression-pragma
+//! machinery.
 //!
-//! Three invariant families (see DESIGN.md "Static invariants"):
+//! Four invariant families (see DESIGN.md "Static analysis architecture"):
 //!
 //! * **determinism** — `hash-collection`, `wall-clock`, `entropy-rng`
+//!   (path-scoped: deterministic crates / non-bench code);
 //! * **NaN-safety** — `partial-cmp-unwrap`, `float-cmp-order`, `float-eq`
-//! * **panic-safety** — `hot-unwrap`, `hot-panic`, `hot-index`
+//!   (everywhere);
+//! * **panic-safety** — `hot-unwrap`, `hot-panic`, `hot-index`,
+//!   `catch-unwind`;
+//! * **concurrency** — `hot-atomic-ordering`, `hot-lock`.
+//!
+//! The `hot-*` rules are *reachability*-scoped: a region is hot when its
+//! function is reachable over the workspace call graph from the entry
+//! points in [`Config::hot_entry_points`] (kernels, `GlintDetector`
+//! serving methods, trainer step functions). There is no hand-maintained
+//! hot-file list — moving a hot helper to a new module changes nothing,
+//! because hotness follows the call graph, not the file layout.
 //!
 //! A finding on line `L` is suppressed by a justified pragma on line `L` or
 //! `L-1`:
@@ -15,7 +26,9 @@
 //! ```
 //!
 //! The justification after the dash is mandatory; a pragma without one (or
-//! naming an unknown rule) is itself reported under the `pragma` rule.
+//! naming an unknown rule) is itself reported under the `pragma` rule. A
+//! well-formed pragma that suppresses nothing is reported under
+//! `unused-allow` — stale justifications cannot accumulate.
 
 use crate::lexer::{Comment, Tok, TokKind};
 
@@ -32,7 +45,10 @@ pub enum RuleId {
     HotPanic,
     HotIndex,
     CatchUnwind,
+    HotAtomicOrdering,
+    HotLock,
     Pragma,
+    UnusedAllow,
 }
 
 impl RuleId {
@@ -48,7 +64,10 @@ impl RuleId {
             RuleId::HotPanic => "hot-panic",
             RuleId::HotIndex => "hot-index",
             RuleId::CatchUnwind => "catch-unwind",
+            RuleId::HotAtomicOrdering => "hot-atomic-ordering",
+            RuleId::HotLock => "hot-lock",
             RuleId::Pragma => "pragma",
+            RuleId::UnusedAllow => "unused-allow",
         }
     }
 
@@ -64,7 +83,8 @@ impl RuleId {
             RuleId::HotUnwrap | RuleId::HotPanic | RuleId::HotIndex | RuleId::CatchUnwind => {
                 "panic-safety"
             }
-            RuleId::Pragma => "meta",
+            RuleId::HotAtomicOrdering | RuleId::HotLock => "concurrency",
+            RuleId::Pragma | RuleId::UnusedAllow => "meta",
         }
     }
 }
@@ -81,7 +101,10 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::HotPanic,
     RuleId::HotIndex,
     RuleId::CatchUnwind,
+    RuleId::HotAtomicOrdering,
+    RuleId::HotLock,
     RuleId::Pragma,
+    RuleId::UnusedAllow,
 ];
 
 /// One reported violation.
@@ -94,7 +117,8 @@ pub struct Finding {
 }
 
 /// Which parts of the workspace each rule family applies to. Paths are
-/// workspace-relative with `/` separators.
+/// workspace-relative with `/` separators; entry points are fn specs
+/// (`name`, `Type::method`, or `Type::*`) resolved against the call graph.
 #[derive(Clone, Debug)]
 pub struct Config {
     /// Path prefixes where `hash-collection` applies: crates whose library
@@ -103,12 +127,15 @@ pub struct Config {
     /// Path prefixes exempt from `wall-clock` / `entropy-rng` (benchmarks
     /// time things by design).
     pub clock_exempt_prefixes: Vec<String>,
-    /// Exact files where `hot-unwrap` / `hot-panic` apply (designated
-    /// hot-path kernels that must not panic per element).
-    pub hot_path_files: Vec<String>,
-    /// Exact files where `hot-index` applies (opt-in: kernels audited to use
+    /// Hot entry points: the panic-safety and concurrency `hot-*` rules
+    /// apply to every fn reachable from these over the call graph.
+    pub hot_entry_points: Vec<String>,
+    /// Inference entry points: the allocation census walks the subgraph
+    /// reachable from these (the serving fast path).
+    pub inference_entry_points: Vec<String>,
+    /// Fn specs opted into `hot-index` (kernels audited to use
     /// iterators/`split_at_mut` instead of per-element indexing).
-    pub no_index_files: Vec<String>,
+    pub no_index_fns: Vec<String>,
     /// Exact files allowed to use `catch_unwind`: the designated graceful-
     /// degradation layer, where containing a panic to quarantine one graph
     /// is the point. Everywhere else, swallowing panics hides bugs.
@@ -126,35 +153,47 @@ impl Default for Config {
                 "crates/trace/src/".into(),
             ],
             clock_exempt_prefixes: vec!["crates/bench/".into()],
-            hot_path_files: vec![
-                "crates/tensor/src/par.rs".into(),
-                "crates/tensor/src/matrix.rs".into(),
-                "crates/tensor/src/csr.rs".into(),
+            hot_entry_points: vec![
+                // dense/sparse kernels — every variant (Matrix, Csr, par, Tape)
+                "matmul".into(),
+                "t_matmul".into(),
+                "matmul_t".into(),
+                "spmm".into(),
+                "t_spmm".into(),
+                // the autograd tape: every op builds hot closures
+                "Tape::*".into(),
+                // serving entry points
+                "GlintDetector::assess".into(),
+                "GlintDetector::try_assess".into(),
+                "GlintDetector::assess_batch".into(),
+                "GlintDetector::process_window".into(),
+                // trainer step functions (per-step math, not checkpoint IO)
+                "step".into(),
+                "reduce_batch".into(),
             ],
-            no_index_files: Vec::new(),
+            inference_entry_points: vec![
+                "GlintDetector::assess".into(),
+                "GlintDetector::try_assess".into(),
+                "GlintDetector::assess_batch".into(),
+            ],
+            no_index_fns: Vec::new(),
             degradation_files: vec!["crates/core/src/detector.rs".into()],
         }
     }
 }
 
 impl Config {
-    fn in_deterministic(&self, path: &str) -> bool {
+    pub(crate) fn in_deterministic(&self, path: &str) -> bool {
         self.deterministic_prefixes
             .iter()
             .any(|p| path.starts_with(p.as_str()))
     }
-    fn clock_exempt(&self, path: &str) -> bool {
+    pub(crate) fn clock_exempt(&self, path: &str) -> bool {
         self.clock_exempt_prefixes
             .iter()
             .any(|p| path.starts_with(p.as_str()))
     }
-    fn is_hot_path(&self, path: &str) -> bool {
-        self.hot_path_files.iter().any(|p| p == path)
-    }
-    fn is_no_index(&self, path: &str) -> bool {
-        self.no_index_files.iter().any(|p| p == path)
-    }
-    fn is_degradation(&self, path: &str) -> bool {
+    pub(crate) fn is_degradation(&self, path: &str) -> bool {
         self.degradation_files.iter().any(|p| p == path)
     }
 }
@@ -165,6 +204,9 @@ struct Pragma {
     line: u32,
     rules: Vec<String>,
     justified: bool,
+    /// True when every named rule parses — only such pragmas participate
+    /// in unused-allow accounting (malformed ones are already findings).
+    well_formed: bool,
 }
 
 /// Parse suppression pragmas out of the comment stream. Returns the pragmas
@@ -206,8 +248,10 @@ fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>
             .map(|r| r.trim().to_string())
             .filter(|r| !r.is_empty())
             .collect();
+        let mut well_formed = !rules.is_empty();
         for r in &rules {
             if RuleId::parse(r).is_none() {
+                well_formed = false;
                 findings.push(Finding {
                     file: file.into(),
                     line: c.line,
@@ -240,17 +284,83 @@ fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>
             line: c.line,
             rules,
             justified,
+            well_formed,
         });
     }
     (pragmas, findings)
 }
 
-/// Run every applicable rule over one file's (cfg(test)-stripped) tokens and
-/// comments. `path` is workspace-relative with `/` separators.
-pub fn check_file(path: &str, toks: &[Tok], comments: &[Comment], cfg: &Config) -> Vec<Finding> {
-    let (pragmas, mut findings) = parse_pragmas(path, comments);
-    let mut raw: Vec<Finding> = Vec::new();
+/// Everything `check_file` needs to know about one file. Token ranges are
+/// indices into `toks` (the FULL token stream — never a stripped copy, so
+/// the syntax layer's body ranges line up).
+pub struct FileInput<'a> {
+    pub path: &'a str,
+    pub toks: &'a [Tok],
+    pub comments: &'a [Comment],
+    /// `#[cfg(test)]` item ranges (masked out of every rule scan).
+    pub test_ranges: &'a [(usize, usize)],
+    /// Body ranges of call-graph-hot fns in this file.
+    pub hot_ranges: &'a [(usize, usize)],
+    /// Body ranges of fns opted into `hot-index`.
+    pub no_index_ranges: &'a [(usize, usize)],
+}
 
+fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+    ranges.iter().any(|&(s, e)| i >= s && i < e)
+}
+
+/// Run every applicable rule over one file and apply suppressions.
+pub fn check_file(input: &FileInput, cfg: &Config) -> Vec<Finding> {
+    let path = input.path;
+    // Mask cfg(test) tokens in place of stripping them: dead tokens become
+    // empty Punct placeholders that no pattern can match, while every index
+    // keeps pointing at the same source position as the syntax layer's
+    // body ranges.
+    let dead: Vec<bool> = (0..input.toks.len())
+        .map(|i| in_ranges(input.test_ranges, i))
+        .collect();
+    let masked: Vec<Tok> = input
+        .toks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if dead[i] {
+                Tok {
+                    kind: TokKind::Punct,
+                    text: String::new(),
+                    line: t.line,
+                }
+            } else {
+                t.clone()
+            }
+        })
+        .collect();
+    let toks = &masked[..];
+
+    // Pragmas inside cfg(test) items are ignored entirely (test code is
+    // out of scope, so they can neither suppress nor be stale).
+    let test_lines: Vec<(u32, u32)> = input
+        .test_ranges
+        .iter()
+        .filter(|&&(s, e)| e > s)
+        .map(|&(s, e)| (input.toks[s].line, input.toks[e - 1].line))
+        .collect();
+    let (pragmas, mut findings) = parse_pragmas(path, input.comments);
+    let pragmas: Vec<Pragma> = pragmas
+        .into_iter()
+        .filter(|p| {
+            !test_lines
+                .iter()
+                .any(|&(lo, hi)| p.line >= lo && p.line <= hi)
+        })
+        .collect();
+    findings.retain(|f| {
+        !test_lines
+            .iter()
+            .any(|&(lo, hi)| f.line >= lo && f.line <= hi)
+    });
+
+    let mut raw: Vec<Finding> = Vec::new();
     if cfg.in_deterministic(path) {
         rule_hash_collection(path, toks, &mut raw);
     }
@@ -261,13 +371,13 @@ pub fn check_file(path: &str, toks: &[Tok], comments: &[Comment], cfg: &Config) 
     rule_partial_cmp_unwrap(path, toks, &mut raw);
     rule_float_cmp_order(path, toks, &mut raw);
     rule_float_eq(path, toks, &mut raw);
-    if cfg.is_hot_path(path) {
-        rule_hot_unwrap(path, toks, &mut raw);
-        rule_hot_panic(path, toks, &mut raw);
-    }
-    if cfg.is_no_index(path) {
-        rule_hot_index(path, toks, &mut raw);
-    }
+    let hot = |i: usize| in_ranges(input.hot_ranges, i);
+    rule_hot_unwrap(path, toks, &hot, &mut raw);
+    rule_hot_panic(path, toks, &hot, &mut raw);
+    rule_hot_atomic(path, toks, &hot, &mut raw);
+    rule_hot_lock(path, toks, &hot, &mut raw);
+    let no_index = |i: usize| in_ranges(input.no_index_ranges, i);
+    rule_hot_index(path, toks, &no_index, &mut raw);
     if !cfg.is_degradation(path) {
         rule_catch_unwind(path, toks, &mut raw);
     }
@@ -275,17 +385,56 @@ pub fn check_file(path: &str, toks: &[Tok], comments: &[Comment], cfg: &Config) 
     // Apply suppressions: a justified pragma covers findings on its own line
     // (trailing comment) or on the next line holding any code token — so a
     // justification wrapped over several comment lines still reaches the
-    // statement below it.
-    let next_code_line = |l: u32| toks.iter().map(|t| t.line).filter(|&tl| tl > l).min();
-    let suppressed = |f: &Finding| {
-        pragmas.iter().any(|p| {
-            p.justified
-                && p.rules.iter().any(|r| r == f.rule.as_str())
-                && (p.line == f.line || next_code_line(p.line) == Some(f.line))
-        })
+    // statement below it. Each (pragma, rule) pair that suppressed nothing
+    // is itself a finding: stale allows must be deleted, not accumulated.
+    let next_code_line = |l: u32| {
+        input
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| !dead[*i] && t.line > l)
+            .map(|(_, t)| t.line)
+            .min()
     };
-    raw.retain(|f| !suppressed(f));
-    findings.append(&mut raw);
+    let covers = |p: &Pragma, rule: &str, f: &Finding| {
+        p.justified
+            && p.rules.iter().any(|r| r == rule)
+            && rule == f.rule.as_str()
+            && (p.line == f.line || next_code_line(p.line) == Some(f.line))
+    };
+    let suppressed: Vec<bool> = raw
+        .iter()
+        .map(|f| {
+            pragmas
+                .iter()
+                .any(|p| p.rules.iter().any(|r| covers(p, r, f)))
+        })
+        .collect();
+    for p in &pragmas {
+        if !(p.well_formed && p.justified) {
+            continue; // already reported as a pragma finding
+        }
+        for r in &p.rules {
+            let used = raw.iter().any(|f| covers(p, r, f));
+            if !used {
+                findings.push(Finding {
+                    file: path.into(),
+                    line: p.line,
+                    rule: RuleId::UnusedAllow,
+                    message: format!(
+                        "pragma allows `{r}` but suppresses nothing here — delete the stale allow"
+                    ),
+                });
+            }
+        }
+    }
+    let mut kept: Vec<Finding> = raw
+        .into_iter()
+        .zip(suppressed)
+        .filter(|(_, s)| !*s)
+        .map(|(f, _)| f)
+        .collect();
+    findings.append(&mut kept);
     findings.sort();
     findings
 }
@@ -503,13 +652,14 @@ fn rule_float_eq(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
-/// `hot-unwrap`: `.unwrap()` / `.expect(…)` in designated hot-path kernels.
-fn rule_hot_unwrap(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+/// `hot-unwrap`: `.unwrap()` / `.expect(…)` in call-graph-hot code.
+fn rule_hot_unwrap(file: &str, toks: &[Tok], hot: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
     for (i, t) in toks.iter().enumerate() {
         if t.kind == TokKind::Ident
             && (t.text == "unwrap" || t.text == "expect")
             && i > 0
             && toks[i - 1].text == "."
+            && hot(i)
         {
             push(
                 out,
@@ -517,8 +667,9 @@ fn rule_hot_unwrap(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
                 t.line,
                 RuleId::HotUnwrap,
                 format!(
-                    "`.{}()` in a hot-path kernel: return an error or restructure \
-                     so the failure case cannot exist",
+                    "`.{}()` on the hot path (reachable from a kernel/serving entry \
+                     point): return an error or restructure so the failure case \
+                     cannot exist",
                     t.text
                 ),
             );
@@ -526,21 +677,83 @@ fn rule_hot_unwrap(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
-/// `hot-panic`: panicking macros in designated hot-path kernels
+/// `hot-panic`: panicking macros in call-graph-hot code
 /// (`assert!`/`debug_assert!` stay allowed — they state contracts).
-fn rule_hot_panic(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+fn rule_hot_panic(file: &str, toks: &[Tok], hot: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
     const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
-    for w in toks.windows(2) {
+    for (i, w) in toks.windows(2).enumerate() {
         if w[0].kind == TokKind::Ident
             && PANIC_MACROS.contains(&w[0].text.as_str())
             && w[1].text == "!"
+            && hot(i)
         {
             push(
                 out,
                 file,
                 w[0].line,
                 RuleId::HotPanic,
-                format!("`{}!` in a hot-path kernel", w[0].text),
+                format!("`{}!` on the hot path", w[0].text),
+            );
+        }
+    }
+}
+
+/// Atomic orderings stronger than `Relaxed`.
+const STRONG_ORDERINGS: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel"];
+
+/// `hot-atomic-ordering`: a non-`Relaxed` atomic ordering inside hot code.
+/// The `GLINT_THREADS` contract promises bitwise-identical results at any
+/// thread count, which the kernels achieve by *not* synchronizing through
+/// shared memory on the hot path — fences there are either unnecessary
+/// (justify with a pragma) or a sign the kernel grew cross-thread traffic.
+fn rule_hot_atomic(file: &str, toks: &[Tok], hot: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && STRONG_ORDERINGS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].text == "::"
+            && is_ident(&toks[i - 2], "Ordering")
+            && hot(i)
+        {
+            push(
+                out,
+                file,
+                t.line,
+                RuleId::HotAtomicOrdering,
+                format!(
+                    "`Ordering::{}` on the hot path: the bitwise-determinism contract \
+                     forbids cross-thread synchronization in kernels; use `Relaxed` \
+                     for gates/counters or justify the fence with a pragma",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `hot-lock`: lock acquisition inside hot code. A contended mutex on the
+/// serving path destroys the latency budget and, worse, can order work
+/// nondeterministically; hot-path locks require a justification pragma.
+fn rule_hot_lock(file: &str, toks: &[Tok], hot: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && (t.text == "lock" || t.text == "try_lock")
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+            && hot(i)
+        {
+            push(
+                out,
+                file,
+                t.line,
+                RuleId::HotLock,
+                format!(
+                    "`.{}()` on the hot path: lock acquisition inside a kernel/serving \
+                     region needs a justification pragma (latency + ordering hazards \
+                     under the GLINT_THREADS determinism contract)",
+                    t.text
+                ),
             );
         }
     }
@@ -566,12 +779,17 @@ fn rule_catch_unwind(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
-/// `hot-index`: `expr[…]` indexing in opt-in panic-free modules (prefer
+/// `hot-index`: `expr[…]` indexing in opt-in panic-free fns (prefer
 /// iterators, `get`, or `split_at_mut`). Array literals (`= [...]`), macro
 /// brackets (`vec![...]`) and attributes (`#[...]`) do not fire.
-fn rule_hot_index(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+fn rule_hot_index(
+    file: &str,
+    toks: &[Tok],
+    no_index: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
     for i in 1..toks.len() {
-        if toks[i].text != "[" {
+        if toks[i].text != "[" || !no_index(i) {
             continue;
         }
         const KEYWORDS: &[&str] = &[
@@ -588,7 +806,7 @@ fn rule_hot_index(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
                 file,
                 toks[i].line,
                 RuleId::HotIndex,
-                "slice indexing in a panic-free module: use iterators, `get`, \
+                "slice indexing in a panic-free fn: use iterators, `get`, \
                  or `split_at_mut`",
             );
         }

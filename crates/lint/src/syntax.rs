@@ -1,0 +1,669 @@
+//! Lightweight syntax layer on top of the lexer: recognizes items
+//! (`fn` / `impl` / `trait` / `mod`), their bodies, and the call expressions
+//! inside them, producing a per-file symbol table the workspace call graph
+//! ([`crate::callgraph`]) is built from.
+//!
+//! This is *not* a Rust parser. It understands exactly enough structure for
+//! name-based call resolution:
+//!
+//! * item nesting (`mod`/`impl`/`trait` blocks, nested `fn`s) with the
+//!   enclosing impl/trait type recorded as the method receiver;
+//! * `#[cfg(test)]` items (marked, so test-only code neither triggers rules
+//!   nor seeds hotness) and `#[cfg(feature = "…")]` items (the gating
+//!   feature is recorded and reported — feature-gated code still
+//!   participates in the graph because it may well be compiled);
+//! * call expressions `f(…)`, `recv.method(…)`, `Qual::f(…)`, including
+//!   turbofish (`collect::<Vec<_>>()`); macros (`name!`) are not calls.
+//!
+//! Everything else — expressions, types, closures — is skipped over
+//! structurally (balanced delimiters) without being understood. Soundness
+//! caveats live with the resolver in `callgraph.rs`.
+
+use crate::lexer::{self, Lexed, Tok, TokKind};
+
+/// How a call site names its callee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `f(…)` — a bare function call.
+    Free,
+    /// `recv.method(…)` — a method call on some receiver expression.
+    /// `recv_ident` is the token just before the dot when it is a plain
+    /// identifier (`None` for nested expressions like `a.b().c(…)`); the
+    /// resolver uses it to spot `STATIC.load(…)`-style std atomic ops.
+    Method { recv_ident: Option<String> },
+    /// `Qual::f(…)` — the last path qualifier is recorded (`Matrix`,
+    /// `par`, `Self`, `glint_tensor`, …).
+    Path(String),
+}
+
+/// One call expression inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    pub name: String,
+    pub kind: CallKind,
+    pub line: u32,
+}
+
+/// One `fn` item (free function, inherent/trait method, or nested fn).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `impl`/`trait` self type, e.g. `Matrix` for
+    /// `impl Matrix { fn zeros … }`. `None` for free functions.
+    pub receiver: Option<String>,
+    /// Module path within the file (`mod` nesting), innermost last.
+    pub module: Vec<String>,
+    pub line: u32,
+    /// Token-index range `[start, end)` of the body including braces,
+    /// indices into the file's full token vector. `None` for bodiless
+    /// declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// Inside a `#[cfg(test)]` item (directly or via an enclosing mod).
+    pub is_test: bool,
+    /// Gating feature from an enclosing `#[cfg(feature = "…")]`, if any.
+    pub cfg_feature: Option<String>,
+    /// Call expressions in this fn's body, excluding nested fn bodies
+    /// (those belong to the nested fn).
+    pub calls: Vec<CallSite>,
+}
+
+/// Parsed view of one source file.
+#[derive(Debug)]
+pub struct FileSyntax {
+    pub path: String,
+    /// The full token stream (NOT cfg(test)-stripped — body ranges index
+    /// into it).
+    pub toks: Vec<Tok>,
+    pub comments: Vec<lexer::Comment>,
+    pub fns: Vec<FnItem>,
+    /// Token ranges of `#[cfg(test)]` items, for masking rule scans.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileSyntax {
+    /// Lex and parse one source file.
+    pub fn parse(path: &str, src: &str) -> FileSyntax {
+        let Lexed { toks, comments } = lexer::lex(src);
+        let test_ranges = lexer::cfg_test_ranges(&toks);
+        let mut fns = Vec::new();
+        let ctx = Ctx {
+            receiver: None,
+            module: Vec::new(),
+            is_test: false,
+            cfg_feature: None,
+        };
+        parse_items(&toks, 0, toks.len(), &ctx, &mut fns);
+        // Attach call sites, excluding nested fn body sub-ranges.
+        let nested: Vec<(usize, usize)> = fns.iter().filter_map(|f| f.body).collect();
+        for f in &mut fns {
+            if let Some((start, end)) = f.body {
+                let inner: Vec<(usize, usize)> = nested
+                    .iter()
+                    .copied()
+                    .filter(|&(s, e)| s > start && e <= end && (s, e) != (start, end))
+                    .collect();
+                f.calls = extract_calls(&toks, start, end, &inner);
+            }
+        }
+        FileSyntax {
+            path: path.to_string(),
+            toks,
+            comments,
+            fns,
+            test_ranges,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Ctx {
+    receiver: Option<String>,
+    module: Vec<String>,
+    is_test: bool,
+    cfg_feature: Option<String>,
+}
+
+/// What a `#[…]` attribute told us about the item it decorates.
+#[derive(Default, Clone)]
+struct AttrInfo {
+    is_test: bool,
+    feature: Option<String>,
+}
+
+/// Parse one attribute starting at `#` (index `i`); returns info + index
+/// just past the closing `]`. Detects `test` and `feature = "…"` anywhere
+/// inside a `cfg(…)` / `cfg_attr(…)` attribute, so `#[cfg(all(test, …))]`
+/// also counts as test-gated.
+fn parse_attr(toks: &[Tok], i: usize, info: &mut AttrInfo) -> usize {
+    let end = skip_balanced(toks, i + 1, "[", "]");
+    let body = &toks[i..end.min(toks.len())];
+    let is_cfg = body
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && (t.text == "cfg" || t.text == "cfg_attr"));
+    if is_cfg {
+        for (k, t) in body.iter().enumerate() {
+            if t.kind == TokKind::Ident && t.text == "test" {
+                info.is_test = true;
+            }
+            if t.kind == TokKind::Ident && t.text == "feature" {
+                // `feature = "name"`
+                if body.get(k + 1).map(|t| t.text.as_str()) == Some("=") {
+                    if let Some(v) = body.get(k + 2).filter(|t| t.kind == TokKind::Str) {
+                        info.feature = Some(v.text.clone());
+                    }
+                }
+            }
+        }
+    }
+    end
+}
+
+/// Idents that may legally sit between an attribute and its item keyword
+/// without detaching the attribute.
+const ITEM_QUALIFIERS: &[&str] = &[
+    "pub", "crate", "super", "self", "in", "const", "unsafe", "async", "extern", "default",
+];
+
+/// Scan `[from, to)` for items, honouring `mod`/`impl`/`trait` nesting.
+fn parse_items(toks: &[Tok], from: usize, to: usize, ctx: &Ctx, out: &mut Vec<FnItem>) {
+    let mut i = from;
+    let mut pending = AttrInfo::default();
+    while i < to {
+        let t = &toks[i];
+        // Attributes: accumulate onto `pending` for the next item.
+        if t.text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            i = parse_attr(toks, i, &mut pending);
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            // Qualifier parens (`pub(crate)`) keep the pending attribute.
+            if !(t.text == "(" || t.text == ")") {
+                pending = AttrInfo::default();
+            }
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "fn" => {
+                // `fn(` is a function-pointer type, not an item.
+                let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                    pending = AttrInfo::default();
+                    i += 1;
+                    continue;
+                };
+                let (body, next) = parse_fn_after_name(toks, i + 2, to);
+                out.push(FnItem {
+                    name: name_tok.text.clone(),
+                    receiver: ctx.receiver.clone(),
+                    module: ctx.module.clone(),
+                    line: name_tok.line,
+                    body,
+                    is_test: ctx.is_test || pending.is_test,
+                    cfg_feature: pending.feature.clone().or_else(|| ctx.cfg_feature.clone()),
+                    calls: Vec::new(),
+                });
+                // Recurse into the body for nested fns.
+                if let Some((bs, be)) = body {
+                    let inner = Ctx {
+                        receiver: None,
+                        module: ctx.module.clone(),
+                        is_test: ctx.is_test || pending.is_test,
+                        cfg_feature: pending.feature.clone().or_else(|| ctx.cfg_feature.clone()),
+                    };
+                    parse_items(toks, bs + 1, be.saturating_sub(1), &inner, out);
+                }
+                pending = AttrInfo::default();
+                i = next;
+            }
+            "impl" | "trait" => {
+                let is_impl = t.text == "impl";
+                let (self_ty, body_start) = parse_impl_header(toks, i + 1, to, is_impl);
+                let Some(bs) = body_start else {
+                    pending = AttrInfo::default();
+                    i += 1;
+                    continue;
+                };
+                let be = skip_balanced(toks, bs, "{", "}");
+                let inner = Ctx {
+                    receiver: self_ty,
+                    module: ctx.module.clone(),
+                    is_test: ctx.is_test || pending.is_test,
+                    cfg_feature: pending.feature.clone().or_else(|| ctx.cfg_feature.clone()),
+                };
+                parse_items(toks, bs + 1, be.saturating_sub(1), &inner, out);
+                pending = AttrInfo::default();
+                i = be;
+            }
+            "mod" => {
+                let name = toks
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+                match (name, toks.get(i + 2).map(|t| t.text.as_str())) {
+                    (Some(name), Some("{")) => {
+                        let bs = i + 2;
+                        let be = skip_balanced(toks, bs, "{", "}");
+                        let mut module = ctx.module.clone();
+                        module.push(name);
+                        let inner = Ctx {
+                            receiver: None,
+                            module,
+                            is_test: ctx.is_test || pending.is_test,
+                            cfg_feature: pending
+                                .feature
+                                .clone()
+                                .or_else(|| ctx.cfg_feature.clone()),
+                        };
+                        parse_items(toks, bs + 1, be.saturating_sub(1), &inner, out);
+                        pending = AttrInfo::default();
+                        i = be;
+                    }
+                    _ => {
+                        pending = AttrInfo::default();
+                        i += 2; // `mod name;` — out-of-line, nothing to parse
+                    }
+                }
+            }
+            kw if ITEM_QUALIFIERS.contains(&kw) => {
+                i += 1; // qualifiers keep the pending attribute
+            }
+            _ => {
+                pending = AttrInfo::default();
+                i += 1;
+            }
+        }
+    }
+}
+
+/// After `fn name`, skip generics + args + return type; return the body
+/// range (if any) and the index to continue scanning from.
+fn parse_fn_after_name(toks: &[Tok], mut i: usize, to: usize) -> (Option<(usize, usize)>, usize) {
+    // Optional generic params.
+    if toks.get(i).map(|t| t.text.as_str()) == Some("<") {
+        i = skip_angles(toks, i, to);
+    }
+    // Argument list.
+    if toks.get(i).map(|t| t.text.as_str()) == Some("(") {
+        i = skip_balanced(toks, i, "(", ")");
+    }
+    // Return type / where clause: scan to `{` or `;` at angle-depth 0.
+    let mut angle = 0i32;
+    while i < to {
+        match toks[i].text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "<<" => angle += 2,
+            ">>" => angle -= 2,
+            "{" if angle <= 0 => {
+                let end = skip_balanced(toks, i, "{", "}");
+                return (Some((i, end)), end);
+            }
+            ";" if angle <= 0 => return (None, i + 1),
+            _ => {}
+        }
+        i += 1;
+    }
+    (None, i)
+}
+
+/// Parse an `impl`/`trait` header starting just past the keyword. Returns
+/// the self-type name (last path segment at angle-depth 0, after `for` if
+/// present) and the index of the opening `{`.
+fn parse_impl_header(
+    toks: &[Tok],
+    mut i: usize,
+    to: usize,
+    is_impl: bool,
+) -> (Option<String>, Option<usize>) {
+    if toks.get(i).map(|t| t.text.as_str()) == Some("<") {
+        i = skip_angles(toks, i, to);
+    }
+    let mut self_ty: Option<String> = None;
+    let mut angle = 0i32;
+    while i < to {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "<<" => angle += 2,
+            ">>" => angle -= 2,
+            "{" if angle <= 0 => return (self_ty, Some(i)),
+            ";" if angle <= 0 => return (self_ty, None), // `impl Trait for T;`-ish
+            "for" if angle <= 0 && is_impl => self_ty = None, // real type follows
+            "where" if angle <= 0 => {
+                // where-clause: self type is already known; find the `{`.
+                while i < to && toks[i].text != "{" {
+                    i += 1;
+                }
+                return (self_ty, (i < to).then_some(i));
+            }
+            _ if t.kind == TokKind::Ident && angle <= 0 => {
+                self_ty = Some(t.text.clone());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (self_ty, None)
+}
+
+/// Skip a balanced `<…>` generic group starting at `<`.
+fn skip_angles(toks: &[Tok], mut i: usize, to: usize) -> usize {
+    let mut depth = 0i32;
+    while i < to {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            ">>" => {
+                depth -= 2;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Starting with `toks[open_idx] == open`, index just past the matching
+/// `close`. Tolerates unbalanced input by running to `toks.len()`.
+fn skip_balanced(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut j = open_idx;
+    while j < toks.len() {
+        if toks[j].text == open {
+            depth += 1;
+        } else if toks[j].text == close {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "as", "move", "else",
+    "break", "continue", "where", "impl", "dyn",
+];
+
+/// Extract call sites from `[start, end)`, skipping `exclude` sub-ranges
+/// (nested fn bodies).
+fn extract_calls(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    exclude: &[(usize, usize)],
+) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = start;
+    'outer: while i < end.min(toks.len()) {
+        for &(s, e) in exclude {
+            if i >= s && i < e {
+                i = e;
+                continue 'outer;
+            }
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        // `fn name(` is a nested declaration header, not a call.
+        if i > start && toks[i - 1].text == "fn" {
+            i += 1;
+            continue;
+        }
+        // `name!` is a macro, not a call (its argument tokens still get
+        // scanned on later iterations).
+        if toks.get(i + 1).map(|t| t.text.as_str()) == Some("!") {
+            i += 2;
+            continue;
+        }
+        // Call shape: ident `(` — or ident `::` `<…>` `(` (turbofish).
+        let mut after = i + 1;
+        if toks.get(after).map(|t| t.text.as_str()) == Some("::")
+            && toks.get(after + 1).map(|t| t.text.as_str()) == Some("<")
+        {
+            after = skip_angles(toks, after + 1, end);
+        }
+        if toks.get(after).map(|t| t.text.as_str()) != Some("(") {
+            i += 1;
+            continue;
+        }
+        let kind = match i.checked_sub(1).map(|p| toks[p].text.as_str()) {
+            Some(".") => CallKind::Method {
+                recv_ident: i
+                    .checked_sub(2)
+                    .map(|r| &toks[r])
+                    .filter(|r| r.kind == TokKind::Ident)
+                    .map(|r| r.text.clone()),
+            },
+            Some("::") => {
+                let qual = i
+                    .checked_sub(2)
+                    .map(|q| &toks[q])
+                    .filter(|q| q.kind == TokKind::Ident)
+                    .map(|q| q.text.clone());
+                match qual {
+                    Some(q) => CallKind::Path(q),
+                    // `<T as Trait>::f(…)` or `>::f(…)` — treat as method-like
+                    // name match.
+                    None => CallKind::Method { recv_ident: None },
+                }
+            }
+            _ => CallKind::Free,
+        };
+        out.push(CallSite {
+            name: t.text.clone(),
+            kind,
+            line: t.line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find<'a>(fs: &'a FileSyntax, name: &str) -> &'a FnItem {
+        fs.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn {name} not found in {:?}", fs.fns))
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_recognized() {
+        let fs = FileSyntax::parse(
+            "x.rs",
+            r#"
+            pub fn free_one(x: usize) -> usize { helper(x) }
+            fn helper(x: usize) -> usize { x + 1 }
+            pub struct Widget { n: usize }
+            impl Widget {
+                pub fn new(n: usize) -> Self { Self { n } }
+                fn tick(&mut self) { self.bump(); free_one(self.n); }
+                fn bump(&mut self) { self.n += 1 }
+            }
+            "#,
+        );
+        assert_eq!(fs.fns.len(), 5);
+        assert_eq!(find(&fs, "tick").receiver.as_deref(), Some("Widget"));
+        assert!(find(&fs, "free_one").receiver.is_none());
+        let tick = find(&fs, "tick");
+        let names: Vec<_> = tick.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["bump", "free_one"]);
+        assert_eq!(
+            tick.calls[0].kind,
+            CallKind::Method {
+                recv_ident: Some("self".into())
+            }
+        );
+        assert_eq!(tick.calls[1].kind, CallKind::Free);
+    }
+
+    #[test]
+    fn trait_impls_resolve_the_self_type_after_for() {
+        let fs = FileSyntax::parse(
+            "x.rs",
+            r#"
+            impl fmt::Display for TrainError {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write(f) }
+            }
+            impl<C: Model, E: Model> Detector<C, E> {
+                pub fn assess(&self) -> f32 { self.inner::<f32>() }
+            }
+            trait Scorer {
+                fn score(&self) -> f32;
+                fn scaled(&self) -> f32 { self.score() * 2.0 }
+            }
+            "#,
+        );
+        assert_eq!(find(&fs, "fmt").receiver.as_deref(), Some("TrainError"));
+        assert_eq!(find(&fs, "assess").receiver.as_deref(), Some("Detector"));
+        assert_eq!(find(&fs, "score").receiver.as_deref(), Some("Scorer"));
+        assert!(find(&fs, "score").body.is_none(), "bodiless trait decl");
+        assert!(find(&fs, "scaled").body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_and_feature_attrs_mark_items() {
+        let fs = FileSyntax::parse(
+            "x.rs",
+            r#"
+            fn lib_code() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper_in_tests() {}
+                #[test]
+                fn a_test() { helper_in_tests() }
+            }
+            #[cfg(feature = "strict")]
+            fn gated() {}
+            #[cfg(all(test, feature = "x"))]
+            fn both() {}
+            "#,
+        );
+        assert!(!find(&fs, "lib_code").is_test);
+        assert!(find(&fs, "helper_in_tests").is_test);
+        assert!(find(&fs, "a_test").is_test);
+        assert_eq!(find(&fs, "gated").cfg_feature.as_deref(), Some("strict"));
+        assert!(!find(&fs, "gated").is_test);
+        assert!(find(&fs, "both").is_test);
+    }
+
+    #[test]
+    fn path_calls_and_turbofish() {
+        let fs = FileSyntax::parse(
+            "x.rs",
+            r#"
+            fn go(v: Vec<f32>) -> Vec<f32> {
+                let m = Matrix::zeros(2, 2);
+                let s: Vec<f32> = v.iter().map(f32::abs).collect::<Vec<_>>();
+                par::matmul(&m, &m);
+                Self::helper();
+                vec![1.0; 3];
+                s
+            }
+            "#,
+        );
+        let go = find(&fs, "go");
+        let paths: Vec<(String, CallKind)> = go
+            .calls
+            .iter()
+            .map(|c| (c.name.clone(), c.kind.clone()))
+            .collect();
+        assert!(paths.contains(&("zeros".into(), CallKind::Path("Matrix".into()))));
+        assert!(paths
+            .iter()
+            .any(|(n, k)| n == "collect" && matches!(k, CallKind::Method { .. })));
+        assert!(paths.contains(&("matmul".into(), CallKind::Path("par".into()))));
+        assert!(paths.contains(&("helper".into(), CallKind::Path("Self".into()))));
+        // `vec!` is a macro, not a call
+        assert!(!paths.iter().any(|(n, _)| n == "vec"));
+    }
+
+    #[test]
+    fn nested_fns_own_their_calls() {
+        let fs = FileSyntax::parse(
+            "x.rs",
+            r#"
+            fn outer() {
+                fn inner() { deep_call(); }
+                outer_call();
+            }
+            "#,
+        );
+        let outer_calls: Vec<_> = find(&fs, "outer")
+            .calls
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(outer_calls, ["outer_call"]);
+        let inner_calls: Vec<_> = find(&fs, "inner")
+            .calls
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(inner_calls, ["deep_call"]);
+    }
+
+    #[test]
+    fn modules_nest_into_the_symbol_path() {
+        let fs = FileSyntax::parse(
+            "x.rs",
+            r#"
+            mod par {
+                pub fn matmul() {}
+                mod detail { pub fn kernel() {} }
+            }
+            "#,
+        );
+        assert_eq!(find(&fs, "matmul").module, vec!["par".to_string()]);
+        assert_eq!(
+            find(&fs, "kernel").module,
+            vec!["par".to_string(), "detail".to_string()]
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let fs = FileSyntax::parse("x.rs", "fn real(f: fn(usize) -> usize) -> usize { f(1) }");
+        assert_eq!(fs.fns.len(), 1);
+        assert_eq!(fs.fns[0].name, "real");
+    }
+
+    #[test]
+    fn where_clauses_and_generic_returns_do_not_derail_bodies() {
+        let fs = FileSyntax::parse(
+            "x.rs",
+            r#"
+            pub fn ordered_map<T, F>(n: usize, f: F) -> Vec<T>
+            where
+                F: Fn(usize) -> T + Sync,
+                T: Send,
+            {
+                run(n, f)
+            }
+            "#,
+        );
+        let f = find(&fs, "ordered_map");
+        assert!(f.body.is_some());
+        assert_eq!(f.calls.len(), 1);
+        assert_eq!(f.calls[0].name, "run");
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: hot-atomic-ordering / hot-lock violations — flagged only inside
+// call-graph-hot fns (the harness seeds hotness from `hot_entry`).
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+static SHARED: Mutex<Vec<f32>> = Mutex::new(Vec::new());
+
+pub fn hot_entry(v: &mut Vec<f32>) -> usize {
+    let a = COUNTER.fetch_add(1, Ordering::SeqCst); // hot-atomic-ordering
+    let b = COUNTER.load(Ordering::Acquire); // hot-atomic-ordering
+    let c = COUNTER.load(Ordering::Relaxed); // allowed
+    if let Ok(mut g) = SHARED.lock() {
+        // hot-lock above
+        g.push(0.0);
+    }
+    if let Ok(g) = SHARED.try_lock() {
+        // hot-lock above
+        drop(g);
+    }
+    v.len() + a + b + c
+}
+
+pub fn cold_helper() {
+    // Not reachable from `hot_entry`: neither site below may fire.
+    let _ = COUNTER.swap(1, Ordering::AcqRel);
+    let _ = SHARED.lock();
+}

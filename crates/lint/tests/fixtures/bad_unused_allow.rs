@@ -1,0 +1,19 @@
+// Fixture: well-formed, justified pragmas that suppress nothing. Each
+// stale (pragma, rule) pair must be reported as `unused-allow` — allows
+// that outlive their finding are deleted, not accumulated.
+
+// glint-lint: allow(float-eq) — stale: the comparison below is integer
+pub fn int_eq(a: usize, b: usize) -> bool {
+    a == b
+}
+
+pub fn total(v: &mut [f32]) {
+    // glint-lint: allow(float-cmp-order) — stale: the comparator is total_cmp
+    v.sort_by(f32::total_cmp);
+}
+
+// glint-lint: allow(hot-unwrap, hot-panic) — stale on both rules: nothing
+// below unwraps or panics
+pub fn calm(v: &[f32]) -> f32 {
+    v.iter().copied().fold(0.0, f32::max)
+}

@@ -45,8 +45,7 @@ pub fn hot_first(v: &[f32]) -> f32 {
         // programming error worth aborting on, not a value to fabricate
         panic!("kernel fed an empty slice");
     }
-    // glint-lint: allow(hot-unwrap, hot-panic) — guarded by the emptiness
-    // check above; a multi-rule pragma also covers the panicking branch
+    // glint-lint: allow(hot-unwrap) — guarded by the emptiness check above
     *v.first().unwrap()
 }
 

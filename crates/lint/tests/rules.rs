@@ -1,22 +1,33 @@
 //! Fixture tests: every rule must (a) catch its violation fixture, (b) stay
 //! silent on the clean fixture, and (c) honour a justified suppression
 //! pragma. Fixtures are linted under masquerade workspace paths so the
-//! path-scoped rules (determinism prefixes, hot-path files) apply.
+//! path-scoped determinism rules apply; hot rules are driven by the call
+//! graph, so the harness seeds `hot_entry_points` from the fixture's own
+//! fn names (every fixture fn is an entry — maximally hot).
 
+use glint_lint::syntax::FileSyntax;
 use glint_lint::{lint_source, Config, Finding, RuleId};
 
-/// A path inside a deterministic prefix AND the hot-path list, with
-/// `no_index_files` extended to cover it — every rule is live at once.
+/// A path inside a deterministic prefix — the determinism rules are live.
 const HOT: &str = "crates/tensor/src/par.rs";
 
-fn all_rules_config() -> Config {
+/// Config that makes every non-test fn in `src` a hot entry point AND a
+/// `hot-index` opt-in, so every rule is live at once.
+fn all_rules_config(src: &str) -> Config {
     let mut cfg = Config::default();
-    cfg.no_index_files.push(HOT.to_string());
+    let fs = FileSyntax::parse(HOT, src);
+    cfg.hot_entry_points = fs
+        .fns
+        .iter()
+        .filter(|f| !f.is_test)
+        .map(|f| f.name.clone())
+        .collect();
+    cfg.no_index_fns = cfg.hot_entry_points.clone();
     cfg
 }
 
 fn lint_fixture(src: &str) -> Vec<Finding> {
-    lint_source(HOT, src, &all_rules_config())
+    lint_source(HOT, src, &all_rules_config(src))
 }
 
 fn count(findings: &[Finding], rule: RuleId) -> usize {
@@ -81,13 +92,50 @@ fn hot_rules_catch_unwrap_panic_and_indexing() {
     assert!(count(&f, RuleId::HotIndex) >= 1, "{f:?}");
 }
 
+/// With the default config, nothing in the fixture is reachable from a real
+/// entry point (`matmul`, `GlintDetector::assess`, …) — hotness comes from
+/// the call graph, not the file path, so the same file lints clean.
 #[test]
-fn hot_rules_only_apply_to_designated_files() {
+fn hot_rules_require_call_graph_reachability() {
     let src = include_str!("fixtures/bad_hot.rs");
-    let f = lint_source("crates/ml/src/fixture.rs", src, &Config::default());
+    let f = lint_source(HOT, src, &Config::default());
     assert_eq!(count(&f, RuleId::HotUnwrap), 0, "{f:?}");
     assert_eq!(count(&f, RuleId::HotPanic), 0, "{f:?}");
     assert_eq!(count(&f, RuleId::HotIndex), 0, "{f:?}");
+}
+
+/// Hotness propagates over calls: seeding only the caller still flags the
+/// callee's violations.
+#[test]
+fn hotness_propagates_to_callees() {
+    let src = r#"pub fn entry(v: &[f32]) -> f32 { helper(v) }
+fn helper(v: &[f32]) -> f32 { v.iter().copied().next().unwrap() }
+fn cold(v: &[f32]) -> f32 { v.iter().copied().last().unwrap() }
+"#;
+    let cfg = Config {
+        hot_entry_points: vec!["entry".into()],
+        ..Config::default()
+    };
+    let f = lint_source(HOT, src, &cfg);
+    assert_eq!(count(&f, RuleId::HotUnwrap), 1, "{f:?}");
+    assert_eq!(f[0].line, 2, "helper's unwrap, not cold's: {f:?}");
+}
+
+#[test]
+fn concurrency_rules_fire_only_in_hot_fns() {
+    let src = include_str!("fixtures/bad_concurrency.rs");
+    let cfg = Config {
+        hot_entry_points: vec!["hot_entry".into()],
+        ..Config::default()
+    };
+    let f = lint_source(HOT, src, &cfg);
+    assert_eq!(count(&f, RuleId::HotAtomicOrdering), 2, "{f:?}");
+    assert_eq!(count(&f, RuleId::HotLock), 2, "{f:?}");
+    // `cold_helper`'s AcqRel swap and lock are not reachable → silent.
+    assert!(
+        f.iter().all(|x| x.line < 24),
+        "cold_helper must not fire: {f:?}"
+    );
 }
 
 #[test]
@@ -104,11 +152,54 @@ fn catch_unwind_is_allowed_in_degradation_files() {
 }
 
 /// Every justified pragma in the suppressed fixture must silence its
-/// finding: the file lints completely clean.
+/// finding: the file lints completely clean — which also proves none of
+/// its pragmas is reported as `unused-allow`.
 #[test]
 fn justified_pragmas_suppress_every_rule() {
     let f = lint_fixture(include_str!("fixtures/suppressed.rs"));
     assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+/// A well-formed, justified pragma that suppresses nothing is itself a
+/// finding — one per stale (pragma, rule) pair.
+#[test]
+fn unused_allows_are_reported_per_rule() {
+    let f = lint_fixture(include_str!("fixtures/bad_unused_allow.rs"));
+    assert_eq!(count(&f, RuleId::UnusedAllow), 4, "{f:?}");
+    assert_eq!(f.len(), 4, "nothing else may fire: {f:?}");
+}
+
+/// Acceptance: moving a hot helper into a different module changes no
+/// verdicts. Hotness is call-graph reachability, not path membership, so
+/// the same caller/callee pair must produce identical (rule, line, message)
+/// findings wherever the callee file lives.
+#[test]
+fn moving_a_hot_helper_changes_no_verdicts() {
+    let entry = "pub fn matmul(v: &[f32]) -> f32 { crate::helpers::pick(v) }\n";
+    let helper = "pub fn pick(v: &[f32]) -> f32 { v.iter().copied().next().unwrap() }\n";
+    let cfg = Config::default();
+    let place = |helper_path: &str| {
+        glint_lint::analyze_sources(
+            &[
+                ("crates/tensor/src/dense.rs".to_string(), entry.to_string()),
+                (helper_path.to_string(), helper.to_string()),
+            ],
+            &cfg,
+        )
+    };
+    let before = place("crates/tensor/src/helpers.rs");
+    let after = place("crates/tensor/src/kernels/helpers.rs");
+    let verdicts = |a: &glint_lint::Analysis| {
+        a.findings
+            .iter()
+            .map(|f| (f.rule, f.line, f.message.clone()))
+            .collect::<Vec<_>>()
+    };
+    // The helper IS hot (matmul is a default entry point): the unwrap fires.
+    assert_eq!(count(&before.findings, RuleId::HotUnwrap), 1, "{before:?}");
+    assert_eq!(verdicts(&before), verdicts(&after));
+    // The census is equally move-invariant (site count and kinds).
+    assert_eq!(before.census.sites.len(), after.census.sites.len());
 }
 
 /// The clean fixture has near misses only — strings, comments, doc comments,

@@ -263,14 +263,10 @@ fn render_condition(cond: &Condition, variant: u32) -> String {
 pub fn render_rule(rule: &Rule) -> String {
     let v = rule.id.0;
     let actions: Vec<String> = rule.actions.iter().map(|a| render_action(a, v)).collect();
-    let action_str = match actions.len() {
-        0 => String::from("do nothing"),
-        1 => actions[0].clone(),
-        _ => format!(
-            "{} and {}",
-            actions[..actions.len() - 1].join(", "),
-            actions.last().unwrap()
-        ),
+    let action_str = match actions.split_last() {
+        None => String::from("do nothing"),
+        Some((only, [])) => only.clone(),
+        Some((last, rest)) => format!("{} and {}", rest.join(", "), last),
     };
     let conds: Vec<String> = rule
         .conditions

@@ -172,6 +172,9 @@ fn lock() -> std::sync::MutexGuard<'static, Snapshot> {
     // A panic while holding this lock can only come from OOM; propagating
     // the poison as a fresh panic in an observability layer would turn a
     // survived fault into a crash, so take the data as-is.
+    // glint-lint: allow(hot-lock) — reached only when tracing is armed; the
+    // steady-state gate in `enabled()` is one relaxed atomic load, and
+    // tracing explicitly trades latency for observability when switched on
     match registry().lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),

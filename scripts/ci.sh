@@ -10,8 +10,12 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== glint-lint (workspace invariants: determinism / NaN-safety / panic-safety) =="
-cargo run -q -p glint-lint -- --json
+echo "== glint-lint (invariants + call graph + allocation census vs baseline) =="
+cargo run -q -p glint-lint -- --json --bench-out BENCH_lint.json.new --baseline BENCH_lint.json
+# validate the fresh snapshot with the workspace's own JSON layer, then
+# promote it so census growth is reviewed as a diff of the committed file
+cargo test -q --test invariant_lint bench_report_parses_under_serde_json_shim
+mv BENCH_lint.json.new BENCH_lint.json
 
 echo "== cargo test (default GLINT_THREADS) =="
 cargo test --workspace -q

@@ -1,19 +1,136 @@
 //! Tier-1 self-test: the workspace must be clean under its own invariant
 //! checker. Any new HashMap in a deterministic crate, `partial_cmp(..)
-//! .unwrap()`, wall-clock read outside bench, or unwrap in a hot-path module
-//! fails this test with a file:line report — the same output `scripts/ci.sh`
-//! prints from the `glint-lint` binary stage.
+//! .unwrap()`, wall-clock read outside bench, or unwrap/panic/lock in a
+//! call-graph-hot fn fails this test with a file:line report — the same
+//! output `scripts/ci.sh` prints from the `glint-lint` binary stage.
+//!
+//! Also validates the analysis layer itself: every crate's sources are
+//! visited, the BENCH_lint.json report parses under the serde_json shim,
+//! and the allocation census is consistent with the `tensor.alloc.*`
+//! counters the trace layer records at runtime.
 
 use std::path::Path;
 
+fn analysis() -> glint_lint::Analysis {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    glint_lint::lint_workspace_with(root, &glint_lint::Config::default())
+        .expect("workspace sources must be readable")
+}
+
 #[test]
 fn workspace_is_lint_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let findings = glint_lint::lint_workspace(root).expect("workspace sources must be readable");
+    let findings = analysis().findings;
     assert!(
         findings.is_empty(),
         "glint-lint found {} invariant violation(s):\n{}",
         findings.len(),
         glint_lint::report::human(&findings)
     );
+}
+
+/// The analyzer must visit every crate in the workspace — a crate whose
+/// sources are silently skipped would lint "clean" by omission.
+#[test]
+fn every_crate_src_is_visited() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sources = glint_lint::workspace_sources(root).expect("workspace sources must be readable");
+    let crates = std::fs::read_dir(root.join("crates")).expect("crates/ must exist");
+    for entry in crates {
+        let entry = entry.expect("readable dir entry");
+        if !entry.path().join("src").is_dir() {
+            continue;
+        }
+        let prefix = format!("crates/{}/src/", entry.file_name().to_string_lossy());
+        assert!(
+            sources.iter().any(|(path, _)| path.starts_with(&prefix)),
+            "no sources visited under {prefix}"
+        );
+    }
+    // The root binary crate rides along too.
+    assert!(
+        sources.iter().any(|(path, _)| path.starts_with("src/")),
+        "root src/ not visited"
+    );
+}
+
+/// The machine-readable report must parse under the workspace's own
+/// serde_json shim and carry the sections ci.sh gates on.
+#[test]
+fn bench_report_parses_under_serde_json_shim() {
+    let a = analysis();
+    let doc = glint_lint::report::bench_json(&a);
+    let value: serde_json::Value = serde_json::from_str(&doc).expect("BENCH_lint.json must parse");
+    let map = value.as_map().expect("top level must be an object");
+    let field = |name: &str| {
+        map.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field `{name}` in BENCH_lint.json"))
+    };
+    let graph = field("graph").as_map().expect("graph must be an object");
+    for key in ["files", "fns", "resolved_calls", "hot_fns"] {
+        let v = graph
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or_else(|| panic!("graph.{key} must be a number"));
+        assert!(v > 0, "graph.{key} must be positive");
+    }
+    let census = field("census").as_map().expect("census must be an object");
+    let total = census
+        .iter()
+        .find(|(k, _)| k == "total_sites")
+        .and_then(|(_, v)| v.as_u64())
+        .expect("census.total_sites must be a number");
+    assert_eq!(total as usize, a.census.sites.len());
+    // The baseline gate reads the same document back.
+    assert_eq!(
+        glint_lint::report::baseline_total_sites(&doc),
+        Some(a.census.sites.len())
+    );
+}
+
+/// The census must account for the allocations the trace layer observes at
+/// runtime: BENCH_trace.json records `tensor.alloc.matrices` ticks (emitted
+/// only by the `Matrix` constructors), so the static census must find
+/// matrix-ctor sites reachable from the inference entries — each with a
+/// call-chain witness back to an entry point.
+#[test]
+fn census_covers_traced_allocation_counters() {
+    let a = analysis();
+    assert!(
+        !a.census.sites.is_empty(),
+        "inference fast path allocates; the census cannot be empty"
+    );
+    for site in &a.census.sites {
+        assert!(
+            !site.chain.is_empty(),
+            "census site {}:{} has no chain witness",
+            site.file,
+            site.line
+        );
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let Ok(doc) = std::fs::read_to_string(root.join("BENCH_trace.json")) else {
+        return; // trace snapshot not present in this checkout
+    };
+    let value: serde_json::Value = serde_json::from_str(&doc).expect("BENCH_trace.json must parse");
+    let counters = value
+        .as_map()
+        .and_then(|m| m.iter().find(|(k, _)| k == "counters"))
+        .and_then(|(_, v)| v.as_map())
+        .expect("BENCH_trace.json must have counters");
+    let alloc_ticks: u64 = counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("tensor.alloc."))
+        .filter_map(|(_, v)| v.as_u64())
+        .sum();
+    if alloc_ticks > 0 {
+        let matrix_sites = a.census.by_kind.get("matrix-ctor").copied().unwrap_or(0);
+        assert!(
+            matrix_sites > 0,
+            "runtime traced {alloc_ticks} tensor.alloc ticks but the census \
+             found no reachable matrix-ctor site"
+        );
+    }
 }

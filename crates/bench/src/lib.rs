@@ -236,6 +236,44 @@ pub fn export_trace(run: &str) -> Option<std::path::PathBuf> {
     Some(path)
 }
 
+/// Repo-root `BENCH_inference.json` — the serving fast-path counter
+/// snapshot (alloc counters, matmul/spmm flops, span timings) the
+/// `micro_inference` harness emits and CI gates against regressions.
+pub fn bench_inference_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_inference.json")
+}
+
+/// Export the current trace registry to the repo-root
+/// `BENCH_inference.json`. No-op (returns `None`) when tracing is
+/// disabled. Unlike [`export_trace`] this does not touch
+/// `BENCH_trace.json` — the two snapshots gate different paths (training
+/// observability vs the tape-free serving loop).
+pub fn export_inference_trace(run: &str) -> Option<std::path::PathBuf> {
+    if !glint_trace::enabled() {
+        return None;
+    }
+    let path = bench_inference_path();
+    glint_trace::export::write_json_to(&path, run).ok()?;
+    Some(path)
+}
+
+/// Read one counter out of an exported trace snapshot (`BENCH_trace.json`
+/// / `BENCH_inference.json`). `None` when the file, the `counters`
+/// section, or the counter itself is absent or malformed.
+pub fn snapshot_counter(path: &std::path::Path, name: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    let top = value.as_map()?;
+    let counters = top
+        .iter()
+        .find(|(k, _)| k == "counters")
+        .and_then(|(_, v)| v.as_map())?;
+    counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.as_u64())
+}
+
 /// Wall-clock helper.
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = std::time::Instant::now();

@@ -181,7 +181,13 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
                 Degradation::Quarantined(_) => "detector.verdict.quarantined",
             };
             glint_trace::counter(rung, 1);
-            glint_trace::histogram("detector.drift_degree", detection.drift_degree);
+            // Quarantined verdicts carry NaN scores by design — they have no
+            // drift degree to report, so they must not pollute the histogram
+            // with a `nonfinite` sample (the rung counter above already
+            // records the event).
+            if !matches!(detection.degradation, Degradation::Quarantined(_)) {
+                glint_trace::histogram("detector.drift_degree", detection.drift_degree);
+            }
         }
         detection
     }

@@ -4,7 +4,7 @@
 //! receives the tape and the vars bound from that set this pass.
 
 use glint_tensor::optim::ParamId;
-use glint_tensor::{init, Csr, Matrix, ParamSet, Tape, Var};
+use glint_tensor::{infer, init, Csr, InferCtx, Matrix, ParamSet, Tape, Var};
 use rand::rngs::StdRng;
 
 /// GCN layer: `H' = Â H W + b` (activation applied by the caller).
@@ -33,6 +33,20 @@ impl GcnLayer {
     pub fn forward(&self, tape: &mut Tape, vars: &[Var], adj_norm: &Csr, h: Var) -> Var {
         let prop = tape.spmm(adj_norm, h);
         tape.linear(prop, vars[self.w.0], vars[self.b.0])
+    }
+
+    /// Tape-free forward: same kernels, pooled buffers, no autograd nodes.
+    pub fn forward_infer(
+        &self,
+        ctx: &mut InferCtx,
+        params: &ParamSet,
+        adj_norm: &Csr,
+        h: &Matrix,
+    ) -> Matrix {
+        let prop = ctx.spmm(adj_norm, h);
+        let out = ctx.linear(&prop, params.get(self.w), params.get(self.b));
+        ctx.release(prop);
+        out
     }
 }
 
@@ -87,6 +101,30 @@ impl GinLayer {
         let a1 = tape.relu(z1);
         tape.linear(a1, vars[self.w2.0], vars[self.b2.0])
     }
+
+    /// Tape-free forward: the `(1 + ε)·h + Σ_u h_u` aggregation runs as a
+    /// zeroed-accumulator axpy plus an in-place add (the exact f32 sequence
+    /// of the tape's `weighted_sum` + `add`), and the first MLP layer fuses
+    /// bias + ReLU into one pass.
+    pub fn forward_infer(
+        &self,
+        ctx: &mut InferCtx,
+        params: &ParamSet,
+        adj_sum: &Csr,
+        h: &Matrix,
+    ) -> Matrix {
+        let neigh = ctx.spmm(adj_sum, h);
+        let one_plus_eps = params.get(self.eps).get(0, 0) + 1.0;
+        let mut agg = ctx.acquire(h.rows(), h.cols());
+        agg.axpy(one_plus_eps, h);
+        infer::add_assign(&mut agg, &neigh);
+        ctx.release(neigh);
+        let a1 = ctx.linear_relu(&agg, params.get(self.w1), params.get(self.b1));
+        ctx.release(agg);
+        let out = ctx.linear(&a1, params.get(self.w2), params.get(self.b2));
+        ctx.release(a1);
+        out
+    }
 }
 
 /// TAG convolution (topology-adaptive): `H' = Σ_{k=0..K} Â^k H W_k + b`.
@@ -129,6 +167,36 @@ impl TagConv {
         }
         tape.add_bias(acc, vars[self.b.0])
     }
+
+    /// Tape-free forward. Each hop's term lands in a scratch buffer and is
+    /// added element-wise onto the accumulator — never fused into the matmul
+    /// reduction itself, which would reorder the floating-point sums and
+    /// break bitwise equivalence with the tape path.
+    pub fn forward_infer(
+        &self,
+        ctx: &mut InferCtx,
+        params: &ParamSet,
+        adj_norm: &Csr,
+        h: &Matrix,
+    ) -> Matrix {
+        let mut acc = ctx.matmul(h, params.get(self.ws[0]));
+        let mut power: Option<Matrix> = None; // Â^k H for k >= 1
+        for w in &self.ws[1..] {
+            let next = ctx.spmm(adj_norm, power.as_ref().unwrap_or(h));
+            if let Some(prev) = power.take() {
+                ctx.release(prev);
+            }
+            let term = ctx.matmul(&next, params.get(*w));
+            infer::add_assign(&mut acc, &term);
+            ctx.release(term);
+            power = Some(next);
+        }
+        if let Some(p) = power {
+            ctx.release(p);
+        }
+        acc.add_row_broadcast_inplace(params.get(self.b));
+        acc
+    }
 }
 
 /// Dense layer wrapper.
@@ -157,6 +225,11 @@ impl Dense {
     pub fn forward(&self, tape: &mut Tape, vars: &[Var], x: Var) -> Var {
         tape.linear(x, vars[self.w.0], vars[self.b.0])
     }
+
+    /// Tape-free affine layer.
+    pub fn forward_infer(&self, ctx: &mut InferCtx, params: &ParamSet, x: &Matrix) -> Matrix {
+        ctx.linear(x, params.get(self.w), params.get(self.b))
+    }
 }
 
 /// Mean ‖ max readout: n × d → 1 × 2d.
@@ -166,9 +239,24 @@ pub fn readout_mean_max(tape: &mut Tape, h: Var) -> Var {
     tape.concat_cols(mean, max)
 }
 
+/// Tape-free mean ‖ max readout.
+pub fn readout_mean_max_infer(ctx: &mut InferCtx, h: &Matrix) -> Matrix {
+    let mean = ctx.mean_rows(h);
+    let max = ctx.max_rows(h);
+    let out = ctx.concat_cols(&mean, &max);
+    ctx.release(mean);
+    ctx.release(max);
+    out
+}
+
 /// Sum readout (GIN convention): n × d → 1 × d.
 pub fn readout_sum(tape: &mut Tape, h: Var) -> Var {
     tape.sum_rows_readout(h)
+}
+
+/// Tape-free sum readout.
+pub fn readout_sum_infer(ctx: &mut InferCtx, h: &Matrix) -> Matrix {
+    ctx.sum_rows(h)
 }
 
 #[cfg(test)]

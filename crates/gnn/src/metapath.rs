@@ -6,7 +6,7 @@
 use crate::batch::PreparedGraph;
 use glint_rules::Platform;
 use glint_tensor::optim::ParamId;
-use glint_tensor::{init, Matrix, ParamSet, Tape, Var};
+use glint_tensor::{infer, init, InferCtx, Matrix, ParamSet, Tape, Var};
 use rand::rngs::StdRng;
 
 /// The encoder: per-platform projections + shared attention parameters.
@@ -75,10 +75,10 @@ impl MetapathEncoder {
                 .projections
                 .iter()
                 .find(|(p, _)| *p == block.platform)
-                // glint-lint: allow(hot-panic) — a block with no projection is
-                // a model-construction bug (projections cover every platform
-                // at build time); the detector's degradation layer quarantines
-                // the panic to the offending graph
+                // a block with no projection is a model-construction bug
+                // (projections cover every platform at build time); the
+                // detector's degradation layer quarantines the panic to the
+                // offending graph
                 .unwrap_or_else(|| panic!("no projection for {:?}", block.platform))
                 .1;
             let x = tape.constant(block.feats.clone());
@@ -86,6 +86,45 @@ impl MetapathEncoder {
             let scattered = tape.spmm(&block.select, projected); // n × hidden
             acc = Some(match acc {
                 Some(a) => tape.add(a, scattered),
+                None => scattered,
+            });
+        }
+        // PreparedGraph construction always emits at least one type block
+        // for a non-empty graph, and empty graphs are rejected before
+        // projection
+        acc.expect("graph has at least one type block")
+    }
+
+    /// Tape-free projection/scatter — same kernels as [`project`](Self::project),
+    /// but the per-block features feed the matmul directly instead of being
+    /// cloned onto a tape first.
+    pub fn project_infer(
+        &self,
+        ctx: &mut InferCtx,
+        params: &ParamSet,
+        g: &PreparedGraph,
+    ) -> Matrix {
+        let mut acc: Option<Matrix> = None;
+        for block in &g.by_type {
+            let w = self
+                .projections
+                .iter()
+                .find(|(p, _)| *p == block.platform)
+                // glint-lint: allow(hot-panic) — a block with no projection is
+                // a model-construction bug (projections cover every platform
+                // at build time); the detector's degradation layer quarantines
+                // the panic to the offending graph
+                .unwrap_or_else(|| panic!("no projection for {:?}", block.platform))
+                .1;
+            let projected = ctx.matmul(&block.feats, params.get(w)); // k × hidden
+            let scattered = ctx.spmm(&block.select, &projected); // n × hidden
+            ctx.release(projected);
+            acc = Some(match acc {
+                Some(mut a) => {
+                    infer::add_assign(&mut a, &scattered);
+                    ctx.release(scattered);
+                    a
+                }
                 None => scattered,
             });
         }
@@ -137,10 +176,78 @@ impl MetapathEncoder {
                 None => score,
             });
         }
-        // glint-lint: allow(hot-unwrap) — the metapath set is fixed at model
-        // construction and validated non-empty there
+        // the metapath set is fixed at model construction and validated
+        // non-empty there
         let beta = tape.softmax_rows(scores.expect("at least one metapath"));
         tape.weighted_sum(&h_paths, beta)
+    }
+
+    /// Tape-free metapath transformation mirroring [`forward`](Self::forward):
+    /// same intra-metapath aggregation and inter-metapath attention values
+    /// (the per-path attention score chain collapses to one `1 × P` buffer
+    /// filled left-to-right, exactly the layout the tape's `concat_cols`
+    /// chain produces), with the affine+sigmoid attention transform fused.
+    pub fn forward_infer(
+        &self,
+        ctx: &mut InferCtx,
+        params: &ParamSet,
+        g: &PreparedGraph,
+    ) -> Matrix {
+        let h = self.project_infer(ctx, params, g);
+        if self.disable_intra && self.disable_inter {
+            return h;
+        }
+        let ops: Vec<&crate::batch::MetapathOp> = if self.disable_intra {
+            g.metapath_ops
+                .iter()
+                .filter(|o| o.path.len() == 1)
+                .collect()
+        } else {
+            g.metapath_ops.iter().collect()
+        };
+        if ops.is_empty() {
+            return h;
+        }
+        let mut h_paths: Vec<Matrix> = Vec::with_capacity(ops.len());
+        for op in &ops {
+            h_paths.push(ctx.spmm(&op.agg, &h));
+        }
+        ctx.release(h);
+        if self.disable_inter || h_paths.len() == 1 {
+            // uniform fusion
+            let w = ctx.filled(1, h_paths.len(), 1.0 / h_paths.len() as f32);
+            let out = {
+                let path_refs: Vec<&Matrix> = h_paths.iter().collect();
+                ctx.weighted_sum(&path_refs, &w)
+            };
+            ctx.release(w);
+            for hp in h_paths {
+                ctx.release(hp);
+            }
+            return out;
+        }
+        let mut scores = ctx.acquire(1, ops.len());
+        for (i, (op, hp)) in ops.iter().zip(&h_paths).enumerate() {
+            let valid = ctx.gather_rows(hp, &op.valid_rows);
+            let mut sig =
+                ctx.linear_sigmoid(&valid, params.get(self.att_m), params.get(self.att_b));
+            ctx.release(valid);
+            let s_p = ctx.mean_rows(&sig); // 1 × att_dim
+            ctx.release(std::mem::replace(&mut sig, s_p));
+            infer::mul_assign(&mut sig, params.get(self.att_q));
+            scores.set(0, i, sig.sum());
+            ctx.release(sig);
+        }
+        scores.softmax_rows_inplace();
+        let out = {
+            let path_refs: Vec<&Matrix> = h_paths.iter().collect();
+            ctx.weighted_sum(&path_refs, &scores)
+        };
+        ctx.release(scores);
+        for hp in h_paths {
+            ctx.release(hp);
+        }
+        out
     }
 }
 

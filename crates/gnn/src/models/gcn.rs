@@ -2,9 +2,9 @@
 //! mean‖max readout, and a linear head. Homogeneous graphs only.
 
 use crate::batch::PreparedGraph;
-use crate::layers::{readout_mean_max, Dense, GcnLayer};
-use crate::models::{GraphModel, ModelConfig, ModelOutput};
-use glint_tensor::{ParamSet, Tape, Var};
+use crate::layers::{readout_mean_max, readout_mean_max_infer, Dense, GcnLayer};
+use crate::models::{GraphModel, InferOutput, ModelConfig, ModelOutput};
+use glint_tensor::{infer, InferCtx, ParamSet, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,6 +80,24 @@ impl GraphModel for GcnModel {
             logits,
             aux_loss: None,
         }
+    }
+
+    /// Tape-free serving pass (bitwise-identical values to [`forward`]).
+    fn forward_infer(&self, ctx: &mut InferCtx, g: &PreparedGraph) -> InferOutput {
+        let params = &self.params;
+        let x = g.homo_features();
+        let mut h = self.l0.forward_infer(ctx, params, &g.adj_norm, &x);
+        infer::relu_inplace(&mut h);
+        let next = self.l1.forward_infer(ctx, params, &g.adj_norm, &h);
+        ctx.release(std::mem::replace(&mut h, next));
+        infer::relu_inplace(&mut h);
+        let red = readout_mean_max_infer(ctx, &h);
+        ctx.release(h);
+        let mut embedding = self.fuse.forward_infer(ctx, params, &red);
+        ctx.release(red);
+        infer::tanh_inplace(&mut embedding);
+        let logits = self.head.forward_infer(ctx, params, &embedding);
+        InferOutput { embedding, logits }
     }
 }
 

@@ -3,9 +3,9 @@
 //! original paper). Homogeneous graphs only.
 
 use crate::batch::PreparedGraph;
-use crate::layers::{readout_sum, Dense, GinLayer};
-use crate::models::{GraphModel, ModelConfig, ModelOutput};
-use glint_tensor::{ParamSet, Tape, Var};
+use crate::layers::{readout_sum, readout_sum_infer, Dense, GinLayer};
+use crate::models::{GraphModel, InferOutput, ModelConfig, ModelOutput};
+use glint_tensor::{infer, InferCtx, Matrix, ParamSet, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -77,8 +77,8 @@ impl GraphModel for GinModel {
                 None => r,
             });
         }
-        // glint-lint: allow(hot-unwrap) — layer count is a construction-time
-        // constant >= 1, so the readout accumulator is always seeded
+        // layer count is a construction-time constant >= 1, so the readout
+        // accumulator is always seeded
         let red = readouts.expect("at least one layer");
         let fused = self.fuse.forward(tape, vars, red);
         let embedding = tape.tanh(fused);
@@ -88,6 +88,43 @@ impl GraphModel for GinModel {
             logits,
             aux_loss: None,
         }
+    }
+
+    /// Tape-free serving pass (bitwise-identical values to [`forward`]).
+    fn forward_infer(&self, ctx: &mut InferCtx, g: &PreparedGraph) -> InferOutput {
+        let params = &self.params;
+        let x = g.homo_features();
+        let mut h: Option<Matrix> = None;
+        let mut readouts: Option<Matrix> = None;
+        for layer in &self.layers {
+            let mut next = layer.forward_infer(ctx, params, &g.adj_sum, h.as_ref().unwrap_or(&x));
+            if let Some(prev) = h.take() {
+                ctx.release(prev);
+            }
+            infer::relu_inplace(&mut next);
+            let r = readout_sum_infer(ctx, &next);
+            h = Some(next);
+            readouts = Some(match readouts {
+                Some(prev) => {
+                    let cc = ctx.concat_cols(&prev, &r);
+                    ctx.release(prev);
+                    ctx.release(r);
+                    cc
+                }
+                None => r,
+            });
+        }
+        if let Some(last) = h {
+            ctx.release(last);
+        }
+        // glint-lint: allow(hot-unwrap) — layer count is a construction-time
+        // constant >= 1, so the readout accumulator is always seeded
+        let red = readouts.expect("at least one layer");
+        let mut embedding = self.fuse.forward_infer(ctx, params, &red);
+        ctx.release(red);
+        infer::tanh_inplace(&mut embedding);
+        let logits = self.head.forward_infer(ctx, params, &embedding);
+        InferOutput { embedding, logits }
     }
 }
 

@@ -16,12 +16,12 @@
 //! ITGNN-C (Eq. 1) and Algorithm 3's drift detector.
 
 use crate::batch::PreparedGraph;
-use crate::layers::{readout_mean_max, Dense, TagConv};
+use crate::layers::{readout_mean_max, readout_mean_max_infer, Dense, TagConv};
 use crate::metapath::MetapathEncoder;
-use crate::models::{GraphModel, ModelOutput};
+use crate::models::{GraphModel, InferOutput, ModelOutput};
 use crate::vipool::VIPool;
 use glint_rules::Platform;
-use glint_tensor::{ParamSet, Tape, Var};
+use glint_tensor::{infer, InferCtx, Matrix, ParamSet, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -192,8 +192,8 @@ impl GraphModel for Itgnn {
         }
 
         // 3. multi-scale fusion
-        // glint-lint: allow(hot-unwrap) — scale count is a construction-time
-        // constant >= 1, so the readout accumulator is always seeded
+        // scale count is a construction-time constant >= 1, so the readout
+        // accumulator is always seeded
         let red = readouts.expect("at least one scale");
         let fused = self.fuse.forward(tape, vars, red);
         let embedding = if self.config.bounded_embedding {
@@ -211,6 +211,57 @@ impl GraphModel for Itgnn {
             logits,
             aux_loss,
         }
+    }
+
+    /// Tape-free serving pass: same pipeline as [`forward`](Self::forward)
+    /// minus every training-only artefact (no tape nodes, no pool losses,
+    /// no negative sampling), all activations drawn from the [`InferCtx`]
+    /// buffer pool.
+    fn forward_infer(&self, ctx: &mut InferCtx, g: &PreparedGraph) -> InferOutput {
+        let params = &self.params;
+        // 1. metapath-based node transformation → homogeneous-type graph
+        let mut h = self.encoder.forward_infer(ctx, params, g);
+        let mut adj_norm = g.adj_norm.clone();
+        let mut adj_row = g.adj_row.clone();
+
+        // 2. multi-scale generation + propagation
+        let mut readouts: Option<Matrix> = None;
+        for (d, convs) in self.scales.iter().enumerate() {
+            for conv in convs {
+                let next = conv.forward_infer(ctx, params, &adj_norm, &h);
+                ctx.release(std::mem::replace(&mut h, next));
+                infer::relu_inplace(&mut h);
+            }
+            let r = readout_mean_max_infer(ctx, &h);
+            readouts = Some(match readouts {
+                Some(prev) => {
+                    let cc = ctx.concat_cols(&prev, &r);
+                    ctx.release(prev);
+                    ctx.release(r);
+                    cc
+                }
+                None => r,
+            });
+            if d + 1 < self.scales.len() {
+                let pooled = self.pools[d].forward_infer(ctx, params, &adj_row, &h);
+                ctx.release(std::mem::replace(&mut h, pooled.h));
+                adj_norm = pooled.adj_norm;
+                adj_row = pooled.adj_row;
+            }
+        }
+        ctx.release(h);
+
+        // 3. multi-scale fusion
+        // glint-lint: allow(hot-unwrap) — scale count is a construction-time
+        // constant >= 1, so the readout accumulator is always seeded
+        let red = readouts.expect("at least one scale");
+        let mut embedding = self.fuse.forward_infer(ctx, params, &red);
+        ctx.release(red);
+        if self.config.bounded_embedding {
+            infer::tanh_inplace(&mut embedding);
+        }
+        let logits = self.head.forward_infer(ctx, params, &embedding);
+        InferOutput { embedding, logits }
     }
 }
 

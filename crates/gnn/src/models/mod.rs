@@ -8,7 +8,7 @@ pub mod infograph;
 pub mod itgnn;
 
 use crate::batch::PreparedGraph;
-use glint_tensor::{ParamSet, Tape, Var};
+use glint_tensor::{InferCtx, Matrix, ParamSet, Tape, Var};
 
 pub use gcn::GcnModel;
 pub use gin::GinModel;
@@ -27,6 +27,18 @@ pub struct ModelOutput {
     pub aux_loss: Option<Var>,
 }
 
+/// Result of a tape-free forward pass: plain values, no autograd graph.
+///
+/// The matrices may come from the [`InferCtx`] buffer pool — callers that
+/// run in a serving loop should hand them back with `ctx.release(..)` once
+/// the scalars they need have been copied out.
+pub struct InferOutput {
+    /// Graph-level embedding (`1 × embed_dim`).
+    pub embedding: Matrix,
+    /// Class logits (`1 × 2`).
+    pub logits: Matrix,
+}
+
 /// A trainable graph-classification model.
 ///
 /// `Send + Sync` is a supertrait so trainers can run forward/backward passes
@@ -40,6 +52,24 @@ pub trait GraphModel: Send + Sync {
     fn embed_dim(&self) -> usize;
     /// Forward pass. `vars` must come from `self.params().bind(tape)`.
     fn forward(&self, tape: &mut Tape, vars: &[Var], g: &PreparedGraph) -> ModelOutput;
+
+    /// Tape-free forward pass for serving: values only, computed with the
+    /// pooled [`InferCtx`] kernels, bitwise-identical to [`forward`]
+    /// (property-tested in `tests/infer_equiv.rs`).
+    ///
+    /// The default body falls back to a throwaway tape, which is correct
+    /// for every model; the architectures on the detector's serving path
+    /// (ITGNN, GCN, GIN) override it with allocation-free kernels.
+    fn forward_infer(&self, ctx: &mut InferCtx, g: &PreparedGraph) -> InferOutput {
+        let _ = &ctx;
+        let mut tape = Tape::new();
+        let vars = self.params().bind(&mut tape);
+        let out = self.forward(&mut tape, &vars, g);
+        InferOutput {
+            embedding: tape.value(out.embedding).clone(),
+            logits: tape.value(out.logits).clone(),
+        }
+    }
 }
 
 /// Shared hyper-parameters for the baseline models.

@@ -339,20 +339,30 @@ impl ClassifierTrainer {
         })
     }
 
-    /// Predict the class of one graph.
+    /// Predict the class of one graph. Serving path: tape-free forward on
+    /// this thread's pooled [`glint_tensor::infer::InferCtx`] — no autograd
+    /// nodes, and at steady state no allocations.
     pub fn predict(model: &dyn GraphModel, g: &PreparedGraph) -> usize {
-        let mut tape = Tape::new();
-        let vars = model.params().bind(&mut tape);
-        let out = model.forward(&mut tape, &vars, g);
-        tape.value(out.logits).argmax_rows()[0]
+        glint_tensor::infer::with_ctx(|ctx| {
+            let out = model.forward_infer(ctx, g);
+            let pred = out.logits.argmax_rows()[0];
+            ctx.release(out.embedding);
+            ctx.release(out.logits);
+            pred
+        })
     }
 
-    /// Probability of the threat class.
+    /// Probability of the threat class (tape-free, see [`predict`](Self::predict)).
     pub fn predict_proba(model: &dyn GraphModel, g: &PreparedGraph) -> f32 {
-        let mut tape = Tape::new();
-        let vars = model.params().bind(&mut tape);
-        let out = model.forward(&mut tape, &vars, g);
-        tape.value(out.logits).softmax_rows().get(0, 1)
+        glint_tensor::infer::with_ctx(|ctx| {
+            let out = model.forward_infer(ctx, g);
+            let mut logits = out.logits;
+            logits.softmax_rows_inplace();
+            let p = logits.get(0, 1);
+            ctx.release(out.embedding);
+            ctx.release(logits);
+            p
+        })
     }
 
     /// Evaluate on labeled graphs with the paper's weighted-F1 convention.
@@ -464,12 +474,17 @@ impl ContrastiveTrainer {
         })
     }
 
-    /// Latent representation of one graph (Algorithm 3 line 3).
+    /// Latent representation of one graph (Algorithm 3 line 3). Serving
+    /// path: tape-free forward on this thread's pooled
+    /// [`glint_tensor::infer::InferCtx`].
     pub fn embed(model: &dyn GraphModel, g: &PreparedGraph) -> Vec<f32> {
-        let mut tape = Tape::new();
-        let vars = model.params().bind(&mut tape);
-        let out = model.forward(&mut tape, &vars, g);
-        tape.value(out.embedding).data().to_vec()
+        glint_tensor::infer::with_ctx(|ctx| {
+            let out = model.forward_infer(ctx, g);
+            let v = out.embedding.data().to_vec();
+            ctx.release(out.embedding);
+            ctx.release(out.logits);
+            v
+        })
     }
 
     /// Embeddings of a whole set as an `n × embed` matrix. Graphs are

@@ -9,7 +9,7 @@
 //! discriminates true (vertex, neighbourhood) pairs from shuffled ones.
 
 use glint_tensor::optim::ParamId;
-use glint_tensor::{init, Csr, Matrix, ParamSet, Tape, Var};
+use glint_tensor::{infer, init, Csr, InferCtx, Matrix, ParamSet, Tape, Var};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -39,6 +39,20 @@ pub struct Pooled {
     pub kept: Vec<usize>,
     /// Infomax BCE loss for this stage (the `L_pool` summand).
     pub pool_loss: Var,
+}
+
+/// Output of a tape-free pooling step: the training-only artefacts (negative
+/// sampling, infomax BCE) are skipped entirely — serving only needs the
+/// pooled features and the induced sub-adjacency.
+pub struct PooledInfer {
+    /// Gated, pooled node features (k × d).
+    pub h: Matrix,
+    /// Normalized adjacency of the induced subgraph.
+    pub adj_norm: Csr,
+    /// Row-normalized adjacency of the induced subgraph.
+    pub adj_row: Csr,
+    /// Kept node indices (into the pre-pool graph), sorted.
+    pub kept: Vec<usize>,
 }
 
 impl VIPool {
@@ -76,6 +90,32 @@ impl VIPool {
         let ones = tape.constant(Matrix::full(k, 1, 1.0));
         let bilinear = tape.matmul(prod, ones); // n × 1
         tape.add(linear, bilinear)
+    }
+
+    /// Tape-free discriminator logits — same kernels and element order as
+    /// [`score`](Self::score), pooled buffers throughout.
+    fn score_infer(
+        &self,
+        ctx: &mut InferCtx,
+        params: &ParamSet,
+        h: &Matrix,
+        neigh: &Matrix,
+    ) -> Matrix {
+        let pair = ctx.concat_cols(h, neigh);
+        let mut out = ctx.linear(&pair, params.get(self.w), params.get(self.b)); // n × 1
+        ctx.release(pair);
+        let mut prod = ctx.matmul(h, params.get(self.bilin_a));
+        let nb = ctx.matmul(neigh, params.get(self.bilin_b));
+        infer::mul_assign(&mut prod, &nb);
+        ctx.release(nb);
+        let k = prod.cols();
+        let ones = ctx.filled(k, 1, 1.0);
+        let bilinear = ctx.matmul(&prod, &ones); // n × 1
+        ctx.release(prod);
+        ctx.release(ones);
+        infer::add_assign(&mut out, &bilinear);
+        ctx.release(bilinear);
+        out
     }
 
     /// Score, select, gate, and compute the infomax loss.
@@ -136,6 +176,51 @@ impl VIPool {
             adj_row: adj_row_sub,
             kept,
             pool_loss,
+        }
+    }
+
+    /// Tape-free score/select/gate: identical selection and gated features
+    /// to [`forward`](Self::forward) (bitwise — the sigmoid scores, the
+    /// `total_cmp` ranking, and the gating product reuse the same f32
+    /// arithmetic), minus the negative sampling and infomax loss, which only
+    /// training consumes.
+    pub fn forward_infer(
+        &self,
+        ctx: &mut InferCtx,
+        params: &ParamSet,
+        adj_row: &Csr,
+        h: &Matrix,
+    ) -> PooledInfer {
+        let n = h.rows();
+        let d = h.cols();
+        let neigh = ctx.spmm(adj_row, h);
+        let mut scores = self.score_infer(ctx, params, h, &neigh); // n × 1
+        ctx.release(neigh);
+        infer::sigmoid_inplace(&mut scores);
+
+        let k = ((self.ratio * n as f32).ceil() as usize).clamp(1, n);
+        let order = rank_desc(&scores);
+        let mut kept: Vec<usize> = order[..k].to_vec();
+        kept.sort_unstable();
+
+        let ones = ctx.filled(1, d, 1.0);
+        let mut gated = ctx.matmul(&scores, &ones); // n × d gate
+        ctx.release(ones);
+        ctx.release(scores);
+        // h ∘ gate: f32 multiplication is commutative, so gating in place
+        // over the gate buffer matches the tape's `mul(h, gate)` bitwise
+        infer::mul_assign(&mut gated, h);
+        let pooled_h = ctx.gather_rows(&gated, &kept);
+        ctx.release(gated);
+
+        let sub_edges = induced_edges(adj_row, &kept);
+        let adj_norm_sub = Csr::normalized_adjacency(k, &sub_edges);
+        let adj_row_sub = Csr::row_normalized(k, &sub_edges);
+        PooledInfer {
+            h: pooled_h,
+            adj_norm: adj_norm_sub,
+            adj_row: adj_row_sub,
+            kept,
         }
     }
 }

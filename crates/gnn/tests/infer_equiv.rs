@@ -1,0 +1,214 @@
+//! Bitwise equivalence of the tape-free inference fast path.
+//!
+//! The serving contract is strict: `forward_infer` must produce the *same
+//! bits* as a tape forward — not merely close values — at any
+//! `GLINT_THREADS` setting. These properties are what licenses the
+//! detector to skip tape construction entirely when assessing.
+
+use glint_gnn::batch::PreparedGraph;
+use glint_gnn::models::{
+    GcnModel, GinModel, GraphModel, GxnModel, Itgnn, ItgnnConfig, ModelConfig,
+};
+use glint_gnn::trainer::ClassifierTrainer;
+use glint_graph::graph::{EdgeKind, Node};
+use glint_graph::InteractionGraph;
+use glint_rules::{Platform, RuleId};
+use glint_tensor::{par, InferCtx, Tape};
+use proptest::prelude::*;
+
+const DIM: usize = 4;
+
+/// Deterministic pseudo-random node features (no RNG in tests: the seed is
+/// part of the proptest case).
+fn feat(seed: u64, node: usize, d: usize) -> f32 {
+    (((seed as usize).wrapping_add(node * 31 + d * 7) % 97) as f32) / 97.0 - 0.5
+}
+
+fn build_graph(
+    n: usize,
+    raw_edges: &[(usize, usize)],
+    seed: u64,
+    platforms: &[Platform],
+) -> InteractionGraph {
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| Node {
+            rule_id: RuleId(i as u32),
+            platform: platforms[i % platforms.len()],
+            features: (0..DIM).map(|d| feat(seed, i, d)).collect(),
+        })
+        .collect();
+    let mut g = InteractionGraph::new(nodes);
+    for &(u, v) in raw_edges {
+        if u % n != v % n {
+            g.add_edge(u % n, v % n, EdgeKind::ActionTrigger);
+        }
+    }
+    g
+}
+
+fn graph_strategy(platforms: &'static [Platform]) -> impl Strategy<Value = InteractionGraph> {
+    (
+        2usize..7,
+        proptest::collection::vec((0usize..7, 0usize..7), 1..10),
+        0u64..1000,
+    )
+        .prop_map(move |(n, edges, seed)| build_graph(n, &edges, seed, platforms))
+}
+
+/// Tape forward → (embedding bits, logits bits).
+fn tape_bits(model: &dyn GraphModel, g: &PreparedGraph) -> (Vec<u32>, Vec<u32>) {
+    let mut tape = Tape::new();
+    let vars = model.params().bind(&mut tape);
+    let out = model.forward(&mut tape, &vars, g);
+    (
+        tape.value(out.embedding)
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+        tape.value(out.logits)
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+    )
+}
+
+/// Tape-free forward → (embedding bits, logits bits).
+fn infer_bits(model: &dyn GraphModel, g: &PreparedGraph) -> (Vec<u32>, Vec<u32>) {
+    let mut ctx = InferCtx::new();
+    let out = model.forward_infer(&mut ctx, g);
+    (
+        out.embedding.data().iter().map(|v| v.to_bits()).collect(),
+        out.logits.data().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+fn itgnn_cfg() -> ItgnnConfig {
+    ItgnnConfig {
+        hidden: 8,
+        embed: 8,
+        n_scales: 2,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Homogeneous model zoo: tape forward and tape-free forward agree
+    /// bit for bit on embedding and logits.
+    #[test]
+    fn tape_free_forward_is_bitwise_identical_homo(g in graph_strategy(&[Platform::Ifttt])) {
+        let p = PreparedGraph::from_graph(&g);
+        let cfg = ModelConfig { hidden: 8, embed: 8, seed: 3 };
+        let models: Vec<Box<dyn GraphModel>> = vec![
+            Box::new(GcnModel::new(DIM, cfg)),
+            Box::new(GinModel::new(DIM, cfg)),
+            Box::new(Itgnn::homogeneous(Platform::Ifttt, DIM, itgnn_cfg())),
+        ];
+        for model in &models {
+            prop_assert_eq!(
+                tape_bits(&**model, &p),
+                infer_bits(&**model, &p),
+                "{} tape vs tape-free",
+                model.name()
+            );
+        }
+    }
+
+    /// Heterogeneous ITGNN (per-platform projections, metapath attention,
+    /// VIPool coarsening): still bitwise-identical.
+    #[test]
+    fn tape_free_forward_is_bitwise_identical_hetero(
+        g in graph_strategy(&[Platform::Ifttt, Platform::SmartThings])
+    ) {
+        let p = PreparedGraph::from_graph(&g);
+        let model = Itgnn::new(
+            &[(Platform::Ifttt, DIM), (Platform::SmartThings, DIM)],
+            itgnn_cfg(),
+        );
+        prop_assert_eq!(tape_bits(&model, &p), infer_bits(&model, &p));
+    }
+
+    /// Models without a dedicated fast path fall back to the tape inside
+    /// `forward_infer` — the default must honour the same contract.
+    #[test]
+    fn default_forward_infer_fallback_matches_tape(g in graph_strategy(&[Platform::Ifttt])) {
+        let p = PreparedGraph::from_graph(&g);
+        let model = GxnModel::new(DIM, ModelConfig { hidden: 8, embed: 8, seed: 9 });
+        prop_assert_eq!(tape_bits(&model, &p), infer_bits(&model, &p));
+    }
+
+    /// The serving wrapper itself: `predict` (tape-free) agrees with the
+    /// tape argmax on every graph.
+    #[test]
+    fn predict_matches_tape_argmax(g in graph_strategy(&[Platform::Ifttt])) {
+        let p = PreparedGraph::from_graph(&g);
+        let model = Itgnn::homogeneous(Platform::Ifttt, DIM, itgnn_cfg());
+        let mut tape = Tape::new();
+        let vars = model.params().bind(&mut tape);
+        let out = model.forward(&mut tape, &vars, &p);
+        let tape_pred = tape.value(out.logits).argmax_rows()[0];
+        prop_assert_eq!(ClassifierTrainer::predict(&model, &p), tape_pred);
+    }
+}
+
+/// A graph big enough that the hidden-layer matmuls cross the parallel
+/// dispatch threshold (`MIN_PAR_WORK`), so the 4-thread run genuinely fans
+/// out instead of vacuously matching the serial path.
+fn large_line_graph() -> InteractionGraph {
+    let n = 400;
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    build_graph(n, &edges, 17, &[Platform::Ifttt])
+}
+
+#[test]
+fn tape_free_forward_is_bitwise_identical_across_thread_counts() {
+    let p = PreparedGraph::from_graph(&large_line_graph());
+    let model = Itgnn::homogeneous(
+        Platform::Ifttt,
+        DIM,
+        ItgnnConfig {
+            hidden: 64,
+            embed: 16,
+            n_scales: 2,
+            ..Default::default()
+        },
+    );
+    let serial = par::with_threads(1, || infer_bits(&model, &p));
+    let fanned = par::with_threads(4, || infer_bits(&model, &p));
+    assert_eq!(serial, fanned, "GLINT_THREADS must not change serving bits");
+    let taped = par::with_threads(4, || tape_bits(&model, &p));
+    assert_eq!(serial, taped, "tape and tape-free must agree under fan-out");
+}
+
+/// Buffer-pool invariant: after a warm-up assessment, repeated serving on
+/// the same thread reaches a steady state — the thread-local pool stops
+/// growing (every acquire is a recycled buffer, no new allocations).
+#[test]
+fn thread_pool_stops_growing_after_warmup() {
+    let graphs: Vec<PreparedGraph> = (0..4)
+        .map(|k| {
+            let edges: Vec<(usize, usize)> = (0..5usize).map(|i| (i, (i + k + 1) % 6)).collect();
+            PreparedGraph::from_graph(&build_graph(6, &edges, k as u64, &[Platform::Ifttt]))
+        })
+        .collect();
+    let model = Itgnn::homogeneous(Platform::Ifttt, DIM, itgnn_cfg());
+    for g in &graphs {
+        ClassifierTrainer::predict(&model, g);
+        ClassifierTrainer::predict_proba(&model, g);
+    }
+    let warm = glint_tensor::infer::thread_pool_free_buffers();
+    for _ in 0..25 {
+        for g in &graphs {
+            ClassifierTrainer::predict(&model, g);
+            ClassifierTrainer::predict_proba(&model, g);
+        }
+    }
+    let after = glint_tensor::infer::thread_pool_free_buffers();
+    assert_eq!(
+        warm, after,
+        "steady-state serving must recycle, not grow, the activation pool"
+    );
+}

@@ -162,6 +162,12 @@ impl Default for Config {
                 "t_spmm".into(),
                 // the autograd tape: every op builds hot closures
                 "Tape::*".into(),
+                // tape-free inference kernels: the serving fast path runs
+                // entirely through the pooled InferCtx
+                "InferCtx::*".into(),
+                "BufferPool::*".into(),
+                "forward_infer".into(),
+                "with_ctx".into(),
                 // serving entry points
                 "GlintDetector::assess".into(),
                 "GlintDetector::try_assess".into(),

@@ -20,6 +20,7 @@
 pub mod checkpoint;
 pub mod csr;
 pub mod grad_check;
+pub mod infer;
 pub mod init;
 pub mod matrix;
 pub mod optim;
@@ -28,6 +29,7 @@ pub mod tape;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError, TrainCheckpoint};
 pub use csr::Csr;
+pub use infer::{BufferPool, InferCtx};
 pub use matrix::Matrix;
 pub use optim::{Adam, AdamState, Optimizer, ParamId, ParamMismatch, ParamSet, Sgd};
 pub use tape::{Tape, Var};

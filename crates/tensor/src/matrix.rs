@@ -268,17 +268,34 @@ impl Matrix {
     }
 
     /// Add a `1 × cols` row vector to every row (broadcast bias add).
+    /// Written in one pass straight into the output buffer — no
+    /// clone-then-mutate round trip over the input.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "bias width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+        let mut data = Vec::with_capacity(self.data.len());
+        for r in 0..self.rows {
+            for (&x, &b) in self.row(r).iter().zip(&bias.data) {
+                data.push(x + b);
+            }
+        }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place variant of [`add_row_broadcast`](Self::add_row_broadcast):
+    /// `self[r][c] += bias[c]` — identical arithmetic, zero allocations.
+    pub fn add_row_broadcast_inplace(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for row in self.data.chunks_mut(bias.cols.max(1)) {
             for (o, &b) in row.iter_mut().zip(&bias.data) {
                 *o += b;
             }
         }
-        out
     }
 
     /// Sum of all elements.
@@ -335,11 +352,37 @@ impl Matrix {
         out
     }
 
-    /// Row-wise softmax (numerically stabilized).
+    /// Row-wise softmax (numerically stabilized). Exponentials are written
+    /// straight into the output buffer — no clone-then-mutate round trip.
     pub fn softmax_rows(&self) -> Matrix {
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+        let mut data = Vec::with_capacity(self.data.len());
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let start = data.len();
+            let mut sum = 0.0;
+            for &x in row {
+                let e = (x - max).exp();
+                sum += e;
+                data.push(e);
+            }
+            if sum > 0.0 {
+                for x in &mut data[start..] {
+                    *x /= sum;
+                }
+            }
+        }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place variant of [`softmax_rows`](Self::softmax_rows): identical
+    /// per-row max/exp/normalize arithmetic, zero allocations.
+    pub fn softmax_rows_inplace(&mut self) {
+        for row in self.data.chunks_mut(self.cols.max(1)) {
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for x in row.iter_mut() {
@@ -352,7 +395,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Gather rows by index into a new matrix.

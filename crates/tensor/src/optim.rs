@@ -223,6 +223,11 @@ impl Optimizer for Sgd {
         if self.velocity.len() < params.len() {
             self.velocity.resize_with(params.len(), || None);
         }
+        let (lr, mom, wd) = (self.lr, self.momentum, self.weight_decay);
+        // Fully in-place: updates are element-wise independent, so one fused
+        // pass per parameter replaces the old clone/scale/axpy sequence with
+        // the same floating-point expressions (bitwise-identical trajectory,
+        // zero allocations after the velocity buffers exist).
         // i indexes four parallel arrays (frozen, mats, vars, velocity)
         #[allow(clippy::needless_range_loop)]
         for i in 0..params.len() {
@@ -232,18 +237,20 @@ impl Optimizer for Sgd {
             let Some(g) = grads.get(vars[i]) else {
                 continue;
             };
-            let mut upd = g.clone();
-            if self.weight_decay > 0.0 {
-                upd.axpy(self.weight_decay, &params.mats[i]);
+            let p = &mut params.mats[i];
+            if mom > 0.0 {
+                let v = self.velocity[i].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+                for ((pk, vk), &gk) in p.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
+                    let upd = if wd > 0.0 { gk + wd * *pk } else { gk };
+                    *vk = *vk * mom + upd;
+                    *pk += -lr * *vk;
+                }
+            } else {
+                for (pk, &gk) in p.data_mut().iter_mut().zip(g.data()) {
+                    let upd = if wd > 0.0 { gk + wd * *pk } else { gk };
+                    *pk += -lr * upd;
+                }
             }
-            if self.momentum > 0.0 {
-                let v =
-                    self.velocity[i].get_or_insert_with(|| Matrix::zeros(upd.rows(), upd.cols()));
-                *v = v.scale(self.momentum);
-                v.axpy(1.0, &upd);
-                upd = v.clone();
-            }
-            params.mats[i].axpy(-self.lr, &upd);
         }
     }
 }
@@ -317,6 +324,13 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps, wd) =
+            (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        // Fused in-place update. Each element's arithmetic mirrors the old
+        // clone/scale/axpy/mul sequence exactly (same f32 expressions in the
+        // same order), so trajectories and `state()` round-trips stay
+        // bitwise-identical — the step just stops allocating O(params) fresh
+        // matrices once the moment buffers exist.
         // i indexes the parallel arrays (frozen, mats, vars, m, v)
         #[allow(clippy::needless_range_loop)]
         for i in 0..params.len() {
@@ -326,22 +340,22 @@ impl Optimizer for Adam {
             let Some(g) = grads.get(vars[i]) else {
                 continue;
             };
-            let mut grad = g.clone();
-            if self.weight_decay > 0.0 {
-                grad.axpy(self.weight_decay, &params.mats[i]);
-            }
-            let m = self.m[i].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
-            let v = self.v[i].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
-            *m = m.scale(self.beta1);
-            m.axpy(1.0 - self.beta1, &grad);
-            *v = v.scale(self.beta2);
-            let g2 = grad.mul(&grad);
-            v.axpy(1.0 - self.beta2, &g2);
+            let m = self.m[i].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+            let v = self.v[i].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
             let p = &mut params.mats[i];
-            for k in 0..p.len() {
-                let mh = m.data()[k] / bc1;
-                let vh = v.data()[k] / bc2;
-                p.data_mut()[k] -= self.lr * mh / (vh.sqrt() + self.eps);
+            for (((pk, mk), vk), &gk) in p
+                .data_mut()
+                .iter_mut()
+                .zip(m.data_mut())
+                .zip(v.data_mut())
+                .zip(g.data())
+            {
+                let grad = if wd > 0.0 { gk + wd * *pk } else { gk };
+                *mk = *mk * beta1 + (1.0 - beta1) * grad;
+                *vk = *vk * beta2 + (1.0 - beta2) * (grad * grad);
+                let mh = *mk / bc1;
+                let vh = *vk / bc2;
+                *pk -= lr * mh / (vh.sqrt() + eps);
             }
         }
     }

@@ -142,6 +142,44 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
+/// Parallel `a × b` into a caller-provided **zeroed** output buffer of shape
+/// `a.rows × b.cols`. Identical counters, dispatch thresholds, block kernel
+/// and therefore bitwise-identical results to [`matmul`] — the only
+/// difference is that the output allocation is the caller's (the tape-free
+/// inference path feeds pooled buffers through here; see `crate::infer`).
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    if glint_trace::enabled() {
+        glint_trace::counter("tensor.matmul.calls", 1);
+        glint_trace::counter(
+            "tensor.matmul.flops",
+            2 * (a.rows() * a.cols() * b.cols()) as u64,
+        );
+    }
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul {}x{} × {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(
+        out.shape(),
+        (a.rows(), b.cols()),
+        "matmul_into output shape mismatch"
+    );
+    let b_finite = b.finite_rows();
+    let threads = current_threads();
+    if threads <= 1 || a.rows() < 2 || a.rows() * a.cols() * b.cols() < MIN_PAR_WORK {
+        matmul_block(a, b, &b_finite, 0, a.rows(), out.data_mut());
+        return;
+    }
+    run_partitioned(out, threads, |lo, hi, block| {
+        matmul_block(a, b, &b_finite, lo, hi, block)
+    });
+}
+
 /// Parallel `aᵀ × b`; exact same result as [`Matrix::t_matmul`].
 pub fn t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     if glint_trace::enabled() {
@@ -225,6 +263,37 @@ pub fn spmm(a: &Csr, h: &Matrix) -> Matrix {
         a.spmm_block(h, lo, hi, block)
     });
     out
+}
+
+/// Parallel sparse × dense `a × h` into a caller-provided **zeroed** output
+/// buffer of shape `a.rows × h.cols`. Identical counters, dispatch
+/// thresholds and block kernel to [`spmm`], so results are bitwise
+/// identical — only the output allocation moves to the caller.
+pub fn spmm_into(a: &Csr, h: &Matrix, out: &mut Matrix) {
+    if glint_trace::enabled() {
+        glint_trace::counter("tensor.spmm.calls", 1);
+        glint_trace::counter("tensor.spmm.flops", 2 * (a.nnz() * h.cols()) as u64);
+    }
+    assert_eq!(
+        a.cols(),
+        h.rows(),
+        "spmm {}x{} × {}x{}",
+        a.rows(),
+        a.cols(),
+        h.rows(),
+        h.cols()
+    );
+    assert_eq!(
+        out.shape(),
+        (a.rows(), h.cols()),
+        "spmm_into output shape mismatch"
+    );
+    let threads = current_threads();
+    if threads <= 1 || a.rows() < 2 || a.nnz() * h.cols() < MIN_PAR_WORK {
+        a.spmm_block(h, 0, a.rows(), out.data_mut());
+        return;
+    }
+    run_partitioned(out, threads, |lo, hi, block| a.spmm_block(h, lo, hi, block));
 }
 
 /// Parallel transposed sparse × dense `aᵀ × h`; exact same result as

@@ -80,7 +80,13 @@ mod strict {
 pub struct Var(pub(crate) usize);
 
 /// Backward function: `(grad_out, parent_values, node_value) -> parent grads`.
-type BackFn = Box<dyn Fn(&Matrix, &[&Matrix], &Matrix) -> Vec<Matrix>>;
+///
+/// A `None` entry means "identity pass-through": that parent's gradient is
+/// `grad_out` itself. Ops whose Jacobian w.r.t. a parent is the identity
+/// (`add`, `sub`'s first operand, `add_bias`'s input) return `None` instead
+/// of cloning `grad_out`, and [`Tape::backward`] accumulates straight from
+/// the upstream buffer — no per-edge copy.
+type BackFn = Box<dyn Fn(&Matrix, &[&Matrix], &Matrix) -> Vec<Option<Matrix>>>;
 
 struct Node {
     value: Matrix,
@@ -171,7 +177,7 @@ impl Tape {
         self.push(
             value,
             vec![a.0, b.0],
-            Some(Box::new(|g, _, _| vec![g.clone(), g.clone()])),
+            Some(Box::new(|_, _, _| vec![None, None])),
         )
     }
 
@@ -182,7 +188,7 @@ impl Tape {
         self.push(
             value,
             vec![a.0, b.0],
-            Some(Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)])),
+            Some(Box::new(|g, _, _| vec![None, Some(g.scale(-1.0))])),
         )
     }
 
@@ -194,7 +200,9 @@ impl Tape {
         self.push(
             value,
             vec![a.0, b.0],
-            Some(Box::new(|g, p, _| vec![g.mul(p[1]), g.mul(p[0])])),
+            Some(Box::new(|g, p, _| {
+                vec![Some(g.mul(p[1])), Some(g.mul(p[0]))]
+            })),
         )
     }
 
@@ -203,7 +211,7 @@ impl Tape {
         self.push(
             value,
             vec![a.0],
-            Some(Box::new(move |g, _, _| vec![g.scale(s)])),
+            Some(Box::new(move |g, _, _| vec![Some(g.scale(s))])),
         )
     }
 
@@ -220,7 +228,10 @@ impl Tape {
             value,
             vec![a.0, b.0],
             Some(Box::new(|g, p, _| {
-                vec![crate::par::matmul_t(g, p[1]), crate::par::t_matmul(p[0], g)]
+                vec![
+                    Some(crate::par::matmul_t(g, p[1])),
+                    Some(crate::par::t_matmul(p[0], g)),
+                ]
             })),
         )
     }
@@ -234,7 +245,9 @@ impl Tape {
         self.push(
             value,
             vec![h.0],
-            Some(Box::new(move |g, _, _| vec![crate::par::t_spmm(&adj, g)])),
+            Some(Box::new(move |g, _, _| {
+                vec![Some(crate::par::t_spmm(&adj, g))]
+            })),
         )
     }
 
@@ -246,7 +259,7 @@ impl Tape {
         self.push(
             value,
             vec![x.0, bias.0],
-            Some(Box::new(|g, _, _| vec![g.clone(), g.sum_rows()])),
+            Some(Box::new(|g, _, _| vec![None, Some(g.sum_rows())])),
         )
     }
 
@@ -264,7 +277,7 @@ impl Tape {
             value,
             vec![a.0],
             Some(Box::new(|g, p, _| {
-                vec![g.zip(p[0], |gi, x| if x > 0.0 { gi } else { 0.0 })]
+                vec![Some(g.zip(p[0], |gi, x| if x > 0.0 { gi } else { 0.0 }))]
             })),
         )
     }
@@ -275,7 +288,9 @@ impl Tape {
             value,
             vec![a.0],
             Some(Box::new(move |g, p, _| {
-                vec![g.zip(p[0], |gi, x| if x > 0.0 { gi } else { alpha * gi })]
+                vec![Some(
+                    g.zip(p[0], |gi, x| if x > 0.0 { gi } else { alpha * gi }),
+                )]
             })),
         )
     }
@@ -286,7 +301,7 @@ impl Tape {
             value,
             vec![a.0],
             Some(Box::new(|g, _, y| {
-                vec![g.zip(y, |gi, yi| gi * yi * (1.0 - yi))]
+                vec![Some(g.zip(y, |gi, yi| gi * yi * (1.0 - yi)))]
             })),
         )
     }
@@ -297,7 +312,7 @@ impl Tape {
             value,
             vec![a.0],
             Some(Box::new(|g, _, y| {
-                vec![g.zip(y, |gi, yi| gi * (1.0 - yi * yi))]
+                vec![Some(g.zip(y, |gi, yi| gi * (1.0 - yi * yi)))]
             })),
         )
     }
@@ -319,7 +334,7 @@ impl Tape {
                         *o = yi * (gi - dot);
                     }
                 }
-                vec![out]
+                vec![Some(out)]
             })),
         )
     }
@@ -334,7 +349,7 @@ impl Tape {
         self.push(
             value,
             vec![a.0],
-            Some(Box::new(move |g, _, _| vec![g.mul(&mask)])),
+            Some(Box::new(move |g, _, _| vec![Some(g.mul(&mask))])),
         )
     }
 
@@ -346,7 +361,7 @@ impl Tape {
         self.push(
             value,
             vec![a.0],
-            Some(Box::new(|g, _, _| vec![g.transpose()])),
+            Some(Box::new(|g, _, _| vec![Some(g.transpose())])),
         )
     }
 
@@ -364,7 +379,7 @@ impl Tape {
                     ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
                     gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
                 }
-                vec![ga, gb]
+                vec![Some(ga), Some(gb)]
             })),
         )
     }
@@ -384,7 +399,7 @@ impl Tape {
                         *o += x;
                     }
                 }
-                vec![out]
+                vec![Some(out)]
             })),
         )
     }
@@ -403,7 +418,7 @@ impl Tape {
                         *o = gi / n;
                     }
                 }
-                vec![out]
+                vec![Some(out)]
             })),
         )
     }
@@ -419,7 +434,7 @@ impl Tape {
                 for r in 0..p[0].rows() {
                     out.row_mut(r).copy_from_slice(g.row(0));
                 }
-                vec![out]
+                vec![Some(out)]
             })),
         )
     }
@@ -447,7 +462,7 @@ impl Tape {
                 for (c, &r) in argmax.iter().enumerate() {
                     out.set(r, c, g.get(0, c));
                 }
-                vec![out]
+                vec![Some(out)]
             })),
         )
     }
@@ -460,7 +475,11 @@ impl Tape {
             vec![a.0],
             Some(Box::new(|g, p, _| {
                 let n = p[0].len().max(1) as f32;
-                vec![Matrix::full(p[0].rows(), p[0].cols(), g.get(0, 0) / n)]
+                vec![Some(Matrix::full(
+                    p[0].rows(),
+                    p[0].cols(),
+                    g.get(0, 0) / n,
+                ))]
             })),
         )
     }
@@ -472,7 +491,7 @@ impl Tape {
             value,
             vec![a.0],
             Some(Box::new(|g, p, _| {
-                vec![Matrix::full(p[0].rows(), p[0].cols(), g.get(0, 0))]
+                vec![Some(Matrix::full(p[0].rows(), p[0].cols(), g.get(0, 0)))]
             })),
         )
     }
@@ -498,12 +517,13 @@ impl Tape {
             parents,
             Some(Box::new(move |g, p, _| {
                 let w_val = p[n_h];
-                let mut grads: Vec<Matrix> = (0..n_h).map(|i| g.scale(w_val.get(0, i))).collect();
+                let mut grads: Vec<Option<Matrix>> =
+                    (0..n_h).map(|i| Some(g.scale(w_val.get(0, i)))).collect();
                 let mut gw = Matrix::zeros(1, n_h);
                 for (i, h) in p.iter().take(n_h).enumerate() {
                     gw.set(0, i, g.dot(h));
                 }
-                grads.push(gw);
+                grads.push(Some(gw));
                 grads
             })),
         )
@@ -545,7 +565,7 @@ impl Tape {
                         out.set(r, c, v);
                     }
                 }
-                vec![out]
+                vec![Some(out)]
             })),
         )
     }
@@ -575,7 +595,7 @@ impl Tape {
                     let s = 1.0 / (1.0 + (-x).exp());
                     out.set(r, 0, (s - t) / n * g.get(0, 0));
                 }
-                vec![out]
+                vec![Some(out)]
             })),
         )
     }
@@ -610,7 +630,7 @@ impl Tape {
                 };
                 let ga = diff.scale(coeff * g.get(0, 0));
                 let gb = ga.scale(-1.0);
-                vec![ga, gb]
+                vec![Some(ga), Some(gb)]
             })),
         )
     }
@@ -629,21 +649,28 @@ impl Tape {
         grads.resize_with(self.nodes.len(), || None);
         grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
         for i in (0..=loss.0).rev() {
-            let Some(g) = grads[i].clone() else { continue };
+            // Parents are strictly earlier in the append-only arena, so the
+            // split lets us read this node's gradient while scattering into
+            // parent slots without cloning it first.
+            let (earlier, later) = grads.split_at_mut(i);
+            let Some(g) = later[0].as_ref() else { continue };
             let node = &self.nodes[i];
             let Some(back) = &node.back else { continue };
             let parent_vals: Vec<&Matrix> =
                 node.parents.iter().map(|&p| &self.nodes[p].value).collect();
-            let pgrads = back(&g, &parent_vals, &node.value);
+            let pgrads = back(g, &parent_vals, &node.value);
             debug_assert_eq!(pgrads.len(), node.parents.len());
             #[cfg(feature = "strict")]
             for (pv, pg) in parent_vals.iter().zip(&pgrads) {
-                strict::grad_ok(pv, pg);
+                strict::grad_ok(pv, pg.as_ref().unwrap_or(g));
             }
             for (&p, pg) in node.parents.iter().zip(pgrads) {
-                match &mut grads[p] {
-                    Some(acc) => acc.axpy(1.0, &pg),
-                    slot @ None => *slot = Some(pg),
+                debug_assert!(p < i, "tape parent must precede its node");
+                match (&mut earlier[p], pg) {
+                    (Some(acc), Some(pg)) => acc.axpy(1.0, &pg),
+                    (Some(acc), None) => acc.axpy(1.0, g),
+                    (slot @ None, Some(pg)) => *slot = Some(pg),
+                    (slot @ None, None) => *slot = Some(g.clone()),
                 }
             }
         }

@@ -36,6 +36,18 @@ fi
 # re-parse the freshly written snapshot with the workspace's own JSON layer
 cargo test -q --test observability bench_trace_snapshot_file_is_valid_when_present
 
+echo "== inference fast path (BENCH_inference.json: alloc gate + ratchet) =="
+# The harness reads the *committed* snapshots first, reruns the serving
+# workload, then enforces both gates: >=10x below the BENCH_trace.json
+# training baseline, and no regression past the committed BENCH_inference.json.
+GLINT_TRACE=1 GLINT_BENCH_FAST=1 cargo bench -q -p glint-bench --bench micro_inference
+if ! test -s BENCH_inference.json; then
+  echo "INFERENCE STAGE FAILED: BENCH_inference.json missing or empty" >&2
+  exit 1
+fi
+# re-parse the freshly written snapshot with the workspace's own JSON layer
+cargo test -q --test observability bench_inference_snapshot_file_is_valid_when_present
+
 echo "== fault-injection matrix (forced fail points, default + serial threads) =="
 FAULTS=(
   "persist.save=err" "persist.save=short:24"

@@ -216,7 +216,8 @@ fn trace_capture_is_an_exact_oracle_and_exports_valid_json() {
         assert!(glint_trace::counter_value("tensor.backward.calls") > 0);
 
         // --- detection side: one counter per rung, one histogram sample
-        //     per assessment (the quarantined NaN lands in `nonfinite`) ----
+        //     per non-quarantined assessment (the quarantined verdict has no
+        //     drift degree — only its rung counter records it) -------------
         let full = digest.verdicts.iter().filter(|v| v.2 == "full").count() as u64;
         let drift_only = digest
             .verdicts
@@ -238,7 +239,16 @@ fn trace_capture_is_an_exact_oracle_and_exports_valid_json() {
         );
         assert_eq!(
             glint_trace::histogram_total("detector.drift_degree"),
-            (HEALTHY_GRAPHS + 1) as u64
+            HEALTHY_GRAPHS as u64
+        );
+        let drift_hist = glint_trace::snapshot()
+            .histograms
+            .get("detector.drift_degree")
+            .cloned()
+            .expect("drift-degree histogram recorded");
+        assert_eq!(
+            drift_hist.nonfinite, 0,
+            "quarantined verdicts must not feed NaN into the drift histogram"
         );
 
         // --- export: the snapshot re-parses with the workspace serde_json -
@@ -307,6 +317,70 @@ fn bench_trace_snapshot_file_is_valid_when_present() {
                 field(section).and_then(|v| v.as_map()).is_some(),
                 "section `{section}` missing"
             );
+        }
+    });
+}
+
+/// The repo-root `BENCH_inference.json` snapshot (emitted by the
+/// `micro_inference` harness's deterministic serving workload) must
+/// re-parse with the workspace's own JSON layer, carry the schema header,
+/// and prove the tape-free serving contract: at least a 10× reduction in
+/// `tensor.alloc.matrices` against the `BENCH_trace.json` training
+/// baseline. CI invokes this by name right after regenerating the file;
+/// in a plain run it validates the committed snapshots. (Skips only if
+/// the file is absent — CI checks existence separately.)
+#[test]
+fn bench_inference_snapshot_file_is_valid_when_present() {
+    with_trace_lock(|| {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_inference.json");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return;
+        };
+        let value: serde_json::Value =
+            serde_json::from_str(&text).expect("BENCH_inference.json is malformed");
+        let map = value.as_map().expect("top level must be an object");
+        let field = |name: &str| map.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        assert_eq!(
+            field("schema").and_then(|v| v.as_u64()),
+            Some(glint_trace::export::SCHEMA_VERSION),
+            "schema version header missing or wrong"
+        );
+        for section in ["counters", "gauges", "histograms", "spans"] {
+            assert!(
+                field(section).and_then(|v| v.as_map()).is_some(),
+                "section `{section}` missing"
+            );
+        }
+        let counter = |name: &str| {
+            field("counters")
+                .and_then(|v| v.as_map())
+                .and_then(|c| c.iter().find(|(k, _)| k == name))
+                .and_then(|(_, v)| v.as_u64())
+        };
+        let allocs = counter("tensor.alloc.matrices")
+            .expect("serving snapshot must report tensor.alloc.matrices");
+        assert!(
+            counter("serve.steps").is_some_and(|s| s > 0),
+            "serving snapshot must record its step count"
+        );
+        // the 10x gate, re-checked against the committed training baseline
+        let trace_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_trace.json");
+        if let Ok(trace_text) = std::fs::read_to_string(&trace_path) {
+            let trace: serde_json::Value =
+                serde_json::from_str(&trace_text).expect("BENCH_trace.json is malformed");
+            let baseline = trace
+                .as_map()
+                .and_then(|m| m.iter().find(|(k, _)| k == "counters"))
+                .and_then(|(_, v)| v.as_map())
+                .and_then(|c| c.iter().find(|(k, _)| k == "tensor.alloc.matrices"))
+                .and_then(|(_, v)| v.as_u64());
+            if let Some(base) = baseline {
+                assert!(
+                    allocs * 10 <= base,
+                    "serving allocations ({allocs}) must be >=10x below the \
+                     training baseline ({base})"
+                );
+            }
         }
     });
 }

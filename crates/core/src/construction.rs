@@ -60,11 +60,16 @@ impl OfflineBuilder {
     }
 
     fn cached_features(&self, rule: &Rule) -> Vec<f32> {
-        if let Some(f) = self.feature_cache.lock().get(&rule.id.0) {
+        // One guard for the whole check-compute-insert sequence: the old
+        // lock-check-unlock / lock-insert-unlock pair acquired the mutex
+        // twice per miss (flagged by glint-lint's lock-order pass) and let
+        // two threads race to embed the same rule.
+        let mut cache = self.feature_cache.lock();
+        if let Some(f) = cache.get(&rule.id.0) {
             return f.clone();
         }
         let f = node_features(rule);
-        self.feature_cache.lock().insert(rule.id.0, f.clone());
+        cache.insert(rule.id.0, f.clone());
         f
     }
 
@@ -218,6 +223,29 @@ mod tests {
         let builder = OfflineBuilder::new(small_corpus(), 3);
         let ds = builder.build_dataset(&[Platform::Ifttt], 20, 6, false);
         assert!(ds.iter().all(|g| g.label.is_none()));
+    }
+
+    #[test]
+    fn feature_cache_is_single_guard_and_consistent_under_races() {
+        // Regression for the double-lock in `cached_features`: the old
+        // check/unlock/insert pattern let two threads race to embed the
+        // same rule (and tripped glint-lint's lock-order pass). With one
+        // guard, concurrent callers must agree and never deadlock.
+        let rules = glint_rules::scenarios::table1_rules();
+        let builder = OfflineBuilder::new(rules.clone(), 7);
+        let expected: Vec<Vec<f32>> = rules.iter().map(node_features).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = &builder;
+                let rules = &rules;
+                let expected = &expected;
+                s.spawn(move || {
+                    for (r, want) in rules.iter().zip(expected) {
+                        assert_eq!(&b.cached_features(r), want);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

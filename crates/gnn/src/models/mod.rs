@@ -60,6 +60,8 @@ pub trait GraphModel: Send + Sync {
     /// The default body falls back to a throwaway tape, which is correct
     /// for every model; the architectures on the detector's serving path
     /// (ITGNN, GCN, GIN) override it with allocation-free kernels.
+    // glint-lint: allow(tape-purity) — the default body is the documented
+    // tape-backed fallback; every model on the serving path overrides it
     fn forward_infer(&self, ctx: &mut InferCtx, g: &PreparedGraph) -> InferOutput {
         let _ = &ctx;
         let mut tape = Tape::new();

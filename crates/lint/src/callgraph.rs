@@ -35,6 +35,11 @@ pub struct FnNode {
     pub krate: String,
     pub name: String,
     pub receiver: Option<String>,
+    /// Parameter name → type last segment, receiver evidence for resolution.
+    pub params: Vec<(String, String)>,
+    /// `for`-loop element bindings: binding → `"self.<field>"` or a bare
+    /// local name (chased through [`local_type`]).
+    pub loop_elems: Vec<(String, String)>,
     pub module: Vec<String>,
     pub line: u32,
     /// Body token range into that file's token vector.
@@ -70,6 +75,17 @@ pub struct CallGraph {
     pub unresolved: BTreeMap<String, usize>,
     /// Total resolved call edges (before dedup), for the report.
     pub resolved_calls: usize,
+    /// Per-call resolution: `call_targets[i][k]` = fn indices call `k` of
+    /// `fns[i].calls` resolved to (empty for unresolved calls). The
+    /// lock-order analysis needs *which call site* reaches a lock, not just
+    /// the deduplicated adjacency.
+    pub call_targets: Vec<Vec<Vec<usize>>>,
+    /// Struct name → field name → field type last segment, from `struct`
+    /// items across the workspace. Receiver evidence for `self.field.f(…)`.
+    pub structs: BTreeMap<String, BTreeMap<String, String>>,
+    /// Names declared by `trait` items. Typed narrowing is disabled for
+    /// these: a `&dyn Trait` param must keep linking to every implementor.
+    pub traits: BTreeSet<String>,
 }
 
 /// Module segments a file contributes by its location: Rust's file-tree
@@ -113,9 +129,18 @@ impl CallGraph {
     /// here — they are not nodes at all.
     pub fn build(files: &[FileSyntax]) -> CallGraph {
         let mut fns: Vec<FnNode> = Vec::new();
+        let mut structs: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+        let mut traits: BTreeSet<String> = BTreeSet::new();
         for fs in files {
             let krate = crate_of(&fs.path);
             let file_mods = file_modules(&fs.path);
+            for (name, fields) in &fs.structs {
+                structs
+                    .entry(name.clone())
+                    .or_default()
+                    .extend(fields.iter().cloned());
+            }
+            traits.extend(fs.traits.iter().cloned());
             for f in &fs.fns {
                 if f.is_test {
                     continue;
@@ -127,6 +152,8 @@ impl CallGraph {
                     krate: krate.clone(),
                     name: f.name.clone(),
                     receiver: f.receiver.clone(),
+                    params: f.params.clone(),
+                    loop_elems: f.loop_elems.clone(),
                     module,
                     line: f.line,
                     body: f.body,
@@ -149,28 +176,95 @@ impl CallGraph {
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
         let mut unresolved: BTreeMap<String, usize> = BTreeMap::new();
         let mut resolved_calls = 0usize;
+        let tables = TypeTables {
+            structs: &structs,
+            traits: &traits,
+        };
+        let mut call_targets: Vec<Vec<Vec<usize>>> = Vec::with_capacity(fns.len());
         for i in 0..fns.len() {
             let caller = fns[i].clone();
             let mut out: BTreeSet<usize> = BTreeSet::new();
+            let mut per_call: Vec<Vec<usize>> = Vec::with_capacity(caller.calls.len());
             for call in &caller.calls {
-                match resolve(&fns, &by_name, &caller, call) {
+                match resolve(&fns, &by_name, &tables, &caller, call) {
                     Some(targets) => {
                         resolved_calls += 1;
-                        out.extend(targets);
+                        out.extend(targets.iter().copied());
+                        per_call.push(targets);
                     }
                     None => {
                         *unresolved.entry(call.name.clone()).or_insert(0) += 1;
+                        per_call.push(Vec::new());
                     }
                 }
             }
             edges[i] = out.into_iter().collect();
+            call_targets.push(per_call);
         }
         CallGraph {
             fns,
             edges,
             unresolved,
             resolved_calls,
+            call_targets,
+            structs,
+            traits,
         }
+    }
+
+    /// [`CallGraph::parents_from`] seeded by explicit fn indices.
+    pub fn parents_from_set(&self, seeds: &BTreeSet<usize>) -> BTreeMap<usize, usize> {
+        let mut parents: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut frontier: Vec<usize> = Vec::new();
+        for &i in seeds {
+            parents.entry(i).or_insert(i);
+            frontier.push(i);
+        }
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &i in &frontier {
+                for &j in &self.edges[i] {
+                    if let std::collections::btree_map::Entry::Vacant(e) = parents.entry(j) {
+                        e.insert(i);
+                        next.push(j);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+        parents
+    }
+
+    /// Reverse adjacency: `callers[i]` = indices of fns that may call
+    /// `fns[i]`. The dataflow engine's backward (callee-summary) passes
+    /// propagate along these.
+    pub fn callers(&self) -> Vec<Vec<usize>> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.fns.len()];
+        for (i, out) in self.edges.iter().enumerate() {
+            for &j in out {
+                rev[j].push(i);
+            }
+        }
+        rev
+    }
+
+    /// The unresolved map minus mechanical noise: enum-variant / type
+    /// constructors (capitalized names — `Some`, `Ok`, `Err`, local variant
+    /// names) and std staples that positive evidence already classified as
+    /// non-workspace calls. What remains is an actionable worklist of
+    /// genuinely unknown callees.
+    pub fn actionable_unresolved(&self) -> BTreeMap<String, usize> {
+        self.unresolved
+            .iter()
+            .filter(|(name, _)| {
+                name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                    && !STD_METHOD_STAPLES.contains(&name.as_str())
+                    && !STD_FREE_STAPLES.contains(&name.as_str())
+            })
+            .map(|(name, count)| (name.clone(), *count))
+            .collect()
     }
 
     /// Indices of fns matching an entry-point spec:
@@ -223,31 +317,11 @@ impl CallGraph {
     /// fn was first discovered from (entries map to themselves). Shortest
     /// call chains for census evidence are read out of this.
     pub fn parents_from(&self, specs: &[String]) -> BTreeMap<usize, usize> {
-        let mut parents: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut frontier: Vec<usize> = Vec::new();
+        let mut seeds: BTreeSet<usize> = BTreeSet::new();
         for spec in specs {
-            for i in self.match_spec(spec) {
-                parents.entry(i).or_insert(i);
-                frontier.push(i);
-            }
+            seeds.extend(self.match_spec(spec));
         }
-        frontier.sort_unstable();
-        frontier.dedup();
-        while !frontier.is_empty() {
-            let mut next = Vec::new();
-            for &i in &frontier {
-                for &j in &self.edges[i] {
-                    if let std::collections::btree_map::Entry::Vacant(e) = parents.entry(j) {
-                        e.insert(i);
-                        next.push(j);
-                    }
-                }
-            }
-            next.sort_unstable();
-            next.dedup();
-            frontier = next;
-        }
-        parents
+        self.parents_from_set(&seeds)
     }
 
     /// Shortest call chain (entry → … → fn `i`) as qualified names.
@@ -277,11 +351,48 @@ impl CallGraph {
     }
 }
 
+/// Workspace type knowledge the resolver narrows with.
+struct TypeTables<'a> {
+    structs: &'a BTreeMap<String, BTreeMap<String, String>>,
+    traits: &'a BTreeSet<String>,
+}
+
+/// Type evidence for a plain-ident receiver: declared param types first,
+/// then `for`-loop element bindings (`for layer in &self.layers` resolves
+/// `layer` to the *last identifier* of the field's declared type — the
+/// innermost element type, since `Vec<Vec<TagConv>>` erases to `TagConv`.
+/// Nested containers and chained loops over locals therefore all bind to
+/// the same innermost type, which is exactly what the loops iterate).
+/// Local-to-local chains are chased a bounded number of hops.
+fn local_type<'a>(
+    tables: &TypeTables<'a>,
+    caller: &'a FnNode,
+    name: &str,
+    depth: usize,
+) -> Option<&'a str> {
+    if depth > 4 {
+        return None;
+    }
+    if let Some((_, t)) = caller.params.iter().find(|(n, _)| n == name) {
+        return Some(t.as_str());
+    }
+    let (_, src) = caller.loop_elems.iter().find(|(b, _)| b == name)?;
+    if let Some(field) = src.strip_prefix("self.") {
+        return tables
+            .structs
+            .get(caller.receiver.as_deref()?)?
+            .get(field)
+            .map(|t| t.as_str());
+    }
+    local_type(tables, caller, src, depth + 1)
+}
+
 /// Resolve one call against the symbol table. Returns `None` when nothing
 /// in the workspace matches (→ unresolved report).
 fn resolve(
     fns: &[FnNode],
     by_name: &BTreeMap<&str, Vec<usize>>,
+    tables: &TypeTables,
     caller: &FnNode,
     call: &CallSite,
 ) -> Option<Vec<usize>> {
@@ -294,7 +405,10 @@ fn resolve(
             .collect()
     };
     match &call.kind {
-        CallKind::Method { recv_ident } => {
+        CallKind::Method {
+            recv_ident,
+            recv_base,
+        } => {
             // `STATIC.load(…)` / `GATE.store(…)`: a SCREAMING_CASE receiver
             // is a static — its methods are std atomics/lazies, not
             // workspace dispatch. Report unresolved instead of linking the
@@ -304,8 +418,10 @@ fn resolve(
             }
             let methods = pick(&|f| f.receiver.is_some());
             // Positive receiver evidence narrows the candidate set:
-            // `self.f(…)` → the caller's own impl; `tape.f(…)` → a type
-            // whose lowercased name matches the receiver ident.
+            // `self.f(…)` → the caller's own impl; a declared param type
+            // (`ctx: &mut InferCtx` → `ctx.f(…)`) or a struct field type
+            // (`self.l0.f(…)` with `l0: GcnLayer`) → methods of that type;
+            // `tape.f(…)` → a type whose lowercased name matches.
             if let Some(recv) = recv_ident.as_deref() {
                 if recv == "self" && caller.receiver.is_some() {
                     let own: Vec<usize> = methods
@@ -317,6 +433,53 @@ fn resolve(
                         return Some(own);
                     }
                 } else {
+                    // Declared-type evidence. Narrowing is skipped for trait
+                    // types (`model: &dyn GraphModel`): restricting to the
+                    // trait's own (default/bodiless) methods would hide every
+                    // implementor and break dispatch over-approximation.
+                    let declared: Option<&str> = if recv_base.as_deref() == Some("self") {
+                        caller
+                            .receiver
+                            .as_deref()
+                            .and_then(|r| tables.structs.get(r))
+                            .and_then(|fields| fields.get(recv))
+                            .map(|t| t.as_str())
+                    } else {
+                        local_type(tables, caller, recv, 0)
+                    };
+                    if let Some(ty) = declared.filter(|t| !tables.traits.contains(*t)) {
+                        let typed: Vec<usize> = methods
+                            .iter()
+                            .copied()
+                            .filter(|&i| fns[i].receiver.as_deref() == Some(ty))
+                            .collect();
+                        if !typed.is_empty() {
+                            return Some(typed);
+                        }
+                        // A declared workspace struct type with no inherent
+                        // method of that name: it may still be a workspace
+                        // trait's default body (receiver = the trait name);
+                        // otherwise the call goes to a std/derive impl
+                        // (`cfg.clone()`, `map.get(…)` on a BTreeMap field) —
+                        // treat as non-workspace rather than falling back to
+                        // the all-methods heuristic.
+                        if tables.structs.contains_key(ty) {
+                            let via_trait: Vec<usize> = methods
+                                .iter()
+                                .copied()
+                                .filter(|&i| {
+                                    fns[i]
+                                        .receiver
+                                        .as_deref()
+                                        .is_some_and(|r| tables.traits.contains(r))
+                                })
+                                .collect();
+                            if !via_trait.is_empty() {
+                                return Some(via_trait);
+                            }
+                            return None;
+                        }
+                    }
                     let typed: Vec<usize> = methods
                         .iter()
                         .copied()
@@ -340,12 +503,14 @@ fn resolve(
                 return None;
             }
             // Method-receiver heuristic: any workspace method of that name
-            // (this is what keeps `dyn GraphModel` trait dispatch visible);
-            // free fns only as fallback.
+            // (this is what keeps `dyn GraphModel` trait dispatch visible).
+            // A method call can never target a free fn — falling back to
+            // free candidates would link `m.lock()` to an unrelated free
+            // `lock()` accessor — so no-methods means non-workspace.
             if !methods.is_empty() {
                 return Some(methods);
             }
-            Some(candidates.clone())
+            None
         }
         CallKind::Free => {
             // Same-crate free fns first (plain `helper()` is almost always
@@ -474,6 +639,143 @@ const STD_METHOD_STAPLES: &[&str] = &[
     "flush",
 ];
 
+/// Free/associated std names filtered out of the *actionable* unresolved
+/// report (they stay in [`CallGraph::unresolved`]): `Vec::new`,
+/// `f32::max`, `Option::unwrap_or`, … resolve to nothing in the workspace
+/// by design, and listing hundreds of them buries the callees a human
+/// should actually look at.
+const STD_FREE_STAPLES: &[&str] = &[
+    "new",
+    "with_capacity",
+    "default",
+    "from",
+    "try_from",
+    "try_into",
+    "into",
+    "from_str",
+    "to_owned",
+    "unwrap",
+    "expect",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "map_or",
+    "map_err",
+    "ok_or",
+    "ok_or_else",
+    "and_then",
+    "or_else",
+    "or_insert",
+    "or_insert_with",
+    "or_default",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "as_ref",
+    "as_mut",
+    "as_deref",
+    "as_str",
+    "as_slice",
+    "as_bytes",
+    "abs",
+    "sqrt",
+    "exp",
+    "ln",
+    "powi",
+    "powf",
+    "floor",
+    "ceil",
+    "round",
+    "clamp",
+    "fract",
+    "is_finite",
+    "is_nan",
+    "to_bits",
+    "from_bits",
+    "min_by_key",
+    "max_by_key",
+    "copied",
+    "cloned",
+    "chunks",
+    "chunks_exact",
+    "windows",
+    "saturating_sub",
+    "saturating_add",
+    "saturating_mul",
+    "checked_sub",
+    "checked_add",
+    "checked_mul",
+    "checked_div",
+    "wrapping_sub",
+    "wrapping_add",
+    "to_le_bytes",
+    "to_be_bytes",
+    "from_le_bytes",
+    "from_be_bytes",
+    "swap_remove",
+    "retain",
+    "dedup",
+    "sort_unstable",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "binary_search",
+    "partition_point",
+    "rotate_left",
+    "rotate_right",
+    "fill",
+    "copy_from_slice",
+    "clone_from_slice",
+    "split_at_mut",
+    "split_first",
+    "split_last",
+    "size_of",
+    "align_of",
+    "forget",
+    "drop",
+    "exit",
+    "args",
+    "var",
+    "var_os",
+    "current_dir",
+    "display",
+    "to_path_buf",
+    "read_to_string",
+    "create",
+    "create_dir_all",
+    "remove_file",
+    "rename",
+    "exists",
+    "is_dir",
+    "is_file",
+    "extension",
+    "file_name",
+    "strip_prefix",
+    "strip_suffix",
+    "trim_start_matches",
+    "trim_end_matches",
+    "eq_ignore_ascii_case",
+    "to_ascii_lowercase",
+    "to_ascii_uppercase",
+    "to_lowercase",
+    "to_uppercase",
+    "is_alphanumeric",
+    "is_ascii_digit",
+    "is_ascii_lowercase",
+    "is_ascii_uppercase",
+    "available_parallelism",
+    "spawn",
+    "scope",
+    "sleep",
+    "elapsed",
+    "duration_since",
+    "as_secs_f64",
+    "as_millis",
+    "as_micros",
+    "as_nanos",
+];
+
 /// `STATE`, `REGISTRY`, `A_B2` — the static-item naming convention.
 fn is_screaming_case(s: &str) -> bool {
     s.len() >= 2
@@ -540,7 +842,7 @@ mod tests {
     }
 
     #[test]
-    fn method_name_collisions_over_approximate() {
+    fn declared_param_types_narrow_method_dispatch() {
         let g = graph_of(&[(
             "crates/a/src/lib.rs",
             r#"
@@ -551,9 +853,192 @@ mod tests {
             "#,
         )]);
         let hot = g.reachable(&["entry".to_string()]);
-        // Both `score` methods are linked — name-based dispatch cannot
+        // `x: &A` is positive type evidence: only `A::score` links.
+        let n = names(&g, &hot);
+        assert_eq!(hot.len(), 2, "{n:?}");
+        assert!(n.iter().any(|q| q.ends_with("A::score")), "{n:?}");
+    }
+
+    #[test]
+    fn method_name_collisions_without_evidence_over_approximate() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            struct A; struct B;
+            impl A { fn score(&self) -> f32 { 1.0 } }
+            impl B { fn score(&self) -> f32 { 2.0 } }
+            fn entry<M>(x: &M) -> f32 { x.score() }
+            "#,
+        )]);
+        let hot = g.reachable(&["entry".to_string()]);
+        // `M` names no workspace type: name-based dispatch cannot
         // distinguish receivers, and over-approximating keeps rules sound.
         assert_eq!(hot.len(), 3, "{:?}", names(&g, &hot));
+    }
+
+    #[test]
+    fn dyn_trait_params_keep_every_implementor_linked() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            trait Model: Send { fn score(&self) -> f32; }
+            struct A; struct B;
+            impl Model for A { fn score(&self) -> f32 { 1.0 } }
+            impl Model for B { fn score(&self) -> f32 { 2.0 } }
+            fn entry(m: &dyn Model) -> f32 { m.score() }
+            "#,
+        )]);
+        let hot = g.reachable(&["entry".to_string()]);
+        let n = names(&g, &hot);
+        // Narrowing to the trait's own (bodiless) decl would hide both
+        // impls; trait-typed evidence must NOT narrow.
+        assert!(n.iter().any(|q| q.contains("A::score")), "{n:?}");
+        assert!(n.iter().any(|q| q.contains("B::score")), "{n:?}");
+    }
+
+    #[test]
+    fn struct_field_types_resolve_self_field_calls() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            struct Layer; struct Other;
+            impl Layer { fn forward(&self) {} }
+            impl Other { fn forward(&self) {} }
+            struct Net { l0: Layer }
+            impl Net {
+                fn entry(&self) { self.l0.forward(); }
+            }
+            "#,
+        )]);
+        let hot = g.reachable(&["Net::entry".to_string()]);
+        let n = names(&g, &hot);
+        assert!(n.iter().any(|q| q.ends_with("Layer::forward")), "{n:?}");
+        assert!(!n.iter().any(|q| q.ends_with("Other::forward")), "{n:?}");
+    }
+
+    #[test]
+    fn loop_element_bindings_narrow_method_dispatch() {
+        // `for layer in &self.layers` binds `layer` to the container's
+        // element type; calls through it must not fall back to the
+        // all-methods heuristic (which would drag in the trait default).
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            struct Layer; struct Other;
+            impl Layer { fn forward(&self) {} }
+            impl Other { fn forward(&self) {} }
+            struct Net { layers: Vec<Layer> }
+            impl Net {
+                fn entry(&self) {
+                    for layer in &self.layers {
+                        layer.forward();
+                    }
+                }
+            }
+            "#,
+        )]);
+        let hot = g.reachable(&["Net::entry".to_string()]);
+        let n = names(&g, &hot);
+        assert!(n.iter().any(|q| q.ends_with("Layer::forward")), "{n:?}");
+        assert!(!n.iter().any(|q| q.ends_with("Other::forward")), "{n:?}");
+    }
+
+    #[test]
+    fn indexed_field_receivers_narrow_method_dispatch() {
+        // `self.pools[d].forward()` walks back over the `[d]` index to the
+        // field and uses its declared element type.
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            struct Pool; struct Other;
+            impl Pool { fn forward(&self) {} }
+            impl Other { fn forward(&self) {} }
+            struct Net { pools: Vec<Pool> }
+            impl Net {
+                fn entry(&self, d: usize) { self.pools[d].forward(); }
+            }
+            "#,
+        )]);
+        let hot = g.reachable(&["Net::entry".to_string()]);
+        let n = names(&g, &hot);
+        assert!(n.iter().any(|q| q.ends_with("Pool::forward")), "{n:?}");
+        assert!(!n.iter().any(|q| q.ends_with("Other::forward")), "{n:?}");
+    }
+
+    #[test]
+    fn method_calls_never_resolve_to_free_fns() {
+        // A `recv.lock()` method call must not link to a free fn named
+        // `lock` — the receiver rules out the free-fn form entirely.
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            pub fn lock() { leaf(); }
+            fn leaf() {}
+            struct S { m: Mutex<u32> }
+            impl S {
+                fn entry(&self) { let _g = self.m.lock(); }
+            }
+            "#,
+        )]);
+        let hot = g.reachable(&["S::entry".to_string()]);
+        let n = names(&g, &hot);
+        assert!(!n.iter().any(|q| q.ends_with("::lock")), "{n:?}");
+        assert!(!n.iter().any(|q| q.ends_with("::leaf")), "{n:?}");
+    }
+
+    #[test]
+    fn fn_references_are_edges() {
+        // `process(&crate::features::node_features)` passes the fn as a
+        // value — the callee must still become reachable.
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() { process(&crate::features::node_features); } \
+                 pub fn process(f: &dyn Fn()) { }",
+            ),
+            (
+                "crates/a/src/features.rs",
+                "pub fn node_features() { leaf(); } fn leaf() {}",
+            ),
+        ]);
+        let hot = g.reachable(&["entry".to_string()]);
+        let n = names(&g, &hot);
+        assert!(
+            n.iter().any(|q| q.ends_with("features::node_features")),
+            "{n:?}"
+        );
+        assert!(n.iter().any(|q| q.ends_with("features::leaf")), "{n:?}");
+    }
+
+    #[test]
+    fn actionable_unresolved_filters_variant_ctors_and_staples() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            enum E { Leaf(u32) }
+            fn entry(x: Option<u32>) -> Option<E> {
+                let v = Vec::new();
+                v.iter();
+                mystery_callee();
+                x.map(E::Leaf);
+                Some(E::Leaf(2))
+            }
+            "#,
+        )]);
+        // Raw unresolved keeps everything…
+        assert!(g.unresolved.contains_key("Some"), "{:?}", g.unresolved);
+        assert!(g.unresolved.contains_key("iter"));
+        // …the actionable view drops variant ctors (capitalized) and std
+        // staples, keeping the genuinely unknown callee.
+        let act = g.actionable_unresolved();
+        assert!(act.contains_key("mystery_callee"), "{act:?}");
+        assert!(
+            !act.keys()
+                .any(|k| k.chars().next().unwrap().is_ascii_uppercase()),
+            "{act:?}"
+        );
+        assert!(!act.contains_key("iter"), "{act:?}");
+        assert!(!act.contains_key("new"), "{act:?}");
     }
 
     #[test]

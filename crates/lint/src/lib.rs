@@ -45,6 +45,7 @@
 
 pub mod callgraph;
 pub mod census;
+pub mod dataflow;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -63,24 +64,35 @@ pub struct GraphStats {
     pub files: usize,
     pub fns: usize,
     pub resolved_calls: usize,
-    /// Call names that resolved to nothing in the workspace → count.
+    /// Actionable unresolved worklist: call names that resolved to nothing
+    /// in the workspace, minus enum-variant constructors and std staples
+    /// (the raw totals stay in `unresolved_raw_*`).
     pub unresolved: BTreeMap<String, usize>,
+    /// Distinct unresolved callee names before filtering.
+    pub unresolved_raw_names: usize,
+    /// Total unresolved call sites before filtering.
+    pub unresolved_raw_calls: usize,
     /// Fns reachable from the hot entry points.
     pub hot_fns: usize,
 }
 
 /// Full result of one analysis run: lint findings, the inference-path
-/// allocation census, and call-graph statistics.
+/// allocation census, the panic-surface certificate, and call-graph
+/// statistics.
 #[derive(Debug, Default)]
 pub struct Analysis {
     pub findings: Vec<Finding>,
     pub census: census::Census,
+    /// Panic-capable fns reachable from the hot entry points (ratcheted
+    /// in CI via `BENCH_lint.json` v3).
+    pub panic_surface: Vec<dataflow::PanicFn>,
     pub stats: GraphStats,
 }
 
 /// Analyze a set of (workspace-relative path, source) pairs as one
 /// workspace: parse every file, build the call graph, derive hot regions,
-/// run the rules, and take the census.
+/// run the per-site rules and the interprocedural passes (sharing one
+/// suppression layer), and take the census.
 pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Analysis {
     let files: Vec<FileSyntax> = sources
         .iter()
@@ -92,6 +104,14 @@ pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Analysis {
     let no_index_ranges = callgraph::spec_ranges(&graph, &cfg.no_index_fns);
     const EMPTY: &[(usize, usize)] = &[];
 
+    // Interprocedural findings, grouped per file so they run through the
+    // same pragma suppression as the per-site rules.
+    let flow = dataflow::run(&graph, &files, cfg);
+    let mut flow_by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in flow.findings {
+        flow_by_file.entry(f.file.clone()).or_default().push(f);
+    }
+
     let mut findings = Vec::new();
     for f in &files {
         let input = rules::FileInput {
@@ -102,7 +122,9 @@ pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Analysis {
             hot_ranges: hot_ranges.get(f.path.as_str()).map_or(EMPTY, |v| v),
             no_index_ranges: no_index_ranges.get(f.path.as_str()).map_or(EMPTY, |v| v),
         };
-        findings.extend(rules::check_file(&input, cfg));
+        let scan = rules::scan_file(&input, cfg);
+        let extra = flow_by_file.remove(f.path.as_str()).unwrap_or_default();
+        findings.extend(rules::finish_file(scan, extra));
     }
     findings.sort();
 
@@ -111,12 +133,15 @@ pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Analysis {
         files: files.len(),
         fns: graph.fns.len(),
         resolved_calls: graph.resolved_calls,
-        unresolved: graph.unresolved.clone(),
+        unresolved: graph.actionable_unresolved(),
+        unresolved_raw_names: graph.unresolved.len(),
+        unresolved_raw_calls: graph.unresolved.values().sum(),
         hot_fns: hot.len(),
     };
     Analysis {
         findings,
         census,
+        panic_surface: flow.panic_surface,
         stats,
     }
 }

@@ -2,23 +2,26 @@
 //! Exits 1 when findings exist or the census regressed past the baseline
 //! (CI gates on this), 2 on usage/IO errors.
 
-use glint_lint::{lint_workspace_with, report, Config, ALL_RULES};
+use glint_lint::{lint_workspace_with, report, Config, RuleId, ALL_RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: glint-lint [--json] [--root <dir>] [--list-rules]
-                  [--bench-out <file>] [--baseline <file>]
+                  [--explain <rule>] [--bench-out <file>] [--baseline <file>]
   --json             machine-readable findings report on stdout
   --root <dir>       workspace root to scan (default: current directory)
   --list-rules       print every rule id and its invariant family
-  --bench-out <file> write BENCH_lint.json (call-graph stats + ranked
-                     inference-path allocation census) to <file>
-  --baseline <file>  fail if the census has more total sites than the
-                     committed BENCH_lint.json at <file>";
+  --explain <rule>   print every finding for one rule with its witness
+                     call chain (sink entry \u{2192} \u{2026} \u{2192} site)
+  --bench-out <file> write BENCH_lint.json v3 (call-graph stats, panic-
+                     surface certificate, ranked allocation census)
+  --baseline <file>  fail if the census has more total sites, or the panic
+                     surface more fns, than the committed BENCH_lint.json";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut list_rules = false;
+    let mut explain: Option<RuleId> = None;
     let mut root = PathBuf::from(".");
     let mut bench_out: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
@@ -33,6 +36,17 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => json = true,
             "--list-rules" => list_rules = true,
+            "--explain" => match args.next().as_deref().map(RuleId::parse) {
+                Some(Some(rule)) => explain = Some(rule),
+                Some(None) => {
+                    eprintln!("--explain: unknown rule (see --list-rules)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--explain requires a rule id\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match path_arg("--root") {
                 Ok(dir) => root = dir,
                 Err(code) => return code,
@@ -70,7 +84,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if json {
+    if let Some(rule) = explain {
+        print!("{}", report::explain(&analysis.findings, rule));
+    } else if json {
         println!("{}", report::json(&analysis.findings));
     } else {
         print!("{}", report::human(&analysis.findings));
@@ -83,7 +99,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut census_regressed = false;
+    let mut regressed = false;
     if let Some(path) = &baseline {
         let doc = match std::fs::read_to_string(path) {
             Ok(d) => d,
@@ -101,7 +117,7 @@ fn main() -> ExitCode {
         };
         let now = analysis.census.total_sites();
         if now > allowed {
-            census_regressed = true;
+            regressed = true;
             eprintln!(
                 "glint-lint: census regression — {now} allocation sites on the \
                  inference path, baseline allows {allowed}; either eliminate the \
@@ -111,9 +127,26 @@ fn main() -> ExitCode {
         } else {
             eprintln!("glint-lint: census {now} site(s) <= baseline {allowed}");
         }
+        // Panic-surface ratchet: the serving path's panic-capable fn set
+        // can only shrink. (A v2 baseline has no panic_fns field — the
+        // first v3 run establishes it.)
+        if let Some(allowed_fns) = report::baseline_panic_fns(&doc) {
+            let now_fns = analysis.panic_surface.len();
+            if now_fns > allowed_fns {
+                regressed = true;
+                eprintln!(
+                    "glint-lint: panic-surface regression — {now_fns} panic-capable \
+                     fn(s) reachable from the hot entry points, baseline allows \
+                     {allowed_fns}; remove the panicking construct or commit the \
+                     regenerated BENCH_lint.json with a rationale"
+                );
+            } else {
+                eprintln!("glint-lint: panic surface {now_fns} fn(s) <= baseline {allowed_fns}");
+            }
+        }
     }
 
-    if analysis.findings.is_empty() && !census_regressed {
+    if analysis.findings.is_empty() && !regressed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

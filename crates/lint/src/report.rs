@@ -39,34 +39,50 @@ pub fn json(findings: &[Finding]) -> String {
         }
         let _ = write!(
             s,
-            "{{\"file\":{},\"line\":{},\"rule\":{},\"family\":{},\"message\":{}}}",
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"family\":{},\"message\":{}",
             json_str(&f.file),
             f.line,
             json_str(f.rule.as_str()),
             json_str(f.rule.family()),
             json_str(&f.message)
         );
+        if !f.witness.is_empty() {
+            s.push_str(",\"witness\":[");
+            for (j, hop) in f.witness.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&json_str(hop));
+            }
+            s.push(']');
+        }
+        s.push('}');
     }
     s.push_str("]}");
     s
 }
 
-/// The `BENCH_lint.json` document: findings count, call-graph statistics,
-/// and the ranked inference-path allocation census with call-chain
-/// evidence. Snapshotted at the repo root by CI; `--baseline` gates
-/// against the committed copy.
+/// The `BENCH_lint.json` v3 document: findings count, call-graph
+/// statistics (with the *actionable* unresolved worklist — variant ctors
+/// and std staples filtered out), the panic-surface certificate as a named
+/// fn list, and the ranked inference-path allocation census with call-chain
+/// evidence. Snapshotted at the repo root by CI; `--baseline` gates the
+/// census *and* the panic surface against the committed copy.
 pub fn bench_json(a: &Analysis) -> String {
-    let mut s = String::from("{\"version\":2,\"findings\":{\"count\":");
+    let mut s = String::from("{\"version\":3,\"findings\":{\"count\":");
     let _ = write!(s, "{}", a.findings.len());
     s.push_str("},\"graph\":{");
     let _ = write!(
         s,
-        "\"files\":{},\"fns\":{},\"resolved_calls\":{},\"hot_fns\":{},\"unresolved_total\":{}",
+        "\"files\":{},\"fns\":{},\"resolved_calls\":{},\"hot_fns\":{},\
+         \"unresolved_total\":{},\"unresolved_raw_names\":{},\"unresolved_raw_calls\":{}",
         a.stats.files,
         a.stats.fns,
         a.stats.resolved_calls,
         a.stats.hot_fns,
         a.stats.unresolved.values().sum::<usize>(),
+        a.stats.unresolved_raw_names,
+        a.stats.unresolved_raw_calls,
     );
     s.push_str(",\"unresolved\":[");
     for (i, (name, count)) in a.stats.unresolved.iter().enumerate() {
@@ -74,6 +90,28 @@ pub fn bench_json(a: &Analysis) -> String {
             s.push(',');
         }
         let _ = write!(s, "{{\"name\":{},\"count\":{}}}", json_str(name), count);
+    }
+    s.push_str("]},\"panic_surface\":{");
+    let _ = write!(s, "\"panic_fns\":{}", a.panic_surface.len());
+    s.push_str(",\"fns\":[");
+    for (i, p) in a.panic_surface.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"fn\":{},\"file\":{},\"line\":{},\"kinds\":[",
+            json_str(&p.qualified),
+            json_str(&p.file),
+            p.line
+        );
+        for (j, k) in p.kinds.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_str(k));
+        }
+        s.push_str("]}");
     }
     s.push_str("]},\"census\":{");
     let _ = write!(
@@ -122,13 +160,46 @@ pub fn bench_json(a: &Analysis) -> String {
 /// JSON parser — the linter stays dependency-free, and the field is written
 /// by [`bench_json`] in exactly this shape.
 pub fn baseline_total_sites(doc: &str) -> Option<usize> {
-    let key = "\"total_sites\":";
-    let at = doc.find(key)? + key.len();
+    baseline_field(doc, "total_sites")
+}
+
+/// Extract `"panic_fns":N` — the committed panic-surface size the ratchet
+/// gates against.
+pub fn baseline_panic_fns(doc: &str) -> Option<usize> {
+    baseline_field(doc, "panic_fns")
+}
+
+fn baseline_field(doc: &str, field: &str) -> Option<usize> {
+    let key = format!("\"{field}\":");
+    let at = doc.find(&key)? + key.len();
     let digits: String = doc[at..]
         .chars()
         .take_while(|c| c.is_ascii_digit())
         .collect();
     digits.parse().ok()
+}
+
+/// `--explain <rule>` rendering: every finding for one rule with its
+/// witness call chain, one hop per line. Interprocedural findings carry
+/// the chain that makes the flow concrete (sink entry → … → source fn, or
+/// lock-hold evidence); per-site findings just print their location.
+pub fn explain(findings: &[Finding], rule: crate::rules::RuleId) -> String {
+    let mut s = String::new();
+    let matching: Vec<&Finding> = findings.iter().filter(|f| f.rule == rule).collect();
+    let _ = writeln!(
+        s,
+        "{} finding(s) for [{}/{}]",
+        matching.len(),
+        rule.family(),
+        rule.as_str()
+    );
+    for f in &matching {
+        let _ = writeln!(s, "\n{}:{}: {}", f.file, f.line, f.message);
+        for (i, hop) in f.witness.iter().enumerate() {
+            let _ = writeln!(s, "  {}{}", "  ".repeat(i), hop);
+        }
+    }
+    s
 }
 
 fn json_str(s: &str) -> String {
@@ -163,6 +234,7 @@ mod tests {
             line: 3,
             rule: RuleId::FloatEq,
             message: "has \"quotes\" and\nnewline".into(),
+            witness: Vec::new(),
         }];
         let j = json(&fs);
         assert!(j.contains("\"count\":1"));

@@ -38,6 +38,7 @@ pub enum RuleId {
     HashCollection,
     WallClock,
     EntropyRng,
+    TaintFlow,
     PartialCmpUnwrap,
     FloatCmpOrder,
     FloatEq,
@@ -47,6 +48,9 @@ pub enum RuleId {
     CatchUnwind,
     HotAtomicOrdering,
     HotLock,
+    LockCycle,
+    LockAcrossCall,
+    TapePurity,
     Pragma,
     UnusedAllow,
 }
@@ -57,6 +61,7 @@ impl RuleId {
             RuleId::HashCollection => "hash-collection",
             RuleId::WallClock => "wall-clock",
             RuleId::EntropyRng => "entropy-rng",
+            RuleId::TaintFlow => "taint-flow",
             RuleId::PartialCmpUnwrap => "partial-cmp-unwrap",
             RuleId::FloatCmpOrder => "float-cmp-order",
             RuleId::FloatEq => "float-eq",
@@ -66,6 +71,9 @@ impl RuleId {
             RuleId::CatchUnwind => "catch-unwind",
             RuleId::HotAtomicOrdering => "hot-atomic-ordering",
             RuleId::HotLock => "hot-lock",
+            RuleId::LockCycle => "lock-cycle",
+            RuleId::LockAcrossCall => "lock-across-call",
+            RuleId::TapePurity => "tape-purity",
             RuleId::Pragma => "pragma",
             RuleId::UnusedAllow => "unused-allow",
         }
@@ -78,12 +86,18 @@ impl RuleId {
     /// Invariant family, for reports.
     pub fn family(self) -> &'static str {
         match self {
-            RuleId::HashCollection | RuleId::WallClock | RuleId::EntropyRng => "determinism",
+            RuleId::HashCollection | RuleId::WallClock | RuleId::EntropyRng | RuleId::TaintFlow => {
+                "determinism"
+            }
             RuleId::PartialCmpUnwrap | RuleId::FloatCmpOrder | RuleId::FloatEq => "nan-safety",
             RuleId::HotUnwrap | RuleId::HotPanic | RuleId::HotIndex | RuleId::CatchUnwind => {
                 "panic-safety"
             }
-            RuleId::HotAtomicOrdering | RuleId::HotLock => "concurrency",
+            RuleId::HotAtomicOrdering
+            | RuleId::HotLock
+            | RuleId::LockCycle
+            | RuleId::LockAcrossCall => "concurrency",
+            RuleId::TapePurity => "purity",
             RuleId::Pragma | RuleId::UnusedAllow => "meta",
         }
     }
@@ -94,6 +108,7 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::HashCollection,
     RuleId::WallClock,
     RuleId::EntropyRng,
+    RuleId::TaintFlow,
     RuleId::PartialCmpUnwrap,
     RuleId::FloatCmpOrder,
     RuleId::FloatEq,
@@ -103,6 +118,9 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::CatchUnwind,
     RuleId::HotAtomicOrdering,
     RuleId::HotLock,
+    RuleId::LockCycle,
+    RuleId::LockAcrossCall,
+    RuleId::TapePurity,
     RuleId::Pragma,
     RuleId::UnusedAllow,
 ];
@@ -114,6 +132,10 @@ pub struct Finding {
     pub line: u32,
     pub rule: RuleId,
     pub message: String,
+    /// Interprocedural findings carry a witness call chain (entry → … →
+    /// site); per-site findings leave this empty. Rendered by
+    /// `glint-lint --explain <rule>`.
+    pub witness: Vec<String>,
 }
 
 /// Which parts of the workspace each rule family applies to. Paths are
@@ -140,6 +162,17 @@ pub struct Config {
     /// degradation layer, where containing a panic to quarantine one graph
     /// is the point. Everywhere else, swallowing panics hides bugs.
     pub degradation_files: Vec<String>,
+    /// Determinism-taint sinks: fn specs whose outputs must not depend on
+    /// wall clocks, OS entropy, or hash-iteration order. The taint pass
+    /// reports every source site that can reach one of these over the call
+    /// graph (`taint-flow`), with the witness chain.
+    pub taint_sinks: Vec<String>,
+    /// Tape-purity entry points: fn specs that must never reach a tape
+    /// allocation (the tape-free inference fast path).
+    pub tape_pure_fns: Vec<String>,
+    /// Tape-allocation targets for the purity rule: fn specs that allocate
+    /// or grow an autograd tape.
+    pub tape_alloc_fns: Vec<String>,
 }
 
 impl Default for Config {
@@ -151,6 +184,7 @@ impl Default for Config {
                 "crates/core/src/".into(),
                 "crates/tensor/src/".into(),
                 "crates/trace/src/".into(),
+                "crates/nlp/src/".into(),
             ],
             clock_exempt_prefixes: vec!["crates/bench/".into()],
             hot_entry_points: vec![
@@ -184,6 +218,19 @@ impl Default for Config {
             ],
             no_index_fns: Vec::new(),
             degradation_files: vec!["crates/core/src/detector.rs".into()],
+            taint_sinks: vec![
+                // verdict/score outputs
+                "GlintDetector::assess".into(),
+                "GlintDetector::try_assess".into(),
+                "GlintDetector::assess_batch".into(),
+                "GlintDetector::process_window".into(),
+                // GLINTDUR envelope writes
+                "write_durable".into(),
+                // checkpoint payloads
+                "save_checkpoint".into(),
+            ],
+            tape_pure_fns: vec!["forward_infer".into()],
+            tape_alloc_fns: vec!["Tape::*".into()],
         }
     }
 }
@@ -231,6 +278,7 @@ fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>
                 line: c.line,
                 rule: RuleId::Pragma,
                 message: "suppression pragmas must be `//` line comments".into(),
+                witness: Vec::new(),
             });
             continue;
         }
@@ -245,6 +293,7 @@ fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>
                     rule: RuleId::Pragma,
                     message: "malformed pragma: expected `glint-lint: allow(<rule, …>) — <reason>`"
                         .into(),
+                    witness: Vec::new(),
                 });
                 continue;
             }
@@ -263,6 +312,7 @@ fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>
                     line: c.line,
                     rule: RuleId::Pragma,
                     message: format!("pragma names unknown rule `{r}`"),
+                    witness: Vec::new(),
                 });
             }
         }
@@ -276,6 +326,7 @@ fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>
                 line: c.line,
                 rule: RuleId::Pragma,
                 message: "pragma is missing its justification: `allow(<rule>) — <reason>`".into(),
+                witness: Vec::new(),
             });
         }
         if rules.is_empty() {
@@ -284,6 +335,7 @@ fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>
                 line: c.line,
                 rule: RuleId::Pragma,
                 message: "pragma allows no rules".into(),
+                witness: Vec::new(),
             });
         }
         pragmas.push(Pragma {
@@ -315,8 +367,32 @@ fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
     ranges.iter().any(|&(s, e)| i >= s && i < e)
 }
 
+/// Per-file scan state between rule execution and suppression. Produced by
+/// [`scan_file`]; interprocedural passes append their findings for this
+/// file before [`finish_file`] applies pragmas, so a
+/// `// glint-lint: allow(taint-flow) — …` works exactly like the per-site
+/// rules (and participates in `unused-allow` accounting).
+pub struct FileScan {
+    path: String,
+    pragmas: Vec<Pragma>,
+    /// Meta findings (malformed pragmas) — never suppressible.
+    meta: Vec<Finding>,
+    /// Raw per-site findings, pre-suppression.
+    raw: Vec<Finding>,
+    /// Sorted lines of live (non-test) code tokens, for pragma coverage.
+    code_lines: Vec<u32>,
+}
+
 /// Run every applicable rule over one file and apply suppressions.
+/// Convenience wrapper over [`scan_file`] + [`finish_file`] with no
+/// interprocedural findings.
 pub fn check_file(input: &FileInput, cfg: &Config) -> Vec<Finding> {
+    finish_file(scan_file(input, cfg), Vec::new())
+}
+
+/// Run the per-site rules over one file; suppression is deferred to
+/// [`finish_file`].
+pub fn scan_file(input: &FileInput, cfg: &Config) -> FileScan {
     let path = input.path;
     // Mask cfg(test) tokens in place of stripping them: dead tokens become
     // empty Punct placeholders that no pattern can match, while every index
@@ -388,20 +464,44 @@ pub fn check_file(input: &FileInput, cfg: &Config) -> Vec<Finding> {
         rule_catch_unwind(path, toks, &mut raw);
     }
 
-    // Apply suppressions: a justified pragma covers findings on its own line
-    // (trailing comment) or on the next line holding any code token — so a
-    // justification wrapped over several comment lines still reaches the
-    // statement below it. Each (pragma, rule) pair that suppressed nothing
-    // is itself a finding: stale allows must be deleted, not accumulated.
-    let next_code_line = |l: u32| {
-        input
-            .toks
-            .iter()
-            .enumerate()
-            .filter(|(i, t)| !dead[*i] && t.line > l)
-            .map(|(_, t)| t.line)
-            .min()
-    };
+    let mut code_lines: Vec<u32> = input
+        .toks
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dead[*i])
+        .map(|(_, t)| t.line)
+        .collect();
+    code_lines.sort_unstable();
+    code_lines.dedup();
+
+    FileScan {
+        path: path.to_string(),
+        pragmas,
+        meta: findings,
+        raw,
+        code_lines,
+    }
+}
+
+/// Merge interprocedural findings for this file into the scan, apply
+/// suppressions, and return the surviving findings.
+///
+/// A justified pragma covers findings on its own line (trailing comment) or
+/// on the next line holding any code token — so a justification wrapped
+/// over several comment lines still reaches the statement below it. Each
+/// (pragma, rule) pair that suppressed nothing is itself a finding: stale
+/// allows must be deleted, not accumulated.
+pub fn finish_file(scan: FileScan, extra: Vec<Finding>) -> Vec<Finding> {
+    let FileScan {
+        path,
+        pragmas,
+        meta: mut findings,
+        mut raw,
+        code_lines,
+    } = scan;
+    raw.extend(extra);
+
+    let next_code_line = |l: u32| code_lines.iter().copied().find(|&cl| cl > l);
     let covers = |p: &Pragma, rule: &str, f: &Finding| {
         p.justified
             && p.rules.iter().any(|r| r == rule)
@@ -424,12 +524,13 @@ pub fn check_file(input: &FileInput, cfg: &Config) -> Vec<Finding> {
             let used = raw.iter().any(|f| covers(p, r, f));
             if !used {
                 findings.push(Finding {
-                    file: path.into(),
+                    file: path.clone(),
                     line: p.line,
                     rule: RuleId::UnusedAllow,
                     message: format!(
                         "pragma allows `{r}` but suppresses nothing here — delete the stale allow"
                     ),
+                    witness: Vec::new(),
                 });
             }
         }
@@ -451,6 +552,7 @@ fn push(out: &mut Vec<Finding>, file: &str, line: u32, rule: RuleId, message: im
         line,
         rule,
         message: message.into(),
+        witness: Vec::new(),
     });
 }
 
@@ -591,7 +693,7 @@ fn rule_partial_cmp_unwrap(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
 }
 
 /// Ordering adaptors whose comparator decides sort/extremum results.
-const ORDER_FNS: &[&str] = &[
+pub(crate) const ORDER_FNS: &[&str] = &[
     "sort_by",
     "sort_unstable_by",
     "select_nth_unstable_by",

@@ -30,7 +30,13 @@ pub enum CallKind {
     /// `recv_ident` is the token just before the dot when it is a plain
     /// identifier (`None` for nested expressions like `a.b().c(…)`); the
     /// resolver uses it to spot `STATIC.load(…)`-style std atomic ops.
-    Method { recv_ident: Option<String> },
+    /// `recv_base` is the ident one hop further out when the receiver is a
+    /// two-segment chain — `self.l0.f(…)` records `recv_ident = l0`,
+    /// `recv_base = self`, which lets the resolver look the field type up.
+    Method {
+        recv_ident: Option<String>,
+        recv_base: Option<String>,
+    },
     /// `Qual::f(…)` — the last path qualifier is recorded (`Matrix`,
     /// `par`, `Self`, `glint_tensor`, …).
     Path(String),
@@ -42,6 +48,15 @@ pub struct CallSite {
     pub name: String,
     pub kind: CallKind,
     pub line: u32,
+    /// Index of the callee-name token in the file's token stream — the
+    /// lock-order analysis intersects call positions with held-lock
+    /// regions, which are token ranges.
+    pub tok: usize,
+    /// True for a *reference* to a fn (`&construction::node_features`,
+    /// `map(Self::helper)`) rather than a direct call — the value flows
+    /// somewhere and is eventually invoked, so it is an edge too
+    /// (fn-pointer under-approximation shrinks to bare-ident refs only).
+    pub is_ref: bool,
 }
 
 /// One `fn` item (free function, inherent/trait method, or nested fn).
@@ -51,6 +66,11 @@ pub struct FnItem {
     /// Enclosing `impl`/`trait` self type, e.g. `Matrix` for
     /// `impl Matrix { fn zeros … }`. `None` for free functions.
     pub receiver: Option<String>,
+    /// Parameter name → type (last identifier of the type at the param's
+    /// top level: `ctx: &mut InferCtx` → `("ctx", "InferCtx")`). Destructured
+    /// patterns are skipped. The resolver uses this as positive receiver
+    /// evidence for `ctx.matmul(…)`-style calls.
+    pub params: Vec<(String, String)>,
     /// Module path within the file (`mod` nesting), innermost last.
     pub module: Vec<String>,
     pub line: u32,
@@ -65,6 +85,10 @@ pub struct FnItem {
     /// Call expressions in this fn's body, excluding nested fn bodies
     /// (those belong to the nested fn).
     pub calls: Vec<CallSite>,
+    /// `for`-loop element bindings in the body: binding name →
+    /// `"self.<field>"` or a bare local/param name. Receiver evidence for
+    /// `for layer in &self.layers { layer.forward(…) }`.
+    pub loop_elems: Vec<(String, String)>,
 }
 
 /// Parsed view of one source file.
@@ -78,6 +102,13 @@ pub struct FileSyntax {
     pub fns: Vec<FnItem>,
     /// Token ranges of `#[cfg(test)]` items, for masking rule scans.
     pub test_ranges: Vec<(usize, usize)>,
+    /// `struct Name { field: Type, … }` → field → type (last identifier).
+    /// Tuple structs and unit structs contribute an empty field map.
+    pub structs: Vec<(String, Vec<(String, String)>)>,
+    /// Names declared by `trait …` items. The resolver must NOT narrow a
+    /// method call to a trait receiver: that would keep only the bodiless
+    /// declarations / default bodies and hide every implementor.
+    pub traits: Vec<String>,
 }
 
 impl FileSyntax {
@@ -85,14 +116,19 @@ impl FileSyntax {
     pub fn parse(path: &str, src: &str) -> FileSyntax {
         let Lexed { toks, comments } = lexer::lex(src);
         let test_ranges = lexer::cfg_test_ranges(&toks);
-        let mut fns = Vec::new();
+        let mut out = ParseOut::default();
         let ctx = Ctx {
             receiver: None,
             module: Vec::new(),
             is_test: false,
             cfg_feature: None,
         };
-        parse_items(&toks, 0, toks.len(), &ctx, &mut fns);
+        parse_items(&toks, 0, toks.len(), &ctx, &mut out);
+        let ParseOut {
+            mut fns,
+            structs,
+            traits,
+        } = out;
         // Attach call sites, excluding nested fn body sub-ranges.
         let nested: Vec<(usize, usize)> = fns.iter().filter_map(|f| f.body).collect();
         for f in &mut fns {
@@ -103,6 +139,7 @@ impl FileSyntax {
                     .filter(|&(s, e)| s > start && e <= end && (s, e) != (start, end))
                     .collect();
                 f.calls = extract_calls(&toks, start, end, &inner);
+                f.loop_elems = loop_bindings(&toks, start, end);
             }
         }
         FileSyntax {
@@ -111,8 +148,18 @@ impl FileSyntax {
             comments,
             fns,
             test_ranges,
+            structs,
+            traits,
         }
     }
+}
+
+/// Accumulated item-level facts from one parse walk.
+#[derive(Default)]
+struct ParseOut {
+    fns: Vec<FnItem>,
+    structs: Vec<(String, Vec<(String, String)>)>,
+    traits: Vec<String>,
 }
 
 #[derive(Clone)]
@@ -165,7 +212,7 @@ const ITEM_QUALIFIERS: &[&str] = &[
 ];
 
 /// Scan `[from, to)` for items, honouring `mod`/`impl`/`trait` nesting.
-fn parse_items(toks: &[Tok], from: usize, to: usize, ctx: &Ctx, out: &mut Vec<FnItem>) {
+fn parse_items(toks: &[Tok], from: usize, to: usize, ctx: &Ctx, out: &mut ParseOut) {
     let mut i = from;
     let mut pending = AttrInfo::default();
     while i < to {
@@ -191,16 +238,18 @@ fn parse_items(toks: &[Tok], from: usize, to: usize, ctx: &Ctx, out: &mut Vec<Fn
                     i += 1;
                     continue;
                 };
-                let (body, next) = parse_fn_after_name(toks, i + 2, to);
-                out.push(FnItem {
+                let (params, body, next) = parse_fn_after_name(toks, i + 2, to);
+                out.fns.push(FnItem {
                     name: name_tok.text.clone(),
                     receiver: ctx.receiver.clone(),
+                    params,
                     module: ctx.module.clone(),
                     line: name_tok.line,
                     body,
                     is_test: ctx.is_test || pending.is_test,
                     cfg_feature: pending.feature.clone().or_else(|| ctx.cfg_feature.clone()),
                     calls: Vec::new(),
+                    loop_elems: Vec::new(),
                 });
                 // Recurse into the body for nested fns.
                 if let Some((bs, be)) = body {
@@ -215,9 +264,43 @@ fn parse_items(toks: &[Tok], from: usize, to: usize, ctx: &Ctx, out: &mut Vec<Fn
                 pending = AttrInfo::default();
                 i = next;
             }
+            "struct" if !(ctx.is_test || pending.is_test) => {
+                let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                    pending = AttrInfo::default();
+                    i += 1;
+                    continue;
+                };
+                let mut j = i + 2;
+                if toks.get(j).map(|t| t.text.as_str()) == Some("<") {
+                    j = skip_angles(toks, j, to);
+                }
+                // `struct S;` / `struct S(…);` / `struct S { fields }` /
+                // `struct S where … { fields }`.
+                while j < to && !matches!(toks[j].text.as_str(), "{" | "(" | ";") {
+                    j += 1;
+                }
+                let mut fields = Vec::new();
+                let next = match toks.get(j).map(|t| t.text.as_str()) {
+                    Some("{") => {
+                        let be = skip_balanced(toks, j, "{", "}");
+                        fields = parse_field_list(toks, j + 1, be.saturating_sub(1));
+                        be
+                    }
+                    Some("(") => skip_balanced(toks, j, "(", ")"),
+                    _ => j + 1,
+                };
+                out.structs.push((name_tok.text.clone(), fields));
+                pending = AttrInfo::default();
+                i = next;
+            }
             "impl" | "trait" => {
                 let is_impl = t.text == "impl";
                 let (self_ty, body_start) = parse_impl_header(toks, i + 1, to, is_impl);
+                if !is_impl {
+                    if let Some(name) = &self_ty {
+                        out.traits.push(name.clone());
+                    }
+                }
                 let Some(bs) = body_start else {
                     pending = AttrInfo::default();
                     i += 1;
@@ -275,16 +358,84 @@ fn parse_items(toks: &[Tok], from: usize, to: usize, ctx: &Ctx, out: &mut Vec<Fn
     }
 }
 
-/// After `fn name`, skip generics + args + return type; return the body
-/// range (if any) and the index to continue scanning from.
-fn parse_fn_after_name(toks: &[Tok], mut i: usize, to: usize) -> (Option<(usize, usize)>, usize) {
+/// Keywords/punctuation that cannot be the "type name" of a param or field.
+const TYPE_NOISE: &[&str] = &["mut", "dyn", "impl", "ref", "const", "as", "where"];
+
+/// Parse `name: Type` entries from a comma-separated list in `[from, to)`
+/// (fn argument list or struct field block). Returns (name, type-last-ident)
+/// pairs; destructured patterns and `self` receivers contribute nothing.
+fn parse_field_list(toks: &[Tok], from: usize, to: usize) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut entry_start = from;
+    let mut i = from;
+    let to = to.min(toks.len());
+    let flush = |s: usize, e: usize, out: &mut Vec<(String, String)>| {
+        // Entry shape: `…name : type-tokens` with the `:` at entry depth.
+        let mut colon = None;
+        let mut d = 0i32;
+        for (j, tok) in toks.iter().enumerate().take(e).skip(s) {
+            match tok.text.as_str() {
+                "(" | "[" | "{" | "<" => d += 1,
+                ")" | "]" | "}" | ">" => d -= 1,
+                "<<" => d += 2,
+                ">>" => d -= 2,
+                ":" if d == 0 && colon.is_none() => colon = Some(j),
+                _ => {}
+            }
+        }
+        let Some(c) = colon else { return };
+        // Name: single ident just before the colon, not preceded by another
+        // ident/`.` (rules out `pub(crate) name` false splits are fine; rules
+        // out destructured `Foo { a }` since `}` precedes the colon only in
+        // nested depth, and tuple patterns have no top-level colon).
+        let Some(name_tok) = c.checked_sub(1).map(|j| &toks[j]) else {
+            return;
+        };
+        if name_tok.kind != TokKind::Ident || name_tok.text == "self" {
+            return;
+        }
+        let ty = toks[c + 1..e]
+            .iter()
+            .rfind(|t| t.kind == TokKind::Ident && !TYPE_NOISE.contains(&t.text.as_str()));
+        if let Some(ty) = ty {
+            out.push((name_tok.text.clone(), ty.text.clone()));
+        }
+    };
+    while i < to {
+        match toks[i].text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            "<<" => depth += 2,
+            ">>" => depth -= 2,
+            "," if depth <= 0 => {
+                flush(entry_start, i, &mut out);
+                entry_start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    flush(entry_start, to, &mut out);
+    out
+}
+
+/// Parsed fn signature tail: (params, body token range, resume index).
+type FnSigTail = (Vec<(String, String)>, Option<(usize, usize)>, usize);
+
+/// After `fn name`, skip generics + args + return type; return the parsed
+/// params, the body range (if any), and the index to continue scanning from.
+fn parse_fn_after_name(toks: &[Tok], mut i: usize, to: usize) -> FnSigTail {
     // Optional generic params.
     if toks.get(i).map(|t| t.text.as_str()) == Some("<") {
         i = skip_angles(toks, i, to);
     }
     // Argument list.
+    let mut params = Vec::new();
     if toks.get(i).map(|t| t.text.as_str()) == Some("(") {
-        i = skip_balanced(toks, i, "(", ")");
+        let close = skip_balanced(toks, i, "(", ")");
+        params = parse_field_list(toks, i + 1, close.saturating_sub(1));
+        i = close;
     }
     // Return type / where clause: scan to `{` or `;` at angle-depth 0.
     let mut angle = 0i32;
@@ -296,14 +447,14 @@ fn parse_fn_after_name(toks: &[Tok], mut i: usize, to: usize) -> (Option<(usize,
             ">>" => angle -= 2,
             "{" if angle <= 0 => {
                 let end = skip_balanced(toks, i, "{", "}");
-                return (Some((i, end)), end);
+                return (params, Some((i, end)), end);
             }
-            ";" if angle <= 0 => return (None, i + 1),
+            ";" if angle <= 0 => return (params, None, i + 1),
             _ => {}
         }
         i += 1;
     }
-    (None, i)
+    (params, None, i)
 }
 
 /// Parse an `impl`/`trait` header starting just past the keyword. Returns
@@ -320,6 +471,9 @@ fn parse_impl_header(
     }
     let mut self_ty: Option<String> = None;
     let mut angle = 0i32;
+    // After `:` in a trait header (`trait Scorer: Send + Sync`), idents are
+    // supertraits, not the trait's own name.
+    let mut frozen = false;
     while i < to {
         let t = &toks[i];
         match t.text.as_str() {
@@ -330,6 +484,7 @@ fn parse_impl_header(
             "{" if angle <= 0 => return (self_ty, Some(i)),
             ";" if angle <= 0 => return (self_ty, None), // `impl Trait for T;`-ish
             "for" if angle <= 0 && is_impl => self_ty = None, // real type follows
+            ":" if angle <= 0 && !is_impl => frozen = true,
             "where" if angle <= 0 => {
                 // where-clause: self type is already known; find the `{`.
                 while i < to && toks[i].text != "{" {
@@ -337,7 +492,7 @@ fn parse_impl_header(
                 }
                 return (self_ty, (i < to).then_some(i));
             }
-            _ if t.kind == TokKind::Ident && angle <= 0 => {
+            _ if t.kind == TokKind::Ident && angle <= 0 && !frozen => {
                 self_ty = Some(t.text.clone());
             }
             _ => {}
@@ -400,6 +555,118 @@ const NON_CALL_KEYWORDS: &[&str] = &[
 
 /// Extract call sites from `[start, end)`, skipping `exclude` sub-ranges
 /// (nested fn bodies).
+/// Token index of the `[` opening the group that closes at `close` (which
+/// must point at `]`), bounded below by `floor`.
+fn open_of(toks: &[Tok], close: usize, floor: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close + 1;
+    while j > floor {
+        j -= 1;
+        match toks[j].text.as_str() {
+            "]" => depth += 1,
+            "[" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Element-type evidence from `for` loops in `[start, end)`. Each entry is
+/// binding name → source: `"self.<field>"` for loops over a field of
+/// `self`, or a bare local/param name the resolver chases one more hop.
+/// Recognized shapes (anything else contributes nothing):
+///
+/// * `for x in [&[mut]] <src> { … }`
+/// * `for x in <src>.iter()/.iter_mut()/.into_iter() { … }`
+/// * `for (i, x) in <src>.iter().enumerate() { … }` — the second tuple
+///   element binds (the first is the index).
+fn loop_bindings(toks: &[Tok], start: usize, end: usize) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let end = end.min(toks.len());
+    let id = |j: usize| {
+        toks.get(j)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    };
+    let txt = |j: usize| toks.get(j).map(|t| t.text.as_str());
+    let mut i = start;
+    while i < end {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "for") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut tuple = false;
+        let binding: Option<String> = if txt(j) == Some("(")
+            && id(j + 1).is_some()
+            && txt(j + 2) == Some(",")
+            && id(j + 3).is_some()
+            && txt(j + 4) == Some(")")
+        {
+            tuple = true;
+            let b = id(j + 3).map(|s| s.to_string());
+            j += 5;
+            b
+        } else if let Some(b) = id(j) {
+            j += 1;
+            Some(b.to_string())
+        } else {
+            None
+        };
+        let Some(binding) = binding else {
+            i += 1;
+            continue;
+        };
+        if txt(j) != Some("in") {
+            i += 1;
+            continue;
+        }
+        j += 1;
+        while matches!(txt(j), Some("&") | Some("mut")) {
+            j += 1;
+        }
+        let src: Option<String> =
+            if id(j) == Some("self") && txt(j + 1) == Some(".") && id(j + 2).is_some() {
+                let f = format!("self.{}", id(j + 2).unwrap());
+                j += 3;
+                Some(f)
+            } else if let Some(l) = id(j) {
+                j += 1;
+                Some(l.to_string())
+            } else {
+                None
+            };
+        let Some(src) = src else {
+            i += 1;
+            continue;
+        };
+        let mut enumerated = false;
+        while txt(j) == Some(".")
+            && matches!(
+                id(j + 1),
+                Some("iter") | Some("iter_mut") | Some("into_iter") | Some("enumerate")
+            )
+            && txt(j + 2) == Some("(")
+            && txt(j + 3) == Some(")")
+        {
+            if id(j + 1) == Some("enumerate") {
+                enumerated = true;
+            }
+            j += 4;
+        }
+        if txt(j) == Some("{") && (!tuple || enumerated) {
+            out.push((binding, src));
+        }
+        i = j;
+    }
+    out
+}
+
 fn extract_calls(
     toks: &[Tok],
     start: usize,
@@ -438,18 +705,74 @@ fn extract_calls(
         {
             after = skip_angles(toks, after + 1, end);
         }
-        if toks.get(after).map(|t| t.text.as_str()) != Some("(") {
+        let is_call = toks.get(after).map(|t| t.text.as_str()) == Some("(");
+        if !is_call {
+            // Fn *reference*: `Qual::name` not followed by `(` where `name`
+            // is snake_case — `&construction::node_features` passed as a
+            // callback, `map(Self::helper)`. The value is a fn pointer that
+            // will be invoked, so it is an edge. Uppercase names (enum
+            // variants, types, constants: `fmt::Result`, `Level::Warn`) and
+            // further path segments (`a::b::c` — only the last counts) are
+            // not references.
+            let lowercase_start = t
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase());
+            let next_is_path = toks.get(i + 1).map(|t| t.text.as_str()) == Some("::");
+            if lowercase_start
+                && !next_is_path
+                && i.checked_sub(1).map(|p| toks[p].text.as_str()) == Some("::")
+            {
+                if let Some(q) = i
+                    .checked_sub(2)
+                    .map(|q| &toks[q])
+                    .filter(|q| q.kind == TokKind::Ident)
+                {
+                    out.push(CallSite {
+                        name: t.text.clone(),
+                        kind: CallKind::Path(q.text.clone()),
+                        line: t.line,
+                        tok: i,
+                        is_ref: true,
+                    });
+                }
+            }
             i += 1;
             continue;
         }
         let kind = match i.checked_sub(1).map(|p| toks[p].text.as_str()) {
-            Some(".") => CallKind::Method {
-                recv_ident: i
-                    .checked_sub(2)
-                    .map(|r| &toks[r])
-                    .filter(|r| r.kind == TokKind::Ident)
-                    .map(|r| r.text.clone()),
-            },
+            Some(".") => {
+                let ident_at = |j: Option<usize>| {
+                    j.map(|r| &toks[r])
+                        .filter(|r| r.kind == TokKind::Ident)
+                        .map(|r| r.text.clone())
+                };
+                // `base.field[idx].method(…)` — the receiver ends in an
+                // index group; walk back over the balanced `[…]` so the
+                // field still provides type evidence (`self.pools[d].f(…)`).
+                let mut recv_pos = i.checked_sub(2);
+                if recv_pos.map(|p| toks[p].text.as_str()) == Some("]") {
+                    recv_pos = open_of(toks, i - 2, start).and_then(|o| o.checked_sub(1));
+                }
+                let recv_ident = ident_at(recv_pos);
+                // `base.field.method(…)` — record `base` so the resolver can
+                // consult struct field types (`self.l0.forward_infer(…)`).
+                let recv_base = if recv_ident.is_some()
+                    && recv_pos
+                        .and_then(|p| p.checked_sub(1))
+                        .map(|p| toks[p].text.as_str())
+                        == Some(".")
+                {
+                    ident_at(recv_pos.and_then(|p| p.checked_sub(2)))
+                } else {
+                    None
+                };
+                CallKind::Method {
+                    recv_ident,
+                    recv_base,
+                }
+            }
             Some("::") => {
                 let qual = i
                     .checked_sub(2)
@@ -460,7 +783,10 @@ fn extract_calls(
                     Some(q) => CallKind::Path(q),
                     // `<T as Trait>::f(…)` or `>::f(…)` — treat as method-like
                     // name match.
-                    None => CallKind::Method { recv_ident: None },
+                    None => CallKind::Method {
+                        recv_ident: None,
+                        recv_base: None,
+                    },
                 }
             }
             _ => CallKind::Free,
@@ -469,6 +795,8 @@ fn extract_calls(
             name: t.text.clone(),
             kind,
             line: t.line,
+            tok: i,
+            is_ref: false,
         });
         i += 1;
     }
@@ -510,10 +838,98 @@ mod tests {
         assert_eq!(
             tick.calls[0].kind,
             CallKind::Method {
-                recv_ident: Some("self".into())
+                recv_ident: Some("self".into()),
+                recv_base: None,
             }
         );
         assert_eq!(tick.calls[1].kind, CallKind::Free);
+    }
+
+    #[test]
+    fn params_struct_fields_and_traits_are_recorded() {
+        let fs = FileSyntax::parse(
+            "x.rs",
+            r#"
+            pub struct GcnModel { l0: GcnLayer, l1: GcnLayer, cfg: ModelConfig }
+            pub struct Unit;
+            pub struct Pair(f32, f32);
+            pub trait GraphModel: Send + Sync {
+                fn forward_infer(&self, ctx: &mut InferCtx, g: &PreparedGraph) -> f32;
+            }
+            fn go(ctx: &mut InferCtx, v: Vec<f32>, (a, b): (f32, f32)) {
+                ctx.matmul(v);
+                self.l0.forward_infer(ctx);
+            }
+            "#,
+        );
+        let (name, fields) = &fs.structs[0];
+        assert_eq!(name, "GcnModel");
+        assert_eq!(
+            fields,
+            &vec![
+                ("l0".to_string(), "GcnLayer".to_string()),
+                ("l1".to_string(), "GcnLayer".to_string()),
+                ("cfg".to_string(), "ModelConfig".to_string()),
+            ]
+        );
+        assert_eq!(fs.structs.len(), 3);
+        assert!(fs.structs[1].1.is_empty() && fs.structs[2].1.is_empty());
+        assert_eq!(fs.traits, vec!["GraphModel".to_string()]);
+        // Trait name, not the supertrait, is the method receiver.
+        assert_eq!(
+            find(&fs, "forward_infer").receiver.as_deref(),
+            Some("GraphModel")
+        );
+        let go = find(&fs, "go");
+        // `self` and destructured patterns contribute no param entries.
+        assert_eq!(
+            go.params,
+            vec![
+                ("ctx".to_string(), "InferCtx".to_string()),
+                ("v".to_string(), "f32".to_string()),
+            ]
+        );
+        assert_eq!(
+            go.calls[0].kind,
+            CallKind::Method {
+                recv_ident: Some("ctx".into()),
+                recv_base: None,
+            }
+        );
+        assert_eq!(
+            go.calls[1].kind,
+            CallKind::Method {
+                recv_ident: Some("l0".into()),
+                recv_base: Some("self".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn path_fn_references_are_edges_but_types_and_variants_are_not() {
+        let fs = FileSyntax::parse(
+            "x.rs",
+            r#"
+            fn go() -> fmt::Result {
+                register(&crate::construction::node_features);
+                let xs: Vec<f32> = ys.iter().map(f32::abs).collect();
+                let level = Level::Warn;
+                helper(plain_ident);
+            }
+            "#,
+        );
+        let go = find(&fs, "go");
+        let refs: Vec<(&str, &CallKind)> = go
+            .calls
+            .iter()
+            .filter(|c| c.is_ref)
+            .map(|c| (c.name.as_str(), &c.kind))
+            .collect();
+        assert!(refs.contains(&("node_features", &CallKind::Path("construction".into()))));
+        assert!(refs.contains(&("abs", &CallKind::Path("f32".into()))));
+        // `Level::Warn` (variant), `fmt::Result` (type), and bare idents are
+        // not reference sites.
+        assert_eq!(refs.len(), 2, "{refs:?}");
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! Lock-order fixture: two paths acquire the same pair of locks in
+//! opposite orders (ABBA deadlock), and one fn holds a lock across a
+//! callee that locks again.
+
+pub fn forward_pass() {
+    let a = POOL_LOCK.lock();
+    let b = STATS_LOCK.lock();
+}
+
+pub fn backward_pass() {
+    let b = STATS_LOCK.lock();
+    let a = POOL_LOCK.lock();
+}
+
+pub fn held_across() {
+    let g = POOL_LOCK.lock();
+    reload();
+}
+
+pub fn reload() {
+    let h = STATS_LOCK.lock();
+}

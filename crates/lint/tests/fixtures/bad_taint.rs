@@ -1,0 +1,15 @@
+//! Taint fixture: a wall-clock read two calls deep flows into a durable
+//! checkpoint sink — the interprocedural pass must connect them.
+
+pub fn save_checkpoint(path: &str) -> f32 {
+    stamp()
+}
+
+fn stamp() -> f32 {
+    freshness()
+}
+
+fn freshness() -> f32 {
+    let t = Instant::now();
+    0.0
+}

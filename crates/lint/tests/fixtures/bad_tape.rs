@@ -1,0 +1,18 @@
+//! Tape-purity fixture: the tape-free inference entry reaches a tape
+//! constructor through a helper — allocation on the serving path.
+
+impl Tape {
+    pub fn new() -> Tape {
+        Tape
+    }
+}
+
+impl Model {
+    pub fn forward_infer(&self) {
+        scratch();
+    }
+}
+
+fn scratch() {
+    let t = Tape::new();
+}

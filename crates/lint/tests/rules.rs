@@ -212,6 +212,42 @@ fn clean_fixture_has_no_findings() {
 
 /// Malformed pragmas are findings themselves, and do not suppress anything.
 #[test]
+fn taint_flow_tracks_sources_into_sinks_across_calls() {
+    let f = lint_fixture(include_str!("fixtures/bad_taint.rs"));
+    assert!(count(&f, RuleId::TaintFlow) >= 1, "{f:?}");
+    let t = f.iter().find(|x| x.rule == RuleId::TaintFlow).unwrap();
+    assert!(
+        !t.witness.is_empty(),
+        "taint findings must carry a witness call chain: {t:?}"
+    );
+}
+
+#[test]
+fn taint_flow_honours_suppression_pragmas() {
+    let src = include_str!("fixtures/bad_taint.rs").replace(
+        "    let t = Instant::now();",
+        "    // glint-lint: allow(taint-flow, wall-clock) — fixture justification\n    \
+         let t = Instant::now();",
+    );
+    let f = lint_fixture(&src);
+    assert_eq!(count(&f, RuleId::TaintFlow), 0, "{f:?}");
+    assert_eq!(count(&f, RuleId::UnusedAllow), 0, "{f:?}");
+}
+
+#[test]
+fn lock_order_rules_catch_cycles_and_holds_across_locking_callees() {
+    let f = lint_fixture(include_str!("fixtures/bad_lock_order.rs"));
+    assert!(count(&f, RuleId::LockCycle) >= 1, "{f:?}");
+    assert!(count(&f, RuleId::LockAcrossCall) >= 1, "{f:?}");
+}
+
+#[test]
+fn tape_purity_flags_inference_fns_that_allocate_tapes() {
+    let f = lint_fixture(include_str!("fixtures/bad_tape.rs"));
+    assert!(count(&f, RuleId::TapePurity) >= 1, "{f:?}");
+}
+
+#[test]
 fn malformed_pragmas_are_reported_and_do_not_suppress() {
     let f = lint_fixture(include_str!("fixtures/bad_pragma.rs"));
     // unjustified, unknown rule, empty allow(), block comment → pragma

@@ -5,7 +5,7 @@
 //! concept id, which is what makes the embedding space (and the WordNet
 //! stand-in) semantically coherent.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// Part-of-speech tags (spaCy coarse tag set subset).
@@ -62,7 +62,7 @@ pub struct Entry {
 
 /// The global, immutable domain lexicon.
 pub struct Lexicon {
-    entries: HashMap<&'static str, Entry>,
+    entries: BTreeMap<&'static str, Entry>,
     /// Multi-word expressions, longest-first, as (joined_key, words).
     mwes: Vec<(&'static str, Vec<&'static str>)>,
 }
@@ -358,7 +358,7 @@ impl Lexicon {
     pub fn global() -> &'static Lexicon {
         static LEX: OnceLock<Lexicon> = OnceLock::new();
         LEX.get_or_init(|| {
-            let mut entries = HashMap::new();
+            let mut entries = BTreeMap::new();
             for e in raw_entries() {
                 // first entry for a word wins for POS priority (verb senses
                 // of "open"/"lock"/"water" are disambiguated in `pos`)

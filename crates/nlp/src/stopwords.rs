@@ -1,6 +1,6 @@
 //! Stop-word filtering for feature extraction.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
 const STOPWORDS: &[&str] = &[
@@ -10,8 +10,8 @@ const STOPWORDS: &[&str] = &[
     "may", "might", "do", "does", "did", "have", "has", "had", "please",
 ];
 
-fn set() -> &'static HashSet<&'static str> {
-    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+fn set() -> &'static BTreeSet<&'static str> {
+    static SET: OnceLock<BTreeSet<&'static str>> = OnceLock::new();
     SET.get_or_init(|| STOPWORDS.iter().copied().collect())
 }
 

@@ -2,7 +2,7 @@
 //! smart-home vocabulary (consumed by Algorithm 1's binary relation features).
 
 use crate::lexicon::Lexicon;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// Hypernym edges between *concepts*: (child, parent).
@@ -137,18 +137,18 @@ const MERONYMS: &[(&str, &str)] = &[
 ];
 
 struct Net {
-    hyper: HashMap<&'static str, Vec<&'static str>>,
-    mero: HashMap<&'static str, Vec<&'static str>>,
+    hyper: BTreeMap<&'static str, Vec<&'static str>>,
+    mero: BTreeMap<&'static str, Vec<&'static str>>,
 }
 
 fn net() -> &'static Net {
     static NET: OnceLock<Net> = OnceLock::new();
     NET.get_or_init(|| {
-        let mut hyper: HashMap<&'static str, Vec<&'static str>> = HashMap::new();
+        let mut hyper: BTreeMap<&'static str, Vec<&'static str>> = BTreeMap::new();
         for &(c, p) in HYPERNYMS {
             hyper.entry(c).or_default().push(p);
         }
-        let mut mero: HashMap<&'static str, Vec<&'static str>> = HashMap::new();
+        let mut mero: BTreeMap<&'static str, Vec<&'static str>> = BTreeMap::new();
         for &(part, whole) in MERONYMS {
             mero.entry(part).or_default().push(whole);
         }
@@ -250,7 +250,7 @@ pub fn meronym_related(a: &str, b: &str) -> bool {
 
 fn part_of(part: &str, whole: &str) -> bool {
     let mut stack = vec![part.to_string()];
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     while let Some(cur) = stack.pop() {
         if !seen.insert(cur.clone()) {
             continue;

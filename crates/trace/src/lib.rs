@@ -204,8 +204,9 @@ pub fn span(name: &'static str) -> SpanGuard {
         return SpanGuard { start: None };
     }
     SPAN_STACK.with(|s| s.borrow_mut().push(name));
-    // glint-lint: allow(wall-clock) — span durations are observability
-    // output only; recorded counts and structure never depend on them
+    // glint-lint: allow(wall-clock, taint-flow) — span durations are
+    // observability output only; recorded counts and structure never
+    // depend on them
     let start = Instant::now();
     SpanGuard { start: Some(start) }
 }

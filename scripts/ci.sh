@@ -10,11 +10,18 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== glint-lint (invariants + call graph + allocation census vs baseline) =="
+echo "== glint-lint (invariants + taint/lock-order dataflow + census & panic-surface ratchets) =="
+# The --baseline stage fails on findings, on allocation-census growth, AND
+# on panic-surface growth: the set of panic-capable fns reachable from the
+# serving entry points may only shrink. On a regression, rerun with
+# `--explain <rule>` for the witness call chains.
 cargo run -q -p glint-lint -- --json --bench-out BENCH_lint.json.new --baseline BENCH_lint.json
-# validate the fresh snapshot with the workspace's own JSON layer, then
-# promote it so census growth is reviewed as a diff of the committed file
+# validate the fresh v3 snapshot with the workspace's own serde_json shim
+# (schema: graph stats, named panic-surface certificate, ranked census) and
+# check the committed certificate is not stale, then promote the snapshot so
+# surface changes are reviewed as a diff of the committed file
 cargo test -q --test invariant_lint bench_report_parses_under_serde_json_shim
+cargo test -q --test invariant_lint committed_panic_surface_matches_fresh_run
 mv BENCH_lint.json.new BENCH_lint.json
 
 echo "== cargo test (default GLINT_THREADS) =="

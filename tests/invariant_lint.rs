@@ -88,6 +88,110 @@ fn bench_report_parses_under_serde_json_shim() {
         glint_lint::report::baseline_total_sites(&doc),
         Some(a.census.sites.len())
     );
+    // v3: the panic-surface certificate must be present, non-empty, and
+    // readable by the same baseline helper the ratchet uses.
+    let surface = field("panic_surface")
+        .as_map()
+        .expect("panic_surface must be an object");
+    let panic_fns = surface
+        .iter()
+        .find(|(k, _)| k == "panic_fns")
+        .and_then(|(_, v)| v.as_u64())
+        .expect("panic_surface.panic_fns must be a number");
+    assert_eq!(panic_fns as usize, a.panic_surface.len());
+    assert!(
+        panic_fns > 0,
+        "the serving path has known panic-capable fns"
+    );
+    assert_eq!(
+        glint_lint::report::baseline_panic_fns(&doc),
+        Some(a.panic_surface.len())
+    );
+}
+
+/// The committed BENCH_lint.json panic-surface certificate must name the
+/// same fns a fresh run finds — a stale snapshot would let the ratchet gate
+/// on fiction.
+#[test]
+fn committed_panic_surface_matches_fresh_run() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let doc = std::fs::read_to_string(root.join("BENCH_lint.json"))
+        .expect("BENCH_lint.json must be committed at the workspace root");
+    let value: serde_json::Value = serde_json::from_str(&doc).expect("BENCH_lint.json must parse");
+    let committed: Vec<String> = value
+        .as_map()
+        .and_then(|m| m.iter().find(|(k, _)| k == "panic_surface"))
+        .and_then(|(_, v)| v.as_map())
+        .and_then(|m| m.iter().find(|(k, _)| k == "fns"))
+        .and_then(|(_, v)| v.as_seq())
+        .expect("panic_surface.fns must be an array")
+        .iter()
+        .filter_map(|f| {
+            f.as_map()
+                .and_then(|m| m.iter().find(|(k, _)| k == "fn"))
+                .and_then(|(_, v)| v.as_str().map(str::to_string))
+        })
+        .collect();
+    let fresh: Vec<String> = analysis()
+        .panic_surface
+        .iter()
+        .map(|p| p.qualified.clone())
+        .collect();
+    assert_eq!(
+        committed, fresh,
+        "committed panic surface is stale — regenerate with \
+         `cargo run -p glint-lint -- --bench-out BENCH_lint.json`"
+    );
+}
+
+/// Enum-variant constructors (`Some`, `Ok`, `Err`, local variants) and std
+/// staples must never surface in the actionable unresolved list — they are
+/// noise, not missing call-graph edges.
+#[test]
+fn unresolved_list_has_no_variant_ctors_or_staples() {
+    let a = analysis();
+    let unresolved = a.stats.unresolved;
+    for name in [
+        "Some", "Ok", "Err", "None", "new", "iter", "len", "push", "clone",
+    ] {
+        assert!(
+            !unresolved.contains_key(name),
+            "`{name}` leaked into the actionable unresolved list: {unresolved:?}"
+        );
+    }
+    assert!(
+        !unresolved
+            .keys()
+            .any(|k| k.chars().next().is_some_and(|c| c.is_ascii_uppercase())),
+        "capitalized (variant-ctor-shaped) names leaked: {unresolved:?}"
+    );
+}
+
+/// Regression pin for the determinism-taint fix: the NLP crate feeds
+/// `GlintDetector::process_window` (tokenize → embed), so it must stay
+/// under the deterministic-prefix umbrella and free of hash-ordered
+/// collections in non-test code.
+#[test]
+fn nlp_crate_is_hash_free_and_deterministic_scoped() {
+    let cfg = glint_lint::Config::default();
+    assert!(
+        cfg.deterministic_prefixes
+            .iter()
+            .any(|p| p == "crates/nlp/src/"),
+        "crates/nlp/src/ must be a deterministic prefix"
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sources = glint_lint::workspace_sources(root).expect("workspace sources must be readable");
+    for (path, text) in &sources {
+        if !path.starts_with("crates/nlp/src/") {
+            continue;
+        }
+        assert!(
+            !text.contains("HashMap") && !text.contains("HashSet"),
+            "{path} reintroduced a hash-ordered collection on the \
+             detector's text path; use BTreeMap/BTreeSet"
+        );
+    }
 }
 
 /// The census must account for the allocations the trace layer observes at

@@ -257,6 +257,25 @@ pub fn export_inference_trace(run: &str) -> Option<std::path::PathBuf> {
     Some(path)
 }
 
+/// Repo-root `BENCH_serve.json` — the serving-layer snapshot (qps,
+/// latency percentiles, shed/degraded counts, p95 budget) the
+/// `micro_serve` harness emits and CI gates against the committed
+/// budget.
+pub fn bench_serve_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+}
+
+/// Read one top-level `f64` field out of a JSON snapshot. `None` when
+/// the file or the field is absent or malformed.
+pub fn snapshot_f64(path: &std::path::Path, name: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    let top = value.as_map()?;
+    top.iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.as_f64())
+}
+
 /// Read one counter out of an exported trace snapshot (`BENCH_trace.json`
 /// / `BENCH_inference.json`). `None` when the file, the `counters`
 /// section, or the counter itself is absent or malformed.

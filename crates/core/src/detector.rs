@@ -58,6 +58,27 @@ impl Degradation {
     }
 }
 
+/// How much latency budget a caller has left for one assessment. The
+/// serving layer translates its per-request deadline into one of these
+/// rungs; the detector itself never reads a clock, so verdict content
+/// stays a pure function of the graph and the chosen rung.
+///
+/// Each rung maps onto the degradation ladder above:
+/// [`Comfortable`](DeadlinePressure::Comfortable) runs the full pipeline,
+/// [`Tight`](DeadlinePressure::Tight) skips the classifier and answers
+/// from the drift screen ([`Degradation::DriftOnly`]), and
+/// [`Expired`](DeadlinePressure::Expired) returns an explicit
+/// [`Degradation::Quarantined`] timeout verdict instead of silence.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DeadlinePressure {
+    /// Enough budget for the full GNN verdict.
+    Comfortable,
+    /// Not enough budget for the classifier; drift screening only.
+    Tight,
+    /// The deadline already passed; no assessment is attempted.
+    Expired,
+}
+
 /// Outcome of screening one real-time window.
 #[derive(Clone, Debug)]
 pub struct Detection {
@@ -161,8 +182,42 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
     /// poisoned graph or an internal failure lands on a lower rung of the
     /// degradation ladder (drift-only fallback or quarantine) instead.
     pub fn assess(&self, graph: InteractionGraph) -> Detection {
+        self.assess_mode(graph, false)
+    }
+
+    /// Deadline-aware assessment: the caller states how much latency
+    /// budget remains and the verdict lands on the matching rung of the
+    /// degradation ladder. `Comfortable` is exactly [`Self::assess`];
+    /// `Tight` skips the classifier (embed + drift screen only, a
+    /// [`Degradation::DriftOnly`] verdict with the drift-derived
+    /// pseudo-probability); `Expired` returns an explicit
+    /// [`Degradation::Quarantined`] timeout verdict without touching the
+    /// models. Never panics, never blocks on anything but the math it was
+    /// budgeted for.
+    pub fn assess_under_pressure(
+        &self,
+        graph: InteractionGraph,
+        pressure: DeadlinePressure,
+    ) -> Detection {
+        match pressure {
+            DeadlinePressure::Comfortable => self.assess_mode(graph, false),
+            DeadlinePressure::Tight => self.assess_mode(graph, true),
+            DeadlinePressure::Expired => {
+                let detection = Detection::quarantined(
+                    graph,
+                    "deadline expired before assessment began".to_string(),
+                );
+                if glint_trace::enabled() {
+                    glint_trace::counter("detector.verdict.quarantined", 1);
+                }
+                detection
+            }
+        }
+    }
+
+    fn assess_mode(&self, graph: InteractionGraph, skip_classifier: bool) -> Detection {
         let _span = glint_trace::span("assess");
-        let detection = match self.verdict(&graph) {
+        let detection = match self.verdict(&graph, skip_classifier) {
             Ok(v) => Detection {
                 graph,
                 drifting: v.drifting,
@@ -198,7 +253,7 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
     /// rather than a degraded verdict. Drift-only fallback still returns
     /// `Ok` (the verdict exists, just degraded).
     pub fn try_assess(&self, graph: InteractionGraph) -> Result<Detection, GlintError> {
-        let v = self.verdict(&graph)?;
+        let v = self.verdict(&graph, false)?;
         Ok(Detection {
             graph,
             drifting: v.drifting,
@@ -212,7 +267,14 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
 
     /// The assessment pipeline. `Err` means quarantine (no verdict
     /// possible); `Ok` verdicts may still be degraded to drift-only.
-    fn verdict(&self, graph: &InteractionGraph) -> Result<Verdict, GlintError> {
+    /// With `skip_classifier` the pipeline stops after drift screening
+    /// (the deadline-pressure rung): the verdict is deliberately
+    /// drift-only, not a classifier failure.
+    fn verdict(
+        &self,
+        graph: &InteractionGraph,
+        skip_classifier: bool,
+    ) -> Result<Verdict, GlintError> {
         if graph.n_nodes() == 0 {
             return Ok(Verdict {
                 drifting: false,
@@ -247,24 +309,31 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
         let drift_degree = self.drift.drift_degree(&embedding);
         let drifting = drift_degree > self.drift.threshold;
         // step ⑥: classification, falling back to the drift score when the
-        // classifier fails — a degraded verdict beats no verdict.
-        let classified = {
+        // classifier fails — a degraded verdict beats no verdict. Under
+        // deadline pressure the classifier is skipped outright and the
+        // same fallback rung answers.
+        let classified = if skip_classifier {
+            None
+        } else {
             let _span = glint_trace::span("classify");
-            catch_unwind(AssertUnwindSafe(|| -> Result<f32, GlintError> {
-                glint_failpoint::trigger(SITE_CLASSIFY)?;
-                Ok(ClassifierTrainer::predict_proba(
-                    &self.classifier,
-                    &prepared,
-                ))
-            }))
+            Some(catch_unwind(AssertUnwindSafe(
+                || -> Result<f32, GlintError> {
+                    glint_failpoint::trigger(SITE_CLASSIFY)?;
+                    Ok(ClassifierTrainer::predict_proba(
+                        &self.classifier,
+                        &prepared,
+                    ))
+                },
+            )))
         };
         let (threat_probability, is_threat, degradation) = match classified {
-            Ok(Ok(p)) if p.is_finite() => (p, p > 0.5, Degradation::None),
+            Some(Ok(Ok(p))) if p.is_finite() => (p, p > 0.5, Degradation::None),
             other => {
                 let reason = match other {
-                    Ok(Ok(p)) => format!("classifier produced non-finite probability {p}"),
-                    Ok(Err(e)) => e.to_string(),
-                    Err(payload) => panic_message(payload),
+                    None => "deadline pressure: classifier skipped".to_string(),
+                    Some(Ok(Ok(p))) => format!("classifier produced non-finite probability {p}"),
+                    Some(Ok(Err(e))) => e.to_string(),
+                    Some(Err(payload)) => panic_message(payload),
                 };
                 // drift-only pseudo-probability: 0.5 exactly at the MAD
                 // threshold, approaching 1 as the drift degree grows
@@ -447,6 +516,44 @@ mod tests {
                 assert!((0.0..=1.0).contains(&det.threat_probability));
             }
         }
+    }
+
+    #[test]
+    fn pressure_rungs_map_onto_the_degradation_ladder() {
+        let (classifier, embedder, drift) = tiny_models();
+        let rules = table1_rules();
+        let detector = GlintDetector::new(rules.clone(), classifier, embedder, drift);
+        let builder = crate::construction::OfflineBuilder::new(rules, 5);
+        let ds = builder.build_dataset(Platform::all(), 4, 6, true);
+        let graph = ds.graphs()[0].clone();
+        assert!(graph.n_nodes() > 0, "need a non-empty graph");
+
+        let full = detector.assess_under_pressure(graph.clone(), DeadlinePressure::Comfortable);
+        assert_eq!(full.degradation, Degradation::None);
+        assert!((0.0..=1.0).contains(&full.threat_probability));
+
+        let tight = detector.assess_under_pressure(graph.clone(), DeadlinePressure::Tight);
+        match &tight.degradation {
+            Degradation::DriftOnly(reason) => {
+                assert!(reason.contains("deadline"), "reason: {reason}")
+            }
+            other => panic!("Tight must land on DriftOnly, got {other:?}"),
+        }
+        // drift screening still ran: the degree is real, and the
+        // pseudo-probability is the drift-derived one
+        assert!(tight.drift_degree.is_finite());
+        assert_eq!(tight.drift_degree, full.drift_degree);
+        assert!((0.0..=1.0).contains(&tight.threat_probability));
+
+        let expired = detector.assess_under_pressure(graph, DeadlinePressure::Expired);
+        match &expired.degradation {
+            Degradation::Quarantined(reason) => {
+                assert!(reason.contains("deadline expired"), "reason: {reason}")
+            }
+            other => panic!("Expired must quarantine, got {other:?}"),
+        }
+        assert!(expired.threat_probability.is_nan());
+        assert!(!expired.is_threat);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod warning;
 
 pub use construction::{node_features, DatasetBundle, OfflineBuilder};
 pub use correlation::{pair_features, CorrelationDiscoverer, PairDataset};
-pub use detector::{Degradation, Detection, GlintDetector};
+pub use detector::{DeadlinePressure, Degradation, Detection, GlintDetector};
 pub use drift::DriftDetector;
 pub use error::GlintError;
 pub use feedback::FeedbackStore;

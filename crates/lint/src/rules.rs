@@ -185,6 +185,7 @@ impl Default for Config {
                 "crates/tensor/src/".into(),
                 "crates/trace/src/".into(),
                 "crates/nlp/src/".into(),
+                "crates/serve/src/".into(),
             ],
             clock_exempt_prefixes: vec!["crates/bench/".into()],
             hot_entry_points: vec![
@@ -207,6 +208,15 @@ impl Default for Config {
                 "GlintDetector::try_assess".into(),
                 "GlintDetector::assess_batch".into(),
                 "GlintDetector::process_window".into(),
+                "GlintDetector::assess_under_pressure".into(),
+                // glint-serve request path: admission, dispatch, handlers
+                "accept_loop".into(),
+                "worker_loop".into(),
+                "handle_connection".into(),
+                "handle_score".into(),
+                "handle_score_batch".into(),
+                "handle_feedback".into(),
+                "handle_metrics".into(),
                 // trainer step functions (per-step math, not checkpoint IO)
                 "step".into(),
                 "reduce_batch".into(),
@@ -215,15 +225,24 @@ impl Default for Config {
                 "GlintDetector::assess".into(),
                 "GlintDetector::try_assess".into(),
                 "GlintDetector::assess_batch".into(),
+                "GlintDetector::assess_under_pressure".into(),
             ],
             no_index_fns: Vec::new(),
-            degradation_files: vec!["crates/core/src/detector.rs".into()],
+            degradation_files: vec![
+                "crates/core/src/detector.rs".into(),
+                // the serving layer's panic-isolation boundary: a worker
+                // containing a handler panic and respawning is the design
+                "crates/serve/src/worker.rs".into(),
+            ],
             taint_sinks: vec![
                 // verdict/score outputs
                 "GlintDetector::assess".into(),
                 "GlintDetector::try_assess".into(),
                 "GlintDetector::assess_batch".into(),
                 "GlintDetector::process_window".into(),
+                // serving verdicts: the detector only ever sees the discrete
+                // pressure rung, never the clock, so this must stay clean
+                "GlintDetector::assess_under_pressure".into(),
                 // GLINTDUR envelope writes
                 "write_durable".into(),
                 // checkpoint payloads

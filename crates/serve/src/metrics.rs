@@ -1,0 +1,154 @@
+//! Serving metrics: lock-free counters for admission/degradation
+//! accounting plus a fixed-size latency ring whose percentiles back
+//! `GET /metrics` and the `micro_serve` snapshot.
+//!
+//! Percentile math is a pure function over recorded samples — no clock
+//! reads, no allocation surprises — so `/metrics` stays cheap and the
+//! numbers are reproducible from the same sample window.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+/// Latency samples kept for percentile estimation (a sliding window, so
+/// long-running servers report recent behaviour, not lifetime averages).
+const LATENCY_WINDOW: usize = 4096;
+
+struct Ring {
+    buf: Vec<u64>,
+    next: usize,
+}
+
+impl Ring {
+    fn push(&mut self, value: u64) {
+        if self.buf.len() < LATENCY_WINDOW {
+            self.buf.push(value);
+            return;
+        }
+        if let Some(slot) = self.buf.get_mut(self.next) {
+            *slot = value;
+        }
+        self.next = if self.next + 1 >= LATENCY_WINDOW {
+            0
+        } else {
+            self.next + 1
+        };
+    }
+}
+
+pub(crate) struct Metrics {
+    /// Requests admitted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests refused with `429` at the admission gate.
+    pub shed: AtomicU64,
+    /// Responses successfully written (any status).
+    pub answered: AtomicU64,
+    /// Typed error responses (parse failures, injected faults, panics).
+    pub errors: AtomicU64,
+    /// Verdicts per degradation rung.
+    pub full: AtomicU64,
+    pub drift_only: AtomicU64,
+    pub quarantined: AtomicU64,
+    /// Workers respawned after a contained panic.
+    pub respawns: AtomicU64,
+    latencies_us: Mutex<Ring>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            full: AtomicU64::new(0),
+            drift_only: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            latencies_us: Mutex::new(Ring {
+                buf: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    pub(crate) fn record_latency_us(&self, us: u64) {
+        self.lock_ring().push(us);
+    }
+
+    /// `[p50, p95, p99]` in milliseconds over the current window.
+    pub(crate) fn percentiles_ms(&self) -> [f64; 3] {
+        let mut sorted = self.lock_ring().buf.clone();
+        sorted.sort_unstable();
+        [
+            percentile_us(&sorted, 50) as f64 / 1000.0,
+            percentile_us(&sorted, 95) as f64 / 1000.0,
+            percentile_us(&sorted, 99) as f64 / 1000.0,
+        ]
+    }
+
+    fn lock_ring(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.latencies_us
+            // glint-lint: allow(hot-lock) — one push into a preallocated
+            // ring per answered request; the critical section is a single
+            // array write, and a poisoned lock recovers via into_inner (the
+            // ring is valid after any interrupted write)
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample window.
+/// Pure: no clocks, no locks, total for every input including empty.
+pub(crate) fn percentile_us(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() - 1) * pct.min(100) / 100;
+    sorted.get(idx).copied().unwrap_or(0)
+}
+
+/// Division guarded against a zero denominator (uptime/sample counts can
+/// legitimately be zero right after boot).
+pub(crate) fn safe_div(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 50), 50);
+        assert_eq!(percentile_us(&sorted, 95), 95);
+        assert_eq!(percentile_us(&sorted, 99), 99);
+        assert_eq!(percentile_us(&sorted, 100), 100);
+        assert_eq!(percentile_us(&[], 95), 0);
+        assert_eq!(percentile_us(&[7], 99), 7);
+    }
+
+    #[test]
+    fn ring_wraps_at_window() {
+        let mut ring = Ring {
+            buf: Vec::new(),
+            next: 0,
+        };
+        for i in 0..(LATENCY_WINDOW + 10) {
+            ring.push(i as u64);
+        }
+        assert_eq!(ring.buf.len(), LATENCY_WINDOW);
+        // the first 10 slots were overwritten by the newest samples
+        assert_eq!(ring.buf.first().copied(), Some(LATENCY_WINDOW as u64));
+    }
+
+    #[test]
+    fn safe_div_handles_zero() {
+        assert_eq!(safe_div(10.0, 0.0), 0.0);
+        assert!((safe_div(10.0, 4.0) - 2.5).abs() < 1e-12);
+    }
+}

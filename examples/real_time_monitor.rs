@@ -11,10 +11,16 @@
 //! Run: `cargo run --release --example real_time_monitor`
 //! (run twice to see the warm-start path; delete `target/monitor_state/`
 //! to retrain from scratch)
+//!
+//! With `--serve`, the online stage runs as a client of a local
+//! `glint-serve` instance instead of calling the detector in-process:
+//! each window graph is POSTed to `/score`, one verdict is corrected via
+//! `/feedback`, and `/metrics` is printed before graceful shutdown.
 
 use std::path::Path;
+use std::sync::Arc;
 
-use glint_suite::core::construction::OfflineBuilder;
+use glint_suite::core::construction::{node_features, OfflineBuilder};
 use glint_suite::core::drift::DriftDetector;
 use glint_suite::core::{persist, Degradation, GlintDetector};
 use glint_suite::gnn::batch::{GraphSchema, PreparedGraph};
@@ -22,11 +28,15 @@ use glint_suite::gnn::models::{Itgnn, ItgnnConfig};
 use glint_suite::gnn::trainer::{
     CheckpointPolicy, ClassifierTrainer, ContrastiveTrainer, TrainConfig,
 };
+use glint_suite::graph::OnlineBuilder;
+use glint_suite::rules::event::EventLog;
 use glint_suite::rules::scenarios::table1_rules;
-use glint_suite::rules::Platform;
+use glint_suite::rules::{Platform, Rule};
+use glint_suite::serve::{client, Scorer, ServeConfig, Server};
 use glint_suite::testbed::attack::{inject, AttackKind};
 use glint_suite::testbed::home::figure10_home;
 use glint_suite::testbed::sim::{SimConfig, Simulator};
+use serde_json::json;
 
 fn main() {
     let rules = table1_rules();
@@ -105,12 +115,17 @@ fn main() {
         duration_hours: 24.0,
         ..Default::default()
     };
-    let log = Simulator::new(figure10_home(), rules, config).run();
+    let log = Simulator::new(figure10_home(), rules.clone(), config).run();
     let log = inject(&log, AttackKind::StealthyCommand, 99);
     println!(
         "  event log: {} records (stealthy vacuum command injected)",
         log.len()
     );
+
+    if std::env::args().any(|a| a == "--serve") {
+        serve_mode(detector, &rules, &log);
+        return;
+    }
 
     // screen 3-hour windows
     let mut warned = 0;
@@ -155,4 +170,99 @@ fn main() {
         }
     }
     println!("\nWindows with warnings: {warned}/8, degraded windows: {degraded}/8");
+}
+
+/// Run the online stage over HTTP: boot a local `glint-serve` instance
+/// around the trained detector, build each window graph client-side with
+/// the same online constructor, and POST it to `/score`. Exercises all
+/// four endpoints end-to-end, then shuts down gracefully.
+fn serve_mode(detector: GlintDetector<Itgnn, Itgnn>, rules: &[Rule], log: &EventLog) {
+    println!("Serve mode: booting glint-serve on an ephemeral port…");
+    let server = match Server::start(
+        Arc::new(detector) as Arc<dyn Scorer>,
+        ServeConfig {
+            // a generous budget: the point here is the wire format, not
+            // deadline pressure (see tests/serve_overload.rs for that)
+            deadline_ms: 1_000,
+            ..Default::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("could not start glint-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.addr();
+    println!("  listening on http://{addr}");
+
+    let builder = OnlineBuilder::default();
+    let mut degraded = 0;
+    let mut first_threat = None;
+    for w in 0..8 {
+        let from = w as f64 * 3.0 * 3600.0;
+        let to = from + 3.0 * 3600.0;
+        let graph = builder.build(rules, log, from, to, &node_features);
+        if first_threat.is_none() {
+            first_threat = Some(graph.clone());
+        }
+        let body = json!({ "graph": serde_json::to_value(&graph), "deadline_ms": 1_000u64 });
+        match client::post(&addr, "/score", &body) {
+            Ok((200, verdict)) => {
+                let fields = verdict.as_map().unwrap_or(&[]);
+                let field = |name: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .map(|(_, v)| v.clone())
+                };
+                let flag = field("verdict").and_then(|v| v.as_str().map(String::from));
+                let rung = field("degradation").and_then(|v| v.as_str().map(String::from));
+                let p = field("threat_probability").and_then(|v| v.as_f64());
+                println!(
+                    "  window {:>2}h–{:>2}h: p(threat)={} → {} [{}]",
+                    w * 3,
+                    (w + 1) * 3,
+                    p.map_or("null".to_string(), |p| format!("{p:.2}")),
+                    flag.as_deref().unwrap_or("?"),
+                    rung.as_deref().unwrap_or("?"),
+                );
+                if rung.as_deref() != Some("full") {
+                    degraded += 1;
+                }
+                if flag.as_deref() == Some("threat") {
+                    first_threat = Some(graph);
+                }
+            }
+            Ok((status, body)) => {
+                println!("  window {:>2}h: HTTP {status}: {body:?}", w * 3);
+            }
+            Err(e) => {
+                eprintln!("  window {:>2}h: request failed: {e}", w * 3);
+            }
+        }
+    }
+
+    // human-in-the-loop correction: dismiss one verdict as a false alarm
+    if let Some(graph) = first_threat {
+        let body = json!({
+            "graph": serde_json::to_value(&graph),
+            "verdict": "Normal",
+            "note": "operator reviewed: scheduled vacuum run, not an attack",
+        });
+        match client::post(&addr, "/feedback", &body) {
+            Ok((200, reply)) => println!("  feedback stored: {reply:?}"),
+            Ok((status, reply)) => println!("  feedback rejected: HTTP {status}: {reply:?}"),
+            Err(e) => eprintln!("  feedback failed: {e}"),
+        }
+    }
+
+    match client::get(&addr, "/metrics") {
+        Ok((200, metrics)) => println!("\n/metrics: {metrics:?}"),
+        Ok((status, _)) => println!("\n/metrics returned HTTP {status}"),
+        Err(e) => eprintln!("\n/metrics failed: {e}"),
+    }
+    println!("Degraded windows (served): {degraded}/8");
+    server.shutdown();
+    println!("Server drained and shut down.");
 }

@@ -55,6 +55,20 @@ fi
 # re-parse the freshly written snapshot with the workspace's own JSON layer
 cargo test -q --test observability bench_inference_snapshot_file_is_valid_when_present
 
+echo "== serving path (BENCH_serve.json: loopback latency + overload shed + p95 gate) =="
+# micro_serve boots a real glint-serve instance over loopback, measures
+# sequential /score latency, then saturates a tiny queue to exercise the
+# 429 shed path and the deadline->DriftOnly ladder. It reads the committed
+# p95 budget BEFORE overwriting the snapshot and exits non-zero when the
+# fresh p95 exceeds it.
+GLINT_TRACE=1 cargo bench -q -p glint-bench --bench micro_serve
+if ! test -s BENCH_serve.json; then
+  echo "SERVE STAGE FAILED: BENCH_serve.json missing or empty" >&2
+  exit 1
+fi
+# re-parse the freshly written snapshot with the workspace's own JSON layer
+cargo test -q --test observability bench_serve_snapshot_file_is_valid_when_present
+
 echo "== fault-injection matrix (forced fail points, default + serial threads) =="
 FAULTS=(
   "persist.save=err" "persist.save=short:24"
@@ -63,6 +77,8 @@ FAULTS=(
   "trainer.epoch_end=err"
   "detector.assess=err" "detector.assess=panic"
   "detector.classify=err" "detector.classify=panic"
+  "serve.accept=err" "serve.parse=err" "serve.enqueue=err"
+  "serve.respond=err" "serve.respond=panic"
 )
 for threads in "" "1"; do
   for spec in "${FAULTS[@]}"; do

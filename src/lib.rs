@@ -14,5 +14,6 @@ pub use glint_graph as graph;
 pub use glint_ml as ml;
 pub use glint_nlp as nlp;
 pub use glint_rules as rules;
+pub use glint_serve as serve;
 pub use glint_tensor as tensor;
 pub use glint_testbed as testbed;

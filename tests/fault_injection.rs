@@ -484,6 +484,47 @@ fn env_forced_matrix() {
                     det.degradation
                 );
             }
+            site if site.starts_with("serve.") => {
+                // Serving sites: whatever the injected failure does to the
+                // first request (typed error status, dropped connection, or
+                // contained worker panic), the server must survive it — the
+                // next request on a fresh connection succeeds, and shutdown
+                // completes without hanging.
+                use glint_suite::serve::{client, ServeConfig, Server};
+                let detector = std::sync::Arc::new(trained_detector());
+                let server = Server::start(
+                    detector,
+                    ServeConfig {
+                        workers: 2,
+                        deadline_ms: 500,
+                        ..Default::default()
+                    },
+                )
+                .expect("serve matrix: bind loopback");
+                let addr = server.addr();
+                let body = serde_json::json!({
+                    "graph": serde_json::to_value(&sample_graph()),
+                    "deadline_ms": 500u64,
+                });
+                // First request absorbs the fault: any typed status or a
+                // closed connection is acceptable; a hang or crash is not.
+                let first = client::post(&addr, "/score", &body);
+                if let Ok((status, _)) = &first {
+                    assert!(
+                        [200u16, 400, 500, 503].contains(status),
+                        "armed {site}: first request got unexpected status {status}"
+                    );
+                }
+                // Faults fire once, then disarm: the service must be healthy.
+                let (status, _) = client::post(&addr, "/score", &body).unwrap_or_else(|e| {
+                    panic!("armed {site}: server must serve after the fault: {e}")
+                });
+                assert_eq!(
+                    status, 200,
+                    "armed {site}: request after the fault must succeed"
+                );
+                server.shutdown();
+            }
             other => panic!("unknown fail-point site in GLINT_FAILPOINTS: {other}"),
         }
     }

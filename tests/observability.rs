@@ -385,6 +385,85 @@ fn bench_inference_snapshot_file_is_valid_when_present() {
     });
 }
 
+/// The repo-root `BENCH_serve.json` snapshot (emitted by the
+/// `micro_serve` harness against a live loopback server) must re-parse
+/// with the workspace's own JSON layer, carry its schema header, keep
+/// the admission accounting exact (`accepted + shed == sent`), and hold
+/// the committed p95 latency budget. CI invokes this by name right after
+/// regenerating the file; in a plain run it validates the committed
+/// snapshot. (Skips only if the file is absent — CI checks existence
+/// separately.)
+#[test]
+fn bench_serve_snapshot_file_is_valid_when_present() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_serve.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    let value: serde_json::Value =
+        serde_json::from_str(&text).expect("BENCH_serve.json is malformed");
+    let map = value.as_map().expect("top level must be an object");
+    let field = |name: &str| map.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    assert_eq!(
+        field("schema").and_then(|v| v.as_u64()),
+        Some(1),
+        "schema version header missing or wrong"
+    );
+    assert_eq!(
+        field("run").and_then(|v| v.as_str()),
+        Some("micro_serve"),
+        "run name missing or wrong"
+    );
+    assert!(
+        field("qps")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|q| q > 0.0),
+        "qps must be present and positive"
+    );
+    let latency = field("latency_ms")
+        .and_then(|v| v.as_map())
+        .expect("latency_ms section missing");
+    let pctl = |name: &str| {
+        latency
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap_or(f64::NAN)
+    };
+    let (p50, p95, p99) = (pctl("p50"), pctl("p95"), pctl("p99"));
+    assert!(
+        p50.is_finite() && p95.is_finite() && p99.is_finite() && p50 <= p95 && p95 <= p99,
+        "latency percentiles must be finite and ordered: p50 {p50}, p95 {p95}, p99 {p99}"
+    );
+    let budget = field("p95_budget_ms")
+        .and_then(|v| v.as_f64())
+        .expect("snapshot must record its p95 budget");
+    assert!(
+        p95 <= budget,
+        "recorded p95 {p95} ms exceeds the committed budget {budget} ms"
+    );
+    let requests = field("requests")
+        .and_then(|v| v.as_map())
+        .expect("requests section missing");
+    let req = |name: &str| {
+        requests
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or_else(|| panic!("requests.{name} missing"))
+    };
+    assert_eq!(
+        req("accepted") + req("shed"),
+        req("sent"),
+        "admission accounting must be exact"
+    );
+    assert!(
+        field("degraded")
+            .and_then(|v| v.as_map())
+            .is_some_and(|d| d.iter().any(|(k, _)| k == "drift_only")),
+        "degraded section must break out the drift_only rung"
+    );
+}
+
 /// The non-finite convention in isolation: NaN and ±∞ samples are counted
 /// but never bucketed, and export as `null` rather than bare `NaN` tokens
 /// that would break any downstream JSON parser.

@@ -265,6 +265,18 @@ pub fn bench_serve_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
 }
 
+/// Repo-root `BENCH_scale.json` — the multi-tenant churn snapshot (ingest
+/// latency percentiles, peak RSS, and the incremental-vs-batch work
+/// ratchet) the `micro_scale` harness emits. Overridable with
+/// `GLINT_SCALE_OUT` so the CI smoke stage can write to a scratch path
+/// without disturbing the committed snapshot.
+pub fn bench_scale_path() -> std::path::PathBuf {
+    match std::env::var("GLINT_SCALE_OUT") {
+        Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json"),
+    }
+}
+
 /// Read one top-level `f64` field out of a JSON snapshot. `None` when
 /// the file or the field is absent or malformed.
 pub fn snapshot_f64(path: &std::path::Path, name: &str) -> Option<f64> {

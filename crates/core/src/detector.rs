@@ -142,7 +142,10 @@ pub struct GlintDetector<C: GraphModel, E: GraphModel> {
 }
 
 impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
-    pub fn new(rules: Vec<Rule>, classifier: C, embedder: E, drift: DriftDetector) -> Self {
+    pub fn new(mut rules: Vec<Rule>, classifier: C, embedder: E, drift: DriftDetector) -> Self {
+        // the deployed set is kept sorted by rule id so delta application
+        // stays O(log n) on a live stream of hundreds of thousands of rules
+        rules.sort_by_key(|r| r.id.0);
         Self {
             rules,
             classifier,
@@ -155,6 +158,27 @@ impl<C: GraphModel, E: GraphModel> GlintDetector<C, E> {
 
     pub fn rules(&self) -> &[Rule] {
         &self.rules
+    }
+
+    /// Consume one rule delta from the incremental pipeline: the deployed
+    /// rule set is updated in place so warnings and window processing
+    /// resolve the new rules — no full rebuild. A duplicate add or unknown
+    /// remove is a silent no-op: the pipeline in front of the detector
+    /// already surfaced the typed error, and the detector's view must
+    /// simply converge to the pipeline's.
+    pub fn apply_delta(&mut self, delta: &crate::incremental::RuleDelta) {
+        match &delta.change {
+            crate::incremental::RuleChange::Add(rule) => {
+                if let Err(at) = self.rules.binary_search_by_key(&rule.id.0, |r| r.id.0) {
+                    self.rules.insert(at, rule.clone());
+                }
+            }
+            crate::incremental::RuleChange::Remove(id) => {
+                if let Ok(at) = self.rules.binary_search_by_key(&id.0, |r| r.id.0) {
+                    self.rules.remove(at);
+                }
+            }
+        }
     }
 
     pub fn classifier(&self) -> &C {

@@ -1,0 +1,889 @@
+//! Incremental Algorithm 1: delta mining over per-home rule sets.
+//!
+//! The batch pipeline re-runs correlation mining, graph construction, and
+//! embedding over the *whole corpus* on every rule change — O(N²) pair work
+//! for a change that touches one home. This module makes the pipeline
+//! delta-driven, the THREATRACE discipline of scoping updates to the
+//! affected neighborhood of an evolving graph:
+//!
+//! 1. **Vocabulary neighborhood.** Every rule is indexed by the device and
+//!    channel *tokens* its actions emit and its trigger/conditions consume.
+//!    The correlation oracle can only relate two rules that share a token
+//!    (an action→trigger path needs a watched device or a fed channel; a
+//!    shared-device coupling needs a common actuated device; a faked
+//!    condition is a trigger in disguise), so when a rule is added only the
+//!    pairs inside its token neighborhood are re-mined — the remainder of
+//!    the home's weight map is provably unchanged.
+//! 2. **Dirty-set tracking.** A delta marks exactly its home dirty;
+//!    [`IncrementalPipeline::refresh`] re-embeds dirty homes only, so the
+//!    GNN never re-embeds the other N−1 homes.
+//! 3. **Live ingest→verdict.** [`IncrementalPipeline::ingest`] applies a
+//!    delta, rebuilds the one affected home graph, forwards the delta to
+//!    the [`GlintDetector`], and returns the detector's verdict — no full
+//!    rebuild anywhere on the path.
+//!
+//! Equivalence contract: for any delta sequence, the incremental weight
+//! maps, graphs, and embeddings are **bitwise identical** to a from-scratch
+//! batch rebuild over the final rule sets ([`mine_all`] + [`home_graph`] are
+//! the shared canonical constructors; `tests/incremental_equiv.rs` holds the
+//! proptest).
+
+use crate::detector::{Detection, GlintDetector};
+use glint_gnn::batch::PreparedGraph;
+use glint_gnn::models::GraphModel;
+use glint_gnn::trainer::ContrastiveTrainer;
+use glint_graph::graph::{EdgeKind, InteractionGraph, Node};
+use glint_graph::shard::{ShardError, ShardedStore};
+use glint_graph::GraphDataset;
+use glint_rules::correlation::{action_invokes_trigger, action_triggers, Via};
+use glint_rules::{
+    ast::device_state_channel, Channel, Condition, DeviceKind, Rule, RuleId, Trigger,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Mined correlation record for one *ordered* rule pair `(a, b)`. Mirrors
+/// the three edge families of `glint_graph::builder::full_graph` so a graph
+/// rebuilt from these records is edge-for-edge identical to the batch
+/// builder's output.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PairCorrelation {
+    /// Action→trigger weight: `Some` when a's action invokes b's trigger.
+    pub action_trigger: Option<f32>,
+    /// a and b actuate the same device kind at coupled locations.
+    pub shared_device: bool,
+    /// How many of b's conditions an action of a can fake (each one is an
+    /// `ActionCondition` edge, duplicates included, matching the batch
+    /// builder exactly).
+    pub action_condition: u32,
+}
+
+impl PairCorrelation {
+    /// True when the record carries no correlation at all (not stored).
+    pub fn is_empty(&self) -> bool {
+        self.action_trigger.is_none() && !self.shared_device && self.action_condition == 0
+    }
+}
+
+/// Pluggable Algorithm 1 kernel: how one ordered pair is mined. The default
+/// [`OracleMiner`] uses the ground-truth taxonomy oracle; a learned
+/// `CorrelationDiscoverer` can stand in behind the same interface.
+pub trait CorrelationMiner {
+    fn mine(&self, a: &Rule, b: &Rule) -> PairCorrelation;
+}
+
+/// Action→trigger weight when the path is a directly watched device.
+pub const WEIGHT_DEVICE: f32 = 1.0;
+/// Action→trigger weight when the path is a physical channel side effect.
+pub const WEIGHT_CHANNEL: f32 = 0.75;
+
+/// Ground-truth miner over the device/channel taxonomy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OracleMiner;
+
+impl CorrelationMiner for OracleMiner {
+    fn mine(&self, a: &Rule, b: &Rule) -> PairCorrelation {
+        let action_trigger = action_triggers(a, b).map(|via| match via {
+            Via::Device(_) => WEIGHT_DEVICE,
+            Via::Channel(_) => WEIGHT_CHANNEL,
+        });
+        let shared_device = a.actuated_devices().iter().any(|(d1, l1)| {
+            b.actuated_devices()
+                .iter()
+                .any(|(d2, l2)| d1 == d2 && l1.couples_with(*l2))
+        });
+        let action_condition = b
+            .conditions
+            .iter()
+            .filter_map(condition_as_trigger)
+            .filter(|t| {
+                a.actions
+                    .iter()
+                    .any(|act| action_invokes_trigger(act, t).is_some())
+            })
+            .count() as u32;
+        PairCorrelation {
+            action_trigger,
+            shared_device,
+            action_condition,
+        }
+    }
+}
+
+fn condition_as_trigger(cond: &Condition) -> Option<Trigger> {
+    match cond {
+        Condition::DeviceState {
+            device,
+            location,
+            attribute,
+            state,
+        } => Some(Trigger::DeviceState {
+            device: *device,
+            location: *location,
+            attribute: *attribute,
+            state: *state,
+        }),
+        Condition::ChannelThreshold {
+            channel,
+            location,
+            cmp,
+            value,
+        } => Some(Trigger::ChannelThreshold {
+            channel: *channel,
+            location: *location,
+            cmp: *cmp,
+            value: *value,
+        }),
+        Condition::Time(_) | Condition::HomeMode(_) => None,
+    }
+}
+
+/// One vocabulary token: a device kind or a physical channel. Two rules can
+/// be correlated by the oracle only if a token emitted by one's actions is
+/// consumed by the other's trigger/conditions (or both actuate the same
+/// device token).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Token {
+    Dev(DeviceKind),
+    Chan(Channel),
+}
+
+/// Tokens a rule's actions *emit*: each actuated device kind, plus every
+/// channel that device can physically affect (a superset of
+/// `effective_affects` for any state, so no correlated pair escapes).
+pub fn action_tokens(rule: &Rule) -> BTreeSet<Token> {
+    let mut tokens = BTreeSet::new();
+    for act in &rule.actions {
+        if let Some((dev, _)) = act.device() {
+            tokens.insert(Token::Dev(dev));
+            for &(c, _) in dev.affects() {
+                tokens.insert(Token::Chan(c));
+            }
+        }
+    }
+    tokens
+}
+
+/// Tokens a rule's trigger *and conditions* consume: the watched device
+/// kind and/or channel. Time/voice/manual triggers consume nothing — the
+/// oracle can never invoke them.
+pub fn trigger_tokens(rule: &Rule) -> BTreeSet<Token> {
+    let mut tokens = BTreeSet::new();
+    let mut add_trigger = |t: &Trigger| match t {
+        Trigger::DeviceState {
+            device, attribute, ..
+        } => {
+            tokens.insert(Token::Dev(*device));
+            if let Some(c) = device_state_channel(*device, *attribute) {
+                tokens.insert(Token::Chan(c));
+            }
+        }
+        Trigger::ChannelThreshold { channel, .. }
+        | Trigger::ChannelRange { channel, .. }
+        | Trigger::ChannelEvent { channel, .. } => {
+            tokens.insert(Token::Chan(*channel));
+        }
+        Trigger::Time(_) | Trigger::Voice | Trigger::Manual => {}
+    };
+    add_trigger(&rule.trigger);
+    for cond in &rule.conditions {
+        if let Some(t) = condition_as_trigger(cond) {
+            add_trigger(&t);
+        }
+    }
+    tokens
+}
+
+/// A rule add/remove event on one home's deployed rule set.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RuleDelta {
+    pub home: u64,
+    pub change: RuleChange,
+}
+
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum RuleChange {
+    Add(Rule),
+    Remove(RuleId),
+}
+
+/// Why a delta could not be applied. The pipeline state is unchanged on any
+/// of these.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// `Add` for a rule id the home already deploys.
+    DuplicateRule { home: u64, id: u32 },
+    /// `Remove` for a rule id the home does not deploy.
+    UnknownRule { home: u64, id: u32 },
+    /// `Remove` addressed to a home with no rules at all.
+    UnknownHome { home: u64 },
+    /// Shard persistence failed.
+    Shard(ShardError),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::DuplicateRule { home, id } => {
+                write!(f, "home {home} already deploys rule {id}")
+            }
+            DeltaError::UnknownRule { home, id } => {
+                write!(f, "home {home} does not deploy rule {id}")
+            }
+            DeltaError::UnknownHome { home } => write!(f, "home {home} has no deployed rules"),
+            DeltaError::Shard(e) => write!(f, "shard persistence failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<ShardError> for DeltaError {
+    fn from(e: ShardError) -> Self {
+        DeltaError::Shard(e)
+    }
+}
+
+/// One home's live state: sorted rules, mined pair records, token indexes,
+/// the current interaction graph, and the (possibly stale) embedding.
+#[derive(Default)]
+pub struct HomeState {
+    /// Deployed rules, sorted by rule id (the canonical node order).
+    rules: Vec<Rule>,
+    /// Mined records for ordered pairs `(a_id, b_id)`; empty records are
+    /// never stored.
+    corr: BTreeMap<(u32, u32), PairCorrelation>,
+    /// Token → rule ids whose *actions* emit it.
+    act_index: BTreeMap<Token, BTreeSet<u32>>,
+    /// Token → rule ids whose *trigger/conditions* consume it.
+    trig_index: BTreeMap<Token, BTreeSet<u32>>,
+    /// Current interaction graph (`None` while the home has no rules).
+    graph: Option<InteractionGraph>,
+    /// Latest contrastive embedding; `None` until the first refresh.
+    embedding: Option<Vec<f32>>,
+    /// Embedding is stale relative to the rules/graph.
+    dirty: bool,
+}
+
+impl HomeState {
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    pub fn correlations(&self) -> &BTreeMap<(u32, u32), PairCorrelation> {
+        &self.corr
+    }
+
+    pub fn graph(&self) -> Option<&InteractionGraph> {
+        self.graph.as_ref()
+    }
+
+    pub fn embedding(&self) -> Option<&[f32]> {
+        self.embedding.as_deref()
+    }
+
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    fn rule_by_id(&self, id: u32) -> Option<&Rule> {
+        self.rules
+            .binary_search_by_key(&id, |r| r.id.0)
+            .ok()
+            .and_then(|i| self.rules.get(i))
+    }
+
+    fn index_rule(&mut self, rule: &Rule) {
+        for t in action_tokens(rule) {
+            self.act_index.entry(t).or_default().insert(rule.id.0);
+        }
+        for t in trigger_tokens(rule) {
+            self.trig_index.entry(t).or_default().insert(rule.id.0);
+        }
+    }
+
+    fn unindex_rule(&mut self, rule: &Rule) {
+        for t in action_tokens(rule) {
+            if let Some(s) = self.act_index.get_mut(&t) {
+                s.remove(&rule.id.0);
+                if s.is_empty() {
+                    self.act_index.remove(&t);
+                }
+            }
+        }
+        for t in trigger_tokens(rule) {
+            if let Some(s) = self.trig_index.get_mut(&t) {
+                s.remove(&rule.id.0);
+                if s.is_empty() {
+                    self.trig_index.remove(&t);
+                }
+            }
+        }
+    }
+
+    /// Rule ids that could possibly be correlated with `rule` in either
+    /// direction: the token neighborhood. Exact by construction — the
+    /// oracle requires a shared token on every path (see module docs).
+    fn neighborhood(&self, rule: &Rule) -> BTreeSet<u32> {
+        let mut neigh = BTreeSet::new();
+        for t in action_tokens(rule) {
+            if let Some(consumers) = self.trig_index.get(&t) {
+                neigh.extend(consumers.iter().copied());
+            }
+            // shared-device coupling is act×act, on device tokens only
+            if matches!(t, Token::Dev(_)) {
+                if let Some(actuators) = self.act_index.get(&t) {
+                    neigh.extend(actuators.iter().copied());
+                }
+            }
+        }
+        for t in trigger_tokens(rule) {
+            if let Some(emitters) = self.act_index.get(&t) {
+                neigh.extend(emitters.iter().copied());
+            }
+        }
+        neigh.remove(&rule.id.0);
+        neigh
+    }
+}
+
+/// Mine every ordered pair of `rules` from scratch — the batch counterpart
+/// the incremental path must match bitwise.
+pub fn mine_all<M: CorrelationMiner>(
+    miner: &M,
+    rules: &[Rule],
+) -> BTreeMap<(u32, u32), PairCorrelation> {
+    let mut corr = BTreeMap::new();
+    for a in rules {
+        for b in rules {
+            if a.id == b.id {
+                continue;
+            }
+            let pc = miner.mine(a, b);
+            if !pc.is_empty() {
+                corr.insert((a.id.0, b.id.0), pc);
+            }
+        }
+    }
+    corr
+}
+
+/// Canonical graph constructor shared by the incremental and batch paths:
+/// nodes in `rules` order, then the three edge passes in the same order as
+/// `glint_graph::builder::full_graph` (all ActionTrigger, all SharedDevice,
+/// all ActionCondition, each i-major/j-minor). Returns `None` for an empty
+/// rule set.
+pub fn home_graph(
+    rules: &[Rule],
+    corr: &BTreeMap<(u32, u32), PairCorrelation>,
+    feature_fn: &dyn Fn(&Rule) -> Vec<f32>,
+) -> Option<InteractionGraph> {
+    if rules.is_empty() {
+        return None;
+    }
+    let nodes: Vec<Node> = rules
+        .iter()
+        .map(|r| Node {
+            rule_id: r.id,
+            platform: r.platform,
+            features: feature_fn(r),
+        })
+        .collect();
+    let mut g = InteractionGraph::new(nodes);
+    for (i, a) in rules.iter().enumerate() {
+        for (j, b) in rules.iter().enumerate() {
+            if i != j
+                && corr
+                    .get(&(a.id.0, b.id.0))
+                    .is_some_and(|p| p.action_trigger.is_some())
+            {
+                g.add_edge(i, j, EdgeKind::ActionTrigger);
+            }
+        }
+    }
+    for (i, a) in rules.iter().enumerate() {
+        for (j, b) in rules.iter().enumerate() {
+            if i != j && corr.get(&(a.id.0, b.id.0)).is_some_and(|p| p.shared_device) {
+                g.add_edge(i, j, EdgeKind::SharedDevice);
+            }
+        }
+    }
+    for (i, a) in rules.iter().enumerate() {
+        for (j, b) in rules.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dups = corr
+                .get(&(a.id.0, b.id.0))
+                .map_or(0, |p| p.action_condition);
+            for _ in 0..dups {
+                g.add_edge(i, j, EdgeKind::ActionCondition);
+            }
+        }
+    }
+    Some(g)
+}
+
+/// Work accounting across the pipeline's lifetime. The scale ratchet
+/// asserts `remined_pairs < full_mine_pairs` and
+/// `reembedded < full_reembed` — the whole point of being incremental.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Deltas applied.
+    pub deltas: u64,
+    /// Ordered pairs actually re-mined (neighborhood-scoped).
+    pub remined_pairs: u64,
+    /// Ordered pairs a from-scratch batch rebuild would have mined instead
+    /// (Σ over homes of n·(n−1), accumulated per delta).
+    pub full_mine_pairs: u64,
+    /// Home graphs re-embedded by [`IncrementalPipeline::refresh`].
+    pub reembedded: u64,
+    /// Home graphs a full re-embed would have touched instead (all homes
+    /// with rules, accumulated per refresh).
+    pub full_reembed: u64,
+    /// Home graphs rebuilt (one per effective delta).
+    pub graphs_rebuilt: u64,
+}
+
+/// What one applied delta did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApplyReport {
+    pub home: u64,
+    /// Distinct rules in the changed rule's token neighborhood.
+    pub neighborhood: usize,
+    /// Ordered pairs re-mined for this delta (0 for a removal).
+    pub remined_pairs: usize,
+    /// Pair records dropped (removal only).
+    pub removed_pairs: usize,
+}
+
+/// Outcome of [`IncrementalPipeline::ingest`]: the delta's mining report
+/// plus the detector's verdict on the home's fresh graph.
+pub struct IngestOutcome {
+    pub report: ApplyReport,
+    pub detection: Detection,
+}
+
+/// What a [`IncrementalPipeline::refresh`] pass did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RefreshReport {
+    /// Dirty homes re-embedded in this pass.
+    pub reembedded: usize,
+    /// Homes left untouched (clean, or empty of rules).
+    pub skipped: usize,
+}
+
+/// The delta-driven multi-home pipeline: per-home incremental Algorithm 1,
+/// dirty-set embedding refresh, and live ingest→verdict.
+pub struct IncrementalPipeline<M: CorrelationMiner = OracleMiner> {
+    miner: M,
+    homes: BTreeMap<u64, HomeState>,
+    /// Running Σ over homes of n·(n−1) — the batch-equivalent mining cost.
+    total_pairs: u64,
+    stats: PipelineStats,
+}
+
+impl IncrementalPipeline<OracleMiner> {
+    pub fn new() -> Self {
+        Self::with_miner(OracleMiner)
+    }
+}
+
+impl Default for IncrementalPipeline<OracleMiner> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: CorrelationMiner> IncrementalPipeline<M> {
+    pub fn with_miner(miner: M) -> Self {
+        Self {
+            miner,
+            homes: BTreeMap::new(),
+            total_pairs: 0,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    pub fn n_homes(&self) -> usize {
+        self.homes.len()
+    }
+
+    pub fn home(&self, home: u64) -> Option<&HomeState> {
+        self.homes.get(&home)
+    }
+
+    pub fn homes(&self) -> impl Iterator<Item = (&u64, &HomeState)> {
+        self.homes.iter()
+    }
+
+    pub fn dirty_homes(&self) -> Vec<u64> {
+        self.homes
+            .iter()
+            .filter(|(_, s)| s.dirty)
+            .map(|(&h, _)| h)
+            .collect()
+    }
+
+    /// Apply one delta: re-mine the vocabulary neighborhood, rebuild the
+    /// home's graph, mark the home dirty. Every other home — and every
+    /// pair outside the neighborhood — is untouched.
+    pub fn apply(
+        &mut self,
+        delta: &RuleDelta,
+        feature_fn: &dyn Fn(&Rule) -> Vec<f32>,
+    ) -> Result<ApplyReport, DeltaError> {
+        let report = match &delta.change {
+            RuleChange::Add(rule) => self.apply_add(delta.home, rule)?,
+            RuleChange::Remove(id) => self.apply_remove(delta.home, *id)?,
+        };
+        self.stats.deltas += 1;
+        self.stats.remined_pairs += report.remined_pairs as u64;
+        self.stats.full_mine_pairs += self.total_pairs;
+        self.stats.graphs_rebuilt += 1;
+        if let Some(state) = self.homes.get_mut(&delta.home) {
+            state.graph = home_graph(&state.rules, &state.corr, feature_fn);
+            state.dirty = true;
+        }
+        Ok(report)
+    }
+
+    fn apply_add(&mut self, home: u64, rule: &Rule) -> Result<ApplyReport, DeltaError> {
+        let state = self.homes.entry(home).or_default();
+        let Err(insert_at) = state.rules.binary_search_by_key(&rule.id.0, |r| r.id.0) else {
+            return Err(DeltaError::DuplicateRule {
+                home,
+                id: rule.id.0,
+            });
+        };
+        let neigh = state.neighborhood(rule);
+        let mut remined = 0usize;
+        for &sid in &neigh {
+            let Some(other) = state.rule_by_id(sid) else {
+                continue;
+            };
+            let forward = self.miner.mine(rule, other);
+            let backward = self.miner.mine(other, rule);
+            remined += 2;
+            if !forward.is_empty() {
+                state.corr.insert((rule.id.0, sid), forward);
+            }
+            if !backward.is_empty() {
+                state.corr.insert((sid, rule.id.0), backward);
+            }
+        }
+        let prior = state.rules.len() as u64;
+        state.rules.insert(insert_at, rule.clone());
+        state.index_rule(rule);
+        self.total_pairs += 2 * prior;
+        Ok(ApplyReport {
+            home,
+            neighborhood: neigh.len(),
+            remined_pairs: remined,
+            removed_pairs: 0,
+        })
+    }
+
+    fn apply_remove(&mut self, home: u64, id: RuleId) -> Result<ApplyReport, DeltaError> {
+        let Some(state) = self.homes.get_mut(&home) else {
+            return Err(DeltaError::UnknownHome { home });
+        };
+        let Ok(at) = state.rules.binary_search_by_key(&id.0, |r| r.id.0) else {
+            return Err(DeltaError::UnknownRule { home, id: id.0 });
+        };
+        let rule = state.rules.remove(at);
+        state.unindex_rule(&rule);
+        let before = state.corr.len();
+        state.corr.retain(|&(a, b), _| a != id.0 && b != id.0);
+        let removed = before - state.corr.len();
+        self.total_pairs -= 2 * state.rules.len() as u64;
+        Ok(ApplyReport {
+            home,
+            neighborhood: 0,
+            remined_pairs: 0,
+            removed_pairs: removed,
+        })
+    }
+
+    /// Re-embed dirty homes only. Homes with no rules are cleared instead
+    /// of embedded (an empty graph has nothing to embed).
+    pub fn refresh(&mut self, embedder: &dyn GraphModel) -> RefreshReport {
+        let mut report = RefreshReport::default();
+        let mut populated = 0u64;
+        for state in self.homes.values_mut() {
+            if !state.rules.is_empty() {
+                populated += 1;
+            }
+            if !state.dirty {
+                report.skipped += 1;
+                continue;
+            }
+            match &state.graph {
+                Some(g) => {
+                    let prepared = PreparedGraph::from_graph(g);
+                    state.embedding = Some(ContrastiveTrainer::embed(embedder, &prepared));
+                    report.reembedded += 1;
+                }
+                None => {
+                    state.embedding = None;
+                    report.skipped += 1;
+                }
+            }
+            state.dirty = false;
+        }
+        self.stats.reembedded += report.reembedded as u64;
+        self.stats.full_reembed += populated;
+        report
+    }
+
+    /// The live path: apply the delta, forward it to the detector's
+    /// deployed rule set, and assess the home's fresh graph — one home's
+    /// worth of work per event, end to end.
+    pub fn ingest<C: GraphModel, E: GraphModel>(
+        &mut self,
+        delta: &RuleDelta,
+        detector: &mut GlintDetector<C, E>,
+        feature_fn: &dyn Fn(&Rule) -> Vec<f32>,
+    ) -> Result<IngestOutcome, DeltaError> {
+        let report = self.apply(delta, feature_fn)?;
+        detector.apply_delta(delta);
+        let graph = self
+            .homes
+            .get(&delta.home)
+            .and_then(|s| s.graph.clone())
+            .unwrap_or_else(|| InteractionGraph::new(Vec::new()));
+        let detection = detector.assess(graph);
+        Ok(IngestOutcome { report, detection })
+    }
+
+    /// Persist one home's current graph into its shard. A home with no
+    /// rules persists an empty dataset (the shard stays addressable).
+    pub fn persist_home(&self, store: &mut ShardedStore, home: u64) -> Result<(), DeltaError> {
+        let Some(state) = self.homes.get(&home) else {
+            return Err(DeltaError::UnknownHome { home });
+        };
+        let mut ds = GraphDataset::new();
+        if let Some(g) = &state.graph {
+            ds.push(g.clone());
+        }
+        store.save_shard(home, &ds)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glint_rules::scenarios::table1_rules;
+    use glint_rules::Platform;
+
+    fn feat(r: &Rule) -> Vec<f32> {
+        vec![r.id.0 as f32, r.actions.len() as f32]
+    }
+
+    fn add(home: u64, rule: Rule) -> RuleDelta {
+        RuleDelta {
+            home,
+            change: RuleChange::Add(rule),
+        }
+    }
+
+    fn remove(home: u64, id: u32) -> RuleDelta {
+        RuleDelta {
+            home,
+            change: RuleChange::Remove(RuleId(id)),
+        }
+    }
+
+    #[test]
+    fn token_overlap_is_necessary_for_correlation() {
+        // structural guarantee behind neighborhood-scoped mining: any
+        // non-empty mined record implies a shared vocabulary token
+        let rules = table1_rules();
+        let miner = OracleMiner;
+        for a in &rules {
+            for b in &rules {
+                if a.id == b.id {
+                    continue;
+                }
+                let pc = miner.mine(a, b);
+                if pc.is_empty() {
+                    continue;
+                }
+                let at = action_tokens(a);
+                let bt = trigger_tokens(b);
+                let shared_at = !at.is_disjoint(&bt);
+                let shared_dev = action_tokens(b)
+                    .intersection(&at)
+                    .any(|t| matches!(t, Token::Dev(_)));
+                assert!(
+                    shared_at || shared_dev,
+                    "mined pair {}→{} without a shared token",
+                    a.id.0,
+                    b.id.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_add_matches_batch_mine() {
+        let rules = table1_rules();
+        let mut pipe = IncrementalPipeline::new();
+        for r in &rules {
+            pipe.apply(&add(1, r.clone()), &feat).unwrap();
+        }
+        let state = pipe.home(1).unwrap();
+        let batch = mine_all(&OracleMiner, state.rules());
+        assert_eq!(state.correlations(), &batch);
+        // the incremental graph equals the canonical batch graph
+        let expected = home_graph(state.rules(), &batch, &feat).unwrap();
+        assert_eq!(state.graph().unwrap(), &expected);
+    }
+
+    #[test]
+    fn home_graph_matches_full_graph_builder() {
+        // the canonical constructor reproduces the batch builder edge for
+        // edge (order included) over the paper's Table 1 fixture
+        let rules = table1_rules();
+        let corr = mine_all(&OracleMiner, &rules);
+        let ours = home_graph(&rules, &corr, &feat).unwrap();
+        let reference = glint_graph::builder::full_graph(&rules, &feat);
+        assert_eq!(ours.nodes(), reference.nodes());
+        assert_eq!(ours.edges(), reference.edges());
+    }
+
+    #[test]
+    fn remove_reverses_add() {
+        let rules = table1_rules();
+        let mut pipe = IncrementalPipeline::new();
+        for r in &rules {
+            pipe.apply(&add(1, r.clone()), &feat).unwrap();
+        }
+        let last = rules.last().unwrap();
+        let report = pipe.apply(&remove(1, last.id.0), &feat).unwrap();
+        assert!(report.removed_pairs > 0 || report.neighborhood == 0);
+        let state = pipe.home(1).unwrap();
+        let batch = mine_all(&OracleMiner, state.rules());
+        assert_eq!(state.correlations(), &batch);
+    }
+
+    #[test]
+    fn deltas_scope_to_their_home() {
+        let rules = table1_rules();
+        let mut pipe = IncrementalPipeline::new();
+        pipe.apply(&add(1, rules[0].clone()), &feat).unwrap();
+        pipe.apply(&add(2, rules[1].clone()), &feat).unwrap();
+        let types: Vec<(Platform, usize)> = Platform::all().iter().map(|&p| (p, 2)).collect();
+        let embedder = glint_gnn::models::Itgnn::new(
+            &types,
+            glint_gnn::models::ItgnnConfig {
+                hidden: 4,
+                embed: 4,
+                n_scales: 1,
+                ..Default::default()
+            },
+        );
+        pipe.refresh(&embedder);
+        assert_eq!(pipe.dirty_homes(), Vec::<u64>::new());
+        // a delta on home 2 must not dirty home 1
+        pipe.apply(&add(2, rules[2].clone()), &feat).unwrap();
+        assert_eq!(pipe.dirty_homes(), vec![2]);
+        let report = pipe.refresh(&embedder);
+        assert_eq!(report.reembedded, 1);
+    }
+
+    #[test]
+    fn bad_deltas_are_typed_and_leave_state_unchanged() {
+        let rules = table1_rules();
+        let mut pipe = IncrementalPipeline::new();
+        pipe.apply(&add(1, rules[0].clone()), &feat).unwrap();
+        let stats_before = pipe.stats().clone();
+        assert!(matches!(
+            pipe.apply(&add(1, rules[0].clone()), &feat),
+            Err(DeltaError::DuplicateRule { home: 1, .. })
+        ));
+        assert!(matches!(
+            pipe.apply(&remove(1, 999), &feat),
+            Err(DeltaError::UnknownRule { home: 1, id: 999 })
+        ));
+        assert!(matches!(
+            pipe.apply(&remove(77, 1), &feat),
+            Err(DeltaError::UnknownHome { home: 77 })
+        ));
+        assert_eq!(pipe.stats(), &stats_before);
+        assert_eq!(pipe.home(1).unwrap().rules().len(), 1);
+    }
+
+    #[test]
+    fn stats_ratchet_remined_below_full() {
+        let rules = table1_rules();
+        let mut pipe = IncrementalPipeline::new();
+        // spread the fixture over several homes so the full-corpus cost
+        // dwarfs any one neighborhood
+        for (i, r) in rules.iter().enumerate() {
+            pipe.apply(&add((i % 4) as u64, r.clone()), &feat).unwrap();
+        }
+        let stats = pipe.stats();
+        assert!(stats.full_mine_pairs > 0);
+        assert!(
+            stats.remined_pairs < stats.full_mine_pairs,
+            "incremental mining must beat batch: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_home_round_trip() {
+        let rules = table1_rules();
+        let mut pipe = IncrementalPipeline::new();
+        pipe.apply(&add(5, rules[0].clone()), &feat).unwrap();
+        pipe.apply(&remove(5, rules[0].id.0), &feat).unwrap();
+        let state = pipe.home(5).unwrap();
+        assert!(state.rules().is_empty());
+        assert!(state.graph().is_none());
+        assert!(state.correlations().is_empty());
+        // and the indexes fully drain
+        assert!(state.act_index.is_empty());
+        assert!(state.trig_index.is_empty());
+    }
+
+    #[test]
+    fn oracle_miner_weights_follow_via() {
+        let rules = table1_rules();
+        let corr = mine_all(&OracleMiner, &rules);
+        for (&(a, b), pc) in &corr {
+            if let Some(w) = pc.action_trigger {
+                let ra = rules.iter().find(|r| r.id.0 == a).unwrap();
+                let rb = rules.iter().find(|r| r.id.0 == b).unwrap();
+                let expected = match action_triggers(ra, rb).unwrap() {
+                    Via::Device(_) => WEIGHT_DEVICE,
+                    Via::Channel(_) => WEIGHT_CHANNEL,
+                };
+                assert_eq!(w.to_bits(), expected.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn persist_home_writes_a_loadable_shard() {
+        let dir = std::env::temp_dir().join("glint_incremental_persist");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ShardedStore::create(&dir).unwrap();
+        let rules = table1_rules();
+        let mut pipe = IncrementalPipeline::new();
+        pipe.apply(&add(9, rules[0].clone()), &feat).unwrap();
+        pipe.apply(&add(9, rules[8].clone()), &feat).unwrap();
+        pipe.persist_home(&mut store, 9).unwrap();
+        let ds = store.load_shard(9).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.graphs()[0], *pipe.home(9).unwrap().graph().unwrap());
+        assert!(matches!(
+            pipe.persist_home(&mut store, 1234),
+            Err(DeltaError::UnknownHome { home: 1234 })
+        ));
+    }
+}

@@ -21,6 +21,7 @@ pub mod drift;
 pub mod error;
 pub mod explain;
 pub mod feedback;
+pub mod incremental;
 pub mod oracle;
 pub mod persist;
 pub mod transfer;
@@ -32,5 +33,9 @@ pub use detector::{DeadlinePressure, Degradation, Detection, GlintDetector};
 pub use drift::DriftDetector;
 pub use error::GlintError;
 pub use feedback::FeedbackStore;
+pub use incremental::{
+    CorrelationMiner, DeltaError, IncrementalPipeline, OracleMiner, PairCorrelation, RuleChange,
+    RuleDelta,
+};
 pub use oracle::{label_rules, ThreatFinding, ThreatKind};
 pub use warning::Warning;

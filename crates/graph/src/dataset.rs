@@ -37,7 +37,7 @@ pub struct Split {
 }
 
 /// A collection of labeled (or unlabeled) interaction graphs.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct GraphDataset {
     graphs: Vec<InteractionGraph>,
 }

@@ -17,15 +17,19 @@
 //!   pruning (§3.2.2);
 //! - [`dataset`] — labeled collections, stratified splits, random
 //!   oversampling, class statistics (§4.4's training protocol);
-//! - [`store`] — JSON persistence.
+//! - [`store`] — JSON persistence (whole-corpus envelope);
+//! - [`shard`] — per-home sharded persistence with a manifest and confined
+//!   corruption recovery, for the incremental million-home pipeline.
 
 pub mod builder;
 pub mod dataset;
 pub mod graph;
 pub mod hetero;
+pub mod shard;
 pub mod store;
 
 pub use builder::{GraphBuilder, OnlineBuilder};
 pub use dataset::{ClassStats, GraphDataset, Split};
 pub use graph::{EdgeKind, GraphLabel, InteractionGraph, Node};
 pub use hetero::{metapath_instances, Metapath};
+pub use shard::{CompactReport, Manifest, ShardEntry, ShardError, ShardSweep, ShardedStore};

@@ -29,6 +29,14 @@ pub enum StoreError {
     Decode(String),
     /// The dataset decoded but contains a structurally invalid graph.
     InvalidGraph { index: usize, reason: String },
+    /// The file is a [`crate::shard`] manifest, not a dataset. Manifests are
+    /// bare JSON like legacy datasets, so without this guard the fallback
+    /// would misparse one; open the *directory* with
+    /// [`crate::shard::ShardedStore::open`] instead.
+    ShardManifest {
+        manifest_version: u64,
+        shards: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -39,6 +47,14 @@ impl fmt::Display for StoreError {
             StoreError::InvalidGraph { index, reason } => {
                 write!(f, "dataset graph {index} is invalid: {reason}")
             }
+            StoreError::ShardManifest {
+                manifest_version,
+                shards,
+            } => write!(
+                f,
+                "file is a shard manifest (v{manifest_version}, {shards} shards), not a dataset; \
+                 open its directory with graph::shard::ShardedStore::open"
+            ),
         }
     }
 }
@@ -82,6 +98,25 @@ pub fn load(path: impl AsRef<Path>) -> Result<GraphDataset, StoreError> {
             .map_err(|_| StoreError::Decode("file is neither envelope nor UTF-8 JSON".into()))?,
         Err(e) => return Err(e.into()),
     };
+    // Shard manifests are also bare JSON; reject them with a pointer to the
+    // right loader instead of misparsing `entries` as an empty dataset.
+    if let Ok(value) = serde_json::parse(&text) {
+        if let Some(map) = value.as_map() {
+            if let Some((_, marker)) = map.iter().find(|(k, _)| k == crate::shard::MANIFEST_MARKER)
+            {
+                let shards = map
+                    .iter()
+                    .find(|(k, _)| k == "entries")
+                    .and_then(|(_, v)| v.as_seq())
+                    .map(|s| s.len())
+                    .unwrap_or(0);
+                return Err(StoreError::ShardManifest {
+                    manifest_version: marker.as_u64().unwrap_or(0),
+                    shards,
+                });
+            }
+        }
+    }
     let dataset: GraphDataset =
         serde_json::from_str(&text).map_err(|e| StoreError::Decode(format!("parse: {e}")))?;
     for (index, graph) in dataset.graphs().iter().enumerate() {
@@ -176,6 +211,28 @@ mod tests {
         let garbage = tmp("mangle_garbage.bin");
         std::fs::write(&garbage, b"]]] not json, not envelope").unwrap();
         assert!(matches!(load(&garbage), Err(StoreError::Decode(_))));
+    }
+
+    #[test]
+    fn shard_manifest_is_rejected_with_a_typed_error() {
+        // a real manifest, produced by the sharded store itself
+        let dir = std::env::temp_dir().join("glint_store_test_manifest");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = crate::shard::ShardedStore::create(&dir).unwrap();
+        store.save_shard(7, &sample_dataset()).unwrap();
+        let err = load(dir.join(crate::shard::MANIFEST_FILE)).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::ShardManifest {
+                manifest_version: crate::shard::MANIFEST_VERSION,
+                shards: 1,
+            }
+        ));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("ShardedStore::open"),
+            "error must redirect: {msg}"
+        );
     }
 
     #[test]

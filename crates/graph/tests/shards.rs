@@ -1,0 +1,167 @@
+//! Shard durability: damage to one per-home shard file must stay confined
+//! to that shard. Byte flips and truncations of `shard-<home>.glint` turn
+//! into typed [`ShardError`]s on that home while every other home still
+//! loads byte-for-byte — the blast radius of a bad disk sector is one
+//! tenant, never the fleet.
+
+use glint_graph::builder::full_graph;
+use glint_graph::shard::{ShardError, ShardedStore};
+use glint_graph::GraphDataset;
+use glint_rules::{CorpusConfig, CorpusGenerator, Rule};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn corpus() -> Vec<Rule> {
+    CorpusGenerator::generate_corpus(&CorpusConfig {
+        scale: 0.002,
+        per_platform_cap: 120,
+        seed: 0x5ca1e,
+    })
+}
+
+fn features(r: &Rule) -> Vec<f32> {
+    vec![r.actions.len() as f32, r.conditions.len() as f32]
+}
+
+/// Per-home dataset: a slice of the corpus, so every home's payload is
+/// distinct (distinct CRCs, distinct lengths).
+fn dataset(home: u64) -> GraphDataset {
+    let rules = corpus();
+    let lo = (home as usize * 5) % (rules.len() - 6);
+    let graph = full_graph(&rules[lo..lo + 6], &features);
+    GraphDataset::from_graphs(vec![graph])
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("glint-shard-test-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn populated_store(dir: &Path, homes: &[u64]) -> ShardedStore {
+    let mut store = ShardedStore::create(dir).expect("create store");
+    for &h in homes {
+        store.save_shard(h, &dataset(h)).expect("save shard");
+    }
+    store
+}
+
+fn shard_file(dir: &Path, home: u64) -> PathBuf {
+    dir.join(format!("shard-{home}.glint"))
+}
+
+#[test]
+fn byte_flip_is_confined_to_the_damaged_shard() {
+    let dir = scratch("flip");
+    let store = populated_store(&dir, &[1, 2, 3]);
+
+    let path = shard_file(&dir, 2);
+    let mut bytes = std::fs::read(&path).expect("read shard 2");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&path, &bytes).expect("write damaged shard");
+
+    let err = store
+        .load_shard(2)
+        .expect_err("damaged shard must not load");
+    assert!(
+        matches!(
+            err,
+            ShardError::Envelope(_) | ShardError::StaleShard { .. } | ShardError::Decode(_)
+        ),
+        "unexpected error kind: {err}"
+    );
+
+    let sweep = store.load_all();
+    assert_eq!(
+        sweep.loaded.keys().copied().collect::<Vec<_>>(),
+        vec![1, 3],
+        "healthy shards must survive a neighbor's corruption"
+    );
+    assert_eq!(sweep.damaged.len(), 1);
+    assert_eq!(sweep.damaged[0].0, 2);
+    // the healthy loads are byte-faithful, not just non-empty
+    assert_eq!(sweep.loaded[&1], dataset(1));
+    assert_eq!(sweep.loaded[&3], dataset(3));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncation_is_confined_to_the_damaged_shard() {
+    let dir = scratch("trunc");
+    let store = populated_store(&dir, &[4, 5, 6]);
+
+    let path = shard_file(&dir, 6);
+    let bytes = std::fs::read(&path).expect("read shard 6");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate shard");
+
+    store
+        .load_shard(6)
+        .expect_err("truncated shard must not load");
+    let sweep = store.load_all();
+    assert_eq!(sweep.loaded.keys().copied().collect::<Vec<_>>(), vec![4, 5]);
+    assert_eq!(sweep.damaged.len(), 1);
+    assert_eq!(sweep.damaged[0].0, 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reopened_store_sees_the_same_confinement() {
+    // damage + a process restart (fresh `open` from the manifest): the
+    // damage report must be identical to the in-process sweep.
+    let dir = scratch("reopen");
+    populated_store(&dir, &[7, 8]);
+    let path = shard_file(&dir, 7);
+    let mut bytes = std::fs::read(&path).expect("read shard 7");
+    bytes[0] ^= 0x55; // header damage: not even an envelope anymore
+    std::fs::write(&path, &bytes).expect("write damaged shard");
+
+    let store = ShardedStore::open(&dir).expect("manifest itself is intact");
+    let sweep = store.load_all();
+    assert_eq!(sweep.loaded.keys().copied().collect::<Vec<_>>(), vec![8]);
+    assert_eq!(sweep.damaged.len(), 1);
+    assert_eq!(sweep.damaged[0].0, 7);
+    // recovery: re-saving the damaged home heals the store
+    let mut store = store;
+    store.save_shard(7, &dataset(7)).expect("re-save heals");
+    let sweep = store.load_all();
+    assert!(sweep.damaged.is_empty());
+    assert_eq!(sweep.loaded.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary byte damage to one shard: loading it must return a typed
+    /// error or (if the damage cancels out) the original payload — never a
+    /// panic, never a wrong payload — and the undamaged neighbor must load
+    /// byte-faithfully every time.
+    #[test]
+    fn random_damage_never_panics_and_never_leaks(
+        offsets in proptest::collection::vec((0usize..8192, 1u8..=255u8), 1..6),
+        cut in 0usize..8192,
+    ) {
+        let dir = scratch("prop");
+        let store = populated_store(&dir, &[10, 11]);
+        let path = shard_file(&dir, 10);
+        let mut bytes = std::fs::read(&path).expect("read shard 10");
+        for (off, xor) in offsets {
+            let off = off % bytes.len();
+            bytes[off] ^= xor;
+        }
+        // `cut % (len + 1) == len` leaves the file untruncated, so both the
+        // flip-only and flip-plus-truncate shapes are exercised
+        bytes.truncate(cut % (bytes.len() + 1));
+        std::fs::write(&path, &bytes).expect("write damaged shard");
+
+        // a typed rejection is the expected outcome; a clean load (damage
+        // canceled out) must be byte-faithful
+        if let Ok(ds) = store.load_shard(10) {
+            prop_assert_eq!(ds, dataset(10), "a clean load must be byte-faithful");
+        }
+        let loaded = store.load_shard(11).expect("neighbor shard must stay loadable");
+        prop_assert_eq!(loaded, dataset(11));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -186,6 +186,9 @@ impl Default for Config {
                 "crates/trace/src/".into(),
                 "crates/nlp/src/".into(),
                 "crates/serve/src/".into(),
+                // the churn load generator: its trace and counters are a
+                // determinism contract (BENCH_scale.json reproducibility)
+                "crates/testbed/src/churn".into(),
             ],
             clock_exempt_prefixes: vec!["crates/bench/".into()],
             hot_entry_points: vec![
@@ -209,6 +212,11 @@ impl Default for Config {
                 "GlintDetector::assess_batch".into(),
                 "GlintDetector::process_window".into(),
                 "GlintDetector::assess_under_pressure".into(),
+                // live delta-ingest path: one delta → re-mine → verdict,
+                // runs per rule change on a million-home stream
+                "IncrementalPipeline::apply".into(),
+                "IncrementalPipeline::ingest".into(),
+                "GlintDetector::apply_delta".into(),
                 // glint-serve request path: admission, dispatch, handlers
                 "accept_loop".into(),
                 "worker_loop".into(),
@@ -243,6 +251,11 @@ impl Default for Config {
                 // serving verdicts: the detector only ever sees the discrete
                 // pressure rung, never the clock, so this must stay clean
                 "GlintDetector::assess_under_pressure".into(),
+                // incremental verdicts: a delta's verdict must be a pure
+                // function of the delta stream, never of clock or hasher
+                "IncrementalPipeline::ingest".into(),
+                // per-home shard payloads and their manifest CRCs
+                "ShardedStore::save_shard".into(),
                 // GLINTDUR envelope writes
                 "write_durable".into(),
                 // checkpoint payloads

@@ -10,6 +10,7 @@
 //! from a seeded simulation, so every Figure 11 number is reproducible.
 
 pub mod attack;
+pub mod churn;
 pub mod harness;
 pub mod hawatcher;
 pub mod home;
@@ -17,6 +18,7 @@ pub mod iruler;
 pub mod sim;
 
 pub use attack::AttackKind;
+pub use churn::{churn_trace, ChurnConfig, ChurnGenerator, ChurnHarness, ScaleCounters};
 pub use harness::{TestSetBuilder, ThreatComplexity};
 pub use hawatcher::HaWatcher;
 pub use home::{figure10_home, DeviceInstance, Home};

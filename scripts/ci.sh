@@ -69,6 +69,22 @@ fi
 # re-parse the freshly written snapshot with the workspace's own JSON layer
 cargo test -q --test observability bench_serve_snapshot_file_is_valid_when_present
 
+echo "== scale churn smoke (sharded incremental pipeline at 10^3 homes) =="
+# micro_scale drives the multi-tenant churn harness end to end (bootstrap,
+# delta ingest->verdict, dirty-set refresh, shard persistence) and enforces
+# the incremental-work ratchet with a non-zero exit: pairs re-mined and
+# homes re-embedded must stay strictly below the full-rebuild counterparts.
+# The smoke run writes to a scratch path; the committed BENCH_scale.json
+# (the 10^5-home run) is validated by the observability suite right after.
+GLINT_SCALE_HOMES=1000 GLINT_SCALE_OUT=target/BENCH_scale_smoke.json \
+  cargo bench -q -p glint-bench --bench micro_scale
+if ! test -s target/BENCH_scale_smoke.json; then
+  echo "SCALE STAGE FAILED: target/BENCH_scale_smoke.json missing or empty" >&2
+  exit 1
+fi
+# the committed 10^5-home snapshot: schema, counter set, ratchet fields
+cargo test -q --test observability bench_scale_snapshot_file_is_valid_when_present
+
 echo "== fault-injection matrix (forced fail points, default + serial threads) =="
 FAULTS=(
   "persist.save=err" "persist.save=short:24"
@@ -79,6 +95,8 @@ FAULTS=(
   "detector.classify=err" "detector.classify=panic"
   "serve.accept=err" "serve.parse=err" "serve.enqueue=err"
   "serve.respond=err" "serve.respond=panic"
+  "shard.save=err" "shard.save=short:16"
+  "shard.load=err" "shard.compact=err"
 )
 for threads in "" "1"; do
   for spec in "${FAULTS[@]}"; do

@@ -27,6 +27,7 @@ use glint_suite::gnn::models::{GraphModel, Itgnn, ItgnnConfig};
 use glint_suite::gnn::trainer::{
     CheckpointPolicy, ClassifierTrainer, ContrastiveTrainer, TrainConfig, TrainError,
 };
+use glint_suite::graph::shard;
 use glint_suite::graph::store;
 use glint_suite::graph::{GraphDataset, InteractionGraph, Node};
 use glint_suite::rules::scenarios::table1_rules;
@@ -183,6 +184,91 @@ fn store_save_faults_yield_typed_errors_and_preserve_previous_dataset() {
         assert_eq!(back.len(), ds.len());
     }
     let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Shard sites: faults stay confined to one home's shard; re-saving heals.
+// ---------------------------------------------------------------------------
+
+/// Fresh scratch *directory* for a sharded store.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("glint-fault-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn shard_save_faults_yield_typed_errors_and_preserve_previous_generation() {
+    let _g = serial();
+    let dir = scratch_dir("shard-save");
+    let mut store = shard::ShardedStore::create(&dir).expect("create store");
+    let ds = GraphDataset::from_graphs(vec![sample_graph()]);
+    store.save_shard(1, &ds).expect("clean save");
+
+    for action in [Action::Err, Action::ShortWrite(16)] {
+        let _fp = ScopedFail::new(shard::SITE_SHARD_SAVE, action, 1);
+        let err = store.save_shard(1, &ds).expect_err("fault must surface");
+        assert!(
+            matches!(
+                err,
+                shard::ShardError::Io(_) | shard::ShardError::Envelope(_)
+            ),
+            "unexpected: {err}"
+        );
+        // Previous generation still loads, manifest still agrees.
+        let back = store
+            .load_shard(1)
+            .expect("previous shard generation readable");
+        assert_eq!(back, ds);
+    }
+
+    // A fault on the *manifest* write (second check at the site) leaves a
+    // new, different payload the manifest doesn't vouch for: the load is a
+    // typed StaleShard, and re-saving heals it.
+    let ds2 = GraphDataset::from_graphs(vec![sample_graph(), sample_graph()]);
+    {
+        let _fp = ScopedFail::new(shard::SITE_SHARD_SAVE, Action::Err, 2);
+        store
+            .save_shard(1, &ds2)
+            .expect_err("manifest-write fault must surface");
+    }
+    let store = shard::ShardedStore::open(&dir).expect("reopen from disk manifest");
+    match store.load_shard(1) {
+        Err(shard::ShardError::StaleShard { home: 1, .. }) => {}
+        other => panic!("expected StaleShard after torn manifest write, got {other:?}"),
+    }
+    let mut store = store;
+    store.save_shard(1, &ds2).expect("re-save heals the shard");
+    assert_eq!(store.load_shard(1).expect("healed shard loads"), ds2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_load_and_compact_faults_are_typed_and_transient() {
+    let _g = serial();
+    let dir = scratch_dir("shard-load");
+    let mut store = shard::ShardedStore::create(&dir).expect("create store");
+    let ds = GraphDataset::from_graphs(vec![sample_graph()]);
+    store.save_shard(3, &ds).expect("clean save");
+
+    {
+        let _fp = ScopedFail::new(shard::SITE_SHARD_LOAD, Action::Err, 1);
+        let err = store.load_shard(3).expect_err("armed load must surface");
+        assert!(matches!(err, shard::ShardError::Io(_)), "{err}");
+    }
+    // Recovery: the fault was transient, the bytes on disk are intact.
+    assert_eq!(store.load_shard(3).expect("disarmed load succeeds"), ds);
+
+    {
+        let _fp = ScopedFail::new(shard::SITE_SHARD_COMPACT, Action::Err, 1);
+        let err = store.compact().expect_err("armed compact must surface");
+        assert!(matches!(err, shard::ShardError::Io(_)), "{err}");
+    }
+    let report = store.compact().expect("disarmed compact succeeds");
+    assert_eq!(report.live, 1);
+    assert!(report.damaged.is_empty());
+    assert_eq!(store.load_shard(3).expect("compacted shard loads"), ds);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -462,6 +548,45 @@ fn env_forced_matrix() {
                 store::save(&GraphDataset::from_graphs(vec![sample_graph()]), &path)
                     .expect_err("armed graph.store.save must surface a typed error");
                 let _ = std::fs::remove_file(&path);
+            }
+            "shard.save" => {
+                let dir = scratch_dir("env-shard-save");
+                let ds = GraphDataset::from_graphs(vec![sample_graph()]);
+                // the armed fault fires at the first `shard.save` check:
+                // the manifest write inside `create`
+                shard::ShardedStore::create(&dir)
+                    .expect_err("armed shard.save must surface a typed error");
+                // fault fired once and disarmed: the store recovers cleanly
+                let mut store =
+                    shard::ShardedStore::create(&dir).expect("disarmed create succeeds");
+                store.save_shard(1, &ds).expect("disarmed save succeeds");
+                assert_eq!(store.load_shard(1).expect("healed shard loads"), ds);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            "shard.load" => {
+                let dir = scratch_dir("env-shard-load");
+                let mut store = shard::ShardedStore::create(&dir).expect("create store");
+                let ds = GraphDataset::from_graphs(vec![sample_graph()]);
+                store.save_shard(1, &ds).expect("clean save");
+                store
+                    .load_shard(1)
+                    .expect_err("armed shard.load must surface a typed error");
+                // transient fault: the on-disk bytes are intact
+                assert_eq!(store.load_shard(1).expect("disarmed load succeeds"), ds);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            "shard.compact" => {
+                let dir = scratch_dir("env-shard-compact");
+                let mut store = shard::ShardedStore::create(&dir).expect("create store");
+                let ds = GraphDataset::from_graphs(vec![sample_graph()]);
+                store.save_shard(1, &ds).expect("clean save");
+                store
+                    .compact()
+                    .expect_err("armed shard.compact must surface a typed error");
+                let report = store.compact().expect("disarmed compact succeeds");
+                assert_eq!(report.live, 1);
+                assert_eq!(store.load_shard(1).expect("compacted shard loads"), ds);
+                let _ = std::fs::remove_dir_all(&dir);
             }
             "trainer.epoch_end" => {
                 let path = scratch("env-trainer.json");

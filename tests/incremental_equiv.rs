@@ -1,0 +1,255 @@
+//! Incremental ⇔ batch equivalence suite for the sharded delta pipeline.
+//!
+//! The contract under test: **any** sequence of rule add/remove deltas
+//! applied through [`IncrementalPipeline::apply`] must leave every home in
+//! a state *bitwise identical* to a from-scratch batch rebuild over the
+//! final rule sets — same correlation weights (`f32::to_bits`), same graph
+//! nodes and edges, same embeddings. Proptest drives randomized delta
+//! sequences (seeded churn traces, so removals always target live rules);
+//! the batch side replays the trace naively and rebuilds with the shared
+//! canonical constructors `mine_all` / `home_graph`.
+//!
+//! Thread-config coverage comes from CI, which runs this binary under both
+//! the default rayon-style pool and `GLINT_THREADS=1`; the assertions are
+//! bitwise, so any scheduler-dependent float reassociation would fail here.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use glint_suite::core::incremental::{
+    home_graph, mine_all, IncrementalPipeline, OracleMiner, PairCorrelation, RuleChange, RuleDelta,
+};
+use glint_suite::gnn::batch::PreparedGraph;
+use glint_suite::gnn::models::{Itgnn, ItgnnConfig};
+use glint_suite::gnn::trainer::ContrastiveTrainer;
+use glint_suite::rules::{Platform, Rule};
+use glint_suite::testbed::churn::{churn_features, CHURN_FEATURE_DIM};
+use glint_suite::testbed::{churn_trace, ChurnConfig};
+
+use proptest::prelude::*;
+
+/// One shared embedder: seeded init is deterministic, and the equivalence
+/// claim is about the *inputs* we hand it, so a single instance serves
+/// every case.
+fn embedder() -> &'static Itgnn {
+    static MODEL: OnceLock<Itgnn> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let types: Vec<(Platform, usize)> = Platform::all()
+            .iter()
+            .map(|&p| (p, CHURN_FEATURE_DIM))
+            .collect();
+        Itgnn::new(
+            &types,
+            ItgnnConfig {
+                hidden: 8,
+                embed: 8,
+                n_scales: 1,
+                seed: 0x1dea,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+/// Naive replay of a delta sequence: per-home rule vectors kept sorted by
+/// id, no mining, no caching — the ground truth the pipeline must match.
+fn replay(deltas: &[RuleDelta]) -> BTreeMap<u64, Vec<Rule>> {
+    let mut homes: BTreeMap<u64, Vec<Rule>> = BTreeMap::new();
+    for d in deltas {
+        let rules = homes.entry(d.home).or_default();
+        match &d.change {
+            RuleChange::Add(rule) => {
+                let at = rules
+                    .binary_search_by_key(&rule.id.0, |r| r.id.0)
+                    .unwrap_err();
+                rules.insert(at, rule.clone());
+            }
+            RuleChange::Remove(id) => {
+                if let Ok(at) = rules.binary_search_by_key(&id.0, |r| r.id.0) {
+                    rules.remove(at);
+                }
+            }
+        }
+    }
+    homes.retain(|_, v| !v.is_empty());
+    homes
+}
+
+fn corr_bitwise_equal(
+    a: &BTreeMap<(u32, u32), PairCorrelation>,
+    b: &BTreeMap<(u32, u32), PairCorrelation>,
+) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| {
+            ka == kb
+                && va.action_trigger.map(f32::to_bits) == vb.action_trigger.map(f32::to_bits)
+                && va.shared_device == vb.shared_device
+                && va.action_condition == vb.action_condition
+        })
+}
+
+/// Apply a seeded churn trace incrementally and check every home against
+/// the batch rebuild. Returns the number of homes compared, so callers can
+/// assert the case wasn't vacuous.
+fn assert_equivalent(trace: &[RuleDelta]) -> usize {
+    let mut pipeline = IncrementalPipeline::new();
+    for d in trace {
+        pipeline
+            .apply(d, &churn_features)
+            .expect("churn traces only carry valid deltas");
+    }
+    pipeline.refresh(embedder());
+
+    let ground = replay(trace);
+    let live: Vec<u64> = pipeline
+        .homes()
+        .filter(|(_, s)| !s.rules().is_empty())
+        .map(|(h, _)| *h)
+        .collect();
+    assert_eq!(
+        live,
+        ground.keys().copied().collect::<Vec<_>>(),
+        "incremental and batch disagree on which homes are populated"
+    );
+
+    let miner = OracleMiner;
+    for (home, rules) in &ground {
+        let state = pipeline.home(*home).expect("populated home has state");
+        assert_eq!(
+            state.rules(),
+            rules.as_slice(),
+            "home {home}: rule sets differ"
+        );
+
+        // correlation weights: bitwise
+        let batch_corr = mine_all(&miner, rules);
+        assert!(
+            corr_bitwise_equal(state.correlations(), &batch_corr),
+            "home {home}: incremental correlations diverge from batch\n inc: {:?}\n bat: {:?}",
+            state.correlations(),
+            batch_corr
+        );
+
+        // graph: node-for-node, edge-for-edge (PartialEq covers features)
+        let batch_graph =
+            home_graph(rules, &batch_corr, &churn_features).expect("non-empty home has a graph");
+        let inc_graph = state.graph().expect("populated home keeps a graph");
+        assert_eq!(inc_graph, &batch_graph, "home {home}: graphs differ");
+
+        // embeddings: bitwise
+        let batch_emb =
+            ContrastiveTrainer::embed(embedder(), &PreparedGraph::from_graph(&batch_graph));
+        let inc_emb = state.embedding().expect("refreshed home has an embedding");
+        assert_eq!(inc_emb.len(), batch_emb.len());
+        assert!(
+            inc_emb
+                .iter()
+                .zip(batch_emb.iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "home {home}: embeddings diverge bitwise\n inc: {inc_emb:?}\n bat: {batch_emb:?}"
+        );
+    }
+    ground.len()
+}
+
+fn trace_for(seed: u64, homes: u64, deltas: u64) -> Vec<RuleDelta> {
+    churn_trace(ChurnConfig {
+        homes,
+        deltas,
+        bootstrap_rules: 2,
+        max_rules_per_home: 6,
+        seed,
+        ..ChurnConfig::default()
+    })
+    .into_iter()
+    .map(|e| e.delta)
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random seeded churn traces: adds and removes across several homes,
+    /// incremental must match batch bitwise at the end.
+    #[test]
+    fn random_delta_sequences_match_batch_rebuild(
+        seed in 0u64..1_000_000_000,
+        homes in 2u64..6,
+        deltas in 1u64..48,
+    ) {
+        let trace = trace_for(seed, homes, deltas);
+        let compared = assert_equivalent(&trace);
+        prop_assert!(compared > 0, "case must leave at least one populated home");
+    }
+
+    /// Refresh cadence must not matter: interleaving embeds mid-sequence
+    /// ends in the same bitwise state as one refresh at the end.
+    #[test]
+    fn interleaved_refreshes_do_not_change_the_final_state(
+        seed in 0u64..1_000_000_000,
+        stride in 1usize..8,
+    ) {
+        let trace = trace_for(seed, 3, 32);
+        let mut pipeline = IncrementalPipeline::new();
+        for (i, d) in trace.iter().enumerate() {
+            pipeline.apply(d, &churn_features).expect("valid delta");
+            if i % stride == 0 {
+                pipeline.refresh(embedder());
+            }
+        }
+        pipeline.refresh(embedder());
+        // batch comparison (same assertions as the main property)
+        assert_equivalent(&trace);
+        // and the interleaved pipeline itself matches the one-shot one
+        let mut oneshot = IncrementalPipeline::new();
+        for d in &trace {
+            oneshot.apply(d, &churn_features).expect("valid delta");
+        }
+        oneshot.refresh(embedder());
+        for (home, state) in pipeline.homes() {
+            let other = oneshot.home(*home).expect("same home set");
+            prop_assert_eq!(state.rules(), other.rules());
+            let (a, b) = (state.embedding(), other.embedding());
+            prop_assert_eq!(
+                a.map(|e| e.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+                b.map(|e| e.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+            );
+        }
+    }
+}
+
+/// A home fully drained by removals must end exactly as the batch rebuild
+/// sees it: no rules, no graph, no stale embedding.
+#[test]
+fn drained_homes_disappear_like_batch() {
+    let trace = trace_for(0xd3a1, 2, 20);
+    let mut pipeline = IncrementalPipeline::new();
+    for d in &trace {
+        pipeline.apply(d, &churn_features).expect("valid delta");
+    }
+    // remove every surviving rule from home 0
+    let ids: Vec<u32> = pipeline
+        .home(0)
+        .map(|s| s.rules().iter().map(|r| r.id.0).collect())
+        .unwrap_or_default();
+    let mut full = trace;
+    for id in ids {
+        let d = RuleDelta {
+            home: 0,
+            change: RuleChange::Remove(glint_suite::rules::RuleId(id)),
+        };
+        pipeline
+            .apply(&d, &churn_features)
+            .expect("live rule removes");
+        full.push(d);
+    }
+    pipeline.refresh(embedder());
+    let state = pipeline.home(0).expect("home state is retained");
+    assert!(state.rules().is_empty());
+    assert!(state.graph().is_none(), "drained home must drop its graph");
+    assert!(
+        state.embedding().is_none(),
+        "drained home must drop its embedding"
+    );
+    assert_equivalent(&full);
+}

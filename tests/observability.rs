@@ -464,6 +464,96 @@ fn bench_serve_snapshot_file_is_valid_when_present() {
     );
 }
 
+/// The repo-root `BENCH_scale.json` snapshot (emitted by the `micro_scale`
+/// churn harness) must re-parse with the workspace's own JSON layer, carry
+/// its schema header and counter set, keep the latency percentiles finite
+/// and ordered, and hold the incremental-work ratchet: pairs re-mined and
+/// homes re-embedded both strictly below their full-rebuild counterparts.
+/// CI invokes this by name right after the scale smoke stage; in a plain
+/// run it validates the committed snapshot. (Skips only if the file is
+/// absent — CI checks existence separately.)
+#[test]
+fn bench_scale_snapshot_file_is_valid_when_present() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_scale.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    let value: serde_json::Value =
+        serde_json::from_str(&text).expect("BENCH_scale.json is malformed");
+    let map = value.as_map().expect("top level must be an object");
+    let field = |name: &str| map.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    assert_eq!(
+        field("schema").and_then(|v| v.as_u64()),
+        Some(1),
+        "schema version header missing or wrong"
+    );
+    assert_eq!(
+        field("run").and_then(|v| v.as_str()),
+        Some("micro_scale"),
+        "run name missing or wrong"
+    );
+    assert!(
+        field("homes")
+            .and_then(|v| v.as_u64())
+            .is_some_and(|h| h > 0),
+        "home count must be present and positive"
+    );
+
+    let counters = field("counters")
+        .and_then(|v| v.as_map())
+        .expect("counters section missing");
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or_else(|| panic!("counters.{name} missing"))
+    };
+    assert_eq!(
+        counter("verdicts"),
+        counter("churn_deltas"),
+        "every churn delta must produce exactly one verdict"
+    );
+    // the scale ratchet: incremental work strictly below a full rebuild
+    assert!(
+        counter("remined_pairs") < counter("full_mine_pairs"),
+        "re-mined neighborhood must stay below the full-corpus pair count"
+    );
+    assert!(
+        counter("reembedded") < counter("full_reembed"),
+        "dirty-subgraph re-embeds must stay below full-corpus re-embeds"
+    );
+
+    let latency = field("latency_ms")
+        .and_then(|v| v.as_map())
+        .expect("latency_ms section missing");
+    let pctl = |name: &str| {
+        latency
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap_or(f64::NAN)
+    };
+    let (p50, p95, p99) = (pctl("p50"), pctl("p95"), pctl("p99"));
+    assert!(
+        p50.is_finite() && p95.is_finite() && p99.is_finite() && p50 <= p95 && p95 <= p99,
+        "latency percentiles must be finite and ordered: p50 {p50}, p95 {p95}, p99 {p99}"
+    );
+    assert!(
+        field("peak_rss_kb").and_then(|v| v.as_u64()).is_some(),
+        "peak RSS must be recorded"
+    );
+    let ratchet = field("ratchet")
+        .and_then(|v| v.as_map())
+        .expect("ratchet section missing");
+    assert!(
+        ratchet
+            .iter()
+            .any(|(k, v)| k == "pass" && matches!(v, serde_json::Value::Bool(true))),
+        "the committed snapshot must record a passing ratchet"
+    );
+}
+
 /// The non-finite convention in isolation: NaN and ±∞ samples are counted
 /// but never bucketed, and export as `null` rather than bare `NaN` tokens
 /// that would break any downstream JSON parser.
